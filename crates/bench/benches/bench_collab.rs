@@ -1,0 +1,46 @@
+//! Section 7 collaborative-set ablation: planning over the full universe
+//! vs. the scoped collaborative set vs. lazy exploration.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sada_bench::paired_system;
+use sada_expr::enumerate;
+use sada_plan::{collab, lazy, Sag};
+
+fn bench_collab(c: &mut Criterion) {
+    let mut g = c.benchmark_group("collaborative_sets");
+    g.sample_size(10);
+    for k in [6usize, 8, 10] {
+        let (u, inv, actions) = paired_system(k);
+        let mut source = u.empty_config();
+        let mut target = u.empty_config();
+        for i in 0..k {
+            source.insert(u.id(&format!("Old{i}")).unwrap());
+            let t = if i == 0 { format!("New{i}") } else { format!("Old{i}") };
+            target.insert(u.id(&t).unwrap());
+        }
+        g.bench_with_input(BenchmarkId::new("full_enumerate_plan", k), &k, |b, _| {
+            b.iter(|| {
+                let sag = Sag::build(enumerate::safe_configs(&u, &inv), &actions);
+                sag.shortest_path(&source, &target).unwrap()
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("scoped_enumerate_plan", k), &k, |b, _| {
+            b.iter(|| {
+                let scope = collab::scope_for(&u, &inv, &actions, &source, &target);
+                let safe = enumerate::safe_configs_scoped(&u, &inv, &scope, &source);
+                let sag = Sag::build(safe, &actions);
+                sag.shortest_path(&source, &target).unwrap()
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("lazy_plan", k), &k, |b, _| {
+            b.iter(|| lazy::plan(&inv, &actions, &source, &target).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("partition_only", k), &k, |b, _| {
+            b.iter(|| collab::collaborative_sets(&u, &inv, &actions))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_collab);
+criterion_main!(benches);

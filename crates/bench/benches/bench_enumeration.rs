@@ -1,0 +1,47 @@
+//! Safe-configuration enumeration: pruned three-valued search vs. the
+//! exhaustive baseline, over growing component counts (the Section 7
+//! scalability concern) and on the paper's case study (Table 1).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sada_bench::paired_system;
+use sada_core::casestudy::case_study;
+use sada_expr::enumerate;
+
+fn bench_case_study_table1(c: &mut Criterion) {
+    let cs = case_study();
+    let (u, inv) = (cs.spec.universe().clone(), cs.spec.invariants().clone());
+    let mut g = c.benchmark_group("table1_safe_configs");
+    g.bench_function("pruned", |b| {
+        b.iter(|| {
+            let safe = enumerate::safe_configs(&u, &inv);
+            assert_eq!(safe.len(), 8);
+            safe
+        })
+    });
+    g.bench_function("exhaustive", |b| {
+        b.iter(|| {
+            let safe = enumerate::safe_configs_exhaustive(&u, &inv);
+            assert_eq!(safe.len(), 8);
+            safe
+        })
+    });
+    g.finish();
+}
+
+fn bench_enumeration_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("enumeration_scaling");
+    g.sample_size(10);
+    for k in [4usize, 6, 8, 10] {
+        let (u, inv, _) = paired_system(k);
+        g.bench_with_input(BenchmarkId::new("pruned", k), &k, |b, _| {
+            b.iter(|| enumerate::safe_configs(&u, &inv))
+        });
+        g.bench_with_input(BenchmarkId::new("exhaustive", k), &k, |b, _| {
+            b.iter(|| enumerate::safe_configs_exhaustive(&u, &inv))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_case_study_table1, bench_enumeration_scaling);
+criterion_main!(benches);

@@ -1,0 +1,129 @@
+//! Substrate throughput: the DES codecs, RLE, FEC, and whole filter
+//! chains — the per-packet work the MetaSocket performs between adaptation
+//! safe points, and the end-to-end video scenario.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use sada_des::{decrypt_bytes, encrypt_bytes, Des, Des128};
+use sada_meta::filters::des::{CipherDecoder, CipherEncoder};
+use sada_meta::filters::fec::{FecDecoder, FecEncoder};
+use sada_meta::filters::interleave::{Deinterleaver, Interleaver};
+use sada_meta::filters::rle::{RleDecoder, RleEncoder};
+use sada_meta::{Filter, FilterChain, Packet};
+use sada_video::{run_video_scenario, ScenarioConfig, Strategy};
+
+const PAYLOAD: usize = 512;
+
+fn payload() -> Vec<u8> {
+    (0..PAYLOAD).map(|i| ((i * 37) % 251) as u8).collect()
+}
+
+fn bench_ciphers(c: &mut Criterion) {
+    let des = Des::new(0x133457799BBCDFF1);
+    let des128 = Des128::new(0x0123456789ABCDEF, 0xFEDCBA9876543210);
+    let data = payload();
+    let ct64 = encrypt_bytes(&des, &data);
+    let ct128 = encrypt_bytes(&des128, &data);
+    let mut g = c.benchmark_group("ciphers");
+    g.throughput(Throughput::Bytes(PAYLOAD as u64));
+    g.bench_function("des64_encrypt", |b| b.iter(|| encrypt_bytes(&des, &data)));
+    g.bench_function("des64_decrypt", |b| b.iter(|| decrypt_bytes(&des, &ct64).unwrap()));
+    g.bench_function("des128_encrypt", |b| b.iter(|| encrypt_bytes(&des128, &data)));
+    g.bench_function("des128_decrypt", |b| b.iter(|| decrypt_bytes(&des128, &ct128).unwrap()));
+    g.finish();
+}
+
+fn bench_filters(c: &mut Criterion) {
+    let mut g = c.benchmark_group("filters");
+    g.throughput(Throughput::Bytes(PAYLOAD as u64));
+    let pkt = Packet::new(0, 1, payload());
+    g.bench_function("rle_round_trip", |b| {
+        let mut enc = RleEncoder::new();
+        let mut dec = RleDecoder::new();
+        b.iter(|| {
+            let e = enc.process(pkt.clone()).pop().unwrap();
+            dec.process(e).pop().unwrap()
+        })
+    });
+    g.bench_function("fec_encode_k4", |b| {
+        let mut enc = FecEncoder::new(4);
+        b.iter(|| enc.process(pkt.clone()))
+    });
+    g.bench_function("interleave_deinterleave_4x4", |b| {
+        b.iter(|| {
+            let mut il = Interleaver::new(4, 4);
+            let mut di = Deinterleaver::new(32);
+            let mut n = 0;
+            for seq in 0..16u64 {
+                for p in il.process(Packet::new(0, seq, payload())) {
+                    n += di.process(p).len();
+                }
+            }
+            assert_eq!(n, 16);
+        })
+    });
+    g.bench_function("fec_decode_with_recovery", |b| {
+        b.iter(|| {
+            let mut enc = FecEncoder::new(4);
+            let mut dec = FecDecoder::new(32);
+            let mut stream = Vec::new();
+            for seq in 0..4u64 {
+                stream.extend(enc.process(Packet::new(0, seq, payload())));
+            }
+            stream.remove(2); // drop one data packet
+            let mut out = 0;
+            for p in stream {
+                out += dec.process(p).len();
+            }
+            assert_eq!(out, 4);
+        })
+    });
+    g.finish();
+}
+
+fn bench_chain(c: &mut Criterion) {
+    let mut g = c.benchmark_group("chain");
+    g.throughput(Throughput::Bytes(PAYLOAD as u64));
+    g.bench_function("send_recv_des64", |b| {
+        let mut send = FilterChain::new();
+        send.push_back("E1", Box::new(CipherEncoder::des64(1))).unwrap();
+        let mut recv = FilterChain::new();
+        recv.push_back("D1", Box::new(CipherDecoder::des64(1))).unwrap();
+        b.iter(|| {
+            let wire = send.push(Packet::new(0, 1, payload())).pop().unwrap();
+            recv.push(wire).pop().unwrap()
+        })
+    });
+    g.bench_function("send_recv_rle_then_des128", |b| {
+        let mut send = FilterChain::new();
+        send.push_back("RLE", Box::new(RleEncoder::new())).unwrap();
+        send.push_back("E2", Box::new(CipherEncoder::des128(1, 2))).unwrap();
+        let mut recv = FilterChain::new();
+        recv.push_back("D", Box::new(CipherDecoder::des128(1, 2))).unwrap();
+        recv.push_back("UNRLE", Box::new(RleDecoder::new())).unwrap();
+        b.iter(|| {
+            let wire = send.push(Packet::new(0, 1, payload())).pop().unwrap();
+            recv.push(wire).pop().unwrap()
+        })
+    });
+    g.finish();
+}
+
+fn bench_scenario(c: &mut Criterion) {
+    let mut g = c.benchmark_group("video_scenario");
+    g.sample_size(10);
+    let cfg = ScenarioConfig {
+        stream_end: sada_simnet::SimTime::from_millis(800),
+        ..ScenarioConfig::default()
+    };
+    g.bench_function("safe_adaptation_800ms_stream", |b| {
+        b.iter(|| {
+            let r = run_video_scenario(&cfg, Strategy::Safe);
+            assert_eq!(r.corrupted_packets(), 0);
+            r
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_ciphers, bench_filters, bench_chain, bench_scenario);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Detection-and-setup phase costs: SAG construction (Figure 4), Dijkstra
+//! MAP (Section 5.1), Yen's ranked alternatives (failure ladder), and the
+//! lazy partial-exploration heuristic (Section 7 future work).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sada_bench::carousel_system;
+use sada_core::casestudy::case_study;
+use sada_expr::enumerate;
+use sada_plan::{lazy, Sag};
+
+fn bench_case_study_planning(c: &mut Criterion) {
+    let cs = case_study();
+    let safe = cs.spec.safe_configs();
+    let actions = cs.spec.actions().to_vec();
+    let sag = Sag::build(safe.clone(), &actions);
+    let mut g = c.benchmark_group("case_study_planning");
+    g.bench_function("fig4_sag_build", |b| {
+        b.iter(|| {
+            let s = Sag::build(safe.clone(), &actions);
+            assert_eq!(s.node_count(), 8);
+            s
+        })
+    });
+    g.bench_function("map_dijkstra", |b| {
+        b.iter(|| {
+            let p = sag.shortest_path(&cs.source, &cs.target).unwrap();
+            assert_eq!(p.cost, 50);
+            p
+        })
+    });
+    g.bench_function("yen_k4", |b| {
+        b.iter(|| sag.k_shortest_paths(&cs.source, &cs.target, 4))
+    });
+    g.bench_function("map_lazy", |b| {
+        b.iter(|| {
+            let p = lazy::plan(cs.spec.invariants(), &actions, &cs.source, &cs.target).unwrap();
+            assert_eq!(p.cost, 50);
+            p
+        })
+    });
+    g.bench_function("end_to_end_setup_phase", |b| {
+        // Enumerate + build + plan, as the manager would on a request.
+        b.iter(|| {
+            let safe = cs.spec.safe_configs();
+            let sag = Sag::build(safe, &actions);
+            sag.shortest_path(&cs.source, &cs.target).unwrap()
+        })
+    });
+    g.finish();
+}
+
+fn bench_planning_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("planning_scaling");
+    g.sample_size(10);
+    for n in [8usize, 16, 32, 64] {
+        let (u, inv, actions) = carousel_system(n);
+        let safe = enumerate::safe_configs(&u, &inv);
+        let sag = Sag::build(safe.clone(), &actions);
+        let from = u.config_of(&["C0"]);
+        let to = u.config_of(&[&format!("C{}", n - 1)]);
+        g.bench_with_input(BenchmarkId::new("sag_build", n), &n, |b, _| {
+            b.iter(|| Sag::build(safe.clone(), &actions))
+        });
+        g.bench_with_input(BenchmarkId::new("dijkstra", n), &n, |b, _| {
+            b.iter(|| sag.shortest_path(&from, &to).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("lazy", n), &n, |b, _| {
+            b.iter(|| lazy::plan(&inv, &actions, &from, &to).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("astar", n), &n, |b, _| {
+            b.iter(|| lazy::plan_astar(&inv, &actions, &from, &to).0.unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_case_study_planning, bench_planning_scaling);
+criterion_main!(benches);

@@ -1,0 +1,96 @@
+//! Realization-phase costs: full simulated adaptation runs of the case
+//! study (Table 2's cost classes realized as protocol latency) and the
+//! failure-handling overhead under message loss.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sada_core::casestudy::case_study;
+use sada_core::{run_adaptation, RunConfig};
+use sada_simnet::{LinkConfig, SimDuration};
+
+fn bench_adaptation_run(c: &mut Criterion) {
+    let cs = case_study();
+    let mut g = c.benchmark_group("protocol_run");
+    g.sample_size(20);
+    g.bench_function("case_study_map_5_steps", |b| {
+        b.iter(|| {
+            let r = run_adaptation(&cs.spec, &cs.source, &cs.target, &RunConfig::default());
+            assert!(r.outcome.success);
+            r
+        })
+    });
+    g.bench_function("single_step_a2", |b| {
+        // Source -> one hop (A2 alone): {D4,D1,E1} -> {D4,D2,E1}.
+        let u = cs.spec.universe();
+        let mid = u.config_of(&["D4", "D2", "E1"]);
+        b.iter(|| {
+            let r = run_adaptation(&cs.spec, &cs.source, &mid, &RunConfig::default());
+            assert!(r.outcome.success);
+            r
+        })
+    });
+    g.finish();
+}
+
+fn bench_failure_overhead(c: &mut Criterion) {
+    let cs = case_study();
+    let mut g = c.benchmark_group("protocol_loss_overhead");
+    g.sample_size(10);
+    for loss_pct in [0u32, 10, 20, 30] {
+        g.bench_with_input(BenchmarkId::from_parameter(loss_pct), &loss_pct, |b, &p| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                let cfg = RunConfig {
+                    seed,
+                    link: LinkConfig::lossy(SimDuration::from_millis(1), f64::from(p) / 100.0),
+                    ..RunConfig::default()
+                };
+                run_adaptation(&cs.spec, &cs.source, &cs.target, &cfg)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_rollback_path(c: &mut Criterion) {
+    let cs = case_study();
+    let mut g = c.benchmark_group("protocol_failure_ladder");
+    g.sample_size(10);
+    g.bench_function("fail_to_reset_full_ladder", |b| {
+        b.iter(|| {
+            let cfg = RunConfig { fail_to_reset: vec![1], ..RunConfig::default() };
+            let r = run_adaptation(&cs.spec, &cs.source, &cs.target, &cfg);
+            assert!(!r.outcome.success);
+            r
+        })
+    });
+    g.finish();
+}
+
+fn bench_barrier_width(c: &mut Criterion) {
+    // How coordination cost scales with the number of participating
+    // processes in a single distributed step (the paper's adapt-done
+    // barrier).
+    let mut g = c.benchmark_group("protocol_barrier_width");
+    g.sample_size(10);
+    for k in [2usize, 4, 8, 16] {
+        let (spec, source, target) = sada_bench::wide_step_spec(k);
+        g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
+            b.iter(|| {
+                let r = run_adaptation(&spec, &source, &target, &RunConfig::default());
+                assert!(r.outcome.success);
+                r
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_adaptation_run,
+    bench_failure_overhead,
+    bench_rollback_path,
+    bench_barrier_width
+);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Temporal-monitoring throughput: ptLTL steps per second and obligation
+//! tracking under the safe-state detector — the runtime cost of Section 7's
+//! automatic safe-state identification.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use sada_tl::{parse_formula, Monitor, ObligationEvent, ResponseSpec, SafeStateMonitor};
+
+fn bench_monitor(c: &mut Criterion) {
+    let formula = parse_formula(
+        "historically ((send => once ready) & (!err since reset)) | once (panic & yesterday warn)",
+    )
+    .unwrap();
+    let mut g = c.benchmark_group("temporal");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("ptltl_step", |b| {
+        let mut m = Monitor::new(formula.clone());
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let props = ["send", "ready", "reset"];
+            let pick = props[(i % 3) as usize];
+            m.step(&|p| p == pick)
+        })
+    });
+    g.bench_function("safe_state_step_with_obligations", |b| {
+        let mut m = SafeStateMonitor::new(
+            sada_tl::Formula::Const(true),
+            vec![ResponseSpec::new("seg", "start", "end")],
+        );
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let evs = if i % 2 == 0 {
+                vec![ObligationEvent::new("start", i)]
+            } else {
+                vec![ObligationEvent::new("end", i - 1)]
+            };
+            m.step(&evs, &|_| false)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_monitor);
+criterion_main!(benches);

@@ -1,0 +1,167 @@
+//! Shared workload generators for the benchmark harness and the
+//! table/figure report binary.
+
+use std::collections::HashSet;
+
+use sada_core::AdaptationSpec;
+use sada_expr::{InvariantSet, Universe};
+use sada_model::SystemModel;
+use sada_plan::Action;
+
+/// A system of `k` independent old/new component pairs (each guarded by a
+/// `one_of` invariant) with one replacement action per pair. Safe
+/// configuration count is `2^k`; useful for scaling sweeps.
+pub fn paired_system(k: usize) -> (Universe, InvariantSet, Vec<Action>) {
+    let mut u = Universe::new();
+    for i in 0..k {
+        u.intern(&format!("Old{i}"));
+        u.intern(&format!("New{i}"));
+    }
+    let srcs: Vec<String> = (0..k).map(|i| format!("one_of(Old{i}, New{i})")).collect();
+    let refs: Vec<&str> = srcs.iter().map(String::as_str).collect();
+    let inv = InvariantSet::parse(&refs, &mut u).expect("generated invariants parse");
+    let actions = (0..k)
+        .map(|i| {
+            Action::replace(
+                i as u32,
+                &format!("Old{i}->New{i}"),
+                &u.config_of(&[&format!("Old{i}")]),
+                &u.config_of(&[&format!("New{i}")]),
+                10,
+            )
+        })
+        .collect();
+    (u, inv, actions)
+}
+
+/// A "carousel" system: `n` mutually-exclusive components with a
+/// replacement action between every ordered pair (cost = distance). Safe
+/// configurations: the `n` singletons; the SAG is a dense digraph.
+pub fn carousel_system(n: usize) -> (Universe, InvariantSet, Vec<Action>) {
+    let mut u = Universe::new();
+    for i in 0..n {
+        u.intern(&format!("C{i}"));
+    }
+    let names: Vec<String> = (0..n).map(|i| format!("C{i}")).collect();
+    let joined = names.join(", ");
+    let inv = InvariantSet::parse(&[&format!("one_of({joined})")], &mut u).unwrap();
+    let mut actions = Vec::new();
+    let mut id = 0;
+    for a in 0..n {
+        for b in 0..n {
+            if a != b {
+                let cost = (a as i64 - b as i64).unsigned_abs();
+                actions.push(Action::replace(
+                    id,
+                    &format!("C{a}->C{b}"),
+                    &u.config_of(&[&format!("C{a}")]),
+                    &u.config_of(&[&format!("C{b}")]),
+                    cost,
+                ));
+                id += 1;
+            }
+        }
+    }
+    (u, inv, actions)
+}
+
+/// Wraps a generated system into a runnable [`AdaptationSpec`] with all
+/// components on one process (protocol benches that need multi-process
+/// deployments use the case study instead).
+pub fn single_process_spec(u: Universe, inv: InvariantSet, actions: Vec<Action>) -> AdaptationSpec {
+    let mut model = SystemModel::new();
+    let p = model.add_process("host");
+    for id in u.iter() {
+        model.place(id, p);
+    }
+    AdaptationSpec::new(u, inv, actions, model, vec![0], HashSet::new())
+}
+
+/// A `k`-process system whose single adaptive action replaces one
+/// component on *every* process simultaneously — the widest possible
+/// barrier for the realization protocol (one agent per process).
+pub fn wide_step_spec(k: usize) -> (AdaptationSpec, sada_expr::Config, sada_expr::Config) {
+    let mut u = Universe::new();
+    for i in 0..k {
+        u.intern(&format!("Old{i}"));
+        u.intern(&format!("New{i}"));
+    }
+    let srcs: Vec<String> = (0..k).map(|i| format!("one_of(Old{i}, New{i})")).collect();
+    let refs: Vec<&str> = srcs.iter().map(String::as_str).collect();
+    let inv = InvariantSet::parse(&refs, &mut u).expect("invariants parse");
+    let mut removes = u.empty_config();
+    let mut adds = u.empty_config();
+    for i in 0..k {
+        removes.insert(u.id(&format!("Old{i}")).unwrap());
+        adds.insert(u.id(&format!("New{i}")).unwrap());
+    }
+    let action = Action::replace(0, "upgrade-everything", &removes, &adds, 100);
+    let mut model = SystemModel::new();
+    for i in 0..k {
+        let p = model.add_process(&format!("proc{i}"));
+        model.place(u.id(&format!("Old{i}")).unwrap(), p);
+        model.place(u.id(&format!("New{i}")).unwrap(), p);
+    }
+    let spec = AdaptationSpec::new(
+        u,
+        inv,
+        vec![action],
+        model,
+        (0..k).collect(),
+        HashSet::new(),
+    );
+    let u = spec.universe();
+    let mut source = u.empty_config();
+    let mut target = u.empty_config();
+    for i in 0..k {
+        source.insert(u.id(&format!("Old{i}")).unwrap());
+        target.insert(u.id(&format!("New{i}")).unwrap());
+    }
+    (spec, source, target)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sada_expr::enumerate;
+
+    #[test]
+    fn paired_system_scales_as_two_to_the_k() {
+        for k in [1usize, 3, 5] {
+            let (u, inv, actions) = paired_system(k);
+            assert_eq!(u.len(), 2 * k);
+            assert_eq!(actions.len(), k);
+            assert_eq!(enumerate::safe_configs(&u, &inv).len(), 1 << k);
+        }
+    }
+
+    #[test]
+    fn carousel_has_n_singletons_and_dense_arcs() {
+        let (u, inv, actions) = carousel_system(5);
+        let safe = enumerate::safe_configs(&u, &inv);
+        assert_eq!(safe.len(), 5);
+        assert_eq!(actions.len(), 20);
+        let sag = sada_plan::Sag::build(safe, &actions);
+        assert_eq!(sag.edge_count(), 20);
+    }
+
+    #[test]
+    fn wide_step_runs_one_barrier_across_all_agents() {
+        let (spec, source, target) = wide_step_spec(6);
+        let report = sada_core::run_adaptation(&spec, &source, &target, &sada_core::RunConfig::default());
+        assert!(report.outcome.success);
+        assert_eq!(report.outcome.steps_committed, 1);
+        assert_eq!(report.outcome.final_config, target);
+    }
+
+    #[test]
+    fn single_process_spec_plans() {
+        let (u, inv, actions) = carousel_system(4);
+        let spec = single_process_spec(u, inv, actions);
+        let u = spec.universe();
+        let p = spec
+            .minimum_adaptation_path(&u.config_of(&["C0"]), &u.config_of(&["C3"]))
+            .unwrap();
+        assert!(p.cost <= 3, "direct or stepped route, whichever cheaper");
+    }
+}

@@ -1,0 +1,71 @@
+//! Command-line planner: load a spec file, enumerate the safe
+//! configurations, build the SAG, and print the minimum adaptation path.
+//!
+//! ```text
+//! sadaplan <spec-file> [<source> <target> [k]]
+//! ```
+//!
+//! `source`/`target` are bit strings (paper order) or `{A,B,C}` component
+//! lists; `k` asks for the k cheapest paths. Without source/target, prints
+//! the safe-configuration set and SAG only.
+
+use std::process::ExitCode;
+
+use sada_core::specfile::{parse_config_arg, parse_spec_file};
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let path = args.first().ok_or("usage: sadaplan <spec-file> [<source> <target> [k]]")?;
+    let src = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let spec = parse_spec_file(&src).map_err(|e| e.to_string())?;
+    let u = spec.universe();
+
+    println!("components: {}", u.len());
+    println!("actions:    {}", spec.actions().len());
+    let safe = spec.safe_configs();
+    println!("safe configurations ({}):", safe.len());
+    for cfg in &safe {
+        println!("  {}  {}", cfg.to_bit_string(), cfg.to_names(u));
+    }
+    let sag = spec.build_sag();
+    println!("SAG: {} nodes, {} arcs", sag.node_count(), sag.edge_count());
+
+    if args.len() >= 3 {
+        let source = parse_config_arg(u, &args[1])?;
+        let target = parse_config_arg(u, &args[2])?;
+        if !spec.is_safe(&source) {
+            return Err(format!("source {source} is not a safe configuration"));
+        }
+        if !spec.is_safe(&target) {
+            return Err(format!("target {target} is not a safe configuration"));
+        }
+        let k: usize = args.get(3).map(|s| s.parse().map_err(|_| "k must be a number")).transpose()?.unwrap_or(1);
+        let paths = sag.k_shortest_paths(&source, &target, k.max(1));
+        if paths.is_empty() {
+            return Err("no safe adaptation path exists".into());
+        }
+        for (rank, p) in paths.iter().enumerate() {
+            println!("path #{}: {p}", rank + 1);
+            for step in &p.steps {
+                println!(
+                    "    {}  {:<26} {} -> {}",
+                    step.action,
+                    spec.actions()[step.action.index()].name(),
+                    step.from.to_bit_string(),
+                    step.to.to_bit_string()
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,194 @@
+//! Empirical cost calibration.
+//!
+//! Section 4.1 fixes a cost per adaptive action, noting that "factors
+//! affecting cost values include system blocking time, adaptation duration,
+//! delay of packet delivery, resource usage". The paper's Table 2 numbers
+//! came from measurements on the authors' testbed; this module closes the
+//! same loop against *our* testbed: it executes each action as a
+//! single-step adaptation on the simulator, measures the realization
+//! latency, and emits a re-costed action table that planning can use
+//! instead of the hand-assigned values.
+
+use sada_expr::Config;
+use sada_plan::Action;
+use sada_simnet::SimDuration;
+
+use crate::realize::{run_adaptation, RunConfig};
+use crate::spec::AdaptationSpec;
+
+/// One action's measured realization cost.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CalibratedCost {
+    /// The action's index in the spec's table.
+    pub action: usize,
+    /// Realization latency of a single-step adaptation running this action
+    /// (request to completion, simulated time).
+    pub latency: SimDuration,
+    /// Protocol messages used.
+    pub messages: u64,
+    /// The safe configuration the measurement started from.
+    pub measured_from: Config,
+}
+
+/// Measures every action that appears on some SAG arc.
+///
+/// For each action, the cheapest-to-find applicable safe configuration is
+/// used as the source and the action's result as the target; the returned
+/// vector is ordered by action index and skips actions with no safe arc
+/// (they can never execute anyway).
+pub fn calibrate(spec: &AdaptationSpec, run: &RunConfig) -> Vec<CalibratedCost> {
+    let safe = spec.safe_configs();
+    let mut out = Vec::new();
+    for (ix, action) in spec.actions().iter().enumerate() {
+        let Some(from) = safe
+            .iter()
+            .find(|cfg| action.applicable(cfg) && spec.is_safe(&action.apply(cfg)))
+        else {
+            continue;
+        };
+        let to = action.apply(from);
+        // Plan restricted to exactly this transition: the MAP from `from`
+        // to `to` may legitimately pick a cheaper multi-step route, so we
+        // measure the action via a single-action spec instead.
+        let single = single_action_spec(spec, ix);
+        let report = run_adaptation(&single, from, &to, run);
+        if report.outcome.success {
+            out.push(CalibratedCost {
+                action: ix,
+                latency: report.finished_at.saturating_since(sada_simnet::SimTime::ZERO),
+                messages: report.messages_sent,
+                measured_from: from.clone(),
+            });
+        }
+    }
+    out
+}
+
+/// Rebuilds the action table with measured costs (in microseconds of
+/// realization latency), preserving names and effects.
+pub fn recost_actions(spec: &AdaptationSpec, measurements: &[CalibratedCost]) -> Vec<Action> {
+    spec.actions()
+        .iter()
+        .enumerate()
+        .map(|(ix, a)| {
+            let cost = measurements
+                .iter()
+                .find(|m| m.action == ix)
+                .map(|m| m.latency.as_micros().max(1))
+                .unwrap_or_else(|| a.cost());
+            Action::new(ix as u32, a.name(), a.removes(), a.adds(), cost)
+        })
+        .collect()
+}
+
+fn single_action_spec(spec: &AdaptationSpec, action_ix: usize) -> AdaptationSpec {
+    let a = &spec.actions()[action_ix];
+    let renumbered = Action::new(0, a.name(), a.removes(), a.adds(), a.cost());
+    let drain = if spec.drain_actions().contains(&a.id()) {
+        [sada_plan::ActionId(0)].into()
+    } else {
+        std::collections::HashSet::new()
+    };
+    AdaptationSpec::new(
+        spec.universe().clone(),
+        spec.invariants().clone(),
+        vec![renumbered],
+        spec.model().clone(),
+        (0..spec.model().process_count()).collect(),
+        drain,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::casestudy::case_study;
+
+    #[test]
+    fn calibration_covers_every_sag_action() {
+        let cs = case_study();
+        let costs = calibrate(&cs.spec, &RunConfig::default());
+        // Actions that appear on SAG arcs (A1, A2, A4, A6..A9, A13..A17).
+        let measured: Vec<usize> = costs.iter().map(|c| c.action).collect();
+        for expect in [0usize, 1, 3, 5, 6, 7, 8, 12, 13, 14, 15, 16] {
+            assert!(measured.contains(&expect), "action index {expect} unmeasured");
+        }
+        // A3, A5, A10..A12 never connect two safe configurations.
+        for absent in [2usize, 4, 9, 10, 11] {
+            assert!(!measured.contains(&absent), "action index {absent} has no safe arc");
+        }
+    }
+
+    #[test]
+    fn measured_costs_reproduce_table2_ordering() {
+        let cs = case_study();
+        let costs = calibrate(&cs.spec, &RunConfig::default());
+        let latency_of = |ix: usize| {
+            costs
+                .iter()
+                .find(|c| c.action == ix)
+                .map(|c| c.latency)
+                .expect("measured")
+        };
+        // Singles (A1, A2) are cheap; drain-requiring compounds (A13 = ix 12)
+        // cost more — the ordering Table 2 asserts.
+        let single = latency_of(0).max(latency_of(1));
+        let triple = latency_of(12);
+        assert!(
+            triple > single,
+            "compound ({triple}) must out-cost single ({single})"
+        );
+    }
+
+    #[test]
+    fn recost_preserves_semantics_and_uses_measurements() {
+        let cs = case_study();
+        let costs = calibrate(&cs.spec, &RunConfig::default());
+        let recosted = recost_actions(&cs.spec, &costs);
+        assert_eq!(recosted.len(), cs.spec.actions().len());
+        for (orig, new) in cs.spec.actions().iter().zip(&recosted) {
+            assert_eq!(orig.removes(), new.removes());
+            assert_eq!(orig.adds(), new.adds());
+            assert_eq!(orig.name(), new.name());
+        }
+        // Measured actions got measured costs.
+        let first = costs.first().expect("some measurement");
+        assert_eq!(recosted[first.action].cost(), first.latency.as_micros().max(1));
+        // Unmeasurable actions keep their paper costs.
+        assert_eq!(recosted[2].cost(), cs.spec.actions()[2].cost());
+    }
+
+    #[test]
+    fn replanning_with_measured_costs_exposes_the_metric_choice() {
+        // A deliberately interesting negative result: when the cost metric
+        // is end-to-end *realization latency*, the direct compound action
+        // A14 (one coordination round, one drain) beats the paper's
+        // five-step MAP (five coordination rounds), so the re-costed
+        // planner picks it. Table 2's preference for fine-grained steps
+        // reflects a *per-process blocking / packet delay* metric instead —
+        // the solo steps never stall the stream, while the compound blocks
+        // all three processes at once. Both plans are safe; which is
+        // "minimum" depends on which of Section 4.1's cost factors the
+        // operator optimizes.
+        let cs = case_study();
+        let costs = calibrate(&cs.spec, &RunConfig::default());
+        let recosted = recost_actions(&cs.spec, &costs);
+        let sag = sada_plan::Sag::build(cs.spec.safe_configs(), &recosted);
+        let map = sag.shortest_path(&cs.source, &cs.target).expect("path");
+        assert!(map.is_well_formed());
+        let latency_map: u64 = map.cost;
+        // The paper's original (packet-delay) MAP is still available and
+        // still safe under the measured table; it is just not latency-min.
+        let paper_route: u64 = [1usize, 16, 0, 15, 3]
+            .iter()
+            .map(|&ix| recosted[ix].cost())
+            .sum();
+        assert!(
+            latency_map <= paper_route,
+            "measured-latency MAP ({latency_map}) can't exceed the paper route ({paper_route})"
+        );
+        // And the compound route's win is precisely the coordination rounds
+        // it saves: it uses fewer steps.
+        assert!(map.steps.len() < 5);
+    }
+}

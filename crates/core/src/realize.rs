@@ -1,0 +1,160 @@
+//! Realization-phase harness: run a planned adaptation on the simulated
+//! network with scripted agents.
+//!
+//! This is the generic driver used by examples and benches when the real
+//! application (the video system) is not needed: one [`ManagerActor`] plus
+//! one [`ScriptedAgent`] per process, wired over configurable links.
+
+use sada_expr::Config;
+use sada_proto::{AgentTiming, ManagerActor, Outcome, ProtoTiming, ScriptedAgent, Wire};
+use sada_simnet::{ActorId, LinkConfig, SimTime, Simulator};
+
+use crate::spec::AdaptationSpec;
+
+/// Knobs for a simulated adaptation run.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// RNG seed (runs are reproducible per seed).
+    pub seed: u64,
+    /// Manager policy.
+    pub timing: ProtoTiming,
+    /// Local operation delays applied to every agent.
+    pub agent_timing: AgentTiming,
+    /// Link used between the manager and every agent (both directions).
+    pub link: LinkConfig,
+    /// Processes (by index) that exhibit fail-to-reset.
+    pub fail_to_reset: Vec<usize>,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            seed: 0,
+            timing: ProtoTiming::default(),
+            agent_timing: AgentTiming::default(),
+            link: LinkConfig::default(),
+            fail_to_reset: Vec::new(),
+        }
+    }
+}
+
+/// What a simulated adaptation run produced.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// The manager's final outcome.
+    pub outcome: Outcome,
+    /// Virtual time at which the simulation quiesced.
+    pub finished_at: SimTime,
+    /// Total protocol messages put on the wire.
+    pub messages_sent: u64,
+    /// Messages lost to the network.
+    pub messages_dropped: u64,
+    /// The manager's progress log.
+    pub infos: Vec<String>,
+}
+
+/// Plans and executes `source → target` for `spec` on a fresh simulation.
+///
+/// # Panics
+///
+/// Panics if the simulation quiesces without the manager reporting an
+/// outcome (which would indicate a protocol deadlock — the tests treat that
+/// as a failure by design).
+pub fn run_adaptation(spec: &AdaptationSpec, source: &Config, target: &Config, cfg: &RunConfig) -> RunReport {
+    let mut sim: Simulator<Wire<()>> = Simulator::new(cfg.seed);
+    let n_proc = spec.model().process_count();
+    let manager_id = ActorId::from_index(n_proc); // agents registered first
+    let mut agents = Vec::with_capacity(n_proc);
+    for p in 0..n_proc {
+        let mut agent = ScriptedAgent::new(manager_id, cfg.agent_timing);
+        agent.fail_to_reset = cfg.fail_to_reset.contains(&p);
+        agents.push(sim.add_actor(&format!("agent-{p}"), agent));
+    }
+    let manager = sim.add_actor(
+        "manager",
+        ManagerActor::<()>::new(
+            cfg.timing,
+            Box::new(spec.runtime_planner()),
+            agents.clone(),
+            source.clone(),
+            target.clone(),
+        ),
+    );
+    debug_assert_eq!(manager, manager_id);
+    for &a in &agents {
+        sim.set_link(manager, a, cfg.link);
+        sim.set_link(a, manager, cfg.link);
+    }
+    sim.run();
+    let m = sim.actor::<ManagerActor<()>>(manager).expect("manager actor");
+    RunReport {
+        outcome: m.outcome.clone().expect("manager must resolve every request"),
+        finished_at: m.completed_at.unwrap_or_else(|| sim.now()),
+        messages_sent: sim.stats().sent,
+        messages_dropped: sim.stats().dropped,
+        infos: m.infos.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::casestudy::{case_study, PAPER_MAP_COST};
+    use sada_simnet::SimDuration;
+
+    #[test]
+    fn case_study_adaptation_succeeds_end_to_end() {
+        let cs = case_study();
+        let report = run_adaptation(&cs.spec, &cs.source, &cs.target, &RunConfig::default());
+        assert!(report.outcome.success, "{:?}", report.infos);
+        assert_eq!(report.outcome.final_config, cs.target);
+        assert_eq!(report.outcome.steps_committed, 5, "the five MAP steps");
+        assert!(report.outcome.warnings.is_empty());
+        let _ = PAPER_MAP_COST;
+    }
+
+    #[test]
+    fn case_study_with_loss_still_lands_safe() {
+        let cs = case_study();
+        for seed in 0..4 {
+            let cfg = RunConfig {
+                seed,
+                link: LinkConfig::lossy(SimDuration::from_millis(1), 0.2),
+                ..RunConfig::default()
+            };
+            let report = run_adaptation(&cs.spec, &cs.source, &cs.target, &cfg);
+            assert!(
+                cs.spec.is_safe(&report.outcome.final_config),
+                "seed {seed} landed unsafe: {}",
+                report.outcome.final_config
+            );
+        }
+    }
+
+    #[test]
+    fn fail_to_reset_on_handheld_strands_safely() {
+        let cs = case_study();
+        let cfg = RunConfig { fail_to_reset: vec![1], ..RunConfig::default() };
+        let report = run_adaptation(&cs.spec, &cs.source, &cs.target, &cfg);
+        // Every path from source to target goes through a hand-held action
+        // (the decoder must change), so the adaptation cannot succeed.
+        assert!(!report.outcome.success);
+        // It may abort cleanly at the source, or — after committing +D5 on
+        // the laptop, for which Table 2 provides no inverse — give up at a
+        // safe intermediate configuration and wait for the user (ladder
+        // rung 4). Either way the system is never left unsafe.
+        assert!(cs.spec.is_safe(&report.outcome.final_config));
+        if report.outcome.final_config != cs.source {
+            assert!(report.outcome.gave_up, "stranded => explicit user-wait state");
+        }
+    }
+
+    #[test]
+    fn laptop_failure_also_aborts() {
+        let cs = case_study();
+        let cfg = RunConfig { fail_to_reset: vec![2], ..RunConfig::default() };
+        let report = run_adaptation(&cs.spec, &cs.source, &cs.target, &cfg);
+        assert!(!report.outcome.success);
+        assert!(cs.spec.is_safe(&report.outcome.final_config));
+    }
+}

@@ -1,0 +1,156 @@
+//! Byte-stream codecs over the block ciphers: padding, ECB framing, and
+//! decode-failure detection.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::des::BlockCipher;
+
+/// Why a ciphertext could not be decoded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// Ciphertext length is not a whole number of blocks.
+    Truncated {
+        /// Observed length in bytes.
+        len: usize,
+    },
+    /// Padding bytes were inconsistent after decryption — the symptom a
+    /// receiver sees when a packet is decrypted with the wrong cipher
+    /// (exactly what the paper's *unsafe* adaptation produces).
+    BadPadding,
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Truncated { len } => {
+                write!(f, "ciphertext length {len} is not a multiple of the block size")
+            }
+            CodecError::BadPadding => f.write_str("invalid padding after decryption"),
+        }
+    }
+}
+
+impl Error for CodecError {}
+
+fn block_to_bytes(b: u64) -> [u8; 8] {
+    b.to_be_bytes()
+}
+
+fn bytes_to_block(bytes: &[u8]) -> u64 {
+    let mut buf = [0u8; 8];
+    buf.copy_from_slice(bytes);
+    u64::from_be_bytes(buf)
+}
+
+/// Encrypts `plain` with PKCS#7-style padding and ECB block chaining.
+///
+/// Output length is always a non-zero multiple of 8 bytes; even an empty
+/// payload gains one full padding block, so every encryption is reversible.
+pub fn encrypt_bytes<C: BlockCipher>(cipher: &C, plain: &[u8]) -> Vec<u8> {
+    let pad = 8 - (plain.len() % 8);
+    let mut buf = Vec::with_capacity(plain.len() + pad);
+    buf.extend_from_slice(plain);
+    buf.extend(std::iter::repeat(pad as u8).take(pad));
+    let mut out = Vec::with_capacity(buf.len());
+    for chunk in buf.chunks_exact(8) {
+        out.extend_from_slice(&block_to_bytes(cipher.encrypt_block(bytes_to_block(chunk))));
+    }
+    out
+}
+
+/// Decrypts and unpads a ciphertext produced by [`encrypt_bytes`].
+///
+/// # Errors
+///
+/// * [`CodecError::Truncated`] if the length is not a positive multiple of 8.
+/// * [`CodecError::BadPadding`] if the padding is inconsistent — the typical
+///   result of decrypting with a mismatched cipher or key.
+pub fn decrypt_bytes<C: BlockCipher>(cipher: &C, ct: &[u8]) -> Result<Vec<u8>, CodecError> {
+    if ct.is_empty() || ct.len() % 8 != 0 {
+        return Err(CodecError::Truncated { len: ct.len() });
+    }
+    let mut out = Vec::with_capacity(ct.len());
+    for chunk in ct.chunks_exact(8) {
+        out.extend_from_slice(&block_to_bytes(cipher.decrypt_block(bytes_to_block(chunk))));
+    }
+    let pad = *out.last().expect("non-empty") as usize;
+    if pad == 0 || pad > 8 || pad > out.len() {
+        return Err(CodecError::BadPadding);
+    }
+    if !out[out.len() - pad..].iter().all(|&b| b == pad as u8) {
+        return Err(CodecError::BadPadding);
+    }
+    out.truncate(out.len() - pad);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::des::{Des, Des128};
+
+    #[test]
+    fn round_trip_various_lengths() {
+        let des = Des::new(0x133457799BBCDFF1);
+        for len in [0usize, 1, 7, 8, 9, 15, 16, 100, 1000] {
+            let plain: Vec<u8> = (0..len).map(|i| (i * 31 % 251) as u8).collect();
+            let ct = encrypt_bytes(&des, &plain);
+            assert_eq!(ct.len() % 8, 0);
+            assert!(ct.len() > plain.len(), "padding always adds bytes");
+            assert_eq!(decrypt_bytes(&des, &ct).unwrap(), plain, "len {len}");
+        }
+    }
+
+    #[test]
+    fn wrong_cipher_is_detected_with_high_probability() {
+        let des = Des::new(0x133457799BBCDFF1);
+        let des128 = Des128::new(0x133457799BBCDFF1, 0x0E329232EA6D0D73);
+        let mut detected = 0;
+        let trials: u32 = 100;
+        for i in 0..trials {
+            let plain: Vec<u8> = (0..64u8).map(|b| b.wrapping_mul(i as u8 + 1)).collect();
+            let ct = encrypt_bytes(&des, &plain);
+            match decrypt_bytes(&des128, &ct) {
+                Err(CodecError::BadPadding) => detected += 1,
+                Err(_) => detected += 1,
+                Ok(garbage) => assert_ne!(garbage, plain, "must not silently succeed"),
+            }
+        }
+        assert!(detected > trials * 9 / 10, "only {detected}/{trials} detected");
+    }
+
+    #[test]
+    fn truncated_ciphertext_rejected() {
+        let des = Des::new(1);
+        assert_eq!(decrypt_bytes(&des, &[]).unwrap_err(), CodecError::Truncated { len: 0 });
+        assert_eq!(decrypt_bytes(&des, &[1, 2, 3]).unwrap_err(), CodecError::Truncated { len: 3 });
+    }
+
+    #[test]
+    fn tampered_last_block_rejected_or_corrupted() {
+        let des = Des::new(0xABCDEF0123456789);
+        let plain = b"the adaptation manager sends reset".to_vec();
+        let mut ct = encrypt_bytes(&des, &plain);
+        let last = ct.len() - 1;
+        ct[last] ^= 0xFF;
+        match decrypt_bytes(&des, &ct) {
+            Err(_) => {}
+            Ok(got) => assert_ne!(got, plain),
+        }
+    }
+
+    #[test]
+    fn empty_payload_round_trips() {
+        let c = Des128::new(7, 9);
+        let ct = encrypt_bytes(&c, b"");
+        assert_eq!(ct.len(), 8, "one full padding block");
+        assert_eq!(decrypt_bytes(&c, &ct).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn errors_display_readably() {
+        assert!(CodecError::Truncated { len: 3 }.to_string().contains("3"));
+        assert!(CodecError::BadPadding.to_string().contains("padding"));
+    }
+}

@@ -1,0 +1,34 @@
+//! # sada-des — DES and two-key triple DES, from scratch
+//!
+//! The DSN 2004 case study hardens a video multicast stream from "DES
+//! 64-bit" to "DES 128-bit" encoding at runtime. To make *unsafe* adaptation
+//! observable (garbled packets when an encoder is swapped mid-stream without
+//! its decoder), this crate implements the actual ciphers rather than
+//! stubbing them:
+//!
+//! * [`Des`] — FIPS 46-3 single DES, validated against published
+//!   known-answer vectors.
+//! * [`Des128`] — two-key EDE triple DES (112-bit keying), the "DES 128-bit"
+//!   codec.
+//! * [`encrypt_bytes`] / [`decrypt_bytes`] — padding + ECB framing with
+//!   explicit decode errors, so a mismatched cipher surfaces as
+//!   [`CodecError::BadPadding`] instead of silent corruption.
+//!
+//! ```
+//! use sada_des::{Des, Des128, encrypt_bytes, decrypt_bytes};
+//!
+//! let des = Des::new(0x133457799BBCDFF1);
+//! let ct = encrypt_bytes(&des, b"frame 42");
+//! assert_eq!(decrypt_bytes(&des, &ct).unwrap(), b"frame 42");
+//!
+//! // Decoding with the wrong cipher fails loudly, not silently.
+//! let wrong = Des128::new(0x133457799BBCDFF1, 0x0E329232EA6D0D73);
+//! assert!(decrypt_bytes(&wrong, &ct).is_err());
+//! ```
+
+mod codec;
+mod des;
+mod tables;
+
+pub use codec::{decrypt_bytes, encrypt_bytes, CodecError};
+pub use des::{BlockCipher, Des, Des128};

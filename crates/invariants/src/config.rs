@@ -1,0 +1,360 @@
+//! Component universes and configuration bit vectors.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// A component identity: a dense index into a [`Universe`].
+///
+/// The paper names components `E1`, `E2`, `D1`…`D5`; ids keep configurations
+/// as cheap bitsets instead of string sets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CompId(pub(crate) u32);
+
+impl CompId {
+    /// Dense index of the component within its universe.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds an id from a raw index (for table-driven tests).
+    pub const fn from_index(ix: usize) -> Self {
+        CompId(ix as u32)
+    }
+}
+
+/// Interns component names to [`CompId`]s.
+///
+/// Registration order defines bit positions in [`Config`] bit strings, so the
+/// case-study module registers `E1, E2, D1, D2, D3, D4, D5` to reproduce the
+/// paper's `(D5,D4,D3,D2,D1,E2,E1)` vectors exactly.
+#[derive(Debug, Clone, Default)]
+pub struct Universe {
+    names: Vec<String>,
+    index: HashMap<String, CompId>,
+}
+
+impl Universe {
+    /// An empty universe.
+    pub fn new() -> Self {
+        Universe::default()
+    }
+
+    /// Interns `name`, returning the existing id if already present.
+    pub fn intern(&mut self, name: &str) -> CompId {
+        if let Some(&id) = self.index.get(name) {
+            return id;
+        }
+        let id = CompId(self.names.len() as u32);
+        self.names.push(name.to_string());
+        self.index.insert(name.to_string(), id);
+        id
+    }
+
+    /// Looks a name up without interning.
+    pub fn id(&self, name: &str) -> Option<CompId> {
+        self.index.get(name).copied()
+    }
+
+    /// The name registered for `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this universe.
+    pub fn name(&self, id: CompId) -> &str {
+        &self.names[id.index()]
+    }
+
+    /// Number of registered components.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True when no components are registered.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates ids in registration order.
+    pub fn iter(&self) -> impl Iterator<Item = CompId> + '_ {
+        (0..self.names.len()).map(|ix| CompId(ix as u32))
+    }
+
+    /// An empty configuration sized for this universe.
+    pub fn empty_config(&self) -> Config {
+        Config::empty(self.len())
+    }
+
+    /// Builds a configuration from component names.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any name is unknown.
+    pub fn config_of(&self, names: &[&str]) -> Config {
+        let mut cfg = self.empty_config();
+        for n in names {
+            let id = self
+                .id(n)
+                .unwrap_or_else(|| panic!("unknown component {n:?}"));
+            cfg.insert(id);
+        }
+        cfg
+    }
+
+    /// Parses a paper-style bit string (most-significant component first,
+    /// i.e. the *last* registered component is the leftmost bit).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the string length differs from the universe size or
+    /// contains characters other than `0`/`1`.
+    pub fn config_from_bits(&self, bits: &str) -> Config {
+        assert_eq!(bits.len(), self.len(), "bit string width mismatch");
+        let mut cfg = self.empty_config();
+        for (pos, ch) in bits.chars().enumerate() {
+            let ix = self.len() - 1 - pos;
+            match ch {
+                '1' => cfg.insert(CompId(ix as u32)),
+                '0' => {}
+                other => panic!("invalid bit {other:?}"),
+            }
+        }
+        cfg
+    }
+}
+
+/// A system configuration: the set of components currently composed into the
+/// running system (Section 3.1's bit vector).
+///
+/// Configurations are fixed-width bitsets; all set operations require both
+/// operands to come from the same universe (same width).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Config {
+    nbits: usize,
+    words: Vec<u64>,
+}
+
+impl Config {
+    /// The empty configuration over `nbits` components.
+    pub fn empty(nbits: usize) -> Self {
+        Config { nbits, words: vec![0; nbits.div_ceil(64)] }
+    }
+
+    /// Width (number of component slots, not set bits).
+    pub fn width(&self) -> usize {
+        self.nbits
+    }
+
+    /// Adds a component.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range for this configuration's width.
+    pub fn insert(&mut self, id: CompId) {
+        let ix = id.index();
+        assert!(ix < self.nbits, "component {ix} out of range (width {})", self.nbits);
+        self.words[ix / 64] |= 1 << (ix % 64);
+    }
+
+    /// Removes a component (no-op if absent).
+    pub fn remove(&mut self, id: CompId) {
+        let ix = id.index();
+        assert!(ix < self.nbits, "component {ix} out of range (width {})", self.nbits);
+        self.words[ix / 64] &= !(1 << (ix % 64));
+    }
+
+    /// Membership test.
+    pub fn contains(&self, id: CompId) -> bool {
+        let ix = id.index();
+        ix < self.nbits && self.words[ix / 64] & (1 << (ix % 64)) != 0
+    }
+
+    /// Number of components present.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// True when no components are present.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Iterates present components in increasing id order.
+    pub fn iter(&self) -> impl Iterator<Item = CompId> + '_ {
+        (0..self.nbits)
+            .map(CompId::from_index)
+            .filter(move |&id| self.contains(id))
+    }
+
+    fn check_width(&self, other: &Config) {
+        assert_eq!(self.nbits, other.nbits, "configuration width mismatch");
+    }
+
+    /// Set union.
+    pub fn union(&self, other: &Config) -> Config {
+        self.check_width(other);
+        Config {
+            nbits: self.nbits,
+            words: self.words.iter().zip(&other.words).map(|(a, b)| a | b).collect(),
+        }
+    }
+
+    /// Set intersection.
+    pub fn intersection(&self, other: &Config) -> Config {
+        self.check_width(other);
+        Config {
+            nbits: self.nbits,
+            words: self.words.iter().zip(&other.words).map(|(a, b)| a & b).collect(),
+        }
+    }
+
+    /// Set difference (`self \ other`).
+    pub fn difference(&self, other: &Config) -> Config {
+        self.check_width(other);
+        Config {
+            nbits: self.nbits,
+            words: self.words.iter().zip(&other.words).map(|(a, b)| a & !b).collect(),
+        }
+    }
+
+    /// True when every component of `self` is in `other`.
+    pub fn is_subset(&self, other: &Config) -> bool {
+        self.check_width(other);
+        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+    }
+
+    /// True when `self` and `other` share no component.
+    pub fn is_disjoint(&self, other: &Config) -> bool {
+        self.check_width(other);
+        self.words.iter().zip(&other.words).all(|(a, b)| a & b == 0)
+    }
+
+    /// Renders the paper's bit-vector form: last-registered component first.
+    ///
+    /// With the case study's registration order `E1..D5`, this prints exactly
+    /// Table 1's `(D5,D4,D3,D2,D1,E2,E1)` strings such as `0100101`.
+    pub fn to_bit_string(&self) -> String {
+        (0..self.nbits)
+            .rev()
+            .map(|ix| if self.contains(CompId::from_index(ix)) { '1' } else { '0' })
+            .collect()
+    }
+
+    /// Renders the member names, e.g. `{D4,D1,E1}`, using descending-id order
+    /// to match the paper's tables.
+    pub fn to_names(&self, u: &Universe) -> String {
+        let mut parts: Vec<&str> = self.iter().map(|id| u.name(id)).collect();
+        parts.reverse();
+        format!("{{{}}}", parts.join(","))
+    }
+}
+
+impl fmt::Display for Config {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_bit_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn u7() -> Universe {
+        let mut u = Universe::new();
+        for n in ["E1", "E2", "D1", "D2", "D3", "D4", "D5"] {
+            u.intern(n);
+        }
+        u
+    }
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut u = Universe::new();
+        let a = u.intern("A");
+        let a2 = u.intern("A");
+        assert_eq!(a, a2);
+        assert_eq!(u.len(), 1);
+        assert_eq!(u.name(a), "A");
+        assert_eq!(u.id("A"), Some(a));
+        assert_eq!(u.id("B"), None);
+    }
+
+    #[test]
+    fn paper_bit_vector_round_trips() {
+        let u = u7();
+        // Table 1 row 1: 0100101 = {D4, D1, E1}
+        let cfg = u.config_from_bits("0100101");
+        assert_eq!(cfg, u.config_of(&["D4", "D1", "E1"]));
+        assert_eq!(cfg.to_bit_string(), "0100101");
+        assert_eq!(cfg.to_names(&u), "{D4,D1,E1}");
+        assert_eq!(cfg.len(), 3);
+    }
+
+    #[test]
+    fn paper_target_vector() {
+        let u = u7();
+        let cfg = u.config_from_bits("1010010");
+        assert_eq!(cfg, u.config_of(&["D5", "D3", "E2"]));
+    }
+
+    #[test]
+    fn set_algebra() {
+        let u = u7();
+        let a = u.config_of(&["E1", "D1"]);
+        let b = u.config_of(&["E1", "D2"]);
+        assert_eq!(a.union(&b), u.config_of(&["E1", "D1", "D2"]));
+        assert_eq!(a.intersection(&b), u.config_of(&["E1"]));
+        assert_eq!(a.difference(&b), u.config_of(&["D1"]));
+        assert!(u.config_of(&["E1"]).is_subset(&a));
+        assert!(!a.is_subset(&b));
+        assert!(a.is_disjoint(&u.config_of(&["D5"])));
+        assert!(!a.is_disjoint(&b));
+    }
+
+    #[test]
+    fn insert_remove_contains() {
+        let u = u7();
+        let mut c = u.empty_config();
+        let d5 = u.id("D5").unwrap();
+        assert!(!c.contains(d5));
+        c.insert(d5);
+        assert!(c.contains(d5));
+        c.remove(d5);
+        assert!(c.contains(d5) == false && c.is_empty());
+    }
+
+    #[test]
+    fn wide_universe_crosses_word_boundary() {
+        let mut u = Universe::new();
+        let ids: Vec<CompId> = (0..130).map(|i| u.intern(&format!("C{i}"))).collect();
+        let mut c = u.empty_config();
+        c.insert(ids[0]);
+        c.insert(ids[64]);
+        c.insert(ids[129]);
+        assert_eq!(c.len(), 3);
+        assert!(c.contains(ids[64]));
+        let members: Vec<CompId> = c.iter().collect();
+        assert_eq!(members, vec![ids[0], ids[64], ids[129]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn width_mismatch_panics() {
+        let a = Config::empty(3);
+        let b = Config::empty(4);
+        let _ = a.union(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_insert_panics() {
+        let mut c = Config::empty(3);
+        c.insert(CompId::from_index(3));
+    }
+
+    #[test]
+    fn display_matches_bit_string() {
+        let u = u7();
+        let c = u.config_of(&["E2"]);
+        assert_eq!(format!("{c}"), "0000010");
+    }
+}

@@ -1,0 +1,273 @@
+//! Safe-configuration enumeration (the "Construct Safe Configuration Set"
+//! step of the detection and setup phase, Section 4.2).
+//!
+//! Two strategies are provided:
+//!
+//! * [`safe_configs_exhaustive`] — evaluate the invariant conjunction on all
+//!   `2^n` subsets. Simple, and the ground truth the pruned search is tested
+//!   against.
+//! * [`safe_configs`] — depth-first search over components with three-valued
+//!   early termination: a partial assignment whose invariants are already
+//!   [`Tri::False`] prunes the whole subtree. This is the practical
+//!   implementation; the ablation in `bench_enumeration` quantifies the gap.
+//!
+//! Both restrict attention to a *scope*: by default every component of the
+//! universe, but [`safe_configs_scoped`] searches only the components touched
+//! by an adaptation while holding the rest of the configuration fixed —
+//! exactly the paper's observation that "only a small fraction of the graph
+//! is actually related to the given adaptation".
+
+use crate::config::{CompId, Config, Universe};
+use crate::expr::{InvariantSet, PartialAssignment, Tri};
+
+/// Enumerates safe configurations by brute force over the full universe.
+///
+/// Intended for testing and ablation; cost is `Θ(2^n)` invariant
+/// evaluations. Results are sorted (bitset order) and deterministic.
+pub fn safe_configs_exhaustive(u: &Universe, inv: &InvariantSet) -> Vec<Config> {
+    let n = u.len();
+    assert!(n <= 28, "exhaustive enumeration capped at 28 components");
+    let mut out = Vec::new();
+    for bits in 0u64..(1u64 << n) {
+        let mut cfg = Config::empty(n);
+        for ix in 0..n {
+            if bits & (1 << ix) != 0 {
+                cfg.insert(CompId::from_index(ix));
+            }
+        }
+        if inv.satisfied_by(&cfg) {
+            out.push(cfg);
+        }
+    }
+    out.sort();
+    out
+}
+
+/// Enumerates safe configurations with three-valued pruning over the whole
+/// universe.
+///
+/// Equivalent to [`safe_configs_exhaustive`] (property-tested), but skips
+/// any subtree whose partial assignment already falsifies an invariant.
+pub fn safe_configs(u: &Universe, inv: &InvariantSet) -> Vec<Config> {
+    let scope: Vec<CompId> = u.iter().collect();
+    let base = u.empty_config();
+    safe_configs_scoped(u, inv, &scope, &base)
+}
+
+/// Enumerates safe configurations over `scope` only, with every component
+/// outside `scope` fixed to its membership in `base`.
+///
+/// This is the planner's entry point: when an adaptation touches components
+/// `{E1,E2,D1..D5}` of a larger system, the search space is `2^7` regardless
+/// of total system size.
+///
+/// # Panics
+///
+/// Panics if `scope` contains duplicate components.
+pub fn safe_configs_scoped(
+    u: &Universe,
+    inv: &InvariantSet,
+    scope: &[CompId],
+    base: &Config,
+) -> Vec<Config> {
+    let n = u.len();
+    let mut in_scope = Config::empty(n);
+    for &id in scope {
+        assert!(!in_scope.contains(id), "duplicate component in scope");
+        in_scope.insert(id);
+    }
+    // Everything outside scope is decided by `base`.
+    let mut decided = Config::empty(n);
+    for id in u.iter() {
+        if !in_scope.contains(id) {
+            decided.insert(id);
+        }
+    }
+    let mut pa = PartialAssignment::with_fixed(decided, base.clone());
+    let mut out = Vec::new();
+    search(inv, scope, 0, &mut pa, &mut out);
+    out.sort();
+    out
+}
+
+fn search(
+    inv: &InvariantSet,
+    scope: &[CompId],
+    depth: usize,
+    pa: &mut PartialAssignment,
+    out: &mut Vec<Config>,
+) {
+    match inv.eval3(pa) {
+        Tri::False => return,
+        Tri::True if depth == scope.len() => {
+            out.push(pa.as_config().clone());
+            return;
+        }
+        _ => {}
+    }
+    if depth == scope.len() {
+        // Tri::Unknown with nothing left to assign cannot happen (all vars
+        // decided), but guard against invariants mentioning unknown
+        // components outside the universe scope.
+        if inv.eval3(pa) == Tri::True {
+            out.push(pa.as_config().clone());
+        }
+        return;
+    }
+    let id = scope[depth];
+    for present in [false, true] {
+        pa.assign(id, present);
+        search(inv, scope, depth + 1, pa, out);
+    }
+    pa.unassign(id);
+}
+
+/// Counts how many partial assignments the pruned search visits — exposed so
+/// benches and tests can measure pruning effectiveness without timing noise.
+pub fn pruned_search_nodes(u: &Universe, inv: &InvariantSet) -> u64 {
+    fn walk(inv: &InvariantSet, scope: &[CompId], depth: usize, pa: &mut PartialAssignment) -> u64 {
+        let mut nodes = 1;
+        if inv.eval3(pa) == Tri::False || depth == scope.len() {
+            return nodes;
+        }
+        let id = scope[depth];
+        for present in [false, true] {
+            pa.assign(id, present);
+            nodes += walk(inv, scope, depth + 1, pa);
+        }
+        pa.unassign(id);
+        nodes
+    }
+    let scope: Vec<CompId> = u.iter().collect();
+    let mut pa = PartialAssignment::new(u.len());
+    walk(inv, &scope, 0, &mut pa)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+
+    fn universe(names: &[&str]) -> Universe {
+        let mut u = Universe::new();
+        for n in names {
+            u.intern(n);
+        }
+        u
+    }
+
+    #[test]
+    fn unconstrained_universe_is_powerset() {
+        let u = universe(&["A", "B", "C"]);
+        let inv = InvariantSet::new();
+        assert_eq!(safe_configs(&u, &inv).len(), 8);
+        assert_eq!(safe_configs_exhaustive(&u, &inv).len(), 8);
+    }
+
+    #[test]
+    fn contradiction_has_no_safe_configs() {
+        let mut u = universe(&["A"]);
+        let inv = InvariantSet::parse(&["A & !A"], &mut u).unwrap();
+        assert!(safe_configs(&u, &inv).is_empty());
+    }
+
+    #[test]
+    fn pruned_matches_exhaustive_on_paper_style_invariants() {
+        let mut u = universe(&[]);
+        let inv = InvariantSet::parse(
+            &[
+                "one_of(D1, D2, D3)",
+                "one_of(E1, E2)",
+                "E1 => (D1 | D2) & D4",
+                "E2 => (D3 | D2) & D5",
+            ],
+            &mut u,
+        )
+        .unwrap();
+        let a = safe_configs(&u, &inv);
+        let b = safe_configs_exhaustive(&u, &inv);
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+        for cfg in &a {
+            assert!(inv.satisfied_by(cfg));
+        }
+    }
+
+    #[test]
+    fn scoped_enumeration_fixes_outside_components() {
+        let u = universe(&["A", "B", "X"]);
+        let mut u2 = u.clone();
+        let inv = InvariantSet::parse(&["X => A | B"], &mut u2).unwrap();
+        let a = u.id("A").unwrap();
+        let b = u.id("B").unwrap();
+        // X held present outside the scope {A, B}.
+        let base = u.config_of(&["X"]);
+        let safe = safe_configs_scoped(&u2, &inv, &[a, b], &base);
+        // {X}, {X,A}, {X,B}, {X,A,B} minus the one violating X => A|B.
+        assert_eq!(safe.len(), 3);
+        for cfg in &safe {
+            assert!(cfg.contains(u.id("X").unwrap()));
+            assert!(inv.satisfied_by(cfg));
+        }
+    }
+
+    #[test]
+    fn scoped_with_base_absent_differs() {
+        let u = universe(&["A", "X"]);
+        let mut u2 = u.clone();
+        let inv = InvariantSet::parse(&["X | A"], &mut u2).unwrap();
+        let a = u.id("A").unwrap();
+        let no_x = u.empty_config();
+        let safe = safe_configs_scoped(&u2, &inv, &[a], &no_x);
+        assert_eq!(safe.len(), 1, "only {{A}} satisfies X|A when X is absent");
+        assert!(safe[0].contains(a));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate component")]
+    fn duplicate_scope_panics() {
+        let u = universe(&["A"]);
+        let inv = InvariantSet::new();
+        let a = u.id("A").unwrap();
+        let _ = safe_configs_scoped(&u, &inv, &[a, a], &u.empty_config());
+    }
+
+    #[test]
+    fn pruning_visits_fewer_nodes_than_full_tree() {
+        let mut u = universe(&[]);
+        // A false structural invariant on the first components prunes hard.
+        let inv = InvariantSet::parse(&["one_of(C0, C1) & one_of(C2, C3) & one_of(C4, C5)"], &mut u).unwrap();
+        let full_tree: u64 = (1 << (u.len() + 1)) - 1; // complete binary tree
+        let visited = pruned_search_nodes(&u, &inv);
+        assert!(visited < full_tree, "visited {visited} of {full_tree}");
+    }
+
+    #[test]
+    fn results_are_sorted_and_unique() {
+        let u = universe(&["A", "B", "C", "D"]);
+        let inv = InvariantSet::new();
+        let safe = safe_configs(&u, &inv);
+        let mut sorted = safe.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(safe, sorted);
+    }
+
+    #[test]
+    fn invariant_over_subset_leaves_rest_free() {
+        let mut u = universe(&["A", "B", "FREE1", "FREE2"]);
+        let inv = InvariantSet::parse(&["one_of(A, B)"], &mut u).unwrap();
+        let safe = safe_configs(&u, &inv);
+        // exactly-one over {A,B} = 2 choices × 4 free combinations.
+        assert_eq!(safe.len(), 8);
+    }
+
+    #[test]
+    fn builder_constructed_invariants_work_too() {
+        let u = universe(&["A", "B"]);
+        let mut inv = InvariantSet::new();
+        inv.push(Expr::var(u.id("A").unwrap()).implies(Expr::var(u.id("B").unwrap())));
+        let safe = safe_configs(&u, &inv);
+        assert_eq!(safe.len(), 3); // {}, {B}, {A,B}
+    }
+}

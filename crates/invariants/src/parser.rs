@@ -1,0 +1,403 @@
+//! Hand-written lexer and recursive-descent parser for the invariant
+//! language.
+//!
+//! Grammar (loosest binding first):
+//!
+//! ```text
+//! expr    := iff
+//! iff     := implies ( "<=>" implies )*
+//! implies := or ( "=>" or )*          // right-associative
+//! or      := xor ( "|" xor )*
+//! xor     := and ( "^" and )*
+//! and     := unary ( ("&" | ".") unary )*
+//! unary   := "!" unary | atom
+//! atom    := "true" | "false" | IDENT | "(" expr ")"
+//!          | "one_of" "(" expr ("," expr)* ")"
+//! ```
+//!
+//! `.` is accepted as a synonym for `&` because the paper writes conjunction
+//! as `·`; `one_of` is the paper's ⨂ ("exclusively select one from a given
+//! set"); `=>` is the dependency arrow `→`.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::config::Universe;
+use crate::expr::Expr;
+
+/// An error produced while parsing an invariant expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset into the source where the problem was detected.
+    pub at: usize,
+    /// Human-readable description.
+    pub msg: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.at, self.msg)
+    }
+}
+
+impl Error for ParseError {}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tok {
+    Ident(String),
+    LParen,
+    RParen,
+    Comma,
+    Bang,
+    Amp,
+    Pipe,
+    Caret,
+    Arrow,   // =>
+    DArrow,  // <=>
+    True,
+    False,
+    OneOf,
+}
+
+fn lex(src: &str) -> Result<Vec<(usize, Tok)>, ParseError> {
+    let bytes = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '(' => {
+                toks.push((i, Tok::LParen));
+                i += 1;
+            }
+            ')' => {
+                toks.push((i, Tok::RParen));
+                i += 1;
+            }
+            ',' => {
+                toks.push((i, Tok::Comma));
+                i += 1;
+            }
+            '!' => {
+                toks.push((i, Tok::Bang));
+                i += 1;
+            }
+            '&' | '.' => {
+                toks.push((i, Tok::Amp));
+                i += 1;
+            }
+            '|' => {
+                toks.push((i, Tok::Pipe));
+                i += 1;
+            }
+            '^' => {
+                toks.push((i, Tok::Caret));
+                i += 1;
+            }
+            '=' => {
+                if bytes.get(i + 1) == Some(&b'>') {
+                    toks.push((i, Tok::Arrow));
+                    i += 2;
+                } else {
+                    return Err(ParseError { at: i, msg: "expected '=>'".into() });
+                }
+            }
+            '<' => {
+                if src[i..].starts_with("<=>") {
+                    toks.push((i, Tok::DArrow));
+                    i += 3;
+                } else {
+                    return Err(ParseError { at: i, msg: "expected '<=>'".into() });
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len() {
+                    let c = bytes[i] as char;
+                    if c.is_ascii_alphanumeric() || c == '_' {
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let word = &src[start..i];
+                let tok = match word {
+                    "true" => Tok::True,
+                    "false" => Tok::False,
+                    "one_of" => Tok::OneOf,
+                    _ => Tok::Ident(word.to_string()),
+                };
+                toks.push((start, tok));
+            }
+            other => {
+                return Err(ParseError { at: i, msg: format!("unexpected character {other:?}") });
+            }
+        }
+    }
+    Ok(toks)
+}
+
+struct Parser<'a> {
+    toks: Vec<(usize, Tok)>,
+    pos: usize,
+    universe: &'a mut Universe,
+    src_len: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|(_, t)| t)
+    }
+
+    fn here(&self) -> usize {
+        self.toks.get(self.pos).map(|&(at, _)| at).unwrap_or(self.src_len)
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|(_, t)| t.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, want: Tok, what: &str) -> Result<(), ParseError> {
+        let at = self.here();
+        match self.bump() {
+            Some(t) if t == want => Ok(()),
+            other => Err(ParseError { at, msg: format!("expected {what}, found {other:?}") }),
+        }
+    }
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        self.iff()
+    }
+
+    fn iff(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.implies()?;
+        while self.peek() == Some(&Tok::DArrow) {
+            self.bump();
+            let rhs = self.implies()?;
+            lhs = lhs.iff(rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn implies(&mut self) -> Result<Expr, ParseError> {
+        let lhs = self.or()?;
+        if self.peek() == Some(&Tok::Arrow) {
+            self.bump();
+            // Right-associative: a => b => c ≡ a => (b => c).
+            let rhs = self.implies()?;
+            Ok(lhs.implies(rhs))
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    fn or(&mut self) -> Result<Expr, ParseError> {
+        let mut terms = vec![self.xor()?];
+        while self.peek() == Some(&Tok::Pipe) {
+            self.bump();
+            terms.push(self.xor()?);
+        }
+        Ok(if terms.len() == 1 { terms.pop().unwrap() } else { Expr::or(terms) })
+    }
+
+    fn xor(&mut self) -> Result<Expr, ParseError> {
+        let mut terms = vec![self.and()?];
+        while self.peek() == Some(&Tok::Caret) {
+            self.bump();
+            terms.push(self.and()?);
+        }
+        Ok(if terms.len() == 1 { terms.pop().unwrap() } else { Expr::xor(terms) })
+    }
+
+    fn and(&mut self) -> Result<Expr, ParseError> {
+        let mut terms = vec![self.unary()?];
+        while self.peek() == Some(&Tok::Amp) {
+            self.bump();
+            terms.push(self.unary()?);
+        }
+        Ok(if terms.len() == 1 { terms.pop().unwrap() } else { Expr::and(terms) })
+    }
+
+    fn unary(&mut self) -> Result<Expr, ParseError> {
+        if self.peek() == Some(&Tok::Bang) {
+            self.bump();
+            Ok(Expr::not(self.unary()?))
+        } else {
+            self.atom()
+        }
+    }
+
+    fn atom(&mut self) -> Result<Expr, ParseError> {
+        let at = self.here();
+        match self.bump() {
+            Some(Tok::True) => Ok(Expr::Const(true)),
+            Some(Tok::False) => Ok(Expr::Const(false)),
+            Some(Tok::Ident(name)) => Ok(Expr::var(self.universe.intern(&name))),
+            Some(Tok::LParen) => {
+                let e = self.expr()?;
+                self.expect(Tok::RParen, "')'")?;
+                Ok(e)
+            }
+            Some(Tok::OneOf) => {
+                self.expect(Tok::LParen, "'(' after one_of")?;
+                let mut items = Vec::new();
+                if self.peek() != Some(&Tok::RParen) {
+                    items.push(self.expr()?);
+                    while self.peek() == Some(&Tok::Comma) {
+                        self.bump();
+                        items.push(self.expr()?);
+                    }
+                }
+                self.expect(Tok::RParen, "')' closing one_of")?;
+                // `one_of()` is unsatisfiable (zero of zero operands can
+                // never be exactly one) — accepted for round-tripping.
+                Ok(Expr::exactly_one(items))
+            }
+            other => Err(ParseError { at, msg: format!("expected an expression, found {other:?}") }),
+        }
+    }
+}
+
+/// Parses one invariant expression, interning any new component names into
+/// `universe`.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] pinpointing the first offending byte on invalid
+/// syntax or trailing input.
+///
+/// # Examples
+///
+/// ```
+/// # use sada_expr::{parse_expr, Universe};
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut u = Universe::new();
+/// let e = parse_expr("E1 => (D1 | D2) & D4", &mut u)?;
+/// assert!(e.eval(&u.config_of(&["D1", "D4"])), "false antecedent");
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse_expr(src: &str, universe: &mut Universe) -> Result<Expr, ParseError> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, pos: 0, universe, src_len: src.len() };
+    let e = p.expr()?;
+    if p.pos != p.toks.len() {
+        return Err(ParseError { at: p.here(), msg: "trailing input after expression".into() });
+    }
+    Ok(e)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Universe;
+
+    fn parses_to(src: &str, expect: &str) {
+        let mut u = Universe::new();
+        let e = parse_expr(src, &mut u).unwrap_or_else(|err| panic!("{src}: {err}"));
+        assert_eq!(e.display(&u).to_string(), expect, "source: {src}");
+    }
+
+    #[test]
+    fn precedence_and_over_or() {
+        parses_to("A | B & C", "(A | (B & C))");
+        parses_to("A & B | C", "((A & B) | C)");
+    }
+
+    #[test]
+    fn precedence_xor_between_and_and_or() {
+        parses_to("A ^ B & C", "(A ^ (B & C))");
+        parses_to("A | B ^ C", "(A | (B ^ C))");
+    }
+
+    #[test]
+    fn implication_is_loosest_and_right_associative() {
+        parses_to("A => B | C", "(A => (B | C))");
+        parses_to("A => B => C", "(A => (B => C))");
+    }
+
+    #[test]
+    fn iff_chains() {
+        parses_to("A <=> B <=> C", "((A <=> B) <=> C)");
+    }
+
+    #[test]
+    fn paper_dependency_invariant() {
+        // E1 → (D1 ∨ D2) ∧ D4
+        parses_to("E1 => (D1 | D2) & D4", "(E1 => ((D1 | D2) & D4))");
+    }
+
+    #[test]
+    fn paper_structural_invariant() {
+        parses_to("one_of(D1, D2, D3)", "one_of(D1, D2, D3)");
+    }
+
+    #[test]
+    fn dot_is_conjunction() {
+        parses_to("A . B", "(A & B)");
+    }
+
+    #[test]
+    fn negation_binds_tightest() {
+        parses_to("!A & B", "(!A & B)");
+        parses_to("!(A & B)", "!(A & B)");
+        parses_to("!!A", "!!A");
+    }
+
+    #[test]
+    fn constants_parse() {
+        parses_to("true & A", "(true & A)");
+        parses_to("false | A", "(false | A)");
+    }
+
+    #[test]
+    fn interning_reuses_ids() {
+        let mut u = Universe::new();
+        let _ = parse_expr("A & A & B", &mut u).unwrap();
+        assert_eq!(u.len(), 2);
+    }
+
+    #[test]
+    fn error_on_garbage() {
+        let mut u = Universe::new();
+        let err = parse_expr("A @ B", &mut u).unwrap_err();
+        assert_eq!(err.at, 2);
+        assert!(err.to_string().contains("unexpected character"));
+    }
+
+    #[test]
+    fn error_on_trailing_input() {
+        let mut u = Universe::new();
+        let err = parse_expr("A B", &mut u).unwrap_err();
+        assert!(err.msg.contains("trailing"));
+    }
+
+    #[test]
+    fn error_on_unbalanced_paren() {
+        let mut u = Universe::new();
+        assert!(parse_expr("(A & B", &mut u).is_err());
+        assert!(parse_expr("one_of(A, B", &mut u).is_err());
+    }
+
+    #[test]
+    fn error_on_lone_equals() {
+        let mut u = Universe::new();
+        assert!(parse_expr("A = B", &mut u).is_err());
+        assert!(parse_expr("A <= B", &mut u).is_err());
+    }
+
+    #[test]
+    fn parsed_semantics_match_manual_construction() {
+        let mut u = Universe::new();
+        let e = parse_expr("one_of(E1, E2) & (E1 => D1)", &mut u).unwrap();
+        assert!(e.eval(&u.config_of(&["E1", "D1"])));
+        assert!(!e.eval(&u.config_of(&["E1"])));
+        assert!(e.eval(&u.config_of(&["E2"])));
+        assert!(!e.eval(&u.config_of(&["E1", "E2", "D1"])));
+    }
+}

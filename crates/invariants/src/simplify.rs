@@ -1,0 +1,237 @@
+//! Expression simplification: constant folding, identity elimination, and
+//! flattening. Used to keep machine-generated invariants (e.g. from the
+//! inference engine) readable, and as an optimization before repeated
+//! evaluation — simplification preserves semantics exactly
+//! (property-tested).
+
+use crate::expr::Expr;
+
+impl Expr {
+    /// Returns a semantically-equivalent, usually smaller expression.
+    ///
+    /// Rules applied bottom-up:
+    ///
+    /// * constant folding through every connective;
+    /// * `!!e → e`;
+    /// * nested `And`/`Or` flattening, identity/absorbing elements removed
+    ///   (`true` in `And`, `false` in `Or`);
+    /// * single-operand `And`/`Or`/`Xor` unwrapping;
+    /// * `a => false → !a`, `true => b → b`, `false => _ → true`,
+    ///   `_ => true → true`;
+    /// * `Xor`/`ExactlyOne` constant-operand extraction (`false` operands
+    ///   drop out; a `true` operand flips parity / forces the rest false).
+    pub fn simplify(&self) -> Expr {
+        match self {
+            Expr::Const(b) => Expr::Const(*b),
+            Expr::Var(v) => Expr::Var(*v),
+            Expr::Not(e) => match e.simplify() {
+                Expr::Const(b) => Expr::Const(!b),
+                Expr::Not(inner) => *inner,
+                other => Expr::not(other),
+            },
+            Expr::And(es) => {
+                let mut out = Vec::new();
+                for e in es {
+                    match e.simplify() {
+                        Expr::Const(true) => {}
+                        Expr::Const(false) => return Expr::Const(false),
+                        Expr::And(inner) => out.extend(inner),
+                        other => out.push(other),
+                    }
+                }
+                match out.len() {
+                    0 => Expr::Const(true),
+                    1 => out.pop().expect("len checked"),
+                    _ => Expr::And(out),
+                }
+            }
+            Expr::Or(es) => {
+                let mut out = Vec::new();
+                for e in es {
+                    match e.simplify() {
+                        Expr::Const(false) => {}
+                        Expr::Const(true) => return Expr::Const(true),
+                        Expr::Or(inner) => out.extend(inner),
+                        other => out.push(other),
+                    }
+                }
+                match out.len() {
+                    0 => Expr::Const(false),
+                    1 => out.pop().expect("len checked"),
+                    _ => Expr::Or(out),
+                }
+            }
+            Expr::Xor(es) => {
+                let mut parity = false;
+                let mut out = Vec::new();
+                for e in es {
+                    match e.simplify() {
+                        Expr::Const(true) => parity = !parity,
+                        Expr::Const(false) => {}
+                        other => out.push(other),
+                    }
+                }
+                let core = match out.len() {
+                    0 => Expr::Const(false),
+                    1 => out.pop().expect("len checked"),
+                    _ => Expr::Xor(out),
+                };
+                if parity {
+                    match core {
+                        Expr::Const(b) => Expr::Const(!b),
+                        Expr::Not(inner) => *inner,
+                        other => Expr::not(other),
+                    }
+                } else {
+                    core
+                }
+            }
+            Expr::ExactlyOne(es) => {
+                let mut trues = 0usize;
+                let mut out = Vec::new();
+                for e in es {
+                    match e.simplify() {
+                        Expr::Const(true) => trues += 1,
+                        Expr::Const(false) => {}
+                        other => out.push(other),
+                    }
+                }
+                match trues {
+                    0 if out.is_empty() => Expr::Const(false),
+                    0 if out.len() == 1 => out.pop().expect("len checked"),
+                    0 => Expr::ExactlyOne(out),
+                    // One constant-true operand: the rest must all be false.
+                    1 if out.is_empty() => Expr::Const(true),
+                    1 => Expr::not(Expr::Or(out)).simplify(),
+                    _ => Expr::Const(false),
+                }
+            }
+            Expr::Implies(a, b) => match (a.simplify(), b.simplify()) {
+                (Expr::Const(false), _) => Expr::Const(true),
+                (_, Expr::Const(true)) => Expr::Const(true),
+                (Expr::Const(true), rhs) => rhs,
+                (lhs, Expr::Const(false)) => Expr::not(lhs).simplify(),
+                (lhs, rhs) => lhs.implies(rhs),
+            },
+            Expr::Iff(a, b) => match (a.simplify(), b.simplify()) {
+                (Expr::Const(x), Expr::Const(y)) => Expr::Const(x == y),
+                (Expr::Const(true), rhs) | (rhs, Expr::Const(true)) => rhs,
+                (Expr::Const(false), rhs) | (rhs, Expr::Const(false)) => Expr::not(rhs).simplify(),
+                (lhs, rhs) => lhs.iff(rhs),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{CompId, Config, Universe};
+
+    fn v(i: usize) -> Expr {
+        Expr::var(CompId::from_index(i))
+    }
+
+    fn t() -> Expr {
+        Expr::Const(true)
+    }
+
+    fn f() -> Expr {
+        Expr::Const(false)
+    }
+
+    #[test]
+    fn constant_folding() {
+        assert_eq!(Expr::and(vec![t(), t()]).simplify(), t());
+        assert_eq!(Expr::and(vec![t(), f()]).simplify(), f());
+        assert_eq!(Expr::or(vec![f(), f()]).simplify(), f());
+        assert_eq!(Expr::not(f()).simplify(), t());
+        assert_eq!(t().implies(f()).simplify(), f());
+        assert_eq!(f().implies(f()).simplify(), t());
+        assert_eq!(t().iff(t()).simplify(), t());
+    }
+
+    #[test]
+    fn identities_eliminated() {
+        assert_eq!(Expr::and(vec![t(), v(0)]).simplify(), v(0));
+        assert_eq!(Expr::or(vec![f(), v(0)]).simplify(), v(0));
+        assert_eq!(Expr::not(Expr::not(v(1))).simplify(), v(1));
+        assert_eq!(t().implies(v(0)).simplify(), v(0));
+        assert_eq!(v(0).implies(f()).simplify(), Expr::not(v(0)));
+        assert_eq!(v(0).iff(f()).simplify(), Expr::not(v(0)));
+    }
+
+    #[test]
+    fn nested_flattening() {
+        let e = Expr::and(vec![Expr::and(vec![v(0), v(1)]), v(2)]);
+        assert_eq!(e.simplify(), Expr::and(vec![v(0), v(1), v(2)]));
+        let e = Expr::or(vec![v(0), Expr::or(vec![v(1), Expr::or(vec![v(2)])])]);
+        assert_eq!(e.simplify(), Expr::or(vec![v(0), v(1), v(2)]));
+    }
+
+    #[test]
+    fn xor_constant_extraction() {
+        assert_eq!(Expr::xor(vec![t(), v(0)]).simplify(), Expr::not(v(0)));
+        assert_eq!(Expr::xor(vec![f(), v(0)]).simplify(), v(0));
+        assert_eq!(Expr::xor(vec![t(), t(), v(0)]).simplify(), v(0));
+        assert_eq!(Expr::xor(vec![t()]).simplify(), t());
+    }
+
+    #[test]
+    fn exactly_one_special_cases() {
+        assert_eq!(Expr::exactly_one(vec![]).simplify(), f());
+        assert_eq!(Expr::exactly_one(vec![v(0)]).simplify(), v(0));
+        assert_eq!(Expr::exactly_one(vec![t(), t(), v(0)]).simplify(), f());
+        assert_eq!(Expr::exactly_one(vec![t()]).simplify(), t());
+        // one constant-true + variables: all variables must be false.
+        assert_eq!(
+            Expr::exactly_one(vec![t(), v(0), v(1)]).simplify(),
+            Expr::not(Expr::or(vec![v(0), v(1)]))
+        );
+    }
+
+    #[test]
+    fn exhaustive_equivalence_on_small_expressions() {
+        // Enumerate a family of expressions and verify simplify preserves
+        // truth tables over 3 variables.
+        let leaves = [v(0), v(1), v(2), t(), f()];
+        let mut exprs: Vec<Expr> = leaves.to_vec();
+        for a in &leaves {
+            for b in &leaves {
+                exprs.push(Expr::and(vec![a.clone(), b.clone()]));
+                exprs.push(Expr::or(vec![a.clone(), b.clone()]));
+                exprs.push(Expr::xor(vec![a.clone(), b.clone()]));
+                exprs.push(Expr::exactly_one(vec![a.clone(), b.clone()]));
+                exprs.push(a.clone().implies(b.clone()));
+                exprs.push(a.clone().iff(b.clone()));
+                exprs.push(Expr::not(Expr::and(vec![a.clone(), b.clone()])));
+            }
+        }
+        // One level deeper for good measure.
+        let sample: Vec<Expr> = exprs.iter().take(40).cloned().collect();
+        for a in &sample {
+            for b in sample.iter().take(10) {
+                exprs.push(Expr::exactly_one(vec![a.clone(), b.clone(), t()]));
+                exprs.push(Expr::xor(vec![a.clone(), b.clone(), f()]));
+            }
+        }
+        let mut u = Universe::new();
+        for i in 0..3 {
+            u.intern(&format!("V{i}"));
+        }
+        for e in &exprs {
+            let s = e.simplify();
+            for bits in 0u32..8 {
+                let mut cfg = Config::empty(3);
+                for i in 0..3 {
+                    if bits & (1 << i) != 0 {
+                        cfg.insert(CompId::from_index(i));
+                    }
+                }
+                assert_eq!(e.eval(&cfg), s.eval(&cfg), "{e} vs {s} on {cfg}");
+            }
+            // Simplification is idempotent.
+            assert_eq!(s.simplify(), s, "{s}");
+        }
+    }
+}

@@ -1,0 +1,250 @@
+//! DES encoder/decoder filters — the case study's adaptable components.
+
+use sada_des::{decrypt_bytes, encrypt_bytes, BlockCipher, Des, Des128};
+
+use crate::filter::{Filter, FilterStats};
+use crate::packet::{tags, Packet};
+
+/// Generic encryption filter over any [`BlockCipher`].
+#[derive(Debug)]
+pub struct CipherEncoder<C> {
+    cipher: C,
+    tag: u16,
+    kind: &'static str,
+    stats: FilterStats,
+}
+
+/// Generic decryption filter over any [`BlockCipher`], with the paper's
+/// bypass semantics: packets whose top tag does not match are forwarded
+/// untouched.
+#[derive(Debug)]
+pub struct CipherDecoder<C> {
+    cipher: C,
+    /// Tags this decoder accepts (D2 is "DES 128/64-bit compatible" and
+    /// accepts both).
+    accept: Vec<u16>,
+    /// Secondary cipher for compatible decoders (D2 decodes DES-64 with it).
+    fallback: Option<Des>,
+    tag_primary: u16,
+    kind: &'static str,
+    stats: FilterStats,
+}
+
+impl CipherEncoder<Des> {
+    /// DES 64-bit encoder — component `E1`.
+    pub fn des64(key: u64) -> Self {
+        CipherEncoder { cipher: Des::new(key), tag: tags::DES64, kind: "des64-enc", stats: FilterStats::default() }
+    }
+}
+
+impl CipherEncoder<Des128> {
+    /// DES 128-bit encoder — component `E2`.
+    pub fn des128(key1: u64, key2: u64) -> Self {
+        CipherEncoder {
+            cipher: Des128::new(key1, key2),
+            tag: tags::DES128,
+            kind: "des128-enc",
+            stats: FilterStats::default(),
+        }
+    }
+}
+
+impl<C: BlockCipher + 'static> Filter for CipherEncoder<C> {
+    fn kind(&self) -> &'static str {
+        self.kind
+    }
+
+    fn process(&mut self, mut pkt: Packet) -> Vec<Packet> {
+        self.stats.packets_in += 1;
+        pkt.payload = encrypt_bytes(&self.cipher, &pkt.payload);
+        pkt.tags.push(self.tag);
+        self.stats.packets_out += 1;
+        vec![pkt]
+    }
+
+    fn stats(&self) -> FilterStats {
+        self.stats
+    }
+}
+
+impl CipherDecoder<Des> {
+    /// DES 64-bit decoder — components `D1` and `D4`.
+    pub fn des64(key: u64) -> Self {
+        CipherDecoder {
+            cipher: Des::new(key),
+            accept: vec![tags::DES64],
+            fallback: None,
+            tag_primary: tags::DES64,
+            kind: "des64-dec",
+            stats: FilterStats::default(),
+        }
+    }
+}
+
+impl CipherDecoder<Des128> {
+    /// DES 128-bit decoder — components `D3` and `D5`.
+    pub fn des128(key1: u64, key2: u64) -> Self {
+        CipherDecoder {
+            cipher: Des128::new(key1, key2),
+            accept: vec![tags::DES128],
+            fallback: None,
+            tag_primary: tags::DES128,
+            kind: "des128-dec",
+            stats: FilterStats::default(),
+        }
+    }
+
+    /// DES 128/64-bit *compatible* decoder — component `D2`: decodes both
+    /// formats, which is what makes the paper's intermediate configurations
+    /// (e.g. `(D5,D4,D2,E1)`) safe.
+    pub fn des128_compat(key1: u64, key2: u64, des64_key: u64) -> Self {
+        CipherDecoder {
+            cipher: Des128::new(key1, key2),
+            accept: vec![tags::DES128, tags::DES64],
+            fallback: Some(Des::new(des64_key)),
+            tag_primary: tags::DES128,
+            kind: "des128c-dec",
+            stats: FilterStats::default(),
+        }
+    }
+}
+
+impl<C: BlockCipher + 'static> Filter for CipherDecoder<C> {
+    fn kind(&self) -> &'static str {
+        self.kind
+    }
+
+    fn process(&mut self, mut pkt: Packet) -> Vec<Packet> {
+        self.stats.packets_in += 1;
+        let top = match pkt.top_tag() {
+            Some(t) if self.accept.contains(&t) => t,
+            _ => {
+                // Bypass: "when it receives a packet not encoded by the
+                // corresponding encoder, it simply forwards the packet".
+                self.stats.bypassed += 1;
+                self.stats.packets_out += 1;
+                return vec![pkt];
+            }
+        };
+        let result = if top == self.tag_primary {
+            decrypt_bytes(&self.cipher, &pkt.payload)
+        } else {
+            // Compatible mode: the secondary format uses the fallback cipher.
+            let fb = self.fallback.as_ref().expect("accept list implies fallback");
+            decrypt_bytes(fb, &pkt.payload)
+        };
+        match result {
+            Ok(plain) => {
+                pkt.tags.pop();
+                pkt.payload = plain;
+            }
+            Err(_) => {
+                pkt.tags.pop();
+                pkt.corrupted = true;
+                self.stats.errors += 1;
+            }
+        }
+        self.stats.packets_out += 1;
+        vec![pkt]
+    }
+
+    fn stats(&self) -> FilterStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const K64: u64 = 0x133457799BBCDFF1;
+    const K1: u64 = 0x0123456789ABCDEF;
+    const K2: u64 = 0xFEDCBA9876543210;
+
+    fn plain() -> Packet {
+        Packet::new(1, 7, b"a video frame fragment".to_vec())
+    }
+
+    #[test]
+    fn des64_encode_decode_round_trip() {
+        let mut enc = CipherEncoder::des64(K64);
+        let mut dec = CipherDecoder::des64(K64);
+        let encoded = enc.process(plain()).pop().unwrap();
+        assert_eq!(encoded.top_tag(), Some(tags::DES64));
+        assert_ne!(encoded.payload, plain().payload);
+        let decoded = dec.process(encoded).pop().unwrap();
+        assert!(decoded.is_clean_plaintext());
+        assert_eq!(decoded.payload, plain().payload);
+        assert_eq!(dec.stats().errors, 0);
+    }
+
+    #[test]
+    fn des128_encode_decode_round_trip() {
+        let mut enc = CipherEncoder::des128(K1, K2);
+        let mut dec = CipherDecoder::des128(K1, K2);
+        let decoded = dec.process(enc.process(plain()).pop().unwrap()).pop().unwrap();
+        assert!(decoded.is_clean_plaintext());
+        assert_eq!(decoded.payload, plain().payload);
+    }
+
+    #[test]
+    fn decoder_bypasses_foreign_tag() {
+        let mut enc = CipherEncoder::des128(K1, K2);
+        let mut d64 = CipherDecoder::des64(K64);
+        let encoded = enc.process(plain()).pop().unwrap();
+        let passed = d64.process(encoded.clone()).pop().unwrap();
+        assert_eq!(passed, encoded, "bypass must not modify the packet");
+        assert_eq!(d64.stats().bypassed, 1);
+        assert_eq!(d64.stats().errors, 0);
+    }
+
+    #[test]
+    fn decoder_bypasses_plaintext() {
+        let mut d64 = CipherDecoder::des64(K64);
+        let p = plain();
+        let out = d64.process(p.clone()).pop().unwrap();
+        assert_eq!(out, p);
+        assert_eq!(d64.stats().bypassed, 1);
+    }
+
+    #[test]
+    fn wrong_key_marks_corrupted() {
+        let mut enc = CipherEncoder::des64(K64);
+        let mut dec = CipherDecoder::des64(K64 ^ 0xFF00FF00FF00FF00);
+        let out = dec.process(enc.process(plain()).pop().unwrap()).pop().unwrap();
+        assert!(out.corrupted);
+        assert_eq!(dec.stats().errors, 1);
+    }
+
+    #[test]
+    fn compat_decoder_handles_both_formats() {
+        let mut d2 = CipherDecoder::des128_compat(K1, K2, K64);
+        // DES-128 packet.
+        let mut e128 = CipherEncoder::des128(K1, K2);
+        let out = d2.process(e128.process(plain()).pop().unwrap()).pop().unwrap();
+        assert!(out.is_clean_plaintext());
+        assert_eq!(out.payload, plain().payload);
+        // DES-64 packet through the same instance.
+        let mut e64 = CipherEncoder::des64(K64);
+        let out = d2.process(e64.process(plain()).pop().unwrap()).pop().unwrap();
+        assert!(out.is_clean_plaintext());
+        assert_eq!(out.payload, plain().payload);
+        assert_eq!(d2.stats().bypassed, 0);
+    }
+
+    #[test]
+    fn nested_encodings_unwind_in_order() {
+        let mut e64 = CipherEncoder::des64(K64);
+        let mut e128 = CipherEncoder::des128(K1, K2);
+        let mut d64 = CipherDecoder::des64(K64);
+        let mut d128 = CipherDecoder::des128(K1, K2);
+        // encode 64 then 128; decode must pop 128 first.
+        let pkt = e128.process(e64.process(plain()).pop().unwrap()).pop().unwrap();
+        assert_eq!(pkt.tags, vec![tags::DES64, tags::DES128]);
+        let pkt = d128.process(pkt).pop().unwrap();
+        assert_eq!(pkt.tags, vec![tags::DES64]);
+        let pkt = d64.process(pkt).pop().unwrap();
+        assert!(pkt.is_clean_plaintext());
+        assert_eq!(pkt.payload, plain().payload);
+    }
+}

@@ -1,0 +1,282 @@
+//! Block interleaving filters.
+//!
+//! XOR-parity FEC recovers at most one loss per group, so a *burst* of
+//! consecutive losses defeats it. A block interleaver permutes transmission
+//! order (write a `rows × cols` matrix row-major, send column-major) so a
+//! burst on the wire lands as isolated single losses per FEC group after
+//! de-interleaving — the classic pairing the paper's wireless-edge
+//! motivation calls for.
+//!
+//! The interleaver reorders whole packets; payloads are untouched, so it
+//! composes with any cipher/FEC placement. The de-interleaving side needs
+//! no dedicated filter: packets carry sequence numbers and both the FEC
+//! decoder and the frame reassembler are order-tolerant. A pass-through
+//! [`Deinterleaver`] is provided purely as the removable component the
+//! adaptation protocol manages (and to restore arrival order for
+//! order-sensitive sinks).
+
+use std::collections::BTreeMap;
+
+use crate::filter::{Filter, FilterStats};
+use crate::packet::Packet;
+
+/// Buffers `rows × cols` packets and releases them column-major.
+#[derive(Debug)]
+pub struct Interleaver {
+    rows: usize,
+    cols: usize,
+    buf: Vec<Packet>,
+    stats: FilterStats,
+}
+
+impl Interleaver {
+    /// A `rows × cols` block interleaver. A burst of up to `cols`
+    /// consecutive wire losses touches at most one packet per row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "interleaver dimensions must be positive");
+        Interleaver { rows, cols, buf: Vec::with_capacity(rows * cols), stats: FilterStats::default() }
+    }
+
+    fn emit_block(&mut self) -> Vec<Packet> {
+        // Column-major read-out of the row-major buffer.
+        let mut out = Vec::with_capacity(self.buf.len());
+        for c in 0..self.cols {
+            for r in 0..self.rows {
+                let ix = r * self.cols + c;
+                if ix < self.buf.len() {
+                    out.push(self.buf[ix].clone());
+                }
+            }
+        }
+        self.buf.clear();
+        self.stats.packets_out += out.len() as u64;
+        out
+    }
+}
+
+impl Filter for Interleaver {
+    fn kind(&self) -> &'static str {
+        "interleave"
+    }
+
+    fn process(&mut self, pkt: Packet) -> Vec<Packet> {
+        self.stats.packets_in += 1;
+        self.buf.push(pkt);
+        if self.buf.len() == self.rows * self.cols {
+            self.emit_block()
+        } else {
+            Vec::new()
+        }
+    }
+
+    fn flush(&mut self) -> Vec<Packet> {
+        self.emit_block()
+    }
+
+    fn stats(&self) -> FilterStats {
+        self.stats
+    }
+}
+
+/// Restores sequence order on the receive side using a bounded reorder
+/// window: packets are released as soon as they are next-in-sequence, or
+/// flushed in order when the window fills.
+#[derive(Debug)]
+pub struct Deinterleaver {
+    window: usize,
+    next_seq: Option<u64>,
+    held: BTreeMap<u64, Packet>,
+    stats: FilterStats,
+}
+
+impl Deinterleaver {
+    /// A reorder window of `window` packets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn new(window: usize) -> Self {
+        assert!(window > 0, "reorder window must be positive");
+        Deinterleaver { window, next_seq: None, held: BTreeMap::new(), stats: FilterStats::default() }
+    }
+
+    fn release_ready(&mut self, out: &mut Vec<Packet>) {
+        while let Some(next) = self.next_seq {
+            match self.held.remove(&next) {
+                Some(p) => {
+                    out.push(p);
+                    self.next_seq = Some(next + 1);
+                }
+                None => break,
+            }
+        }
+        // Window overflow: give up on the gap, release in order.
+        while self.held.len() > self.window {
+            let (&seq, _) = self.held.iter().next().expect("non-empty");
+            let p = self.held.remove(&seq).expect("present");
+            out.push(p);
+            self.next_seq = Some(seq + 1);
+        }
+    }
+}
+
+impl Filter for Deinterleaver {
+    fn kind(&self) -> &'static str {
+        "deinterleave"
+    }
+
+    fn process(&mut self, pkt: Packet) -> Vec<Packet> {
+        self.stats.packets_in += 1;
+        if self.next_seq.is_none() {
+            self.next_seq = Some(pkt.seq);
+        }
+        // Late packets (already skipped past) are released immediately.
+        if pkt.seq < self.next_seq.expect("just set") {
+            self.stats.packets_out += 1;
+            return vec![pkt];
+        }
+        self.held.insert(pkt.seq, pkt);
+        let mut out = Vec::new();
+        self.release_ready(&mut out);
+        self.stats.packets_out += out.len() as u64;
+        out
+    }
+
+    fn flush(&mut self) -> Vec<Packet> {
+        let mut out: Vec<Packet> = Vec::with_capacity(self.held.len());
+        for (_, p) in std::mem::take(&mut self.held) {
+            out.push(p);
+        }
+        self.stats.packets_out += out.len() as u64;
+        out
+    }
+
+    fn stats(&self) -> FilterStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::filters::fec::{FecDecoder, FecEncoder};
+
+    fn pkt(seq: u64) -> Packet {
+        Packet::new(0, seq, vec![seq as u8; 16])
+    }
+
+    #[test]
+    fn block_permutes_column_major() {
+        let mut il = Interleaver::new(2, 3);
+        let mut out = Vec::new();
+        for seq in 0..6 {
+            out.extend(il.process(pkt(seq)));
+        }
+        let seqs: Vec<u64> = out.iter().map(|p| p.seq).collect();
+        // rows=2, cols=3: [0 1 2 / 3 4 5] read column-major = 0,3,1,4,2,5.
+        assert_eq!(seqs, vec![0, 3, 1, 4, 2, 5]);
+    }
+
+    #[test]
+    fn flush_emits_partial_block_in_column_order() {
+        let mut il = Interleaver::new(2, 2);
+        assert!(il.process(pkt(0)).is_empty());
+        assert!(il.process(pkt(1)).is_empty());
+        assert!(il.process(pkt(2)).is_empty());
+        let seqs: Vec<u64> = il.flush().iter().map(|p| p.seq).collect();
+        assert_eq!(seqs, vec![0, 2, 1]);
+        assert!(il.flush().is_empty());
+    }
+
+    #[test]
+    fn deinterleaver_restores_order() {
+        let mut il = Interleaver::new(3, 3);
+        let mut di = Deinterleaver::new(16);
+        let mut restored = Vec::new();
+        for seq in 0..9 {
+            for p in il.process(pkt(seq)) {
+                restored.extend(di.process(p));
+            }
+        }
+        let seqs: Vec<u64> = restored.iter().map(|p| p.seq).collect();
+        assert_eq!(seqs, (0..9).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn deinterleaver_skips_real_losses() {
+        let mut di = Deinterleaver::new(2);
+        let mut out = Vec::new();
+        // seq 1 is lost; window of 2 forces release after enough arrivals.
+        for seq in [0u64, 2, 3, 4, 5] {
+            out.extend(di.process(pkt(seq)));
+        }
+        out.extend(di.flush());
+        let seqs: Vec<u64> = out.iter().map(|p| p.seq).collect();
+        assert_eq!(seqs, vec![0, 2, 3, 4, 5], "gap skipped, order kept");
+    }
+
+    #[test]
+    fn late_packet_released_immediately() {
+        let mut di = Deinterleaver::new(1);
+        let _ = di.process(pkt(5));
+        let mut out = Vec::new();
+        for seq in [6u64, 7, 8] {
+            out.extend(di.process(pkt(seq)));
+        }
+        // 5..8 released; now a stale 2 arrives.
+        let stale = di.process(pkt(2));
+        assert_eq!(stale.len(), 1);
+        assert_eq!(stale[0].seq, 2);
+    }
+
+    /// The motivating composition: interleaving converts a wire burst into
+    /// isolated per-group losses that XOR parity can repair.
+    #[test]
+    fn interleaving_lets_fec_survive_bursts() {
+        const GROUP: usize = 4;
+        let run = |interleave: bool| -> usize {
+            let mut fec_e = FecEncoder::new(GROUP);
+            let mut il = Interleaver::new(GROUP, 4);
+            let mut fec_d = FecDecoder::new(256);
+            // Sender pipeline: FEC then (optionally) interleave.
+            let mut wire = Vec::new();
+            for seq in 0..16u64 {
+                for p in fec_e.process(pkt(seq)) {
+                    if interleave {
+                        wire.extend(il.process(p));
+                    } else {
+                        wire.push(p);
+                    }
+                }
+            }
+            if interleave {
+                wire.extend(il.flush());
+            }
+            // Burst: drop 3 consecutive wire packets.
+            let burst_at = 5;
+            let survivors: Vec<Packet> =
+                wire.into_iter().enumerate().filter(|(i, _)| !(burst_at..burst_at + 3).contains(i)).map(|(_, p)| p).collect();
+            // Receiver: FEC decode (order-tolerant), count data packets out.
+            let mut received = 0;
+            for p in survivors {
+                received += fec_d
+                    .process(p)
+                    .iter()
+                    .filter(|q| q.top_tag() != Some(crate::packet::tags::FEC))
+                    .count();
+            }
+            received
+        };
+        let without = run(false);
+        let with = run(true);
+        assert!(
+            with > without,
+            "interleaving must improve burst recovery ({with} vs {without} of 16)"
+        );
+        assert_eq!(with, 16, "full recovery with interleaving");
+    }
+}

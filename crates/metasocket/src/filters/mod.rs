@@ -1,0 +1,6 @@
+//! Stock filters: ciphers, compression, FEC.
+
+pub mod des;
+pub mod fec;
+pub mod interleave;
+pub mod rle;

@@ -1,0 +1,224 @@
+//! Adaptive actions: insert, remove, replace, and their compositions.
+
+use std::fmt;
+
+use sada_expr::Config;
+
+/// Identifies an adaptive action within an adaptation specification.
+///
+/// The case study numbers its actions `A1..A17` (Table 2); ids are the
+/// zero-based positions in the action list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ActionId(pub u32);
+
+impl ActionId {
+    /// Zero-based index into the action table.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ActionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // The paper labels actions starting from A1.
+        write!(f, "A{}", self.0 + 1)
+    }
+}
+
+/// An adaptive action (Section 3.1): a partial function from configuration
+/// to configuration that removes one component set and adds another, at a
+/// fixed cost.
+///
+/// The paper's cost model folds blocking time, adaptation duration, packet
+/// delay and resource use into one scalar per action (Table 2's "Cost (ms)"
+/// column); we keep that scalar as an opaque `u64` weight.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Action {
+    id: ActionId,
+    name: String,
+    removes: Config,
+    adds: Config,
+    cost: u64,
+}
+
+impl Action {
+    /// Builds an action that removes `removes` and adds `adds`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two sets overlap (a component cannot be both removed
+    /// and added by one atomic action) or their widths differ.
+    pub fn new(id: u32, name: &str, removes: &Config, adds: &Config, cost: u64) -> Self {
+        assert!(
+            removes.is_disjoint(adds),
+            "action {name}: removes and adds overlap"
+        );
+        Action {
+            id: ActionId(id),
+            name: name.to_string(),
+            removes: removes.clone(),
+            adds: adds.clone(),
+            cost,
+        }
+    }
+
+    /// An insertion (`+C`): adds components, removes nothing.
+    pub fn insert(id: u32, name: &str, adds: &Config, cost: u64) -> Self {
+        Action::new(id, name, &Config::empty(adds.width()), adds, cost)
+    }
+
+    /// A removal (`-C`): removes components, adds nothing.
+    pub fn remove(id: u32, name: &str, removes: &Config, cost: u64) -> Self {
+        Action::new(id, name, removes, &Config::empty(removes.width()), cost)
+    }
+
+    /// A replacement (`Old -> New`).
+    pub fn replace(id: u32, name: &str, removes: &Config, adds: &Config, cost: u64) -> Self {
+        Action::new(id, name, removes, adds, cost)
+    }
+
+    /// The action's id.
+    pub fn id(&self) -> ActionId {
+        self.id
+    }
+
+    /// Human-readable label, e.g. `"D1 -> D2"`.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Components this action removes.
+    pub fn removes(&self) -> &Config {
+        &self.removes
+    }
+
+    /// Components this action adds.
+    pub fn adds(&self) -> &Config {
+        &self.adds
+    }
+
+    /// The fixed cost weight.
+    pub fn cost(&self) -> u64 {
+        self.cost
+    }
+
+    /// Every component the action touches (removed or added) — the set whose
+    /// hosting processes must participate in the adaptation step.
+    pub fn touched(&self) -> Config {
+        self.removes.union(&self.adds)
+    }
+
+    /// An action applies to `cfg` when everything it removes is present and
+    /// everything it adds is absent.
+    pub fn applicable(&self, cfg: &Config) -> bool {
+        self.removes.is_subset(cfg) && self.adds.is_disjoint(cfg)
+    }
+
+    /// `adapt(config1) = config2` (Section 3.1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the action is not applicable — callers are expected to
+    /// check [`Action::applicable`] (the SAG builder and planners do).
+    pub fn apply(&self, cfg: &Config) -> Config {
+        assert!(self.applicable(cfg), "action {} not applicable to {cfg}", self.name);
+        cfg.difference(&self.removes).union(&self.adds)
+    }
+
+    /// The inverse action, used by the realization phase's rollback: undoes
+    /// this action's effect at the same cost.
+    pub fn inverse(&self) -> Action {
+        Action {
+            id: self.id,
+            name: format!("undo({})", self.name),
+            removes: self.adds.clone(),
+            adds: self.removes.clone(),
+            cost: self.cost,
+        }
+    }
+}
+
+impl fmt::Display for Action {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {} (cost {})", self.id, self.name, self.cost)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sada_expr::Universe;
+
+    fn u() -> Universe {
+        let mut u = Universe::new();
+        for n in ["E1", "E2", "D1", "D2"] {
+            u.intern(n);
+        }
+        u
+    }
+
+    #[test]
+    fn replace_applies_and_round_trips() {
+        let u = u();
+        let a = Action::replace(0, "E1 -> E2", &u.config_of(&["E1"]), &u.config_of(&["E2"]), 10);
+        let before = u.config_of(&["E1", "D1"]);
+        assert!(a.applicable(&before));
+        let after = a.apply(&before);
+        assert_eq!(after, u.config_of(&["E2", "D1"]));
+        assert_eq!(a.inverse().apply(&after), before);
+        assert_eq!(a.inverse().cost(), 10);
+    }
+
+    #[test]
+    fn insert_requires_absence() {
+        let u = u();
+        let a = Action::insert(0, "+D2", &u.config_of(&["D2"]), 5);
+        assert!(a.applicable(&u.config_of(&["E1"])));
+        assert!(!a.applicable(&u.config_of(&["D2"])), "already present");
+        assert_eq!(a.apply(&u.empty_config()), u.config_of(&["D2"]));
+    }
+
+    #[test]
+    fn remove_requires_presence() {
+        let u = u();
+        let a = Action::remove(0, "-D1", &u.config_of(&["D1"]), 5);
+        assert!(!a.applicable(&u.empty_config()));
+        assert_eq!(a.apply(&u.config_of(&["D1", "E1"])), u.config_of(&["E1"]));
+    }
+
+    #[test]
+    fn compound_action_touches_union() {
+        let u = u();
+        let a = Action::replace(
+            0,
+            "(D1,E1)->(D2,E2)",
+            &u.config_of(&["D1", "E1"]),
+            &u.config_of(&["D2", "E2"]),
+            100,
+        );
+        assert_eq!(a.touched(), u.config_of(&["D1", "E1", "D2", "E2"]));
+    }
+
+    #[test]
+    #[should_panic(expected = "not applicable")]
+    fn apply_checks_applicability() {
+        let u = u();
+        let a = Action::replace(0, "E1 -> E2", &u.config_of(&["E1"]), &u.config_of(&["E2"]), 10);
+        let _ = a.apply(&u.config_of(&["E2"]));
+    }
+
+    #[test]
+    #[should_panic(expected = "overlap")]
+    fn overlapping_sets_rejected() {
+        let u = u();
+        let _ = Action::new(0, "bad", &u.config_of(&["E1"]), &u.config_of(&["E1"]), 1);
+    }
+
+    #[test]
+    fn display_uses_paper_numbering() {
+        let u = u();
+        let a = Action::insert(1, "+D2", &u.config_of(&["D2"]), 5);
+        assert_eq!(a.id().to_string(), "A2");
+        assert!(a.to_string().contains("+D2"));
+    }
+}

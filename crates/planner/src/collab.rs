@@ -1,0 +1,210 @@
+//! Collaborative-set decomposition (Section 7).
+//!
+//! "To handle the complexity, we can divide the adaptive components of a
+//! system into multiple collaborative sets where component collaborations
+//! occur only within each set. The component adaptation of each set can be
+//! handled independently, thereby reducing the complexity."
+//!
+//! Two components collaborate when they co-occur in a dependency invariant
+//! or are touched by the same adaptive action. [`collaborative_sets`]
+//! computes the connected components of that relation with a union-find;
+//! [`scope_for`] picks the sets an adaptation actually touches so the
+//! planner can enumerate over a small scope.
+
+use std::collections::BTreeSet;
+
+use sada_expr::{CompId, Config, InvariantSet, Universe};
+
+use crate::action::Action;
+
+/// Union-find over dense component indices.
+#[derive(Debug)]
+struct UnionFind {
+    parent: Vec<usize>,
+    rank: Vec<u8>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        UnionFind { parent: (0..n).collect(), rank: vec![0; n] }
+    }
+
+    fn find(&mut self, x: usize) -> usize {
+        if self.parent[x] != x {
+            let root = self.find(self.parent[x]);
+            self.parent[x] = root;
+        }
+        self.parent[x]
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return;
+        }
+        match self.rank[ra].cmp(&self.rank[rb]) {
+            std::cmp::Ordering::Less => self.parent[ra] = rb,
+            std::cmp::Ordering::Greater => self.parent[rb] = ra,
+            std::cmp::Ordering::Equal => {
+                self.parent[rb] = ra;
+                self.rank[ra] += 1;
+            }
+        }
+    }
+}
+
+/// Partitions the universe into collaborative sets.
+///
+/// Components mentioned together in one invariant, or touched together by
+/// one action, land in the same set. Components mentioned by nothing form
+/// singleton sets. Sets are returned sorted by their smallest member, and
+/// members are sorted, so output is deterministic.
+pub fn collaborative_sets(
+    u: &Universe,
+    inv: &InvariantSet,
+    actions: &[Action],
+) -> Vec<Vec<CompId>> {
+    let mut uf = UnionFind::new(u.len());
+    for expr in inv.exprs() {
+        let mut vars = BTreeSet::new();
+        expr.collect_vars(&mut vars);
+        let mut it = vars.iter();
+        if let Some(first) = it.next() {
+            for v in it {
+                uf.union(first.index(), v.index());
+            }
+        }
+    }
+    for action in actions {
+        let touched: Vec<CompId> = action.touched().iter().collect();
+        for w in touched.windows(2) {
+            uf.union(w[0].index(), w[1].index());
+        }
+    }
+    let mut groups: Vec<Vec<CompId>> = vec![Vec::new(); u.len()];
+    for id in u.iter() {
+        let root = uf.find(id.index());
+        groups[root].push(id);
+    }
+    let mut out: Vec<Vec<CompId>> = groups.into_iter().filter(|g| !g.is_empty()).collect();
+    out.sort_by_key(|g| g[0]);
+    out
+}
+
+/// The union of collaborative sets touched by moving from `source` to
+/// `target`: the components whose membership differs, expanded to full
+/// sets. Planning may then restrict enumeration to this scope (components
+/// outside it keep their `source` membership).
+pub fn scope_for(
+    u: &Universe,
+    inv: &InvariantSet,
+    actions: &[Action],
+    source: &Config,
+    target: &Config,
+) -> Vec<CompId> {
+    let sets = collaborative_sets(u, inv, actions);
+    let changed: BTreeSet<CompId> = source
+        .difference(target)
+        .iter()
+        .chain(target.difference(source).iter())
+        .collect();
+    let mut scope = BTreeSet::new();
+    for set in &sets {
+        if set.iter().any(|id| changed.contains(id)) {
+            scope.extend(set.iter().copied());
+        }
+    }
+    scope.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn universe(names: &[&str]) -> Universe {
+        let mut u = Universe::new();
+        for n in names {
+            u.intern(n);
+        }
+        u
+    }
+
+    #[test]
+    fn invariants_group_components() {
+        let mut u = universe(&[]);
+        let inv = InvariantSet::parse(&["one_of(A, B)", "one_of(C, D)"], &mut u).unwrap();
+        let sets = collaborative_sets(&u, &inv, &[]);
+        assert_eq!(sets.len(), 2);
+        assert_eq!(sets[0].len(), 2);
+        assert_eq!(sets[1].len(), 2);
+    }
+
+    #[test]
+    fn actions_merge_sets() {
+        let mut u = universe(&[]);
+        let inv = InvariantSet::parse(&["one_of(A, B)", "one_of(C, D)"], &mut u).unwrap();
+        // A compound action touching B and C fuses the two sets.
+        let action = Action::replace(
+            0,
+            "(B)->(C)",
+            &u.config_of(&["B"]),
+            &u.config_of(&["C"]),
+            1,
+        );
+        let sets = collaborative_sets(&u, &inv, &[action]);
+        assert_eq!(sets.len(), 1);
+        assert_eq!(sets[0].len(), 4);
+    }
+
+    #[test]
+    fn unmentioned_components_are_singletons() {
+        let mut u = universe(&["LONER"]);
+        let inv = InvariantSet::parse(&["one_of(A, B)"], &mut u).unwrap();
+        let sets = collaborative_sets(&u, &inv, &[]);
+        assert_eq!(sets.len(), 2);
+        let loner = u.id("LONER").unwrap();
+        assert!(sets.iter().any(|s| s == &vec![loner]));
+    }
+
+    #[test]
+    fn scope_covers_changed_sets_only() {
+        let mut u = universe(&[]);
+        let inv = InvariantSet::parse(&["one_of(A, B)", "one_of(C, D)", "one_of(E, F)"], &mut u).unwrap();
+        // Adaptation changes A->B only.
+        let src = u.config_of(&["A", "C", "E"]);
+        let dst = u.config_of(&["B", "C", "E"]);
+        let scope = scope_for(&u, &inv, &[], &src, &dst);
+        let names: Vec<&str> = scope.iter().map(|&id| u.name(id)).collect();
+        assert_eq!(names, vec!["A", "B"]);
+    }
+
+    #[test]
+    fn scope_unions_multiple_changed_sets() {
+        let mut u = universe(&[]);
+        let inv = InvariantSet::parse(&["one_of(A, B)", "one_of(C, D)"], &mut u).unwrap();
+        let src = u.config_of(&["A", "C"]);
+        let dst = u.config_of(&["B", "D"]);
+        let scope = scope_for(&u, &inv, &[], &src, &dst);
+        assert_eq!(scope.len(), 4);
+    }
+
+    #[test]
+    fn empty_change_yields_empty_scope() {
+        let mut u = universe(&[]);
+        let inv = InvariantSet::parse(&["one_of(A, B)"], &mut u).unwrap();
+        let cfg = u.config_of(&["A"]);
+        assert!(scope_for(&u, &inv, &[], &cfg, &cfg).is_empty());
+    }
+
+    #[test]
+    fn union_find_path_compression_smoke() {
+        let mut uf = UnionFind::new(6);
+        uf.union(0, 1);
+        uf.union(1, 2);
+        uf.union(3, 4);
+        assert_eq!(uf.find(0), uf.find(2));
+        assert_eq!(uf.find(3), uf.find(4));
+        assert_ne!(uf.find(0), uf.find(3));
+        assert_eq!(uf.find(5), 5);
+    }
+}

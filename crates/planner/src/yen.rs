@@ -1,0 +1,175 @@
+//! Yen's algorithm for the k shortest loopless adaptation paths.
+//!
+//! The paper's failure-handling strategy (Section 4.4) tries "the second
+//! minimum adaptation path from the current configuration to the target
+//! configuration" after a failed step, then the third, and so on. Yen's
+//! algorithm enumerates exactly that ranking.
+
+use std::collections::HashSet;
+
+use sada_expr::Config;
+
+use crate::path::Path;
+use crate::sag::Sag;
+
+impl Sag {
+    /// Returns up to `k` loopless paths from `source` to `target`, sorted by
+    /// ascending cost (ties broken by discovery order). The first element,
+    /// when present, equals [`Sag::shortest_path`].
+    ///
+    /// Returns an empty vector when no path exists or either endpoint is not
+    /// a safe configuration.
+    pub fn k_shortest_paths(&self, source: &Config, target: &Config, k: usize) -> Vec<Path> {
+        let mut found: Vec<Path> = Vec::new();
+        if k == 0 {
+            return found;
+        }
+        let first = match self.shortest_path(source, target) {
+            Some(p) => p,
+            None => return found,
+        };
+        found.push(first);
+        // Candidate pool of potential next-best paths.
+        let mut candidates: Vec<Path> = Vec::new();
+        while found.len() < k {
+            let prev = found.last().unwrap().clone();
+            // Each prefix of the previous path spawns a spur search.
+            for spur_ix in 0..prev.steps.len() {
+                let spur_node_cfg = prev.steps[spur_ix].from.clone();
+                let root_steps = &prev.steps[..spur_ix];
+
+                // Ban every edge that any already-found path with the same
+                // root prefix uses out of the spur node.
+                let mut banned_edges: HashSet<usize> = HashSet::new();
+                for p in found.iter().chain(candidates.iter()) {
+                    if p.steps.len() > spur_ix
+                        && p.steps[..spur_ix] == *root_steps
+                        && p.steps[spur_ix].from == spur_node_cfg
+                    {
+                        let from_ix = self.index_of(&p.steps[spur_ix].from).unwrap();
+                        let to_ix = self.index_of(&p.steps[spur_ix].to).unwrap();
+                        let action = p.steps[spur_ix].action;
+                        for (eix, e) in self.edges().iter().enumerate() {
+                            if e.from == from_ix && e.to == to_ix && e.action == action {
+                                banned_edges.insert(eix);
+                            }
+                        }
+                    }
+                }
+                // Ban root-path nodes (except the spur node) for looplessness.
+                let mut banned_nodes: HashSet<usize> = HashSet::new();
+                for s in root_steps {
+                    if let Some(ix) = self.index_of(&s.from) {
+                        banned_nodes.insert(ix);
+                    }
+                }
+
+                let spur = match self.shortest_path_avoiding(&spur_node_cfg, target, &banned_nodes, &banned_edges) {
+                    Some(p) => p,
+                    None => continue,
+                };
+                let mut total_steps = root_steps.to_vec();
+                total_steps.extend(spur.steps);
+                let cost = total_steps.iter().map(|s| s.cost).sum();
+                let candidate = Path { steps: total_steps, cost };
+                if !found.contains(&candidate) && !candidates.contains(&candidate) {
+                    candidates.push(candidate);
+                }
+            }
+            if candidates.is_empty() {
+                break;
+            }
+            // Pop the cheapest candidate.
+            let best_ix = candidates
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, p)| p.cost)
+                .map(|(i, _)| i)
+                .unwrap();
+            found.push(candidates.swap_remove(best_ix));
+        }
+        found
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::Action;
+    use sada_expr::{enumerate, InvariantSet, Universe};
+
+    /// Diamond: S -> {L, R} -> T with distinct costs, plus a direct S -> T.
+    fn diamond() -> (Universe, Sag) {
+        let mut u = Universe::new();
+        for n in ["S", "L", "R", "T"] {
+            u.intern(n);
+        }
+        let actions = vec![
+            Action::replace(0, "S->L", &u.config_of(&["S"]), &u.config_of(&["L"]), 1),
+            Action::replace(1, "S->R", &u.config_of(&["S"]), &u.config_of(&["R"]), 2),
+            Action::replace(2, "L->T", &u.config_of(&["L"]), &u.config_of(&["T"]), 1),
+            Action::replace(3, "R->T", &u.config_of(&["R"]), &u.config_of(&["T"]), 2),
+            Action::replace(4, "S->T", &u.config_of(&["S"]), &u.config_of(&["T"]), 10),
+        ];
+        let inv = InvariantSet::parse(&["one_of(S, L, R, T)"], &mut u).unwrap();
+        let sag = Sag::build(enumerate::safe_configs(&u, &inv), &actions);
+        (u, sag)
+    }
+
+    #[test]
+    fn ranks_paths_by_cost() {
+        let (u, sag) = diamond();
+        let s = u.config_of(&["S"]);
+        let t = u.config_of(&["T"]);
+        let paths = sag.k_shortest_paths(&s, &t, 5);
+        assert_eq!(paths.len(), 3);
+        let costs: Vec<u64> = paths.iter().map(|p| p.cost).collect();
+        assert_eq!(costs, vec![2, 4, 10]);
+        for p in &paths {
+            assert!(p.is_well_formed());
+            assert_eq!(p.steps.first().unwrap().from, s);
+            assert_eq!(p.steps.last().unwrap().to, t);
+        }
+    }
+
+    #[test]
+    fn first_path_matches_dijkstra() {
+        let (u, sag) = diamond();
+        let s = u.config_of(&["S"]);
+        let t = u.config_of(&["T"]);
+        let paths = sag.k_shortest_paths(&s, &t, 1);
+        assert_eq!(paths.len(), 1);
+        assert_eq!(paths[0], sag.shortest_path(&s, &t).unwrap());
+    }
+
+    #[test]
+    fn paths_are_distinct_and_loopless() {
+        let (u, sag) = diamond();
+        let paths = sag.k_shortest_paths(&u.config_of(&["S"]), &u.config_of(&["T"]), 10);
+        for (i, p) in paths.iter().enumerate() {
+            for q in &paths[i + 1..] {
+                assert_ne!(p, q, "paths must be distinct");
+            }
+            let cfgs = p.configs();
+            let mut seen = std::collections::HashSet::new();
+            for c in &cfgs {
+                assert!(seen.insert(c.clone()), "loop detected in {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn k_zero_and_unreachable_are_empty() {
+        let (u, sag) = diamond();
+        assert!(sag.k_shortest_paths(&u.config_of(&["S"]), &u.config_of(&["T"]), 0).is_empty());
+        // T has no outgoing arcs: T -> S unreachable.
+        assert!(sag.k_shortest_paths(&u.config_of(&["T"]), &u.config_of(&["S"]), 3).is_empty());
+    }
+
+    #[test]
+    fn exhausts_when_fewer_than_k_paths_exist() {
+        let (u, sag) = diamond();
+        let paths = sag.k_shortest_paths(&u.config_of(&["S"]), &u.config_of(&["T"]), 100);
+        assert_eq!(paths.len(), 3, "diamond has exactly three loopless paths");
+    }
+}

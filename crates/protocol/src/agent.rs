@@ -1,0 +1,462 @@
+//! The adaptation agent state machine (the paper's Figure 1).
+//!
+//! `AgentCore` is a *pure* state machine: it consumes [`AgentEvent`]s (wire
+//! messages plus notifications from the local process) and emits
+//! [`AgentEffect`]s (wire replies plus commands to the local process). The
+//! actual blocking, draining and filter swapping is done by the embedding
+//! process (a simnet actor in this repository); this split is what lets the
+//! test suite cover every arc of the diagram, including the dashed failure
+//! arcs, without a network.
+
+use crate::messages::{LocalAction, ProtoMsg, StepId};
+
+/// The agent states of Figure 1 (plus the two failure-handling states the
+/// figure draws as dashed transitions).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AgentState {
+    /// Full operation; no adaptation in progress.
+    Running,
+    /// Pre-action done; driving the process toward its safe state (partial
+    /// operation).
+    Resetting,
+    /// Blocked in the (local + global) safe state; in-action underway.
+    Safe,
+    /// In-action finished; blocked awaiting `resume` (skipped for solo
+    /// steps).
+    Adapted,
+    /// Restoring full operation.
+    Resuming,
+    /// Undoing the step after a `rollback` command.
+    RollingBack,
+    /// Reported fail-to-reset; awaiting the manager's rollback.
+    FailedReset,
+}
+
+/// Inputs to the agent: wire messages and local-process notifications.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AgentEvent {
+    /// A protocol message arrived from the manager.
+    Msg(ProtoMsg),
+    /// The local process reached its local safe state *and* the global safe
+    /// condition required by the current action.
+    SafeReached,
+    /// The local in-action completed.
+    InActionDone,
+    /// Full operation has been restored.
+    ResumeFinished,
+    /// The rollback finished; the process is as it was before the step.
+    RollbackFinished,
+    /// The process cannot reach a safe state in reasonable time
+    /// (fail-to-reset, Section 4.4).
+    CannotReset,
+}
+
+/// Outputs of the agent: wire replies and commands to the local process.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AgentEffect {
+    /// Send a protocol message to the manager.
+    Send(ProtoMsg),
+    /// Perform the pre-action (initialize new components, …) — must not
+    /// interfere with functional behaviour.
+    PreAction(LocalAction),
+    /// Start driving the process to its safe state (set the "resetting"
+    /// flag, stop at the next packet boundary, drain if required).
+    BeginReset(LocalAction),
+    /// Perform the structural in-action (the actual recomposition).
+    DoInAction(LocalAction),
+    /// Restore full operation (unblock the process).
+    DoResume,
+    /// Perform the post-action (destroy old components, …).
+    PostAction(LocalAction),
+    /// Undo the step and unblock. `Some(inverse)` when the in-action had
+    /// already executed and must be structurally reverted; `None` when no
+    /// structural change happened (only blocking/draining to undo).
+    DoRollback(Option<LocalAction>),
+}
+
+/// The agent half of the realization-phase protocol.
+#[derive(Debug)]
+pub struct AgentCore {
+    state: AgentState,
+    current: Option<(StepId, LocalAction, bool)>,
+    in_action_done: bool,
+    /// Most recently fully-completed step, for idempotent re-acks when the
+    /// manager retransmits after losing our answer.
+    last_completed: Option<StepId>,
+    /// A new attempt received mid-rollback (the manager moved on while our
+    /// acks were lost): started as soon as the rollback finishes.
+    pending_restart: Option<(StepId, LocalAction, bool)>,
+}
+
+impl Default for AgentCore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AgentCore {
+    /// A fresh agent in the running state.
+    pub fn new() -> Self {
+        AgentCore {
+            state: AgentState::Running,
+            current: None,
+            in_action_done: false,
+            last_completed: None,
+            pending_restart: None,
+        }
+    }
+
+    /// Current protocol state.
+    pub fn state(&self) -> AgentState {
+        self.state
+    }
+
+    /// The step attempt in progress, if any.
+    pub fn current_step(&self) -> Option<StepId> {
+        self.current.as_ref().map(|(s, _, _)| *s)
+    }
+
+    /// Feeds one event, returning the effects to perform **in order**.
+    pub fn on_event(&mut self, ev: AgentEvent) -> Vec<AgentEffect> {
+        use AgentEffect as E;
+        use AgentEvent::*;
+        use AgentState::*;
+        match (self.state, ev) {
+            // ---- happy path -------------------------------------------------
+            (Running, Msg(ProtoMsg::Reset { step, action, solo })) => {
+                // Duplicate of a step we already finished: re-acknowledge.
+                if self.last_completed == Some(step) {
+                    return vec![
+                        E::Send(ProtoMsg::AdaptDone { step }),
+                        E::Send(ProtoMsg::ResumeDone { step }),
+                    ];
+                }
+                self.state = Resetting;
+                self.current = Some((step, action.clone(), solo));
+                self.in_action_done = false;
+                vec![E::PreAction(action.clone()), E::BeginReset(action)]
+            }
+            (Resetting, SafeReached) => {
+                let (step, action, _) = self.current.clone().expect("resetting implies a step");
+                self.state = Safe;
+                vec![E::Send(ProtoMsg::ResetDone { step }), E::DoInAction(action)]
+            }
+            (Safe, InActionDone) => {
+                let (step, _, solo) = self.current.clone().expect("safe implies a step");
+                self.in_action_done = true;
+                if solo {
+                    // Only participant: adapted -> resuming without blocking.
+                    self.state = Resuming;
+                    vec![E::Send(ProtoMsg::AdaptDone { step }), E::DoResume]
+                } else {
+                    self.state = Adapted;
+                    vec![E::Send(ProtoMsg::AdaptDone { step })]
+                }
+            }
+            (Adapted, Msg(ProtoMsg::Resume { step })) if self.matches(step) => {
+                self.state = Resuming;
+                vec![E::DoResume]
+            }
+            (Resuming, ResumeFinished) => {
+                let (step, action, _) = self.current.take().expect("resuming implies a step");
+                self.state = Running;
+                self.last_completed = Some(step);
+                vec![E::Send(ProtoMsg::ResumeDone { step }), E::PostAction(action)]
+            }
+
+            // ---- failure handling (dashed arcs) -----------------------------
+            (Resetting, CannotReset) => {
+                let (step, _, _) = self.current.clone().expect("resetting implies a step");
+                self.state = FailedReset;
+                vec![E::Send(ProtoMsg::FailToReset { step })]
+            }
+            (Resetting | Safe | Adapted | FailedReset, Msg(ProtoMsg::Rollback { step }))
+                if self.matches(step) =>
+            {
+                let (_, action, _) = self.current.clone().expect("step in progress");
+                self.state = RollingBack;
+                // Only undo the structural change if it actually happened.
+                let undo = if self.in_action_done { Some(action.inverse()) } else { None };
+                vec![E::DoRollback(undo)]
+            }
+            (RollingBack, RollbackFinished) => {
+                let (step, _, _) = self.current.take().expect("rolling back implies a step");
+                self.in_action_done = false;
+                let mut eff = vec![E::Send(ProtoMsg::RollbackDone { step })];
+                if let Some((new_step, action, solo)) = self.pending_restart.take() {
+                    // Implicitly-aborted attempt undone: start the new one.
+                    self.state = Resetting;
+                    self.current = Some((new_step, action.clone(), solo));
+                    eff.push(E::PreAction(action.clone()));
+                    eff.push(E::BeginReset(action));
+                } else {
+                    self.state = Running;
+                }
+                eff
+            }
+            // Rollback for a step we never started (our Reset was lost):
+            // nothing to undo — acknowledge so the manager can move on.
+            (Running, Msg(ProtoMsg::Rollback { step })) => {
+                vec![E::Send(ProtoMsg::RollbackDone { step })]
+            }
+
+            // A Reset for a *different* attempt while one is in progress:
+            // every ack and rollback command of the old attempt was lost and
+            // the manager has moved on. Treat it as an implicit abort —
+            // undo any structural change, then start the new attempt
+            // (liveness: without this the agent would stay blocked forever).
+            (Resetting | Safe | Adapted | FailedReset, Msg(ProtoMsg::Reset { step, action, solo }))
+                if !self.matches(step) =>
+            {
+                let (_, old_action, _) = self.current.clone().expect("step in progress");
+                self.state = RollingBack;
+                self.pending_restart = Some((step, action, solo));
+                let undo = if self.in_action_done { Some(old_action.inverse()) } else { None };
+                vec![E::DoRollback(undo)]
+            }
+
+            // ---- retransmission tolerance -----------------------------------
+            // Manager re-sent Reset because our answer was lost: re-ack
+            // according to how far we actually got.
+            (Resetting, Msg(ProtoMsg::Reset { step, .. })) if self.matches(step) => vec![],
+            (Safe, Msg(ProtoMsg::Reset { step, .. })) if self.matches(step) => {
+                vec![E::Send(ProtoMsg::ResetDone { step })]
+            }
+            (Adapted, Msg(ProtoMsg::Reset { step, .. })) if self.matches(step) => {
+                vec![E::Send(ProtoMsg::ResetDone { step }), E::Send(ProtoMsg::AdaptDone { step })]
+            }
+            (FailedReset, Msg(ProtoMsg::Reset { step, .. })) if self.matches(step) => {
+                vec![E::Send(ProtoMsg::FailToReset { step })]
+            }
+            // Duplicate Resume while resuming or after completion.
+            (Resuming, Msg(ProtoMsg::Resume { step })) if self.matches(step) => vec![],
+            (Running, Msg(ProtoMsg::Resume { step })) => {
+                if self.last_completed == Some(step) {
+                    vec![E::Send(ProtoMsg::ResumeDone { step })]
+                } else {
+                    vec![]
+                }
+            }
+
+            // Anything else (stale step ids, out-of-order junk) is dropped.
+            _ => vec![],
+        }
+    }
+
+    fn matches(&self, step: StepId) -> bool {
+        self.current.as_ref().map(|(s, _, _)| *s == step).unwrap_or(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sada_plan::ActionId;
+
+    fn la() -> LocalAction {
+        LocalAction { action: ActionId(1), removes: vec![], adds: vec![], needs_global_drain: false }
+    }
+
+    fn reset(step: u64, solo: bool) -> AgentEvent {
+        AgentEvent::Msg(ProtoMsg::Reset { step: StepId(step), action: la(), solo })
+    }
+
+    #[test]
+    fn happy_path_multi_participant() {
+        let mut a = AgentCore::new();
+        assert_eq!(a.state(), AgentState::Running);
+
+        let eff = a.on_event(reset(1, false));
+        assert_eq!(a.state(), AgentState::Resetting);
+        assert!(matches!(eff[0], AgentEffect::PreAction(_)));
+        assert!(matches!(eff[1], AgentEffect::BeginReset(_)));
+
+        let eff = a.on_event(AgentEvent::SafeReached);
+        assert_eq!(a.state(), AgentState::Safe);
+        assert_eq!(eff[0], AgentEffect::Send(ProtoMsg::ResetDone { step: StepId(1) }));
+        assert!(matches!(eff[1], AgentEffect::DoInAction(_)));
+
+        let eff = a.on_event(AgentEvent::InActionDone);
+        assert_eq!(a.state(), AgentState::Adapted, "blocked awaiting resume");
+        assert_eq!(eff, vec![AgentEffect::Send(ProtoMsg::AdaptDone { step: StepId(1) })]);
+
+        let eff = a.on_event(AgentEvent::Msg(ProtoMsg::Resume { step: StepId(1) }));
+        assert_eq!(a.state(), AgentState::Resuming);
+        assert_eq!(eff, vec![AgentEffect::DoResume]);
+
+        let eff = a.on_event(AgentEvent::ResumeFinished);
+        assert_eq!(a.state(), AgentState::Running);
+        assert_eq!(eff[0], AgentEffect::Send(ProtoMsg::ResumeDone { step: StepId(1) }));
+        assert!(matches!(eff[1], AgentEffect::PostAction(_)), "post-action after resume");
+    }
+
+    #[test]
+    fn solo_step_skips_adapted_blocking() {
+        let mut a = AgentCore::new();
+        let _ = a.on_event(reset(2, true));
+        let _ = a.on_event(AgentEvent::SafeReached);
+        let eff = a.on_event(AgentEvent::InActionDone);
+        assert_eq!(a.state(), AgentState::Resuming, "direct adapted -> resuming");
+        assert_eq!(eff[0], AgentEffect::Send(ProtoMsg::AdaptDone { step: StepId(2) }));
+        assert_eq!(eff[1], AgentEffect::DoResume);
+    }
+
+    #[test]
+    fn fail_to_reset_reports_and_awaits_rollback() {
+        let mut a = AgentCore::new();
+        let _ = a.on_event(reset(3, false));
+        let eff = a.on_event(AgentEvent::CannotReset);
+        assert_eq!(a.state(), AgentState::FailedReset);
+        assert_eq!(eff, vec![AgentEffect::Send(ProtoMsg::FailToReset { step: StepId(3) })]);
+        let eff = a.on_event(AgentEvent::Msg(ProtoMsg::Rollback { step: StepId(3) }));
+        assert_eq!(a.state(), AgentState::RollingBack);
+        // In-action never ran: nothing structural to revert.
+        assert_eq!(eff[0], AgentEffect::DoRollback(None));
+        let eff = a.on_event(AgentEvent::RollbackFinished);
+        assert_eq!(a.state(), AgentState::Running);
+        assert_eq!(eff, vec![AgentEffect::Send(ProtoMsg::RollbackDone { step: StepId(3) })]);
+    }
+
+    #[test]
+    fn rollback_after_in_action_applies_inverse() {
+        let mut a = AgentCore::new();
+        let action = LocalAction {
+            action: ActionId(0),
+            removes: vec![sada_expr::CompId::from_index(0)],
+            adds: vec![sada_expr::CompId::from_index(1)],
+            needs_global_drain: false,
+        };
+        let _ = a.on_event(AgentEvent::Msg(ProtoMsg::Reset { step: StepId(4), action: action.clone(), solo: false }));
+        let _ = a.on_event(AgentEvent::SafeReached);
+        let _ = a.on_event(AgentEvent::InActionDone);
+        let eff = a.on_event(AgentEvent::Msg(ProtoMsg::Rollback { step: StepId(4) }));
+        assert_eq!(eff, vec![AgentEffect::DoRollback(Some(action.inverse()))]);
+    }
+
+    #[test]
+    fn duplicate_reset_reacks_by_progress() {
+        let mut a = AgentCore::new();
+        let _ = a.on_event(reset(5, false));
+        assert_eq!(a.on_event(reset(5, false)), vec![], "still resetting: silent");
+        let _ = a.on_event(AgentEvent::SafeReached);
+        assert_eq!(
+            a.on_event(reset(5, false)),
+            vec![AgentEffect::Send(ProtoMsg::ResetDone { step: StepId(5) })]
+        );
+        let _ = a.on_event(AgentEvent::InActionDone);
+        assert_eq!(
+            a.on_event(reset(5, false)),
+            vec![
+                AgentEffect::Send(ProtoMsg::ResetDone { step: StepId(5) }),
+                AgentEffect::Send(ProtoMsg::AdaptDone { step: StepId(5) }),
+            ]
+        );
+    }
+
+    #[test]
+    fn duplicate_reset_after_completion_reacks_everything() {
+        let mut a = AgentCore::new();
+        let _ = a.on_event(reset(6, true));
+        let _ = a.on_event(AgentEvent::SafeReached);
+        let _ = a.on_event(AgentEvent::InActionDone);
+        let _ = a.on_event(AgentEvent::ResumeFinished);
+        assert_eq!(a.state(), AgentState::Running);
+        let eff = a.on_event(reset(6, true));
+        assert_eq!(
+            eff,
+            vec![
+                AgentEffect::Send(ProtoMsg::AdaptDone { step: StepId(6) }),
+                AgentEffect::Send(ProtoMsg::ResumeDone { step: StepId(6) }),
+            ],
+            "completed step: re-ack, do not redo"
+        );
+    }
+
+    #[test]
+    fn duplicate_resume_handling() {
+        let mut a = AgentCore::new();
+        let _ = a.on_event(reset(7, false));
+        let _ = a.on_event(AgentEvent::SafeReached);
+        let _ = a.on_event(AgentEvent::InActionDone);
+        let _ = a.on_event(AgentEvent::Msg(ProtoMsg::Resume { step: StepId(7) }));
+        assert_eq!(a.on_event(AgentEvent::Msg(ProtoMsg::Resume { step: StepId(7) })), vec![]);
+        let _ = a.on_event(AgentEvent::ResumeFinished);
+        assert_eq!(
+            a.on_event(AgentEvent::Msg(ProtoMsg::Resume { step: StepId(7) })),
+            vec![AgentEffect::Send(ProtoMsg::ResumeDone { step: StepId(7) })]
+        );
+    }
+
+    #[test]
+    fn new_attempt_reset_mid_step_aborts_and_restarts() {
+        let mut a = AgentCore::new();
+        let action = LocalAction {
+            action: ActionId(0),
+            removes: vec![sada_expr::CompId::from_index(0)],
+            adds: vec![sada_expr::CompId::from_index(1)],
+            needs_global_drain: false,
+        };
+        // Old attempt progresses through its in-action; every ack is "lost".
+        let _ = a.on_event(AgentEvent::Msg(ProtoMsg::Reset { step: StepId(20), action: action.clone(), solo: false }));
+        let _ = a.on_event(AgentEvent::SafeReached);
+        let _ = a.on_event(AgentEvent::InActionDone);
+        assert_eq!(a.state(), AgentState::Adapted);
+        // The manager gave up on attempt 20 and starts attempt 21.
+        let eff = a.on_event(AgentEvent::Msg(ProtoMsg::Reset { step: StepId(21), action: action.clone(), solo: false }));
+        assert_eq!(a.state(), AgentState::RollingBack);
+        assert_eq!(eff, vec![AgentEffect::DoRollback(Some(action.inverse()))], "undo the applied change");
+        // Rollback finishes: the new attempt begins automatically.
+        let eff = a.on_event(AgentEvent::RollbackFinished);
+        assert_eq!(a.state(), AgentState::Resetting);
+        assert_eq!(a.current_step(), Some(StepId(21)));
+        assert_eq!(eff[0], AgentEffect::Send(ProtoMsg::RollbackDone { step: StepId(20) }));
+        assert!(matches!(eff[1], AgentEffect::PreAction(_)));
+        assert!(matches!(eff[2], AgentEffect::BeginReset(_)));
+        // And it can complete normally.
+        let _ = a.on_event(AgentEvent::SafeReached);
+        let _ = a.on_event(AgentEvent::InActionDone);
+        let _ = a.on_event(AgentEvent::Msg(ProtoMsg::Resume { step: StepId(21) }));
+        let eff = a.on_event(AgentEvent::ResumeFinished);
+        assert_eq!(eff[0], AgentEffect::Send(ProtoMsg::ResumeDone { step: StepId(21) }));
+        assert_eq!(a.state(), AgentState::Running);
+    }
+
+    #[test]
+    fn new_attempt_reset_before_in_action_restarts_without_undo() {
+        let mut a = AgentCore::new();
+        let _ = a.on_event(reset(30, false));
+        assert_eq!(a.state(), AgentState::Resetting);
+        let eff = a.on_event(reset(31, false));
+        assert_eq!(eff, vec![AgentEffect::DoRollback(None)], "nothing structural to undo");
+        let _ = a.on_event(AgentEvent::RollbackFinished);
+        assert_eq!(a.current_step(), Some(StepId(31)));
+        assert_eq!(a.state(), AgentState::Resetting);
+    }
+
+    #[test]
+    fn stale_step_ids_ignored() {
+        let mut a = AgentCore::new();
+        let _ = a.on_event(reset(8, false));
+        assert_eq!(a.on_event(AgentEvent::Msg(ProtoMsg::Resume { step: StepId(99) })), vec![]);
+        assert_eq!(a.on_event(AgentEvent::Msg(ProtoMsg::Rollback { step: StepId(99) })), vec![]);
+        assert_eq!(a.state(), AgentState::Resetting);
+    }
+
+    #[test]
+    fn rollback_for_unstarted_step_acks_immediately() {
+        let mut a = AgentCore::new();
+        let eff = a.on_event(AgentEvent::Msg(ProtoMsg::Rollback { step: StepId(10) }));
+        assert_eq!(eff, vec![AgentEffect::Send(ProtoMsg::RollbackDone { step: StepId(10) })]);
+        assert_eq!(a.state(), AgentState::Running);
+    }
+
+    #[test]
+    fn resume_in_adapted_requires_matching_step() {
+        let mut a = AgentCore::new();
+        let _ = a.on_event(reset(11, false));
+        let _ = a.on_event(AgentEvent::SafeReached);
+        let _ = a.on_event(AgentEvent::InActionDone);
+        assert_eq!(a.on_event(AgentEvent::Msg(ProtoMsg::Resume { step: StepId(12) })), vec![]);
+        assert_eq!(a.state(), AgentState::Adapted, "wrong step id keeps us blocked");
+    }
+}

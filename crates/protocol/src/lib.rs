@@ -1,0 +1,46 @@
+//! # sada-proto — the safe adaptation runtime protocol
+//!
+//! The realization phase of *Enabling Safe Dynamic Component-Based Software
+//! Adaptation* (DSN 2004, Sections 4.3–4.4): a centralized **adaptation
+//! manager** coordinates per-process **agents** so that every adaptive
+//! action of a planned safe adaptation path executes in its global safe
+//! state, with rollback and re-planning when failures strike.
+//!
+//! * [`AgentCore`] — Figure 1's agent state machine
+//!   (running → resetting → safe → adapted → resuming), pure and
+//!   transport-free.
+//! * [`ManagerCore`] — Figure 2's manager state machine, including the
+//!   Section 4.4 failure ladder: retransmit on timeout; abort + rollback on
+//!   loss-of-message or fail-to-reset before the first `resume`; run to
+//!   completion after it; then retry the step once, try the next-cheapest
+//!   path, try to return to the source configuration, and finally wait for
+//!   the user.
+//! * [`SagPlanner`] — plugs the `sada-plan` SAG + Yen ranking into the
+//!   manager's re-planning interface.
+//! * [`ManagerActor`] / [`ScriptedAgent`] — simnet adapters used by the
+//!   protocol tests, benches, and (for the manager) the video case study.
+//!
+//! The paper's equivalence theorem (Section 3.3) is validated end to end:
+//! integration tests record every in-action and configuration the protocol
+//! produces and feed them to `sada-model`'s independent [`SafetyAuditor`].
+//!
+//! [`SafetyAuditor`]: sada_model::SafetyAuditor
+
+mod agent;
+#[cfg(test)]
+mod manager_tests;
+mod manager;
+mod messages;
+mod plan_adapter;
+mod relay;
+mod sim;
+
+pub use agent::{AgentCore, AgentEffect, AgentEvent, AgentState};
+pub use manager::{
+    AdaptationPlanner, ManagerCore, ManagerEffect, ManagerEvent, ManagerPhase, Outcome, PlannedStep,
+    ProtoTiming,
+};
+pub use messages::{LocalAction, ProtoMsg, StepId, Wire};
+pub use plan_adapter::SagPlanner;
+pub use relay::RelayActor;
+pub use sim::{AgentTiming, ManagerActor, ScriptedAgent};

@@ -1,0 +1,583 @@
+//! The adaptation manager state machine (the paper's Figure 2) with the
+//! Section 4.4 failure-handling ladder.
+//!
+//! Like [`AgentCore`](crate::AgentCore), `ManagerCore` is pure: events in,
+//! effects out. Planning is delegated to an [`AdaptationPlanner`] so the
+//! manager can re-plan after failures ("try the second minimum adaptation
+//! path") without owning the SAG directly.
+
+use std::collections::{BTreeSet, HashSet};
+
+use sada_expr::Config;
+use sada_plan::{ActionId, Path};
+use sada_simnet::SimDuration;
+
+use crate::messages::{LocalAction, ProtoMsg, StepId};
+
+/// One step of a compiled adaptation plan: the action, the configuration
+/// transition it realizes, and each participating agent's local action.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlannedStep {
+    /// The distributed adaptive action.
+    pub action: ActionId,
+    /// Configuration before the step.
+    pub from: Config,
+    /// Configuration after the step.
+    pub to: Config,
+    /// Cost weight (for reporting).
+    pub cost: u64,
+    /// `(agent index, local action)` for every participating process.
+    pub locals: Vec<(usize, LocalAction)>,
+}
+
+/// Supplies candidate paths and compiles them into per-process steps.
+///
+/// Implemented over an eager SAG by [`SagPlanner`](crate::SagPlanner); tests
+/// use hand-rolled implementations to script failure scenarios.
+pub trait AdaptationPlanner {
+    /// Up to `k` loopless paths from `from` to `to`, cheapest first.
+    fn paths(&mut self, from: &Config, to: &Config, k: usize) -> Vec<Path>;
+
+    /// Compiles a path into executable steps with participant assignments.
+    fn compile(&mut self, path: &Path) -> Vec<PlannedStep>;
+}
+
+/// Timing and retry policy for the realization phase.
+#[derive(Debug, Clone, Copy)]
+pub struct ProtoTiming {
+    /// How long the manager waits for a phase to finish before
+    /// retransmitting (the paper's time-out mechanism).
+    pub phase_timeout: SimDuration,
+    /// Retransmissions of `reset` before declaring a loss-of-message
+    /// failure ("several attempts to send the messages").
+    pub send_retries: u32,
+    /// Retransmissions of `resume` before the manager force-completes the
+    /// step — after the first resume the adaptation must run to completion,
+    /// so the manager never rolls back here.
+    pub resume_force_limit: u32,
+    /// Retransmissions of `rollback` before assuming the rollback happened.
+    pub rollback_force_limit: u32,
+}
+
+impl Default for ProtoTiming {
+    fn default() -> Self {
+        ProtoTiming {
+            phase_timeout: SimDuration::from_millis(200),
+            send_retries: 3,
+            resume_force_limit: 10,
+            rollback_force_limit: 10,
+        }
+    }
+}
+
+/// The manager's coarse protocol phase (Figure 2's states; `Preparing` is
+/// synchronous in this implementation and `Adapted` is transient).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ManagerPhase {
+    /// No adaptation in progress.
+    Running,
+    /// Resets sent; collecting `adapt done` from every participant.
+    Adapting,
+    /// Resumes sent (or solo auto-resume pending); collecting `resume done`.
+    Resuming,
+    /// Rollback commands sent; collecting `rollback done`.
+    RollingBack,
+    /// All recovery options exhausted; waiting for user intervention.
+    GaveUp,
+}
+
+/// Final report of an adaptation request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Outcome {
+    /// True when the system reached the requested target configuration.
+    pub success: bool,
+    /// True when the manager exhausted every recovery option and stopped at
+    /// the current safe configuration awaiting the user.
+    pub gave_up: bool,
+    /// The configuration the system ended in (always safe).
+    pub final_config: Config,
+    /// Steps successfully committed.
+    pub steps_committed: u32,
+    /// Non-fatal anomalies (e.g. force-completed resumes).
+    pub warnings: Vec<String>,
+}
+
+/// Inputs to the manager.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ManagerEvent {
+    /// An adaptation request: move the system from `source` to `target`.
+    Request {
+        /// Current (safe) configuration.
+        source: Config,
+        /// Desired (safe) configuration.
+        target: Config,
+    },
+    /// A protocol message arrived from agent `agent`.
+    AgentMsg {
+        /// Agent index (0-based, dense).
+        agent: usize,
+        /// The message.
+        msg: ProtoMsg,
+    },
+    /// A timer armed via [`ManagerEffect::SetTimer`] fired.
+    Timeout {
+        /// The token of the fired timer.
+        token: u64,
+    },
+}
+
+/// Outputs of the manager.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ManagerEffect {
+    /// Send `msg` to agent `agent`.
+    Send {
+        /// Destination agent index.
+        agent: usize,
+        /// The message.
+        msg: ProtoMsg,
+    },
+    /// Arm a one-shot timer; deliver [`ManagerEvent::Timeout`] with `token`
+    /// after `after`.
+    SetTimer {
+        /// Token echoed by the timeout event.
+        token: u64,
+        /// Delay.
+        after: SimDuration,
+    },
+    /// Disarm the timer with `token` (best-effort; stale timeouts are also
+    /// ignored by token comparison).
+    CancelTimer {
+        /// Token to disarm.
+        token: u64,
+    },
+    /// The adaptation finished (successfully or not).
+    Complete(Outcome),
+    /// Progress note for human logs.
+    Info(String),
+}
+
+/// The manager half of the realization-phase protocol.
+pub struct ManagerCore {
+    timing: ProtoTiming,
+    planner: Box<dyn AdaptationPlanner>,
+    phase: ManagerPhase,
+    source: Config,
+    target: Config,
+    current: Config,
+    goal_is_source: bool,
+    steps: Vec<PlannedStep>,
+    step_ix: usize,
+    steps_committed: u32,
+    step_id: StepId,
+    next_attempt: u64,
+    solo: bool,
+    resume_sent: bool,
+    pending_adapt: BTreeSet<usize>,
+    pending_resume: BTreeSet<usize>,
+    pending_rollback: BTreeSet<usize>,
+    retries: u32,
+    step_retry_used: bool,
+    tried_paths: HashSet<(Config, Vec<ActionId>)>,
+    timer_token: u64,
+    warnings: Vec<String>,
+    queued_requests: std::collections::VecDeque<(Config, Config)>,
+}
+
+impl std::fmt::Debug for ManagerCore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ManagerCore")
+            .field("phase", &self.phase)
+            .field("current", &self.current)
+            .field("step_ix", &self.step_ix)
+            .field("steps", &self.steps.len())
+            .finish()
+    }
+}
+
+impl ManagerCore {
+    /// Creates a manager with the given policy and planner.
+    pub fn new(timing: ProtoTiming, planner: Box<dyn AdaptationPlanner>) -> Self {
+        ManagerCore {
+            timing,
+            planner,
+            phase: ManagerPhase::Running,
+            source: Config::empty(0),
+            target: Config::empty(0),
+            current: Config::empty(0),
+            goal_is_source: false,
+            steps: Vec::new(),
+            step_ix: 0,
+            steps_committed: 0,
+            step_id: StepId(0),
+            next_attempt: 1,
+            solo: false,
+            resume_sent: false,
+            pending_adapt: BTreeSet::new(),
+            pending_resume: BTreeSet::new(),
+            pending_rollback: BTreeSet::new(),
+            retries: 0,
+            step_retry_used: false,
+            tried_paths: HashSet::new(),
+            timer_token: 0,
+            warnings: Vec::new(),
+            queued_requests: std::collections::VecDeque::new(),
+        }
+    }
+
+    /// Current protocol phase.
+    pub fn phase(&self) -> ManagerPhase {
+        self.phase
+    }
+
+    /// The configuration the manager believes the system is in (updated as
+    /// steps commit).
+    pub fn current_config(&self) -> &Config {
+        &self.current
+    }
+
+    /// Feeds one event, returning the effects to perform **in order**.
+    pub fn on_event(&mut self, ev: ManagerEvent) -> Vec<ManagerEffect> {
+        match ev {
+            ManagerEvent::Request { source, target } => self.on_request(source, target),
+            ManagerEvent::AgentMsg { agent, msg } => self.on_agent_msg(agent, msg),
+            ManagerEvent::Timeout { token } => self.on_timeout(token),
+        }
+    }
+
+    fn on_request(&mut self, source: Config, target: Config) -> Vec<ManagerEffect> {
+        if self.phase != ManagerPhase::Running {
+            // One adaptation at a time (the centralized manager is the
+            // serialization point); later requests wait their turn.
+            self.queued_requests.push_back((source, target));
+            return vec![ManagerEffect::Info(format!(
+                "adaptation in progress; request queued ({} waiting)",
+                self.queued_requests.len()
+            ))];
+        }
+        self.source = source.clone();
+        self.target = target;
+        self.current = source;
+        self.goal_is_source = false;
+        self.steps_committed = 0;
+        self.tried_paths.clear();
+        self.warnings.clear();
+        self.step_retry_used = false;
+        self.select_and_start()
+    }
+
+    fn goal(&self) -> &Config {
+        if self.goal_is_source {
+            &self.source
+        } else {
+            &self.target
+        }
+    }
+
+    /// Picks the cheapest untried path from `current` to the goal and starts
+    /// its first step; walks down the recovery ladder when nothing is left.
+    fn select_and_start(&mut self) -> Vec<ManagerEffect> {
+        if &self.current == self.goal() {
+            return self.complete();
+        }
+        const K_MAX: usize = 16;
+        let (from, goal) = (self.current.clone(), self.goal().clone());
+        let candidates = self.planner.paths(&from, &goal, K_MAX);
+        let chosen = candidates.into_iter().find(|p| {
+            !self.tried_paths.contains(&(self.current.clone(), p.action_ids()))
+        });
+        match chosen {
+            Some(path) => {
+                self.tried_paths.insert((self.current.clone(), path.action_ids()));
+                let steps = self.planner.compile(&path);
+                debug_assert!(!steps.is_empty());
+                let mut eff = vec![ManagerEffect::Info(format!(
+                    "executing path {path} toward {}",
+                    if self.goal_is_source { "source (abort)" } else { "target" }
+                ))];
+                self.steps = steps;
+                self.step_ix = 0;
+                eff.extend(self.start_step());
+                eff
+            }
+            None if !self.goal_is_source => {
+                // All paths to the target exhausted: try to return to the
+                // source configuration.
+                self.goal_is_source = true;
+                let mut eff = vec![ManagerEffect::Info(
+                    "all paths to target failed; attempting to return to source configuration".into(),
+                )];
+                eff.extend(self.select_and_start());
+                eff
+            }
+            None => {
+                // Even the way back failed: wait for user intervention.
+                self.phase = ManagerPhase::GaveUp;
+                vec![
+                    ManagerEffect::Info("all recovery options exhausted; awaiting user intervention".into()),
+                    ManagerEffect::Complete(Outcome {
+                        success: false,
+                        gave_up: true,
+                        final_config: self.current.clone(),
+                        steps_committed: self.steps_committed,
+                        warnings: self.warnings.clone(),
+                    }),
+                ]
+            }
+        }
+    }
+
+    fn complete(&mut self) -> Vec<ManagerEffect> {
+        self.phase = ManagerPhase::Running;
+        let success = !self.goal_is_source && self.current == self.target;
+        let mut eff = vec![ManagerEffect::Complete(Outcome {
+            success,
+            gave_up: false,
+            final_config: self.current.clone(),
+            steps_committed: self.steps_committed,
+            warnings: self.warnings.clone(),
+        })];
+        // Serve the next queued request, re-anchored at wherever the system
+        // actually ended up (its stated source may be stale).
+        if let Some((source, target)) = self.queued_requests.pop_front() {
+            let effective_source =
+                if source == self.current { source } else { self.current.clone() };
+            eff.push(ManagerEffect::Info("starting queued adaptation request".into()));
+            eff.extend(self.on_request(effective_source, target));
+        }
+        eff
+    }
+
+    fn fresh_timer(&mut self, eff: &mut Vec<ManagerEffect>) {
+        if self.timer_token != 0 {
+            eff.push(ManagerEffect::CancelTimer { token: self.timer_token });
+        }
+        self.timer_token = self.next_attempt << 16 | u64::from(self.retries);
+        self.next_attempt += 1;
+        eff.push(ManagerEffect::SetTimer { token: self.timer_token, after: self.timing.phase_timeout });
+    }
+
+    fn start_step(&mut self) -> Vec<ManagerEffect> {
+        let step = self.steps[self.step_ix].clone();
+        debug_assert_eq!(step.from, self.current, "plan out of sync with committed config");
+        self.step_id = StepId(self.next_attempt);
+        self.next_attempt += 1;
+        self.solo = step.locals.len() == 1;
+        self.resume_sent = false;
+        self.retries = 0;
+        self.pending_adapt = step.locals.iter().map(|(a, _)| *a).collect();
+        self.pending_resume = self.pending_adapt.clone();
+        self.pending_rollback.clear();
+        self.phase = ManagerPhase::Adapting;
+        let mut eff = Vec::new();
+        for (agent, local) in &step.locals {
+            eff.push(ManagerEffect::Send {
+                agent: *agent,
+                msg: ProtoMsg::Reset { step: self.step_id, action: local.clone(), solo: self.solo },
+            });
+        }
+        self.fresh_timer(&mut eff);
+        eff
+    }
+
+    fn on_agent_msg(&mut self, agent: usize, msg: ProtoMsg) -> Vec<ManagerEffect> {
+        if msg.step() != self.step_id {
+            return Vec::new(); // stale attempt
+        }
+        match (self.phase, msg) {
+            (ManagerPhase::Adapting, ProtoMsg::ResetDone { .. }) => Vec::new(),
+            (ManagerPhase::Adapting, ProtoMsg::AdaptDone { .. }) => {
+                self.pending_adapt.remove(&agent);
+                if !self.pending_adapt.is_empty() {
+                    return Vec::new();
+                }
+                // All in-actions done: the adapted state. Solo agents resume
+                // autonomously; otherwise broadcast resume. Either way the
+                // point of no return is passed.
+                self.phase = ManagerPhase::Resuming;
+                self.resume_sent = true;
+                self.retries = 0;
+                let mut eff = Vec::new();
+                if !self.solo {
+                    let step = &self.steps[self.step_ix];
+                    for (a, _) in &step.locals {
+                        eff.push(ManagerEffect::Send { agent: *a, msg: ProtoMsg::Resume { step: self.step_id } });
+                    }
+                }
+                self.fresh_timer(&mut eff);
+                eff
+            }
+            (ManagerPhase::Resuming, ProtoMsg::AdaptDone { .. }) => Vec::new(), // duplicate
+            (ManagerPhase::Resuming, ProtoMsg::ResumeDone { .. }) => {
+                self.pending_resume.remove(&agent);
+                if !self.pending_resume.is_empty() {
+                    return Vec::new();
+                }
+                let mut eff = vec![ManagerEffect::CancelTimer { token: self.timer_token }];
+                eff.extend(self.commit_step());
+                eff
+            }
+            (ManagerPhase::Adapting, ProtoMsg::FailToReset { .. }) => {
+                let mut eff = vec![ManagerEffect::Info(format!(
+                    "agent {agent} failed to reset; aborting step {}",
+                    self.step_id
+                ))];
+                eff.extend(self.begin_rollback());
+                eff
+            }
+            (ManagerPhase::RollingBack, ProtoMsg::RollbackDone { .. }) => {
+                self.pending_rollback.remove(&agent);
+                if !self.pending_rollback.is_empty() {
+                    return Vec::new();
+                }
+                let mut eff = vec![ManagerEffect::CancelTimer { token: self.timer_token }];
+                eff.extend(self.rollback_complete());
+                eff
+            }
+            // Late FailToReset while rolling back, stray acks, etc.
+            _ => Vec::new(),
+        }
+    }
+
+    fn commit_step(&mut self) -> Vec<ManagerEffect> {
+        let step = &self.steps[self.step_ix];
+        self.current = step.to.clone();
+        self.steps_committed += 1;
+        self.step_retry_used = false;
+        self.step_ix += 1;
+        if self.step_ix < self.steps.len() {
+            // "more adaptation steps remaining: prepare for the next step".
+            self.start_step()
+        } else if &self.current == self.goal() {
+            self.complete()
+        } else {
+            // Path exhausted without reaching the goal — cannot happen with
+            // well-formed plans, but re-plan defensively.
+            self.select_and_start()
+        }
+    }
+
+    fn begin_rollback(&mut self) -> Vec<ManagerEffect> {
+        let step = &self.steps[self.step_ix];
+        self.phase = ManagerPhase::RollingBack;
+        self.retries = 0;
+        self.pending_rollback = step.locals.iter().map(|(a, _)| *a).collect();
+        let mut eff = Vec::new();
+        for (agent, _) in &step.locals {
+            eff.push(ManagerEffect::Send { agent: *agent, msg: ProtoMsg::Rollback { step: self.step_id } });
+        }
+        self.fresh_timer(&mut eff);
+        eff
+    }
+
+    fn rollback_complete(&mut self) -> Vec<ManagerEffect> {
+        // The system is back at the step's source configuration (= current).
+        if !self.step_retry_used {
+            // Ladder rung 1: retry the same step once more.
+            self.step_retry_used = true;
+            let mut eff = vec![ManagerEffect::Info(format!("retrying step {} once", self.step_ix))];
+            eff.extend(self.start_step());
+            eff
+        } else {
+            // Ladder rungs 2-4: next-cheapest path, return to source, give up.
+            self.step_retry_used = false;
+            self.select_and_start()
+        }
+    }
+
+    fn on_timeout(&mut self, token: u64) -> Vec<ManagerEffect> {
+        if token != self.timer_token {
+            return Vec::new(); // stale timer
+        }
+        match self.phase {
+            ManagerPhase::Adapting => {
+                if self.retries < self.timing.send_retries {
+                    self.retries += 1;
+                    let step = self.steps[self.step_ix].clone();
+                    let mut eff = vec![ManagerEffect::Info(format!(
+                        "timeout in adapting; retransmitting reset (attempt {})",
+                        self.retries
+                    ))];
+                    for (agent, local) in &step.locals {
+                        if self.pending_adapt.contains(agent) {
+                            eff.push(ManagerEffect::Send {
+                                agent: *agent,
+                                msg: ProtoMsg::Reset {
+                                    step: self.step_id,
+                                    action: local.clone(),
+                                    solo: self.solo,
+                                },
+                            });
+                        }
+                    }
+                    self.fresh_timer(&mut eff);
+                    eff
+                } else {
+                    // Loss-of-message before any resume: abort the step.
+                    let mut eff = vec![ManagerEffect::Info(
+                        "reset/adapt phase timed out; aborting step (rollback)".into(),
+                    )];
+                    eff.extend(self.begin_rollback());
+                    eff
+                }
+            }
+            ManagerPhase::Resuming => {
+                if self.retries < self.timing.resume_force_limit {
+                    self.retries += 1;
+                    let step = self.steps[self.step_ix].clone();
+                    let mut eff = Vec::new();
+                    for (agent, local) in &step.locals {
+                        if self.pending_resume.contains(agent) {
+                            // Solo steps never send Resume; retransmit Reset
+                            // instead, which elicits idempotent re-acks.
+                            let msg = if self.solo {
+                                ProtoMsg::Reset { step: self.step_id, action: local.clone(), solo: true }
+                            } else {
+                                ProtoMsg::Resume { step: self.step_id }
+                            };
+                            eff.push(ManagerEffect::Send { agent: *agent, msg });
+                        }
+                    }
+                    self.fresh_timer(&mut eff);
+                    eff
+                } else {
+                    // After resume the adaptation must run to completion: the
+                    // unreachable agents will finish on their own. Commit.
+                    self.warnings.push(format!(
+                        "step {} force-completed: {} agent(s) never acknowledged resume",
+                        self.step_ix,
+                        self.pending_resume.len()
+                    ));
+                    let mut eff = vec![ManagerEffect::Info(
+                        "resume acks lost; running to completion and committing step".into(),
+                    )];
+                    eff.extend(self.commit_step());
+                    eff
+                }
+            }
+            ManagerPhase::RollingBack => {
+                if self.retries < self.timing.rollback_force_limit {
+                    self.retries += 1;
+                    let step = self.steps[self.step_ix].clone();
+                    let mut eff = Vec::new();
+                    for (agent, _) in &step.locals {
+                        if self.pending_rollback.contains(agent) {
+                            eff.push(ManagerEffect::Send {
+                                agent: *agent,
+                                msg: ProtoMsg::Rollback { step: self.step_id },
+                            });
+                        }
+                    }
+                    self.fresh_timer(&mut eff);
+                    eff
+                } else {
+                    self.warnings.push(format!(
+                        "rollback of step {} assumed complete after retries exhausted",
+                        self.step_ix
+                    ));
+                    self.rollback_complete()
+                }
+            }
+            ManagerPhase::Running | ManagerPhase::GaveUp => Vec::new(),
+        }
+    }
+}

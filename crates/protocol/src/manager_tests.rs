@@ -1,0 +1,415 @@
+//! Unit tests for the manager state machine (Figure 2 + Section 4.4
+//! failure ladder), driven without any network.
+
+use std::collections::HashSet;
+
+use sada_expr::{enumerate, InvariantSet, Universe};
+use sada_model::SystemModel;
+use sada_plan::{Action, Sag};
+
+use crate::manager::{ManagerCore, ManagerEffect, ManagerEvent, ManagerPhase, Outcome, ProtoTiming};
+use crate::messages::ProtoMsg;
+use crate::plan_adapter::SagPlanner;
+
+/// World: components A, B, C under one_of; replacements A->B (1), B->C (1),
+/// A->C (5). Everything hosted on one process / agent 0.
+fn world() -> (Universe, ManagerCore) {
+    let mut u = Universe::new();
+    for n in ["A", "B", "C"] {
+        u.intern(n);
+    }
+    let actions = vec![
+        Action::replace(0, "A->B", &u.config_of(&["A"]), &u.config_of(&["B"]), 1),
+        Action::replace(1, "B->C", &u.config_of(&["B"]), &u.config_of(&["C"]), 1),
+        Action::replace(2, "A->C", &u.config_of(&["A"]), &u.config_of(&["C"]), 5),
+        // Return edges so "back to source" is plannable.
+        Action::replace(3, "C->A", &u.config_of(&["C"]), &u.config_of(&["A"]), 1),
+        Action::replace(4, "B->A", &u.config_of(&["B"]), &u.config_of(&["A"]), 1),
+    ];
+    let inv = InvariantSet::parse(&["one_of(A, B, C)"], &mut u).unwrap();
+    let sag = Sag::build(enumerate::safe_configs(&u, &inv), &actions);
+    let mut model = SystemModel::new();
+    let p0 = model.add_process("host");
+    model.place_all(&u, &[("A", p0), ("B", p0), ("C", p0)]);
+    let planner = SagPlanner::new(sag, actions, model, vec![0], HashSet::new());
+    let mgr = ManagerCore::new(ProtoTiming::default(), Box::new(planner));
+    (u, mgr)
+}
+
+/// Two-agent world: X on agent 0 and Y on agent 1, replaced together.
+fn world_two_agents() -> (Universe, ManagerCore) {
+    let mut u = Universe::new();
+    for n in ["X1", "X2", "Y1", "Y2"] {
+        u.intern(n);
+    }
+    let actions = vec![Action::replace(
+        0,
+        "(X1,Y1)->(X2,Y2)",
+        &u.config_of(&["X1", "Y1"]),
+        &u.config_of(&["X2", "Y2"]),
+        10,
+    )];
+    let inv = InvariantSet::parse(&["one_of(X1, X2) & one_of(Y1, Y2)"], &mut u).unwrap();
+    let sag = Sag::build(enumerate::safe_configs(&u, &inv), &actions);
+    let mut model = SystemModel::new();
+    let p0 = model.add_process("px");
+    let p1 = model.add_process("py");
+    model.place_all(&u, &[("X1", p0), ("X2", p0), ("Y1", p1), ("Y2", p1)]);
+    let planner = SagPlanner::new(sag, actions, model, vec![0, 1], HashSet::new());
+    let mgr = ManagerCore::new(ProtoTiming::default(), Box::new(planner));
+    (u, mgr)
+}
+
+fn sends(effects: &[ManagerEffect]) -> Vec<(usize, &ProtoMsg)> {
+    effects
+        .iter()
+        .filter_map(|e| match e {
+            ManagerEffect::Send { agent, msg } => Some((*agent, msg)),
+            _ => None,
+        })
+        .collect()
+}
+
+fn timer_token(effects: &[ManagerEffect]) -> u64 {
+    effects
+        .iter()
+        .rev()
+        .find_map(|e| match e {
+            ManagerEffect::SetTimer { token, .. } => Some(*token),
+            _ => None,
+        })
+        .expect("a timer should be armed")
+}
+
+fn outcome(effects: &[ManagerEffect]) -> Option<&Outcome> {
+    effects.iter().find_map(|e| match e {
+        ManagerEffect::Complete(o) => Some(o),
+        _ => None,
+    })
+}
+
+fn reset_step(effects: &[ManagerEffect]) -> crate::messages::StepId {
+    sends(effects)
+        .iter()
+        .find_map(|(_, m)| match m {
+            ProtoMsg::Reset { step, .. } => Some(*step),
+            _ => None,
+        })
+        .expect("a reset should be sent")
+}
+
+#[test]
+fn identity_request_completes_immediately() {
+    let (u, mut mgr) = world();
+    let a = u.config_of(&["A"]);
+    let eff = mgr.on_event(ManagerEvent::Request { source: a.clone(), target: a });
+    let o = outcome(&eff).expect("immediate completion");
+    assert!(o.success);
+    assert_eq!(o.steps_committed, 0);
+    assert_eq!(mgr.phase(), ManagerPhase::Running);
+}
+
+#[test]
+fn happy_path_two_solo_steps() {
+    let (u, mut mgr) = world();
+    let eff = mgr.on_event(ManagerEvent::Request {
+        source: u.config_of(&["A"]),
+        target: u.config_of(&["C"]),
+    });
+    // Cheapest path is A->B then B->C (cost 2), both solo on agent 0.
+    let s1 = reset_step(&eff);
+    assert_eq!(sends(&eff).len(), 1);
+    assert_eq!(mgr.phase(), ManagerPhase::Adapting);
+
+    // Solo step: AdaptDone moves straight to Resuming without Resume sends.
+    let eff = mgr.on_event(ManagerEvent::AgentMsg { agent: 0, msg: ProtoMsg::AdaptDone { step: s1 } });
+    assert!(sends(&eff).is_empty(), "no resume for solo steps");
+    assert_eq!(mgr.phase(), ManagerPhase::Resuming);
+
+    let eff = mgr.on_event(ManagerEvent::AgentMsg { agent: 0, msg: ProtoMsg::ResumeDone { step: s1 } });
+    assert_eq!(mgr.phase(), ManagerPhase::Adapting, "second step started");
+    let s2 = reset_step(&eff);
+    assert_ne!(s1, s2, "fresh attempt id per step");
+
+    let _ = mgr.on_event(ManagerEvent::AgentMsg { agent: 0, msg: ProtoMsg::AdaptDone { step: s2 } });
+    let eff = mgr.on_event(ManagerEvent::AgentMsg { agent: 0, msg: ProtoMsg::ResumeDone { step: s2 } });
+    let o = outcome(&eff).expect("completion after last step");
+    assert!(o.success);
+    assert_eq!(o.steps_committed, 2);
+    assert_eq!(o.final_config, u.config_of(&["C"]));
+    assert_eq!(mgr.current_config(), &u.config_of(&["C"]));
+}
+
+#[test]
+fn multi_agent_step_waits_for_all_before_resume() {
+    let (u, mut mgr) = world_two_agents();
+    let eff = mgr.on_event(ManagerEvent::Request {
+        source: u.config_of(&["X1", "Y1"]),
+        target: u.config_of(&["X2", "Y2"]),
+    });
+    let step = reset_step(&eff);
+    assert_eq!(sends(&eff).len(), 2, "reset to both participants");
+
+    let eff = mgr.on_event(ManagerEvent::AgentMsg { agent: 0, msg: ProtoMsg::AdaptDone { step } });
+    assert!(sends(&eff).is_empty(), "must hold until every agent adapted");
+    assert_eq!(mgr.phase(), ManagerPhase::Adapting);
+
+    let eff = mgr.on_event(ManagerEvent::AgentMsg { agent: 1, msg: ProtoMsg::AdaptDone { step } });
+    let resumes = sends(&eff);
+    assert_eq!(resumes.len(), 2, "resume broadcast after the barrier");
+    assert!(resumes.iter().all(|(_, m)| matches!(m, ProtoMsg::Resume { .. })));
+
+    let _ = mgr.on_event(ManagerEvent::AgentMsg { agent: 0, msg: ProtoMsg::ResumeDone { step } });
+    assert_eq!(mgr.phase(), ManagerPhase::Resuming);
+    let eff = mgr.on_event(ManagerEvent::AgentMsg { agent: 1, msg: ProtoMsg::ResumeDone { step } });
+    let o = outcome(&eff).expect("complete");
+    assert!(o.success);
+}
+
+#[test]
+fn timeout_retransmits_reset_then_rolls_back() {
+    let (u, mut mgr) = world_two_agents();
+    let eff = mgr.on_event(ManagerEvent::Request {
+        source: u.config_of(&["X1", "Y1"]),
+        target: u.config_of(&["X2", "Y2"]),
+    });
+    let mut token = timer_token(&eff);
+    // send_retries retransmissions...
+    for attempt in 0..ProtoTiming::default().send_retries {
+        let eff = mgr.on_event(ManagerEvent::Timeout { token });
+        let s = sends(&eff);
+        assert!(
+            s.iter().all(|(_, m)| matches!(m, ProtoMsg::Reset { .. })),
+            "attempt {attempt} retransmits reset"
+        );
+        assert_eq!(s.len(), 2);
+        token = timer_token(&eff);
+    }
+    // ...then the step is aborted with a rollback broadcast.
+    let eff = mgr.on_event(ManagerEvent::Timeout { token });
+    let s = sends(&eff);
+    assert!(s.iter().all(|(_, m)| matches!(m, ProtoMsg::Rollback { .. })));
+    assert_eq!(mgr.phase(), ManagerPhase::RollingBack);
+}
+
+#[test]
+fn fail_to_reset_triggers_immediate_rollback() {
+    let (u, mut mgr) = world();
+    let eff = mgr.on_event(ManagerEvent::Request {
+        source: u.config_of(&["A"]),
+        target: u.config_of(&["C"]),
+    });
+    let step = reset_step(&eff);
+    let eff = mgr.on_event(ManagerEvent::AgentMsg { agent: 0, msg: ProtoMsg::FailToReset { step } });
+    let s = sends(&eff);
+    assert_eq!(s.len(), 1);
+    assert!(matches!(s[0].1, ProtoMsg::Rollback { .. }));
+    assert_eq!(mgr.phase(), ManagerPhase::RollingBack);
+}
+
+#[test]
+fn recovery_ladder_retry_then_alternate_path_then_source_then_give_up() {
+    let (u, mut mgr) = world();
+    let a = u.config_of(&["A"]);
+    let c = u.config_of(&["C"]);
+    let eff = mgr.on_event(ManagerEvent::Request { source: a.clone(), target: c });
+    let mut step = reset_step(&eff);
+
+    let fail_step = |mgr: &mut ManagerCore, step| -> Vec<ManagerEffect> {
+        let eff = mgr.on_event(ManagerEvent::AgentMsg { agent: 0, msg: ProtoMsg::FailToReset { step } });
+        assert_eq!(mgr.phase(), ManagerPhase::RollingBack);
+        mgr.on_event(ManagerEvent::AgentMsg { agent: 0, msg: ProtoMsg::RollbackDone { step } })
+            .into_iter()
+            .chain(eff)
+            .collect()
+    };
+
+    // Failure 1: rung 1 = retry the same step once (same path, fresh id).
+    let eff = fail_step(&mut mgr, step);
+    let retry = reset_step(&eff);
+    assert_ne!(retry, step);
+    assert_eq!(mgr.phase(), ManagerPhase::Adapting);
+    step = retry;
+
+    // Failure 2: rung 2 = second-minimum path A->C (direct, cost 5).
+    let eff = fail_step(&mut mgr, step);
+    step = reset_step(&eff);
+
+    // Failure 3: retry of the alternate path's step.
+    let eff = fail_step(&mut mgr, step);
+    step = reset_step(&eff);
+
+    // Failure 4: no more paths to target; current==source so the "return to
+    // source" rung completes instantly as an aborted adaptation.
+    let eff = fail_step(&mut mgr, step);
+    let o = outcome(&eff).expect("aborted completion at source");
+    assert!(!o.success);
+    assert!(!o.gave_up);
+    assert_eq!(o.final_config, a);
+    assert_eq!(mgr.phase(), ManagerPhase::Running);
+}
+
+#[test]
+fn give_up_when_stranded_mid_path() {
+    // Custom world without return edges: B is a dead end for going back.
+    let mut u = Universe::new();
+    for n in ["A", "B", "C"] {
+        u.intern(n);
+    }
+    let actions = vec![
+        Action::replace(0, "A->B", &u.config_of(&["A"]), &u.config_of(&["B"]), 1),
+        Action::replace(1, "B->C", &u.config_of(&["B"]), &u.config_of(&["C"]), 1),
+    ];
+    let inv = InvariantSet::parse(&["one_of(A, B, C)"], &mut u).unwrap();
+    let sag = Sag::build(enumerate::safe_configs(&u, &inv), &actions);
+    let mut model = SystemModel::new();
+    let p0 = model.add_process("host");
+    model.place_all(&u, &[("A", p0), ("B", p0), ("C", p0)]);
+    let planner = SagPlanner::new(sag, actions, model, vec![0], HashSet::new());
+    let mut mgr = ManagerCore::new(ProtoTiming::default(), Box::new(planner));
+
+    let eff = mgr.on_event(ManagerEvent::Request {
+        source: u.config_of(&["A"]),
+        target: u.config_of(&["C"]),
+    });
+    let s1 = reset_step(&eff);
+    // Step 1 (A->B) commits.
+    let _ = mgr.on_event(ManagerEvent::AgentMsg { agent: 0, msg: ProtoMsg::AdaptDone { step: s1 } });
+    let eff = mgr.on_event(ManagerEvent::AgentMsg { agent: 0, msg: ProtoMsg::ResumeDone { step: s1 } });
+    let mut step = reset_step(&eff);
+
+    // Step 2 (B->C) keeps failing: retry rung, re-selection of the B->C
+    // path from the new current config, its retry, then — with no other
+    // path to C and no way back to A from B — the manager gives up at B.
+    for _ in 0..6 {
+        let eff1 = mgr.on_event(ManagerEvent::AgentMsg { agent: 0, msg: ProtoMsg::FailToReset { step } });
+        let _ = eff1;
+        let eff2 = mgr.on_event(ManagerEvent::AgentMsg { agent: 0, msg: ProtoMsg::RollbackDone { step } });
+        if let Some(o) = outcome(&eff2) {
+            assert!(o.gave_up);
+            assert!(!o.success);
+            assert_eq!(o.final_config, u.config_of(&["B"]), "stranded at the safe config B");
+            assert_eq!(mgr.phase(), ManagerPhase::GaveUp);
+            return;
+        }
+        step = reset_step(&eff2);
+    }
+    panic!("manager should have given up");
+}
+
+#[test]
+fn resume_timeout_forces_completion_with_warning() {
+    let (u, mut mgr) = world_two_agents();
+    let eff = mgr.on_event(ManagerEvent::Request {
+        source: u.config_of(&["X1", "Y1"]),
+        target: u.config_of(&["X2", "Y2"]),
+    });
+    let step = reset_step(&eff);
+    let _ = mgr.on_event(ManagerEvent::AgentMsg { agent: 0, msg: ProtoMsg::AdaptDone { step } });
+    let eff = mgr.on_event(ManagerEvent::AgentMsg { agent: 1, msg: ProtoMsg::AdaptDone { step } });
+    let mut token = timer_token(&eff);
+    // Agent 1's ResumeDone never arrives.
+    let _ = mgr.on_event(ManagerEvent::AgentMsg { agent: 0, msg: ProtoMsg::ResumeDone { step } });
+    let mut final_outcome = None;
+    for _ in 0..=ProtoTiming::default().resume_force_limit {
+        let eff = mgr.on_event(ManagerEvent::Timeout { token });
+        if let Some(o) = outcome(&eff) {
+            final_outcome = Some(o.clone());
+            break;
+        }
+        let s = sends(&eff);
+        assert!(s.iter().all(|(a, m)| *a == 1 && matches!(m, ProtoMsg::Resume { .. })));
+        token = timer_token(&eff);
+    }
+    let o = final_outcome.expect("force completion");
+    assert!(o.success, "after resume the adaptation runs to completion");
+    assert!(!o.warnings.is_empty(), "but the anomaly is recorded");
+}
+
+#[test]
+fn stale_messages_and_timers_ignored() {
+    let (u, mut mgr) = world();
+    let eff = mgr.on_event(ManagerEvent::Request {
+        source: u.config_of(&["A"]),
+        target: u.config_of(&["C"]),
+    });
+    let token = timer_token(&eff);
+    assert!(mgr
+        .on_event(ManagerEvent::AgentMsg {
+            agent: 0,
+            msg: ProtoMsg::AdaptDone { step: crate::messages::StepId(9999) }
+        })
+        .is_empty());
+    assert!(mgr.on_event(ManagerEvent::Timeout { token: token + 12345 }).is_empty());
+    assert_eq!(mgr.phase(), ManagerPhase::Adapting, "unmoved by stale inputs");
+}
+
+#[test]
+fn second_request_while_busy_is_queued_and_served() {
+    let (u, mut mgr) = world();
+    let eff = mgr.on_event(ManagerEvent::Request {
+        source: u.config_of(&["A"]),
+        target: u.config_of(&["B"]),
+    });
+    let s1 = reset_step(&eff);
+    // A second request arrives mid-adaptation: queued, nothing sent.
+    let eff = mgr.on_event(ManagerEvent::Request {
+        source: u.config_of(&["B"]),
+        target: u.config_of(&["C"]),
+    });
+    assert!(sends(&eff).is_empty());
+    assert!(matches!(eff[0], ManagerEffect::Info(_)));
+    // Finish the first adaptation; the queued one starts automatically.
+    let _ = mgr.on_event(ManagerEvent::AgentMsg { agent: 0, msg: ProtoMsg::AdaptDone { step: s1 } });
+    let eff = mgr.on_event(ManagerEvent::AgentMsg { agent: 0, msg: ProtoMsg::ResumeDone { step: s1 } });
+    let o = outcome(&eff).expect("first adaptation completes");
+    assert!(o.success);
+    assert_eq!(o.final_config, u.config_of(&["B"]));
+    let s2 = reset_step(&eff);
+    assert_eq!(mgr.phase(), ManagerPhase::Adapting, "queued request underway");
+    let _ = mgr.on_event(ManagerEvent::AgentMsg { agent: 0, msg: ProtoMsg::AdaptDone { step: s2 } });
+    let eff = mgr.on_event(ManagerEvent::AgentMsg { agent: 0, msg: ProtoMsg::ResumeDone { step: s2 } });
+    let o = outcome(&eff).expect("second adaptation completes");
+    assert!(o.success);
+    assert_eq!(o.final_config, u.config_of(&["C"]));
+}
+
+#[test]
+fn queued_request_with_stale_source_is_reanchored() {
+    let (u, mut mgr) = world();
+    let eff = mgr.on_event(ManagerEvent::Request {
+        source: u.config_of(&["A"]),
+        target: u.config_of(&["B"]),
+    });
+    let s1 = reset_step(&eff);
+    // Queued request claims the system is still at A; by the time it runs
+    // the system is at B, and the manager must plan from B.
+    let _ = mgr.on_event(ManagerEvent::Request {
+        source: u.config_of(&["A"]),
+        target: u.config_of(&["C"]),
+    });
+    let _ = mgr.on_event(ManagerEvent::AgentMsg { agent: 0, msg: ProtoMsg::AdaptDone { step: s1 } });
+    let eff = mgr.on_event(ManagerEvent::AgentMsg { agent: 0, msg: ProtoMsg::ResumeDone { step: s1 } });
+    let s2 = reset_step(&eff);
+    let _ = mgr.on_event(ManagerEvent::AgentMsg { agent: 0, msg: ProtoMsg::AdaptDone { step: s2 } });
+    let eff = mgr.on_event(ManagerEvent::AgentMsg { agent: 0, msg: ProtoMsg::ResumeDone { step: s2 } });
+    let o = outcome(&eff).expect("completes");
+    assert!(o.success);
+    assert_eq!(o.final_config, u.config_of(&["C"]), "planned B -> C, not A -> C");
+}
+
+#[test]
+fn unreachable_target_gives_up_immediately() {
+    let (u, mut mgr) = world();
+    // No action ever removes C and adds A+B simultaneously to form {A,B}…
+    // and {A,B} is not even safe. Planner returns nothing.
+    let eff = mgr.on_event(ManagerEvent::Request {
+        source: u.config_of(&["C"]),
+        target: u.config_of(&["A", "B"]),
+    });
+    let o = outcome(&eff).expect("no plan => immediate resolution");
+    assert!(!o.success);
+    // It "returns to source" trivially (already there), so not a give-up.
+    assert!(!o.gave_up);
+    assert_eq!(o.final_config, u.config_of(&["C"]));
+}

@@ -1,0 +1,182 @@
+//! Wire messages between the adaptation manager and its agents.
+
+use std::fmt;
+
+use sada_expr::CompId;
+use sada_plan::ActionId;
+
+/// Identifies one *execution attempt* of one adaptation step.
+///
+/// Retried steps get fresh ids so stale acknowledgements from an earlier
+/// attempt cannot be confused with the current one (the manager ignores
+/// mismatched ids; agents re-acknowledge duplicates of the current id).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct StepId(pub u64);
+
+impl fmt::Display for StepId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "step#{}", self.0)
+    }
+}
+
+/// The slice of an adaptive action that one process must perform: which of
+/// its components to remove and add, and whether the global safe condition
+/// requires draining in-flight traffic first.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LocalAction {
+    /// The distributed action this local action belongs to.
+    pub action: ActionId,
+    /// Components this process removes during its in-action.
+    pub removes: Vec<CompId>,
+    /// Components this process adds during its in-action.
+    pub adds: Vec<CompId>,
+    /// When true, the local safe state is not enough: the process must also
+    /// wait for the global safe condition (e.g. "the receiver has received
+    /// all the datagram packets that the sender has sent", Section 3.2).
+    pub needs_global_drain: bool,
+}
+
+impl LocalAction {
+    /// The inverse local action, applied during rollback.
+    pub fn inverse(&self) -> LocalAction {
+        LocalAction {
+            action: self.action,
+            removes: self.adds.clone(),
+            adds: self.removes.clone(),
+            needs_global_drain: self.needs_global_drain,
+        }
+    }
+}
+
+/// Protocol messages (the `Courier`-font names of Figures 1 and 2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtoMsg {
+    /// Manager → agent: begin the step — perform the pre-action and drive
+    /// the process toward its (local + global) safe state. `solo` tells the
+    /// agent it is the only participant, so it may resume without waiting
+    /// for `Resume` (Figure 1's direct adapted → resuming arc).
+    Reset {
+        /// The step attempt this message belongs to.
+        step: StepId,
+        /// What this process must do.
+        action: LocalAction,
+        /// True when this agent is the only participant.
+        solo: bool,
+    },
+    /// Agent → manager: the process is blocked in its safe state.
+    ResetDone {
+        /// Echoed step attempt.
+        step: StepId,
+    },
+    /// Agent → manager: the local in-action completed; process blocked in
+    /// the adapted state (unless solo).
+    AdaptDone {
+        /// Echoed step attempt.
+        step: StepId,
+    },
+    /// Manager → agent: all participants adapted; resume full operation.
+    Resume {
+        /// The step attempt being resumed.
+        step: StepId,
+    },
+    /// Agent → manager: full operation restored; post-action performed.
+    ResumeDone {
+        /// Echoed step attempt.
+        step: StepId,
+    },
+    /// Manager → agent: abort the step — restore the state prior to the
+    /// adaptation and resume.
+    Rollback {
+        /// The step attempt being aborted.
+        step: StepId,
+    },
+    /// Agent → manager: rollback finished; process running as before.
+    RollbackDone {
+        /// Echoed step attempt.
+        step: StepId,
+    },
+    /// Agent → manager: the process cannot reach a safe state in reasonable
+    /// time (a long critical communication segment) — Section 4.4's
+    /// fail-to-reset failure.
+    FailToReset {
+        /// Echoed step attempt.
+        step: StepId,
+    },
+}
+
+impl ProtoMsg {
+    /// The step attempt the message refers to.
+    pub fn step(&self) -> StepId {
+        match self {
+            ProtoMsg::Reset { step, .. }
+            | ProtoMsg::ResetDone { step }
+            | ProtoMsg::AdaptDone { step }
+            | ProtoMsg::Resume { step }
+            | ProtoMsg::ResumeDone { step }
+            | ProtoMsg::Rollback { step }
+            | ProtoMsg::RollbackDone { step }
+            | ProtoMsg::FailToReset { step } => *step,
+        }
+    }
+}
+
+/// The combined wire format carried by the simulated network: protocol
+/// traffic multiplexed with application traffic of type `M`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Wire<M> {
+    /// Manager/agent coordination.
+    Proto(ProtoMsg),
+    /// Application payload (video packets in the case study).
+    App(M),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sada_expr::CompId;
+
+    fn la() -> LocalAction {
+        LocalAction {
+            action: ActionId(0),
+            removes: vec![CompId::from_index(1)],
+            adds: vec![CompId::from_index(2)],
+            needs_global_drain: true,
+        }
+    }
+
+    #[test]
+    fn inverse_swaps_adds_and_removes() {
+        let a = la();
+        let inv = a.inverse();
+        assert_eq!(inv.removes, a.adds);
+        assert_eq!(inv.adds, a.removes);
+        assert_eq!(inv.inverse(), a, "involution");
+    }
+
+    #[test]
+    fn step_accessor_covers_all_variants() {
+        let s = StepId(9);
+        let msgs = vec![
+            ProtoMsg::Reset { step: s, action: la(), solo: false },
+            ProtoMsg::ResetDone { step: s },
+            ProtoMsg::AdaptDone { step: s },
+            ProtoMsg::Resume { step: s },
+            ProtoMsg::ResumeDone { step: s },
+            ProtoMsg::Rollback { step: s },
+            ProtoMsg::RollbackDone { step: s },
+            ProtoMsg::FailToReset { step: s },
+        ];
+        for m in msgs {
+            assert_eq!(m.step(), s);
+        }
+        assert_eq!(s.to_string(), "step#9");
+    }
+
+    #[test]
+    fn wire_multiplexes() {
+        let w: Wire<u32> = Wire::App(7);
+        assert_eq!(w, Wire::App(7));
+        let p: Wire<u32> = Wire::Proto(ProtoMsg::ResetDone { step: StepId(1) });
+        assert!(matches!(p, Wire::Proto(_)));
+    }
+}

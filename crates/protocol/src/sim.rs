@@ -1,0 +1,308 @@
+//! Simnet adapters: running the manager and scriptable agents on the
+//! discrete-event network.
+//!
+//! [`ManagerActor`] is the production adapter (the video application reuses
+//! it unchanged); [`ScriptedAgent`] is a configurable stand-in for a real
+//! process, used by the protocol tests and benches to exercise every failure
+//! mode with controlled timing.
+
+use std::collections::HashMap;
+use std::marker::PhantomData;
+
+use sada_expr::Config;
+use sada_plan::ActionId;
+use sada_simnet::{Actor, ActorId, Context, SimDuration, TimerId};
+
+use crate::agent::{AgentCore, AgentEffect, AgentEvent};
+use crate::manager::{AdaptationPlanner, ManagerCore, ManagerEffect, ManagerEvent, Outcome, ProtoTiming};
+use crate::messages::{LocalAction, Wire};
+
+/// The adaptation manager as a simulated process.
+///
+/// Generic over the application payload `M` (the manager itself only speaks
+/// [`ProtoMsg`]). The adaptation request fires at start-up; the outcome is
+/// readable from the actor state after the run.
+pub struct ManagerActor<M> {
+    core: ManagerCore,
+    agents: Vec<ActorId>,
+    actor_to_agent: HashMap<ActorId, usize>,
+    timers: HashMap<u64, TimerId>,
+    request: Option<(Config, Config)>,
+    request_delay: SimDuration,
+    trigger: Option<Box<dyn Fn(&M) -> bool>>,
+    /// Final outcome, set when the adaptation completes.
+    pub outcome: Option<Outcome>,
+    /// Virtual time at which the outcome was produced (the realization
+    /// latency; the simulation may quiesce later while stale timers drain).
+    pub completed_at: Option<sada_simnet::SimTime>,
+    /// Progress log (the manager's `Info` effects).
+    pub infos: Vec<String>,
+    _marker: PhantomData<fn() -> M>,
+}
+
+impl<M> ManagerActor<M> {
+    /// Creates a manager actor that will drive `source → target` over the
+    /// given agent actors as soon as the simulation starts.
+    pub fn new(
+        timing: ProtoTiming,
+        planner: Box<dyn AdaptationPlanner>,
+        agents: Vec<ActorId>,
+        source: Config,
+        target: Config,
+    ) -> Self {
+        let actor_to_agent = agents.iter().enumerate().map(|(ix, &a)| (a, ix)).collect();
+        ManagerActor {
+            core: ManagerCore::new(timing, planner),
+            agents,
+            actor_to_agent,
+            timers: HashMap::new(),
+            request: Some((source, target)),
+            request_delay: SimDuration::ZERO,
+            trigger: None,
+            outcome: None,
+            completed_at: None,
+            infos: Vec::new(),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Delays the adaptation request by `delay` of simulated time after
+    /// start-up (the case study streams video first, then hardens security).
+    pub fn with_request_delay(mut self, delay: SimDuration) -> Self {
+        self.request_delay = delay;
+        self
+    }
+
+    /// Withholds the request until an application message satisfying
+    /// `trigger` arrives — the hook a decision-making monitor uses to start
+    /// the adaptation (e.g. "packet loss exceeded threshold, insert FEC").
+    /// Overrides any request delay.
+    pub fn with_request_trigger(mut self, trigger: Box<dyn Fn(&M) -> bool>) -> Self {
+        self.trigger = Some(trigger);
+        self
+    }
+
+    /// The manager state machine (for phase assertions in tests).
+    pub fn core(&self) -> &ManagerCore {
+        &self.core
+    }
+
+    fn apply(&mut self, ctx: &mut Context<'_, Wire<M>>, effects: Vec<ManagerEffect>)
+    where
+        M: Clone + 'static,
+    {
+        for eff in effects {
+            match eff {
+                ManagerEffect::Send { agent, msg } => {
+                    ctx.send(self.agents[agent], Wire::Proto(msg));
+                }
+                ManagerEffect::SetTimer { token, after } => {
+                    let id = ctx.set_timer(after, token);
+                    self.timers.insert(token, id);
+                }
+                ManagerEffect::CancelTimer { token } => {
+                    if let Some(id) = self.timers.remove(&token) {
+                        ctx.cancel_timer(id);
+                    }
+                }
+                ManagerEffect::Complete(outcome) => {
+                    self.outcome = Some(outcome);
+                    self.completed_at = Some(ctx.now());
+                }
+                ManagerEffect::Info(s) => self.infos.push(s),
+            }
+        }
+    }
+}
+
+/// Timer tag reserved for the delayed adaptation request.
+const TAG_REQUEST: u64 = u64::MAX;
+
+impl<M: Clone + 'static> Actor<Wire<M>> for ManagerActor<M> {
+    fn on_start(&mut self, ctx: &mut Context<'_, Wire<M>>) {
+        if self.trigger.is_some() {
+            // Waiting for the decision-making monitor.
+        } else if self.request_delay > SimDuration::ZERO {
+            ctx.set_timer(self.request_delay, TAG_REQUEST);
+        } else if let Some((source, target)) = self.request.take() {
+            let eff = self.core.on_event(ManagerEvent::Request { source, target });
+            self.apply(ctx, eff);
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_, Wire<M>>, from: ActorId, msg: Wire<M>) {
+        match msg {
+            Wire::Proto(p) => {
+                if let Some(&agent) = self.actor_to_agent.get(&from) {
+                    let eff = self.core.on_event(ManagerEvent::AgentMsg { agent, msg: p });
+                    self.apply(ctx, eff);
+                }
+            }
+            Wire::App(m) => {
+                if self.trigger.as_ref().is_some_and(|t| t(&m)) {
+                    if let Some((source, target)) = self.request.take() {
+                        let eff = self.core.on_event(ManagerEvent::Request { source, target });
+                        self.apply(ctx, eff);
+                    }
+                }
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, Wire<M>>, tag: u64) {
+        if tag == TAG_REQUEST {
+            if let Some((source, target)) = self.request.take() {
+                let eff = self.core.on_event(ManagerEvent::Request { source, target });
+                self.apply(ctx, eff);
+            }
+            return;
+        }
+        self.timers.remove(&tag);
+        let eff = self.core.on_event(ManagerEvent::Timeout { token: tag });
+        self.apply(ctx, eff);
+    }
+}
+
+/// How long each local operation takes on a [`ScriptedAgent`].
+#[derive(Debug, Clone, Copy)]
+pub struct AgentTiming {
+    /// Delay from `reset` to the safe state (packet boundary + drain).
+    pub safe_delay: SimDuration,
+    /// Extra delay when the action's global safe condition requires
+    /// draining in-flight traffic (the paper's expensive compound actions).
+    pub drain_extra: SimDuration,
+    /// Duration of the structural in-action.
+    pub act_delay: SimDuration,
+    /// Delay to restore full operation.
+    pub resume_delay: SimDuration,
+    /// Duration of a rollback.
+    pub rollback_delay: SimDuration,
+}
+
+impl Default for AgentTiming {
+    fn default() -> Self {
+        AgentTiming {
+            safe_delay: SimDuration::from_millis(5),
+            drain_extra: SimDuration::from_millis(25),
+            act_delay: SimDuration::from_millis(2),
+            resume_delay: SimDuration::from_millis(1),
+            rollback_delay: SimDuration::from_millis(2),
+        }
+    }
+}
+
+const TAG_SAFE: u64 = 1;
+const TAG_ACT: u64 = 2;
+const TAG_RESUME: u64 = 3;
+const TAG_ROLLBACK: u64 = 4;
+
+/// A process whose local adaptation behaviour is scripted: it reaches its
+/// safe state, performs in-actions, resumes and rolls back after fixed
+/// delays, and can be told to exhibit the paper's fail-to-reset failure.
+pub struct ScriptedAgent {
+    core: AgentCore,
+    manager: ActorId,
+    timing: AgentTiming,
+    /// When true, the agent reports `fail to reset` instead of reaching its
+    /// safe state (a long critical communication segment).
+    pub fail_to_reset: bool,
+    /// Forward (`true`) and rollback (`false`) structural changes actually
+    /// applied, in order — the ground truth tests compare against.
+    pub applied: Vec<(ActionId, bool)>,
+    pending_action: Option<LocalAction>,
+    pending_rollback: Option<LocalAction>,
+}
+
+impl ScriptedAgent {
+    /// Creates an agent reporting to `manager`.
+    pub fn new(manager: ActorId, timing: AgentTiming) -> Self {
+        ScriptedAgent {
+            core: AgentCore::new(),
+            manager,
+            timing,
+            fail_to_reset: false,
+            applied: Vec::new(),
+            pending_action: None,
+            pending_rollback: None,
+        }
+    }
+
+    /// The agent state machine (for state assertions in tests).
+    pub fn core(&self) -> &AgentCore {
+        &self.core
+    }
+
+    fn apply<M: Clone + 'static>(&mut self, ctx: &mut Context<'_, Wire<M>>, effects: Vec<AgentEffect>) {
+        for eff in effects {
+            match eff {
+                AgentEffect::Send(msg) => ctx.send(self.manager, Wire::Proto(msg)),
+                AgentEffect::PreAction(_) => {}
+                AgentEffect::BeginReset(la) => {
+                    // Reaching the safe state takes time — more when the
+                    // global safe condition demands draining; a
+                    // fail-to-reset agent discovers after the same delay
+                    // that it cannot.
+                    let delay = if la.needs_global_drain {
+                        self.timing.safe_delay + self.timing.drain_extra
+                    } else {
+                        self.timing.safe_delay
+                    };
+                    ctx.set_timer(delay, TAG_SAFE);
+                }
+                AgentEffect::DoInAction(la) => {
+                    self.pending_action = Some(la);
+                    ctx.set_timer(self.timing.act_delay, TAG_ACT);
+                }
+                AgentEffect::DoResume => {
+                    ctx.set_timer(self.timing.resume_delay, TAG_RESUME);
+                }
+                AgentEffect::PostAction(_) => {}
+                AgentEffect::DoRollback(la) => {
+                    self.pending_rollback = la;
+                    ctx.set_timer(self.timing.rollback_delay, TAG_ROLLBACK);
+                }
+            }
+        }
+    }
+}
+
+impl<M: Clone + 'static> Actor<Wire<M>> for ScriptedAgent {
+    fn on_message(&mut self, ctx: &mut Context<'_, Wire<M>>, _from: ActorId, msg: Wire<M>) {
+        if let Wire::Proto(p) = msg {
+            let eff = self.core.on_event(AgentEvent::Msg(p));
+            self.apply(ctx, eff);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, Wire<M>>, tag: u64) {
+        let ev = match tag {
+            TAG_SAFE => {
+                if self.fail_to_reset {
+                    AgentEvent::CannotReset
+                } else {
+                    AgentEvent::SafeReached
+                }
+            }
+            TAG_ACT => {
+                if let Some(la) = self.pending_action.take() {
+                    // The structural change happens exactly here — atomically
+                    // with respect to the (blocked) data path.
+                    self.applied.push((la.action, true));
+                }
+                AgentEvent::InActionDone
+            }
+            TAG_RESUME => AgentEvent::ResumeFinished,
+            TAG_ROLLBACK => {
+                if let Some(la) = self.pending_rollback.take() {
+                    // `Some` means a forward change was applied and must be
+                    // recorded as undone.
+                    self.applied.push((la.action, false));
+                }
+                AgentEvent::RollbackFinished
+            }
+            _ => return,
+        };
+        let eff = self.core.on_event(ev);
+        self.apply(ctx, eff);
+    }
+}

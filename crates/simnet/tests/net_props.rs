@@ -1,0 +1,107 @@
+//! Property tests on the simulator's delivery guarantees.
+
+use proptest::prelude::*;
+use sada_simnet::{Actor, ActorId, Context, LinkConfig, SimDuration, Simulator};
+
+#[derive(Default)]
+struct Collector {
+    got: Vec<(u64, u32)>, // (arrival micros, payload)
+}
+
+impl Actor<u32> for Collector {
+    fn on_message(&mut self, ctx: &mut Context<'_, u32>, _from: ActorId, msg: u32) {
+        self.got.push((ctx.now().as_micros(), msg));
+    }
+}
+
+struct Burst {
+    to: ActorId,
+    n: u32,
+    spacing_us: u64,
+}
+
+impl Actor<u32> for Burst {
+    fn on_start(&mut self, ctx: &mut Context<'_, u32>) {
+        // Send the first immediately; schedule the rest via timers.
+        ctx.send(self.to, 0);
+        for i in 1..self.n {
+            ctx.set_timer(SimDuration::from_micros(self.spacing_us * u64::from(i)), u64::from(i));
+        }
+    }
+    fn on_message(&mut self, _: &mut Context<'_, u32>, _: ActorId, _: u32) {}
+    fn on_timer(&mut self, ctx: &mut Context<'_, u32>, tag: u64) {
+        ctx.send(self.to, tag as u32);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Fixed-latency links are FIFO: payloads arrive in send order, each
+    /// exactly `latency` after its send.
+    #[test]
+    fn fixed_latency_links_are_fifo(
+        seed in 0u64..500,
+        latency_ms in 0u64..20,
+        n in 1u32..30,
+        spacing_us in 1u64..5_000,
+    ) {
+        let mut sim = Simulator::new(seed);
+        let c = sim.add_actor("c", Collector::default());
+        let s = sim.add_actor("s", Burst { to: c, n, spacing_us });
+        sim.set_link(s, c, LinkConfig::reliable(SimDuration::from_millis(latency_ms)));
+        sim.run();
+        let got = &sim.actor::<Collector>(c).unwrap().got;
+        prop_assert_eq!(got.len(), n as usize);
+        let payloads: Vec<u32> = got.iter().map(|&(_, p)| p).collect();
+        let sorted: Vec<u32> = (0..n).collect();
+        prop_assert_eq!(payloads, sorted, "FIFO violated");
+        for &(at, p) in got {
+            prop_assert_eq!(at, latency_ms * 1_000 + spacing_us * u64::from(p));
+        }
+    }
+
+    /// Loss never reorders and never duplicates: the delivered subsequence
+    /// is strictly increasing.
+    #[test]
+    fn lossy_links_deliver_a_subsequence(seed in 0u64..500, loss in 0.0f64..0.9, n in 1u32..60) {
+        let mut sim = Simulator::new(seed);
+        let c = sim.add_actor("c", Collector::default());
+        let s = sim.add_actor("s", Burst { to: c, n, spacing_us: 100 });
+        sim.set_link(s, c, LinkConfig::lossy(SimDuration::from_millis(1), loss));
+        sim.run();
+        let payloads: Vec<u32> = sim.actor::<Collector>(c).unwrap().got.iter().map(|&(_, p)| p).collect();
+        prop_assert!(payloads.windows(2).all(|w| w[0] < w[1]), "reorder/duplicate: {:?}", payloads);
+        prop_assert!(payloads.len() <= n as usize);
+        let delivered = sim.stats().delivered;
+        let dropped = sim.stats().dropped;
+        prop_assert_eq!(delivered + dropped, u64::from(n));
+    }
+
+    /// Bandwidth-limited links conserve messages and never deliver earlier
+    /// than the unconstrained link would.
+    #[test]
+    fn bandwidth_only_delays(seed in 0u64..200, n in 1u32..20, size in 1usize..5_000) {
+        let latency = SimDuration::from_millis(2);
+        let run = |bw: Option<u64>| {
+            let mut sim = Simulator::new(seed);
+            sim.set_message_sizer(Box::new(move |_| size));
+            let c = sim.add_actor("c", Collector::default());
+            let s = sim.add_actor("s", Burst { to: c, n, spacing_us: 50 });
+            let mut link = LinkConfig::reliable(latency);
+            if let Some(bw) = bw {
+                link = link.with_bandwidth(bw);
+            }
+            sim.set_link(s, c, link);
+            sim.run();
+            sim.actor::<Collector>(c).unwrap().got.clone()
+        };
+        let free = run(None);
+        let limited = run(Some(1_000_000));
+        prop_assert_eq!(free.len(), limited.len());
+        for (f, l) in free.iter().zip(&limited) {
+            prop_assert_eq!(f.1, l.1, "same order");
+            prop_assert!(l.0 >= f.0, "bandwidth can only delay");
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! Bridges `sada-model` audit-event streams into the temporal detector, so
+//! safe states can be identified *automatically* from the same
+//! instrumentation the safety auditor consumes — closing the loop the paper
+//! proposes in Section 7.
+
+use sada_expr::CompId;
+use sada_model::AuditEvent;
+
+use crate::formula::Formula;
+use crate::obligations::{ObligationEvent, ResponseSpec, SafeStateMonitor};
+
+/// For each component in `comps`, derives the response obligation "every
+/// segment started on this component eventually ends".
+pub fn segment_specs(comps: &[CompId]) -> Vec<ResponseSpec> {
+    comps
+        .iter()
+        .map(|c| {
+            ResponseSpec::new(
+                &format!("segment-c{}", c.index()),
+                &format!("seg_start_c{}", c.index()),
+                &format!("seg_end_c{}", c.index()),
+            )
+        })
+        .collect()
+}
+
+fn to_obligation_events(ev: &AuditEvent, comps: &[CompId]) -> Vec<ObligationEvent> {
+    match ev {
+        AuditEvent::SegmentStart { cid, comp } if comps.contains(comp) => {
+            vec![ObligationEvent::new(&format!("seg_start_c{}", comp.index()), *cid)]
+        }
+        AuditEvent::SegmentEnd { cid, comp } if comps.contains(comp) => {
+            vec![ObligationEvent::new(&format!("seg_end_c{}", comp.index()), *cid)]
+        }
+        _ => Vec::new(),
+    }
+}
+
+/// Replays an audit log and returns the indices after which an adaptive
+/// action touching `comps` could run safely: positions where every segment
+/// obligation on those components is fulfilled.
+///
+/// This is the paper's automatic safe-state identification: the same
+/// temporal criterion the agents implement by hand ("the decoder is not
+/// decoding a packet", drained streams) is *derived* from the event stream.
+pub fn safe_points(log: &[AuditEvent], comps: &[CompId]) -> Vec<usize> {
+    let mut monitor = SafeStateMonitor::new(Formula::Const(true), segment_specs(comps));
+    let mut out = Vec::new();
+    for (ix, ev) in log.iter().enumerate() {
+        let events = to_obligation_events(ev, comps);
+        if monitor.step(&events, &|_| false) {
+            out.push(ix);
+        }
+    }
+    out
+}
+
+/// Convenience verdict: would an in-action on `comps` at position `at`
+/// (i.e. after `log[at]` was processed) have been safe?
+pub fn is_safe_at(log: &[AuditEvent], comps: &[CompId], at: usize) -> bool {
+    safe_points(&log[..=at.min(log.len().saturating_sub(1))], comps)
+        .last()
+        .is_some_and(|&p| p == at)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sada_expr::Universe;
+    use sada_model::{AuditEvent, SafetyAuditor};
+
+    fn comp(i: usize) -> CompId {
+        CompId::from_index(i)
+    }
+
+    fn log_with_gap() -> Vec<AuditEvent> {
+        vec![
+            AuditEvent::SegmentStart { cid: 1, comp: comp(0) },  // 0: open
+            AuditEvent::SegmentEnd { cid: 1, comp: comp(0) },    // 1: closed
+            AuditEvent::SegmentStart { cid: 2, comp: comp(0) },  // 2: open
+            AuditEvent::SegmentStart { cid: 3, comp: comp(1) },  // 3: both open
+            AuditEvent::SegmentEnd { cid: 2, comp: comp(0) },    // 4: only c1 open
+            AuditEvent::SegmentEnd { cid: 3, comp: comp(1) },    // 5: closed
+        ]
+    }
+
+    #[test]
+    fn safe_points_match_segment_gaps() {
+        let log = log_with_gap();
+        assert_eq!(safe_points(&log, &[comp(0)]), vec![1, 4, 5]);
+        assert_eq!(safe_points(&log, &[comp(1)]), vec![0, 1, 2, 5]);
+        assert_eq!(safe_points(&log, &[comp(0), comp(1)]), vec![1, 5]);
+    }
+
+    #[test]
+    fn is_safe_at_spot_checks() {
+        let log = log_with_gap();
+        assert!(is_safe_at(&log, &[comp(0)], 1));
+        assert!(!is_safe_at(&log, &[comp(0)], 2));
+        assert!(is_safe_at(&log, &[comp(0)], 4));
+    }
+
+    /// The detector and the hand-written auditor must agree: inserting an
+    /// in-action at a detector-approved point passes the audit; inserting
+    /// it anywhere else fails.
+    #[test]
+    fn detector_agrees_with_safety_auditor() {
+        let mut u = Universe::new();
+        let a = u.intern("A");
+        let b = u.intern("B");
+        let auditor = SafetyAuditor::new(sada_expr::InvariantSet::new());
+        let base = vec![
+            AuditEvent::SegmentStart { cid: 1, comp: a },
+            AuditEvent::SegmentEnd { cid: 1, comp: a },
+            AuditEvent::SegmentStart { cid: 2, comp: a },
+            AuditEvent::SegmentEnd { cid: 2, comp: a },
+        ];
+        let touched = vec![a, b];
+        for insert_at in 0..=base.len() {
+            let mut log = base.clone();
+            log.insert(
+                insert_at,
+                AuditEvent::InAction { label: "A->B".into(), comps: touched.clone() },
+            );
+            let audit_ok = auditor.audit(&log).is_safe();
+            // The detector judges the prefix *before* the in-action.
+            let detector_ok = if insert_at == 0 {
+                true // nothing open at the origin
+            } else {
+                is_safe_at(&base, &touched, insert_at - 1)
+            };
+            assert_eq!(
+                audit_ok, detector_ok,
+                "divergence when inserting in-action at {insert_at}"
+            );
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! Property tests: the incremental monitor agrees with the reference
+//! trace semantics on arbitrary formulas and traces, and parsing
+//! round-trips.
+
+use std::collections::BTreeSet;
+
+use proptest::prelude::*;
+use sada_tl::{parse_formula, Formula, Monitor};
+
+const PROPS: [&str; 3] = ["a", "b", "c"];
+
+fn arb_formula() -> impl Strategy<Value = Formula> {
+    let leaf = prop_oneof![
+        (0..PROPS.len()).prop_map(|i| Formula::atom(PROPS[i])),
+        any::<bool>().prop_map(Formula::Const),
+    ];
+    leaf.prop_recursive(4, 32, 2, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(Formula::not),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Formula::and(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Formula::or(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Formula::implies(a, b)),
+            inner.clone().prop_map(Formula::yesterday),
+            inner.clone().prop_map(Formula::once),
+            inner.clone().prop_map(Formula::historically),
+            (inner.clone(), inner).prop_map(|(a, b)| Formula::since(a, b)),
+        ]
+    })
+}
+
+fn arb_trace() -> impl Strategy<Value = Vec<BTreeSet<String>>> {
+    prop::collection::vec(prop::collection::btree_set(prop::sample::select(PROPS.to_vec()), 0..=3), 1..24)
+        .prop_map(|t| {
+            t.into_iter()
+                .map(|s| s.into_iter().map(str::to_string).collect())
+                .collect()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn incremental_equals_reference(f in arb_formula(), trace in arb_trace()) {
+        let mut m = Monitor::new(f.clone());
+        for i in 0..trace.len() {
+            let state = trace[i].clone();
+            let inc = m.step(&|p| state.contains(p));
+            let refr = f.eval_trace(&trace[..=i]);
+            prop_assert_eq!(inc, refr, "formula {} at step {}", f, i);
+        }
+    }
+
+    #[test]
+    fn display_parse_round_trip(f in arb_formula()) {
+        let printed = f.to_string();
+        let reparsed = parse_formula(&printed).unwrap();
+        prop_assert_eq!(f, reparsed, "printed: {}", printed);
+    }
+
+    #[test]
+    fn reset_equals_fresh_monitor(f in arb_formula(), t1 in arb_trace(), t2 in arb_trace()) {
+        let mut reused = Monitor::new(f.clone());
+        for s in &t1 {
+            let s = s.clone();
+            let _ = reused.step(&|p| s.contains(p));
+        }
+        reused.reset();
+        let mut fresh = Monitor::new(f);
+        for s in &t2 {
+            let s2 = s.clone();
+            let s3 = s.clone();
+            prop_assert_eq!(reused.step(&|p| s2.contains(p)), fresh.step(&|p| s3.contains(p)));
+        }
+    }
+}

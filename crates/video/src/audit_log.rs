@@ -1,0 +1,98 @@
+//! Shared run instrumentation: a single audit log all actors append to,
+//! plus the "current configuration" view used to designate decoders.
+//!
+//! The simulation is single-threaded by construction, so a
+//! `Rc<RefCell<…>>` is the right tool; the log leaves the cell only when
+//! the run is over.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use sada_expr::{CompId, Config};
+use sada_model::AuditEvent;
+
+#[derive(Debug)]
+struct Inner {
+    events: Vec<AuditEvent>,
+    config: Config,
+}
+
+/// Cloneable handle to the run-wide audit state.
+#[derive(Debug, Clone)]
+pub struct AuditShared {
+    inner: Rc<RefCell<Inner>>,
+}
+
+impl AuditShared {
+    /// Starts a log with the system in `initial` configuration (recorded as
+    /// the first snapshot).
+    pub fn new(initial: Config) -> Self {
+        let inner = Inner { events: vec![AuditEvent::ConfigSnapshot { config: initial.clone() }], config: initial };
+        AuditShared { inner: Rc::new(RefCell::new(inner)) }
+    }
+
+    /// The configuration as currently believed by the instrumentation.
+    pub fn config(&self) -> Config {
+        self.inner.borrow().config.clone()
+    }
+
+    /// Records the start of a critical communication segment.
+    pub fn segment_start(&self, cid: u64, comp: CompId) {
+        self.inner.borrow_mut().events.push(AuditEvent::SegmentStart { cid, comp });
+    }
+
+    /// Records the clean completion of a segment.
+    pub fn segment_end(&self, cid: u64, comp: CompId) {
+        self.inner.borrow_mut().events.push(AuditEvent::SegmentEnd { cid, comp });
+    }
+
+    /// Records an atomic structural in-action and updates the configuration
+    /// view.
+    pub fn in_action(&self, label: &str, removes: &[CompId], adds: &[CompId]) {
+        let mut inner = self.inner.borrow_mut();
+        for &c in removes {
+            inner.config.remove(c);
+        }
+        for &c in adds {
+            inner.config.insert(c);
+        }
+        let comps = removes.iter().chain(adds).copied().collect();
+        inner.events.push(AuditEvent::InAction { label: label.to_string(), comps });
+    }
+
+    /// Records a configuration snapshot at a quiescent point.
+    pub fn snapshot(&self) {
+        let mut inner = self.inner.borrow_mut();
+        let config = inner.config.clone();
+        inner.events.push(AuditEvent::ConfigSnapshot { config });
+    }
+
+    /// Copies the recorded events out for auditing.
+    pub fn events(&self) -> Vec<AuditEvent> {
+        self.inner.borrow().events.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sada_expr::Universe;
+
+    #[test]
+    fn log_accumulates_and_tracks_config() {
+        let mut u = Universe::new();
+        let a = u.intern("A");
+        let b = u.intern("B");
+        let shared = AuditShared::new(u.config_of(&["A"]));
+        let clone = shared.clone();
+        clone.segment_start(1, a);
+        clone.segment_end(1, a);
+        shared.in_action("A->B", &[a], &[b]);
+        assert_eq!(shared.config(), u.config_of(&["B"]));
+        shared.snapshot();
+        let ev = shared.events();
+        assert_eq!(ev.len(), 5, "initial snapshot + 4 events");
+        assert!(matches!(ev[0], AuditEvent::ConfigSnapshot { .. }));
+        assert!(matches!(ev.last(), Some(AuditEvent::ConfigSnapshot { .. })));
+    }
+}

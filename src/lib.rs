@@ -1,0 +1,17 @@
+//! Workspace root facade for the DSN 2004 safe-adaptation reproduction.
+//!
+//! This crate exists to host the runnable `examples/` and the cross-crate
+//! integration tests in `tests/`; it re-exports the member crates so the
+//! examples can use one import root. The actual library surface lives in
+//! [`sada_core`] and the substrate crates.
+
+pub use sada_core as core;
+pub use sada_des as des;
+pub use sada_expr as expr;
+pub use sada_meta as meta;
+pub use sada_model as model;
+pub use sada_plan as plan;
+pub use sada_proto as proto;
+pub use sada_simnet as simnet;
+pub use sada_tl as tl;
+pub use sada_video as video;

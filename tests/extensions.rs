@@ -1,0 +1,94 @@
+//! Integration tests for the Section 7 / future-work extensions: temporal
+//! safe-state detection, dependency inference, spec files, and the
+//! monitor-triggered FEC adaptation.
+
+use sada_core::casestudy::case_study;
+use sada_core::infer::{infer_invariants, CodecCatalog, InferenceConfig};
+use sada_core::specfile::{parse_config_arg, parse_spec_file, CASE_STUDY_SPEC};
+use sada_expr::enumerate;
+use sada_meta::tags;
+use sada_model::AuditEvent;
+use sada_tl::audit_bridge;
+use sada_video::{run_fec_scenario, FecScenarioConfig};
+
+/// The three §7 directions compose: infer the invariants from structure,
+/// plan over them, and verify the plan equals the hand-written one.
+#[test]
+fn inferred_invariants_plan_the_same_map() {
+    let cs = case_study();
+    let u = cs.spec.universe();
+    let id = |n: &str| u.id(n).unwrap();
+    let mut catalog = CodecCatalog::new();
+    catalog
+        .producer(id("E1"), tags::DES64)
+        .producer(id("E2"), tags::DES128)
+        .acceptor(id("D1"), &[tags::DES64])
+        .acceptor(id("D2"), &[tags::DES128, tags::DES64])
+        .acceptor(id("D3"), &[tags::DES128])
+        .acceptor(id("D4"), &[tags::DES64])
+        .acceptor(id("D5"), &[tags::DES128]);
+    let cfg = InferenceConfig {
+        exclusive_groups: vec![vec![id("D1"), id("D2"), id("D3")]],
+        one_encoder: true,
+    };
+    let inferred = infer_invariants(u, cs.spec.model(), &catalog, &cfg);
+    // Plan lazily over the inferred invariants with the paper's actions.
+    let map = sada_plan::lazy::plan(&inferred, cs.spec.actions(), &cs.source, &cs.target)
+        .expect("plan over inferred invariants");
+    assert_eq!(map.cost, 50, "the inferred system has the paper's MAP cost");
+    let safe = enumerate::safe_configs(u, &inferred);
+    assert_eq!(safe.len(), 8);
+}
+
+#[test]
+fn spec_file_round_trip_drives_a_real_adaptation() {
+    let spec = parse_spec_file(CASE_STUDY_SPEC).unwrap();
+    let u = spec.universe();
+    let source = parse_config_arg(u, "0100101").unwrap();
+    let target = parse_config_arg(u, "1010010").unwrap();
+    let report = sada_core::run_adaptation(&spec, &source, &target, &sada_core::RunConfig::default());
+    assert!(report.outcome.success);
+    assert_eq!(report.outcome.steps_committed, 5);
+    assert_eq!(report.outcome.final_config, target);
+}
+
+#[test]
+fn temporal_detector_blesses_the_protocols_in_action_points() {
+    // Drive the real video world; then verify with the detector that every
+    // in-action the safe protocol performed happened at a point where no
+    // transmission segment on a touched component was outstanding.
+    use sada_video::{run_video_scenario, ScenarioConfig, Strategy};
+    let report = run_video_scenario(&ScenarioConfig::default(), Strategy::Safe);
+    assert!(report.audit.is_safe());
+    // The audit events are not exposed by the report; rebuild the claim via
+    // the auditor result instead: zero interrupted-segment violations means
+    // the detector would have approved every in-action point.
+    assert!(report
+        .audit
+        .violations
+        .iter()
+        .all(|v| !matches!(v.kind, sada_model::ViolationKind::InterruptedSegment { .. })));
+}
+
+#[test]
+fn temporal_detector_rejects_mid_segment_actions() {
+    let a = sada_expr::CompId::from_index(0);
+    let log = vec![
+        AuditEvent::SegmentStart { cid: 1, comp: a },
+        AuditEvent::SegmentEnd { cid: 1, comp: a },
+        AuditEvent::SegmentStart { cid: 2, comp: a },
+    ];
+    assert!(audit_bridge::is_safe_at(&log, &[a], 1));
+    assert!(!audit_bridge::is_safe_at(&log, &[a], 2));
+}
+
+#[test]
+fn fec_loop_closes_end_to_end() {
+    let report = run_fec_scenario(&FecScenarioConfig::default());
+    assert!(report.triggered_at.is_some(), "loss monitor must fire");
+    let outcome = report.outcome.expect("manager resolves the request");
+    assert!(outcome.success);
+    assert_eq!(outcome.steps_committed, 3, "+FDH, +FDL, +FE");
+    assert!(report.recovered_packets > 0);
+    assert!(report.lossy_ratio_after > report.lossy_ratio_before);
+}
