@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Repository CI gate: build, tier-1 tests, full workspace tests,
+# lint-clean clippy, and the pinned fault-injection regressions.
+#
+# Everything here is deterministic (fixed seeds throughout), so a red run
+# is always reproducible locally with the same commands.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> build (release)"
+cargo build --release
+
+echo "==> tier-1 tests (root package: safety properties + chaos sweep)"
+cargo test -q
+
+echo "==> full workspace tests"
+cargo test -q --workspace
+
+echo "==> clippy (deny warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> pinned chaos seeds (regression corpus + reproducibility)"
+cargo test -q --test chaos_sweep
+
+echo "CI OK"

@@ -30,7 +30,7 @@ fn bench_monitor(c: &mut Criterion) {
         let mut i = 0u64;
         b.iter(|| {
             i += 1;
-            let evs = if i % 2 == 0 {
+            let evs = if i.is_multiple_of(2) {
                 vec![ObligationEvent::new("start", i)]
             } else {
                 vec![ObligationEvent::new("end", i - 1)]

@@ -3,7 +3,7 @@
 //!
 //! Usage: `cargo run -p sada-bench --bin report -- [section]`
 //! where `section` is one of `table1 table2 fig1 fig2 fig4 map failures
-//! baselines scaling all` (default `all`).
+//! crashes baselines scaling fec inference all` (default `all`).
 
 use std::collections::BTreeMap;
 
@@ -15,7 +15,7 @@ use sada_proto::{
     AgentCore, AgentEvent, AgentState, LocalAction, ManagerCore, ManagerEvent, ManagerPhase,
     ProtoMsg, ProtoTiming, StepId,
 };
-use sada_simnet::{LinkConfig, SimDuration};
+use sada_simnet::{chaos, ActorId, ChaosOpts, FaultPlan, LinkConfig, SimDuration, SimTime};
 use sada_video::{run_fec_scenario, run_video_scenario, FecScenarioConfig, ScenarioConfig, Strategy};
 
 fn table1() {
@@ -183,6 +183,82 @@ fn failures() {
     }
 }
 
+fn crashes() {
+    println!("## Crash faults — agent crash/recovery matrix");
+    let cs = case_study();
+    // Baseline cost of the unfaulted run, for overhead accounting.
+    let base = run_adaptation(&cs.spec, &cs.source, &cs.target, &RunConfig::default());
+    println!(
+        "no-fault baseline: finished at {} with {} msgs",
+        base.finished_at, base.messages_sent
+    );
+    // Sweep the crash instant across the protocol window for each agent
+    // victim; the victim restarts 100 ms after dying.
+    println!("single crash/restart sweep (restart = crash + 100ms):");
+    println!(
+        "{:<10} {:>9} {:>9} {:>9} {:>9} {:>11} {:>10}",
+        "victim", "crash-at", "success", "rejoins", "msgs", "finished", "safe"
+    );
+    for (who, name) in [(0usize, "server"), (1, "handheld"), (2, "laptop")] {
+        for crash_ms in [2u64, 6, 12, 20, 30] {
+            let victim = ActorId::from_index(who);
+            let cfg = RunConfig {
+                faults: FaultPlan::new()
+                    .crash(victim, SimTime::from_millis(crash_ms))
+                    .restart(victim, SimTime::from_millis(crash_ms + 100)),
+                ..RunConfig::default()
+            };
+            let r = run_adaptation(&cs.spec, &cs.source, &cs.target, &cfg);
+            assert!(cs.spec.is_safe(&r.outcome.final_config), "safety invariant");
+            println!(
+                "{:<10} {:>7}ms {:>9} {:>9} {:>9} {:>11} {:>10}",
+                name,
+                crash_ms,
+                r.outcome.success,
+                r.rejoins,
+                r.messages_sent,
+                format!("{}", r.finished_at),
+                cs.spec.is_safe(&r.outcome.final_config)
+            );
+        }
+    }
+    // Randomized chaos: the same sweep the tier-1 chaos_sweep test runs,
+    // summarized as a matrix over intensity.
+    println!("chaos sweep (20 seeds per intensity, crashes + partitions + drops + bursts):");
+    println!(
+        "{:<10} {:>9} {:>9} {:>9} {:>9} {:>9} {:>11}",
+        "intensity", "success", "aborted", "gave-up", "crashes", "rejoins", "avg msgs"
+    );
+    let n = cs.spec.model().process_count();
+    let agents: Vec<ActorId> = (0..n).map(ActorId::from_index).collect();
+    let mut all = agents.clone();
+    all.push(ActorId::from_index(n));
+    let opts = ChaosOpts { crashable: agents, partitionable: all, horizon: SimDuration::from_millis(500) };
+    for intensity in [0.2, 0.4, 0.6, 0.8] {
+        let (mut ok, mut ab, mut gu, mut cr, mut rj, mut msgs) = (0, 0, 0, 0u64, 0u64, 0u64);
+        for seed in 0..20u64 {
+            let plan = chaos(seed, intensity, &opts);
+            let cfg = RunConfig { faults: plan, ..RunConfig::default() };
+            let r = run_adaptation(&cs.spec, &cs.source, &cs.target, &cfg);
+            assert!(cs.spec.is_safe(&r.outcome.final_config), "safety invariant");
+            if r.outcome.success {
+                ok += 1;
+            } else if r.outcome.gave_up {
+                gu += 1;
+            } else {
+                ab += 1;
+            }
+            cr += r.crashes;
+            rj += r.rejoins;
+            msgs += r.messages_sent;
+        }
+        println!(
+            "{:<10} {:>9} {:>9} {:>9} {:>9} {:>9} {:>11}",
+            intensity, ok, ab, gu, cr, rj, msgs / 20
+        );
+    }
+}
+
 fn baselines() {
     println!("## Baseline comparison (video stream during reconfiguration)");
     let cfg = ScenarioConfig::default();
@@ -313,6 +389,10 @@ fn main() {
     }
     if run("failures") {
         failures();
+        println!();
+    }
+    if run("crashes") {
+        crashes();
         println!();
     }
     if run("baselines") {

@@ -7,7 +7,7 @@
 
 use sada_expr::Config;
 use sada_proto::{AgentTiming, ManagerActor, Outcome, ProtoTiming, ScriptedAgent, Wire};
-use sada_simnet::{ActorId, LinkConfig, SimTime, Simulator};
+use sada_simnet::{ActorId, FaultPlan, LinkConfig, SimTime, Simulator};
 
 use crate::spec::AdaptationSpec;
 
@@ -24,6 +24,10 @@ pub struct RunConfig {
     pub link: LinkConfig,
     /// Processes (by index) that exhibit fail-to-reset.
     pub fail_to_reset: Vec<usize>,
+    /// Injected faults (crashes, restarts, partitions); empty by default.
+    /// Agent process indexes map to actor ids directly; the manager is the
+    /// actor *after* the last agent.
+    pub faults: FaultPlan,
 }
 
 impl Default for RunConfig {
@@ -34,6 +38,7 @@ impl Default for RunConfig {
             agent_timing: AgentTiming::default(),
             link: LinkConfig::default(),
             fail_to_reset: Vec::new(),
+            faults: FaultPlan::new(),
         }
     }
 }
@@ -51,6 +56,12 @@ pub struct RunReport {
     pub messages_dropped: u64,
     /// The manager's progress log.
     pub infos: Vec<String>,
+    /// Crash faults injected over the run.
+    pub crashes: u64,
+    /// Restarts injected over the run.
+    pub restarts: u64,
+    /// Rejoin announcements agents sent after restarting.
+    pub rejoins: u64,
 }
 
 /// Plans and executes `source → target` for `spec` on a fresh simulation.
@@ -85,7 +96,10 @@ pub fn run_adaptation(spec: &AdaptationSpec, source: &Config, target: &Config, c
         sim.set_link(manager, a, cfg.link);
         sim.set_link(a, manager, cfg.link);
     }
+    sim.schedule_faults(&cfg.faults);
     sim.run();
+    let rejoins =
+        agents.iter().map(|&a| sim.actor::<ScriptedAgent>(a).expect("agent actor").rejoins_sent).sum();
     let m = sim.actor::<ManagerActor<()>>(manager).expect("manager actor");
     RunReport {
         outcome: m.outcome.clone().expect("manager must resolve every request"),
@@ -93,6 +107,9 @@ pub fn run_adaptation(spec: &AdaptationSpec, source: &Config, target: &Config, c
         messages_sent: sim.stats().sent,
         messages_dropped: sim.stats().dropped,
         infos: m.infos.clone(),
+        crashes: sim.stats().crashes,
+        restarts: sim.stats().restarts,
+        rejoins,
     }
 }
 
@@ -147,6 +164,33 @@ mod tests {
         if report.outcome.final_config != cs.source {
             assert!(report.outcome.gave_up, "stranded => explicit user-wait state");
         }
+    }
+
+    #[test]
+    fn crashed_agent_rejoins_and_the_adaptation_completes() {
+        let cs = case_study();
+        // Kill the hand-held agent (process 1) mid-protocol and bring it
+        // back 150 ms later; the rejoin protocol must resynchronize it and
+        // the whole adaptation must still land on the target.
+        let victim = ActorId::from_index(1);
+        let cfg = RunConfig {
+            faults: FaultPlan::new()
+                .crash(victim, SimTime::from_millis(5))
+                .restart(victim, SimTime::from_millis(155)),
+            ..RunConfig::default()
+        };
+        let report = run_adaptation(&cs.spec, &cs.source, &cs.target, &cfg);
+        assert_eq!((report.crashes, report.restarts), (1, 1));
+        assert!(report.rejoins >= 1, "restarted agent must announce itself");
+        assert!(report.outcome.success, "{:?}", report.infos);
+        assert_eq!(report.outcome.final_config, cs.target);
+        // Bounded overhead: the outage plus a few timeout ladders, not an
+        // unbounded retry storm.
+        assert!(
+            report.finished_at <= SimTime::from_millis(2_000),
+            "recovery took too long: {}",
+            report.finished_at
+        );
     }
 
     #[test]

@@ -51,7 +51,7 @@ pub fn encrypt_bytes<C: BlockCipher>(cipher: &C, plain: &[u8]) -> Vec<u8> {
     let pad = 8 - (plain.len() % 8);
     let mut buf = Vec::with_capacity(plain.len() + pad);
     buf.extend_from_slice(plain);
-    buf.extend(std::iter::repeat(pad as u8).take(pad));
+    buf.extend(std::iter::repeat_n(pad as u8, pad));
     let mut out = Vec::with_capacity(buf.len());
     for chunk in buf.chunks_exact(8) {
         out.extend_from_slice(&block_to_bytes(cipher.encrypt_block(bytes_to_block(chunk))));
@@ -67,7 +67,7 @@ pub fn encrypt_bytes<C: BlockCipher>(cipher: &C, plain: &[u8]) -> Vec<u8> {
 /// * [`CodecError::BadPadding`] if the padding is inconsistent — the typical
 ///   result of decrypting with a mismatched cipher or key.
 pub fn decrypt_bytes<C: BlockCipher>(cipher: &C, ct: &[u8]) -> Result<Vec<u8>, CodecError> {
-    if ct.is_empty() || ct.len() % 8 != 0 {
+    if ct.is_empty() || !ct.len().is_multiple_of(8) {
         return Err(CodecError::Truncated { len: ct.len() });
     }
     let mut out = Vec::with_capacity(ct.len());

@@ -24,11 +24,11 @@ fn rotl(v: u32, n: u32, width: u32) -> u32 {
 fn feistel(r: u32, subkey: u64) -> u32 {
     let x = permute(r as u64, 32, &E) ^ subkey;
     let mut s_out = 0u32;
-    for box_ix in 0..8 {
+    for (box_ix, sbox) in SBOX.iter().enumerate() {
         let chunk = ((x >> (42 - 6 * box_ix)) & 0x3f) as usize;
         let row = ((chunk >> 4) & 0b10) | (chunk & 1);
         let col = (chunk >> 1) & 0b1111;
-        s_out = (s_out << 4) | SBOX[box_ix][row][col] as u32;
+        s_out = (s_out << 4) | sbox[row][col] as u32;
     }
     permute(s_out as u64, 32, &P) as u32
 }

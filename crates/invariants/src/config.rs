@@ -319,7 +319,7 @@ mod tests {
         c.insert(d5);
         assert!(c.contains(d5));
         c.remove(d5);
-        assert!(c.contains(d5) == false && c.is_empty());
+        assert!(!c.contains(d5) && c.is_empty());
     }
 
     #[test]

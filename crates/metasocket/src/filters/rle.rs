@@ -33,7 +33,7 @@ pub fn rle_compress(data: &[u8]) -> Vec<u8> {
 ///
 /// Returns `None` on malformed input (odd length or zero counts).
 pub fn rle_decompress(data: &[u8]) -> Option<Vec<u8>> {
-    if data.len() % 2 != 0 {
+    if !data.len().is_multiple_of(2) {
         return None;
     }
     let mut out = Vec::with_capacity(data.len());
@@ -42,7 +42,7 @@ pub fn rle_decompress(data: &[u8]) -> Option<Vec<u8>> {
         if count == 0 {
             return None;
         }
-        out.extend(std::iter::repeat(byte).take(count as usize));
+        out.extend(std::iter::repeat_n(byte, count as usize));
     }
     Some(out)
 }

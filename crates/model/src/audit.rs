@@ -38,6 +38,19 @@ pub enum AuditEvent {
         /// Must match the opening component.
         comp: CompId,
     },
+    /// The segment `cid` was destroyed by an environmental fault (process
+    /// crash, partition outage) rather than by an adaptive action. Closes
+    /// the bracket without counting a completion. The paper's safety
+    /// conditions constrain the *adaptation*, not the environment: an
+    /// in-action cutting a segment is still a violation (checked in-line at
+    /// the [`AuditEvent::InAction`] event), while a crash eating a packet
+    /// mid-transmission is a fault the run merely has to survive.
+    SegmentLost {
+        /// Critical communication identifier.
+        cid: u64,
+        /// Must match the opening component.
+        comp: CompId,
+    },
     /// An adaptive in-action executed atomically, touching `comps`.
     InAction {
         /// Human-readable action label (for reporting).
@@ -101,6 +114,8 @@ pub struct AuditReport {
     pub configs_checked: usize,
     /// Segments that opened and closed cleanly.
     pub segments_completed: usize,
+    /// Segments adjudicated lost to environmental faults (crash outages).
+    pub segments_lost: usize,
     /// In-actions observed.
     pub in_actions: usize,
 }
@@ -172,6 +187,29 @@ impl SafetyAuditor {
                             at: ix,
                             kind: ViolationKind::MalformedSegment { cid: *cid },
                             detail: format!("segment {cid} ended without starting"),
+                        });
+                    }
+                },
+                AuditEvent::SegmentLost { cid, comp } => match open.remove(cid) {
+                    Some(start_comp) if start_comp == *comp => {
+                        report.segments_lost += 1;
+                    }
+                    Some(start_comp) => {
+                        report.violations.push(Violation {
+                            at: ix,
+                            kind: ViolationKind::MalformedSegment { cid: *cid },
+                            detail: format!(
+                                "segment {cid} lost by c{} but started by c{}",
+                                comp.index(),
+                                start_comp.index()
+                            ),
+                        });
+                    }
+                    None => {
+                        report.violations.push(Violation {
+                            at: ix,
+                            kind: ViolationKind::MalformedSegment { cid: *cid },
+                            detail: format!("segment {cid} lost without starting"),
                         });
                     }
                 },
@@ -335,6 +373,50 @@ mod tests {
         let report = auditor.audit(&log);
         assert!(report.is_safe(), "{:?}", report.violations);
         assert_eq!(report.segments_completed, 2);
+    }
+
+    #[test]
+    fn fault_lost_segment_closes_without_completing() {
+        let (_u, auditor, a, b) = setup();
+        let log = vec![
+            AuditEvent::SegmentStart { cid: 1, comp: a },
+            AuditEvent::SegmentLost { cid: 1, comp: a },
+            // The segment is closed: an in-action on `a` is now legal.
+            AuditEvent::InAction { label: "A->B".into(), comps: vec![a, b] },
+        ];
+        let report = auditor.audit(&log);
+        assert!(report.is_safe(), "{:?}", report.violations);
+        assert_eq!(report.segments_completed, 0);
+        assert_eq!(report.segments_lost, 1);
+    }
+
+    #[test]
+    fn lost_event_hygiene_is_enforced() {
+        let (_u, auditor, a, b) = setup();
+        // lost-without-start
+        let r1 = auditor.audit(&[AuditEvent::SegmentLost { cid: 3, comp: a }]);
+        assert!(matches!(r1.violations[0].kind, ViolationKind::MalformedSegment { cid: 3 }));
+        // mismatched component
+        let r2 = auditor.audit(&[
+            AuditEvent::SegmentStart { cid: 3, comp: a },
+            AuditEvent::SegmentLost { cid: 3, comp: b },
+        ]);
+        assert!(!r2.is_safe());
+    }
+
+    #[test]
+    fn in_action_before_the_loss_is_still_a_violation() {
+        // A crash cannot retroactively excuse an adaptive action that cut a
+        // live segment: the interruption check fires at the InAction event.
+        let (_u, auditor, a, b) = setup();
+        let log = vec![
+            AuditEvent::SegmentStart { cid: 9, comp: a },
+            AuditEvent::InAction { label: "A->B".into(), comps: vec![a, b] },
+            AuditEvent::SegmentLost { cid: 9, comp: a },
+        ];
+        let report = auditor.audit(&log);
+        assert_eq!(report.violations.len(), 1);
+        assert_eq!(report.violations[0].kind, ViolationKind::InterruptedSegment { cid: 9, comp: a });
     }
 
     #[test]

@@ -106,6 +106,16 @@ impl AgentCore {
         }
     }
 
+    /// Rebuilds the state machine a process recovers after a crash: back in
+    /// the running state with only the durably-recorded `last_completed`
+    /// step surviving. Any step that was in progress — its blocking state,
+    /// an uncommitted in-action — was volatile and is simply gone; the
+    /// restarted agent relies on the manager's rejoin handling (or plain
+    /// `Reset` retransmissions) to be resynchronized.
+    pub fn restore(last_completed: Option<StepId>) -> Self {
+        AgentCore { last_completed, ..AgentCore::new() }
+    }
+
     /// Current protocol state.
     pub fn state(&self) -> AgentState {
         self.state
@@ -114,6 +124,25 @@ impl AgentCore {
     /// The step attempt in progress, if any.
     pub fn current_step(&self) -> Option<StepId> {
         self.current.as_ref().map(|(s, _, _)| *s)
+    }
+
+    /// The most recent step this agent fully completed (acknowledged with
+    /// `ResumeDone`) — the durable part of its protocol state.
+    pub fn last_completed(&self) -> Option<StepId> {
+        self.last_completed
+    }
+
+    /// The structural change that has been applied but not yet committed:
+    /// the current step's in-action after it ran, before `ResumeFinished`
+    /// (or a rollback) resolved it. This is exactly what a crash destroys
+    /// under the volatile-uncommitted failure model, so embedding processes
+    /// use it in their crash hooks to revert ground-truth bookkeeping.
+    pub fn uncommitted_action(&self) -> Option<&LocalAction> {
+        if self.in_action_done {
+            self.current.as_ref().map(|(_, a, _)| a)
+        } else {
+            None
+        }
     }
 
     /// Feeds one event, returning the effects to perform **in order**.
@@ -448,6 +477,51 @@ mod tests {
         let eff = a.on_event(AgentEvent::Msg(ProtoMsg::Rollback { step: StepId(10) }));
         assert_eq!(eff, vec![AgentEffect::Send(ProtoMsg::RollbackDone { step: StepId(10) })]);
         assert_eq!(a.state(), AgentState::Running);
+    }
+
+    #[test]
+    fn uncommitted_action_tracks_the_crash_window() {
+        let mut a = AgentCore::new();
+        assert!(a.uncommitted_action().is_none());
+        let _ = a.on_event(reset(40, false));
+        assert!(a.uncommitted_action().is_none(), "nothing applied while resetting");
+        let _ = a.on_event(AgentEvent::SafeReached);
+        assert!(a.uncommitted_action().is_none(), "in-action scheduled, not applied");
+        let _ = a.on_event(AgentEvent::InActionDone);
+        assert_eq!(a.uncommitted_action(), Some(&la()), "applied but uncommitted");
+        let _ = a.on_event(AgentEvent::Msg(ProtoMsg::Resume { step: StepId(40) }));
+        assert_eq!(a.uncommitted_action(), Some(&la()), "still uncommitted while resuming");
+        let _ = a.on_event(AgentEvent::ResumeFinished);
+        assert!(a.uncommitted_action().is_none(), "commit point passed");
+        assert_eq!(a.last_completed(), Some(StepId(40)));
+    }
+
+    #[test]
+    fn restore_keeps_only_durable_state() {
+        let mut a = AgentCore::new();
+        let _ = a.on_event(reset(50, true));
+        let _ = a.on_event(AgentEvent::SafeReached);
+        let _ = a.on_event(AgentEvent::InActionDone);
+        let _ = a.on_event(AgentEvent::ResumeFinished);
+        let _ = a.on_event(reset(51, false));
+        let _ = a.on_event(AgentEvent::SafeReached);
+        let _ = a.on_event(AgentEvent::InActionDone);
+        // Crash here: step 51 applied but uncommitted; 50 is durable.
+        let r = AgentCore::restore(a.last_completed());
+        assert_eq!(r.state(), AgentState::Running);
+        assert_eq!(r.current_step(), None, "in-progress attempt lost");
+        assert!(r.uncommitted_action().is_none());
+        assert_eq!(r.last_completed(), Some(StepId(50)));
+        // The restored machine still re-acks its completed step on duplicates.
+        let mut r = r;
+        let eff = r.on_event(reset(50, true));
+        assert_eq!(
+            eff,
+            vec![
+                AgentEffect::Send(ProtoMsg::AdaptDone { step: StepId(50) }),
+                AgentEffect::Send(ProtoMsg::ResumeDone { step: StepId(50) }),
+            ]
+        );
     }
 
     #[test]

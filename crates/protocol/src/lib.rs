@@ -20,9 +20,28 @@
 //! * [`ManagerActor`] / [`ScriptedAgent`] — simnet adapters used by the
 //!   protocol tests, benches, and (for the manager) the video case study.
 //!
+//! ## Crash faults and recovery
+//!
+//! Beyond the paper's two failure classes (loss-of-message, fail-to-reset),
+//! the protocol tolerates *process crashes* injected by `sada-simnet`'s
+//! fault plans. Every wire message travels as [`Wire::Proto`] stamped with
+//! the sender's **epoch** (incarnation number); receivers track the highest
+//! epoch per peer and discard older traffic, so pre-crash messages still in
+//! flight cannot masquerade as the restarted process. A restarted agent
+//! announces [`ProtoMsg::Rejoin`] carrying the last step it durably
+//! completed; the manager resynchronizes it into the current phase
+//! (re-`Reset` while adapting or resuming, re-`Rollback` while rolling
+//! back) or — when the process stays down past the phase timeout — falls
+//! back to the existing Section 4.4 ladder, treating the silence as
+//! loss-of-message. Either way the Section 3.3 safety argument is
+//! untouched: a crash can only *remove* uncommitted work, never produce an
+//! in-action outside its safe state.
+//!
 //! The paper's equivalence theorem (Section 3.3) is validated end to end:
 //! integration tests record every in-action and configuration the protocol
-//! produces and feed them to `sada-model`'s independent [`SafetyAuditor`].
+//! produces and feed them to `sada-model`'s independent [`SafetyAuditor`];
+//! a chaos sweep at the workspace root replays hundreds of random fault
+//! plans against the same auditor.
 //!
 //! [`SafetyAuditor`]: sada_model::SafetyAuditor
 

@@ -351,8 +351,12 @@ impl ManagerCore {
         if self.timer_token != 0 {
             eff.push(ManagerEffect::CancelTimer { token: self.timer_token });
         }
+        let prev = self.timer_token;
         self.timer_token = self.next_attempt << 16 | u64::from(self.retries);
         self.next_attempt += 1;
+        // Stale-timeout rejection relies on this: a disarmed token must never
+        // be reissued, or a late timeout could abort the wrong phase.
+        debug_assert!(self.timer_token > prev, "timer tokens must be strictly monotonic");
         eff.push(ManagerEffect::SetTimer { token: self.timer_token, after: self.timing.phase_timeout });
     }
 
@@ -380,10 +384,11 @@ impl ManagerCore {
     }
 
     fn on_agent_msg(&mut self, agent: usize, msg: ProtoMsg) -> Vec<ManagerEffect> {
-        if msg.step() != self.step_id {
-            return Vec::new(); // stale attempt
+        if msg.step().is_some_and(|s| s != self.step_id) {
+            return Vec::new(); // stale attempt (rejoins carry no step)
         }
         match (self.phase, msg) {
+            (_, ProtoMsg::Rejoin { last_completed }) => self.on_rejoin(agent, last_completed),
             (ManagerPhase::Adapting, ProtoMsg::ResetDone { .. }) => Vec::new(),
             (ManagerPhase::Adapting, ProtoMsg::AdaptDone { .. }) => {
                 self.pending_adapt.remove(&agent);
@@ -406,7 +411,19 @@ impl ManagerCore {
                 self.fresh_timer(&mut eff);
                 eff
             }
-            (ManagerPhase::Resuming, ProtoMsg::AdaptDone { .. }) => Vec::new(), // duplicate
+            (ManagerPhase::Resuming, ProtoMsg::AdaptDone { .. }) => {
+                // Usually a duplicate ack. But an agent that crashed after
+                // the resume barrier and was resynchronized (see
+                // `on_rejoin`) re-runs the step and genuinely needs its
+                // `Resume` again; it is recognizable because its
+                // `ResumeDone` is still outstanding. Solo agents resume on
+                // their own.
+                if !self.solo && self.pending_resume.contains(&agent) {
+                    vec![ManagerEffect::Send { agent, msg: ProtoMsg::Resume { step: self.step_id } }]
+                } else {
+                    Vec::new()
+                }
+            }
             (ManagerPhase::Resuming, ProtoMsg::ResumeDone { .. }) => {
                 self.pending_resume.remove(&agent);
                 if !self.pending_resume.is_empty() {
@@ -435,6 +452,118 @@ impl ManagerCore {
             }
             // Late FailToReset while rolling back, stray acks, etc.
             _ => Vec::new(),
+        }
+    }
+
+    /// The crash-recovery rung of the failure ladder: a restarted agent
+    /// announced itself mid-adaptation.
+    ///
+    /// The crash destroyed the agent's volatile protocol state (an
+    /// uncommitted in-action, blocking, timers), so for safety purposes the
+    /// agent stands at its last *committed* step. Resynchronization
+    /// re-issues the current phase's command to that one agent:
+    ///
+    /// * `Adapting` — re-send `Reset`: the agent redoes the step from the
+    ///   beginning (pre-crash partial progress evaporated with the crash).
+    /// * `Resuming` — if its `ResumeDone` is outstanding, either the rejoin
+    ///   itself proves completion (`last_completed` matches the current
+    ///   attempt: the crash happened after the commit point and only the
+    ///   ack was lost) or the agent must redo the step; the
+    ///   `(Resuming, AdaptDone)` arm then re-issues its targeted `Resume`.
+    /// * `RollingBack` — re-send `Rollback`; the restarted agent has
+    ///   nothing structural to undo (the uncommitted change died with the
+    ///   crash) and acknowledges immediately.
+    ///
+    /// If the agent instead stays down past the phase timeout, no rejoin
+    /// arrives and the existing loss-of-message ladder (retransmit → abort
+    /// → rollback → re-plan → give up) handles the crash as the paper's
+    /// Section 4.4 failure classes — the safety argument is unchanged, only
+    /// liveness improves when the process comes back in time.
+    fn on_rejoin(&mut self, agent: usize, last_completed: Option<StepId>) -> Vec<ManagerEffect> {
+        if matches!(self.phase, ManagerPhase::Running | ManagerPhase::GaveUp) {
+            return vec![ManagerEffect::Info(format!("agent {agent} rejoined while idle"))];
+        }
+        let step = &self.steps[self.step_ix];
+        let Some(local) = step.locals.iter().find(|(a, _)| *a == agent).map(|(_, l)| l.clone())
+        else {
+            return vec![ManagerEffect::Info(format!(
+                "agent {agent} rejoined (not a participant of {})",
+                self.step_id
+            ))];
+        };
+        match self.phase {
+            ManagerPhase::Adapting => {
+                // Whatever the agent had acknowledged pre-crash is void: put
+                // it back on both barriers and start it over on this attempt
+                // with a fresh retry budget.
+                self.pending_adapt.insert(agent);
+                self.pending_resume.insert(agent);
+                self.retries = 0;
+                let mut eff = vec![ManagerEffect::Info(format!(
+                    "agent {agent} rejoined; resynchronizing into {}",
+                    self.step_id
+                ))];
+                eff.push(ManagerEffect::Send {
+                    agent,
+                    msg: ProtoMsg::Reset { step: self.step_id, action: local, solo: self.solo },
+                });
+                self.fresh_timer(&mut eff);
+                eff
+            }
+            ManagerPhase::Resuming => {
+                if !self.pending_resume.contains(&agent) {
+                    return vec![ManagerEffect::Info(format!(
+                        "agent {agent} rejoined after acknowledging {}; nothing to resync",
+                        self.step_id
+                    ))];
+                }
+                if last_completed == Some(self.step_id) {
+                    // Crashed between committing and the ack being heard:
+                    // the rejoin itself is proof of completion.
+                    self.pending_adapt.remove(&agent);
+                    self.pending_resume.remove(&agent);
+                    let mut eff = vec![ManagerEffect::Info(format!(
+                        "agent {agent} rejoined having completed {}",
+                        self.step_id
+                    ))];
+                    if self.pending_resume.is_empty() {
+                        eff.push(ManagerEffect::CancelTimer { token: self.timer_token });
+                        eff.extend(self.commit_step());
+                    }
+                    return eff;
+                }
+                // The uncommitted in-action died with the crash even though
+                // the resume barrier has passed: the step *must* still run
+                // to completion, so drive the agent through it again.
+                self.retries = 0;
+                let mut eff = vec![ManagerEffect::Info(format!(
+                    "agent {agent} rejoined mid-resume; re-running {} to completion",
+                    self.step_id
+                ))];
+                eff.push(ManagerEffect::Send {
+                    agent,
+                    msg: ProtoMsg::Reset { step: self.step_id, action: local, solo: self.solo },
+                });
+                self.fresh_timer(&mut eff);
+                eff
+            }
+            ManagerPhase::RollingBack => {
+                if !self.pending_rollback.contains(&agent) {
+                    return vec![ManagerEffect::Info(format!(
+                        "agent {agent} rejoined after rolling back {}",
+                        self.step_id
+                    ))];
+                }
+                self.retries = 0;
+                let mut eff = vec![ManagerEffect::Info(format!(
+                    "agent {agent} rejoined; re-sending rollback for {}",
+                    self.step_id
+                ))];
+                eff.push(ManagerEffect::Send { agent, msg: ProtoMsg::Rollback { step: self.step_id } });
+                self.fresh_timer(&mut eff);
+                eff
+            }
+            ManagerPhase::Running | ManagerPhase::GaveUp => unreachable!("handled above"),
         }
     }
 

@@ -413,3 +413,153 @@ fn unreachable_target_gives_up_immediately() {
     assert!(!o.gave_up);
     assert_eq!(o.final_config, u.config_of(&["C"]));
 }
+
+// --- crash/rejoin resynchronization (the fault-injection extension) ------
+
+#[test]
+fn rejoin_while_adapting_restarts_the_agents_step() {
+    let (u, mut mgr) = world_two_agents();
+    let eff = mgr.on_event(ManagerEvent::Request {
+        source: u.config_of(&["X1", "Y1"]),
+        target: u.config_of(&["X2", "Y2"]),
+    });
+    let step = reset_step(&eff);
+    // Agent 0 acknowledges, then crashes and comes back with nothing.
+    let _ = mgr.on_event(ManagerEvent::AgentMsg { agent: 0, msg: ProtoMsg::AdaptDone { step } });
+    let eff = mgr.on_event(ManagerEvent::AgentMsg {
+        agent: 0,
+        msg: ProtoMsg::Rejoin { last_completed: None },
+    });
+    let s = sends(&eff);
+    assert_eq!(s.len(), 1, "targeted re-reset, not a broadcast");
+    assert!(matches!(s[0], (0, ProtoMsg::Reset { .. })), "{s:?}");
+    assert_eq!(mgr.phase(), ManagerPhase::Adapting);
+
+    // The pre-crash AdaptDone was voided: the barrier waits for agent 0
+    // again, then the run converges normally.
+    let _ = mgr.on_event(ManagerEvent::AgentMsg { agent: 1, msg: ProtoMsg::AdaptDone { step } });
+    assert_eq!(mgr.phase(), ManagerPhase::Adapting, "still waiting for the restarted agent");
+    let eff = mgr.on_event(ManagerEvent::AgentMsg { agent: 0, msg: ProtoMsg::AdaptDone { step } });
+    assert_eq!(sends(&eff).len(), 2, "resume broadcast once both re-adapted");
+    let _ = mgr.on_event(ManagerEvent::AgentMsg { agent: 0, msg: ProtoMsg::ResumeDone { step } });
+    let eff = mgr.on_event(ManagerEvent::AgentMsg { agent: 1, msg: ProtoMsg::ResumeDone { step } });
+    assert!(outcome(&eff).expect("completes").success);
+}
+
+#[test]
+fn rejoin_carrying_the_current_step_is_proof_of_completion() {
+    let (u, mut mgr) = world_two_agents();
+    let eff = mgr.on_event(ManagerEvent::Request {
+        source: u.config_of(&["X1", "Y1"]),
+        target: u.config_of(&["X2", "Y2"]),
+    });
+    let step = reset_step(&eff);
+    let _ = mgr.on_event(ManagerEvent::AgentMsg { agent: 0, msg: ProtoMsg::AdaptDone { step } });
+    let _ = mgr.on_event(ManagerEvent::AgentMsg { agent: 1, msg: ProtoMsg::AdaptDone { step } });
+    let _ = mgr.on_event(ManagerEvent::AgentMsg { agent: 1, msg: ProtoMsg::ResumeDone { step } });
+    assert_eq!(mgr.phase(), ManagerPhase::Resuming);
+    // Agent 0 committed the step, crashed before its ResumeDone was heard,
+    // and rejoins advertising the durable completion: the rejoin itself
+    // closes the barrier.
+    let eff = mgr.on_event(ManagerEvent::AgentMsg {
+        agent: 0,
+        msg: ProtoMsg::Rejoin { last_completed: Some(step) },
+    });
+    let o = outcome(&eff).expect("rejoin is proof of completion");
+    assert!(o.success);
+    assert_eq!(o.final_config, u.config_of(&["X2", "Y2"]));
+}
+
+#[test]
+fn rejoin_mid_resume_reruns_the_step_to_completion() {
+    let (u, mut mgr) = world_two_agents();
+    let eff = mgr.on_event(ManagerEvent::Request {
+        source: u.config_of(&["X1", "Y1"]),
+        target: u.config_of(&["X2", "Y2"]),
+    });
+    let step = reset_step(&eff);
+    let _ = mgr.on_event(ManagerEvent::AgentMsg { agent: 0, msg: ProtoMsg::AdaptDone { step } });
+    let _ = mgr.on_event(ManagerEvent::AgentMsg { agent: 1, msg: ProtoMsg::AdaptDone { step } });
+    let _ = mgr.on_event(ManagerEvent::AgentMsg { agent: 1, msg: ProtoMsg::ResumeDone { step } });
+    // Agent 0's uncommitted in-action died with the crash even though the
+    // resume barrier passed: the step must still run to completion.
+    let eff = mgr.on_event(ManagerEvent::AgentMsg {
+        agent: 0,
+        msg: ProtoMsg::Rejoin { last_completed: None },
+    });
+    let s = sends(&eff);
+    assert!(matches!(s[..], [(0, ProtoMsg::Reset { .. })]), "{s:?}");
+    // This time the re-acknowledgement earns a *targeted* resume.
+    let eff = mgr.on_event(ManagerEvent::AgentMsg { agent: 0, msg: ProtoMsg::AdaptDone { step } });
+    let s = sends(&eff);
+    assert!(matches!(s[..], [(0, ProtoMsg::Resume { .. })]), "{s:?}");
+    let eff = mgr.on_event(ManagerEvent::AgentMsg { agent: 0, msg: ProtoMsg::ResumeDone { step } });
+    assert!(outcome(&eff).expect("completes").success);
+}
+
+#[test]
+fn rejoin_while_rolling_back_resends_rollback() {
+    let (u, mut mgr) = world_two_agents();
+    let eff = mgr.on_event(ManagerEvent::Request {
+        source: u.config_of(&["X1", "Y1"]),
+        target: u.config_of(&["X2", "Y2"]),
+    });
+    let step = reset_step(&eff);
+    let _ = mgr.on_event(ManagerEvent::AgentMsg { agent: 1, msg: ProtoMsg::FailToReset { step } });
+    assert_eq!(mgr.phase(), ManagerPhase::RollingBack);
+    // Agent 0 crashed during the abort; the restarted incarnation holds no
+    // change to undo, but its RollbackDone is still owed.
+    let eff = mgr.on_event(ManagerEvent::AgentMsg {
+        agent: 0,
+        msg: ProtoMsg::Rejoin { last_completed: None },
+    });
+    let s = sends(&eff);
+    assert!(matches!(s[..], [(0, ProtoMsg::Rollback { .. })]), "{s:?}");
+    let _ = mgr.on_event(ManagerEvent::AgentMsg { agent: 0, msg: ProtoMsg::RollbackDone { step } });
+    let eff = mgr.on_event(ManagerEvent::AgentMsg { agent: 1, msg: ProtoMsg::RollbackDone { step } });
+    // Ladder rung 1: the step is retried with a fresh attempt id.
+    let retry = reset_step(&eff);
+    assert_ne!(retry, step);
+}
+
+#[test]
+fn rejoin_when_idle_or_from_nonparticipant_is_informational() {
+    let (u, mut mgr) = world();
+    // Idle: nothing to resynchronize.
+    let eff = mgr.on_event(ManagerEvent::AgentMsg {
+        agent: 0,
+        msg: ProtoMsg::Rejoin { last_completed: None },
+    });
+    assert!(sends(&eff).is_empty());
+    assert_eq!(mgr.phase(), ManagerPhase::Running);
+    // Mid-adaptation, an agent with no role in the current step just gets
+    // noted.
+    let _ = mgr.on_event(ManagerEvent::Request {
+        source: u.config_of(&["A"]),
+        target: u.config_of(&["C"]),
+    });
+    let eff = mgr.on_event(ManagerEvent::AgentMsg {
+        agent: 3,
+        msg: ProtoMsg::Rejoin { last_completed: None },
+    });
+    assert!(sends(&eff).is_empty());
+    assert_eq!(mgr.phase(), ManagerPhase::Adapting, "step undisturbed");
+}
+
+#[test]
+fn timer_tokens_strictly_increase_and_stale_timeouts_are_inert() {
+    let (u, mut mgr) = world_two_agents();
+    let eff = mgr.on_event(ManagerEvent::Request {
+        source: u.config_of(&["X1", "Y1"]),
+        target: u.config_of(&["X2", "Y2"]),
+    });
+    let t1 = timer_token(&eff);
+    let eff = mgr.on_event(ManagerEvent::Timeout { token: t1 });
+    let t2 = timer_token(&eff);
+    assert!(t2 > t1, "tokens must be strictly monotonic: {t1} then {t2}");
+    // A timeout for the superseded timer must not burn a retry or abort
+    // the step: only the newest token is live.
+    let eff = mgr.on_event(ManagerEvent::Timeout { token: t1 });
+    assert!(eff.is_empty(), "stale timer token must be ignored: {eff:?}");
+    assert_eq!(mgr.phase(), ManagerPhase::Adapting);
+}

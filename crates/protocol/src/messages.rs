@@ -102,11 +102,26 @@ pub enum ProtoMsg {
         /// Echoed step attempt.
         step: StepId,
     },
+    /// Agent → manager: the process crashed and came back up under a new
+    /// incarnation. `last_completed` is the most recent step attempt the
+    /// agent committed to durable storage before the crash — everything
+    /// after it (an uncommitted in-action, blocking state, timers) was
+    /// volatile and is gone. The manager answers by resynchronizing the
+    /// agent into the current step or, if the crash already tripped the
+    /// timeout ladder, by letting the ordinary abort/rollback handling run.
+    Rejoin {
+        /// Last step the agent fully completed before crashing, if any.
+        last_completed: Option<StepId>,
+    },
 }
 
 impl ProtoMsg {
-    /// The step attempt the message refers to.
-    pub fn step(&self) -> StepId {
+    /// The step attempt the message refers to, if it refers to one.
+    ///
+    /// [`ProtoMsg::Rejoin`] is the only stepless message: a restarted agent
+    /// does not know the manager's current attempt, so rejoins must pass the
+    /// manager's stale-step filter unconditionally.
+    pub fn step(&self) -> Option<StepId> {
         match self {
             ProtoMsg::Reset { step, .. }
             | ProtoMsg::ResetDone { step }
@@ -115,7 +130,8 @@ impl ProtoMsg {
             | ProtoMsg::ResumeDone { step }
             | ProtoMsg::Rollback { step }
             | ProtoMsg::RollbackDone { step }
-            | ProtoMsg::FailToReset { step } => *step,
+            | ProtoMsg::FailToReset { step } => Some(*step),
+            ProtoMsg::Rejoin { .. } => None,
         }
     }
 }
@@ -124,8 +140,17 @@ impl ProtoMsg {
 /// traffic multiplexed with application traffic of type `M`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Wire<M> {
-    /// Manager/agent coordination.
-    Proto(ProtoMsg),
+    /// Manager/agent coordination, stamped with the sender's incarnation
+    /// number. A process starts at epoch 0 and bumps it on every restart;
+    /// receivers track the highest epoch seen per peer and discard anything
+    /// older, so pre-crash traffic still in flight cannot be mistaken for
+    /// the restarted process's messages.
+    Proto {
+        /// Sender's incarnation number.
+        epoch: u64,
+        /// The protocol message.
+        msg: ProtoMsg,
+    },
     /// Application payload (video packets in the case study).
     App(M),
 }
@@ -167,16 +192,25 @@ mod tests {
             ProtoMsg::FailToReset { step: s },
         ];
         for m in msgs {
-            assert_eq!(m.step(), s);
+            assert_eq!(m.step(), Some(s));
         }
         assert_eq!(s.to_string(), "step#9");
+    }
+
+    #[test]
+    fn rejoin_is_stepless() {
+        assert_eq!(ProtoMsg::Rejoin { last_completed: None }.step(), None);
+        assert_eq!(ProtoMsg::Rejoin { last_completed: Some(StepId(3)) }.step(), None);
     }
 
     #[test]
     fn wire_multiplexes() {
         let w: Wire<u32> = Wire::App(7);
         assert_eq!(w, Wire::App(7));
-        let p: Wire<u32> = Wire::Proto(ProtoMsg::ResetDone { step: StepId(1) });
-        assert!(matches!(p, Wire::Proto(_)));
+        let p: Wire<u32> = Wire::Proto { epoch: 0, msg: ProtoMsg::ResetDone { step: StepId(1) } };
+        assert!(matches!(p, Wire::Proto { .. }));
+        // Same message under a later incarnation is a different wire value.
+        let p1: Wire<u32> = Wire::Proto { epoch: 1, msg: ProtoMsg::ResetDone { step: StepId(1) } };
+        assert_ne!(p, p1);
     }
 }

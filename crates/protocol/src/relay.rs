@@ -38,7 +38,7 @@ impl RelayActor {
 
 impl<M: Clone + 'static> Actor<Wire<M>> for RelayActor {
     fn on_message(&mut self, ctx: &mut Context<'_, Wire<M>>, from: ActorId, msg: Wire<M>) {
-        if !matches!(msg, Wire::Proto(_)) {
+        if !matches!(msg, Wire::Proto { .. }) {
             return;
         }
         if from == self.up {
@@ -131,7 +131,15 @@ mod tests {
         let relay = sim.add_actor("relay", RelayActor::new(up, sink));
         let stranger = sim.add_actor("stranger", ScriptedAgent::new(relay, AgentTiming::default()));
         // Stranger's message reaches the relay but goes nowhere.
-        sim.inject(stranger, relay, Wire::Proto(crate::messages::ProtoMsg::ResetDone { step: crate::messages::StepId(1) }), SimDuration::ZERO);
+        sim.inject(
+            stranger,
+            relay,
+            Wire::Proto {
+                epoch: 0,
+                msg: crate::messages::ProtoMsg::ResetDone { step: crate::messages::StepId(1) },
+            },
+            SimDuration::ZERO,
+        );
         // App traffic from the upstream node is also not relayed.
         sim.inject(up, relay, Wire::App(()), SimDuration::ZERO);
         sim.run();

@@ -22,6 +22,9 @@ use crate::messages::{LocalAction, Wire};
 /// Generic over the application payload `M` (the manager itself only speaks
 /// [`ProtoMsg`]). The adaptation request fires at start-up; the outcome is
 /// readable from the actor state after the run.
+/// Application-message predicate that fires the adaptation request.
+type Trigger<M> = Box<dyn Fn(&M) -> bool>;
+
 pub struct ManagerActor<M> {
     core: ManagerCore,
     agents: Vec<ActorId>,
@@ -29,7 +32,12 @@ pub struct ManagerActor<M> {
     timers: HashMap<u64, TimerId>,
     request: Option<(Config, Config)>,
     request_delay: SimDuration,
-    trigger: Option<Box<dyn Fn(&M) -> bool>>,
+    trigger: Option<Trigger<M>>,
+    /// This manager's incarnation number (stamped on outgoing traffic).
+    epoch: u64,
+    /// Highest incarnation seen per agent; older traffic is pre-crash
+    /// residue and is discarded before it reaches the state machine.
+    agent_epochs: HashMap<ActorId, u64>,
     /// Final outcome, set when the adaptation completes.
     pub outcome: Option<Outcome>,
     /// Virtual time at which the outcome was produced (the realization
@@ -59,6 +67,8 @@ impl<M> ManagerActor<M> {
             request: Some((source, target)),
             request_delay: SimDuration::ZERO,
             trigger: None,
+            epoch: 0,
+            agent_epochs: HashMap::new(),
             outcome: None,
             completed_at: None,
             infos: Vec::new(),
@@ -94,7 +104,7 @@ impl<M> ManagerActor<M> {
         for eff in effects {
             match eff {
                 ManagerEffect::Send { agent, msg } => {
-                    ctx.send(self.agents[agent], Wire::Proto(msg));
+                    ctx.send(self.agents[agent], Wire::Proto { epoch: self.epoch, msg });
                 }
                 ManagerEffect::SetTimer { token, after } => {
                     let id = ctx.set_timer(after, token);
@@ -132,8 +142,13 @@ impl<M: Clone + 'static> Actor<Wire<M>> for ManagerActor<M> {
 
     fn on_message(&mut self, ctx: &mut Context<'_, Wire<M>>, from: ActorId, msg: Wire<M>) {
         match msg {
-            Wire::Proto(p) => {
+            Wire::Proto { epoch, msg: p } => {
                 if let Some(&agent) = self.actor_to_agent.get(&from) {
+                    let seen = self.agent_epochs.entry(from).or_insert(0);
+                    if epoch < *seen {
+                        return; // pre-crash residue from an old incarnation
+                    }
+                    *seen = epoch;
                     let eff = self.core.on_event(ManagerEvent::AgentMsg { agent, msg: p });
                     self.apply(ctx, eff);
                 }
@@ -195,10 +210,27 @@ const TAG_SAFE: u64 = 1;
 const TAG_ACT: u64 = 2;
 const TAG_RESUME: u64 = 3;
 const TAG_ROLLBACK: u64 = 4;
+const TAG_REJOIN: u64 = 5;
+
+/// How often a restarted agent retransmits `Rejoin` until the manager
+/// engages it, and how many times it tries. The budget must outlast a
+/// partition window plus the manager's phase timeout, or a lost rejoin
+/// degenerates into the (safe but slower) pure-timeout recovery.
+const REJOIN_PERIOD: SimDuration = SimDuration::from_millis(100);
+const REJOIN_RETRIES: u32 = 12;
 
 /// A process whose local adaptation behaviour is scripted: it reaches its
 /// safe state, performs in-actions, resumes and rolls back after fixed
 /// delays, and can be told to exhibit the paper's fail-to-reset failure.
+///
+/// Under fault injection it models the volatile-uncommitted crash model:
+/// a crash destroys the step in progress (an applied-but-uncommitted
+/// in-action is recorded as evaporated in [`ScriptedAgent::applied`])
+/// while completed steps survive on durable storage; the restart bumps the
+/// agent's epoch and announces [`ProtoMsg::Rejoin`] to the manager,
+/// retransmitting until it is resynchronized.
+///
+/// [`ProtoMsg::Rejoin`]: crate::ProtoMsg::Rejoin
 pub struct ScriptedAgent {
     core: AgentCore,
     manager: ActorId,
@@ -209,6 +241,13 @@ pub struct ScriptedAgent {
     /// Forward (`true`) and rollback (`false`) structural changes actually
     /// applied, in order — the ground truth tests compare against.
     pub applied: Vec<(ActionId, bool)>,
+    /// Crashes suffered (fault injection).
+    pub crashes: u64,
+    /// `Rejoin` announcements put on the wire.
+    pub rejoins_sent: u64,
+    epoch: u64,
+    manager_epoch: u64,
+    rejoin_budget: u32,
     pending_action: Option<LocalAction>,
     pending_rollback: Option<LocalAction>,
 }
@@ -222,6 +261,11 @@ impl ScriptedAgent {
             timing,
             fail_to_reset: false,
             applied: Vec::new(),
+            crashes: 0,
+            rejoins_sent: 0,
+            epoch: 0,
+            manager_epoch: 0,
+            rejoin_budget: 0,
             pending_action: None,
             pending_rollback: None,
         }
@@ -232,10 +276,27 @@ impl ScriptedAgent {
         &self.core
     }
 
+    /// This agent's incarnation number (0 until the first crash/restart).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    fn send_rejoin<M: Clone + 'static>(&mut self, ctx: &mut Context<'_, Wire<M>>) {
+        self.rejoins_sent += 1;
+        ctx.send(
+            self.manager,
+            Wire::Proto {
+                epoch: self.epoch,
+                msg: crate::messages::ProtoMsg::Rejoin { last_completed: self.core.last_completed() },
+            },
+        );
+        ctx.set_timer(REJOIN_PERIOD, TAG_REJOIN);
+    }
+
     fn apply<M: Clone + 'static>(&mut self, ctx: &mut Context<'_, Wire<M>>, effects: Vec<AgentEffect>) {
         for eff in effects {
             match eff {
-                AgentEffect::Send(msg) => ctx.send(self.manager, Wire::Proto(msg)),
+                AgentEffect::Send(msg) => ctx.send(self.manager, Wire::Proto { epoch: self.epoch, msg }),
                 AgentEffect::PreAction(_) => {}
                 AgentEffect::BeginReset(la) => {
                     // Reaching the safe state takes time — more when the
@@ -268,13 +329,55 @@ impl ScriptedAgent {
 
 impl<M: Clone + 'static> Actor<Wire<M>> for ScriptedAgent {
     fn on_message(&mut self, ctx: &mut Context<'_, Wire<M>>, _from: ActorId, msg: Wire<M>) {
-        if let Wire::Proto(p) = msg {
+        if let Wire::Proto { epoch, msg: p } = msg {
+            if epoch < self.manager_epoch {
+                return; // residue from a previous manager incarnation
+            }
+            self.manager_epoch = epoch;
             let eff = self.core.on_event(AgentEvent::Msg(p));
             self.apply(ctx, eff);
+            if self.core.state() != crate::AgentState::Running {
+                // The manager has re-engaged this incarnation: the rejoin
+                // announcement has served its purpose. (A Resume ignored in
+                // the running state does NOT count — that is exactly the
+                // lost-rejoin divergence the retransmissions exist for.)
+                self.rejoin_budget = 0;
+            }
         }
     }
 
+    fn on_crash(&mut self) {
+        self.crashes += 1;
+        // The volatile-uncommitted model: a structural change that was
+        // applied but never committed evaporates with the process image.
+        // Record it as undone so the ground-truth replay sees what a fresh
+        // process image actually contains.
+        if let Some(la) = self.core.uncommitted_action() {
+            self.applied.push((la.action, false));
+        }
+        self.pending_action = None;
+        self.pending_rollback = None;
+    }
+
+    fn on_restart(&mut self, ctx: &mut Context<'_, Wire<M>>) {
+        // New incarnation: only durable state (completed steps) survives.
+        self.epoch += 1;
+        self.core = AgentCore::restore(self.core.last_completed());
+        self.rejoin_budget = REJOIN_RETRIES;
+        self.send_rejoin(ctx);
+    }
+
     fn on_timer(&mut self, ctx: &mut Context<'_, Wire<M>>, tag: u64) {
+        if tag == TAG_REJOIN {
+            // Keep announcing until the manager engages us (we leave the
+            // running state) or the budget runs out; after that, recovery
+            // falls back to the manager's ordinary timeout ladder.
+            if self.rejoin_budget > 0 && self.core.state() == crate::AgentState::Running {
+                self.rejoin_budget -= 1;
+                self.send_rejoin(ctx);
+            }
+            return;
+        }
         let ev = match tag {
             TAG_SAFE => {
                 if self.fail_to_reset {

@@ -291,3 +291,66 @@ fn pair_action_blocks_both_agents_until_barrier() {
         assert_eq!(ag.applied, vec![(ActionId(0), true)]);
     }
 }
+
+#[test]
+fn agent_crash_mid_step_rejoins_and_reaches_target() {
+    let mut w = build_world(20, &["X1", "Y1"], &["X2", "Y2"], ProtoTiming::default());
+    // Kill agent 0 while its solo step is in flight; bring it back 120 ms
+    // later. Its uncommitted in-action dies with the process, the restart
+    // announces a Rejoin, and the manager re-runs the step.
+    let plan = sada_simnet::FaultPlan::new()
+        .crash(w.agents[0], sada_simnet::SimTime::from_millis(6))
+        .restart(w.agents[0], sada_simnet::SimTime::from_millis(126));
+    w.sim.schedule_faults(&plan);
+    w.sim.run();
+    let o = outcome_of(&w.sim, w.manager);
+    assert!(o.success, "infos: {:?}", w.sim.actor::<ManagerActor<()>>(w.manager).unwrap().infos);
+    assert_eq!(o.final_config, w.universe.config_of(&["X2", "Y2"]));
+    let ax = w.sim.actor::<ScriptedAgent>(w.agents[0]).unwrap();
+    assert_eq!(ax.crashes, 1);
+    assert!(ax.rejoins_sent >= 1, "restart must announce itself");
+    assert!(ax.epoch() >= 1, "incarnation bumped");
+    // Ground truth: what the agents actually executed lands on the target.
+    let actions = case_actions(&w.universe);
+    let replayed =
+        replay_applied(&w.universe, &w.sim, &w.agents, &actions, &w.universe.config_of(&["X1", "Y1"]));
+    assert_eq!(replayed, o.final_config);
+}
+
+#[test]
+fn crash_and_rejoin_is_safe_across_crash_times() {
+    // Sweep the crash instant across the whole protocol window (reset,
+    // adapt, resume, commit of either step): every run must terminate in a
+    // safe configuration that matches the agents' ground truth, crash or no
+    // crash pending work.
+    let mut u2 = Universe::new();
+    for n in ["X1", "X2", "Y1", "Y2"] {
+        u2.intern(n);
+    }
+    let inv = InvariantSet::parse(&["one_of(X1, X2)", "one_of(Y1, Y2)", "Y2 => X2"], &mut u2).unwrap();
+    for crash_ms in [2u64, 5, 8, 11, 14, 17, 20, 25, 30] {
+        let mut w = build_world(30 + crash_ms, &["X1", "Y1"], &["X2", "Y2"], ProtoTiming::default());
+        let victim = w.agents[(crash_ms % 2) as usize];
+        let plan = sada_simnet::FaultPlan::new()
+            .crash(victim, sada_simnet::SimTime::from_millis(crash_ms))
+            .restart(victim, sada_simnet::SimTime::from_millis(crash_ms + 90));
+        w.sim.schedule_faults(&plan);
+        w.sim.run();
+        let o = outcome_of(&w.sim, w.manager);
+        assert!(
+            inv.satisfied_by(&o.final_config),
+            "crash at {crash_ms}ms: unsafe final config {}",
+            o.final_config
+        );
+        let actions = case_actions(&w.universe);
+        let replayed = replay_applied(
+            &w.universe,
+            &w.sim,
+            &w.agents,
+            &actions,
+            &w.universe.config_of(&["X1", "Y1"]),
+        );
+        assert_eq!(replayed, o.final_config, "crash at {crash_ms}ms: manager view diverged");
+        assert!(o.success, "crash at {crash_ms}ms: a restarted agent within budget must not doom the run");
+    }
+}

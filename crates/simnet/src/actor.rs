@@ -84,6 +84,24 @@ pub trait Actor<M>: AsAny {
     fn on_timer(&mut self, ctx: &mut Context<'_, M>, tag: u64) {
         let _ = (ctx, tag);
     }
+
+    /// Called when fault injection crashes this actor.
+    ///
+    /// There is no [`Context`]: a dead process takes no actions. Implement
+    /// this to model the loss of *volatile* state — anything the process
+    /// held only in memory — while keeping what would have survived on
+    /// durable storage. The default keeps all state (pure snapshot-restore
+    /// semantics).
+    fn on_crash(&mut self) {}
+
+    /// Called when fault injection restarts this actor after a crash.
+    ///
+    /// Defaults to re-running [`Actor::on_start`], which is right for
+    /// stateless actors; recovery-aware actors override this to re-announce
+    /// themselves instead of re-issuing their boot sequence.
+    fn on_restart(&mut self, ctx: &mut Context<'_, M>) {
+        self.on_start(ctx);
+    }
 }
 
 /// Deferred side effects produced by an actor callback.

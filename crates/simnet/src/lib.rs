@@ -20,6 +20,23 @@
 //! * Ties in delivery time are broken by a global sequence number so runs
 //!   are reproducible bit-for-bit.
 //!
+//! ## Fault injection
+//!
+//! A [`FaultPlan`] schedules process- and network-level faults alongside
+//! the ordinary event queue: [`Fault::CrashActor`] /
+//! [`Fault::RestartActor`] pairs, directed [`Fault::PartitionWindow`]s,
+//! targeted [`Fault::DropMatching`] rules, and [`Fault::DelayBurst`]s.
+//! Crashing an actor bumps its *incarnation number*: every message in
+//! flight toward it and every timer it had armed is discarded at dispatch,
+//! and traffic routed to it while down is dropped — so a crash is a real
+//! process death, not a pause. Restart runs [`Actor::on_restart`]
+//! (defaulting to `on_start`) on the surviving state; actors model
+//! volatile-state loss in [`Actor::on_crash`]. Fault plans are plain data:
+//! they compare, clone, and round-trip through a line-oriented text form
+//! ([`FaultPlan::to_text`] / [`FaultPlan::parse`]) so failing chaos cases
+//! can be stored as replayable regression files. [`chaos`] samples random
+//! plans reproducibly from a seed and an intensity knob.
+//!
 //! ## Example
 //!
 //! ```
@@ -46,12 +63,14 @@
 //! ```
 
 mod actor;
+mod fault;
 mod link;
 mod sim;
 mod time;
 mod trace;
 
 pub use actor::{Actor, ActorId, AsAny, Context, TimerId};
+pub use fault::{chaos, ChaosOpts, Fault, FaultPlan, MsgPattern};
 pub use link::LinkConfig;
 pub use sim::{GroupId, NetStats, Simulator};
 pub use time::{SimDuration, SimTime};

@@ -70,6 +70,36 @@ impl LinkConfig {
         self.partitioned = partitioned;
         self
     }
+
+    /// True when the configuration is semantically valid: `loss` is finite
+    /// and within `[0, 1]`, and `bandwidth`, if set, is positive.
+    ///
+    /// Negative latency or jitter are unrepresentable by construction —
+    /// [`SimDuration`] is unsigned — so they need no check here.
+    pub fn is_valid(&self) -> bool {
+        self.loss.is_finite()
+            && (0.0..=1.0).contains(&self.loss)
+            && self.bandwidth.is_none_or(|b| b > 0)
+    }
+
+    /// Validation parity for field-struct construction: the named
+    /// constructors assert their ranges, but `LinkConfig { .. }` literals
+    /// bypass them. Call this to get the same guarantee.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`LinkConfig::is_valid`] is false. The simulator also
+    /// debug-asserts validity on every enqueue, so an invalid literal is
+    /// caught in test builds even without an explicit call.
+    pub fn validate(self) -> Self {
+        assert!(
+            self.is_valid(),
+            "invalid LinkConfig: loss={} (must be finite, in [0,1]), bandwidth={:?} (must be positive)",
+            self.loss,
+            self.bandwidth
+        );
+        self
+    }
 }
 
 impl Default for LinkConfig {
@@ -115,5 +145,38 @@ mod tests {
     #[should_panic(expected = "loss must be in [0,1]")]
     fn lossy_rejects_out_of_range() {
         let _ = LinkConfig::lossy(SimDuration::ZERO, 1.5);
+    }
+
+    #[test]
+    fn validate_matches_constructor_checks() {
+        // Field-struct literals bypass the constructors; validate() closes
+        // the gap.
+        let nan = LinkConfig { loss: f64::NAN, ..LinkConfig::default() };
+        assert!(!nan.is_valid());
+        let negative = LinkConfig { loss: -0.1, ..LinkConfig::default() };
+        assert!(!negative.is_valid());
+        let too_high = LinkConfig { loss: 1.5, ..LinkConfig::default() };
+        assert!(!too_high.is_valid());
+        let zero_bw = LinkConfig { bandwidth: Some(0), ..LinkConfig::default() };
+        assert!(!zero_bw.is_valid());
+        let fine = LinkConfig { loss: 0.5, ..LinkConfig::default() };
+        assert!(fine.is_valid());
+        let _ = fine.validate(); // does not panic
+        // Negative jitter is unrepresentable: SimDuration is an unsigned
+        // microsecond count, so that whole failure class is gone at the
+        // type level.
+        assert_eq!(SimDuration::ZERO.as_micros(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid LinkConfig")]
+    fn validate_panics_on_nan_loss() {
+        let _ = LinkConfig { loss: f64::NAN, ..LinkConfig::default() }.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid LinkConfig")]
+    fn validate_panics_on_out_of_range_loss() {
+        let _ = LinkConfig { loss: 2.0, ..LinkConfig::default() }.validate();
     }
 }

@@ -7,6 +7,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::actor::{Actor, ActorId, Context, Op, TimerId};
+use crate::fault::{Fault, FaultPlan, MsgPattern};
 use crate::link::LinkConfig;
 use crate::time::{SimDuration, SimTime};
 use crate::trace::{Trace, TraceEvent, TraceKind};
@@ -28,11 +29,36 @@ pub struct NetStats {
     pub timers_fired: u64,
     /// Total events dispatched.
     pub events_processed: u64,
+    /// Actor crashes executed by fault injection.
+    pub crashes: u64,
+    /// Actor restarts executed by fault injection.
+    pub restarts: u64,
+}
+
+/// Resolved form of a scheduled [`Fault`]: windows become on/off pairs.
+enum FaultAction {
+    Crash(ActorId),
+    Restart(ActorId),
+    PartitionOn(ActorId, ActorId),
+    PartitionOff(ActorId, ActorId),
+}
+
+/// State of one installed [`Fault::DropMatching`] rule.
+struct DropRule {
+    predicate: MsgPattern,
+    nth: u32,
+    seen: u32,
+    spent: bool,
 }
 
 enum EventKind<M> {
-    Deliver { from: ActorId, to: ActorId, msg: M },
-    Timer { owner: ActorId, id: TimerId, tag: u64 },
+    // `inc` stamps Deliver with the *target's* incarnation at route time and
+    // Timer with the *owner's* incarnation at arm time: a crash bumps the
+    // incarnation, so everything in flight toward the old incarnation is
+    // discarded at dispatch — even if the actor restarted in the meantime.
+    Deliver { from: ActorId, to: ActorId, inc: u32, msg: M },
+    Timer { owner: ActorId, id: TimerId, inc: u32, tag: u64 },
+    Fault(FaultAction),
 }
 
 struct Event<M> {
@@ -65,6 +91,9 @@ impl<M> Ord for Event<M> {
 /// the single seed passed to [`Simulator::new`], and simultaneous events are
 /// ordered by creation sequence, so a run is a pure function of
 /// `(seed, actors, inputs)`.
+/// Measures a message's wire size for the bandwidth model.
+type Sizer<M> = Box<dyn Fn(&M) -> usize>;
+
 pub struct Simulator<M> {
     now: SimTime,
     seq: u64,
@@ -75,7 +104,7 @@ pub struct Simulator<M> {
     links: HashMap<(ActorId, ActorId), LinkConfig>,
     default_link: LinkConfig,
     link_busy_until: HashMap<(ActorId, ActorId), SimTime>,
-    sizer: Option<Box<dyn Fn(&M) -> usize>>,
+    sizer: Option<Sizer<M>>,
     groups: Vec<Vec<ActorId>>,
     cancelled: HashSet<TimerId>,
     next_timer: u64,
@@ -83,6 +112,10 @@ pub struct Simulator<M> {
     trace: Trace,
     stats: NetStats,
     halted: bool,
+    incarnation: Vec<u32>,
+    crashed: Vec<bool>,
+    drop_rules: Vec<DropRule>,
+    delay_bursts: Vec<(SimTime, SimTime, SimDuration)>,
 }
 
 impl<M: Clone + 'static> Simulator<M> {
@@ -106,6 +139,10 @@ impl<M: Clone + 'static> Simulator<M> {
             trace: Trace::new(),
             stats: NetStats::default(),
             halted: false,
+            incarnation: Vec::new(),
+            crashed: Vec::new(),
+            drop_rules: Vec::new(),
+            delay_bursts: Vec::new(),
         }
     }
 
@@ -118,6 +155,8 @@ impl<M: Clone + 'static> Simulator<M> {
         self.actors.push(Some(Box::new(actor)));
         self.names.push(name.to_string());
         self.started.push(false);
+        self.incarnation.push(0);
+        self.crashed.push(false);
         id
     }
 
@@ -229,9 +268,72 @@ impl<M: Clone + 'static> Simulator<M> {
 
     /// Schedules an out-of-band delivery of `msg` from `from` to `to` after
     /// `delay` — the hook tests and drivers use to kick off scenarios.
+    ///
+    /// As an external stimulus it bypasses loss, jitter, and bandwidth on
+    /// the link — but *not* partitions or crashes: a partitioned link or a
+    /// dead target drops injected traffic exactly like actor-initiated
+    /// sends, so fault windows cannot be smuggled around.
     pub fn inject(&mut self, from: ActorId, to: ActorId, msg: M, delay: SimDuration) {
+        if to.index() >= self.actors.len()
+            || self.crashed[to.index()]
+            || self.link(from, to).partitioned
+        {
+            self.stats.dropped += 1;
+            self.trace.push(TraceEvent { at: self.now, from, to, kind: TraceKind::Dropped });
+            return;
+        }
         let at = self.now + delay;
-        self.push_event(at, EventKind::Deliver { from, to, msg });
+        let inc = self.incarnation[to.index()];
+        self.push_event(at, EventKind::Deliver { from, to, inc, msg });
+    }
+
+    /// Installs every fault in `plan`: crash/restart and partition windows
+    /// are scheduled at their virtual times (relative to time zero), drop
+    /// rules and delay bursts take effect immediately.
+    ///
+    /// Plans compose — scheduling a second plan adds to the first.
+    pub fn schedule_faults(&mut self, plan: &FaultPlan) {
+        for fault in &plan.faults {
+            match *fault {
+                Fault::CrashActor { at, id } => {
+                    self.push_event(at, EventKind::Fault(FaultAction::Crash(id)));
+                }
+                Fault::RestartActor { at, id } => {
+                    self.push_event(at, EventKind::Fault(FaultAction::Restart(id)));
+                }
+                Fault::PartitionWindow { from, to, start, end } => {
+                    self.push_event(start, EventKind::Fault(FaultAction::PartitionOn(from, to)));
+                    self.push_event(end, EventKind::Fault(FaultAction::PartitionOff(from, to)));
+                }
+                Fault::DropMatching { nth, predicate } => {
+                    self.drop_rules.push(DropRule { predicate, nth: nth.max(1), seen: 0, spent: false });
+                }
+                Fault::DelayBurst { window, extra_latency } => {
+                    self.delay_bursts.push((window.0, window.1, extra_latency));
+                }
+            }
+        }
+    }
+
+    /// Schedules a crash of `id` at absolute time `at`.
+    pub fn crash_at(&mut self, id: ActorId, at: SimTime) {
+        self.push_event(at, EventKind::Fault(FaultAction::Crash(id)));
+    }
+
+    /// Schedules a restart of `id` at absolute time `at`.
+    pub fn restart_at(&mut self, id: ActorId, at: SimTime) {
+        self.push_event(at, EventKind::Fault(FaultAction::Restart(id)));
+    }
+
+    /// True while `id` is crashed (between a crash and its restart).
+    pub fn is_crashed(&self, id: ActorId) -> bool {
+        self.crashed.get(id.index()).copied().unwrap_or(false)
+    }
+
+    /// The incarnation number of `id`: 0 until its first crash, then +1
+    /// per crash. Restart does not change it.
+    pub fn incarnation(&self, id: ActorId) -> u32 {
+        self.incarnation.get(id.index()).copied().unwrap_or(0)
     }
 
     fn push_event(&mut self, at: SimTime, kind: EventKind<M>) {
@@ -281,7 +383,8 @@ impl<M: Clone + 'static> Simulator<M> {
                 }
                 Op::SetTimer { id, delay, tag } => {
                     let at = self.now + delay;
-                    self.push_event(at, EventKind::Timer { owner: from, id, tag });
+                    let inc = self.incarnation[from.index()];
+                    self.push_event(at, EventKind::Timer { owner: from, id, inc, tag });
                 }
                 Op::CancelTimer { id } => {
                     self.cancelled.insert(id);
@@ -298,6 +401,33 @@ impl<M: Clone + 'static> Simulator<M> {
         self.route(from, to, msg.clone());
     }
 
+    /// Applies installed [`Fault::DropMatching`] rules; true = drop.
+    fn drop_rules_claim(&mut self, from: ActorId, to: ActorId) -> bool {
+        let mut claimed = false;
+        for rule in &mut self.drop_rules {
+            if rule.spent || !rule.predicate.matches(from, to) {
+                continue;
+            }
+            rule.seen += 1;
+            if rule.seen == rule.nth {
+                rule.spent = true;
+                claimed = true;
+            }
+        }
+        claimed
+    }
+
+    /// Extra latency from any active [`Fault::DelayBurst`] window (max over
+    /// overlapping windows).
+    fn burst_extra(&self) -> SimDuration {
+        self.delay_bursts
+            .iter()
+            .filter(|&&(start, end, _)| self.now >= start && self.now < end)
+            .map(|&(_, _, extra)| extra)
+            .max()
+            .unwrap_or(SimDuration::ZERO)
+    }
+
     fn route(&mut self, from: ActorId, to: ActorId, msg: M) {
         self.stats.sent += 1;
         self.trace.push(TraceEvent { at: self.now, from, to, kind: TraceKind::Sent });
@@ -307,7 +437,16 @@ impl<M: Clone + 'static> Simulator<M> {
             return;
         }
         let cfg = self.link(from, to);
-        let lost = cfg.partitioned || (cfg.loss > 0.0 && self.rng.gen::<f64>() < cfg.loss);
+        debug_assert!(
+            cfg.is_valid(),
+            "invalid LinkConfig on {from}->{to}: loss={} jitter={:?}",
+            cfg.loss,
+            cfg.jitter
+        );
+        let lost = self.crashed[to.index()]
+            || cfg.partitioned
+            || (cfg.loss > 0.0 && self.rng.gen::<f64>() < cfg.loss);
+        let lost = lost || self.drop_rules_claim(from, to);
         if lost {
             self.stats.dropped += 1;
             self.trace.push(TraceEvent { at: self.now, from, to, kind: TraceKind::Dropped });
@@ -336,8 +475,9 @@ impl<M: Clone + 'static> Simulator<M> {
             }
             _ => self.now,
         };
-        let at = departure + cfg.latency + jitter;
-        self.push_event(at, EventKind::Deliver { from, to, msg });
+        let at = departure + cfg.latency + jitter + self.burst_extra();
+        let inc = self.incarnation[to.index()];
+        self.push_event(at, EventKind::Deliver { from, to, inc, msg });
     }
 
     /// Dispatches the next event, if any. Returns `false` when the queue is
@@ -355,8 +495,15 @@ impl<M: Clone + 'static> Simulator<M> {
         self.now = ev.at;
         self.stats.events_processed += 1;
         match ev.kind {
-            EventKind::Deliver { from, to, msg } => {
+            EventKind::Deliver { from, to, inc, msg } => {
                 let ix = to.index();
+                // A crash bumped the incarnation after this message was
+                // routed: the in-flight message dies with the old process.
+                if self.crashed[ix] || self.incarnation[ix] != inc {
+                    self.stats.dropped += 1;
+                    self.trace.push(TraceEvent { at: self.now, from, to, kind: TraceKind::Dropped });
+                    return true;
+                }
                 let mut actor = match self.actors.get_mut(ix).and_then(Option::take) {
                     Some(a) => a,
                     None => return true, // destination raced away; count as delivered-to-nobody
@@ -379,11 +526,15 @@ impl<M: Clone + 'static> Simulator<M> {
                 // New actors may have been created? (not supported mid-run)
                 self.ensure_started();
             }
-            EventKind::Timer { owner, id, tag } => {
+            EventKind::Timer { owner, id, inc, tag } => {
                 if self.cancelled.remove(&id) {
                     return true;
                 }
                 let ix = owner.index();
+                // Timers armed by a previous incarnation died in the crash.
+                if self.crashed[ix] || self.incarnation[ix] != inc {
+                    return true;
+                }
                 let mut actor = match self.actors.get_mut(ix).and_then(Option::take) {
                     Some(a) => a,
                     None => return true,
@@ -404,8 +555,63 @@ impl<M: Clone + 'static> Simulator<M> {
                 self.actors[ix] = Some(actor);
                 self.apply_ops(owner, ops);
             }
+            EventKind::Fault(action) => self.apply_fault(action),
         }
         true
+    }
+
+    fn apply_fault(&mut self, action: FaultAction) {
+        match action {
+            FaultAction::Crash(id) => {
+                let ix = id.index();
+                if ix >= self.actors.len() || self.crashed[ix] {
+                    return;
+                }
+                self.crashed[ix] = true;
+                // Bumping here (not at restart) kills everything in flight
+                // toward or armed by the dying incarnation.
+                self.incarnation[ix] += 1;
+                self.stats.crashes += 1;
+                self.trace.push(TraceEvent { at: self.now, from: id, to: id, kind: TraceKind::Crashed });
+                if let Some(actor) = self.actors[ix].as_mut() {
+                    actor.on_crash();
+                }
+            }
+            FaultAction::Restart(id) => {
+                let ix = id.index();
+                if ix >= self.actors.len() || !self.crashed[ix] {
+                    return;
+                }
+                self.crashed[ix] = false;
+                self.stats.restarts += 1;
+                self.trace.push(TraceEvent { at: self.now, from: id, to: id, kind: TraceKind::Restarted });
+                let mut actor = match self.actors[ix].take() {
+                    Some(a) => a,
+                    None => return,
+                };
+                let mut ops = Vec::new();
+                {
+                    let mut ctx = Context {
+                        self_id: id,
+                        now: self.now,
+                        ops: &mut ops,
+                        rng: &mut self.rng,
+                        next_timer: &mut self.next_timer,
+                    };
+                    actor.on_restart(&mut ctx);
+                }
+                self.actors[ix] = Some(actor);
+                self.apply_ops(id, ops);
+            }
+            FaultAction::PartitionOn(from, to) => {
+                let cfg = self.link(from, to).with_partitioned(true);
+                self.links.insert((from, to), cfg);
+            }
+            FaultAction::PartitionOff(from, to) => {
+                let cfg = self.link(from, to).with_partitioned(false);
+                self.links.insert((from, to), cfg);
+            }
+        }
     }
 
     /// Runs until the queue drains or an actor halts the simulation.
@@ -521,13 +727,17 @@ mod tests {
         let c = sim.add_actor("c", Collector::default());
         let s = sim.add_actor("s", Starter { to: c, n: 0 });
         sim.set_partitioned(s, c, true);
+        // inject bypasses loss/jitter/bandwidth but NOT partitions: an
+        // external stimulus still has to cross the (severed) link.
         sim.inject(s, c, 1, SimDuration::ZERO);
         sim.run();
-        // inject bypasses links (it models an external stimulus), so the
-        // partition applies only to actor-initiated sends.
-        assert_eq!(sim.actor::<Collector>(c).unwrap().got.len(), 1);
+        assert!(sim.actor::<Collector>(c).unwrap().got.is_empty());
+        assert_eq!(sim.stats().dropped, 1);
         sim.set_partitioned(s, c, false);
         assert!(!sim.link(s, c).partitioned);
+        sim.inject(s, c, 2, SimDuration::ZERO);
+        sim.run();
+        assert_eq!(sim.actor::<Collector>(c).unwrap().got.len(), 1);
     }
 
     #[test]
@@ -711,6 +921,231 @@ mod tests {
         sim.run();
         let kinds: Vec<TraceKind> = sim.trace().iter().map(|e| e.kind).collect();
         assert_eq!(kinds, vec![TraceKind::Sent, TraceKind::Delivered]);
+    }
+
+    /// Counts lifecycle callbacks alongside received messages.
+    #[derive(Default)]
+    struct LifeTracker {
+        got: Vec<(SimTime, u32)>,
+        starts: u32,
+        restarts: u32,
+        crashes: u32,
+    }
+
+    impl Actor<u32> for LifeTracker {
+        fn on_start(&mut self, _ctx: &mut Context<'_, u32>) {
+            self.starts += 1;
+        }
+        fn on_message(&mut self, ctx: &mut Context<'_, u32>, _from: ActorId, msg: u32) {
+            self.got.push((ctx.now(), msg));
+        }
+        fn on_crash(&mut self) {
+            self.crashes += 1;
+        }
+        fn on_restart(&mut self, _ctx: &mut Context<'_, u32>) {
+            self.restarts += 1;
+        }
+    }
+
+    #[test]
+    fn crash_drops_in_flight_messages_and_timers() {
+        struct SelfTimer;
+        impl Actor<u32> for SelfTimer {
+            fn on_start(&mut self, ctx: &mut Context<'_, u32>) {
+                ctx.set_timer(SimDuration::from_millis(10), 1);
+            }
+            fn on_message(&mut self, _: &mut Context<'_, u32>, _: ActorId, _: u32) {}
+            fn on_timer(&mut self, _: &mut Context<'_, u32>, _: u64) {
+                panic!("timer armed pre-crash must never fire");
+            }
+            fn on_restart(&mut self, _: &mut Context<'_, u32>) {
+                // Stay quiet: the point is that the *pre-crash* timer died.
+            }
+        }
+        let mut sim = Simulator::new(0);
+        let victim = sim.add_actor("victim", SelfTimer);
+        let c = sim.add_actor("c", Collector::default());
+        let s = sim.add_actor("s", Starter { to: c, n: 0 });
+        let _ = (c, s);
+        // Message in flight toward the victim when the crash lands.
+        sim.set_link(s, victim, LinkConfig::reliable(SimDuration::from_millis(8)));
+        sim.run_until(SimTime::ZERO);
+        sim.inject(s, victim, 7, SimDuration::from_millis(8));
+        sim.crash_at(victim, SimTime::from_millis(5));
+        sim.restart_at(victim, SimTime::from_millis(6));
+        sim.run();
+        // Both the timer (armed at incarnation 0) and the in-flight message
+        // (stamped for incarnation 0) die, even though the victim is back
+        // up before their scheduled times.
+        assert_eq!(sim.stats().crashes, 1);
+        assert_eq!(sim.stats().restarts, 1);
+        assert_eq!(sim.stats().timers_fired, 0);
+        assert_eq!(sim.incarnation(victim), 1);
+        assert!(!sim.is_crashed(victim));
+    }
+
+    #[test]
+    fn crash_and_restart_invoke_lifecycle_hooks() {
+        let mut sim = Simulator::new(0);
+        let a = sim.add_actor("a", LifeTracker::default());
+        sim.crash_at(a, SimTime::from_millis(1));
+        sim.restart_at(a, SimTime::from_millis(2));
+        sim.run();
+        let t = sim.actor::<LifeTracker>(a).unwrap();
+        assert_eq!((t.starts, t.crashes, t.restarts), (1, 1, 1));
+    }
+
+    #[test]
+    fn default_on_restart_reruns_on_start() {
+        // Starter has no on_restart override, so restarting it re-sends.
+        let mut sim = Simulator::new(0);
+        let c = sim.add_actor("c", Collector::default());
+        let s = sim.add_actor("s", Starter { to: c, n: 2 });
+        sim.crash_at(s, SimTime::from_millis(1));
+        sim.restart_at(s, SimTime::from_millis(2));
+        sim.run();
+        assert_eq!(sim.actor::<Collector>(c).unwrap().got.len(), 4);
+    }
+
+    #[test]
+    fn messages_to_crashed_actor_are_dropped() {
+        let mut sim = Simulator::new(0);
+        let c = sim.add_actor("c", LifeTracker::default());
+        let s = sim.add_actor("s", Starter { to: c, n: 0 });
+        sim.crash_at(c, SimTime::from_millis(1));
+        sim.run();
+        sim.inject(s, c, 9, SimDuration::ZERO);
+        sim.run();
+        assert!(sim.actor::<LifeTracker>(c).unwrap().got.is_empty());
+        assert_eq!(sim.stats().dropped, 1);
+    }
+
+    #[test]
+    fn multicast_skips_crashed_member_and_resumes_after_restart() {
+        struct Caster {
+            group: Option<GroupId>,
+        }
+        impl Actor<u32> for Caster {
+            fn on_message(&mut self, ctx: &mut Context<'_, u32>, _: ActorId, msg: u32) {
+                if let Some(g) = self.group {
+                    ctx.multicast(g, msg);
+                }
+            }
+        }
+        let mut sim = Simulator::new(0);
+        let m1 = sim.add_actor("m1", LifeTracker::default());
+        let m2 = sim.add_actor("m2", LifeTracker::default());
+        let caster = sim.add_actor("caster", Caster { group: None });
+        let g = sim.create_group(&[m1, m2, caster]);
+        sim.actor_mut::<Caster>(caster).unwrap().group = Some(g);
+        sim.crash_at(m2, SimTime::from_millis(1));
+        sim.run();
+        // First multicast: m2 is down, only m1 receives.
+        sim.inject(m1, caster, 1, SimDuration::ZERO);
+        sim.run();
+        assert_eq!(sim.actor::<LifeTracker>(m1).unwrap().got.len(), 1);
+        assert!(sim.actor::<LifeTracker>(m2).unwrap().got.is_empty());
+        // After restart the same group delivers to both again.
+        sim.restart_at(m2, sim.now() + SimDuration::from_millis(1));
+        sim.run();
+        sim.inject(m1, caster, 2, SimDuration::ZERO);
+        sim.run();
+        assert_eq!(sim.actor::<LifeTracker>(m1).unwrap().got.len(), 2);
+        assert_eq!(sim.actor::<LifeTracker>(m2).unwrap().got.len(), 1);
+    }
+
+    #[test]
+    fn injected_messages_respect_partitions_dynamically() {
+        // Partition windows from a fault plan gate injected traffic too.
+        let mut sim = Simulator::new(0);
+        let c = sim.add_actor("c", Collector::default());
+        let s = sim.add_actor("s", Starter { to: c, n: 0 });
+        let plan = crate::FaultPlan::new().partition_window(
+            s,
+            c,
+            SimTime::from_millis(10),
+            SimTime::from_millis(20),
+        );
+        sim.schedule_faults(&plan);
+        sim.run_until(SimTime::from_millis(15));
+        assert!(sim.link(s, c).partitioned, "window open at 15ms");
+        sim.inject(s, c, 1, SimDuration::ZERO);
+        sim.run_until(SimTime::from_millis(30));
+        assert!(!sim.link(s, c).partitioned, "window closed at 20ms");
+        sim.inject(s, c, 2, SimDuration::ZERO);
+        sim.run();
+        let got: Vec<u32> = sim.actor::<Collector>(c).unwrap().got.iter().map(|&(_, m)| m).collect();
+        assert_eq!(got, vec![2], "in-window injection dropped, post-window delivered");
+    }
+
+    #[test]
+    fn drop_matching_claims_exactly_the_nth_match() {
+        let mut sim = Simulator::new(0);
+        let c = sim.add_actor("c", Collector::default());
+        let s = sim.add_actor("s", Starter { to: c, n: 5 });
+        let plan = crate::FaultPlan::new()
+            .drop_matching(2, crate::MsgPattern { from: Some(s), to: Some(c) });
+        sim.schedule_faults(&plan);
+        sim.run();
+        let got: Vec<u32> = sim.actor::<Collector>(c).unwrap().got.iter().map(|&(_, m)| m).collect();
+        assert_eq!(got, vec![0, 2, 3, 4], "exactly the 2nd send dropped");
+        assert_eq!(sim.stats().dropped, 1);
+    }
+
+    #[test]
+    fn delay_burst_defers_deliveries_in_window() {
+        struct Spaced {
+            to: ActorId,
+        }
+        impl Actor<u32> for Spaced {
+            fn on_start(&mut self, ctx: &mut Context<'_, u32>) {
+                ctx.send(self.to, 0);
+                ctx.set_timer(SimDuration::from_millis(50), 1);
+            }
+            fn on_message(&mut self, _: &mut Context<'_, u32>, _: ActorId, _: u32) {}
+            fn on_timer(&mut self, ctx: &mut Context<'_, u32>, _: u64) {
+                ctx.send(self.to, 1);
+            }
+        }
+        let mut sim = Simulator::new(0);
+        let c = sim.add_actor("c", Collector::default());
+        let s = sim.add_actor("s", Spaced { to: c });
+        sim.set_link(s, c, LinkConfig::reliable(SimDuration::from_millis(1)));
+        let plan = crate::FaultPlan::new().delay_burst(
+            (SimTime::ZERO, SimTime::from_millis(10)),
+            SimDuration::from_millis(25),
+        );
+        sim.schedule_faults(&plan);
+        sim.run();
+        let times: Vec<u64> =
+            sim.actor::<Collector>(c).unwrap().got.iter().map(|&(t, _)| t.as_micros()).collect();
+        // First send (at 0, in window): 1ms latency + 25ms burst. Second
+        // (at 50ms, outside): plain 1ms.
+        assert_eq!(times, vec![26_000, 51_000]);
+    }
+
+    #[test]
+    fn fault_plan_runs_are_deterministic() {
+        let run = |seed| {
+            let mut sim = Simulator::new(seed);
+            let c = sim.add_actor("c", LifeTracker::default());
+            let s = sim.add_actor("s", Starter { to: c, n: 50 });
+            sim.set_link(
+                s,
+                c,
+                LinkConfig::lossy(SimDuration::from_millis(2), 0.2)
+                    .with_jitter(SimDuration::from_millis(3)),
+            );
+            let plan = crate::FaultPlan::new()
+                .crash(c, SimTime::from_millis(4))
+                .restart(c, SimTime::from_millis(9))
+                .delay_burst((SimTime::from_millis(2), SimTime::from_millis(6)), SimDuration::from_millis(10));
+            sim.schedule_faults(&plan);
+            sim.run();
+            (sim.actor::<LifeTracker>(c).unwrap().got.clone(), sim.stats())
+        };
+        assert_eq!(run(11), run(11));
+        assert_ne!(run(11), run(12));
     }
 
     #[test]

@@ -14,6 +14,10 @@ pub enum TraceKind {
     Dropped,
     /// A timer fired at `to` (`from == to`).
     TimerFired,
+    /// Fault injection crashed `to` (`from == to`).
+    Crashed,
+    /// Fault injection restarted `to` (`from == to`).
+    Restarted,
 }
 
 /// One entry in the simulator's event trace.

@@ -5,7 +5,7 @@ use std::collections::{HashMap, VecDeque};
 
 use sada_expr::{CompId, Universe};
 use sada_meta::{FilterChain, Packet};
-use sada_proto::{AgentCore, AgentEffect, AgentEvent, LocalAction, StepId, Wire};
+use sada_proto::{AgentCore, AgentEffect, AgentEvent, AgentState, LocalAction, ProtoMsg, StepId, Wire};
 use sada_simnet::{Actor, ActorId, Context, GroupId, SimDuration, SimTime, TimerId};
 
 use crate::audit_log::AuditShared;
@@ -203,7 +203,9 @@ impl ServerActor {
                 match eff {
                     AgentEffect::Send(msg) => {
                         let mgr = self.manager.expect("manager wired before protocol traffic");
-                        ctx.send(mgr, Wire::Proto(msg));
+                        // The server is not part of the crash-fault
+                        // experiments; its incarnation never advances.
+                        ctx.send(mgr, Wire::Proto { epoch: 0, msg });
                     }
                     AgentEffect::PreAction(_) | AgentEffect::PostAction(_) => {}
                     AgentEffect::BeginReset(la) => {
@@ -280,7 +282,8 @@ impl Actor<VideoWire> for ServerActor {
 
     fn on_message(&mut self, ctx: &mut Context<'_, VideoWire>, _from: ActorId, msg: VideoWire) {
         match msg {
-            Wire::Proto(p) => self.drive(ctx, AgentEvent::Msg(p)),
+            // The manager never crashes, so its epoch needs no tracking.
+            Wire::Proto { msg: p, .. } => self.drive(ctx, AgentEvent::Msg(p)),
             Wire::App(AppMsg::Ctl(ctl)) => self.handle_ctl(ctx, ctl),
             Wire::App(_) => {}
         }
@@ -328,6 +331,18 @@ pub struct ClientActor {
     pub data_received: u64,
     /// Highest data sequence number observed.
     pub highest_seq: u64,
+    /// Incarnation number stamped on outgoing protocol traffic; bumped on
+    /// every restart so the manager can discard pre-crash messages.
+    epoch: u64,
+    /// Rejoin retransmissions left after a restart.
+    rejoin_budget: u32,
+    /// Crash faults suffered (fault-injection instrumentation).
+    pub crashes: u64,
+    /// Segments adjudicated lost at restart whose packets might still
+    /// arrive (instrumentation: suppresses their normal segment-end).
+    lost_cids: std::collections::HashSet<u64>,
+    /// Rejoin announcements sent after restarts.
+    pub rejoins_sent: u64,
 }
 
 impl ClientActor {
@@ -357,6 +372,11 @@ impl ClientActor {
             report_until: SimTime::ZERO,
             data_received: 0,
             highest_seq: 0,
+            epoch: 0,
+            rejoin_budget: 0,
+            crashes: 0,
+            lost_cids: std::collections::HashSet::new(),
+            rejoins_sent: 0,
         }
     }
 
@@ -408,6 +428,19 @@ impl ClientActor {
         self.audit.in_action(label, &la.removes, &la.adds);
     }
 
+    fn send_rejoin(&mut self, ctx: &mut Context<'_, VideoWire>) {
+        let mgr = self.manager.expect("manager wired before protocol traffic");
+        self.rejoins_sent += 1;
+        ctx.send(
+            mgr,
+            Wire::Proto {
+                epoch: self.epoch,
+                msg: ProtoMsg::Rejoin { last_completed: self.agent.last_completed() },
+            },
+        );
+        ctx.set_timer(REJOIN_PERIOD, TAG_REJOIN);
+    }
+
     fn finish_reset(&mut self, ctx: &mut Context<'_, VideoWire>) {
         self.resetting_drain = None;
         if let Some(t) = self.drain_fallback.take() {
@@ -425,7 +458,7 @@ impl ClientActor {
                 match eff {
                     AgentEffect::Send(msg) => {
                         let mgr = self.manager.expect("manager wired before protocol traffic");
-                        ctx.send(mgr, Wire::Proto(msg));
+                        ctx.send(mgr, Wire::Proto { epoch: self.epoch, msg });
                     }
                     AgentEffect::PreAction(_) | AgentEffect::PostAction(_) => {}
                     AgentEffect::BeginReset(la) => {
@@ -512,6 +545,9 @@ impl ClientActor {
 }
 
 const TAG_REPORT: u64 = 102;
+const TAG_REJOIN: u64 = 103;
+const REJOIN_PERIOD: SimDuration = SimDuration::from_millis(100);
+const REJOIN_RETRIES: u32 = 12;
 
 impl Actor<VideoWire> for ClientActor {
     fn on_start(&mut self, ctx: &mut Context<'_, VideoWire>) {
@@ -522,14 +558,27 @@ impl Actor<VideoWire> for ClientActor {
 
     fn on_message(&mut self, ctx: &mut Context<'_, VideoWire>, _from: ActorId, msg: VideoWire) {
         match msg {
-            Wire::Proto(p) => self.drive(ctx, AgentEvent::Msg(p)),
+            // The manager never crashes in the video world, so any protocol
+            // message it sends is current; no peer-epoch filter is needed.
+            Wire::Proto { msg: p, .. } => {
+                self.drive(ctx, AgentEvent::Msg(p));
+                if self.agent.state() != AgentState::Running {
+                    // The manager has re-engaged this incarnation; stop the
+                    // rejoin retransmissions. (A Resume ignored while still
+                    // Running does not count — that lost-rejoin divergence
+                    // is exactly what the retransmissions exist for.)
+                    self.rejoin_budget = 0;
+                }
+            }
             Wire::App(AppMsg::Data { pkt, audits }) => {
                 if pkt.top_tag() != Some(sada_meta::tags::FEC) {
                     self.data_received += 1;
                     self.highest_seq = self.highest_seq.max(pkt.seq);
                 }
                 if let Some(&(_, cid, comp)) = audits.iter().find(|(ix, _, _)| *ix == self.client_ix) {
-                    self.pending_audits.insert(pkt.seq, (cid, comp));
+                    if !self.lost_cids.contains(&cid) {
+                        self.pending_audits.insert(pkt.seq, (cid, comp));
+                    }
                 }
                 let outs = self.chain.push(pkt);
                 for out in outs {
@@ -546,7 +595,71 @@ impl Actor<VideoWire> for ClientActor {
         }
     }
 
+    fn on_crash(&mut self) {
+        self.crashes += 1;
+        // The process image is volatile. Packets received but not yet
+        // delivered (including everything buffered in a blocked chain) die
+        // with it; their critical segments can never complete, so the
+        // instrumentation adjudicates them lost to the fault.
+        let mut pending: Vec<_> = self.pending_audits.drain().collect();
+        pending.sort_unstable();
+        for (_, (cid, comp)) in pending {
+            self.audit.segment_lost(cid, comp);
+        }
+        if self.chain.is_blocked() {
+            drop(self.chain.unblock());
+        }
+        // An in-action that never committed (no resume yet) evaporates with
+        // the process: the restarted image is rebuilt from the durable
+        // (last-committed) configuration. Model that as an inverse
+        // in-action so the shared configuration view stays truthful. All of
+        // this client's open segments were closed above, so the inverse
+        // cannot interrupt anything.
+        if let Some(la) = self.agent.uncommitted_action() {
+            let undo = LocalAction {
+                action: la.action,
+                removes: la.adds.clone(),
+                adds: la.removes.clone(),
+                needs_global_drain: false,
+            };
+            let label = format!("crash c{}: revert {}", self.client_ix, la.action);
+            self.apply_structural(&undo, &label);
+        }
+        self.resetting_drain = None;
+        self.drain_fallback = None;
+        self.rejoin_budget = 0;
+    }
+
+    fn on_restart(&mut self, ctx: &mut Context<'_, VideoWire>) {
+        // Fresh incarnation: stale pre-crash traffic must not be mistaken
+        // for the restarted process.
+        self.epoch += 1;
+        // Segments opened for us while we were down belong to packets the
+        // outage destroyed; adjudicate them lost *now*, before any re-run
+        // in-action could falsely count them as interrupted.
+        for (cid, _) in self.audit.adjudicate_lost(u64::from(self.client_ix) + 1) {
+            self.lost_cids.insert(cid);
+        }
+        // Only `last_completed` survives on durable storage; the protocol
+        // state machine restarts in Running.
+        self.agent = AgentCore::restore(self.agent.last_completed());
+        // The outage counted as blocked time; playback resumes now.
+        self.note_unblock(ctx.now());
+        if self.monitor.is_some() && ctx.now() < self.report_until {
+            ctx.set_timer(self.report_period, TAG_REPORT);
+        }
+        // Announce the new incarnation; retransmit until the manager
+        // re-engages us (or the budget runs out and its timeout ladder
+        // takes over).
+        self.rejoin_budget = REJOIN_RETRIES;
+        self.send_rejoin(ctx);
+    }
+
     fn on_timer(&mut self, ctx: &mut Context<'_, VideoWire>, tag: u64) {
+        if tag == TAG_REJOIN && self.rejoin_budget > 0 && self.agent.state() == AgentState::Running {
+            self.rejoin_budget -= 1;
+            self.send_rejoin(ctx);
+        }
         if tag == TAG_DRAIN && self.resetting_drain.is_some() {
             self.drain_fallback = None;
             self.finish_reset(ctx);

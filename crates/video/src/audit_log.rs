@@ -46,6 +46,47 @@ impl AuditShared {
         self.inner.borrow_mut().events.push(AuditEvent::SegmentEnd { cid, comp });
     }
 
+    /// Records a segment destroyed by an environmental fault (the packet
+    /// died in a crash outage, not under an adaptive action).
+    pub fn segment_lost(&self, cid: u64, comp: CompId) {
+        self.inner.borrow_mut().events.push(AuditEvent::SegmentLost { cid, comp });
+    }
+
+    /// Closes every still-open segment whose cid has the given high-16-bit
+    /// `owner` tag as [`AuditEvent::SegmentLost`], returning the closed
+    /// set. Called when the owning client restarts after a crash (and again
+    /// by the scenario harness at end of run, in case the client never came
+    /// back): packets multicast while the client was down were destroyed by
+    /// the fault, so their segments can never end normally and must not be
+    /// counted as interrupted by later adaptive actions. The caller
+    /// suppresses normal segment-ends for the returned cids — a packet
+    /// still in flight at restart (at most one link latency's worth) is
+    /// conservatively treated as lost too.
+    pub fn adjudicate_lost(&self, owner: u64) -> Vec<(u64, CompId)> {
+        let open: Vec<(u64, CompId)> = {
+            let inner = self.inner.borrow();
+            let mut open = std::collections::HashMap::new();
+            for ev in &inner.events {
+                match ev {
+                    AuditEvent::SegmentStart { cid, comp } => {
+                        open.insert(*cid, *comp);
+                    }
+                    AuditEvent::SegmentEnd { cid, .. } | AuditEvent::SegmentLost { cid, .. } => {
+                        open.remove(cid);
+                    }
+                    _ => {}
+                }
+            }
+            let mut v: Vec<_> = open.into_iter().filter(|(cid, _)| cid >> 48 == owner).collect();
+            v.sort_unstable();
+            v
+        };
+        for &(cid, comp) in &open {
+            self.segment_lost(cid, comp);
+        }
+        open
+    }
+
     /// Records an atomic structural in-action and updates the configuration
     /// view.
     pub fn in_action(&self, label: &str, removes: &[CompId], adds: &[CompId]) {

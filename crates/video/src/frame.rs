@@ -46,7 +46,7 @@ impl FrameSource {
         while bytes.len() < self.frame_size {
             let run = self.rng.gen_range(4..64).min(self.frame_size - bytes.len());
             let value: u8 = self.rng.gen();
-            bytes.extend(std::iter::repeat(value).take(run));
+            bytes.extend(std::iter::repeat_n(value, run));
         }
         (no, bytes)
     }
@@ -122,11 +122,15 @@ pub struct PlayerStats {
     pub frames_dropped: u64,
 }
 
+/// In-progress reassembly: fragments received, payload size so far, and
+/// the per-fragment slots (None = still missing).
+type PartialFrame = (u16, u32, Vec<Option<Vec<u8>>>);
+
 /// Reassembles fragments into frames and keeps score — the "video player"
 /// at the end of each client's receive path.
 #[derive(Debug)]
 pub struct PlayerSink {
-    partial: HashMap<u32, (u16, u32, Vec<Option<Vec<u8>>>)>,
+    partial: HashMap<u32, PartialFrame>,
     stats: PlayerStats,
     highest_completed: Option<u32>,
 }

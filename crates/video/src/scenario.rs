@@ -5,7 +5,7 @@ use sada_core::casestudy::{case_study, CaseStudy};
 use sada_expr::CompId;
 use sada_model::{AuditReport, SafetyAuditor};
 use sada_proto::{ManagerActor, Outcome, ProtoTiming, Wire};
-use sada_simnet::{ActorId, LinkConfig, SimDuration, SimTime, Simulator};
+use sada_simnet::{ActorId, FaultPlan, LinkConfig, SimDuration, SimTime, Simulator};
 
 use crate::actors::{AppMsg, ClientActor, CtlMsg, ServerActor, ServerStats, VideoWire};
 use crate::audit_log::AuditShared;
@@ -32,6 +32,8 @@ pub struct ScenarioConfig {
     pub timing: ProtoTiming,
     /// Fallback drain window for clients (must exceed one link latency).
     pub drain_window: SimDuration,
+    /// Injected faults (crashes, partitions); empty by default.
+    pub faults: FaultPlan,
 }
 
 impl Default for ScenarioConfig {
@@ -46,6 +48,7 @@ impl Default for ScenarioConfig {
             link: LinkConfig::reliable(SimDuration::from_millis(5)),
             timing: ProtoTiming::default(),
             drain_window: SimDuration::from_millis(50),
+            faults: FaultPlan::new(),
         }
     }
 }
@@ -90,6 +93,10 @@ pub struct VideoReport {
     pub audit: AuditReport,
     /// Virtual time when the world quiesced.
     pub finished_at: SimTime,
+    /// Crash faults suffered per client (hand-held, laptop).
+    pub client_crashes: (u64, u64),
+    /// Rejoin announcements sent per client (hand-held, laptop).
+    pub client_rejoins: (u64, u64),
 }
 
 impl VideoReport {
@@ -183,7 +190,7 @@ pub fn run_video_with(cfg: &ScenarioConfig, strategy: Strategy, cs: &CaseStudy) 
             sim2.actor_mut::<ClientActor>(l).unwrap().set_manager(manager);
         }
         Strategy::Naive { skew } => {
-            let plan = swap_plan(&cs);
+            let plan = swap_plan(cs);
             let targets = [s, h, l];
             for (i, (proc_ix, removes, adds)) in plan.into_iter().enumerate() {
                 let at = cfg.adapt_at + skew.saturating_mul(i as u64);
@@ -206,7 +213,7 @@ pub fn run_video_with(cfg: &ScenarioConfig, strategy: Strategy, cs: &CaseStudy) 
             for &t in &targets[1..] {
                 sim2.inject(t, t, Wire::App(AppMsg::Ctl(CtlMsg::Passivate)), client_passivate);
             }
-            for (proc_ix, removes, adds) in swap_plan(&cs) {
+            for (proc_ix, removes, adds) in swap_plan(cs) {
                 sim2.inject(
                     targets[proc_ix],
                     targets[proc_ix],
@@ -221,11 +228,20 @@ pub fn run_video_with(cfg: &ScenarioConfig, strategy: Strategy, cs: &CaseStudy) 
         }
     }
 
+    sim2.schedule_faults(&cfg.faults);
     sim2.run();
 
+    let server_stats = sim2.actor::<ServerActor>(s).unwrap().stats;
+    // Packets destroyed while a crashed client was down leave their
+    // critical segments open; the harness knows the outages and adjudicates
+    // them lost before auditing (cid high bits encode the owning client).
+    for (ix, id) in [(0u64, h), (1u64, l)] {
+        if sim2.actor::<ClientActor>(id).unwrap().crashes > 0 {
+            audit.adjudicate_lost(ix + 1);
+        }
+    }
     let auditor = SafetyAuditor::new(cs.spec.invariants().clone());
     let audit_report = auditor.audit(&audit.events());
-    let server_stats = sim2.actor::<ServerActor>(s).unwrap().stats;
     let hh = sim2.actor::<ClientActor>(h).unwrap();
     let lp = sim2.actor::<ClientActor>(l).unwrap();
     let outcome = match strategy {
@@ -243,6 +259,8 @@ pub fn run_video_with(cfg: &ScenarioConfig, strategy: Strategy, cs: &CaseStudy) 
         laptop_blocked: lp.blocked,
         audit: audit_report,
         finished_at: sim2.now(),
+        client_crashes: (hh.crashes, lp.crashes),
+        client_rejoins: (hh.rejoins_sent, lp.rejoins_sent),
     }
 }
 
@@ -296,6 +314,55 @@ mod tests {
             report_q.server.blocked,
             report_s.server.blocked
         );
+    }
+
+    #[test]
+    fn handheld_crash_mid_adaptation_recovers_safely() {
+        // The hand-held dies 20 ms into the protocol window and comes back
+        // 170 ms later; its agent rejoins with its last durable step and
+        // the manager resynchronizes it. The stream survives, the run ends,
+        // and the independent audit stays clean (packets that died in the
+        // outage are adjudicated lost, not counted as interruptions).
+        let handheld = ActorId::from_index(1);
+        let cfg = ScenarioConfig {
+            faults: FaultPlan::new()
+                .crash(handheld, SimTime::from_millis(520))
+                .restart(handheld, SimTime::from_millis(690)),
+            ..ScenarioConfig::default()
+        };
+        let report = run_video_scenario(&cfg, Strategy::Safe);
+        assert_eq!(report.client_crashes, (1, 0));
+        assert!(report.client_rejoins.0 >= 1, "restarted client must announce itself");
+        let o = report.outcome.as_ref().expect("outcome recorded");
+        assert!(o.success, "adaptation must still reach the target: {o:?}");
+        assert!(report.audit.is_safe(), "violations: {:?}", report.audit.violations.first());
+        assert_eq!(report.corrupted_packets(), 0, "no corruption despite the crash");
+        // The laptop never crashed: it must not lose a single frame.
+        assert_eq!(report.laptop.frames_displayed, report.server.frames_sent);
+        // The hand-held lost at most the outage's worth of frames.
+        assert!(
+            report.handheld.frames_displayed + 10 >= report.server.frames_sent,
+            "outage loss must be bounded: {} of {}",
+            report.handheld.frames_displayed,
+            report.server.frames_sent
+        );
+    }
+
+    #[test]
+    fn crash_runs_are_deterministic() {
+        let handheld = ActorId::from_index(1);
+        let cfg = ScenarioConfig {
+            faults: FaultPlan::new()
+                .crash(handheld, SimTime::from_millis(520))
+                .restart(handheld, SimTime::from_millis(690)),
+            ..ScenarioConfig::default()
+        };
+        let a = run_video_scenario(&cfg, Strategy::Safe);
+        let b = run_video_scenario(&cfg, Strategy::Safe);
+        assert_eq!(a.server, b.server);
+        assert_eq!(a.handheld, b.handheld);
+        assert_eq!(a.client_rejoins, b.client_rejoins);
+        assert_eq!(a.finished_at, b.finished_at);
     }
 
     #[test]

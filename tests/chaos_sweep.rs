@@ -1,0 +1,167 @@
+//! Randomized fault-injection sweep over the case-study adaptation.
+//!
+//! Each seed generates a reproducible random fault plan (crash/restart
+//! pairs, partition windows, targeted drops, latency bursts) via
+//! `sada_simnet::chaos` and replays the full manager/agent protocol under
+//! it. Whatever the plan does, every run must
+//!
+//! 1. terminate (`run_adaptation` panics on protocol deadlock),
+//! 2. end in a configuration satisfying the dependency invariants, and
+//! 3. do so at bounded overhead — no unbounded retry storms.
+//!
+//! A failing seed dumps its plan to `target/chaos-failures/` in the
+//! replayable `FaultPlan::parse` text form; copy it into
+//! `tests/regressions/` to pin it as a permanent regression (the
+//! `pinned_fault_plans_stay_safe` test replays every file there).
+
+use std::fmt::Write as _;
+
+use sada_core::casestudy::{case_study, CaseStudy};
+use sada_core::{run_adaptation, RunConfig, RunReport};
+use sada_simnet::{chaos, ActorId, ChaosOpts, FaultPlan, SimDuration, SimTime};
+
+/// Virtual-time ceiling: an unfaulted run finishes in well under a second;
+/// a faulted one gets the fault horizon plus generous ladder time.
+const TIME_BUDGET: SimTime = SimTime::from_millis(30_000);
+/// Message ceiling: the happy path is ~30 messages; retry ladders under
+/// heavy chaos stay within a couple hundred.
+const MSG_BUDGET: u64 = 5_000;
+
+fn chaos_opts(cs: &CaseStudy) -> ChaosOpts {
+    let n = cs.spec.model().process_count();
+    let agents: Vec<ActorId> = (0..n).map(ActorId::from_index).collect();
+    let mut all = agents.clone();
+    // The manager is registered after the agents; it never crashes (the
+    // paper's manager is a trusted coordinator) but its links are fair
+    // game for partitions, drops, and delay bursts.
+    all.push(ActorId::from_index(n));
+    ChaosOpts { crashable: agents, partitionable: all, horizon: SimDuration::from_millis(500) }
+}
+
+/// Runs the case-study adaptation under `plan` and checks the safety and
+/// boundedness contract. Returns the report for extra assertions.
+fn check_plan(cs: &CaseStudy, plan: &FaultPlan, label: &str) -> RunReport {
+    let cfg = RunConfig { faults: plan.clone(), ..RunConfig::default() };
+    // Termination: run_adaptation panics on deadlock by design.
+    let report = run_adaptation(&cs.spec, &cs.source, &cs.target, &cfg);
+    let mut ctx = String::new();
+    let _ = writeln!(ctx, "fault plan ({label}):\n{}", plan.to_text());
+    let _ = writeln!(ctx, "outcome: {:?}", report.outcome);
+    assert!(
+        cs.spec.is_safe(&report.outcome.final_config),
+        "{label}: unsafe final configuration {}\n{ctx}",
+        report.outcome.final_config
+    );
+    assert!(
+        report.outcome.success || report.outcome.gave_up || report.outcome.final_config == cs.source,
+        "{label}: failed without either returning to source or explicitly waiting for the user\n{ctx}"
+    );
+    assert!(
+        report.finished_at <= TIME_BUDGET,
+        "{label}: unbounded recovery time {}\n{ctx}",
+        report.finished_at
+    );
+    assert!(
+        report.messages_sent <= MSG_BUDGET,
+        "{label}: message storm ({} sent)\n{ctx}",
+        report.messages_sent
+    );
+    report
+}
+
+/// Dumps a failing plan in replayable text form and returns the path.
+fn dump_counterexample(seed: u64, intensity: f64, plan: &FaultPlan) -> String {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("target/chaos-failures");
+    let _ = std::fs::create_dir_all(&dir);
+    let path = dir.join(format!("seed-{seed}.txt"));
+    let body = format!(
+        "# chaos counterexample: seed {seed}, intensity {intensity}\n# replay: copy into tests/regressions/\n{}",
+        plan.to_text()
+    );
+    let _ = std::fs::write(&path, body);
+    path.display().to_string()
+}
+
+#[test]
+fn fifty_random_fault_plans_all_end_safe() {
+    let cs = case_study();
+    let opts = chaos_opts(&cs);
+    let mut crashes = 0u64;
+    let mut restarts = 0u64;
+    let mut rejoins = 0u64;
+    let mut successes = 0u32;
+    for seed in 0..50u64 {
+        // Sweep intensity with the seed so the corpus spans gentle single
+        // faults up to multi-fault storms.
+        let intensity = 0.2 + 0.15 * (seed % 5) as f64;
+        let plan = chaos(seed, intensity, &opts);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            check_plan(&cs, &plan, &format!("seed {seed}"))
+        }));
+        match result {
+            Ok(report) => {
+                crashes += report.crashes;
+                restarts += report.restarts;
+                rejoins += report.rejoins;
+                successes += u32::from(report.outcome.success);
+            }
+            Err(payload) => {
+                let path = dump_counterexample(seed, intensity, &plan);
+                let msg = payload
+                    .downcast_ref::<String>()
+                    .cloned()
+                    .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+                    .unwrap_or_else(|| "non-string panic".into());
+                panic!("seed {seed} failed (plan dumped to {path}):\n{msg}");
+            }
+        }
+    }
+    // The sweep must actually exercise the crash machinery, not vacuously
+    // pass on empty plans.
+    assert!(crashes >= 10, "sweep exercised only {crashes} crashes");
+    assert_eq!(crashes, restarts, "every generated crash is paired with a restart");
+    assert!(rejoins >= crashes, "every restart announces at least one rejoin");
+    // Outages are bounded and partitions heal, so the vast majority of
+    // runs still reach the target (the rest abort or give up safely).
+    assert!(successes >= 40, "only {successes}/50 runs succeeded");
+}
+
+#[test]
+fn chaos_plans_are_reproducible() {
+    let cs = case_study();
+    let opts = chaos_opts(&cs);
+    let p1 = chaos(17, 0.5, &opts);
+    let p2 = chaos(17, 0.5, &opts);
+    assert_eq!(p1.to_text(), p2.to_text(), "same seed must yield the same plan");
+    // And the text form round-trips, so dumped counterexamples replay.
+    let parsed = FaultPlan::parse(&p1.to_text()).expect("round-trip");
+    assert_eq!(parsed.to_text(), p1.to_text());
+    let r1 = check_plan(&cs, &p1, "seed 17 run 1");
+    let r2 = check_plan(&cs, &parsed, "seed 17 run 2");
+    assert_eq!(r1.outcome.final_config, r2.outcome.final_config);
+    assert_eq!(r1.finished_at, r2.finished_at);
+    assert_eq!(r1.messages_sent, r2.messages_sent);
+}
+
+#[test]
+fn pinned_fault_plans_stay_safe() {
+    // Every plan in tests/regressions/ is a previously interesting (or
+    // once-failing) scenario pinned in replayable text form.
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/regressions");
+    let cs = case_study();
+    let mut replayed = 0;
+    let mut entries: Vec<_> = std::fs::read_dir(&dir)
+        .expect("tests/regressions directory")
+        .map(|e| e.expect("dir entry").path())
+        .filter(|p| p.extension().is_some_and(|x| x == "txt"))
+        .collect();
+    entries.sort();
+    for path in entries {
+        let text = std::fs::read_to_string(&path).expect("readable regression file");
+        let plan = FaultPlan::parse(&text)
+            .unwrap_or_else(|e| panic!("{}: bad fault plan: {e}", path.display()));
+        check_plan(&cs, &plan, &path.display().to_string());
+        replayed += 1;
+    }
+    assert!(replayed >= 2, "regression corpus went missing ({replayed} plans)");
+}

@@ -240,9 +240,16 @@ mod protocol_theorem {
                 "unsafe final config {} (seed {seed}, loss {loss:.2})",
                 report.outcome.final_config
             );
-            // The manager always resolves: success, abort, or explicit
-            // give-up — never a dangling request.
-            prop_assert!(report.outcome.success || !report.outcome.success);
+            // The manager always resolves — and a non-success either backs
+            // out to the source or explicitly gives up and waits for the
+            // user (ladder rung 4); it never strands the system silently.
+            prop_assert!(
+                report.outcome.success
+                    || report.outcome.gave_up
+                    || report.outcome.final_config == cs.source,
+                "unresolved failure state {} (seed {seed})",
+                report.outcome.final_config
+            );
         }
     }
 }

@@ -1,0 +1,238 @@
+//! Offline drop-in for the subset of the `criterion` 0.5 API this
+//! workspace's benches use.
+//!
+//! The build environment cannot reach crates.io, so the workspace vendors
+//! a minimal harness with the same surface: `Criterion::benchmark_group`,
+//! group `sample_size`/`throughput`/`bench_function`/`bench_with_input`/
+//! `finish`, `Bencher::iter`, `BenchmarkId`, `Throughput`, and the
+//! `criterion_group!`/`criterion_main!` macros.
+//!
+//! Statistics are deliberately simple: each benchmark is warmed up once,
+//! then timed for a bounded number of batches, and the median per-iteration
+//! wall-clock time is printed as one line. There are no plots, no saved
+//! baselines, and no outlier analysis — enough to eyeball regressions and
+//! to keep `cargo bench` compiling and running offline.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Upper bound on wall-clock spent measuring a single benchmark.
+const TIME_BUDGET: Duration = Duration::from_millis(300);
+
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId { full: format!("{function_name}/{parameter}") }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { full: parameter.to_string() }
+    }
+}
+
+/// Accepted by `bench_function`: either a plain name or a `BenchmarkId`.
+pub trait IntoBenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { full: self.to_string() }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { full: self }
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut g = self.benchmark_group("");
+        g.bench_function(id.into_benchmark_id(), f);
+        g.finish();
+        self
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into_benchmark_id();
+        let per_iter = run_samples(self.sample_size, &mut f);
+        self.report(&id, per_iter);
+        self
+    }
+
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let per_iter = run_samples(self.sample_size, &mut |b: &mut Bencher| f(b, input));
+        self.report(&id, per_iter);
+        self
+    }
+
+    pub fn finish(self) {}
+
+    fn report(&self, id: &BenchmarkId, per_iter: Duration) {
+        let label = if self.name.is_empty() {
+            id.full.clone()
+        } else {
+            format!("{}/{}", self.name, id.full)
+        };
+        let extra = match self.throughput {
+            Some(Throughput::Bytes(n)) => {
+                let secs = per_iter.as_secs_f64();
+                if secs > 0.0 {
+                    format!("  {:>10.1} MiB/s", n as f64 / secs / (1024.0 * 1024.0))
+                } else {
+                    String::new()
+                }
+            }
+            Some(Throughput::Elements(n)) => {
+                let secs = per_iter.as_secs_f64();
+                if secs > 0.0 {
+                    format!("  {:>10.0} elem/s", n as f64 / secs)
+                } else {
+                    String::new()
+                }
+            }
+            None => String::new(),
+        };
+        println!("bench {label:<50} {:>12.3} µs/iter{extra}", per_iter.as_secs_f64() * 1e6);
+    }
+}
+
+/// Run up to `samples` timed batches within the global time budget and
+/// return the median per-iteration duration.
+fn run_samples<F>(samples: usize, f: &mut F) -> Duration
+where
+    F: FnMut(&mut Bencher),
+{
+    let started = Instant::now();
+    let mut times: Vec<Duration> = Vec::with_capacity(samples);
+    for i in 0..samples {
+        let mut b = Bencher { elapsed: Duration::ZERO, iters: 0 };
+        f(&mut b);
+        if b.iters > 0 {
+            times.push(b.elapsed / b.iters);
+        }
+        // Always take at least one post-warmup sample, then respect the budget.
+        if i >= 1 && started.elapsed() > TIME_BUDGET {
+            break;
+        }
+    }
+    times.sort();
+    times.get(times.len() / 2).copied().unwrap_or(Duration::ZERO)
+}
+
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u32,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let t0 = Instant::now();
+        black_box(f());
+        self.elapsed += t0.elapsed();
+        self.iters += 1;
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_api_shapes_compile_and_run() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("demo");
+        g.sample_size(3);
+        g.throughput(Throughput::Bytes(1024));
+        g.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        g.bench_with_input(BenchmarkId::new("scaled", 4), &4u64, |b, &k| {
+            b.iter(|| (0..k).product::<u64>())
+        });
+        g.finish();
+        c.bench_function("top_level", |b| b.iter(|| 1 + 1));
+    }
+}
