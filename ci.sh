@@ -7,6 +7,9 @@
 set -euo pipefail
 cd "$(dirname "$0")"
 
+echo "==> rustfmt (check only)"
+cargo fmt --check
+
 echo "==> build (release)"
 cargo build --release
 
@@ -21,5 +24,9 @@ cargo clippy --workspace --all-targets -- -D warnings
 
 echo "==> pinned chaos seeds (regression corpus + reproducibility)"
 cargo test -q --test chaos_sweep
+
+echo "==> observability timeline smoke (video case study + chaos seed replay)"
+cargo run -q --release -p sada-bench --bin report -- timeline > /dev/null
+cargo run -q --release -p sada-bench --bin report -- timeline 3 > /dev/null
 
 echo "CI OK"

@@ -28,9 +28,7 @@ fn bench_case_study_planning(c: &mut Criterion) {
             p
         })
     });
-    g.bench_function("yen_k4", |b| {
-        b.iter(|| sag.k_shortest_paths(&cs.source, &cs.target, 4))
-    });
+    g.bench_function("yen_k4", |b| b.iter(|| sag.k_shortest_paths(&cs.source, &cs.target, 4)));
     g.bench_function("map_lazy", |b| {
         b.iter(|| {
             let p = lazy::plan(cs.spec.invariants(), &actions, &cs.source, &cs.target).unwrap();

@@ -3,20 +3,31 @@
 //!
 //! Usage: `cargo run -p sada-bench --bin report -- [section]`
 //! where `section` is one of `table1 table2 fig1 fig2 fig4 map failures
-//! crashes baselines scaling fec inference all` (default `all`).
+//! crashes baselines scaling fec inference timeline all` (default `all`).
+//!
+//! `timeline` additionally accepts a chaos seed:
+//! `cargo run -p sada-bench --bin report -- timeline <seed>` replays the
+//! chaos-sweep fault plan for that seed (the command printed at the top of
+//! every `target/chaos-failures/seed-*.txt` counterexample dump) and renders
+//! its per-phase latency breakdown from the unified event stream.
 
-use std::collections::BTreeMap;
+use std::cell::RefCell;
+use std::collections::{BTreeMap, BTreeSet};
+use std::rc::Rc;
 
 use sada_core::casestudy::{case_study, PAPER_MAP, PAPER_MAP_COST, TABLE1_ROWS};
 use sada_core::{run_adaptation, RunConfig};
-use sada_expr::enumerate;
+use sada_expr::{enumerate, CompId};
+use sada_obs::{AuditEvent, Bus, CounterSink, Event, Metrics, Payload, RingSink, TemporalEvent};
 use sada_plan::lazy;
 use sada_proto::{
     AgentCore, AgentEvent, AgentState, LocalAction, ManagerCore, ManagerEvent, ManagerPhase,
     ProtoMsg, ProtoTiming, StepId,
 };
 use sada_simnet::{chaos, ActorId, ChaosOpts, FaultPlan, LinkConfig, SimDuration, SimTime};
-use sada_video::{run_fec_scenario, run_video_scenario, FecScenarioConfig, ScenarioConfig, Strategy};
+use sada_video::{
+    run_fec_scenario, run_video_scenario, FecScenarioConfig, ScenarioConfig, Strategy,
+};
 
 fn table1() {
     println!("## Table 1 — safe configuration set");
@@ -27,9 +38,18 @@ fn table1() {
     for cfg in &safe {
         let bits = cfg.to_bit_string();
         let in_paper = TABLE1_ROWS.iter().any(|(b, _)| *b == bits);
-        println!("{:<12} {:<20} {}", bits, cfg.to_names(u), if in_paper { "yes" } else { "NO (!)" });
+        println!(
+            "{:<12} {:<20} {}",
+            bits,
+            cfg.to_names(u),
+            if in_paper { "yes" } else { "NO (!)" }
+        );
     }
-    println!("rows: {} (paper: 8) — {}", safe.len(), if safe.len() == 8 { "MATCH" } else { "MISMATCH" });
+    println!(
+        "rows: {} (paper: 8) — {}",
+        safe.len(),
+        if safe.len() == 8 { "MATCH" } else { "MISMATCH" }
+    );
 }
 
 fn table2() {
@@ -84,10 +104,18 @@ fn map() {
 
 fn fig1() {
     println!("## Figure 1 — agent state diagram (observed trace)");
-    let la = LocalAction { action: sada_plan::ActionId(1), removes: vec![], adds: vec![], needs_global_drain: false };
+    let la = LocalAction {
+        action: sada_plan::ActionId(1),
+        removes: vec![],
+        adds: vec![],
+        needs_global_drain: false,
+    };
     let mut agent = AgentCore::new();
     let script = [
-        ("receive reset", AgentEvent::Msg(ProtoMsg::Reset { step: StepId(1), action: la.clone(), solo: false })),
+        (
+            "receive reset",
+            AgentEvent::Msg(ProtoMsg::Reset { step: StepId(1), action: la.clone(), solo: false }),
+        ),
         ("reset complete", AgentEvent::SafeReached),
         ("adaptive action complete", AgentEvent::InActionDone),
         ("receive resume", AgentEvent::Msg(ProtoMsg::Resume { step: StepId(1) })),
@@ -108,7 +136,9 @@ fn fig1() {
         prev = agent.state();
     }
     assert_eq!(agent.state(), AgentState::Running);
-    println!("  (failure arcs covered by unit tests: fail-to-reset, rollback from every partial state)");
+    println!(
+        "  (failure arcs covered by unit tests: fail-to-reset, rollback from every partial state)"
+    );
 }
 
 fn fig2() {
@@ -116,7 +146,8 @@ fn fig2() {
     let cs = case_study();
     let mut mgr = ManagerCore::new(ProtoTiming::default(), Box::new(cs.spec.runtime_planner()));
     println!("  start: {:?}", mgr.phase());
-    let mut effects = mgr.on_event(ManagerEvent::Request { source: cs.source.clone(), target: cs.target.clone() });
+    let mut effects = mgr
+        .on_event(ManagerEvent::Request { source: cs.source.clone(), target: cs.target.clone() });
     println!("  [request + MAP created] -> {:?}", mgr.phase());
     // Drive each step by answering as the single participating agent would.
     let mut step_no = 0;
@@ -124,16 +155,21 @@ fn fig2() {
     while mgr.phase() != ManagerPhase::Running && guard < 100 {
         guard += 1;
         let reset = effects.iter().find_map(|e| match e {
-            sada_proto::ManagerEffect::Send { agent, msg: ProtoMsg::Reset { step, .. } } => Some((*agent, *step)),
+            sada_proto::ManagerEffect::Send { agent, msg: ProtoMsg::Reset { step, .. } } => {
+                Some((*agent, *step))
+            }
             _ => None,
         });
         if let Some((agent, step)) = reset {
             step_no += 1;
-            let _ = mgr.on_event(ManagerEvent::AgentMsg { agent, msg: ProtoMsg::ResetDone { step } });
-            let e2 = mgr.on_event(ManagerEvent::AgentMsg { agent, msg: ProtoMsg::AdaptDone { step } });
+            let _ =
+                mgr.on_event(ManagerEvent::AgentMsg { agent, msg: ProtoMsg::ResetDone { step } });
+            let e2 =
+                mgr.on_event(ManagerEvent::AgentMsg { agent, msg: ProtoMsg::AdaptDone { step } });
             println!("  [step {step_no}: all adapt done] -> {:?}", mgr.phase());
             let _ = e2;
-            effects = mgr.on_event(ManagerEvent::AgentMsg { agent, msg: ProtoMsg::ResumeDone { step } });
+            effects =
+                mgr.on_event(ManagerEvent::AgentMsg { agent, msg: ProtoMsg::ResumeDone { step } });
             println!("  [step {step_no}: all resume done] -> {:?}", mgr.phase());
         } else {
             break;
@@ -147,7 +183,10 @@ fn failures() {
     println!("## Section 4.4 — failure handling");
     let cs = case_study();
     println!("loss sweep (manager<->agent links), 6 seeds each:");
-    println!("{:<8} {:>10} {:>10} {:>10} {:>12}", "loss", "success", "aborted", "gave-up", "avg msgs");
+    println!(
+        "{:<8} {:>10} {:>10} {:>10} {:>12}",
+        "loss", "success", "aborted", "gave-up", "avg msgs"
+    );
     for loss in [0.0, 0.1, 0.2, 0.3, 0.4, 0.5] {
         let (mut ok, mut ab, mut gu, mut msgs) = (0, 0, 0, 0u64);
         for seed in 0..6 {
@@ -233,7 +272,8 @@ fn crashes() {
     let agents: Vec<ActorId> = (0..n).map(ActorId::from_index).collect();
     let mut all = agents.clone();
     all.push(ActorId::from_index(n));
-    let opts = ChaosOpts { crashable: agents, partitionable: all, horizon: SimDuration::from_millis(500) };
+    let opts =
+        ChaosOpts { crashable: agents, partitionable: all, horizon: SimDuration::from_millis(500) };
     for intensity in [0.2, 0.4, 0.6, 0.8] {
         let (mut ok, mut ab, mut gu, mut cr, mut rj, mut msgs) = (0, 0, 0, 0u64, 0u64, 0u64);
         for seed in 0..20u64 {
@@ -254,7 +294,13 @@ fn crashes() {
         }
         println!(
             "{:<10} {:>9} {:>9} {:>9} {:>9} {:>9} {:>11}",
-            intensity, ok, ab, gu, cr, rj, msgs / 20
+            intensity,
+            ok,
+            ab,
+            gu,
+            cr,
+            rj,
+            msgs / 20
         );
     }
 }
@@ -265,8 +311,17 @@ fn baselines() {
     let rows = [
         ("control", run_video_scenario(&cfg, Strategy::None)),
         ("safe", run_video_scenario(&cfg, Strategy::Safe)),
-        ("naive-60ms", run_video_scenario(&cfg, Strategy::Naive { skew: SimDuration::from_millis(60) })),
-        ("quiesce-100", run_video_scenario(&cfg, Strategy::Quiescence { window: SimDuration::from_millis(100) })),
+        (
+            "naive-60ms",
+            run_video_scenario(&cfg, Strategy::Naive { skew: SimDuration::from_millis(60) }),
+        ),
+        (
+            "quiesce-100",
+            run_video_scenario(
+                &cfg,
+                Strategy::Quiescence { window: SimDuration::from_millis(100) },
+            ),
+        ),
     ];
     println!(
         "{:<12} {:>7} {:>10} {:>10} {:>12} {:>8}",
@@ -307,7 +362,11 @@ fn scaling() {
         assert!(p.is_some());
         println!(
             "{:>4} {:>12} {:>14} {:>14} {:>16}",
-            k, safe.len(), nodes, stats.expanded, stats.safety_checks
+            k,
+            safe.len(),
+            nodes,
+            stats.expanded,
+            stats.safety_checks
         );
     }
     println!("(full enumeration is exponential in k; lazy exploration is flat — the paper's partial-SAG heuristic)");
@@ -360,6 +419,152 @@ fn inference() {
     println!("safe-configuration set matches Table 1: {}", if same { "YES" } else { "NO" });
 }
 
+/// Attaches a ring + counter pair to `bus` and returns the handles; the
+/// caller reads them back out after the run.
+fn tap(bus: &Bus) -> (Rc<RefCell<RingSink>>, Rc<RefCell<CounterSink>>) {
+    let ring = Rc::new(RefCell::new(RingSink::new(1 << 20)));
+    let counters = Rc::new(RefCell::new(CounterSink::new()));
+    bus.attach(&ring);
+    bus.attach(&counters);
+    (ring, counters)
+}
+
+/// Renders one captured stream: per-phase latency table, layer counts, and
+/// the temporal monitor's derived verdicts — all from the same events.
+fn render_stream(events: &[Event], counters: &CounterSink) {
+    let m = Metrics::from_events(events);
+    println!(
+        "events: {} (net {} / proto {} / audit {} / plan {}), span {}",
+        counters.total,
+        counters.net_sent
+            + counters.net_delivered
+            + counters.net_dropped
+            + counters.timers_fired
+            + counters.crashes
+            + counters.restarts,
+        counters.proto,
+        counters.audit,
+        counters.plan,
+        m.span
+    );
+    println!("  {:<24} {:>12}", "protocol phase", "time");
+    for (label, d) in m.phase_rows() {
+        println!("  {:<24} {:>12}", label, format!("{d}"));
+    }
+    println!("  {:<24} {:>12}", "total (non-running)", format!("{}", m.total_phase_time()));
+    println!(
+        "network:  sent={} delivered={} dropped={} timers={} crashes={} restarts={}",
+        m.sent, m.delivered, m.dropped, m.timers_fired, m.crashes, m.restarts
+    );
+    println!(
+        "protocol: steps {}/{} committed, timeouts={} retries={} rollbacks={} rejoins={}",
+        m.steps_committed, m.steps_started, m.timeouts, m.retries, m.rollbacks, m.rejoins
+    );
+    // Feed the very same stream to the temporal monitor: which components
+    // carried segment obligations, and when was adaptation provably safe?
+    let mut comp_ixs: BTreeSet<usize> = BTreeSet::new();
+    for ev in events {
+        if let Payload::Audit(
+            AuditEvent::SegmentStart { comp, .. }
+            | AuditEvent::SegmentEnd { comp, .. }
+            | AuditEvent::SegmentLost { comp, .. },
+        ) = &ev.payload
+        {
+            comp_ixs.insert(comp.index());
+        }
+    }
+    let comps: Vec<CompId> = comp_ixs.into_iter().map(CompId::from_index).collect();
+    let derived = sada_tl::audit_bridge::derive_temporal_events(events, &comps);
+    let count = |f: fn(&TemporalEvent) -> bool| {
+        derived
+            .iter()
+            .filter(|e| match &e.payload {
+                Payload::Temporal(t) => f(t),
+                _ => false,
+            })
+            .count()
+    };
+    println!(
+        "temporal: {} obligations opened, {} discharged, {} safe-point re-entries \
+         ({} audit facts, {} monitored components)",
+        count(|t| matches!(t, TemporalEvent::ObligationOpened { .. })),
+        count(|t| matches!(t, TemporalEvent::ObligationDischarged { .. })),
+        count(|t| matches!(t, TemporalEvent::SafePoint { .. })),
+        m.audit_events,
+        comps.len()
+    );
+}
+
+fn timeline(seed: Option<u64>) {
+    println!("## Timeline — per-phase adaptation latency from the unified event stream");
+    if let Some(seed) = seed {
+        // Replay a chaos-sweep counterexample: identical plan construction
+        // to tests/chaos_sweep.rs, so a seed from a failure dump reproduces
+        // the exact faulted run, now with the full trace attached.
+        let cs = case_study();
+        let n = cs.spec.model().process_count();
+        let agents: Vec<ActorId> = (0..n).map(ActorId::from_index).collect();
+        let mut all = agents.clone();
+        all.push(ActorId::from_index(n));
+        let opts = ChaosOpts {
+            crashable: agents,
+            partitionable: all,
+            horizon: SimDuration::from_millis(500),
+        };
+        let intensity = 0.2 + 0.15 * (seed % 5) as f64;
+        let plan = chaos(seed, intensity, &opts);
+        println!("### chaos replay: seed {seed}, intensity {intensity:.2}");
+        print!("{}", plan.to_text());
+        let bus = Bus::new();
+        let (ring, counters) = tap(&bus);
+        let cfg = RunConfig { faults: plan, bus: bus.clone(), ..RunConfig::default() };
+        let r = run_adaptation(&cs.spec, &cs.source, &cs.target, &cfg);
+        println!(
+            "outcome: success={} gave_up={} final={} (safe={})",
+            r.outcome.success,
+            r.outcome.gave_up,
+            r.outcome.final_config.to_bit_string(),
+            cs.spec.is_safe(&r.outcome.final_config)
+        );
+        render_stream(&ring.borrow().events(), &counters.borrow());
+        return;
+    }
+    // Video case study, clean run vs the pinned crash/recovery run: both
+    // tables come from one RingSink capture per run — the same stream the
+    // safety auditor and temporal monitor consume.
+    let clean = ScenarioConfig::default();
+    let handheld = ActorId::from_index(1);
+    let crashed = ScenarioConfig {
+        faults: FaultPlan::new()
+            .crash(handheld, SimTime::from_millis(520))
+            .restart(handheld, SimTime::from_millis(690)),
+        ..ScenarioConfig::default()
+    };
+    for (title, cfg) in [
+        ("video case study: safe adaptation, no faults", clean),
+        ("video case study: hand-held crash at 520ms, restart at 690ms", crashed),
+    ] {
+        let (ring, counters) = tap(&cfg.bus);
+        let report = run_video_scenario(&cfg, Strategy::Safe);
+        println!("### {title}");
+        let o = report.outcome.as_ref().expect("safe run records an outcome");
+        println!(
+            "outcome: success={} steps={} audit={} finished_at={}",
+            o.success,
+            o.steps_committed,
+            if report.audit.is_safe() { "SAFE" } else { "UNSAFE" },
+            report.finished_at
+        );
+        render_stream(&ring.borrow().events(), &counters.borrow());
+        println!();
+    }
+    println!(
+        "(zero phase time is the point: the case-study MAP is all solo steps taken at packet\n \
+         boundaries, so the viewers never notice the adaptation. Replay a chaos counterexample\n \
+         with: cargo run -p sada-bench --bin report -- timeline <seed>)"
+    );
+}
+
 fn main() {
     let section = std::env::args().nth(1).unwrap_or_else(|| "all".into());
     let run = |name: &str| section == "all" || section == name;
@@ -409,6 +614,11 @@ fn main() {
     }
     if run("inference") {
         inference();
+        println!();
+    }
+    if run("timeline") {
+        let seed = std::env::args().nth(2).and_then(|s| s.parse().ok());
+        timeline(seed);
         println!();
     }
 }

@@ -102,14 +102,7 @@ pub fn wide_step_spec(k: usize) -> (AdaptationSpec, sada_expr::Config, sada_expr
         model.place(u.id(&format!("Old{i}")).unwrap(), p);
         model.place(u.id(&format!("New{i}")).unwrap(), p);
     }
-    let spec = AdaptationSpec::new(
-        u,
-        inv,
-        vec![action],
-        model,
-        (0..k).collect(),
-        HashSet::new(),
-    );
+    let spec = AdaptationSpec::new(u, inv, vec![action], model, (0..k).collect(), HashSet::new());
     let u = spec.universe();
     let mut source = u.empty_config();
     let mut target = u.empty_config();
@@ -148,7 +141,8 @@ mod tests {
     #[test]
     fn wide_step_runs_one_barrier_across_all_agents() {
         let (spec, source, target) = wide_step_spec(6);
-        let report = sada_core::run_adaptation(&spec, &source, &target, &sada_core::RunConfig::default());
+        let report =
+            sada_core::run_adaptation(&spec, &source, &target, &sada_core::RunConfig::default());
         assert!(report.outcome.success);
         assert_eq!(report.outcome.steps_committed, 1);
         assert_eq!(report.outcome.final_config, target);
@@ -159,9 +153,7 @@ mod tests {
         let (u, inv, actions) = carousel_system(4);
         let spec = single_process_spec(u, inv, actions);
         let u = spec.universe();
-        let p = spec
-            .minimum_adaptation_path(&u.config_of(&["C0"]), &u.config_of(&["C3"]))
-            .unwrap();
+        let p = spec.minimum_adaptation_path(&u.config_of(&["C0"]), &u.config_of(&["C3"])).unwrap();
         assert!(p.cost <= 3, "direct or stepped route, whichever cheaper");
     }
 }

@@ -39,7 +39,11 @@ fn run() -> Result<(), String> {
         if !spec.is_safe(&target) {
             return Err(format!("target {target} is not a safe configuration"));
         }
-        let k: usize = args.get(3).map(|s| s.parse().map_err(|_| "k must be a number")).transpose()?.unwrap_or(1);
+        let k: usize = args
+            .get(3)
+            .map(|s| s.parse().map_err(|_| "k must be a number"))
+            .transpose()?
+            .unwrap_or(1);
         let paths = sag.k_shortest_paths(&source, &target, k.max(1));
         if paths.is_empty() {
             return Err("no safe adaptation path exists".into());

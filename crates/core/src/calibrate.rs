@@ -40,9 +40,8 @@ pub fn calibrate(spec: &AdaptationSpec, run: &RunConfig) -> Vec<CalibratedCost> 
     let safe = spec.safe_configs();
     let mut out = Vec::new();
     for (ix, action) in spec.actions().iter().enumerate() {
-        let Some(from) = safe
-            .iter()
-            .find(|cfg| action.applicable(cfg) && spec.is_safe(&action.apply(cfg)))
+        let Some(from) =
+            safe.iter().find(|cfg| action.applicable(cfg) && spec.is_safe(&action.apply(cfg)))
         else {
             continue;
         };
@@ -123,21 +122,13 @@ mod tests {
     fn measured_costs_reproduce_table2_ordering() {
         let cs = case_study();
         let costs = calibrate(&cs.spec, &RunConfig::default());
-        let latency_of = |ix: usize| {
-            costs
-                .iter()
-                .find(|c| c.action == ix)
-                .map(|c| c.latency)
-                .expect("measured")
-        };
+        let latency_of =
+            |ix: usize| costs.iter().find(|c| c.action == ix).map(|c| c.latency).expect("measured");
         // Singles (A1, A2) are cheap; drain-requiring compounds (A13 = ix 12)
         // cost more — the ordering Table 2 asserts.
         let single = latency_of(0).max(latency_of(1));
         let triple = latency_of(12);
-        assert!(
-            triple > single,
-            "compound ({triple}) must out-cost single ({single})"
-        );
+        assert!(triple > single, "compound ({triple}) must out-cost single ({single})");
     }
 
     #[test]
@@ -179,10 +170,7 @@ mod tests {
         let latency_map: u64 = map.cost;
         // The paper's original (packet-delay) MAP is still available and
         // still safe under the measured table; it is just not latency-min.
-        let paper_route: u64 = [1usize, 16, 0, 15, 3]
-            .iter()
-            .map(|&ix| recosted[ix].cost())
-            .sum();
+        let paper_route: u64 = [1usize, 16, 0, 15, 3].iter().map(|&ix| recosted[ix].cost()).sum();
         assert!(
             latency_map <= paper_route,
             "measured-latency MAP ({latency_map}) can't exceed the paper route ({paper_route})"

@@ -54,12 +54,7 @@ pub fn case_study() -> CaseStudy {
     // Dependency invariants:
     //   E1 → (D1 ∨ D2) ∧ D4     E2 → (D3 ∨ D2) ∧ D5
     let invariants = InvariantSet::parse(
-        &[
-            "one_of(D1, D2, D3)",
-            "one_of(E1, E2)",
-            "E1 => (D1 | D2) & D4",
-            "E2 => (D3 | D2) & D5",
-        ],
+        &["one_of(D1, D2, D3)", "one_of(E1, E2)", "E1 => (D1 | D2) & D4", "E2 => (D3 | D2) & D5"],
         &mut u,
     )
     .expect("case-study invariants parse");
@@ -79,9 +74,27 @@ pub fn case_study() -> CaseStudy {
         Action::replace(9, "(D1,D4) -> (D2,D5)", &c(&["D1", "D4"]), &c(&["D2", "D5"]), 50),
         Action::replace(10, "(D1,D4) -> (D3,D5)", &c(&["D1", "D4"]), &c(&["D3", "D5"]), 50),
         Action::replace(11, "(D2,D4) -> (D3,D5)", &c(&["D2", "D4"]), &c(&["D3", "D5"]), 50),
-        Action::replace(12, "(D1,D4,E1) -> (D2,D5,E2)", &c(&["D1", "D4", "E1"]), &c(&["D2", "D5", "E2"]), 150),
-        Action::replace(13, "(D1,D4,E1) -> (D3,D5,E2)", &c(&["D1", "D4", "E1"]), &c(&["D3", "D5", "E2"]), 150),
-        Action::replace(14, "(D2,D4,E1) -> (D3,D5,E2)", &c(&["D2", "D4", "E1"]), &c(&["D3", "D5", "E2"]), 150),
+        Action::replace(
+            12,
+            "(D1,D4,E1) -> (D2,D5,E2)",
+            &c(&["D1", "D4", "E1"]),
+            &c(&["D2", "D5", "E2"]),
+            150,
+        ),
+        Action::replace(
+            13,
+            "(D1,D4,E1) -> (D3,D5,E2)",
+            &c(&["D1", "D4", "E1"]),
+            &c(&["D3", "D5", "E2"]),
+            150,
+        ),
+        Action::replace(
+            14,
+            "(D2,D4,E1) -> (D3,D5,E2)",
+            &c(&["D2", "D4", "E1"]),
+            &c(&["D3", "D5", "E2"]),
+            150,
+        ),
         Action::remove(15, "-D4", &c(&["D4"]), 10),
         Action::insert(16, "+D5", &c(&["D5"]), 10),
     ];
@@ -197,7 +210,9 @@ mod tests {
             let f = sag.index_of(&u.config_from_bits(from)).unwrap();
             let t = sag.index_of(&u.config_from_bits(to)).unwrap();
             assert!(
-                sag.edges().iter().any(|e| e.from == f && e.to == t && e.action.to_string() == label),
+                sag.edges()
+                    .iter()
+                    .any(|e| e.from == f && e.to == t && e.action.to_string() == label),
                 "missing arc {from} --{label}--> {to}"
             );
         };
@@ -230,10 +245,7 @@ mod tests {
         // Intermediate configurations match Section 5.2's steps.
         let u = cs.spec.universe();
         let bits: Vec<String> = map.configs().iter().map(|c| c.to_bit_string()).collect();
-        assert_eq!(
-            bits,
-            vec!["0100101", "0101001", "1101001", "1101010", "1001010", "1010010"]
-        );
+        assert_eq!(bits, vec!["0100101", "0101001", "1101001", "1101010", "1001010", "1010010"]);
         let _ = u;
     }
 

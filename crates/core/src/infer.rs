@@ -181,10 +181,7 @@ mod tests {
 
         let from_paper = enumerate::safe_configs(u, cs.spec.invariants());
         let from_inference = enumerate::safe_configs(u, &inferred);
-        assert_eq!(
-            from_inference, from_paper,
-            "inference must reconstruct Table 1 exactly"
-        );
+        assert_eq!(from_inference, from_paper, "inference must reconstruct Table 1 exactly");
     }
 
     #[test]
@@ -201,10 +198,7 @@ mod tests {
         let inferred = infer_invariants(u, cs.spec.model(), &catalog, &InferenceConfig::default());
         assert_eq!(inferred.exprs().len(), 1);
         // E1 => (D1 | D2) & D4 — the paper's first dependency invariant.
-        assert_eq!(
-            inferred.exprs()[0].display(u).to_string(),
-            "(E1 => ((D1 | D2) & D4))"
-        );
+        assert_eq!(inferred.exprs()[0].display(u).to_string(), "(E1 => ((D1 | D2) & D4))");
     }
 
     #[test]

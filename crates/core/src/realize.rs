@@ -6,6 +6,7 @@
 //! one [`ScriptedAgent`] per process, wired over configurable links.
 
 use sada_expr::Config;
+use sada_obs::Bus;
 use sada_proto::{AgentTiming, ManagerActor, Outcome, ProtoTiming, ScriptedAgent, Wire};
 use sada_simnet::{ActorId, FaultPlan, LinkConfig, SimTime, Simulator};
 
@@ -28,6 +29,10 @@ pub struct RunConfig {
     /// Agent process indexes map to actor ids directly; the manager is the
     /// actor *after* the last agent.
     pub faults: FaultPlan,
+    /// Observability bus shared by the network, the manager, and every
+    /// agent. Defaults to a bus with no sinks (near-zero cost); attach
+    /// sinks to a clone before the run to capture the unified event stream.
+    pub bus: Bus,
 }
 
 impl Default for RunConfig {
@@ -39,6 +44,7 @@ impl Default for RunConfig {
             link: LinkConfig::default(),
             fail_to_reset: Vec::new(),
             faults: FaultPlan::new(),
+            bus: Bus::new(),
         }
     }
 }
@@ -71,13 +77,19 @@ pub struct RunReport {
 /// Panics if the simulation quiesces without the manager reporting an
 /// outcome (which would indicate a protocol deadlock — the tests treat that
 /// as a failure by design).
-pub fn run_adaptation(spec: &AdaptationSpec, source: &Config, target: &Config, cfg: &RunConfig) -> RunReport {
+pub fn run_adaptation(
+    spec: &AdaptationSpec,
+    source: &Config,
+    target: &Config,
+    cfg: &RunConfig,
+) -> RunReport {
     let mut sim: Simulator<Wire<()>> = Simulator::new(cfg.seed);
+    sim.set_bus(cfg.bus.clone());
     let n_proc = spec.model().process_count();
     let manager_id = ActorId::from_index(n_proc); // agents registered first
     let mut agents = Vec::with_capacity(n_proc);
     for p in 0..n_proc {
-        let mut agent = ScriptedAgent::new(manager_id, cfg.agent_timing);
+        let mut agent = ScriptedAgent::new(manager_id, cfg.agent_timing).with_bus(cfg.bus.clone());
         agent.fail_to_reset = cfg.fail_to_reset.contains(&p);
         agents.push(sim.add_actor(&format!("agent-{p}"), agent));
     }
@@ -89,7 +101,8 @@ pub fn run_adaptation(spec: &AdaptationSpec, source: &Config, target: &Config, c
             agents.clone(),
             source.clone(),
             target.clone(),
-        ),
+        )
+        .with_bus(cfg.bus.clone()),
     );
     debug_assert_eq!(manager, manager_id);
     for &a in &agents {
@@ -98,8 +111,10 @@ pub fn run_adaptation(spec: &AdaptationSpec, source: &Config, target: &Config, c
     }
     sim.schedule_faults(&cfg.faults);
     sim.run();
-    let rejoins =
-        agents.iter().map(|&a| sim.actor::<ScriptedAgent>(a).expect("agent actor").rejoins_sent).sum();
+    let rejoins = agents
+        .iter()
+        .map(|&a| sim.actor::<ScriptedAgent>(a).expect("agent actor").rejoins_sent)
+        .sum();
     let m = sim.actor::<ManagerActor<()>>(manager).expect("manager actor");
     RunReport {
         outcome: m.outcome.clone().expect("manager must resolve every request"),
@@ -190,6 +205,36 @@ mod tests {
             report.finished_at <= SimTime::from_millis(2_000),
             "recovery took too long: {}",
             report.finished_at
+        );
+    }
+
+    #[test]
+    fn unified_bus_captures_network_protocol_and_plan_layers() {
+        use sada_obs::{Metrics, Payload, ProtoEvent, RingSink};
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        let cs = case_study();
+        let bus = Bus::new();
+        let ring = Rc::new(RefCell::new(RingSink::new(1 << 16)));
+        bus.attach(&ring);
+        let cfg = RunConfig { bus: bus.clone(), ..RunConfig::default() };
+        let report = run_adaptation(&cs.spec, &cs.source, &cs.target, &cfg);
+        assert!(report.outcome.success);
+
+        let events = ring.borrow().events();
+        let m = Metrics::from_events(&events);
+        assert_eq!(m.steps_committed, 5, "one commit event per MAP step");
+        assert_eq!(m.sent, report.messages_sent, "net layer mirrors NetStats");
+        assert_eq!(m.dropped, report.messages_dropped);
+        assert!(m.reset_to_safe > SimDuration::ZERO, "agents spent time resetting");
+        assert!(events.iter().any(|e| matches!(
+            e.payload,
+            Payload::Proto(ProtoEvent::OutcomeReached { success: true, .. })
+        )));
+        assert!(
+            events.iter().any(|e| matches!(e.payload, Payload::Plan(_))),
+            "planner decisions ride the same stream"
         );
     }
 

@@ -144,13 +144,10 @@ mod tests {
         assert_eq!(sag.node_count(), 2);
         assert_eq!(sag.edge_count(), 1);
         let u = spec.universe();
-        let map = spec
-            .minimum_adaptation_path(&u.config_of(&["A"]), &u.config_of(&["B"]))
-            .unwrap();
+        let map = spec.minimum_adaptation_path(&u.config_of(&["A"]), &u.config_of(&["B"])).unwrap();
         assert_eq!(map.cost, 3);
-        let lazy = spec
-            .minimum_adaptation_path_lazy(&u.config_of(&["A"]), &u.config_of(&["B"]))
-            .unwrap();
+        let lazy =
+            spec.minimum_adaptation_path_lazy(&u.config_of(&["A"]), &u.config_of(&["B"])).unwrap();
         assert_eq!(lazy.cost, map.cost);
         assert!(spec.is_safe(&u.config_of(&["A"])));
         assert!(!spec.is_safe(&u.config_of(&["A", "B"])));

@@ -83,11 +83,8 @@ fn parse_comp_list(s: &str, line: usize) -> Result<Vec<String>, SpecFileError> {
     } else {
         s
     };
-    let parts: Vec<String> = inner
-        .split(',')
-        .map(|p| p.trim().to_string())
-        .filter(|p| !p.is_empty())
-        .collect();
+    let parts: Vec<String> =
+        inner.split(',').map(|p| p.trim().to_string()).filter(|p| !p.is_empty()).collect();
     if parts.is_empty() {
         return Err(err(line, format!("empty component list in {s:?}")));
     }
@@ -118,7 +115,9 @@ pub fn parse_spec_file(src: &str) -> Result<AdaptationSpec, SpecFileError> {
             continue;
         }
         if let Some(name) = line.strip_prefix('[') {
-            let name = name.strip_suffix(']').ok_or_else(|| err(line_no, "unterminated section header"))?;
+            let name = name
+                .strip_suffix(']')
+                .ok_or_else(|| err(line_no, "unterminated section header"))?;
             section = match name.trim() {
                 "processes" => Section::Processes,
                 "components" => Section::Components,
@@ -197,7 +196,13 @@ pub fn parse_spec_file(src: &str) -> Result<AdaptationSpec, SpecFileError> {
                         .ok_or_else(|| err(line_no, "expected 'old -> new', '+C', or '-C'"))?;
                     let removes = parse_comp_list(old, line_no)?;
                     let adds = parse_comp_list(new, line_no)?;
-                    Action::replace(id, head, &cfg_of(&removes, line_no)?, &cfg_of(&adds, line_no)?, cost)
+                    Action::replace(
+                        id,
+                        head,
+                        &cfg_of(&removes, line_no)?,
+                        &cfg_of(&adds, line_no)?,
+                        cost,
+                    )
                 };
                 if drain_marked {
                     drain.insert(action.id());
@@ -361,10 +366,9 @@ mod tests {
 
     #[test]
     fn comments_and_blank_lines_ignored() {
-        let spec = parse_spec_file(
-            "# header\n\n[processes]\nhost # trailing\n[components]\nA @ host\n",
-        )
-        .unwrap();
+        let spec =
+            parse_spec_file("# header\n\n[processes]\nhost # trailing\n[components]\nA @ host\n")
+                .unwrap();
         assert_eq!(spec.universe().len(), 1);
     }
 

@@ -92,9 +92,7 @@ impl Universe {
     pub fn config_of(&self, names: &[&str]) -> Config {
         let mut cfg = self.empty_config();
         for n in names {
-            let id = self
-                .id(n)
-                .unwrap_or_else(|| panic!("unknown component {n:?}"));
+            let id = self.id(n).unwrap_or_else(|| panic!("unknown component {n:?}"));
             cfg.insert(id);
         }
         cfg
@@ -180,9 +178,7 @@ impl Config {
 
     /// Iterates present components in increasing id order.
     pub fn iter(&self) -> impl Iterator<Item = CompId> + '_ {
-        (0..self.nbits)
-            .map(CompId::from_index)
-            .filter(move |&id| self.contains(id))
+        (0..self.nbits).map(CompId::from_index).filter(move |&id| self.contains(id))
     }
 
     fn check_width(&self, other: &Config) {

@@ -236,7 +236,9 @@ mod tests {
     fn pruning_visits_fewer_nodes_than_full_tree() {
         let mut u = universe(&[]);
         // A false structural invariant on the first components prunes hard.
-        let inv = InvariantSet::parse(&["one_of(C0, C1) & one_of(C2, C3) & one_of(C4, C5)"], &mut u).unwrap();
+        let inv =
+            InvariantSet::parse(&["one_of(C0, C1) & one_of(C2, C3) & one_of(C4, C5)"], &mut u)
+                .unwrap();
         let full_tree: u64 = (1 << (u.len() + 1)) - 1; // complete binary tree
         let visited = pruned_search_nodes(&u, &inv);
         assert!(visited < full_tree, "visited {visited} of {full_tree}");

@@ -52,8 +52,8 @@ enum Tok {
     Amp,
     Pipe,
     Caret,
-    Arrow,   // =>
-    DArrow,  // <=>
+    Arrow,  // =>
+    DArrow, // <=>
     True,
     False,
     OneOf,
@@ -258,7 +258,9 @@ impl<'a> Parser<'a> {
                 // never be exactly one) — accepted for round-tripping.
                 Ok(Expr::exactly_one(items))
             }
-            other => Err(ParseError { at, msg: format!("expected an expression, found {other:?}") }),
+            other => {
+                Err(ParseError { at, msg: format!("expected an expression, found {other:?}") })
+            }
         }
     }
 }

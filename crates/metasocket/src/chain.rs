@@ -180,7 +180,12 @@ impl FilterChain {
     ///
     /// [`ChainError::DuplicateComponent`] if `name` is taken,
     /// [`ChainError::PositionOutOfRange`] if `pos > len`.
-    pub fn insert(&mut self, pos: usize, name: &str, filter: Box<dyn Filter>) -> Result<(), ChainError> {
+    pub fn insert(
+        &mut self,
+        pos: usize,
+        name: &str,
+        filter: Box<dyn Filter>,
+    ) -> Result<(), ChainError> {
         if self.has(name) {
             return Err(ChainError::DuplicateComponent(name.to_string()));
         }
@@ -332,9 +337,7 @@ mod tests {
             ChainError::PositionOutOfRange { pos: 5, len: 1 }
         );
         assert_eq!(ch.remove("ZZ").unwrap_err(), ChainError::UnknownComponent("ZZ".into()));
-        assert!(ch
-            .replace("ZZ", "Y", Box::<Telemetry>::default())
-            .is_err());
+        assert!(ch.replace("ZZ", "Y", Box::<Telemetry>::default()).is_err());
         ch.push_back("B", Box::<Telemetry>::default()).unwrap();
         assert_eq!(
             ch.replace("A", "B", Box::<Telemetry>::default()).unwrap_err(),

@@ -33,7 +33,12 @@ pub struct CipherDecoder<C> {
 impl CipherEncoder<Des> {
     /// DES 64-bit encoder — component `E1`.
     pub fn des64(key: u64) -> Self {
-        CipherEncoder { cipher: Des::new(key), tag: tags::DES64, kind: "des64-enc", stats: FilterStats::default() }
+        CipherEncoder {
+            cipher: Des::new(key),
+            tag: tags::DES64,
+            kind: "des64-enc",
+            stats: FilterStats::default(),
+        }
     }
 }
 

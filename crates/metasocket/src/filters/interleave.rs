@@ -38,7 +38,12 @@ impl Interleaver {
     /// Panics if either dimension is zero.
     pub fn new(rows: usize, cols: usize) -> Self {
         assert!(rows > 0 && cols > 0, "interleaver dimensions must be positive");
-        Interleaver { rows, cols, buf: Vec::with_capacity(rows * cols), stats: FilterStats::default() }
+        Interleaver {
+            rows,
+            cols,
+            buf: Vec::with_capacity(rows * cols),
+            stats: FilterStats::default(),
+        }
     }
 
     fn emit_block(&mut self) -> Vec<Packet> {
@@ -101,7 +106,12 @@ impl Deinterleaver {
     /// Panics if `window` is zero.
     pub fn new(window: usize) -> Self {
         assert!(window > 0, "reorder window must be positive");
-        Deinterleaver { window, next_seq: None, held: BTreeMap::new(), stats: FilterStats::default() }
+        Deinterleaver {
+            window,
+            next_seq: None,
+            held: BTreeMap::new(),
+            stats: FilterStats::default(),
+        }
     }
 
     fn release_ready(&mut self, out: &mut Vec<Packet>) {
@@ -258,8 +268,12 @@ mod tests {
             }
             // Burst: drop 3 consecutive wire packets.
             let burst_at = 5;
-            let survivors: Vec<Packet> =
-                wire.into_iter().enumerate().filter(|(i, _)| !(burst_at..burst_at + 3).contains(i)).map(|(_, p)| p).collect();
+            let survivors: Vec<Packet> = wire
+                .into_iter()
+                .enumerate()
+                .filter(|(i, _)| !(burst_at..burst_at + 3).contains(i))
+                .map(|(_, p)| p)
+                .collect();
             // Receiver: FEC decode (order-tolerant), count data packets out.
             let mut received = 0;
             for p in survivors {

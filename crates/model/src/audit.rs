@@ -234,7 +234,9 @@ impl SafetyAuditor {
                         report.violations.push(Violation {
                             at: ix,
                             kind: ViolationKind::UnsafeConfiguration,
-                            detail: format!("configuration {config} violates dependency invariants"),
+                            detail: format!(
+                                "configuration {config} violates dependency invariants"
+                            ),
                         });
                     }
                 }
@@ -248,7 +250,9 @@ impl SafetyAuditor {
             });
         }
         // Deterministic ordering even for the HashMap-derived findings.
-        report.violations.sort_by(|a, b| (a.at, format!("{:?}", a.kind)).cmp(&(b.at, format!("{:?}", b.kind))));
+        report
+            .violations
+            .sort_by(|a, b| (a.at, format!("{:?}", a.kind)).cmp(&(b.at, format!("{:?}", b.kind))));
         report
     }
 
@@ -262,7 +266,11 @@ impl SafetyAuditor {
                 report.configs_checked, report.segments_completed, report.in_actions
             )
         } else {
-            format!("UNSAFE: {} violation(s), first: {}", report.violations.len(), report.violations[0])
+            format!(
+                "UNSAFE: {} violation(s), first: {}",
+                report.violations.len(),
+                report.violations[0]
+            )
         }
     }
 }
@@ -416,7 +424,10 @@ mod tests {
         ];
         let report = auditor.audit(&log);
         assert_eq!(report.violations.len(), 1);
-        assert_eq!(report.violations[0].kind, ViolationKind::InterruptedSegment { cid: 9, comp: a });
+        assert_eq!(
+            report.violations[0].kind,
+            ViolationKind::InterruptedSegment { cid: 9, comp: a }
+        );
     }
 
     #[test]

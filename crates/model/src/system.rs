@@ -138,8 +138,9 @@ impl SystemModel {
         let mut out: Vec<ProcessId> = comps
             .iter()
             .map(|c| {
-                self.host_of(c)
-                    .unwrap_or_else(|| panic!("component c{} is not placed on any process", c.index()))
+                self.host_of(c).unwrap_or_else(|| {
+                    panic!("component c{} is not placed on any process", c.index())
+                })
             })
             .collect();
         out.sort();

@@ -1,0 +1,163 @@
+//! The event bus: one producer-facing handle, pluggable consumer sinks.
+//!
+//! A [`Bus`] is a cheaply-cloneable handle to a shared sink list; every
+//! layer of a run (simulator, protocol adapters, audit log, harness) holds a
+//! clone of the same bus and emits through it. Sinks are attached by the
+//! harness depending on what it wants out of the run — nothing, counters, a
+//! bounded ring, a replayable JSONL trace — and emission with zero sinks is
+//! a branch on an empty vec, so instrumented hot paths cost nothing when
+//! nobody is listening (use [`Bus::publish`], which defers payload
+//! construction).
+
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+use crate::event::{Event, Payload};
+use crate::time::SimTime;
+
+/// A consumer of bus events.
+///
+/// Sinks observe every event emitted after they attach, in emission order.
+/// `accept` must not emit back onto the same bus (single-threaded
+/// re-entrancy would panic the underlying `RefCell`).
+pub trait Sink {
+    /// Observes one event.
+    fn accept(&mut self, ev: &Event);
+}
+
+/// A shared handle to one attached sink.
+type SinkHandle = Rc<RefCell<dyn Sink>>;
+
+/// The shared, layer-spanning event bus.
+///
+/// Clones share the same sink list (`Rc` semantics): attaching a sink
+/// through any clone makes it visible to every producer. The simulation is
+/// single-threaded, so interior mutability is `RefCell`, not locks.
+#[derive(Clone, Default)]
+pub struct Bus {
+    sinks: Rc<RefCell<Vec<SinkHandle>>>,
+}
+
+impl Bus {
+    /// A bus with no sinks attached.
+    pub fn new() -> Self {
+        Bus::default()
+    }
+
+    /// Attaches `sink`; it observes every event emitted from now on. The
+    /// caller keeps its handle and reads results out after the run.
+    pub fn attach<S: Sink + 'static>(&self, sink: &Rc<RefCell<S>>) {
+        self.sinks.borrow_mut().push(sink.clone() as SinkHandle);
+    }
+
+    /// Detaches a previously attached sink (no-op if absent).
+    pub fn detach<S: Sink + 'static>(&self, sink: &Rc<RefCell<S>>) {
+        let target = Rc::as_ptr(sink) as *const ();
+        self.sinks.borrow_mut().retain(|s| Rc::as_ptr(s) as *const () != target);
+    }
+
+    /// True when at least one sink is attached. Producers with non-trivial
+    /// payload construction should guard on this (or use [`Bus::publish`]).
+    pub fn has_sinks(&self) -> bool {
+        !self.sinks.borrow().is_empty()
+    }
+
+    /// Number of attached sinks.
+    pub fn sink_count(&self) -> usize {
+        self.sinks.borrow().len()
+    }
+
+    /// Delivers `ev` to every attached sink, in attachment order.
+    pub fn emit(&self, ev: Event) {
+        for sink in self.sinks.borrow().iter() {
+            sink.borrow_mut().accept(&ev);
+        }
+    }
+
+    /// Emits a stamped event, building the payload only if a sink is
+    /// attached — the zero-overhead form for hot paths.
+    pub fn publish(&self, at: SimTime, actor: u32, payload: impl FnOnce() -> Payload) {
+        if self.has_sinks() {
+            self.emit(Event { at, actor, payload: payload() });
+        }
+    }
+}
+
+impl fmt::Debug for Bus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Bus").field("sinks", &self.sink_count()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::NetEvent;
+
+    struct Probe {
+        seen: Vec<Event>,
+    }
+
+    impl Sink for Probe {
+        fn accept(&mut self, ev: &Event) {
+            self.seen.push(ev.clone());
+        }
+    }
+
+    fn net(at: u64) -> Event {
+        Event { at: SimTime::from_micros(at), actor: 0, payload: Payload::Net(NetEvent::Crashed) }
+    }
+
+    #[test]
+    fn clones_share_the_sink_list() {
+        let bus = Bus::new();
+        let other = bus.clone();
+        let probe = Rc::new(RefCell::new(Probe { seen: Vec::new() }));
+        bus.attach(&probe);
+        assert!(other.has_sinks());
+        other.emit(net(5));
+        assert_eq!(probe.borrow().seen.len(), 1);
+        assert_eq!(probe.borrow().seen[0].at, SimTime::from_micros(5));
+    }
+
+    #[test]
+    fn detach_stops_delivery_for_that_sink_only() {
+        let bus = Bus::new();
+        let a = Rc::new(RefCell::new(Probe { seen: Vec::new() }));
+        let b = Rc::new(RefCell::new(Probe { seen: Vec::new() }));
+        bus.attach(&a);
+        bus.attach(&b);
+        bus.emit(net(1));
+        bus.detach(&a);
+        bus.emit(net(2));
+        assert_eq!(a.borrow().seen.len(), 1);
+        assert_eq!(b.borrow().seen.len(), 2);
+        assert_eq!(bus.sink_count(), 1);
+    }
+
+    #[test]
+    fn publish_skips_payload_construction_with_zero_sinks() {
+        let bus = Bus::new();
+        let mut built = false;
+        bus.publish(SimTime::ZERO, 0, || {
+            built = true;
+            Payload::Net(NetEvent::Crashed)
+        });
+        assert!(!built, "payload must not be built when no sink is attached");
+        let probe = Rc::new(RefCell::new(Probe { seen: Vec::new() }));
+        bus.attach(&probe);
+        bus.publish(SimTime::ZERO, 0, || {
+            built = true;
+            Payload::Net(NetEvent::Crashed)
+        });
+        assert!(built);
+        assert_eq!(probe.borrow().seen.len(), 1);
+    }
+
+    #[test]
+    fn debug_does_not_recurse_into_sinks() {
+        let bus = Bus::new();
+        assert_eq!(format!("{bus:?}"), "Bus { sinks: 0 }");
+    }
+}

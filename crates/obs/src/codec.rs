@@ -1,0 +1,727 @@
+//! Replayable JSONL trace codec and the [`JsonlSink`] that records it.
+//!
+//! Each event encodes to exactly one JSON object per line with a stable
+//! `kind` discriminator, so traces are diffable with line tools and
+//! replayable with [`decode_lines`]. The encoder/decoder are hand-rolled
+//! over the small value subset actually used (u64 numbers, strings, bools,
+//! arrays of u64) — the build environment vendors no serde.
+//!
+//! The codec is a bijection on the event taxonomy:
+//! `decode_event(encode_event(e)) == e` (property-tested).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use sada_expr::{CompId, Config};
+use sada_model::AuditEvent;
+
+use crate::bus::Sink;
+use crate::event::{
+    AgentStateTag, Event, ManagerPhaseTag, NetEvent, Payload, PlanEvent, ProtoEvent, TemporalEvent,
+};
+use crate::key::ObligationKey;
+use crate::time::SimTime;
+
+/// Records every event as one JSONL line.
+#[derive(Debug, Clone, Default)]
+pub struct JsonlSink {
+    lines: Vec<String>,
+}
+
+impl JsonlSink {
+    /// An empty trace.
+    pub fn new() -> Self {
+        JsonlSink::default()
+    }
+
+    /// The recorded lines, in emission order.
+    pub fn lines(&self) -> &[String] {
+        &self.lines
+    }
+
+    /// Number of recorded lines.
+    pub fn len(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.lines.is_empty()
+    }
+
+    /// The whole trace as one newline-terminated string (a `.jsonl` file).
+    pub fn dump(&self) -> String {
+        let mut out = String::new();
+        for line in &self.lines {
+            out.push_str(line);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl Sink for JsonlSink {
+    fn accept(&mut self, ev: &Event) {
+        self.lines.push(encode_event(ev));
+    }
+}
+
+fn esc(out: &mut String, s: &str) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Obj {
+    buf: String,
+}
+
+impl Obj {
+    fn new(at: SimTime, actor: u32, kind: &str) -> Self {
+        let mut buf = String::with_capacity(96);
+        let _ =
+            write!(buf, "{{\"at\":{},\"actor\":{},\"kind\":\"{}\"", at.as_micros(), actor, kind);
+        Obj { buf }
+    }
+
+    fn num(mut self, key: &str, v: u64) -> Self {
+        let _ = write!(self.buf, ",\"{key}\":{v}");
+        self
+    }
+
+    fn opt_num(self, key: &str, v: Option<u64>) -> Self {
+        match v {
+            Some(v) => self.num(key, v),
+            None => self,
+        }
+    }
+
+    fn boolean(mut self, key: &str, v: bool) -> Self {
+        let _ = write!(self.buf, ",\"{key}\":{v}");
+        self
+    }
+
+    fn string(mut self, key: &str, v: &str) -> Self {
+        let _ = write!(self.buf, ",\"{key}\":");
+        esc(&mut self.buf, v);
+        self
+    }
+
+    fn nums(mut self, key: &str, vs: impl Iterator<Item = u64>) -> Self {
+        let _ = write!(self.buf, ",\"{key}\":[");
+        for (i, v) in vs.enumerate() {
+            if i > 0 {
+                self.buf.push(',');
+            }
+            let _ = write!(self.buf, "{v}");
+        }
+        self.buf.push(']');
+        self
+    }
+
+    fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+/// Encodes one event as a single JSON line (no trailing newline).
+pub fn encode_event(ev: &Event) -> String {
+    let o = |kind: &str| Obj::new(ev.at, ev.actor, kind);
+    match &ev.payload {
+        Payload::Net(n) => match n {
+            NetEvent::Sent { from, to } => {
+                o("net.sent").num("from", u64::from(*from)).num("to", u64::from(*to)).finish()
+            }
+            NetEvent::Delivered { from, to } => {
+                o("net.delivered").num("from", u64::from(*from)).num("to", u64::from(*to)).finish()
+            }
+            NetEvent::Dropped { from, to } => {
+                o("net.dropped").num("from", u64::from(*from)).num("to", u64::from(*to)).finish()
+            }
+            NetEvent::TimerFired { tag } => o("net.timer").num("tag", *tag).finish(),
+            NetEvent::Crashed => o("net.crashed").finish(),
+            NetEvent::Restarted => o("net.restarted").finish(),
+        },
+        Payload::Proto(p) => match p {
+            ProtoEvent::AgentState { from, to, step } => o("proto.agent")
+                .string("from", from.as_str())
+                .string("to", to.as_str())
+                .opt_num("step", *step)
+                .finish(),
+            ProtoEvent::ManagerPhase { from, to, step } => o("proto.manager")
+                .string("from", from.as_str())
+                .string("to", to.as_str())
+                .opt_num("step", *step)
+                .finish(),
+            ProtoEvent::StepStarted { step, solo, participants } => o("proto.step_started")
+                .num("step", *step)
+                .boolean("solo", *solo)
+                .num("participants", u64::from(*participants))
+                .finish(),
+            ProtoEvent::StepCommitted { step } => {
+                o("proto.step_committed").num("step", *step).finish()
+            }
+            ProtoEvent::TimeoutFired { phase, step, retries } => o("proto.timeout")
+                .string("phase", phase.as_str())
+                .opt_num("step", *step)
+                .num("retries", u64::from(*retries))
+                .finish(),
+            ProtoEvent::RetrySent { step, resends } => {
+                o("proto.retry").num("step", *step).num("resends", u64::from(*resends)).finish()
+            }
+            ProtoEvent::RollbackIssued { step } => o("proto.rollback").num("step", *step).finish(),
+            ProtoEvent::RejoinReceived { agent, last_completed } => o("proto.rejoin")
+                .num("agent", u64::from(*agent))
+                .opt_num("last", *last_completed)
+                .finish(),
+            ProtoEvent::OutcomeReached { success, gave_up, steps_committed } => o("proto.outcome")
+                .boolean("success", *success)
+                .boolean("gave_up", *gave_up)
+                .num("steps", *steps_committed)
+                .finish(),
+        },
+        Payload::Audit(a) => match a {
+            AuditEvent::SegmentStart { cid, comp } => {
+                o("audit.seg_start").num("cid", *cid).num("comp", comp.index() as u64).finish()
+            }
+            AuditEvent::SegmentEnd { cid, comp } => {
+                o("audit.seg_end").num("cid", *cid).num("comp", comp.index() as u64).finish()
+            }
+            AuditEvent::SegmentLost { cid, comp } => {
+                o("audit.seg_lost").num("cid", *cid).num("comp", comp.index() as u64).finish()
+            }
+            AuditEvent::InAction { label, comps } => o("audit.in_action")
+                .string("label", label)
+                .nums("comps", comps.iter().map(|c| c.index() as u64))
+                .finish(),
+            AuditEvent::ConfigSnapshot { config } => {
+                o("audit.config").string("config", &config.to_bit_string()).finish()
+            }
+        },
+        Payload::Temporal(t) => match t {
+            TemporalEvent::ObligationOpened { key, cid } => {
+                o("temporal.opened").string("key", &key.to_string()).num("cid", *cid).finish()
+            }
+            TemporalEvent::ObligationDischarged { key, cid } => {
+                o("temporal.discharged").string("key", &key.to_string()).num("cid", *cid).finish()
+            }
+            TemporalEvent::SafePoint { index } => {
+                o("temporal.safe_point").num("index", *index).finish()
+            }
+        },
+        Payload::Plan(p) => match p {
+            PlanEvent::PathSelected { rank, steps, cost } => o("plan.path")
+                .num("rank", u64::from(*rank))
+                .num("steps", u64::from(*steps))
+                .num("cost", *cost)
+                .finish(),
+            PlanEvent::PathsExhausted { returning_to_source } => {
+                o("plan.exhausted").boolean("to_source", *returning_to_source).finish()
+            }
+        },
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Val {
+    Num(u64),
+    Str(String),
+    Bool(bool),
+    Arr(Vec<u64>),
+}
+
+struct Parser<'a> {
+    s: &'a [u8],
+    i: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(s: &'a str) -> Self {
+        Parser { s: s.as_bytes(), i: 0 }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.i < self.s.len() && matches!(self.s[self.i], b' ' | b'\t') {
+            self.i += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        self.skip_ws();
+        if self.i < self.s.len() && self.s[self.i] == b {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at byte {}", b as char, self.i))
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.s.get(self.i).copied()
+    }
+
+    fn parse_string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let b = *self.s.get(self.i).ok_or("unterminated string")?;
+            self.i += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let e = *self.s.get(self.i).ok_or("unterminated escape")?;
+                    self.i += 1;
+                    match e {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self.s.get(self.i..self.i + 4).ok_or("short \\u escape")?;
+                            self.i += 4;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?,
+                                16,
+                            )
+                            .map_err(|_| "bad \\u escape")?;
+                            out.push(char::from_u32(code).ok_or("bad \\u codepoint")?);
+                        }
+                        other => return Err(format!("bad escape \\{}", other as char)),
+                    }
+                }
+                // Multi-byte UTF-8: copy the raw bytes through.
+                _ => {
+                    let start = self.i - 1;
+                    let mut end = self.i;
+                    while end < self.s.len() && self.s[end] & 0xC0 == 0x80 {
+                        end += 1;
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&self.s[start..end]).map_err(|_| "invalid utf-8")?,
+                    );
+                    self.i = end;
+                }
+            }
+        }
+    }
+
+    fn parse_num(&mut self) -> Result<u64, String> {
+        self.skip_ws();
+        let start = self.i;
+        while self.i < self.s.len() && self.s[self.i].is_ascii_digit() {
+            self.i += 1;
+        }
+        if start == self.i {
+            return Err(format!("expected number at byte {start}"));
+        }
+        std::str::from_utf8(&self.s[start..self.i])
+            .unwrap()
+            .parse()
+            .map_err(|e| format!("bad number: {e}"))
+    }
+
+    fn parse_value(&mut self) -> Result<Val, String> {
+        match self.peek().ok_or("unexpected end of line")? {
+            b'"' => Ok(Val::Str(self.parse_string()?)),
+            b't' => {
+                if self.s[self.i..].starts_with(b"true") {
+                    self.i += 4;
+                    Ok(Val::Bool(true))
+                } else {
+                    Err("bad literal".into())
+                }
+            }
+            b'f' => {
+                if self.s[self.i..].starts_with(b"false") {
+                    self.i += 5;
+                    Ok(Val::Bool(false))
+                } else {
+                    Err("bad literal".into())
+                }
+            }
+            b'[' => {
+                self.expect(b'[')?;
+                let mut arr = Vec::new();
+                if self.peek() == Some(b']') {
+                    self.i += 1;
+                    return Ok(Val::Arr(arr));
+                }
+                loop {
+                    arr.push(self.parse_num()?);
+                    match self.peek() {
+                        Some(b',') => self.i += 1,
+                        Some(b']') => {
+                            self.i += 1;
+                            return Ok(Val::Arr(arr));
+                        }
+                        _ => return Err("bad array".into()),
+                    }
+                }
+            }
+            b if b.is_ascii_digit() => Ok(Val::Num(self.parse_num()?)),
+            other => Err(format!("unexpected byte {:?}", other as char)),
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<BTreeMap<String, Val>, String> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        if self.peek() == Some(b'}') {
+            self.i += 1;
+            return Ok(map);
+        }
+        loop {
+            let key = self.parse_string()?;
+            self.expect(b':')?;
+            let val = self.parse_value()?;
+            map.insert(key, val);
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b'}') => {
+                    self.i += 1;
+                    return Ok(map);
+                }
+                _ => return Err("bad object".into()),
+            }
+        }
+    }
+}
+
+struct Fields {
+    map: BTreeMap<String, Val>,
+}
+
+impl Fields {
+    fn num(&self, key: &str) -> Result<u64, String> {
+        match self.map.get(key) {
+            Some(Val::Num(n)) => Ok(*n),
+            _ => Err(format!("missing numeric field {key:?}")),
+        }
+    }
+
+    fn opt_num(&self, key: &str) -> Result<Option<u64>, String> {
+        match self.map.get(key) {
+            None => Ok(None),
+            Some(Val::Num(n)) => Ok(Some(*n)),
+            _ => Err(format!("field {key:?} is not a number")),
+        }
+    }
+
+    fn string(&self, key: &str) -> Result<&str, String> {
+        match self.map.get(key) {
+            Some(Val::Str(s)) => Ok(s),
+            _ => Err(format!("missing string field {key:?}")),
+        }
+    }
+
+    fn boolean(&self, key: &str) -> Result<bool, String> {
+        match self.map.get(key) {
+            Some(Val::Bool(b)) => Ok(*b),
+            _ => Err(format!("missing bool field {key:?}")),
+        }
+    }
+
+    fn arr(&self, key: &str) -> Result<&[u64], String> {
+        match self.map.get(key) {
+            Some(Val::Arr(a)) => Ok(a),
+            _ => Err(format!("missing array field {key:?}")),
+        }
+    }
+
+    fn comp(&self, key: &str) -> Result<CompId, String> {
+        Ok(CompId::from_index(self.num(key)? as usize))
+    }
+
+    fn agent_state(&self, key: &str) -> Result<AgentStateTag, String> {
+        let s = self.string(key)?;
+        AgentStateTag::parse(s).ok_or_else(|| format!("unknown agent state {s:?}"))
+    }
+
+    fn manager_phase(&self, key: &str) -> Result<ManagerPhaseTag, String> {
+        let s = self.string(key)?;
+        ManagerPhaseTag::parse(s).ok_or_else(|| format!("unknown manager phase {s:?}"))
+    }
+
+    fn key(&self, key: &str) -> Result<ObligationKey, String> {
+        self.string(key)?.parse()
+    }
+}
+
+fn config_from_bit_string(bits: &str) -> Result<Config, String> {
+    let mut cfg = Config::empty(bits.len());
+    let width = bits.len();
+    for (pos, ch) in bits.chars().enumerate() {
+        match ch {
+            '1' => cfg.insert(CompId::from_index(width - 1 - pos)),
+            '0' => {}
+            other => return Err(format!("invalid bit {other:?} in config")),
+        }
+    }
+    Ok(cfg)
+}
+
+/// Decodes one JSONL line back into an [`Event`].
+pub fn decode_event(line: &str) -> Result<Event, String> {
+    let map = Parser::new(line).parse_object()?;
+    let f = Fields { map };
+    let at = SimTime::from_micros(f.num("at")?);
+    let actor = f.num("actor")? as u32;
+    let kind = f.string("kind")?;
+    let payload = match kind {
+        "net.sent" => {
+            Payload::Net(NetEvent::Sent { from: f.num("from")? as u32, to: f.num("to")? as u32 })
+        }
+        "net.delivered" => Payload::Net(NetEvent::Delivered {
+            from: f.num("from")? as u32,
+            to: f.num("to")? as u32,
+        }),
+        "net.dropped" => {
+            Payload::Net(NetEvent::Dropped { from: f.num("from")? as u32, to: f.num("to")? as u32 })
+        }
+        "net.timer" => Payload::Net(NetEvent::TimerFired { tag: f.num("tag")? }),
+        "net.crashed" => Payload::Net(NetEvent::Crashed),
+        "net.restarted" => Payload::Net(NetEvent::Restarted),
+        "proto.agent" => Payload::Proto(ProtoEvent::AgentState {
+            from: f.agent_state("from")?,
+            to: f.agent_state("to")?,
+            step: f.opt_num("step")?,
+        }),
+        "proto.manager" => Payload::Proto(ProtoEvent::ManagerPhase {
+            from: f.manager_phase("from")?,
+            to: f.manager_phase("to")?,
+            step: f.opt_num("step")?,
+        }),
+        "proto.step_started" => Payload::Proto(ProtoEvent::StepStarted {
+            step: f.num("step")?,
+            solo: f.boolean("solo")?,
+            participants: f.num("participants")? as u32,
+        }),
+        "proto.step_committed" => {
+            Payload::Proto(ProtoEvent::StepCommitted { step: f.num("step")? })
+        }
+        "proto.timeout" => Payload::Proto(ProtoEvent::TimeoutFired {
+            phase: f.manager_phase("phase")?,
+            step: f.opt_num("step")?,
+            retries: f.num("retries")? as u32,
+        }),
+        "proto.retry" => Payload::Proto(ProtoEvent::RetrySent {
+            step: f.num("step")?,
+            resends: f.num("resends")? as u32,
+        }),
+        "proto.rollback" => Payload::Proto(ProtoEvent::RollbackIssued { step: f.num("step")? }),
+        "proto.rejoin" => Payload::Proto(ProtoEvent::RejoinReceived {
+            agent: f.num("agent")? as u32,
+            last_completed: f.opt_num("last")?,
+        }),
+        "proto.outcome" => Payload::Proto(ProtoEvent::OutcomeReached {
+            success: f.boolean("success")?,
+            gave_up: f.boolean("gave_up")?,
+            steps_committed: f.num("steps")?,
+        }),
+        "audit.seg_start" => {
+            Payload::Audit(AuditEvent::SegmentStart { cid: f.num("cid")?, comp: f.comp("comp")? })
+        }
+        "audit.seg_end" => {
+            Payload::Audit(AuditEvent::SegmentEnd { cid: f.num("cid")?, comp: f.comp("comp")? })
+        }
+        "audit.seg_lost" => {
+            Payload::Audit(AuditEvent::SegmentLost { cid: f.num("cid")?, comp: f.comp("comp")? })
+        }
+        "audit.in_action" => Payload::Audit(AuditEvent::InAction {
+            label: f.string("label")?.to_string(),
+            comps: f.arr("comps")?.iter().map(|&c| CompId::from_index(c as usize)).collect(),
+        }),
+        "audit.config" => Payload::Audit(AuditEvent::ConfigSnapshot {
+            config: config_from_bit_string(f.string("config")?)?,
+        }),
+        "temporal.opened" => Payload::Temporal(TemporalEvent::ObligationOpened {
+            key: f.key("key")?,
+            cid: f.num("cid")?,
+        }),
+        "temporal.discharged" => Payload::Temporal(TemporalEvent::ObligationDischarged {
+            key: f.key("key")?,
+            cid: f.num("cid")?,
+        }),
+        "temporal.safe_point" => {
+            Payload::Temporal(TemporalEvent::SafePoint { index: f.num("index")? })
+        }
+        "plan.path" => Payload::Plan(PlanEvent::PathSelected {
+            rank: f.num("rank")? as u32,
+            steps: f.num("steps")? as u32,
+            cost: f.num("cost")?,
+        }),
+        "plan.exhausted" => Payload::Plan(PlanEvent::PathsExhausted {
+            returning_to_source: f.boolean("to_source")?,
+        }),
+        other => return Err(format!("unknown event kind {other:?}")),
+    };
+    Ok(Event { at, actor, payload })
+}
+
+/// Decodes a whole `.jsonl` trace (blank lines and `#` comments skipped).
+pub fn decode_lines(text: &str) -> Result<Vec<Event>, String> {
+    let mut out = Vec::new();
+    for (no, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        out.push(decode_event(line).map_err(|e| format!("line {}: {e}", no + 1))?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::NO_ACTOR;
+    use crate::key::SegmentEdge;
+
+    fn round_trip(ev: Event) {
+        let line = encode_event(&ev);
+        assert!(!line.contains('\n'), "one event per line: {line:?}");
+        let back = decode_event(&line).unwrap_or_else(|e| panic!("{e}\nline: {line}"));
+        assert_eq!(back, ev, "line: {line}");
+    }
+
+    #[test]
+    fn every_variant_round_trips() {
+        let comp = CompId::from_index(3);
+        let mut config = Config::empty(7);
+        config.insert(CompId::from_index(0));
+        config.insert(CompId::from_index(5));
+        let cases: Vec<Payload> = vec![
+            Payload::Net(NetEvent::Sent { from: 1, to: 2 }),
+            Payload::Net(NetEvent::Delivered { from: 0, to: 3 }),
+            Payload::Net(NetEvent::Dropped { from: 2, to: 2 }),
+            Payload::Net(NetEvent::TimerFired { tag: u64::MAX }),
+            Payload::Net(NetEvent::Crashed),
+            Payload::Net(NetEvent::Restarted),
+            Payload::Proto(ProtoEvent::AgentState {
+                from: AgentStateTag::Running,
+                to: AgentStateTag::Resetting,
+                step: Some(4),
+            }),
+            Payload::Proto(ProtoEvent::AgentState {
+                from: AgentStateTag::RollingBack,
+                to: AgentStateTag::FailedReset,
+                step: None,
+            }),
+            Payload::Proto(ProtoEvent::ManagerPhase {
+                from: ManagerPhaseTag::Adapting,
+                to: ManagerPhaseTag::GaveUp,
+                step: Some(9),
+            }),
+            Payload::Proto(ProtoEvent::StepStarted { step: 7, solo: true, participants: 3 }),
+            Payload::Proto(ProtoEvent::StepCommitted { step: 7 }),
+            Payload::Proto(ProtoEvent::TimeoutFired {
+                phase: ManagerPhaseTag::Resuming,
+                step: None,
+                retries: 2,
+            }),
+            Payload::Proto(ProtoEvent::RetrySent { step: 1, resends: 2 }),
+            Payload::Proto(ProtoEvent::RollbackIssued { step: 5 }),
+            Payload::Proto(ProtoEvent::RejoinReceived { agent: 1, last_completed: None }),
+            Payload::Proto(ProtoEvent::RejoinReceived { agent: 2, last_completed: Some(3) }),
+            Payload::Proto(ProtoEvent::OutcomeReached {
+                success: false,
+                gave_up: true,
+                steps_committed: 2,
+            }),
+            Payload::Audit(AuditEvent::SegmentStart { cid: 1 << 48, comp }),
+            Payload::Audit(AuditEvent::SegmentEnd { cid: 42, comp }),
+            Payload::Audit(AuditEvent::SegmentLost { cid: 0, comp }),
+            Payload::Audit(AuditEvent::InAction {
+                label: "E1 -> E2 \"quoted\"\nline".into(),
+                comps: vec![CompId::from_index(0), CompId::from_index(1)],
+            }),
+            Payload::Audit(AuditEvent::InAction { label: String::new(), comps: vec![] }),
+            Payload::Audit(AuditEvent::ConfigSnapshot { config }),
+            Payload::Temporal(TemporalEvent::ObligationOpened {
+                key: ObligationKey { comp, edge: SegmentEdge::Start },
+                cid: 99,
+            }),
+            Payload::Temporal(TemporalEvent::ObligationDischarged {
+                key: ObligationKey { comp, edge: SegmentEdge::End },
+                cid: 99,
+            }),
+            Payload::Temporal(TemporalEvent::SafePoint { index: 12 }),
+            Payload::Plan(PlanEvent::PathSelected { rank: 1, steps: 5, cost: 1210 }),
+            Payload::Plan(PlanEvent::PathsExhausted { returning_to_source: true }),
+        ];
+        for (i, payload) in cases.into_iter().enumerate() {
+            round_trip(Event { at: SimTime::from_micros(i as u64 * 17), actor: i as u32, payload });
+        }
+    }
+
+    #[test]
+    fn no_actor_sentinel_round_trips() {
+        round_trip(Event {
+            at: SimTime::ZERO,
+            actor: NO_ACTOR,
+            payload: Payload::Net(NetEvent::Crashed),
+        });
+    }
+
+    #[test]
+    fn decode_lines_skips_comments_and_blanks() {
+        let ev = Event { at: SimTime::ZERO, actor: 0, payload: Payload::Net(NetEvent::Crashed) };
+        let text = format!("# header\n\n{}\n  \n{}\n", encode_event(&ev), encode_event(&ev));
+        let events = decode_lines(&text).unwrap();
+        assert_eq!(events, vec![ev.clone(), ev]);
+    }
+
+    #[test]
+    fn decode_reports_line_numbers() {
+        let err = decode_lines("# ok\nnot json\n").unwrap_err();
+        assert!(err.starts_with("line 2:"), "{err}");
+    }
+
+    #[test]
+    fn unknown_kind_is_an_error() {
+        let err = decode_event("{\"at\":0,\"actor\":0,\"kind\":\"weird\"}").unwrap_err();
+        assert!(err.contains("unknown event kind"), "{err}");
+    }
+
+    #[test]
+    fn unicode_labels_survive() {
+        round_trip(Event {
+            at: SimTime::from_micros(1),
+            actor: 0,
+            payload: Payload::Audit(AuditEvent::InAction {
+                label: "näive → übergang".into(),
+                comps: vec![],
+            }),
+        });
+    }
+
+    #[test]
+    fn jsonl_sink_records_and_dumps() {
+        let mut sink = JsonlSink::new();
+        let ev = Event {
+            at: SimTime::from_micros(3),
+            actor: 1,
+            payload: Payload::Net(NetEvent::Restarted),
+        };
+        sink.accept(&ev);
+        assert_eq!(sink.len(), 1);
+        let dump = sink.dump();
+        assert!(dump.ends_with('\n'));
+        assert_eq!(decode_lines(&dump).unwrap(), vec![ev]);
+    }
+}

@@ -1,0 +1,296 @@
+//! The layer-tagged event taxonomy carried by the [`Bus`].
+//!
+//! Every observable thing the reproduction does — a message on the wire, a
+//! protocol state transition, a critical-segment bracket, a temporal
+//! obligation, a planner decision — is one [`Event`]: a [`SimTime`] stamp,
+//! the acting process, and a typed [`Payload`]. The same stream drives the
+//! safety auditor, the temporal monitor, the JSONL trace codec, and the
+//! per-phase latency metrics, so there is exactly one account of what a run
+//! did.
+//!
+//! [`Bus`]: crate::Bus
+
+use sada_model::AuditEvent;
+
+use crate::key::ObligationKey;
+use crate::time::SimTime;
+
+/// Sentinel actor index for events not attributable to a single simulated
+/// process (e.g. harness-level audit adjudication).
+pub const NO_ACTOR: u32 = u32::MAX;
+
+/// One timestamped, attributed occurrence on the unified bus.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// Virtual time of the occurrence.
+    pub at: SimTime,
+    /// Dense index of the acting process (`ActorId::index()`), or
+    /// [`NO_ACTOR`] when no single process is responsible.
+    pub actor: u32,
+    /// What happened, tagged by the layer that observed it.
+    pub payload: Payload,
+}
+
+/// The layer-tagged body of an [`Event`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Payload {
+    /// Network-substrate occurrences (sends, deliveries, drops, timers,
+    /// crash faults) emitted by `sada-simnet`.
+    Net(NetEvent),
+    /// Adaptation-protocol occurrences (state transitions, barriers,
+    /// timeouts, retries, rollbacks) emitted by `sada-proto`.
+    Proto(ProtoEvent),
+    /// Application safety-audit occurrences (CCS brackets, in-actions,
+    /// configuration snapshots) — the exact [`AuditEvent`] the safety
+    /// auditor replays.
+    Audit(AuditEvent),
+    /// Temporal-logic occurrences (obligation open/discharge, safe points)
+    /// emitted by `sada-tl`.
+    Temporal(TemporalEvent),
+    /// Planning decisions (path selection and exhaustion) emitted by the
+    /// manager when it consults the planner.
+    Plan(PlanEvent),
+}
+
+/// What the network substrate observed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetEvent {
+    /// A message was handed to the network. `from`/`to` are actor indexes.
+    Sent {
+        /// Sending actor index.
+        from: u32,
+        /// Destination actor index.
+        to: u32,
+    },
+    /// A message reached its destination actor.
+    Delivered {
+        /// Sending actor index.
+        from: u32,
+        /// Destination actor index.
+        to: u32,
+    },
+    /// A message was destroyed (loss, partition, crash eviction, unknown
+    /// destination).
+    Dropped {
+        /// Sending actor index.
+        from: u32,
+        /// Destination actor index.
+        to: u32,
+    },
+    /// A timer armed by the event's actor fired with `tag`.
+    TimerFired {
+        /// The caller-chosen tag the timer was armed with.
+        tag: u64,
+    },
+    /// Fault injection crashed the event's actor.
+    Crashed,
+    /// Fault injection restarted the event's actor.
+    Restarted,
+}
+
+/// Agent-side protocol states (mirrors `sada_proto::AgentState` without a
+/// dependency on the protocol crate, which sits above this one).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AgentStateTag {
+    /// Serving the application; no adaptation in progress.
+    Running,
+    /// Told to reset: driving itself toward the local safe state.
+    Resetting,
+    /// Locally safe; performing (or waiting out) the adaptive in-action.
+    Safe,
+    /// In-action done; blocked on the manager's global adapt-done barrier.
+    Adapted,
+    /// Resuming normal operation after the barrier.
+    Resuming,
+    /// Undoing a locally-applied action during recovery.
+    RollingBack,
+    /// Could not reach its local safe state (fail-to-reset).
+    FailedReset,
+}
+
+impl AgentStateTag {
+    /// Stable lowercase name (used by the JSONL codec).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            AgentStateTag::Running => "running",
+            AgentStateTag::Resetting => "resetting",
+            AgentStateTag::Safe => "safe",
+            AgentStateTag::Adapted => "adapted",
+            AgentStateTag::Resuming => "resuming",
+            AgentStateTag::RollingBack => "rolling_back",
+            AgentStateTag::FailedReset => "failed_reset",
+        }
+    }
+
+    /// Inverse of [`AgentStateTag::as_str`].
+    pub fn parse(s: &str) -> Option<Self> {
+        Some(match s {
+            "running" => AgentStateTag::Running,
+            "resetting" => AgentStateTag::Resetting,
+            "safe" => AgentStateTag::Safe,
+            "adapted" => AgentStateTag::Adapted,
+            "resuming" => AgentStateTag::Resuming,
+            "rolling_back" => AgentStateTag::RollingBack,
+            "failed_reset" => AgentStateTag::FailedReset,
+            _ => return None,
+        })
+    }
+}
+
+/// Manager-side protocol phases (mirrors `sada_proto::ManagerPhase`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ManagerPhaseTag {
+    /// No adaptation in flight.
+    Running,
+    /// Driving a step: resets sent, waiting for the adapt-done barrier.
+    Adapting,
+    /// Adapt-done barrier met: resumes sent, waiting for resume-done.
+    Resuming,
+    /// Undoing the current step after a failure.
+    RollingBack,
+    /// Recovery ladder exhausted away from the source: waiting for the user.
+    GaveUp,
+}
+
+impl ManagerPhaseTag {
+    /// Stable lowercase name (used by the JSONL codec).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ManagerPhaseTag::Running => "running",
+            ManagerPhaseTag::Adapting => "adapting",
+            ManagerPhaseTag::Resuming => "resuming",
+            ManagerPhaseTag::RollingBack => "rolling_back",
+            ManagerPhaseTag::GaveUp => "gave_up",
+        }
+    }
+
+    /// Inverse of [`ManagerPhaseTag::as_str`].
+    pub fn parse(s: &str) -> Option<Self> {
+        Some(match s {
+            "running" => ManagerPhaseTag::Running,
+            "adapting" => ManagerPhaseTag::Adapting,
+            "resuming" => ManagerPhaseTag::Resuming,
+            "rolling_back" => ManagerPhaseTag::RollingBack,
+            "gave_up" => ManagerPhaseTag::GaveUp,
+            _ => return None,
+        })
+    }
+}
+
+/// What the adaptation protocol observed. Steps are the raw `StepId` value;
+/// agents are actor indexes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProtoEvent {
+    /// An agent state machine moved between states.
+    AgentState {
+        /// State before the triggering event.
+        from: AgentStateTag,
+        /// State after.
+        to: AgentStateTag,
+        /// Step the agent was working on, if any.
+        step: Option<u64>,
+    },
+    /// The manager state machine moved between phases.
+    ManagerPhase {
+        /// Phase before the triggering event.
+        from: ManagerPhaseTag,
+        /// Phase after.
+        to: ManagerPhaseTag,
+        /// Step in flight, if any.
+        step: Option<u64>,
+    },
+    /// The manager opened a step and sent its resets.
+    StepStarted {
+        /// The step's identifier.
+        step: u64,
+        /// True when only one process participates.
+        solo: bool,
+        /// Number of participating agents.
+        participants: u32,
+    },
+    /// All resume-dones arrived; the step's configuration became durable.
+    StepCommitted {
+        /// The committed step.
+        step: u64,
+    },
+    /// A manager retry timeout fired.
+    TimeoutFired {
+        /// The phase the manager was in when the timer fired.
+        phase: ManagerPhaseTag,
+        /// Step in flight, if any.
+        step: Option<u64>,
+        /// Consecutive timeouts so far in this phase (1-based).
+        retries: u32,
+    },
+    /// The manager retransmitted to lagging agents after a timeout.
+    RetrySent {
+        /// The step being retried.
+        step: u64,
+        /// How many agents were re-messaged.
+        resends: u32,
+    },
+    /// The manager abandoned the step and ordered rollbacks.
+    RollbackIssued {
+        /// The step being rolled back.
+        step: u64,
+    },
+    /// A restarted agent announced itself and the manager resynchronized it.
+    RejoinReceived {
+        /// The rejoining agent's actor index.
+        agent: u32,
+        /// The last step the agent had durably completed, if any.
+        last_completed: Option<u64>,
+    },
+    /// The adaptation resolved (success, abort, or give-up).
+    OutcomeReached {
+        /// Target configuration reached.
+        success: bool,
+        /// Stranded at a safe intermediate configuration awaiting the user.
+        gave_up: bool,
+        /// Steps committed along the way.
+        steps_committed: u64,
+    },
+}
+
+/// What the temporal monitor observed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TemporalEvent {
+    /// A response obligation opened (e.g. a segment started).
+    ObligationOpened {
+        /// The typed obligation key.
+        key: ObligationKey,
+        /// Correlation key (the segment's CID).
+        cid: u64,
+    },
+    /// A response obligation was discharged (e.g. a segment ended).
+    ObligationDischarged {
+        /// The typed obligation key.
+        key: ObligationKey,
+        /// Correlation key (the segment's CID).
+        cid: u64,
+    },
+    /// The monitor identified a safe state at audit-log index `index`.
+    SafePoint {
+        /// Position in the consumed event stream.
+        index: u64,
+    },
+}
+
+/// What the planning layer observed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanEvent {
+    /// The manager selected an adaptation path to execute.
+    PathSelected {
+        /// 1-based rank among the k-shortest candidates tried so far.
+        rank: u32,
+        /// Number of steps on the selected path.
+        steps: u32,
+        /// The path's total cost.
+        cost: u64,
+    },
+    /// No path to the goal remains untried.
+    PathsExhausted {
+        /// True when the manager falls back to returning to the source.
+        returning_to_source: bool,
+    },
+}

@@ -1,0 +1,98 @@
+//! Typed obligation keys for segment-bracket response specifications.
+//!
+//! The temporal layer historically identified obligations by ad-hoc strings
+//! (`format!("seg_start_c{}")`). [`ObligationKey`] is the typed form: a
+//! component plus which edge of its critical-communication bracket the event
+//! marks. The stringly form survives only at the parser boundary, via
+//! [`Display`](std::fmt::Display) and [`FromStr`](std::str::FromStr).
+
+use std::fmt;
+use std::str::FromStr;
+
+use sada_expr::CompId;
+
+/// Which edge of a critical-communication segment an obligation event marks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SegmentEdge {
+    /// The segment opened (the obligation's trigger).
+    Start,
+    /// The segment closed (the obligation's response).
+    End,
+}
+
+/// A typed obligation event identity: component + bracket edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ObligationKey {
+    /// The component whose segment bracket this is.
+    pub comp: CompId,
+    /// Opening or closing edge.
+    pub edge: SegmentEdge,
+}
+
+impl ObligationKey {
+    /// The opening-edge key for `comp`.
+    pub fn start(comp: CompId) -> Self {
+        ObligationKey { comp, edge: SegmentEdge::Start }
+    }
+
+    /// The closing-edge key for `comp`.
+    pub fn end(comp: CompId) -> Self {
+        ObligationKey { comp, edge: SegmentEdge::End }
+    }
+}
+
+impl fmt::Display for ObligationKey {
+    /// The parser-facing string form, e.g. `seg_start_c2` / `seg_end_c2`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let edge = match self.edge {
+            SegmentEdge::Start => "start",
+            SegmentEdge::End => "end",
+        };
+        write!(f, "seg_{edge}_c{}", self.comp.index())
+    }
+}
+
+impl FromStr for ObligationKey {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let rest = s.strip_prefix("seg_").ok_or_else(|| format!("bad obligation key {s:?}"))?;
+        let (edge, rest) = if let Some(r) = rest.strip_prefix("start_c") {
+            (SegmentEdge::Start, r)
+        } else if let Some(r) = rest.strip_prefix("end_c") {
+            (SegmentEdge::End, r)
+        } else {
+            return Err(format!("bad obligation key {s:?}"));
+        };
+        let ix: usize = rest.parse().map_err(|_| format!("bad component index in {s:?}"))?;
+        Ok(ObligationKey { comp: CompId::from_index(ix), edge })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_matches_legacy_strings() {
+        assert_eq!(ObligationKey::start(CompId::from_index(0)).to_string(), "seg_start_c0");
+        assert_eq!(ObligationKey::end(CompId::from_index(12)).to_string(), "seg_end_c12");
+    }
+
+    #[test]
+    fn round_trips_through_the_string_boundary() {
+        for key in
+            [ObligationKey::start(CompId::from_index(3)), ObligationKey::end(CompId::from_index(7))]
+        {
+            let parsed: ObligationKey = key.to_string().parse().unwrap();
+            assert_eq!(parsed, key);
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_strings() {
+        for bad in ["", "seg_", "seg_mid_c1", "seg_start_", "seg_start_cx", "start_c1"] {
+            assert!(bad.parse::<ObligationKey>().is_err(), "{bad:?} must not parse");
+        }
+    }
+}

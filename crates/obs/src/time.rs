@@ -1,4 +1,9 @@
 //! Virtual time for the discrete-event simulation.
+//!
+//! These types live in `sada-obs` (the bottom of the dependency stack) so
+//! that every layer — the simulator, the protocol cores, the audit log, the
+//! temporal monitor — can stamp events with the same clock. `sada-simnet`
+//! re-exports them, so downstream code keeps using `sada_simnet::SimTime`.
 
 use std::fmt;
 use std::ops::{Add, AddAssign, Sub};
@@ -14,10 +19,8 @@ pub struct SimTime(u64);
 
 /// A span of simulated time, in microseconds.
 ///
-/// Durations are what actors pass to [`Context::set_timer`] and what link
-/// configurations use for latency.
-///
-/// [`Context::set_timer`]: crate::Context::set_timer
+/// Durations are what actors pass to timer APIs and what link configurations
+/// use for latency.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimDuration(u64);
 

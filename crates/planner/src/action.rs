@@ -49,10 +49,7 @@ impl Action {
     /// Panics if the two sets overlap (a component cannot be both removed
     /// and added by one atomic action) or their widths differ.
     pub fn new(id: u32, name: &str, removes: &Config, adds: &Config, cost: u64) -> Self {
-        assert!(
-            removes.is_disjoint(adds),
-            "action {name}: removes and adds overlap"
-        );
+        assert!(removes.is_disjoint(adds), "action {name}: removes and adds overlap");
         Action {
             id: ActionId(id),
             name: name.to_string(),

@@ -103,11 +103,8 @@ pub fn scope_for(
     target: &Config,
 ) -> Vec<CompId> {
     let sets = collaborative_sets(u, inv, actions);
-    let changed: BTreeSet<CompId> = source
-        .difference(target)
-        .iter()
-        .chain(target.difference(source).iter())
-        .collect();
+    let changed: BTreeSet<CompId> =
+        source.difference(target).iter().chain(target.difference(source).iter()).collect();
     let mut scope = BTreeSet::new();
     for set in &sets {
         if set.iter().any(|id| changed.contains(id)) {
@@ -144,13 +141,7 @@ mod tests {
         let mut u = universe(&[]);
         let inv = InvariantSet::parse(&["one_of(A, B)", "one_of(C, D)"], &mut u).unwrap();
         // A compound action touching B and C fuses the two sets.
-        let action = Action::replace(
-            0,
-            "(B)->(C)",
-            &u.config_of(&["B"]),
-            &u.config_of(&["C"]),
-            1,
-        );
+        let action = Action::replace(0, "(B)->(C)", &u.config_of(&["B"]), &u.config_of(&["C"]), 1);
         let sets = collaborative_sets(&u, &inv, &[action]);
         assert_eq!(sets.len(), 1);
         assert_eq!(sets[0].len(), 4);
@@ -169,7 +160,8 @@ mod tests {
     #[test]
     fn scope_covers_changed_sets_only() {
         let mut u = universe(&[]);
-        let inv = InvariantSet::parse(&["one_of(A, B)", "one_of(C, D)", "one_of(E, F)"], &mut u).unwrap();
+        let inv =
+            InvariantSet::parse(&["one_of(A, B)", "one_of(C, D)", "one_of(E, F)"], &mut u).unwrap();
         // Adaptation changes A->B only.
         let src = u.config_of(&["A", "C", "E"]);
         let dst = u.config_of(&["B", "C", "E"]);

@@ -60,7 +60,8 @@ impl Sag {
                 }
                 let next = action.apply(cfg);
                 if let Some(&to_ix) = index.get(&next) {
-                    let e = Edge { from: from_ix, to: to_ix, action: action.id(), cost: action.cost() };
+                    let e =
+                        Edge { from: from_ix, to: to_ix, action: action.id(), cost: action.cost() };
                     adj[from_ix].push(edges.len());
                     edges.push(e);
                 }
@@ -263,14 +264,15 @@ mod tests {
         // Find the A->B edge index and ban it: only A->C (cost 5) remains.
         let a_ix = sag.index_of(&u.config_of(&["A"])).unwrap();
         let b_ix = sag.index_of(&u.config_of(&["B"])).unwrap();
-        let eix = sag
-            .edges()
-            .iter()
-            .position(|e| e.from == a_ix && e.to == b_ix)
-            .unwrap();
+        let eix = sag.edges().iter().position(|e| e.from == a_ix && e.to == b_ix).unwrap();
         let banned: HashSet<usize> = [eix].into();
         let p = sag
-            .shortest_path_avoiding(&u.config_of(&["A"]), &u.config_of(&["C"]), &HashSet::new(), &banned)
+            .shortest_path_avoiding(
+                &u.config_of(&["A"]),
+                &u.config_of(&["C"]),
+                &HashSet::new(),
+                &banned,
+            )
             .unwrap();
         assert_eq!(p.cost, 5);
         assert_eq!(p.len(), 1);
@@ -282,7 +284,12 @@ mod tests {
         let b_ix = sag.index_of(&u.config_of(&["B"])).unwrap();
         let banned: HashSet<usize> = [b_ix].into();
         let p = sag
-            .shortest_path_avoiding(&u.config_of(&["A"]), &u.config_of(&["C"]), &banned, &HashSet::new())
+            .shortest_path_avoiding(
+                &u.config_of(&["A"]),
+                &u.config_of(&["C"]),
+                &banned,
+                &HashSet::new(),
+            )
             .unwrap();
         assert_eq!(p.cost, 5);
     }

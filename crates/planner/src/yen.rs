@@ -64,7 +64,12 @@ impl Sag {
                     }
                 }
 
-                let spur = match self.shortest_path_avoiding(&spur_node_cfg, target, &banned_nodes, &banned_edges) {
+                let spur = match self.shortest_path_avoiding(
+                    &spur_node_cfg,
+                    target,
+                    &banned_nodes,
+                    &banned_edges,
+                ) {
                     Some(p) => p,
                     None => continue,
                 };
@@ -80,12 +85,8 @@ impl Sag {
                 break;
             }
             // Pop the cheapest candidate.
-            let best_ix = candidates
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, p)| p.cost)
-                .map(|(i, _)| i)
-                .unwrap();
+            let best_ix =
+                candidates.iter().enumerate().min_by_key(|(_, p)| p.cost).map(|(i, _)| i).unwrap();
             found.push(candidates.swap_remove(best_ix));
         }
         found

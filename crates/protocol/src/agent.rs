@@ -8,7 +8,24 @@
 //! test suite cover every arc of the diagram, including the dashed failure
 //! arcs, without a network.
 
+use sada_obs::{AgentStateTag, Payload, ProtoEvent};
+
 use crate::messages::{LocalAction, ProtoMsg, StepId};
+
+/// The observability tag for an agent state (exported so embedding actors
+/// outside this crate — e.g. the video clients — can emit synthetic
+/// transitions for crash recovery).
+pub fn state_tag(s: AgentState) -> AgentStateTag {
+    match s {
+        AgentState::Running => AgentStateTag::Running,
+        AgentState::Resetting => AgentStateTag::Resetting,
+        AgentState::Safe => AgentStateTag::Safe,
+        AgentState::Adapted => AgentStateTag::Adapted,
+        AgentState::Resuming => AgentStateTag::Resuming,
+        AgentState::RollingBack => AgentStateTag::RollingBack,
+        AgentState::FailedReset => AgentStateTag::FailedReset,
+    }
+}
 
 /// The agent states of Figure 1 (plus the two failure-handling states the
 /// figure draws as dashed transitions).
@@ -86,6 +103,9 @@ pub struct AgentCore {
     /// A new attempt received mid-rollback (the manager moved on while our
     /// acks were lost): started as soon as the rollback finishes.
     pending_restart: Option<(StepId, LocalAction, bool)>,
+    /// Untimed observability payloads accumulated since the last drain; the
+    /// embedding stamps them (virtual time, actor) and emits them on its bus.
+    obs: Vec<Payload>,
 }
 
 impl Default for AgentCore {
@@ -103,6 +123,7 @@ impl AgentCore {
             in_action_done: false,
             last_completed: None,
             pending_restart: None,
+            obs: Vec::new(),
         }
     }
 
@@ -145,8 +166,30 @@ impl AgentCore {
         }
     }
 
+    /// Takes the observability payloads produced since the last drain, in
+    /// emission order. The core is pure and has no clock; whoever embeds it
+    /// stamps these and forwards them to the bus.
+    pub fn drain_obs(&mut self) -> Vec<Payload> {
+        std::mem::take(&mut self.obs)
+    }
+
     /// Feeds one event, returning the effects to perform **in order**.
     pub fn on_event(&mut self, ev: AgentEvent) -> Vec<AgentEffect> {
+        let before = self.state;
+        let eff = self.dispatch(ev);
+        // Every arc of Figure 1 moves the state at most once per event, so a
+        // before/after diff captures the full transition history.
+        if self.state != before {
+            self.obs.push(Payload::Proto(ProtoEvent::AgentState {
+                from: state_tag(before),
+                to: state_tag(self.state),
+                step: self.current_step().map(|s| s.0),
+            }));
+        }
+        eff
+    }
+
+    fn dispatch(&mut self, ev: AgentEvent) -> Vec<AgentEffect> {
         use AgentEffect as E;
         use AgentEvent::*;
         use AgentState::*;
@@ -234,9 +277,10 @@ impl AgentCore {
             // the manager has moved on. Treat it as an implicit abort —
             // undo any structural change, then start the new attempt
             // (liveness: without this the agent would stay blocked forever).
-            (Resetting | Safe | Adapted | FailedReset, Msg(ProtoMsg::Reset { step, action, solo }))
-                if !self.matches(step) =>
-            {
+            (
+                Resetting | Safe | Adapted | FailedReset,
+                Msg(ProtoMsg::Reset { step, action, solo }),
+            ) if !self.matches(step) => {
                 let (_, old_action, _) = self.current.clone().expect("step in progress");
                 self.state = RollingBack;
                 self.pending_restart = Some((step, action, solo));
@@ -283,7 +327,12 @@ mod tests {
     use sada_plan::ActionId;
 
     fn la() -> LocalAction {
-        LocalAction { action: ActionId(1), removes: vec![], adds: vec![], needs_global_drain: false }
+        LocalAction {
+            action: ActionId(1),
+            removes: vec![],
+            adds: vec![],
+            needs_global_drain: false,
+        }
     }
 
     fn reset(step: u64, solo: bool) -> AgentEvent {
@@ -355,7 +404,11 @@ mod tests {
             adds: vec![sada_expr::CompId::from_index(1)],
             needs_global_drain: false,
         };
-        let _ = a.on_event(AgentEvent::Msg(ProtoMsg::Reset { step: StepId(4), action: action.clone(), solo: false }));
+        let _ = a.on_event(AgentEvent::Msg(ProtoMsg::Reset {
+            step: StepId(4),
+            action: action.clone(),
+            solo: false,
+        }));
         let _ = a.on_event(AgentEvent::SafeReached);
         let _ = a.on_event(AgentEvent::InActionDone);
         let eff = a.on_event(AgentEvent::Msg(ProtoMsg::Rollback { step: StepId(4) }));
@@ -426,14 +479,26 @@ mod tests {
             needs_global_drain: false,
         };
         // Old attempt progresses through its in-action; every ack is "lost".
-        let _ = a.on_event(AgentEvent::Msg(ProtoMsg::Reset { step: StepId(20), action: action.clone(), solo: false }));
+        let _ = a.on_event(AgentEvent::Msg(ProtoMsg::Reset {
+            step: StepId(20),
+            action: action.clone(),
+            solo: false,
+        }));
         let _ = a.on_event(AgentEvent::SafeReached);
         let _ = a.on_event(AgentEvent::InActionDone);
         assert_eq!(a.state(), AgentState::Adapted);
         // The manager gave up on attempt 20 and starts attempt 21.
-        let eff = a.on_event(AgentEvent::Msg(ProtoMsg::Reset { step: StepId(21), action: action.clone(), solo: false }));
+        let eff = a.on_event(AgentEvent::Msg(ProtoMsg::Reset {
+            step: StepId(21),
+            action: action.clone(),
+            solo: false,
+        }));
         assert_eq!(a.state(), AgentState::RollingBack);
-        assert_eq!(eff, vec![AgentEffect::DoRollback(Some(action.inverse()))], "undo the applied change");
+        assert_eq!(
+            eff,
+            vec![AgentEffect::DoRollback(Some(action.inverse()))],
+            "undo the applied change"
+        );
         // Rollback finishes: the new attempt begins automatically.
         let eff = a.on_event(AgentEvent::RollbackFinished);
         assert_eq!(a.state(), AgentState::Resetting);

@@ -46,18 +46,18 @@
 //! [`SafetyAuditor`]: sada_model::SafetyAuditor
 
 mod agent;
+mod manager;
 #[cfg(test)]
 mod manager_tests;
-mod manager;
 mod messages;
 mod plan_adapter;
 mod relay;
 mod sim;
 
-pub use agent::{AgentCore, AgentEffect, AgentEvent, AgentState};
+pub use agent::{state_tag as agent_state_tag, AgentCore, AgentEffect, AgentEvent, AgentState};
 pub use manager::{
-    AdaptationPlanner, ManagerCore, ManagerEffect, ManagerEvent, ManagerPhase, Outcome, PlannedStep,
-    ProtoTiming,
+    AdaptationPlanner, ManagerCore, ManagerEffect, ManagerEvent, ManagerPhase, Outcome,
+    PlannedStep, ProtoTiming,
 };
 pub use messages::{LocalAction, ProtoMsg, StepId, Wire};
 pub use plan_adapter::SagPlanner;

@@ -9,10 +9,22 @@
 use std::collections::{BTreeSet, HashSet};
 
 use sada_expr::Config;
+use sada_obs::{ManagerPhaseTag, Payload, PlanEvent, ProtoEvent};
 use sada_plan::{ActionId, Path};
 use sada_simnet::SimDuration;
 
 use crate::messages::{LocalAction, ProtoMsg, StepId};
+
+/// The observability tag for a manager phase.
+fn phase_tag(p: ManagerPhase) -> ManagerPhaseTag {
+    match p {
+        ManagerPhase::Running => ManagerPhaseTag::Running,
+        ManagerPhase::Adapting => ManagerPhaseTag::Adapting,
+        ManagerPhase::Resuming => ManagerPhaseTag::Resuming,
+        ManagerPhase::RollingBack => ManagerPhaseTag::RollingBack,
+        ManagerPhase::GaveUp => ManagerPhaseTag::GaveUp,
+    }
+}
 
 /// One step of a compiled adaptation plan: the action, the configuration
 /// transition it realizes, and each participating agent's local action.
@@ -181,6 +193,9 @@ pub struct ManagerCore {
     timer_token: u64,
     warnings: Vec<String>,
     queued_requests: std::collections::VecDeque<(Config, Config)>,
+    /// Untimed observability payloads accumulated since the last drain; the
+    /// embedding stamps them (virtual time, actor) and emits them on its bus.
+    obs: Vec<Payload>,
 }
 
 impl std::fmt::Debug for ManagerCore {
@@ -221,7 +236,29 @@ impl ManagerCore {
             timer_token: 0,
             warnings: Vec::new(),
             queued_requests: std::collections::VecDeque::new(),
+            obs: Vec::new(),
         }
+    }
+
+    /// Takes the observability payloads produced since the last drain, in
+    /// emission order. The core is pure and has no clock; whoever embeds it
+    /// stamps these and forwards them to the bus.
+    pub fn drain_obs(&mut self) -> Vec<Payload> {
+        std::mem::take(&mut self.obs)
+    }
+
+    /// Records a phase change (and the transition event for it).
+    fn set_phase(&mut self, to: ManagerPhase) {
+        if to == self.phase {
+            return;
+        }
+        let step = (self.step_id.0 != 0).then_some(self.step_id.0);
+        self.obs.push(Payload::Proto(ProtoEvent::ManagerPhase {
+            from: phase_tag(self.phase),
+            to: phase_tag(to),
+            step,
+        }));
+        self.phase = to;
     }
 
     /// Current protocol phase.
@@ -282,11 +319,17 @@ impl ManagerCore {
         const K_MAX: usize = 16;
         let (from, goal) = (self.current.clone(), self.goal().clone());
         let candidates = self.planner.paths(&from, &goal, K_MAX);
-        let chosen = candidates.into_iter().find(|p| {
-            !self.tried_paths.contains(&(self.current.clone(), p.action_ids()))
-        });
+        let chosen = candidates
+            .into_iter()
+            .enumerate()
+            .find(|(_, p)| !self.tried_paths.contains(&(self.current.clone(), p.action_ids())));
         match chosen {
-            Some(path) => {
+            Some((rank, path)) => {
+                self.obs.push(Payload::Plan(PlanEvent::PathSelected {
+                    rank: rank as u32 + 1,
+                    steps: path.len() as u32,
+                    cost: path.cost,
+                }));
                 self.tried_paths.insert((self.current.clone(), path.action_ids()));
                 let steps = self.planner.compile(&path);
                 debug_assert!(!steps.is_empty());
@@ -302,18 +345,30 @@ impl ManagerCore {
             None if !self.goal_is_source => {
                 // All paths to the target exhausted: try to return to the
                 // source configuration.
+                self.obs
+                    .push(Payload::Plan(PlanEvent::PathsExhausted { returning_to_source: true }));
                 self.goal_is_source = true;
                 let mut eff = vec![ManagerEffect::Info(
-                    "all paths to target failed; attempting to return to source configuration".into(),
+                    "all paths to target failed; attempting to return to source configuration"
+                        .into(),
                 )];
                 eff.extend(self.select_and_start());
                 eff
             }
             None => {
                 // Even the way back failed: wait for user intervention.
-                self.phase = ManagerPhase::GaveUp;
+                self.obs
+                    .push(Payload::Plan(PlanEvent::PathsExhausted { returning_to_source: false }));
+                self.set_phase(ManagerPhase::GaveUp);
+                self.obs.push(Payload::Proto(ProtoEvent::OutcomeReached {
+                    success: false,
+                    gave_up: true,
+                    steps_committed: u64::from(self.steps_committed),
+                }));
                 vec![
-                    ManagerEffect::Info("all recovery options exhausted; awaiting user intervention".into()),
+                    ManagerEffect::Info(
+                        "all recovery options exhausted; awaiting user intervention".into(),
+                    ),
                     ManagerEffect::Complete(Outcome {
                         success: false,
                         gave_up: true,
@@ -327,8 +382,13 @@ impl ManagerCore {
     }
 
     fn complete(&mut self) -> Vec<ManagerEffect> {
-        self.phase = ManagerPhase::Running;
+        self.set_phase(ManagerPhase::Running);
         let success = !self.goal_is_source && self.current == self.target;
+        self.obs.push(Payload::Proto(ProtoEvent::OutcomeReached {
+            success,
+            gave_up: false,
+            steps_committed: u64::from(self.steps_committed),
+        }));
         let mut eff = vec![ManagerEffect::Complete(Outcome {
             success,
             gave_up: false,
@@ -357,7 +417,10 @@ impl ManagerCore {
         // Stale-timeout rejection relies on this: a disarmed token must never
         // be reissued, or a late timeout could abort the wrong phase.
         debug_assert!(self.timer_token > prev, "timer tokens must be strictly monotonic");
-        eff.push(ManagerEffect::SetTimer { token: self.timer_token, after: self.timing.phase_timeout });
+        eff.push(ManagerEffect::SetTimer {
+            token: self.timer_token,
+            after: self.timing.phase_timeout,
+        });
     }
 
     fn start_step(&mut self) -> Vec<ManagerEffect> {
@@ -371,7 +434,12 @@ impl ManagerCore {
         self.pending_adapt = step.locals.iter().map(|(a, _)| *a).collect();
         self.pending_resume = self.pending_adapt.clone();
         self.pending_rollback.clear();
-        self.phase = ManagerPhase::Adapting;
+        self.obs.push(Payload::Proto(ProtoEvent::StepStarted {
+            step: self.step_id.0,
+            solo: self.solo,
+            participants: step.locals.len() as u32,
+        }));
+        self.set_phase(ManagerPhase::Adapting);
         let mut eff = Vec::new();
         for (agent, local) in &step.locals {
             eff.push(ManagerEffect::Send {
@@ -398,14 +466,17 @@ impl ManagerCore {
                 // All in-actions done: the adapted state. Solo agents resume
                 // autonomously; otherwise broadcast resume. Either way the
                 // point of no return is passed.
-                self.phase = ManagerPhase::Resuming;
+                self.set_phase(ManagerPhase::Resuming);
                 self.resume_sent = true;
                 self.retries = 0;
                 let mut eff = Vec::new();
                 if !self.solo {
                     let step = &self.steps[self.step_ix];
                     for (a, _) in &step.locals {
-                        eff.push(ManagerEffect::Send { agent: *a, msg: ProtoMsg::Resume { step: self.step_id } });
+                        eff.push(ManagerEffect::Send {
+                            agent: *a,
+                            msg: ProtoMsg::Resume { step: self.step_id },
+                        });
                     }
                 }
                 self.fresh_timer(&mut eff);
@@ -419,7 +490,10 @@ impl ManagerCore {
                 // `ResumeDone` is still outstanding. Solo agents resume on
                 // their own.
                 if !self.solo && self.pending_resume.contains(&agent) {
-                    vec![ManagerEffect::Send { agent, msg: ProtoMsg::Resume { step: self.step_id } }]
+                    vec![ManagerEffect::Send {
+                        agent,
+                        msg: ProtoMsg::Resume { step: self.step_id },
+                    }]
                 } else {
                     Vec::new()
                 }
@@ -480,6 +554,10 @@ impl ManagerCore {
     /// Section 4.4 failure classes — the safety argument is unchanged, only
     /// liveness improves when the process comes back in time.
     fn on_rejoin(&mut self, agent: usize, last_completed: Option<StepId>) -> Vec<ManagerEffect> {
+        self.obs.push(Payload::Proto(ProtoEvent::RejoinReceived {
+            agent: agent as u32,
+            last_completed: last_completed.map(|s| s.0),
+        }));
         if matches!(self.phase, ManagerPhase::Running | ManagerPhase::GaveUp) {
             return vec![ManagerEffect::Info(format!("agent {agent} rejoined while idle"))];
         }
@@ -559,7 +637,10 @@ impl ManagerCore {
                     "agent {agent} rejoined; re-sending rollback for {}",
                     self.step_id
                 ))];
-                eff.push(ManagerEffect::Send { agent, msg: ProtoMsg::Rollback { step: self.step_id } });
+                eff.push(ManagerEffect::Send {
+                    agent,
+                    msg: ProtoMsg::Rollback { step: self.step_id },
+                });
                 self.fresh_timer(&mut eff);
                 eff
             }
@@ -568,6 +649,7 @@ impl ManagerCore {
     }
 
     fn commit_step(&mut self) -> Vec<ManagerEffect> {
+        self.obs.push(Payload::Proto(ProtoEvent::StepCommitted { step: self.step_id.0 }));
         let step = &self.steps[self.step_ix];
         self.current = step.to.clone();
         self.steps_committed += 1;
@@ -586,13 +668,17 @@ impl ManagerCore {
     }
 
     fn begin_rollback(&mut self) -> Vec<ManagerEffect> {
+        self.obs.push(Payload::Proto(ProtoEvent::RollbackIssued { step: self.step_id.0 }));
+        self.set_phase(ManagerPhase::RollingBack);
         let step = &self.steps[self.step_ix];
-        self.phase = ManagerPhase::RollingBack;
         self.retries = 0;
         self.pending_rollback = step.locals.iter().map(|(a, _)| *a).collect();
         let mut eff = Vec::new();
         for (agent, _) in &step.locals {
-            eff.push(ManagerEffect::Send { agent: *agent, msg: ProtoMsg::Rollback { step: self.step_id } });
+            eff.push(ManagerEffect::Send {
+                agent: *agent,
+                msg: ProtoMsg::Rollback { step: self.step_id },
+            });
         }
         self.fresh_timer(&mut eff);
         eff
@@ -617,10 +703,19 @@ impl ManagerCore {
         if token != self.timer_token {
             return Vec::new(); // stale timer
         }
+        self.obs.push(Payload::Proto(ProtoEvent::TimeoutFired {
+            phase: phase_tag(self.phase),
+            step: (self.step_id.0 != 0).then_some(self.step_id.0),
+            retries: self.retries,
+        }));
         match self.phase {
             ManagerPhase::Adapting => {
                 if self.retries < self.timing.send_retries {
                     self.retries += 1;
+                    self.obs.push(Payload::Proto(ProtoEvent::RetrySent {
+                        step: self.step_id.0,
+                        resends: self.retries,
+                    }));
                     let step = self.steps[self.step_ix].clone();
                     let mut eff = vec![ManagerEffect::Info(format!(
                         "timeout in adapting; retransmitting reset (attempt {})",
@@ -652,6 +747,10 @@ impl ManagerCore {
             ManagerPhase::Resuming => {
                 if self.retries < self.timing.resume_force_limit {
                     self.retries += 1;
+                    self.obs.push(Payload::Proto(ProtoEvent::RetrySent {
+                        step: self.step_id.0,
+                        resends: self.retries,
+                    }));
                     let step = self.steps[self.step_ix].clone();
                     let mut eff = Vec::new();
                     for (agent, local) in &step.locals {
@@ -659,7 +758,11 @@ impl ManagerCore {
                             // Solo steps never send Resume; retransmit Reset
                             // instead, which elicits idempotent re-acks.
                             let msg = if self.solo {
-                                ProtoMsg::Reset { step: self.step_id, action: local.clone(), solo: true }
+                                ProtoMsg::Reset {
+                                    step: self.step_id,
+                                    action: local.clone(),
+                                    solo: true,
+                                }
                             } else {
                                 ProtoMsg::Resume { step: self.step_id }
                             };
@@ -686,6 +789,10 @@ impl ManagerCore {
             ManagerPhase::RollingBack => {
                 if self.retries < self.timing.rollback_force_limit {
                     self.retries += 1;
+                    self.obs.push(Payload::Proto(ProtoEvent::RetrySent {
+                        step: self.step_id.0,
+                        resends: self.retries,
+                    }));
                     let step = self.steps[self.step_ix].clone();
                     let mut eff = Vec::new();
                     for (agent, _) in &step.locals {

@@ -7,7 +7,9 @@ use sada_expr::{enumerate, InvariantSet, Universe};
 use sada_model::SystemModel;
 use sada_plan::{Action, Sag};
 
-use crate::manager::{ManagerCore, ManagerEffect, ManagerEvent, ManagerPhase, Outcome, ProtoTiming};
+use crate::manager::{
+    ManagerCore, ManagerEffect, ManagerEvent, ManagerPhase, Outcome, ProtoTiming,
+};
 use crate::messages::ProtoMsg;
 use crate::plan_adapter::SagPlanner;
 
@@ -122,17 +124,21 @@ fn happy_path_two_solo_steps() {
     assert_eq!(mgr.phase(), ManagerPhase::Adapting);
 
     // Solo step: AdaptDone moves straight to Resuming without Resume sends.
-    let eff = mgr.on_event(ManagerEvent::AgentMsg { agent: 0, msg: ProtoMsg::AdaptDone { step: s1 } });
+    let eff =
+        mgr.on_event(ManagerEvent::AgentMsg { agent: 0, msg: ProtoMsg::AdaptDone { step: s1 } });
     assert!(sends(&eff).is_empty(), "no resume for solo steps");
     assert_eq!(mgr.phase(), ManagerPhase::Resuming);
 
-    let eff = mgr.on_event(ManagerEvent::AgentMsg { agent: 0, msg: ProtoMsg::ResumeDone { step: s1 } });
+    let eff =
+        mgr.on_event(ManagerEvent::AgentMsg { agent: 0, msg: ProtoMsg::ResumeDone { step: s1 } });
     assert_eq!(mgr.phase(), ManagerPhase::Adapting, "second step started");
     let s2 = reset_step(&eff);
     assert_ne!(s1, s2, "fresh attempt id per step");
 
-    let _ = mgr.on_event(ManagerEvent::AgentMsg { agent: 0, msg: ProtoMsg::AdaptDone { step: s2 } });
-    let eff = mgr.on_event(ManagerEvent::AgentMsg { agent: 0, msg: ProtoMsg::ResumeDone { step: s2 } });
+    let _ =
+        mgr.on_event(ManagerEvent::AgentMsg { agent: 0, msg: ProtoMsg::AdaptDone { step: s2 } });
+    let eff =
+        mgr.on_event(ManagerEvent::AgentMsg { agent: 0, msg: ProtoMsg::ResumeDone { step: s2 } });
     let o = outcome(&eff).expect("completion after last step");
     assert!(o.success);
     assert_eq!(o.steps_committed, 2);
@@ -200,7 +206,8 @@ fn fail_to_reset_triggers_immediate_rollback() {
         target: u.config_of(&["C"]),
     });
     let step = reset_step(&eff);
-    let eff = mgr.on_event(ManagerEvent::AgentMsg { agent: 0, msg: ProtoMsg::FailToReset { step } });
+    let eff =
+        mgr.on_event(ManagerEvent::AgentMsg { agent: 0, msg: ProtoMsg::FailToReset { step } });
     let s = sends(&eff);
     assert_eq!(s.len(), 1);
     assert!(matches!(s[0].1, ProtoMsg::Rollback { .. }));
@@ -216,7 +223,8 @@ fn recovery_ladder_retry_then_alternate_path_then_source_then_give_up() {
     let mut step = reset_step(&eff);
 
     let fail_step = |mgr: &mut ManagerCore, step| -> Vec<ManagerEffect> {
-        let eff = mgr.on_event(ManagerEvent::AgentMsg { agent: 0, msg: ProtoMsg::FailToReset { step } });
+        let eff =
+            mgr.on_event(ManagerEvent::AgentMsg { agent: 0, msg: ProtoMsg::FailToReset { step } });
         assert_eq!(mgr.phase(), ManagerPhase::RollingBack);
         mgr.on_event(ManagerEvent::AgentMsg { agent: 0, msg: ProtoMsg::RollbackDone { step } })
             .into_iter()
@@ -274,17 +282,21 @@ fn give_up_when_stranded_mid_path() {
     });
     let s1 = reset_step(&eff);
     // Step 1 (A->B) commits.
-    let _ = mgr.on_event(ManagerEvent::AgentMsg { agent: 0, msg: ProtoMsg::AdaptDone { step: s1 } });
-    let eff = mgr.on_event(ManagerEvent::AgentMsg { agent: 0, msg: ProtoMsg::ResumeDone { step: s1 } });
+    let _ =
+        mgr.on_event(ManagerEvent::AgentMsg { agent: 0, msg: ProtoMsg::AdaptDone { step: s1 } });
+    let eff =
+        mgr.on_event(ManagerEvent::AgentMsg { agent: 0, msg: ProtoMsg::ResumeDone { step: s1 } });
     let mut step = reset_step(&eff);
 
     // Step 2 (B->C) keeps failing: retry rung, re-selection of the B->C
     // path from the new current config, its retry, then — with no other
     // path to C and no way back to A from B — the manager gives up at B.
     for _ in 0..6 {
-        let eff1 = mgr.on_event(ManagerEvent::AgentMsg { agent: 0, msg: ProtoMsg::FailToReset { step } });
+        let eff1 =
+            mgr.on_event(ManagerEvent::AgentMsg { agent: 0, msg: ProtoMsg::FailToReset { step } });
         let _ = eff1;
-        let eff2 = mgr.on_event(ManagerEvent::AgentMsg { agent: 0, msg: ProtoMsg::RollbackDone { step } });
+        let eff2 =
+            mgr.on_event(ManagerEvent::AgentMsg { agent: 0, msg: ProtoMsg::RollbackDone { step } });
         if let Some(o) = outcome(&eff2) {
             assert!(o.gave_up);
             assert!(!o.success);
@@ -360,15 +372,19 @@ fn second_request_while_busy_is_queued_and_served() {
     assert!(sends(&eff).is_empty());
     assert!(matches!(eff[0], ManagerEffect::Info(_)));
     // Finish the first adaptation; the queued one starts automatically.
-    let _ = mgr.on_event(ManagerEvent::AgentMsg { agent: 0, msg: ProtoMsg::AdaptDone { step: s1 } });
-    let eff = mgr.on_event(ManagerEvent::AgentMsg { agent: 0, msg: ProtoMsg::ResumeDone { step: s1 } });
+    let _ =
+        mgr.on_event(ManagerEvent::AgentMsg { agent: 0, msg: ProtoMsg::AdaptDone { step: s1 } });
+    let eff =
+        mgr.on_event(ManagerEvent::AgentMsg { agent: 0, msg: ProtoMsg::ResumeDone { step: s1 } });
     let o = outcome(&eff).expect("first adaptation completes");
     assert!(o.success);
     assert_eq!(o.final_config, u.config_of(&["B"]));
     let s2 = reset_step(&eff);
     assert_eq!(mgr.phase(), ManagerPhase::Adapting, "queued request underway");
-    let _ = mgr.on_event(ManagerEvent::AgentMsg { agent: 0, msg: ProtoMsg::AdaptDone { step: s2 } });
-    let eff = mgr.on_event(ManagerEvent::AgentMsg { agent: 0, msg: ProtoMsg::ResumeDone { step: s2 } });
+    let _ =
+        mgr.on_event(ManagerEvent::AgentMsg { agent: 0, msg: ProtoMsg::AdaptDone { step: s2 } });
+    let eff =
+        mgr.on_event(ManagerEvent::AgentMsg { agent: 0, msg: ProtoMsg::ResumeDone { step: s2 } });
     let o = outcome(&eff).expect("second adaptation completes");
     assert!(o.success);
     assert_eq!(o.final_config, u.config_of(&["C"]));
@@ -388,11 +404,15 @@ fn queued_request_with_stale_source_is_reanchored() {
         source: u.config_of(&["A"]),
         target: u.config_of(&["C"]),
     });
-    let _ = mgr.on_event(ManagerEvent::AgentMsg { agent: 0, msg: ProtoMsg::AdaptDone { step: s1 } });
-    let eff = mgr.on_event(ManagerEvent::AgentMsg { agent: 0, msg: ProtoMsg::ResumeDone { step: s1 } });
+    let _ =
+        mgr.on_event(ManagerEvent::AgentMsg { agent: 0, msg: ProtoMsg::AdaptDone { step: s1 } });
+    let eff =
+        mgr.on_event(ManagerEvent::AgentMsg { agent: 0, msg: ProtoMsg::ResumeDone { step: s1 } });
     let s2 = reset_step(&eff);
-    let _ = mgr.on_event(ManagerEvent::AgentMsg { agent: 0, msg: ProtoMsg::AdaptDone { step: s2 } });
-    let eff = mgr.on_event(ManagerEvent::AgentMsg { agent: 0, msg: ProtoMsg::ResumeDone { step: s2 } });
+    let _ =
+        mgr.on_event(ManagerEvent::AgentMsg { agent: 0, msg: ProtoMsg::AdaptDone { step: s2 } });
+    let eff =
+        mgr.on_event(ManagerEvent::AgentMsg { agent: 0, msg: ProtoMsg::ResumeDone { step: s2 } });
     let o = outcome(&eff).expect("completes");
     assert!(o.success);
     assert_eq!(o.final_config, u.config_of(&["C"]), "planned B -> C, not A -> C");
@@ -516,7 +536,8 @@ fn rejoin_while_rolling_back_resends_rollback() {
     let s = sends(&eff);
     assert!(matches!(s[..], [(0, ProtoMsg::Rollback { .. })]), "{s:?}");
     let _ = mgr.on_event(ManagerEvent::AgentMsg { agent: 0, msg: ProtoMsg::RollbackDone { step } });
-    let eff = mgr.on_event(ManagerEvent::AgentMsg { agent: 1, msg: ProtoMsg::RollbackDone { step } });
+    let eff =
+        mgr.on_event(ManagerEvent::AgentMsg { agent: 1, msg: ProtoMsg::RollbackDone { step } });
     // Ladder rung 1: the step is retried with a fresh attempt id.
     let retry = reset_step(&eff);
     assert_ne!(retry, step);

@@ -41,11 +41,7 @@ impl SagPlanner {
         agent_of_process: Vec<usize>,
         drain_actions: HashSet<ActionId>,
     ) -> Self {
-        assert_eq!(
-            agent_of_process.len(),
-            model.process_count(),
-            "one agent mapping per process"
-        );
+        assert_eq!(agent_of_process.len(), model.process_count(), "one agent mapping per process");
         SagPlanner { sag, actions, model, agent_of_process, drain_actions }
     }
 
@@ -68,7 +64,15 @@ impl SagPlanner {
         per_agent
             .into_iter()
             .map(|(agent, (removes, adds))| {
-                (agent, LocalAction { action: action.id(), removes, adds, needs_global_drain: needs_drain })
+                (
+                    agent,
+                    LocalAction {
+                        action: action.id(),
+                        removes,
+                        adds,
+                        needs_global_drain: needs_drain,
+                    },
+                )
             })
             .collect()
     }
@@ -106,11 +110,8 @@ mod tests {
         for n in ["E1", "E2", "D1", "D2"] {
             u.intern(n);
         }
-        let inv = InvariantSet::parse(
-            &["one_of(E1, E2)", "one_of(D1, D2)", "E2 => D2"],
-            &mut u,
-        )
-        .unwrap();
+        let inv =
+            InvariantSet::parse(&["one_of(E1, E2)", "one_of(D1, D2)", "E2 => D2"], &mut u).unwrap();
         let actions = vec![
             Action::replace(0, "D1->D2", &u.config_of(&["D1"]), &u.config_of(&["D2"]), 10),
             Action::replace(1, "E1->E2", &u.config_of(&["E1"]), &u.config_of(&["E2"]), 10),
@@ -155,7 +156,8 @@ mod tests {
             assert_eq!(step.locals.len(), 1, "single replaces touch one process");
         }
         // D1->D2 runs on the client (agent 1), E1->E2 on the server (agent 0).
-        let agents: HashSet<usize> = steps.iter().flat_map(|s| s.locals.iter().map(|(a, _)| *a)).collect();
+        let agents: HashSet<usize> =
+            steps.iter().flat_map(|s| s.locals.iter().map(|(a, _)| *a)).collect();
         assert_eq!(agents, [0usize, 1].into());
     }
 

@@ -93,10 +93,8 @@ mod tests {
             // The agent believes the relay is its manager.
             ScriptedAgent::new(sada_simnet::ActorId::from_index(1), AgentTiming::default()),
         );
-        let relay = sim.add_actor(
-            "relay",
-            RelayActor::new(sada_simnet::ActorId::from_index(2), agent),
-        );
+        let relay =
+            sim.add_actor("relay", RelayActor::new(sada_simnet::ActorId::from_index(2), agent));
         let manager = sim.add_actor(
             "manager",
             // The manager addresses the relay as "the agent".
@@ -109,12 +107,7 @@ mod tests {
             ),
         );
         sim.run();
-        let o = sim
-            .actor::<ManagerActor<()>>(manager)
-            .unwrap()
-            .outcome
-            .clone()
-            .expect("resolved");
+        let o = sim.actor::<ManagerActor<()>>(manager).unwrap().outcome.clone().expect("resolved");
         assert!(o.success, "protocol is topology-transparent");
         let r = sim.actor::<RelayActor>(relay).unwrap();
         assert!(r.forwarded_down >= 1, "reset went down the tree");
@@ -126,8 +119,14 @@ mod tests {
     #[test]
     fn relay_ignores_unrelated_sources_and_app_traffic() {
         let mut sim: Simulator<Msg> = Simulator::new(0);
-        let sink = sim.add_actor("sink", ScriptedAgent::new(sada_simnet::ActorId::from_index(9), AgentTiming::default()));
-        let up = sim.add_actor("up", ScriptedAgent::new(sada_simnet::ActorId::from_index(9), AgentTiming::default()));
+        let sink = sim.add_actor(
+            "sink",
+            ScriptedAgent::new(sada_simnet::ActorId::from_index(9), AgentTiming::default()),
+        );
+        let up = sim.add_actor(
+            "up",
+            ScriptedAgent::new(sada_simnet::ActorId::from_index(9), AgentTiming::default()),
+        );
         let relay = sim.add_actor("relay", RelayActor::new(up, sink));
         let stranger = sim.add_actor("stranger", ScriptedAgent::new(relay, AgentTiming::default()));
         // Stranger's message reaches the relay but goes nowhere.

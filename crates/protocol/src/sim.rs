@@ -10,11 +10,14 @@ use std::collections::HashMap;
 use std::marker::PhantomData;
 
 use sada_expr::Config;
+use sada_obs::Bus;
 use sada_plan::ActionId;
-use sada_simnet::{Actor, ActorId, Context, SimDuration, TimerId};
+use sada_simnet::{Actor, ActorId, Context, SimDuration, SimTime, TimerId};
 
 use crate::agent::{AgentCore, AgentEffect, AgentEvent};
-use crate::manager::{AdaptationPlanner, ManagerCore, ManagerEffect, ManagerEvent, Outcome, ProtoTiming};
+use crate::manager::{
+    AdaptationPlanner, ManagerCore, ManagerEffect, ManagerEvent, Outcome, ProtoTiming,
+};
 use crate::messages::{LocalAction, Wire};
 
 /// The adaptation manager as a simulated process.
@@ -45,6 +48,7 @@ pub struct ManagerActor<M> {
     pub completed_at: Option<sada_simnet::SimTime>,
     /// Progress log (the manager's `Info` effects).
     pub infos: Vec<String>,
+    bus: Bus,
     _marker: PhantomData<fn() -> M>,
 }
 
@@ -72,8 +76,16 @@ impl<M> ManagerActor<M> {
             outcome: None,
             completed_at: None,
             infos: Vec::new(),
+            bus: Bus::new(),
             _marker: PhantomData,
         }
+    }
+
+    /// Emits the manager's protocol/plan events onto `bus` (timestamped
+    /// with the virtual clock, attributed to this actor).
+    pub fn with_bus(mut self, bus: Bus) -> Self {
+        self.bus = bus;
+        self
     }
 
     /// Delays the adaptation request by `delay` of simulated time after
@@ -101,6 +113,13 @@ impl<M> ManagerActor<M> {
     where
         M: Clone + 'static,
     {
+        let obs = self.core.drain_obs();
+        if self.bus.has_sinks() {
+            let (at, actor) = (ctx.now(), ctx.self_id().index() as u32);
+            for payload in obs {
+                self.bus.emit(sada_obs::Event { at, actor, payload });
+            }
+        }
         for eff in effects {
             match eff {
                 ManagerEffect::Send { agent, msg } => {
@@ -250,6 +269,7 @@ pub struct ScriptedAgent {
     rejoin_budget: u32,
     pending_action: Option<LocalAction>,
     pending_rollback: Option<LocalAction>,
+    bus: Bus,
 }
 
 impl ScriptedAgent {
@@ -268,7 +288,15 @@ impl ScriptedAgent {
             rejoin_budget: 0,
             pending_action: None,
             pending_rollback: None,
+            bus: Bus::new(),
         }
+    }
+
+    /// Emits the agent's protocol state transitions onto `bus` (timestamped
+    /// with the virtual clock, attributed to this actor).
+    pub fn with_bus(mut self, bus: Bus) -> Self {
+        self.bus = bus;
+        self
     }
 
     /// The agent state machine (for state assertions in tests).
@@ -287,16 +315,31 @@ impl ScriptedAgent {
             self.manager,
             Wire::Proto {
                 epoch: self.epoch,
-                msg: crate::messages::ProtoMsg::Rejoin { last_completed: self.core.last_completed() },
+                msg: crate::messages::ProtoMsg::Rejoin {
+                    last_completed: self.core.last_completed(),
+                },
             },
         );
         ctx.set_timer(REJOIN_PERIOD, TAG_REJOIN);
     }
 
-    fn apply<M: Clone + 'static>(&mut self, ctx: &mut Context<'_, Wire<M>>, effects: Vec<AgentEffect>) {
+    fn apply<M: Clone + 'static>(
+        &mut self,
+        ctx: &mut Context<'_, Wire<M>>,
+        effects: Vec<AgentEffect>,
+    ) {
+        let obs = self.core.drain_obs();
+        if self.bus.has_sinks() {
+            let (at, actor) = (ctx.now(), ctx.self_id().index() as u32);
+            for payload in obs {
+                self.bus.emit(sada_obs::Event { at, actor, payload });
+            }
+        }
         for eff in effects {
             match eff {
-                AgentEffect::Send(msg) => ctx.send(self.manager, Wire::Proto { epoch: self.epoch, msg }),
+                AgentEffect::Send(msg) => {
+                    ctx.send(self.manager, Wire::Proto { epoch: self.epoch, msg })
+                }
                 AgentEffect::PreAction(_) => {}
                 AgentEffect::BeginReset(la) => {
                     // Reaching the safe state takes time — more when the
@@ -346,7 +389,7 @@ impl<M: Clone + 'static> Actor<Wire<M>> for ScriptedAgent {
         }
     }
 
-    fn on_crash(&mut self) {
+    fn on_crash(&mut self, _now: SimTime) {
         self.crashes += 1;
         // The volatile-uncommitted model: a structural change that was
         // applied but never committed evaporates with the process image.
@@ -362,7 +405,20 @@ impl<M: Clone + 'static> Actor<Wire<M>> for ScriptedAgent {
     fn on_restart(&mut self, ctx: &mut Context<'_, Wire<M>>) {
         // New incarnation: only durable state (completed steps) survives.
         self.epoch += 1;
+        let prev = self.core.state();
         self.core = AgentCore::restore(self.core.last_completed());
+        // The crash snapped the state machine back to Running without an
+        // ordinary transition; emit one so per-phase interval integration
+        // closes the dead incarnation's phase at the restart instant.
+        if prev != crate::AgentState::Running {
+            self.bus.publish(ctx.now(), ctx.self_id().index() as u32, || {
+                sada_obs::Payload::Proto(sada_obs::ProtoEvent::AgentState {
+                    from: crate::agent::state_tag(prev),
+                    to: sada_obs::AgentStateTag::Running,
+                    step: None,
+                })
+            });
+        }
         self.rejoin_budget = REJOIN_RETRIES;
         self.send_rejoin(ctx);
     }

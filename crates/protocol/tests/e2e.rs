@@ -40,7 +40,8 @@ fn build_world(seed: u64, source: &[&str], target: &[&str], timing: ProtoTiming)
         Action::replace(4, "Y2->Y1", &u.config_of(&["Y2"]), &u.config_of(&["Y1"]), 10),
     ];
     // Y2 only works with X2 (like the paper's E2 needing D3/D2).
-    let inv = InvariantSet::parse(&["one_of(X1, X2)", "one_of(Y1, Y2)", "Y2 => X2"], &mut u).unwrap();
+    let inv =
+        InvariantSet::parse(&["one_of(X1, X2)", "one_of(Y1, Y2)", "Y2 => X2"], &mut u).unwrap();
     let sag = Sag::build(enumerate::safe_configs(&u, &inv), &actions);
     let mut model = SystemModel::new();
     let p0 = model.add_process("px");
@@ -51,11 +52,19 @@ fn build_world(seed: u64, source: &[&str], target: &[&str], timing: ProtoTiming)
 
     let mut sim: Simulator<Msg> = Simulator::new(seed);
     // Agents must exist before the manager so their ids are known.
-    let a0 = sim.add_actor("agent-x", ScriptedAgent::new(ActorId::from_index(2), AgentTiming::default()));
-    let a1 = sim.add_actor("agent-y", ScriptedAgent::new(ActorId::from_index(2), AgentTiming::default()));
+    let a0 = sim
+        .add_actor("agent-x", ScriptedAgent::new(ActorId::from_index(2), AgentTiming::default()));
+    let a1 = sim
+        .add_actor("agent-y", ScriptedAgent::new(ActorId::from_index(2), AgentTiming::default()));
     let manager = sim.add_actor(
         "manager",
-        ManagerActor::<()>::new(timing, Box::new(planner), vec![a0, a1], u.config_of(source), u.config_of(target)),
+        ManagerActor::<()>::new(
+            timing,
+            Box::new(planner),
+            vec![a0, a1],
+            u.config_of(source),
+            u.config_of(target),
+        ),
     );
     assert_eq!(manager, ActorId::from_index(2), "manager id wired into agents");
     World { sim, manager, agents: vec![a0, a1], universe: u }
@@ -71,7 +80,13 @@ fn outcome_of(world: &Simulator<Msg>, manager: ActorId) -> sada_proto::Outcome {
 }
 
 /// Final config implied by the actions the agents actually applied.
-fn replay_applied(_u: &Universe, world: &Simulator<Msg>, agents: &[ActorId], actions: &[Action], start: &Config) -> Config {
+fn replay_applied(
+    _u: &Universe,
+    world: &Simulator<Msg>,
+    agents: &[ActorId],
+    actions: &[Action],
+    start: &Config,
+) -> Config {
     let mut all: Vec<(u64, ActionId, bool)> = Vec::new();
     // ScriptedAgent.applied is in per-agent order; we don't have global
     // timestamps, but forward/undo pairs per action commute here because
@@ -129,7 +144,13 @@ fn happy_path_reaches_target_in_order() {
     assert!(o.warnings.is_empty());
     // Replaying the agents' applied actions lands on the same config.
     let actions = case_actions(&w.universe);
-    let replayed = replay_applied(&w.universe, &w.sim, &w.agents, &actions, &w.universe.config_of(&["X1", "Y1"]));
+    let replayed = replay_applied(
+        &w.universe,
+        &w.sim,
+        &w.agents,
+        &actions,
+        &w.universe.config_of(&["X1", "Y1"]),
+    );
     assert_eq!(replayed, o.final_config);
 }
 
@@ -160,13 +181,25 @@ fn moderate_message_loss_is_survived() {
         // Whatever happened, the system must end in a *safe* configuration
         // consistent with what the agents actually executed.
         let mut u2 = w.universe.clone();
-        let inv =
-            InvariantSet::parse(&["one_of(X1, X2)", "one_of(Y1, Y2)", "Y2 => X2"], &mut u2).unwrap();
-        assert!(inv.satisfied_by(&o.final_config), "seed {seed}: unsafe final config {}", o.final_config);
+        let inv = InvariantSet::parse(&["one_of(X1, X2)", "one_of(Y1, Y2)", "Y2 => X2"], &mut u2)
+            .unwrap();
+        assert!(
+            inv.satisfied_by(&o.final_config),
+            "seed {seed}: unsafe final config {}",
+            o.final_config
+        );
         let actions = case_actions(&w.universe);
-        let replayed =
-            replay_applied(&w.universe, &w.sim, &w.agents, &actions, &w.universe.config_of(&["X1", "Y1"]));
-        assert_eq!(replayed, o.final_config, "seed {seed}: manager view diverged from ground truth");
+        let replayed = replay_applied(
+            &w.universe,
+            &w.sim,
+            &w.agents,
+            &actions,
+            &w.universe.config_of(&["X1", "Y1"]),
+        );
+        assert_eq!(
+            replayed, o.final_config,
+            "seed {seed}: manager view diverged from ground truth"
+        );
     }
 }
 
@@ -225,7 +258,8 @@ fn partition_after_resume_runs_to_completion() {
     // back to source or stuck) or the resume boundary was passed (success
     // with warnings). Both end safe; what is forbidden is a mixed config.
     let mut u2 = w.universe.clone();
-    let inv = InvariantSet::parse(&["one_of(X1, X2)", "one_of(Y1, Y2)", "Y2 => X2"], &mut u2).unwrap();
+    let inv =
+        InvariantSet::parse(&["one_of(X1, X2)", "one_of(Y1, Y2)", "Y2 => X2"], &mut u2).unwrap();
     assert!(inv.satisfied_by(&o.final_config), "final config {} unsafe", o.final_config);
 }
 
@@ -312,8 +346,13 @@ fn agent_crash_mid_step_rejoins_and_reaches_target() {
     assert!(ax.epoch() >= 1, "incarnation bumped");
     // Ground truth: what the agents actually executed lands on the target.
     let actions = case_actions(&w.universe);
-    let replayed =
-        replay_applied(&w.universe, &w.sim, &w.agents, &actions, &w.universe.config_of(&["X1", "Y1"]));
+    let replayed = replay_applied(
+        &w.universe,
+        &w.sim,
+        &w.agents,
+        &actions,
+        &w.universe.config_of(&["X1", "Y1"]),
+    );
     assert_eq!(replayed, o.final_config);
 }
 
@@ -327,9 +366,11 @@ fn crash_and_rejoin_is_safe_across_crash_times() {
     for n in ["X1", "X2", "Y1", "Y2"] {
         u2.intern(n);
     }
-    let inv = InvariantSet::parse(&["one_of(X1, X2)", "one_of(Y1, Y2)", "Y2 => X2"], &mut u2).unwrap();
+    let inv =
+        InvariantSet::parse(&["one_of(X1, X2)", "one_of(Y1, Y2)", "Y2 => X2"], &mut u2).unwrap();
     for crash_ms in [2u64, 5, 8, 11, 14, 17, 20, 25, 30] {
-        let mut w = build_world(30 + crash_ms, &["X1", "Y1"], &["X2", "Y2"], ProtoTiming::default());
+        let mut w =
+            build_world(30 + crash_ms, &["X1", "Y1"], &["X2", "Y2"], ProtoTiming::default());
         let victim = w.agents[(crash_ms % 2) as usize];
         let plan = sada_simnet::FaultPlan::new()
             .crash(victim, sada_simnet::SimTime::from_millis(crash_ms))
@@ -351,6 +392,9 @@ fn crash_and_rejoin_is_safe_across_crash_times() {
             &w.universe.config_of(&["X1", "Y1"]),
         );
         assert_eq!(replayed, o.final_config, "crash at {crash_ms}ms: manager view diverged");
-        assert!(o.success, "crash at {crash_ms}ms: a restarted agent within budget must not doom the run");
+        assert!(
+            o.success,
+            "crash at {crash_ms}ms: a restarted agent within budget must not doom the run"
+        );
     }
 }

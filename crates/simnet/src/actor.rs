@@ -6,7 +6,7 @@ use std::fmt;
 use rand::rngs::StdRng;
 
 use crate::sim::GroupId;
-use crate::time::{SimDuration, SimTime};
+use sada_obs::{SimDuration, SimTime};
 
 /// Identifies an actor registered with a [`Simulator`].
 ///
@@ -87,12 +87,15 @@ pub trait Actor<M>: AsAny {
 
     /// Called when fault injection crashes this actor.
     ///
-    /// There is no [`Context`]: a dead process takes no actions. Implement
-    /// this to model the loss of *volatile* state — anything the process
-    /// held only in memory — while keeping what would have survived on
-    /// durable storage. The default keeps all state (pure snapshot-restore
-    /// semantics).
-    fn on_crash(&mut self) {}
+    /// There is no [`Context`]: a dead process takes no actions. `now` is
+    /// the crash instant, so post-mortem instrumentation (e.g. adjudicating
+    /// destroyed work) can be timestamped. Implement this to model the loss
+    /// of *volatile* state — anything the process held only in memory —
+    /// while keeping what would have survived on durable storage. The
+    /// default keeps all state (pure snapshot-restore semantics).
+    fn on_crash(&mut self, now: SimTime) {
+        let _ = now;
+    }
 
     /// Called when fault injection restarts this actor after a crash.
     ///

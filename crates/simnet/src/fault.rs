@@ -18,7 +18,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::actor::ActorId;
-use crate::time::{SimDuration, SimTime};
+use sada_obs::{SimDuration, SimTime};
 
 /// A (from, to) wildcard pattern over message routes; `None` matches any
 /// actor. This is the `predicate` of [`Fault::DropMatching`] — kept as
@@ -91,7 +91,13 @@ impl FaultPlan {
     }
 
     /// Adds a directed partition window.
-    pub fn partition_window(mut self, from: ActorId, to: ActorId, start: SimTime, end: SimTime) -> Self {
+    pub fn partition_window(
+        mut self,
+        from: ActorId,
+        to: ActorId,
+        start: SimTime,
+        end: SimTime,
+    ) -> Self {
         self.faults.push(Fault::PartitionWindow { from, to, start, end });
         self
     }
@@ -324,7 +330,10 @@ mod tests {
                 SimTime::from_millis(90),
             )
             .drop_matching(3, MsgPattern { from: None, to: Some(ActorId::from_index(1)) })
-            .delay_burst((SimTime::from_millis(5), SimTime::from_millis(20)), SimDuration::from_micros(1500))
+            .delay_burst(
+                (SimTime::from_millis(5), SimTime::from_millis(20)),
+                SimDuration::from_micros(1500),
+            )
     }
 
     #[test]
@@ -391,7 +400,9 @@ mod tests {
             for f in &plan.faults {
                 if let Fault::CrashActor { at, id } = *f {
                     let restart = plan.faults.iter().find_map(|g| match *g {
-                        Fault::RestartActor { at: rat, id: rid } if rid == id && rat > at => Some(rat),
+                        Fault::RestartActor { at: rat, id: rid } if rid == id && rat > at => {
+                            Some(rat)
+                        }
                         _ => None,
                     });
                     assert!(restart.is_some(), "unpaired crash of {id} in seed {seed}");

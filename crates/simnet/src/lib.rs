@@ -66,12 +66,13 @@ mod actor;
 mod fault;
 mod link;
 mod sim;
-mod time;
 mod trace;
 
 pub use actor::{Actor, ActorId, AsAny, Context, TimerId};
 pub use fault::{chaos, ChaosOpts, Fault, FaultPlan, MsgPattern};
 pub use link::LinkConfig;
 pub use sim::{GroupId, NetStats, Simulator};
-pub use time::{SimDuration, SimTime};
+// The clock lives in the observability spine so every layer shares it; the
+// historical `sada_simnet::SimTime` path keeps working via this re-export.
+pub use sada_obs::{SimDuration, SimTime};
 pub use trace::{TraceEvent, TraceKind};

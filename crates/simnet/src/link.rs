@@ -1,6 +1,6 @@
 //! Per-link network characteristics.
 
-use crate::time::SimDuration;
+use sada_obs::SimDuration;
 
 /// Delivery characteristics of a directed actor-to-actor link.
 ///
@@ -35,7 +35,13 @@ pub struct LinkConfig {
 impl LinkConfig {
     /// A reliable link with the given fixed latency and no jitter or loss.
     pub fn reliable(latency: SimDuration) -> Self {
-        LinkConfig { latency, jitter: SimDuration::ZERO, loss: 0.0, partitioned: false, bandwidth: None }
+        LinkConfig {
+            latency,
+            jitter: SimDuration::ZERO,
+            loss: 0.0,
+            partitioned: false,
+            bandwidth: None,
+        }
     }
 
     /// A lossy link: fixed latency plus independent drop probability.
@@ -44,7 +50,10 @@ impl LinkConfig {
     ///
     /// Panics if `loss` is not within `[0, 1]` or is NaN.
     pub fn lossy(latency: SimDuration, loss: f64) -> Self {
-        assert!(loss.is_finite() && (0.0..=1.0).contains(&loss), "loss must be in [0,1], got {loss}");
+        assert!(
+            loss.is_finite() && (0.0..=1.0).contains(&loss),
+            "loss must be in [0,1], got {loss}"
+        );
         LinkConfig { latency, jitter: SimDuration::ZERO, loss, partitioned: false, bandwidth: None }
     }
 
@@ -162,9 +171,9 @@ mod tests {
         let fine = LinkConfig { loss: 0.5, ..LinkConfig::default() };
         assert!(fine.is_valid());
         let _ = fine.validate(); // does not panic
-        // Negative jitter is unrepresentable: SimDuration is an unsigned
-        // microsecond count, so that whole failure class is gone at the
-        // type level.
+                                 // Negative jitter is unrepresentable: SimDuration is an unsigned
+                                 // microsecond count, so that whole failure class is gone at the
+                                 // type level.
         assert_eq!(SimDuration::ZERO.as_micros(), 0);
     }
 

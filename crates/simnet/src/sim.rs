@@ -1,16 +1,19 @@
 //! The event loop: queue, links, groups, and actor dispatch.
 
+use std::cell::RefCell;
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::rc::Rc;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use sada_obs::{Bus, NetEvent, Payload, SimDuration, SimTime};
+
 use crate::actor::{Actor, ActorId, Context, Op, TimerId};
 use crate::fault::{Fault, FaultPlan, MsgPattern};
 use crate::link::LinkConfig;
-use crate::time::{SimDuration, SimTime};
-use crate::trace::{Trace, TraceEvent, TraceKind};
+use crate::trace::{TraceEvent, TraceSink};
 
 /// Identifies a multicast group created with [`Simulator::create_group`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -109,7 +112,9 @@ pub struct Simulator<M> {
     cancelled: HashSet<TimerId>,
     next_timer: u64,
     rng: StdRng,
-    trace: Trace,
+    bus: Bus,
+    trace_sink: Rc<RefCell<TraceSink>>,
+    trace_enabled: bool,
     stats: NetStats,
     halted: bool,
     incarnation: Vec<u32>,
@@ -136,7 +141,9 @@ impl<M: Clone + 'static> Simulator<M> {
             cancelled: HashSet::new(),
             next_timer: 0,
             rng: StdRng::seed_from_u64(seed),
-            trace: Trace::new(),
+            bus: Bus::new(),
+            trace_sink: Rc::new(RefCell::new(TraceSink::new())),
+            trace_enabled: false,
             stats: NetStats::default(),
             halted: false,
             incarnation: Vec::new(),
@@ -179,20 +186,12 @@ impl<M: Clone + 'static> Simulator<M> {
     /// Returns `None` if the id is unknown, the actor is mid-callback, or the
     /// concrete type is not `T`.
     pub fn actor<T: Actor<M> + 'static>(&self, id: ActorId) -> Option<&T> {
-        self.actors
-            .get(id.index())?
-            .as_ref()?
-            .as_any()
-            .downcast_ref::<T>()
+        self.actors.get(id.index())?.as_ref()?.as_any().downcast_ref::<T>()
     }
 
     /// Mutable, downcast access to an actor's state.
     pub fn actor_mut<T: Actor<M> + 'static>(&mut self, id: ActorId) -> Option<&mut T> {
-        self.actors
-            .get_mut(id.index())?
-            .as_mut()?
-            .as_any_mut()
-            .downcast_mut::<T>()
+        self.actors.get_mut(id.index())?.as_mut()?.as_any_mut().downcast_mut::<T>()
     }
 
     /// Sets the link used for pairs without an explicit configuration.
@@ -241,14 +240,46 @@ impl<M: Clone + 'static> Simulator<M> {
         &self.groups[group.0 as usize]
     }
 
+    /// Installs the observability bus this simulator emits onto. All
+    /// clones of a [`Bus`] share one sink list, so the harness keeps a
+    /// clone and attaches whatever sinks it wants before (or during) the
+    /// run. If tracing is enabled its sink follows the simulator onto the
+    /// new bus.
+    pub fn set_bus(&mut self, bus: Bus) {
+        if self.trace_enabled {
+            self.bus.detach(&self.trace_sink);
+        }
+        self.bus = bus;
+        if self.trace_enabled {
+            self.bus.attach(&self.trace_sink);
+        }
+    }
+
+    /// The bus this simulator emits onto.
+    pub fn bus(&self) -> &Bus {
+        &self.bus
+    }
+
     /// Enables or disables network-event tracing (off by default).
+    ///
+    /// Tracing is a bus sink: enabling attaches an internal [`TraceEvent`]
+    /// recorder to the simulator's bus, disabling detaches it (already
+    /// recorded events are kept).
     pub fn set_trace_enabled(&mut self, on: bool) {
-        self.trace.set_enabled(on);
+        if on == self.trace_enabled {
+            return;
+        }
+        self.trace_enabled = on;
+        if on {
+            self.bus.attach(&self.trace_sink);
+        } else {
+            self.bus.detach(&self.trace_sink);
+        }
     }
 
     /// The recorded trace (empty unless tracing was enabled).
-    pub fn trace(&self) -> &[TraceEvent] {
-        self.trace.events()
+    pub fn trace(&self) -> Vec<TraceEvent> {
+        self.trace_sink.borrow().events().to_vec()
     }
 
     /// Aggregate counters for the run so far.
@@ -279,7 +310,7 @@ impl<M: Clone + 'static> Simulator<M> {
             || self.link(from, to).partitioned
         {
             self.stats.dropped += 1;
-            self.trace.push(TraceEvent { at: self.now, from, to, kind: TraceKind::Dropped });
+            self.emit_net(to, NetEvent::Dropped { from: from.0, to: to.0 });
             return;
         }
         let at = self.now + delay;
@@ -306,7 +337,12 @@ impl<M: Clone + 'static> Simulator<M> {
                     self.push_event(end, EventKind::Fault(FaultAction::PartitionOff(from, to)));
                 }
                 Fault::DropMatching { nth, predicate } => {
-                    self.drop_rules.push(DropRule { predicate, nth: nth.max(1), seen: 0, spent: false });
+                    self.drop_rules.push(DropRule {
+                        predicate,
+                        nth: nth.max(1),
+                        seen: 0,
+                        spent: false,
+                    });
                 }
                 Fault::DelayBurst { window, extra_latency } => {
                     self.delay_bursts.push((window.0, window.1, extra_latency));
@@ -334,6 +370,12 @@ impl<M: Clone + 'static> Simulator<M> {
     /// per crash. Restart does not change it.
     pub fn incarnation(&self, id: ActorId) -> u32 {
         self.incarnation.get(id.index()).copied().unwrap_or(0)
+    }
+
+    /// Emits a network event onto the bus, stamped with the current virtual
+    /// time and `actor` as the acting party. Free when no sink is attached.
+    fn emit_net(&self, actor: ActorId, ev: NetEvent) {
+        self.bus.publish(self.now, actor.0, || Payload::Net(ev));
     }
 
     fn push_event(&mut self, at: SimTime, kind: EventKind<M>) {
@@ -430,10 +472,10 @@ impl<M: Clone + 'static> Simulator<M> {
 
     fn route(&mut self, from: ActorId, to: ActorId, msg: M) {
         self.stats.sent += 1;
-        self.trace.push(TraceEvent { at: self.now, from, to, kind: TraceKind::Sent });
+        self.emit_net(from, NetEvent::Sent { from: from.0, to: to.0 });
         if to.index() >= self.actors.len() {
             self.stats.dropped += 1;
-            self.trace.push(TraceEvent { at: self.now, from, to, kind: TraceKind::Dropped });
+            self.emit_net(from, NetEvent::Dropped { from: from.0, to: to.0 });
             return;
         }
         let cfg = self.link(from, to);
@@ -449,7 +491,7 @@ impl<M: Clone + 'static> Simulator<M> {
         let lost = lost || self.drop_rules_claim(from, to);
         if lost {
             self.stats.dropped += 1;
-            self.trace.push(TraceEvent { at: self.now, from, to, kind: TraceKind::Dropped });
+            self.emit_net(to, NetEvent::Dropped { from: from.0, to: to.0 });
             return;
         }
         let jitter = if cfg.jitter > SimDuration::ZERO {
@@ -501,7 +543,7 @@ impl<M: Clone + 'static> Simulator<M> {
                 // routed: the in-flight message dies with the old process.
                 if self.crashed[ix] || self.incarnation[ix] != inc {
                     self.stats.dropped += 1;
-                    self.trace.push(TraceEvent { at: self.now, from, to, kind: TraceKind::Dropped });
+                    self.emit_net(to, NetEvent::Dropped { from: from.0, to: to.0 });
                     return true;
                 }
                 let mut actor = match self.actors.get_mut(ix).and_then(Option::take) {
@@ -509,7 +551,7 @@ impl<M: Clone + 'static> Simulator<M> {
                     None => return true, // destination raced away; count as delivered-to-nobody
                 };
                 self.stats.delivered += 1;
-                self.trace.push(TraceEvent { at: self.now, from, to, kind: TraceKind::Delivered });
+                self.emit_net(to, NetEvent::Delivered { from: from.0, to: to.0 });
                 let mut ops = Vec::new();
                 {
                     let mut ctx = Context {
@@ -540,7 +582,7 @@ impl<M: Clone + 'static> Simulator<M> {
                     None => return true,
                 };
                 self.stats.timers_fired += 1;
-                self.trace.push(TraceEvent { at: self.now, from: owner, to: owner, kind: TraceKind::TimerFired });
+                self.emit_net(owner, NetEvent::TimerFired { tag });
                 let mut ops = Vec::new();
                 {
                     let mut ctx = Context {
@@ -572,9 +614,9 @@ impl<M: Clone + 'static> Simulator<M> {
                 // toward or armed by the dying incarnation.
                 self.incarnation[ix] += 1;
                 self.stats.crashes += 1;
-                self.trace.push(TraceEvent { at: self.now, from: id, to: id, kind: TraceKind::Crashed });
+                self.emit_net(id, NetEvent::Crashed);
                 if let Some(actor) = self.actors[ix].as_mut() {
-                    actor.on_crash();
+                    actor.on_crash(self.now);
                 }
             }
             FaultAction::Restart(id) => {
@@ -584,7 +626,7 @@ impl<M: Clone + 'static> Simulator<M> {
                 }
                 self.crashed[ix] = false;
                 self.stats.restarts += 1;
-                self.trace.push(TraceEvent { at: self.now, from: id, to: id, kind: TraceKind::Restarted });
+                self.emit_net(id, NetEvent::Restarted);
                 let mut actor = match self.actors[ix].take() {
                     Some(a) => a,
                     None => return,
@@ -655,6 +697,7 @@ impl<M: 'static> std::fmt::Debug for Simulator<M> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::trace::TraceKind;
 
     #[derive(Default)]
     struct Collector {
@@ -703,7 +746,7 @@ mod tests {
     fn ties_break_by_send_order() {
         let mut sim = Simulator::new(1);
         let c = sim.add_actor("c", Collector::default());
-        let _s = sim.add_actor("s", Starter { to: c, n : 5 });
+        let _s = sim.add_actor("s", Starter { to: c, n: 5 });
         sim.run();
         let col = sim.actor::<Collector>(c).unwrap();
         let msgs: Vec<u32> = col.got.iter().map(|&(_, m)| m).collect();
@@ -907,7 +950,8 @@ mod tests {
         let s = sim.add_actor("s", TwoBursts { to: c });
         sim.set_link(s, c, LinkConfig::reliable(SimDuration::ZERO).with_bandwidth(1_000_000));
         sim.run();
-        let times: Vec<u64> = sim.actor::<Collector>(c).unwrap().got.iter().map(|&(t, _)| t.as_micros()).collect();
+        let times: Vec<u64> =
+            sim.actor::<Collector>(c).unwrap().got.iter().map(|&(t, _)| t.as_micros()).collect();
         // Second burst starts fresh at 10ms: no leftover queueing.
         assert_eq!(times, vec![1_000, 11_000]);
     }
@@ -921,6 +965,46 @@ mod tests {
         sim.run();
         let kinds: Vec<TraceKind> = sim.trace().iter().map(|e| e.kind).collect();
         assert_eq!(kinds, vec![TraceKind::Sent, TraceKind::Delivered]);
+    }
+
+    #[test]
+    fn external_bus_sinks_see_net_events() {
+        use sada_obs::CounterSink;
+        let bus = Bus::new();
+        let counters = Rc::new(RefCell::new(CounterSink::default()));
+        bus.attach(&counters);
+        let mut sim = Simulator::new(0);
+        sim.set_bus(bus.clone());
+        sim.set_trace_enabled(true);
+        let c = sim.add_actor("c", Collector::default());
+        let _s = sim.add_actor("s", Starter { to: c, n: 3 });
+        sim.crash_at(c, SimTime::from_millis(1));
+        sim.restart_at(c, SimTime::from_millis(2));
+        sim.run();
+        let counts = counters.borrow();
+        assert_eq!(counts.net_sent, sim.stats().sent);
+        assert_eq!(counts.net_delivered, sim.stats().delivered);
+        assert_eq!(counts.net_dropped, sim.stats().dropped);
+        assert_eq!(counts.crashes, 1);
+        assert_eq!(counts.restarts, 1);
+        // The built-in trace is just another sink on the same bus.
+        assert_eq!(sim.trace().len() as u64, counts.total);
+    }
+
+    #[test]
+    fn disabling_trace_detaches_but_keeps_recorded_events() {
+        let mut sim = Simulator::new(0);
+        sim.set_trace_enabled(true);
+        let c = sim.add_actor("c", Collector::default());
+        let s = sim.add_actor("s", Starter { to: c, n: 1 });
+        sim.run();
+        let before = sim.trace().len();
+        assert!(before > 0);
+        sim.set_trace_enabled(false);
+        sim.inject(s, c, 9, SimDuration::ZERO);
+        sim.run();
+        assert_eq!(sim.trace().len(), before, "no recording while disabled");
+        assert!(!sim.bus().has_sinks());
     }
 
     /// Counts lifecycle callbacks alongside received messages.
@@ -939,7 +1023,7 @@ mod tests {
         fn on_message(&mut self, ctx: &mut Context<'_, u32>, _from: ActorId, msg: u32) {
             self.got.push((ctx.now(), msg));
         }
-        fn on_crash(&mut self) {
+        fn on_crash(&mut self, _now: SimTime) {
             self.crashes += 1;
         }
         fn on_restart(&mut self, _ctx: &mut Context<'_, u32>) {
@@ -1074,7 +1158,8 @@ mod tests {
         assert!(!sim.link(s, c).partitioned, "window closed at 20ms");
         sim.inject(s, c, 2, SimDuration::ZERO);
         sim.run();
-        let got: Vec<u32> = sim.actor::<Collector>(c).unwrap().got.iter().map(|&(_, m)| m).collect();
+        let got: Vec<u32> =
+            sim.actor::<Collector>(c).unwrap().got.iter().map(|&(_, m)| m).collect();
         assert_eq!(got, vec![2], "in-window injection dropped, post-window delivered");
     }
 
@@ -1087,7 +1172,8 @@ mod tests {
             .drop_matching(2, crate::MsgPattern { from: Some(s), to: Some(c) });
         sim.schedule_faults(&plan);
         sim.run();
-        let got: Vec<u32> = sim.actor::<Collector>(c).unwrap().got.iter().map(|&(_, m)| m).collect();
+        let got: Vec<u32> =
+            sim.actor::<Collector>(c).unwrap().got.iter().map(|&(_, m)| m).collect();
         assert_eq!(got, vec![0, 2, 3, 4], "exactly the 2nd send dropped");
         assert_eq!(sim.stats().dropped, 1);
     }
@@ -1111,10 +1197,8 @@ mod tests {
         let c = sim.add_actor("c", Collector::default());
         let s = sim.add_actor("s", Spaced { to: c });
         sim.set_link(s, c, LinkConfig::reliable(SimDuration::from_millis(1)));
-        let plan = crate::FaultPlan::new().delay_burst(
-            (SimTime::ZERO, SimTime::from_millis(10)),
-            SimDuration::from_millis(25),
-        );
+        let plan = crate::FaultPlan::new()
+            .delay_burst((SimTime::ZERO, SimTime::from_millis(10)), SimDuration::from_millis(25));
         sim.schedule_faults(&plan);
         sim.run();
         let times: Vec<u64> =
@@ -1139,7 +1223,10 @@ mod tests {
             let plan = crate::FaultPlan::new()
                 .crash(c, SimTime::from_millis(4))
                 .restart(c, SimTime::from_millis(9))
-                .delay_burst((SimTime::from_millis(2), SimTime::from_millis(6)), SimDuration::from_millis(10));
+                .delay_burst(
+                    (SimTime::from_millis(2), SimTime::from_millis(6)),
+                    SimDuration::from_millis(10),
+                );
             sim.schedule_faults(&plan);
             sim.run();
             (sim.actor::<LifeTracker>(c).unwrap().got.clone(), sim.stats())

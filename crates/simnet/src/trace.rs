@@ -1,7 +1,15 @@
-//! Run tracing: a bounded, inspectable log of network-level events.
+//! Run tracing: the network-level projection of the unified event bus.
+//!
+//! [`TraceEvent`] is the simulator's historical, actor-typed view of net
+//! events. Since the observability refactor the simulator emits everything
+//! onto a [`sada_obs::Bus`]; [`TraceSink`] is a bus sink that projects the
+//! `Net` payloads back into this form, so `Simulator::trace()` keeps
+//! working while every other consumer reads the same unified stream.
+
+use sada_obs::{Event, NetEvent, Payload, Sink};
 
 use crate::actor::ActorId;
-use crate::time::SimTime;
+use sada_obs::SimTime;
 
 /// What happened at a traced instant.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -36,31 +44,45 @@ pub struct TraceEvent {
     pub kind: TraceKind,
 }
 
-/// Bounded in-memory trace buffer.
+/// Bounded bus sink projecting `Net` payloads into [`TraceEvent`]s.
 #[derive(Debug, Default)]
-pub(crate) struct Trace {
+pub(crate) struct TraceSink {
     events: Vec<TraceEvent>,
-    enabled: bool,
     cap: usize,
 }
 
-impl Trace {
+impl TraceSink {
     pub(crate) fn new() -> Self {
-        Trace { events: Vec::new(), enabled: false, cap: 1 << 20 }
-    }
-
-    pub(crate) fn set_enabled(&mut self, on: bool) {
-        self.enabled = on;
-    }
-
-    pub(crate) fn push(&mut self, ev: TraceEvent) {
-        if self.enabled && self.events.len() < self.cap {
-            self.events.push(ev);
-        }
+        TraceSink { events: Vec::new(), cap: 1 << 20 }
     }
 
     pub(crate) fn events(&self) -> &[TraceEvent] {
         &self.events
+    }
+}
+
+impl Sink for TraceSink {
+    fn accept(&mut self, ev: &Event) {
+        if self.events.len() >= self.cap {
+            return;
+        }
+        let owner = ActorId(ev.actor);
+        let (from, to, kind) = match &ev.payload {
+            Payload::Net(NetEvent::Sent { from, to }) => {
+                (ActorId(*from), ActorId(*to), TraceKind::Sent)
+            }
+            Payload::Net(NetEvent::Delivered { from, to }) => {
+                (ActorId(*from), ActorId(*to), TraceKind::Delivered)
+            }
+            Payload::Net(NetEvent::Dropped { from, to }) => {
+                (ActorId(*from), ActorId(*to), TraceKind::Dropped)
+            }
+            Payload::Net(NetEvent::TimerFired { .. }) => (owner, owner, TraceKind::TimerFired),
+            Payload::Net(NetEvent::Crashed) => (owner, owner, TraceKind::Crashed),
+            Payload::Net(NetEvent::Restarted) => (owner, owner, TraceKind::Restarted),
+            _ => return,
+        };
+        self.events.push(TraceEvent { at: ev.at, from, to, kind });
     }
 }
 
@@ -69,25 +91,34 @@ mod tests {
     use super::*;
 
     #[test]
-    fn disabled_trace_records_nothing() {
-        let mut t = Trace::new();
-        t.push(TraceEvent { at: SimTime::ZERO, from: ActorId(0), to: ActorId(1), kind: TraceKind::Sent });
-        assert!(t.events().is_empty());
-    }
-
-    #[test]
-    fn enabled_trace_records_in_order() {
-        let mut t = Trace::new();
-        t.set_enabled(true);
-        for i in 0..3 {
-            t.push(TraceEvent {
-                at: SimTime::from_micros(i),
-                from: ActorId(0),
+    fn projects_net_payloads_and_ignores_the_rest() {
+        let mut t = TraceSink::new();
+        t.accept(&Event {
+            at: SimTime::from_micros(1),
+            actor: 0,
+            payload: Payload::Net(NetEvent::Sent { from: 0, to: 1 }),
+        });
+        t.accept(&Event {
+            at: SimTime::from_micros(2),
+            actor: 1,
+            payload: Payload::Net(NetEvent::Crashed),
+        });
+        t.accept(&Event {
+            at: SimTime::from_micros(3),
+            actor: 0,
+            payload: Payload::Proto(sada_obs::ProtoEvent::StepCommitted { step: 1 }),
+        });
+        assert_eq!(t.events().len(), 2);
+        assert_eq!(t.events()[0].kind, TraceKind::Sent);
+        assert_eq!(t.events()[0].to, ActorId(1));
+        assert_eq!(
+            t.events()[1],
+            TraceEvent {
+                at: SimTime::from_micros(2),
+                from: ActorId(1),
                 to: ActorId(1),
-                kind: TraceKind::Delivered,
-            });
-        }
-        assert_eq!(t.events().len(), 3);
-        assert_eq!(t.events()[2].at, SimTime::from_micros(2));
+                kind: TraceKind::Crashed,
+            }
+        );
     }
 }

@@ -1,10 +1,18 @@
-//! Bridges `sada-model` audit-event streams into the temporal detector, so
-//! safe states can be identified *automatically* from the same
-//! instrumentation the safety auditor consumes — closing the loop the paper
-//! proposes in Section 7.
+//! Bridges audit-event streams into the temporal detector, so safe states
+//! can be identified *automatically* from the same instrumentation the
+//! safety auditor consumes — closing the loop the paper proposes in
+//! Section 7.
+//!
+//! Obligations are identified by the typed [`ObligationKey`] (component +
+//! segment edge); the legacy string form (`seg_start_c0`) appears only at
+//! the [`ResponseSpec`] parser boundary, via the key's `Display`. The
+//! detector consumes either a flat [`AuditEvent`] log or, through
+//! [`safe_points_on_stream`] / [`derive_temporal_events`], the unified
+//! observability bus stream directly.
 
 use sada_expr::CompId;
 use sada_model::AuditEvent;
+use sada_obs::{Event, ObligationKey, Payload, SegmentEdge, TemporalEvent, NO_ACTOR};
 
 use crate::formula::Formula;
 use crate::obligations::{ObligationEvent, ResponseSpec, SafeStateMonitor};
@@ -14,25 +22,34 @@ use crate::obligations::{ObligationEvent, ResponseSpec, SafeStateMonitor};
 pub fn segment_specs(comps: &[CompId]) -> Vec<ResponseSpec> {
     comps
         .iter()
-        .map(|c| {
+        .map(|&c| {
             ResponseSpec::new(
                 &format!("segment-c{}", c.index()),
-                &format!("seg_start_c{}", c.index()),
-                &format!("seg_end_c{}", c.index()),
+                &ObligationKey::start(c).to_string(),
+                &ObligationKey::end(c).to_string(),
             )
         })
         .collect()
 }
 
-fn to_obligation_events(ev: &AuditEvent, comps: &[CompId]) -> Vec<ObligationEvent> {
+/// The typed obligation identity an audit event carries for `comps`, if
+/// any: which segment bracket edge, on which component, correlated by cid.
+fn obligation_key(ev: &AuditEvent, comps: &[CompId]) -> Option<(ObligationKey, u64)> {
     match ev {
         AuditEvent::SegmentStart { cid, comp } if comps.contains(comp) => {
-            vec![ObligationEvent::new(&format!("seg_start_c{}", comp.index()), *cid)]
+            Some((ObligationKey::start(*comp), *cid))
         }
         AuditEvent::SegmentEnd { cid, comp } if comps.contains(comp) => {
-            vec![ObligationEvent::new(&format!("seg_end_c{}", comp.index()), *cid)]
+            Some((ObligationKey::end(*comp), *cid))
         }
-        _ => Vec::new(),
+        _ => None,
+    }
+}
+
+fn to_obligation_events(ev: &AuditEvent, comps: &[CompId]) -> Vec<ObligationEvent> {
+    match obligation_key(ev, comps) {
+        Some((key, cid)) => vec![ObligationEvent::new(&key.to_string(), cid)],
+        None => Vec::new(),
     }
 }
 
@@ -55,6 +72,66 @@ pub fn safe_points(log: &[AuditEvent], comps: &[CompId]) -> Vec<usize> {
     out
 }
 
+/// [`safe_points`] over the unified bus stream: returns the indices into
+/// `stream` after which an in-action touching `comps` would be safe.
+/// Non-audit events never change the verdict, so while the system is safe
+/// every intervening network or protocol event index is reported too.
+pub fn safe_points_on_stream(stream: &[Event], comps: &[CompId]) -> Vec<usize> {
+    let mut monitor = SafeStateMonitor::new(Formula::Const(true), segment_specs(comps));
+    let mut out = Vec::new();
+    for (ix, ev) in stream.iter().enumerate() {
+        let events = match &ev.payload {
+            Payload::Audit(a) => to_obligation_events(a, comps),
+            _ => Vec::new(),
+        };
+        if monitor.step(&events, &|_| false) {
+            out.push(ix);
+        }
+    }
+    out
+}
+
+/// Consumes a unified bus stream and derives the temporal-layer events it
+/// implies for `comps`: one obligation opened/discharged per segment
+/// bracket edge (identified by the typed [`ObligationKey`]) plus a
+/// [`TemporalEvent::SafePoint`] each time the monitor *re-enters* safety
+/// after being unsafe. The derived events ride the same [`Event`] envelope
+/// (obligations keep the observing actor; safe points are system-level and
+/// carry [`NO_ACTOR`]), so callers can merge them back onto a bus or into
+/// a trace.
+pub fn derive_temporal_events(stream: &[Event], comps: &[CompId]) -> Vec<Event> {
+    let mut monitor = SafeStateMonitor::new(Formula::Const(true), segment_specs(comps));
+    let mut out = Vec::new();
+    let mut was_safe = true;
+    for (ix, ev) in stream.iter().enumerate() {
+        let typed = match &ev.payload {
+            Payload::Audit(a) => obligation_key(a, comps),
+            _ => None,
+        };
+        let obls = match (&ev.payload, typed) {
+            (Payload::Audit(a), Some(_)) => to_obligation_events(a, comps),
+            _ => Vec::new(),
+        };
+        if let Some((key, cid)) = typed {
+            let t = match key.edge {
+                SegmentEdge::Start => TemporalEvent::ObligationOpened { key, cid },
+                SegmentEdge::End => TemporalEvent::ObligationDischarged { key, cid },
+            };
+            out.push(Event { at: ev.at, actor: ev.actor, payload: Payload::Temporal(t) });
+        }
+        let safe = monitor.step(&obls, &|_| false);
+        if safe && !was_safe {
+            out.push(Event {
+                at: ev.at,
+                actor: NO_ACTOR,
+                payload: Payload::Temporal(TemporalEvent::SafePoint { index: ix as u64 }),
+            });
+        }
+        was_safe = safe;
+    }
+    out
+}
+
 /// Convenience verdict: would an in-action on `comps` at position `at`
 /// (i.e. after `log[at]` was processed) have been safe?
 pub fn is_safe_at(log: &[AuditEvent], comps: &[CompId], at: usize) -> bool {
@@ -68,6 +145,7 @@ mod tests {
     use super::*;
     use sada_expr::Universe;
     use sada_model::{AuditEvent, SafetyAuditor};
+    use sada_obs::{NetEvent, SimTime};
 
     fn comp(i: usize) -> CompId {
         CompId::from_index(i)
@@ -75,13 +153,32 @@ mod tests {
 
     fn log_with_gap() -> Vec<AuditEvent> {
         vec![
-            AuditEvent::SegmentStart { cid: 1, comp: comp(0) },  // 0: open
-            AuditEvent::SegmentEnd { cid: 1, comp: comp(0) },    // 1: closed
-            AuditEvent::SegmentStart { cid: 2, comp: comp(0) },  // 2: open
-            AuditEvent::SegmentStart { cid: 3, comp: comp(1) },  // 3: both open
-            AuditEvent::SegmentEnd { cid: 2, comp: comp(0) },    // 4: only c1 open
-            AuditEvent::SegmentEnd { cid: 3, comp: comp(1) },    // 5: closed
+            AuditEvent::SegmentStart { cid: 1, comp: comp(0) }, // 0: open
+            AuditEvent::SegmentEnd { cid: 1, comp: comp(0) },   // 1: closed
+            AuditEvent::SegmentStart { cid: 2, comp: comp(0) }, // 2: open
+            AuditEvent::SegmentStart { cid: 3, comp: comp(1) }, // 3: both open
+            AuditEvent::SegmentEnd { cid: 2, comp: comp(0) },   // 4: only c1 open
+            AuditEvent::SegmentEnd { cid: 3, comp: comp(1) },   // 5: closed
         ]
+    }
+
+    /// The same log, riding the bus envelope with a network event wedged in
+    /// between every audit fact.
+    fn stream_with_gap() -> Vec<Event> {
+        let mut out = Vec::new();
+        for (ix, a) in log_with_gap().into_iter().enumerate() {
+            out.push(Event {
+                at: SimTime::from_millis(ix as u64),
+                actor: 0,
+                payload: Payload::Audit(a),
+            });
+            out.push(Event {
+                at: SimTime::from_millis(ix as u64),
+                actor: 1,
+                payload: Payload::Net(NetEvent::Sent { from: 1, to: 0 }),
+            });
+        }
+        out
     }
 
     #[test]
@@ -90,6 +187,53 @@ mod tests {
         assert_eq!(safe_points(&log, &[comp(0)]), vec![1, 4, 5]);
         assert_eq!(safe_points(&log, &[comp(1)]), vec![0, 1, 2, 5]);
         assert_eq!(safe_points(&log, &[comp(0), comp(1)]), vec![1, 5]);
+    }
+
+    #[test]
+    fn stream_safe_points_project_to_the_flat_logs() {
+        // Audit fact k sits at stream index 2k; its trailing net event (2k+1)
+        // inherits the verdict.
+        let stream = stream_with_gap();
+        assert_eq!(safe_points_on_stream(&stream, &[comp(0)]), vec![2, 3, 8, 9, 10, 11]);
+        assert_eq!(safe_points_on_stream(&stream, &[comp(0), comp(1)]), vec![2, 3, 10, 11]);
+    }
+
+    #[test]
+    fn derived_temporal_events_bracket_obligations() {
+        let stream = stream_with_gap();
+        let derived = derive_temporal_events(&stream, &[comp(0), comp(1)]);
+        let opened = derived
+            .iter()
+            .filter(|e| {
+                matches!(e.payload, Payload::Temporal(TemporalEvent::ObligationOpened { .. }))
+            })
+            .count();
+        let discharged = derived
+            .iter()
+            .filter(|e| {
+                matches!(e.payload, Payload::Temporal(TemporalEvent::ObligationDischarged { .. }))
+            })
+            .count();
+        assert_eq!((opened, discharged), (3, 3), "one bracket pair per segment");
+        // Safety is re-entered twice: after cid 1 closes and after 2 and 3
+        // both close. Safe-point indices point at the discharging events.
+        let safe_ixs: Vec<u64> = derived
+            .iter()
+            .filter_map(|e| match e.payload {
+                Payload::Temporal(TemporalEvent::SafePoint { index }) => Some(index),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(safe_ixs, vec![2, 10]);
+        // The typed key round-trips through the parser-boundary string form.
+        let first_key = derived
+            .iter()
+            .find_map(|e| match e.payload {
+                Payload::Temporal(TemporalEvent::ObligationOpened { key, .. }) => Some(key),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(first_key.to_string().parse::<ObligationKey>().unwrap(), first_key);
     }
 
     #[test]
@@ -129,10 +273,7 @@ mod tests {
             } else {
                 is_safe_at(&base, &touched, insert_at - 1)
             };
-            assert_eq!(
-                audit_ok, detector_ok,
-                "divergence when inserting in-action at {insert_at}"
-            );
+            assert_eq!(audit_ok, detector_ok, "divergence when inserting in-action at {insert_at}");
         }
     }
 }

@@ -99,10 +99,14 @@ impl Formula {
             Formula::Atom(p) => {
                 out.insert(p.as_str());
             }
-            Formula::Not(f) | Formula::Yesterday(f) | Formula::Once(f) | Formula::Historically(f) => {
-                f.collect_atoms(out)
-            }
-            Formula::And(a, b) | Formula::Or(a, b) | Formula::Implies(a, b) | Formula::Since(a, b) => {
+            Formula::Not(f)
+            | Formula::Yesterday(f)
+            | Formula::Once(f)
+            | Formula::Historically(f) => f.collect_atoms(out),
+            Formula::And(a, b)
+            | Formula::Or(a, b)
+            | Formula::Implies(a, b)
+            | Formula::Since(a, b) => {
                 a.collect_atoms(out);
                 b.collect_atoms(out);
             }
@@ -113,12 +117,14 @@ impl Formula {
     pub fn size(&self) -> usize {
         match self {
             Formula::Const(_) | Formula::Atom(_) => 1,
-            Formula::Not(f) | Formula::Yesterday(f) | Formula::Once(f) | Formula::Historically(f) => {
-                1 + f.size()
-            }
-            Formula::And(a, b) | Formula::Or(a, b) | Formula::Implies(a, b) | Formula::Since(a, b) => {
-                1 + a.size() + b.size()
-            }
+            Formula::Not(f)
+            | Formula::Yesterday(f)
+            | Formula::Once(f)
+            | Formula::Historically(f) => 1 + f.size(),
+            Formula::And(a, b)
+            | Formula::Or(a, b)
+            | Formula::Implies(a, b)
+            | Formula::Since(a, b) => 1 + a.size() + b.size(),
         }
     }
 
@@ -127,7 +133,8 @@ impl Formula {
     /// testing oracle for the incremental [`Monitor`](crate::Monitor).
     pub fn eval_trace(&self, trace: &[BTreeSet<String>]) -> bool {
         if trace.is_empty() {
-            return matches!(self, Formula::Const(true)) || matches!(self, Formula::Historically(_));
+            return matches!(self, Formula::Const(true))
+                || matches!(self, Formula::Historically(_));
         }
         self.eval_at(trace, trace.len() - 1)
     }
@@ -220,10 +227,7 @@ mod tests {
 
     #[test]
     fn display_round_trips_structure() {
-        let f = Formula::since(
-            Formula::not(Formula::atom("err")),
-            Formula::atom("reset"),
-        );
+        let f = Formula::since(Formula::not(Formula::atom("err")), Formula::atom("reset"));
         assert_eq!(f.to_string(), "(!err since reset)");
     }
 }

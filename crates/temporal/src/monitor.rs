@@ -149,10 +149,7 @@ mod tests {
     fn since_resets_on_anchor() {
         let f = Formula::since(Formula::not(Formula::atom("err")), Formula::atom("reset"));
         let mut m = Monitor::new(f);
-        let out = run(
-            &mut m,
-            &[&["reset"], &[], &["err"], &[], &["reset"], &[]],
-        );
+        let out = run(&mut m, &[&["reset"], &[], &["err"], &[], &["reset"], &[]]);
         assert_eq!(out, vec![true, true, false, false, true, true]);
     }
 

@@ -109,7 +109,9 @@ fn lex(src: &str) -> Result<Vec<(usize, Tok)>, TlParseError> {
                 };
                 out.push((start, tok));
             }
-            other => return Err(TlParseError { at: i, msg: format!("unexpected character {other:?}") }),
+            other => {
+                return Err(TlParseError { at: i, msg: format!("unexpected character {other:?}") })
+            }
         }
     }
     Ok(out)
@@ -213,7 +215,10 @@ impl P {
                 let f = self.formula()?;
                 match self.bump() {
                     Some(Tok::RParen) => Ok(f),
-                    other => Err(TlParseError { at: self.here(), msg: format!("expected ')', found {other:?}") }),
+                    other => Err(TlParseError {
+                        at: self.here(),
+                        msg: format!("expected ')', found {other:?}"),
+                    }),
                 }
             }
             other => Err(TlParseError { at, msg: format!("expected a formula, found {other:?}") }),

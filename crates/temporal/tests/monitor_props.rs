@@ -29,12 +29,11 @@ fn arb_formula() -> impl Strategy<Value = Formula> {
 }
 
 fn arb_trace() -> impl Strategy<Value = Vec<BTreeSet<String>>> {
-    prop::collection::vec(prop::collection::btree_set(prop::sample::select(PROPS.to_vec()), 0..=3), 1..24)
-        .prop_map(|t| {
-            t.into_iter()
-                .map(|s| s.into_iter().map(str::to_string).collect())
-                .collect()
-        })
+    prop::collection::vec(
+        prop::collection::btree_set(prop::sample::select(PROPS.to_vec()), 0..=3),
+        1..24,
+    )
+    .prop_map(|t| t.into_iter().map(|s| s.into_iter().map(str::to_string).collect()).collect())
 }
 
 proptest! {

@@ -5,7 +5,11 @@ use std::collections::{HashMap, VecDeque};
 
 use sada_expr::{CompId, Universe};
 use sada_meta::{FilterChain, Packet};
-use sada_proto::{AgentCore, AgentEffect, AgentEvent, AgentState, LocalAction, ProtoMsg, StepId, Wire};
+use sada_obs::{AgentStateTag, Payload, ProtoEvent};
+use sada_proto::{
+    agent_state_tag, AgentCore, AgentEffect, AgentEvent, AgentState, LocalAction, ProtoMsg, StepId,
+    Wire,
+};
 use sada_simnet::{Actor, ActorId, Context, GroupId, SimDuration, SimTime, TimerId};
 
 use crate::audit_log::AuditShared;
@@ -77,6 +81,21 @@ pub type VideoWire = Wire<AppMsg>;
 
 const TAG_FRAME: u64 = 100;
 const TAG_DRAIN: u64 = 101;
+
+/// Drains the protocol payloads an embedded agent core buffered while
+/// handling an event and publishes them on the run's bus, stamped with the
+/// embedding actor's identity and the current virtual time.
+fn flush_agent_obs(agent: &mut AgentCore, audit: &AuditShared, ctx: &mut Context<'_, VideoWire>) {
+    let obs = agent.drain_obs();
+    let bus = audit.bus();
+    if !bus.has_sinks() {
+        return;
+    }
+    let (at, actor) = (ctx.now(), ctx.self_id().index() as u32);
+    for payload in obs {
+        bus.emit(sada_obs::Event { at, actor, payload });
+    }
+}
 
 /// Aggregated server-side counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -179,7 +198,7 @@ impl ServerActor {
                     for (ix, decs) in self.client_decoders.iter().enumerate() {
                         if let Some(comp) = designated_decoder(&self.u, &cfg, decs, tag) {
                             let cid = ((ix as u64 + 1) << 48) | out.seq;
-                            self.audit.segment_start(cid, comp);
+                            self.audit.segment_start(ctx.now(), cid, comp);
                             audits.push((ix as u32, cid, comp));
                         }
                     }
@@ -190,10 +209,10 @@ impl ServerActor {
         }
     }
 
-    fn apply_structural(&mut self, la: &LocalAction, label: &str) {
+    fn apply_structural(&mut self, now: SimTime, la: &LocalAction, label: &str) {
         apply_local_action(&mut self.chain, &self.u, la)
             .unwrap_or_else(|e| panic!("server in-action {label} failed: {e}"));
-        self.audit.in_action(label, &la.removes, &la.adds);
+        self.audit.in_action(now, label, &la.removes, &la.adds);
     }
 
     fn drive(&mut self, ctx: &mut Context<'_, VideoWire>, first: AgentEvent) {
@@ -222,26 +241,27 @@ impl ServerActor {
                     }
                     AgentEffect::DoInAction(la) => {
                         let label = la.action.to_string();
-                        self.apply_structural(&la, &label);
+                        self.apply_structural(ctx.now(), &la, &label);
                         queue.push_back(AgentEvent::InActionDone);
                     }
                     AgentEffect::DoResume => {
                         self.set_blocked(ctx.now(), false);
-                        self.audit.snapshot();
+                        self.audit.snapshot(ctx.now());
                         queue.push_back(AgentEvent::ResumeFinished);
                     }
                     AgentEffect::DoRollback(undo) => {
                         if let Some(la) = undo {
                             let label = format!("undo {}", la.action);
-                            self.apply_structural(&la, &label);
+                            self.apply_structural(ctx.now(), &la, &label);
                         }
                         self.set_blocked(ctx.now(), false);
-                        self.audit.snapshot();
+                        self.audit.snapshot(ctx.now());
                         queue.push_back(AgentEvent::RollbackFinished);
                     }
                 }
             }
         }
+        flush_agent_obs(&mut self.agent, &self.audit, ctx);
     }
 
     fn handle_ctl(&mut self, ctx: &mut Context<'_, VideoWire>, ctl: CtlMsg) {
@@ -253,9 +273,9 @@ impl ServerActor {
                     adds,
                     needs_global_drain: false,
                 };
-                self.apply_structural(&la, "naive-swap");
+                self.apply_structural(ctx.now(), &la, "naive-swap");
                 // The naive strategy *claims* the system is consistent now.
-                self.audit.snapshot();
+                self.audit.snapshot(ctx.now());
             }
             CtlMsg::Passivate => self.set_blocked(ctx.now(), true),
             CtlMsg::SwapNow { removes, adds } => {
@@ -265,11 +285,11 @@ impl ServerActor {
                     adds,
                     needs_global_drain: false,
                 };
-                self.apply_structural(&la, "quiesced-swap");
+                self.apply_structural(ctx.now(), &la, "quiesced-swap");
             }
             CtlMsg::Activate => {
                 self.set_blocked(ctx.now(), false);
-                self.audit.snapshot();
+                self.audit.snapshot(ctx.now());
             }
         }
     }
@@ -348,7 +368,13 @@ pub struct ClientActor {
 impl ClientActor {
     /// Creates a client whose chain initially holds `initial` components
     /// (in chain order).
-    pub fn new(u: Universe, client_ix: u32, initial: &[&str], drain_window: SimDuration, audit: AuditShared) -> Self {
+    pub fn new(
+        u: Universe,
+        client_ix: u32,
+        initial: &[&str],
+        drain_window: SimDuration,
+        audit: AuditShared,
+    ) -> Self {
         let mut chain = FilterChain::new();
         for name in initial {
             chain.push_back(name, make_filter(name)).expect("fresh chain");
@@ -411,10 +437,10 @@ impl ClientActor {
         }
     }
 
-    fn deliver(&mut self, out: Packet) {
+    fn deliver(&mut self, now: SimTime, out: Packet) {
         if out.is_clean_plaintext() {
             if let Some((cid, comp)) = self.pending_audits.remove(&out.seq) {
-                self.audit.segment_end(cid, comp);
+                self.audit.segment_end(now, cid, comp);
             }
         }
         // Corrupted packets keep their segment open: the audit will flag the
@@ -422,10 +448,10 @@ impl ClientActor {
         self.player.accept(&out);
     }
 
-    fn apply_structural(&mut self, la: &LocalAction, label: &str) {
+    fn apply_structural(&mut self, now: SimTime, la: &LocalAction, label: &str) {
         apply_local_action(&mut self.chain, &self.u, la)
             .unwrap_or_else(|e| panic!("client {} in-action {label} failed: {e}", self.client_ix));
-        self.audit.in_action(label, &la.removes, &la.adds);
+        self.audit.in_action(now, label, &la.removes, &la.adds);
     }
 
     fn send_rejoin(&mut self, ctx: &mut Context<'_, VideoWire>) {
@@ -476,35 +502,36 @@ impl ClientActor {
                     }
                     AgentEffect::DoInAction(la) => {
                         let label = la.action.to_string();
-                        self.apply_structural(&la, &label);
+                        self.apply_structural(ctx.now(), &la, &label);
                         queue.push_back(AgentEvent::InActionDone);
                     }
                     AgentEffect::DoResume => {
                         let outs = self.chain.unblock();
                         self.note_unblock(ctx.now());
                         for out in outs {
-                            self.deliver(out);
+                            self.deliver(ctx.now(), out);
                         }
-                        self.audit.snapshot();
+                        self.audit.snapshot(ctx.now());
                         queue.push_back(AgentEvent::ResumeFinished);
                     }
                     AgentEffect::DoRollback(undo) => {
                         if let Some(la) = undo {
                             let label = format!("undo {}", la.action);
-                            self.apply_structural(&la, &label);
+                            self.apply_structural(ctx.now(), &la, &label);
                         }
                         self.resetting_drain = None;
                         let outs = self.chain.unblock();
                         self.note_unblock(ctx.now());
                         for out in outs {
-                            self.deliver(out);
+                            self.deliver(ctx.now(), out);
                         }
-                        self.audit.snapshot();
+                        self.audit.snapshot(ctx.now());
                         queue.push_back(AgentEvent::RollbackFinished);
                     }
                 }
             }
         }
+        flush_agent_obs(&mut self.agent, &self.audit, ctx);
     }
 
     fn handle_ctl(&mut self, ctx: &mut Context<'_, VideoWire>, ctl: CtlMsg) {
@@ -516,8 +543,8 @@ impl ClientActor {
                     adds,
                     needs_global_drain: false,
                 };
-                self.apply_structural(&la, "naive-swap");
-                self.audit.snapshot();
+                self.apply_structural(ctx.now(), &la, "naive-swap");
+                self.audit.snapshot(ctx.now());
             }
             CtlMsg::Passivate => {
                 self.chain.block();
@@ -530,15 +557,15 @@ impl ClientActor {
                     adds,
                     needs_global_drain: false,
                 };
-                self.apply_structural(&la, "quiesced-swap");
+                self.apply_structural(ctx.now(), &la, "quiesced-swap");
             }
             CtlMsg::Activate => {
                 let outs = self.chain.unblock();
                 self.note_unblock(ctx.now());
                 for out in outs {
-                    self.deliver(out);
+                    self.deliver(ctx.now(), out);
                 }
-                self.audit.snapshot();
+                self.audit.snapshot(ctx.now());
             }
         }
     }
@@ -575,14 +602,16 @@ impl Actor<VideoWire> for ClientActor {
                     self.data_received += 1;
                     self.highest_seq = self.highest_seq.max(pkt.seq);
                 }
-                if let Some(&(_, cid, comp)) = audits.iter().find(|(ix, _, _)| *ix == self.client_ix) {
+                if let Some(&(_, cid, comp)) =
+                    audits.iter().find(|(ix, _, _)| *ix == self.client_ix)
+                {
                     if !self.lost_cids.contains(&cid) {
                         self.pending_audits.insert(pkt.seq, (cid, comp));
                     }
                 }
                 let outs = self.chain.push(pkt);
                 for out in outs {
-                    self.deliver(out);
+                    self.deliver(ctx.now(), out);
                 }
             }
             Wire::App(AppMsg::DrainMark { step }) => {
@@ -595,7 +624,7 @@ impl Actor<VideoWire> for ClientActor {
         }
     }
 
-    fn on_crash(&mut self) {
+    fn on_crash(&mut self, now: SimTime) {
         self.crashes += 1;
         // The process image is volatile. Packets received but not yet
         // delivered (including everything buffered in a blocked chain) die
@@ -604,7 +633,7 @@ impl Actor<VideoWire> for ClientActor {
         let mut pending: Vec<_> = self.pending_audits.drain().collect();
         pending.sort_unstable();
         for (_, (cid, comp)) in pending {
-            self.audit.segment_lost(cid, comp);
+            self.audit.segment_lost(now, cid, comp);
         }
         if self.chain.is_blocked() {
             drop(self.chain.unblock());
@@ -623,7 +652,7 @@ impl Actor<VideoWire> for ClientActor {
                 needs_global_drain: false,
             };
             let label = format!("crash c{}: revert {}", self.client_ix, la.action);
-            self.apply_structural(&undo, &label);
+            self.apply_structural(now, &undo, &label);
         }
         self.resetting_drain = None;
         self.drain_fallback = None;
@@ -637,12 +666,25 @@ impl Actor<VideoWire> for ClientActor {
         // Segments opened for us while we were down belong to packets the
         // outage destroyed; adjudicate them lost *now*, before any re-run
         // in-action could falsely count them as interrupted.
-        for (cid, _) in self.audit.adjudicate_lost(u64::from(self.client_ix) + 1) {
+        for (cid, _) in self.audit.adjudicate_lost(ctx.now(), u64::from(self.client_ix) + 1) {
             self.lost_cids.insert(cid);
         }
         // Only `last_completed` survives on durable storage; the protocol
         // state machine restarts in Running.
+        let prev = self.agent.state();
         self.agent = AgentCore::restore(self.agent.last_completed());
+        // The crash snapped the state machine back to Running without an
+        // ordinary transition; publish one so per-phase interval integration
+        // closes the dead incarnation's phase at the restart instant.
+        if prev != AgentState::Running {
+            self.audit.bus().publish(ctx.now(), ctx.self_id().index() as u32, || {
+                Payload::Proto(ProtoEvent::AgentState {
+                    from: agent_state_tag(prev),
+                    to: AgentStateTag::Running,
+                    step: None,
+                })
+            });
+        }
         // The outage counted as blocked time; playback resumes now.
         self.note_unblock(ctx.now());
         if self.monitor.is_some() && ctx.now() < self.report_until {
@@ -656,7 +698,8 @@ impl Actor<VideoWire> for ClientActor {
     }
 
     fn on_timer(&mut self, ctx: &mut Context<'_, VideoWire>, tag: u64) {
-        if tag == TAG_REJOIN && self.rejoin_budget > 0 && self.agent.state() == AgentState::Running {
+        if tag == TAG_REJOIN && self.rejoin_budget > 0 && self.agent.state() == AgentState::Running
+        {
             self.rejoin_budget -= 1;
             self.send_rejoin(ctx);
         }

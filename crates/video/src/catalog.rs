@@ -73,7 +73,12 @@ pub fn accepts(name: &str) -> &'static [u16] {
 /// `tag`: present in `cfg` and accepting `tag`. `None` means such packets
 /// are currently undecodable on that client — a dependency violation in the
 /// making.
-pub fn designated_decoder(u: &Universe, cfg: &Config, candidates: &[&str], tag: u16) -> Option<CompId> {
+pub fn designated_decoder(
+    u: &Universe,
+    cfg: &Config,
+    candidates: &[&str],
+    tag: u16,
+) -> Option<CompId> {
     candidates.iter().find_map(|name| {
         let id = u.id(name)?;
         (cfg.contains(id) && accepts(name).contains(&tag)).then_some(id)
@@ -134,7 +139,9 @@ mod tests {
     #[test]
     fn every_component_constructs_and_codes() {
         let pkt = Packet::new(0, 1, b"frame bytes".to_vec());
-        for (enc, dec) in [("E1", "D1"), ("E1", "D4"), ("E2", "D3"), ("E2", "D5"), ("E2", "D2"), ("E1", "D2")] {
+        for (enc, dec) in
+            [("E1", "D1"), ("E1", "D4"), ("E2", "D3"), ("E2", "D5"), ("E2", "D2"), ("E1", "D2")]
+        {
             let mut e = make_filter(enc);
             let mut d = make_filter(dec);
             let wire = e.process(pkt.clone()).pop().unwrap();

@@ -135,8 +135,10 @@ pub fn fec_spec() -> (AdaptationSpec, Config, Config) {
 /// Runs the full monitor-triggered FEC adaptation.
 pub fn run_fec_scenario(cfg: &FecScenarioConfig) -> FecReport {
     let (spec, source, target) = fec_spec();
-    let audit = AuditShared::new(source.clone());
+    let bus = sada_obs::Bus::new();
+    let audit = AuditShared::new(&bus, source.clone());
     let mut sim: Simulator<VideoWire> = Simulator::new(cfg.seed);
+    sim.set_bus(bus);
     sim.set_default_link(LinkConfig::reliable(SimDuration::from_millis(5)));
 
     let u = spec.universe().clone();
@@ -180,7 +182,10 @@ pub fn run_fec_scenario(cfg: &FecScenarioConfig) -> FecReport {
         .with_request_trigger(Box::new(|m: &AppMsg| matches!(m, AppMsg::RequestAdaptation))),
     );
     let monitor = sim.add_actor("loss-monitor", LossMonitorActor::new(manager, cfg.threshold, 50));
-    debug_assert_eq!((s, h, l, manager, monitor.index() as u32), (server_id, handheld_id, laptop_id, manager_id, 4));
+    debug_assert_eq!(
+        (s, h, l, manager, monitor.index() as u32),
+        (server_id, handheld_id, laptop_id, manager_id, 4)
+    );
     sim.actor_mut::<ServerActor>(s).unwrap().set_manager(manager);
     sim.actor_mut::<ClientActor>(h).unwrap().set_manager(manager);
     sim.actor_mut::<ClientActor>(l).unwrap().set_manager(manager);
@@ -197,7 +202,8 @@ pub fn run_fec_scenario(cfg: &FecScenarioConfig) -> FecReport {
         let lp = sim.actor::<ClientActor>(l).unwrap().stats().frames_displayed;
         hh + lp
     };
-    let sent_at = |sim: &Simulator<VideoWire>| sim.actor::<ServerActor>(s).unwrap().stats.frames_sent;
+    let sent_at =
+        |sim: &Simulator<VideoWire>| sim.actor::<ServerActor>(s).unwrap().stats.frames_sent;
     let (d0, s0) = (displayed_at(&sim), sent_at(&sim));
 
     // Phase 2: run until the monitor fires and the adaptation settles (or
@@ -208,10 +214,8 @@ pub fn run_fec_scenario(cfg: &FecScenarioConfig) -> FecReport {
     while t < deadline {
         t = (t + SimDuration::from_millis(25)).min(deadline);
         sim.run_until(t);
-        let fec_active = sim
-            .actor::<ManagerActor<AppMsg>>(manager)
-            .and_then(|m| m.outcome.clone())
-            .is_some();
+        let fec_active =
+            sim.actor::<ManagerActor<AppMsg>>(manager).and_then(|m| m.outcome.clone()).is_some();
         if fec_active {
             break;
         }
@@ -266,11 +270,8 @@ mod tests {
         let (spec, source, target) = fec_spec();
         let map = spec.minimum_adaptation_path(&source, &target).expect("path exists");
         assert_eq!(map.steps.len(), 3);
-        let names: Vec<&str> = map
-            .action_ids()
-            .iter()
-            .map(|a| spec.actions()[a.index()].name())
-            .collect();
+        let names: Vec<&str> =
+            map.action_ids().iter().map(|a| spec.actions()[a.index()].name()).collect();
         assert_eq!(names.last(), Some(&"+FE"), "encoder inserted last");
         assert!(names[..2].contains(&"+FDH") && names[..2].contains(&"+FDL"));
     }

@@ -56,7 +56,13 @@ impl FrameSource {
 ///
 /// `stream` and `first_seq` assign packet identities; returns the packets
 /// and the next unused sequence number.
-pub fn fragment(stream: u32, first_seq: u64, frame_no: u32, frame: &[u8], mtu: usize) -> (Vec<Packet>, u64) {
+pub fn fragment(
+    stream: u32,
+    first_seq: u64,
+    frame_no: u32,
+    frame: &[u8],
+    mtu: usize,
+) -> (Vec<Packet>, u64) {
     assert!(mtu > FRAG_HEADER, "mtu must exceed the fragment header");
     let chunk = mtu - FRAG_HEADER;
     let count = frame.len().div_ceil(chunk).max(1);
@@ -144,7 +150,11 @@ impl Default for PlayerSink {
 impl PlayerSink {
     /// An empty player.
     pub fn new() -> Self {
-        PlayerSink { partial: HashMap::new(), stats: PlayerStats::default(), highest_completed: None }
+        PlayerSink {
+            partial: HashMap::new(),
+            stats: PlayerStats::default(),
+            highest_completed: None,
+        }
     }
 
     /// Current statistics.
@@ -187,7 +197,8 @@ impl PlayerSink {
             } else {
                 self.stats.frames_corrupted += 1;
             }
-            self.highest_completed = Some(self.highest_completed.map_or(info.frame_no, |h| h.max(info.frame_no)));
+            self.highest_completed =
+                Some(self.highest_completed.map_or(info.frame_no, |h| h.max(info.frame_no)));
             self.garbage_collect();
         }
     }

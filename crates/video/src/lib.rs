@@ -36,7 +36,7 @@ mod scenario;
 pub use actors::{AppMsg, ClientActor, CtlMsg, ServerActor, ServerStats, VideoWire};
 pub use audit_log::AuditShared;
 pub use crc::crc32;
-pub use frame::{fragment, FrameSource, PlayerSink, PlayerStats, FRAG_HEADER};
 pub use fec_scenario::{fec_spec, run_fec_scenario, FecReport, FecScenarioConfig};
+pub use frame::{fragment, FrameSource, PlayerSink, PlayerStats, FRAG_HEADER};
 pub use monitor::LossMonitorActor;
 pub use scenario::{run_video_scenario, run_video_with, ScenarioConfig, Strategy, VideoReport};

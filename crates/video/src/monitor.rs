@@ -68,7 +68,12 @@ mod tests {
         requests: u32,
     }
     impl Actor<VideoWire> for Sink {
-        fn on_message(&mut self, _ctx: &mut Context<'_, VideoWire>, _from: ActorId, msg: VideoWire) {
+        fn on_message(
+            &mut self,
+            _ctx: &mut Context<'_, VideoWire>,
+            _from: ActorId,
+            msg: VideoWire,
+        ) {
             if matches!(msg, Wire::App(AppMsg::RequestAdaptation)) {
                 self.requests += 1;
             }

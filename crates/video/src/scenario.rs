@@ -4,6 +4,7 @@
 use sada_core::casestudy::{case_study, CaseStudy};
 use sada_expr::CompId;
 use sada_model::{AuditReport, SafetyAuditor};
+use sada_obs::Bus;
 use sada_proto::{ManagerActor, Outcome, ProtoTiming, Wire};
 use sada_simnet::{ActorId, FaultPlan, LinkConfig, SimDuration, SimTime, Simulator};
 
@@ -34,6 +35,10 @@ pub struct ScenarioConfig {
     pub drain_window: SimDuration,
     /// Injected faults (crashes, partitions); empty by default.
     pub faults: FaultPlan,
+    /// Unified observability bus shared by the network, the protocol
+    /// participants, and the audit instrumentation. Attach sinks to a clone
+    /// before the run to capture the whole event stream.
+    pub bus: Bus,
 }
 
 impl Default for ScenarioConfig {
@@ -49,6 +54,7 @@ impl Default for ScenarioConfig {
             timing: ProtoTiming::default(),
             drain_window: SimDuration::from_millis(50),
             faults: FaultPlan::new(),
+            bus: Bus::new(),
         }
     }
 }
@@ -133,8 +139,9 @@ pub fn run_video_scenario(cfg: &ScenarioConfig, strategy: Strategy) -> VideoRepo
 /// case study (e.g. a restricted action table that forces the compound
 /// drain-requiring path).
 pub fn run_video_with(cfg: &ScenarioConfig, strategy: Strategy, cs: &CaseStudy) -> VideoReport {
-    let audit = AuditShared::new(cs.source.clone());
+    let audit = AuditShared::new(&cfg.bus, cs.source.clone());
     let mut sim: Simulator<VideoWire> = Simulator::new(cfg.seed);
+    sim.set_bus(cfg.bus.clone());
     sim.set_default_link(cfg.link);
 
     let u = cs.spec.universe().clone();
@@ -183,7 +190,8 @@ pub fn run_video_with(cfg: &ScenarioConfig, strategy: Strategy, cs: &CaseStudy) 
                     cs.source.clone(),
                     cs.target.clone(),
                 )
-                .with_request_delay(cfg.adapt_at),
+                .with_request_delay(cfg.adapt_at)
+                .with_bus(cfg.bus.clone()),
             );
             sim2.actor_mut::<ServerActor>(s).unwrap().set_manager(manager);
             sim2.actor_mut::<ClientActor>(h).unwrap().set_manager(manager);
@@ -237,7 +245,7 @@ pub fn run_video_with(cfg: &ScenarioConfig, strategy: Strategy, cs: &CaseStudy) 
     // them lost before auditing (cid high bits encode the owning client).
     for (ix, id) in [(0u64, h), (1u64, l)] {
         if sim2.actor::<ClientActor>(id).unwrap().crashes > 0 {
-            audit.adjudicate_lost(ix + 1);
+            audit.adjudicate_lost(sim2.now(), ix + 1);
         }
     }
     let auditor = SafetyAuditor::new(cs.spec.invariants().clone());

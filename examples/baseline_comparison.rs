@@ -26,7 +26,8 @@ fn main() {
     let none = run_video_scenario(&cfg, Strategy::None);
     let safe = run_video_scenario(&cfg, Strategy::Safe);
     let naive = run_video_scenario(&cfg, Strategy::Naive { skew: SimDuration::from_millis(60) });
-    let quiesce = run_video_scenario(&cfg, Strategy::Quiescence { window: SimDuration::from_millis(100) });
+    let quiesce =
+        run_video_scenario(&cfg, Strategy::Quiescence { window: SimDuration::from_millis(100) });
 
     println!(
         "{:<12} {:>8} {:>10} {:>10} {:>12} {:>12} {:>8}",

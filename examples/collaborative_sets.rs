@@ -53,7 +53,11 @@ fn main() {
 
     // Scoped enumeration: only the touched set matters -> 2 configurations.
     let scope = collab::scope_for(&u, &invariants, &actions, &source, &target);
-    println!("adaptation touches {} components: {:?}", scope.len(), scope.iter().map(|&c| u.name(c)).collect::<Vec<_>>());
+    println!(
+        "adaptation touches {} components: {:?}",
+        scope.len(),
+        scope.iter().map(|&c| u.name(c)).collect::<Vec<_>>()
+    );
     let scoped_safe = enumerate::safe_configs_scoped(&u, &invariants, &scope, &source);
     println!("scoped safe-configuration set: {} configurations", scoped_safe.len());
     assert_eq!(scoped_safe.len(), 2);

@@ -20,12 +20,7 @@ fn main() {
         u.intern(n);
     }
     let invariants = InvariantSet::parse(
-        &[
-            "one_of(D1, D2, D3)",
-            "one_of(E1, E2)",
-            "E1 => (D1 | D2) & D4",
-            "E2 => (D3 | D2) & D5",
-        ],
+        &["one_of(D1, D2, D3)", "one_of(E1, E2)", "E1 => (D1 | D2) & D4", "E2 => (D3 | D2) & D5"],
         &mut u,
     )
     .unwrap();
@@ -90,7 +85,10 @@ fn main() {
     let report = run_adaptation(&spec, &source, &target, &RunConfig::default());
     println!(
         "outcome: success={} steps={} in {} ({} msgs)",
-        report.outcome.success, report.outcome.steps_committed, report.finished_at, report.messages_sent
+        report.outcome.success,
+        report.outcome.steps_committed,
+        report.finished_at,
+        report.messages_sent
     );
     assert!(report.outcome.success);
     assert_eq!(report.outcome.final_config, target);

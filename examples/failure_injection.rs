@@ -16,7 +16,10 @@ fn main() {
     let report = run_adaptation(&cs.spec, &cs.source, &cs.target, &RunConfig::default());
     println!(
         "  outcome: success={} steps={} at {} ({} msgs)",
-        report.outcome.success, report.outcome.steps_committed, report.finished_at, report.messages_sent
+        report.outcome.success,
+        report.outcome.steps_committed,
+        report.finished_at,
+        report.messages_sent
     );
 
     println!("\n== 2. loss-of-message: 20% loss on manager<->agent links ==");
@@ -34,7 +37,11 @@ fn main() {
             report.outcome.final_config.to_bit_string(),
             report.messages_dropped,
             report.messages_sent,
-            if report.outcome.warnings.is_empty() { String::new() } else { format!(" warnings={:?}", report.outcome.warnings) },
+            if report.outcome.warnings.is_empty() {
+                String::new()
+            } else {
+                format!(" warnings={:?}", report.outcome.warnings)
+            },
         );
         assert!(cs.spec.is_safe(&report.outcome.final_config), "must always end safe");
     }
@@ -42,7 +49,12 @@ fn main() {
     println!("\n== 3. fail-to-reset on the hand-held (a long critical segment) ==");
     let cfg = RunConfig { fail_to_reset: vec![1], ..RunConfig::default() };
     let report = run_adaptation(&cs.spec, &cs.source, &cs.target, &cfg);
-    println!("  outcome: success={} gave_up={} final={}", report.outcome.success, report.outcome.gave_up, report.outcome.final_config.to_bit_string());
+    println!(
+        "  outcome: success={} gave_up={} final={}",
+        report.outcome.success,
+        report.outcome.gave_up,
+        report.outcome.final_config.to_bit_string()
+    );
     println!("  manager log:");
     for info in &report.infos {
         println!("    - {info}");
@@ -53,7 +65,12 @@ fn main() {
     println!("\n== 4. fail-to-reset on the laptop ==");
     let cfg = RunConfig { fail_to_reset: vec![2], ..RunConfig::default() };
     let report = run_adaptation(&cs.spec, &cs.source, &cs.target, &cfg);
-    println!("  outcome: success={} gave_up={} final={}", report.outcome.success, report.outcome.gave_up, report.outcome.final_config.to_bit_string());
+    println!(
+        "  outcome: success={} gave_up={} final={}",
+        report.outcome.success,
+        report.outcome.gave_up,
+        report.outcome.final_config.to_bit_string()
+    );
     assert!(cs.spec.is_safe(&report.outcome.final_config));
 
     println!("\nevery run ended in a safe configuration — the paper's guarantee held.");

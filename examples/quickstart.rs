@@ -17,10 +17,10 @@ fn main() {
     let mut universe = Universe::new();
     let invariants = InvariantSet::parse(
         &[
-            "one_of(Tls12, Tls13)",          // the gateway runs exactly one stack
-            "one_of(Client12, Client13)",    // the edge runs exactly one client
-            "Tls13 => Client13",             // the new stack needs the new client
-            "Tls12 => Client12",             // and vice versa
+            "one_of(Tls12, Tls13)",       // the gateway runs exactly one stack
+            "one_of(Client12, Client13)", // the edge runs exactly one client
+            "Tls13 => Client13",          // the new stack needs the new client
+            "Tls12 => Client12",          // and vice versa
         ],
         &mut universe,
     )
@@ -47,7 +47,8 @@ fn main() {
         &[("Tls12", gateway), ("Tls13", gateway), ("Client12", edge), ("Client13", edge)],
     );
 
-    let spec = AdaptationSpec::new(universe, invariants, actions, model, vec![0, 1], HashSet::new());
+    let spec =
+        AdaptationSpec::new(universe, invariants, actions, model, vec![0, 1], HashSet::new());
 
     // 2. Detection and setup phase — enumerate safe configurations, build
     //    the SAG, find the minimum adaptation path.

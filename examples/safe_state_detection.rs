@@ -20,11 +20,9 @@ fn main() {
     let mut monitor = Monitor::new(formula.clone());
     println!("== ptLTL monitor ==");
     println!("formula: {formula}");
-    for (label, props) in [
-        ("idle", vec![]),
-        ("planned", vec!["planned"]),
-        ("adapting", vec!["adapting"]),
-    ] {
+    for (label, props) in
+        [("idle", vec![]), ("planned", vec!["planned"]), ("adapting", vec!["adapting"])]
+    {
         let props2 = props.clone();
         let verdict = monitor.step(&|p| props2.contains(&p));
         println!("  state {label:<9} -> {}", if verdict { "OK" } else { "VIOLATED" });
@@ -71,10 +69,8 @@ fn main() {
     let mut checked = 0;
     for at in 0..log.len() {
         let mut with_action = log.clone();
-        with_action.insert(
-            at + 1,
-            AuditEvent::InAction { label: "D1 -> D2".into(), comps: vec![d1] },
-        );
+        with_action
+            .insert(at + 1, AuditEvent::InAction { label: "D1 -> D2".into(), comps: vec![d1] });
         let audit_ok = auditor.audit(&with_action).is_safe();
         let detector_ok = audit_bridge::is_safe_at(&log, &[d1], at);
         assert_eq!(audit_ok, detector_ok, "divergence at {at}");

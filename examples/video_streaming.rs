@@ -51,7 +51,10 @@ fn main() {
     println!("adaptation success: {}", outcome.success);
     println!("steps committed:    {}", outcome.steps_committed);
     println!("frames sent:        {}", report.server.frames_sent);
-    println!("frames displayed:   handheld={} laptop={}", report.handheld.frames_displayed, report.laptop.frames_displayed);
+    println!(
+        "frames displayed:   handheld={} laptop={}",
+        report.handheld.frames_displayed, report.laptop.frames_displayed
+    );
     println!("corrupted packets:  {}", report.corrupted_packets());
     println!("server blocked:     {}", report.server.blocked);
     println!(

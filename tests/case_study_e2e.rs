@@ -37,12 +37,7 @@ fn compound_only_case_study() -> CaseStudy {
         u.intern(name);
     }
     let invariants = InvariantSet::parse(
-        &[
-            "one_of(D1, D2, D3)",
-            "one_of(E1, E2)",
-            "E1 => (D1 | D2) & D4",
-            "E2 => (D3 | D2) & D5",
-        ],
+        &["one_of(D1, D2, D3)", "one_of(E1, E2)", "E1 => (D1 | D2) & D4", "E2 => (D3 | D2) & D5"],
         &mut u,
     )
     .unwrap();
@@ -133,10 +128,8 @@ fn adaptation_under_lossy_control_links_keeps_stream_safe() {
 #[test]
 fn adaptation_before_stream_starts_and_after_it_ends() {
     // Request fires at t=1ms, long before meaningful traffic.
-    let early = ScenarioConfig {
-        adapt_at: SimDuration::from_millis(1),
-        ..ScenarioConfig::default()
-    };
+    let early =
+        ScenarioConfig { adapt_at: SimDuration::from_millis(1), ..ScenarioConfig::default() };
     let r1 = run_video_scenario(&early, Strategy::Safe);
     assert!(r1.outcome.as_ref().unwrap().success);
     assert_eq!(r1.corrupted_packets(), 0);
@@ -159,10 +152,7 @@ fn naive_baseline_corrupts_under_every_skew() {
             &ScenarioConfig::default(),
             Strategy::Naive { skew: SimDuration::from_millis(skew_ms) },
         );
-        assert!(
-            report.corrupted_packets() > 0,
-            "skew {skew_ms}ms should corrupt the stream"
-        );
+        assert!(report.corrupted_packets() > 0, "skew {skew_ms}ms should corrupt the stream");
         assert!(!report.audit.is_safe(), "skew {skew_ms}ms must fail the audit");
     }
 }

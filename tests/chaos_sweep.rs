@@ -10,9 +10,12 @@
 //! 3. do so at bounded overhead — no unbounded retry storms.
 //!
 //! A failing seed dumps its plan to `target/chaos-failures/` in the
-//! replayable `FaultPlan::parse` text form; copy it into
-//! `tests/regressions/` to pin it as a permanent regression (the
-//! `pinned_fault_plans_stay_safe` test replays every file there).
+//! replayable `FaultPlan::parse` text form alongside the unified event
+//! trace of the failing run (`seed-N.trace.jsonl`); render its per-phase
+//! timeline with `cargo run -p sada-bench --bin report -- timeline <seed>`,
+//! or copy the plan into `tests/regressions/` to pin it as a permanent
+//! regression (the `pinned_fault_plans_stay_safe` test replays every file
+//! there).
 
 use std::fmt::Write as _;
 
@@ -69,16 +72,34 @@ fn check_plan(cs: &CaseStudy, plan: &FaultPlan, label: &str) -> RunReport {
     report
 }
 
-/// Dumps a failing plan in replayable text form and returns the path.
-fn dump_counterexample(seed: u64, intensity: f64, plan: &FaultPlan) -> String {
+/// Dumps a failing plan in replayable text form, plus the unified event
+/// trace of the failing run (`seed-N.trace.jsonl`), and returns the path.
+fn dump_counterexample(cs: &CaseStudy, seed: u64, intensity: f64, plan: &FaultPlan) -> String {
     let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("target/chaos-failures");
     let _ = std::fs::create_dir_all(&dir);
     let path = dir.join(format!("seed-{seed}.txt"));
     let body = format!(
-        "# chaos counterexample: seed {seed}, intensity {intensity}\n# replay: copy into tests/regressions/\n{}",
+        "# chaos counterexample: seed {seed}, intensity {intensity}\n\
+         # per-phase timeline: cargo run -p sada-bench --bin report -- timeline {seed}\n\
+         # replay: copy into tests/regressions/\n{}",
         plan.to_text()
     );
     let _ = std::fs::write(&path, body);
+    // Re-run the failing plan with a trace sink attached; if it panics
+    // again (it should — same seed, same world), the sink still holds every
+    // event up to the failure point, which is exactly the forensic record.
+    let sink = std::rc::Rc::new(std::cell::RefCell::new(sada_obs::JsonlSink::new()));
+    let bus = sada_obs::Bus::new();
+    bus.attach(&sink);
+    let cfg = RunConfig { faults: plan.clone(), bus, ..RunConfig::default() };
+    let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        run_adaptation(&cs.spec, &cs.source, &cs.target, &cfg)
+    }));
+    let trace = format!(
+        "# unified event trace for chaos seed {seed} (up to the failure point)\n{}",
+        sink.borrow().dump()
+    );
+    let _ = std::fs::write(dir.join(format!("seed-{seed}.trace.jsonl")), trace);
     path.display().to_string()
 }
 
@@ -106,7 +127,7 @@ fn fifty_random_fault_plans_all_end_safe() {
                 successes += u32::from(report.outcome.success);
             }
             Err(payload) => {
-                let path = dump_counterexample(seed, intensity, &plan);
+                let path = dump_counterexample(&cs, seed, intensity, &plan);
                 let msg = payload
                     .downcast_ref::<String>()
                     .cloned()

@@ -77,8 +77,10 @@ struct World {
 /// control.
 fn build(adapt_at: Option<SimDuration>, stream_end: SimTime) -> World {
     let (spec, source, target) = compression_spec();
-    let audit = AuditShared::new(source.clone());
+    let bus = sada_obs::Bus::new();
+    let audit = AuditShared::new(&bus, source.clone());
     let mut sim: Simulator<VideoWire> = Simulator::new(33);
+    sim.set_bus(bus);
     sim.set_default_link(LinkConfig::reliable(SimDuration::from_millis(5)));
     // Wire-level message sizes: video payload bytes plus a fixed header;
     // control traffic is small.
@@ -87,7 +89,8 @@ fn build(adapt_at: Option<SimDuration>, stream_end: SimTime) -> World {
         _ => 64,
     }));
     let u = spec.universe().clone();
-    let group = sim.create_group(&[ActorId::from_index(0), ActorId::from_index(1), ActorId::from_index(2)]);
+    let group =
+        sim.create_group(&[ActorId::from_index(0), ActorId::from_index(1), ActorId::from_index(2)]);
     let s = sim.add_actor(
         "video-server",
         ServerActor::new(
@@ -164,10 +167,7 @@ fn compression_insertion_relieves_congestion() {
     // The adaptation itself succeeded with the right ordering and no
     // corruption on either client.
     adapted.sim.run();
-    let mgr = adapted
-        .sim
-        .actor::<ManagerActor<AppMsg>>(ActorId::from_index(3))
-        .unwrap();
+    let mgr = adapted.sim.actor::<ManagerActor<AppMsg>>(ActorId::from_index(3)).unwrap();
     let outcome = mgr.outcome.clone().expect("resolved");
     assert!(outcome.success);
     assert_eq!(outcome.steps_committed, 3, "+CDH, +CDL, +CE in dependency order");
@@ -184,10 +184,7 @@ fn compression_insertion_relieves_congestion() {
 fn compression_plan_orders_decompressors_first() {
     let (spec, source, target) = compression_spec();
     let map = spec.minimum_adaptation_path(&source, &target).unwrap();
-    let names: Vec<&str> = map
-        .action_ids()
-        .iter()
-        .map(|a| spec.actions()[a.index()].name())
-        .collect();
+    let names: Vec<&str> =
+        map.action_ids().iter().map(|a| spec.actions()[a.index()].name()).collect();
     assert_eq!(names.last(), Some(&"+CE"), "compressor only after both decompressors");
 }

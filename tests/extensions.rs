@@ -46,7 +46,8 @@ fn spec_file_round_trip_drives_a_real_adaptation() {
     let u = spec.universe();
     let source = parse_config_arg(u, "0100101").unwrap();
     let target = parse_config_arg(u, "1010010").unwrap();
-    let report = sada_core::run_adaptation(&spec, &source, &target, &sada_core::RunConfig::default());
+    let report =
+        sada_core::run_adaptation(&spec, &source, &target, &sada_core::RunConfig::default());
     assert!(report.outcome.success);
     assert_eq!(report.outcome.steps_committed, 5);
     assert_eq!(report.outcome.final_config, target);

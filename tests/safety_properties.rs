@@ -133,7 +133,14 @@ fn build_world(raw: &[(usize, usize, u64)]) -> (Universe, InvariantSet, Vec<Acti
 
 /// Brute-force cheapest simple path on the safe-singleton graph.
 fn brute_force_cost(actions: &[Action], from: &Config, to: &Config) -> Option<u64> {
-    fn dfs(actions: &[Action], cur: &Config, to: &Config, visited: &mut Vec<Config>, spent: u64, best: &mut Option<u64>) {
+    fn dfs(
+        actions: &[Action],
+        cur: &Config,
+        to: &Config,
+        visited: &mut Vec<Config>,
+        spent: u64,
+        best: &mut Option<u64>,
+    ) {
         if cur == to {
             *best = Some(best.map_or(spent, |b: u64| b.min(spent)));
             return;

@@ -74,12 +74,7 @@ pub struct Criterion {
 
 impl Criterion {
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
-        BenchmarkGroup {
-            _criterion: self,
-            name: name.into(),
-            sample_size: 10,
-            throughput: None,
-        }
+        BenchmarkGroup { _criterion: self, name: name.into(), sample_size: 10, throughput: None }
     }
 
     pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self

@@ -456,7 +456,9 @@ pub mod prelude {
     pub use crate::prop;
     pub use crate::strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy, Union};
     pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
 }
 
 // Re-export at the root too, mirroring real proptest's module layout.
