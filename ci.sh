@@ -23,7 +23,15 @@ echo "==> clippy (deny warnings)"
 cargo clippy --workspace --all-targets -- -D warnings
 
 echo "==> pinned chaos seeds (regression corpus + reproducibility)"
-cargo test -q --test chaos_sweep
+# The sweep covers SADA_CHAOS_SEEDS random fault plans per intensity
+# (default 50) with the manager itself among the crash victims, and
+# replays every manager-journal prefix of every run. CI keeps the default
+# subset; set SADA_FULL_CHAOS=1 for the 250-seed soak before releases.
+if [ "${SADA_FULL_CHAOS:-0}" != "0" ]; then
+    SADA_CHAOS_SEEDS="${SADA_CHAOS_SEEDS:-250}" cargo test -q --test chaos_sweep
+else
+    cargo test -q --test chaos_sweep
+fi
 
 echo "==> observability timeline smoke (video case study + chaos seed replay)"
 cargo run -q --release -p sada-bench --bin report -- timeline > /dev/null

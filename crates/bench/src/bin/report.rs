@@ -222,8 +222,18 @@ fn failures() {
     }
 }
 
+/// The exact `ChaosOpts` the tier-1 chaos sweep uses (tests/chaos_sweep.rs)
+/// — kept in lockstep so `timeline <seed>` and the chaos matrix reproduce
+/// the same plans a failing sweep seed names. Every actor, the manager
+/// included, is crashable; the manager recovers via its write-ahead journal.
+fn sweep_chaos_opts(cs: &sada_core::casestudy::CaseStudy) -> ChaosOpts {
+    let n = cs.spec.model().process_count();
+    let all: Vec<ActorId> = (0..=n).map(ActorId::from_index).collect();
+    ChaosOpts { crashable: all.clone(), partitionable: all, horizon: SimDuration::from_millis(500) }
+}
+
 fn crashes() {
-    println!("## Crash faults — agent crash/recovery matrix");
+    println!("## Crash faults — agent and manager crash/recovery matrix");
     let cs = case_study();
     // Baseline cost of the unfaulted run, for overhead accounting.
     let base = run_adaptation(&cs.spec, &cs.source, &cs.target, &RunConfig::default());
@@ -235,10 +245,14 @@ fn crashes() {
     // victim; the victim restarts 100 ms after dying.
     println!("single crash/restart sweep (restart = crash + 100ms):");
     println!(
-        "{:<10} {:>9} {:>9} {:>9} {:>9} {:>11} {:>10}",
-        "victim", "crash-at", "success", "rejoins", "msgs", "finished", "safe"
+        "{:<10} {:>9} {:>9} {:>9} {:>9} {:>9} {:>11} {:>10}",
+        "victim", "crash-at", "success", "rejoins", "restores", "msgs", "finished", "safe"
     );
-    for (who, name) in [(0usize, "server"), (1, "handheld"), (2, "laptop")] {
+    // The manager (registered after the agents) is a victim like any other:
+    // it recovers by replaying its write-ahead journal instead of rejoining.
+    let manager_ix = cs.spec.model().process_count();
+    for (who, name) in [(0usize, "server"), (1, "handheld"), (2, "laptop"), (manager_ix, "manager")]
+    {
         for crash_ms in [2u64, 6, 12, 20, 30] {
             let victim = ActorId::from_index(who);
             let cfg = RunConfig {
@@ -250,11 +264,12 @@ fn crashes() {
             let r = run_adaptation(&cs.spec, &cs.source, &cs.target, &cfg);
             assert!(cs.spec.is_safe(&r.outcome.final_config), "safety invariant");
             println!(
-                "{:<10} {:>7}ms {:>9} {:>9} {:>9} {:>11} {:>10}",
+                "{:<10} {:>7}ms {:>9} {:>9} {:>9} {:>9} {:>11} {:>10}",
                 name,
                 crash_ms,
                 r.outcome.success,
                 r.rejoins,
+                r.manager_restores,
                 r.messages_sent,
                 format!("{}", r.finished_at),
                 cs.spec.is_safe(&r.outcome.final_config)
@@ -263,19 +278,17 @@ fn crashes() {
     }
     // Randomized chaos: the same sweep the tier-1 chaos_sweep test runs,
     // summarized as a matrix over intensity.
-    println!("chaos sweep (20 seeds per intensity, crashes + partitions + drops + bursts):");
     println!(
-        "{:<10} {:>9} {:>9} {:>9} {:>9} {:>9} {:>11}",
-        "intensity", "success", "aborted", "gave-up", "crashes", "rejoins", "avg msgs"
+        "chaos sweep (20 seeds per intensity, crashes incl. manager + partitions + drops + bursts):"
     );
-    let n = cs.spec.model().process_count();
-    let agents: Vec<ActorId> = (0..n).map(ActorId::from_index).collect();
-    let mut all = agents.clone();
-    all.push(ActorId::from_index(n));
-    let opts =
-        ChaosOpts { crashable: agents, partitionable: all, horizon: SimDuration::from_millis(500) };
+    println!(
+        "{:<10} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>11}",
+        "intensity", "success", "aborted", "gave-up", "crashes", "rejoins", "restores", "avg msgs"
+    );
+    let opts = sweep_chaos_opts(&cs);
     for intensity in [0.2, 0.4, 0.6, 0.8] {
-        let (mut ok, mut ab, mut gu, mut cr, mut rj, mut msgs) = (0, 0, 0, 0u64, 0u64, 0u64);
+        let (mut ok, mut ab, mut gu, mut cr, mut rj, mut rs, mut msgs) =
+            (0, 0, 0, 0u64, 0u64, 0u64, 0u64);
         for seed in 0..20u64 {
             let plan = chaos(seed, intensity, &opts);
             let cfg = RunConfig { faults: plan, ..RunConfig::default() };
@@ -290,16 +303,18 @@ fn crashes() {
             }
             cr += r.crashes;
             rj += r.rejoins;
+            rs += r.manager_restores;
             msgs += r.messages_sent;
         }
         println!(
-            "{:<10} {:>9} {:>9} {:>9} {:>9} {:>9} {:>11}",
+            "{:<10} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>11}",
             intensity,
             ok,
             ab,
             gu,
             cr,
             rj,
+            rs,
             msgs / 20
         );
     }
@@ -460,6 +475,10 @@ fn render_stream(events: &[Event], counters: &CounterSink) {
         "protocol: steps {}/{} committed, timeouts={} retries={} rollbacks={} rejoins={}",
         m.steps_committed, m.steps_started, m.timeouts, m.retries, m.rollbacks, m.rejoins
     );
+    println!(
+        "journal:  appends={} manager-restores={} state-queries={} state-reports={}",
+        m.journal_appends, m.manager_restores, m.state_queries, m.state_reports
+    );
     // Feed the very same stream to the temporal monitor: which components
     // carried segment obligations, and when was adaptation provably safe?
     let mut comp_ixs: BTreeSet<usize> = BTreeSet::new();
@@ -502,15 +521,7 @@ fn timeline(seed: Option<u64>) {
         // to tests/chaos_sweep.rs, so a seed from a failure dump reproduces
         // the exact faulted run, now with the full trace attached.
         let cs = case_study();
-        let n = cs.spec.model().process_count();
-        let agents: Vec<ActorId> = (0..n).map(ActorId::from_index).collect();
-        let mut all = agents.clone();
-        all.push(ActorId::from_index(n));
-        let opts = ChaosOpts {
-            crashable: agents,
-            partitionable: all,
-            horizon: SimDuration::from_millis(500),
-        };
+        let opts = sweep_chaos_opts(&cs);
         let intensity = 0.2 + 0.15 * (seed % 5) as f64;
         let plan = chaos(seed, intensity, &opts);
         println!("### chaos replay: seed {seed}, intensity {intensity:.2}");
@@ -527,6 +538,13 @@ fn timeline(seed: Option<u64>) {
             cs.spec.is_safe(&r.outcome.final_config)
         );
         render_stream(&ring.borrow().events(), &counters.borrow());
+        // The manager's decision record, in the same text form the journal
+        // codec persists: what a post-mortem (or a restarted incarnation)
+        // would have worked from.
+        println!("manager journal ({} restore(s) during the run):", r.manager_restores);
+        for line in sada_proto::encode_journal(&r.journal).lines() {
+            println!("  {line}");
+        }
         return;
     }
     // Video case study, clean run vs the pinned crash/recovery run: both

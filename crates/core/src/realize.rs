@@ -7,7 +7,9 @@
 
 use sada_expr::Config;
 use sada_obs::Bus;
-use sada_proto::{AgentTiming, ManagerActor, Outcome, ProtoTiming, ScriptedAgent, Wire};
+use sada_proto::{
+    AgentTiming, JournalRecord, ManagerActor, Outcome, ProtoTiming, ScriptedAgent, Wire,
+};
 use sada_simnet::{ActorId, FaultPlan, LinkConfig, SimTime, Simulator};
 
 use crate::spec::AdaptationSpec;
@@ -68,6 +70,13 @@ pub struct RunReport {
     pub restarts: u64,
     /// Rejoin announcements agents sent after restarting.
     pub rejoins: u64,
+    /// Manager incarnations rebuilt from the write-ahead journal (0 when
+    /// the manager never crashed).
+    pub manager_restores: u64,
+    /// The manager's write-ahead adaptation journal as it stood at the end
+    /// of the run — the forensic record of every decision point, and the
+    /// input [`sada_proto::ManagerCore::restore`] replays after a crash.
+    pub journal: Vec<JournalRecord>,
 }
 
 /// Plans and executes `source → target` for `spec` on a fresh simulation.
@@ -125,6 +134,8 @@ pub fn run_adaptation(
         crashes: sim.stats().crashes,
         restarts: sim.stats().restarts,
         rejoins,
+        manager_restores: m.restores,
+        journal: m.journal.clone(),
     }
 }
 
@@ -204,6 +215,39 @@ mod tests {
         assert!(
             report.finished_at <= SimTime::from_millis(2_000),
             "recovery took too long: {}",
+            report.finished_at
+        );
+    }
+
+    #[test]
+    fn crashed_manager_restores_from_its_journal_and_completes() {
+        let cs = case_study();
+        // Kill the *manager* (the actor after the last agent) mid-protocol.
+        // The restored incarnation must replay its write-ahead journal,
+        // reconcile the agents, and still land the adaptation on the target.
+        let victim = ActorId::from_index(cs.spec.model().process_count());
+        let cfg = RunConfig {
+            faults: FaultPlan::new()
+                .crash(victim, SimTime::from_millis(5))
+                .restart(victim, SimTime::from_millis(155)),
+            ..RunConfig::default()
+        };
+        let report = run_adaptation(&cs.spec, &cs.source, &cs.target, &cfg);
+        assert_eq!((report.crashes, report.restarts), (1, 1));
+        assert_eq!(report.manager_restores, 1, "one incarnation rebuilt from the journal");
+        assert!(report.outcome.success, "{:?}", report.infos);
+        assert_eq!(report.outcome.final_config, cs.target);
+        assert!(
+            matches!(report.journal.last(), Some(JournalRecord::Outcome { success: true, .. })),
+            "journal records the resolution: {:?}",
+            report.journal
+        );
+        // The journal is the durable medium: its text form must round-trip.
+        let text = sada_proto::encode_journal(&report.journal);
+        assert_eq!(sada_proto::parse_journal(&text).unwrap(), report.journal);
+        assert!(
+            report.finished_at <= SimTime::from_millis(2_000),
+            "failover took too long: {}",
             report.finished_at
         );
     }

@@ -192,6 +192,24 @@ pub fn encode_event(ev: &Event) -> String {
                 .boolean("gave_up", *gave_up)
                 .num("steps", *steps_committed)
                 .finish(),
+            ProtoEvent::JournalAppended { seq } => o("proto.journal").num("seq", *seq).finish(),
+            ProtoEvent::ManagerRestored { records, phase, step } => o("proto.manager_restored")
+                .num("records", *records)
+                .string("phase", phase.as_str())
+                .opt_num("step", *step)
+                .finish(),
+            ProtoEvent::StateQueried { agent } => {
+                o("proto.state_queried").num("agent", u64::from(*agent)).finish()
+            }
+            ProtoEvent::StateReported { agent, engaged, adapted, failed, last_completed } => {
+                o("proto.state_reported")
+                    .num("agent", u64::from(*agent))
+                    .opt_num("engaged", *engaged)
+                    .boolean("adapted", *adapted)
+                    .boolean("failed", *failed)
+                    .opt_num("last", *last_completed)
+                    .finish()
+            }
         },
         Payload::Audit(a) => match a {
             AuditEvent::SegmentStart { cid, comp } => {
@@ -533,6 +551,22 @@ pub fn decode_event(line: &str) -> Result<Event, String> {
             gave_up: f.boolean("gave_up")?,
             steps_committed: f.num("steps")?,
         }),
+        "proto.journal" => Payload::Proto(ProtoEvent::JournalAppended { seq: f.num("seq")? }),
+        "proto.manager_restored" => Payload::Proto(ProtoEvent::ManagerRestored {
+            records: f.num("records")?,
+            phase: f.manager_phase("phase")?,
+            step: f.opt_num("step")?,
+        }),
+        "proto.state_queried" => {
+            Payload::Proto(ProtoEvent::StateQueried { agent: f.num("agent")? as u32 })
+        }
+        "proto.state_reported" => Payload::Proto(ProtoEvent::StateReported {
+            agent: f.num("agent")? as u32,
+            engaged: f.opt_num("engaged")?,
+            adapted: f.boolean("adapted")?,
+            failed: f.boolean("failed")?,
+            last_completed: f.opt_num("last")?,
+        }),
         "audit.seg_start" => {
             Payload::Audit(AuditEvent::SegmentStart { cid: f.num("cid")?, comp: f.comp("comp")? })
         }
@@ -642,6 +676,32 @@ mod tests {
                 success: false,
                 gave_up: true,
                 steps_committed: 2,
+            }),
+            Payload::Proto(ProtoEvent::JournalAppended { seq: 11 }),
+            Payload::Proto(ProtoEvent::ManagerRestored {
+                records: 6,
+                phase: ManagerPhaseTag::RollingBack,
+                step: Some(4),
+            }),
+            Payload::Proto(ProtoEvent::ManagerRestored {
+                records: 0,
+                phase: ManagerPhaseTag::Running,
+                step: None,
+            }),
+            Payload::Proto(ProtoEvent::StateQueried { agent: 2 }),
+            Payload::Proto(ProtoEvent::StateReported {
+                agent: 2,
+                engaged: Some(4),
+                adapted: true,
+                failed: false,
+                last_completed: None,
+            }),
+            Payload::Proto(ProtoEvent::StateReported {
+                agent: 0,
+                engaged: None,
+                adapted: false,
+                failed: true,
+                last_completed: Some(3),
             }),
             Payload::Audit(AuditEvent::SegmentStart { cid: 1 << 48, comp }),
             Payload::Audit(AuditEvent::SegmentEnd { cid: 42, comp }),

@@ -250,6 +250,38 @@ pub enum ProtoEvent {
         /// Steps committed along the way.
         steps_committed: u64,
     },
+    /// The manager appended a record to its write-ahead adaptation journal.
+    JournalAppended {
+        /// 0-based sequence number of the appended record.
+        seq: u64,
+    },
+    /// A restarted manager incarnation rebuilt itself from its journal.
+    ManagerRestored {
+        /// Number of journal records replayed.
+        records: u64,
+        /// The phase the replay landed in.
+        phase: ManagerPhaseTag,
+        /// Step in flight after the replay, if any.
+        step: Option<u64>,
+    },
+    /// The restored manager probed an agent's state during reconciliation.
+    StateQueried {
+        /// The probed agent's index.
+        agent: u32,
+    },
+    /// An agent answered a reconciliation probe.
+    StateReported {
+        /// The reporting agent's index.
+        agent: u32,
+        /// Step the agent is engaged in, if any.
+        engaged: Option<u64>,
+        /// True when the engaged step's in-action already ran.
+        adapted: bool,
+        /// True when the agent failed to reset for the engaged step.
+        failed: bool,
+        /// Last step the agent durably completed, if any.
+        last_completed: Option<u64>,
+    },
 }
 
 /// What the temporal monitor observed.

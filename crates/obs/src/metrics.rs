@@ -51,6 +51,14 @@ pub struct Metrics {
     pub steps_started: u64,
     /// Steps committed.
     pub steps_committed: u64,
+    /// Records appended to the manager's write-ahead journal.
+    pub journal_appends: u64,
+    /// Manager incarnations rebuilt from the journal.
+    pub manager_restores: u64,
+    /// Reconciliation probes sent by restored managers.
+    pub state_queries: u64,
+    /// Reconciliation reports received from agents.
+    pub state_reports: u64,
     /// Audit-layer events observed.
     pub audit_events: u64,
     /// Virtual time between the first and last event in the stream.
@@ -91,6 +99,10 @@ impl Metrics {
                     ProtoEvent::RejoinReceived { .. } => m.rejoins += 1,
                     ProtoEvent::StepStarted { .. } => m.steps_started += 1,
                     ProtoEvent::StepCommitted { .. } => m.steps_committed += 1,
+                    ProtoEvent::JournalAppended { .. } => m.journal_appends += 1,
+                    ProtoEvent::ManagerRestored { .. } => m.manager_restores += 1,
+                    ProtoEvent::StateQueried { .. } => m.state_queries += 1,
+                    ProtoEvent::StateReported { .. } => m.state_reports += 1,
                     ProtoEvent::ManagerPhase { .. } | ProtoEvent::OutcomeReached { .. } => {}
                 },
                 Payload::Audit(_) => m.audit_events += 1,

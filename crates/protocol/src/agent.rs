@@ -194,6 +194,19 @@ impl AgentCore {
         use AgentEvent::*;
         use AgentState::*;
         match (self.state, ev) {
+            // ---- reconciliation ---------------------------------------------
+            // A restored manager incarnation probing where we actually stand.
+            // Answered from any state; the report is a snapshot, not a
+            // transition, so it never moves the state machine.
+            (_, Msg(ProtoMsg::QueryState)) => {
+                vec![E::Send(ProtoMsg::StateReport {
+                    engaged: self.current_step(),
+                    adapted: self.uncommitted_action().is_some(),
+                    failed: self.state == FailedReset,
+                    last_completed: self.last_completed,
+                })]
+            }
+
             // ---- happy path -------------------------------------------------
             (Running, Msg(ProtoMsg::Reset { step, action, solo })) => {
                 // Duplicate of a step we already finished: re-acknowledge.
@@ -266,10 +279,27 @@ impl AgentCore {
                 }
                 eff
             }
-            // Rollback for a step we never started (our Reset was lost):
-            // nothing to undo — acknowledge so the manager can move on.
+            // Rollback for a step we are not engaged in. Two very different
+            // situations share this state:
             (Running, Msg(ProtoMsg::Rollback { step })) => {
-                vec![E::Send(ProtoMsg::RollbackDone { step })]
+                if self.last_completed == Some(step) {
+                    // The step ran to completion here — a solo participant
+                    // resumes autonomously, so it can commit before a
+                    // rollback order issued by a manager that never heard
+                    // its (lost) acks arrives. Resume was the point of no
+                    // return: the post-action already destroyed the old
+                    // components and the commit cannot be undone. Re-ack
+                    // completion so the manager adopts the commit instead
+                    // of believing a rollback that never happened.
+                    vec![
+                        E::Send(ProtoMsg::AdaptDone { step }),
+                        E::Send(ProtoMsg::ResumeDone { step }),
+                    ]
+                } else {
+                    // We never started the step (our Reset was lost):
+                    // nothing to undo — acknowledge so the manager moves on.
+                    vec![E::Send(ProtoMsg::RollbackDone { step })]
+                }
             }
 
             // A Reset for a *different* attempt while one is in progress:
@@ -377,6 +407,32 @@ mod tests {
         assert_eq!(a.state(), AgentState::Resuming, "direct adapted -> resuming");
         assert_eq!(eff[0], AgentEffect::Send(ProtoMsg::AdaptDone { step: StepId(2) }));
         assert_eq!(eff[1], AgentEffect::DoResume);
+    }
+
+    #[test]
+    fn rollback_after_solo_completion_reacks_the_commit() {
+        // A solo participant resumes autonomously, so a rollback order can
+        // arrive after the step already committed here (the manager never
+        // heard our lost acks). Resume was the point of no return: the
+        // commit stands, and completion is re-acknowledged so the manager
+        // adopts it instead of believing a rollback that never happened.
+        let mut a = AgentCore::new();
+        let _ = a.on_event(reset(12, true));
+        let _ = a.on_event(AgentEvent::SafeReached);
+        let _ = a.on_event(AgentEvent::InActionDone);
+        let _ = a.on_event(AgentEvent::ResumeFinished);
+        assert_eq!(a.state(), AgentState::Running);
+        assert_eq!(a.last_completed(), Some(StepId(12)));
+        let eff = a.on_event(AgentEvent::Msg(ProtoMsg::Rollback { step: StepId(12) }));
+        assert_eq!(
+            eff,
+            vec![
+                AgentEffect::Send(ProtoMsg::AdaptDone { step: StepId(12) }),
+                AgentEffect::Send(ProtoMsg::ResumeDone { step: StepId(12) }),
+            ],
+            "a committed step is re-acked as complete, never as rolled back"
+        );
+        assert_eq!(a.state(), AgentState::Running, "the report does not move the machine");
     }
 
     #[test]
@@ -586,6 +642,63 @@ mod tests {
                 AgentEffect::Send(ProtoMsg::AdaptDone { step: StepId(50) }),
                 AgentEffect::Send(ProtoMsg::ResumeDone { step: StepId(50) }),
             ]
+        );
+    }
+
+    #[test]
+    fn query_state_reports_position_without_moving() {
+        let mut a = AgentCore::new();
+        let q = AgentEvent::Msg(ProtoMsg::QueryState);
+        assert_eq!(
+            a.on_event(q.clone()),
+            vec![AgentEffect::Send(ProtoMsg::StateReport {
+                engaged: None,
+                adapted: false,
+                failed: false,
+                last_completed: None,
+            })],
+            "idle agent reports an empty snapshot"
+        );
+        let _ = a.on_event(reset(60, false));
+        let _ = a.on_event(AgentEvent::SafeReached);
+        let _ = a.on_event(AgentEvent::InActionDone);
+        assert_eq!(a.state(), AgentState::Adapted);
+        assert_eq!(
+            a.on_event(q.clone()),
+            vec![AgentEffect::Send(ProtoMsg::StateReport {
+                engaged: Some(StepId(60)),
+                adapted: true,
+                failed: false,
+                last_completed: None,
+            })]
+        );
+        assert_eq!(a.state(), AgentState::Adapted, "the probe is not a transition");
+        let _ = a.on_event(AgentEvent::Msg(ProtoMsg::Resume { step: StepId(60) }));
+        let _ = a.on_event(AgentEvent::ResumeFinished);
+        assert_eq!(
+            a.on_event(q),
+            vec![AgentEffect::Send(ProtoMsg::StateReport {
+                engaged: None,
+                adapted: false,
+                failed: false,
+                last_completed: Some(StepId(60)),
+            })]
+        );
+    }
+
+    #[test]
+    fn query_state_reports_failed_reset() {
+        let mut a = AgentCore::new();
+        let _ = a.on_event(reset(61, false));
+        let _ = a.on_event(AgentEvent::CannotReset);
+        assert_eq!(
+            a.on_event(AgentEvent::Msg(ProtoMsg::QueryState)),
+            vec![AgentEffect::Send(ProtoMsg::StateReport {
+                engaged: Some(StepId(61)),
+                adapted: false,
+                failed: true,
+                last_completed: None,
+            })]
         );
     }
 

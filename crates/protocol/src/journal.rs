@@ -1,0 +1,338 @@
+//! The adaptation journal: a write-ahead log of manager decision points.
+//!
+//! Every irreversible decision the [`ManagerCore`](crate::ManagerCore) makes
+//! — accepting a request, committing to a path, dispatching a step, passing
+//! the resume barrier, ordering or finishing a rollback, reaching an outcome
+//! — is emitted as a [`JournalRecord`] *before* the wire messages it covers
+//! (`ManagerEffect::Journal` precedes the `Send`s in the effect list). The
+//! host chooses the durability medium: the simulator keeps the vector across
+//! incarnations, a real deployment would fsync a file. After a crash,
+//! [`ManagerCore::restore`](crate::ManagerCore::restore) replays the journal
+//! to the exact phase/step/attempt state and reconciles with the agents.
+//!
+//! Volatile bookkeeping is deliberately *not* journaled: retransmission
+//! counters, armed timers, and which acknowledgements have arrived are all
+//! reconstructible (conservatively) from the agents themselves, which is what
+//! the reconciliation round does.
+//!
+//! Records serialize to a line-oriented text form ([`encode_journal`] /
+//! [`parse_journal`]) in the same `verb key=value` style as
+//! `sada_simnet::FaultPlan`, so a failing chaos run can dump its journal next
+//! to the trace and the run can be replayed from any prefix.
+
+use std::fmt;
+
+use sada_expr::Config;
+use sada_plan::ActionId;
+
+use crate::messages::StepId;
+
+/// One durable manager decision point, in the order it was taken.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JournalRecord {
+    /// An adaptation request was accepted and planning began. `source` is
+    /// the *effective* source (queued requests are re-anchored at the
+    /// configuration the previous adaptation actually ended in).
+    Request {
+        /// Configuration the adaptation starts from.
+        source: Config,
+        /// Configuration the adaptation drives toward.
+        target: Config,
+    },
+    /// A request arrived while another adaptation was in flight and was
+    /// queued behind it.
+    Queued {
+        /// The queued request's stated source.
+        source: Config,
+        /// The queued request's target.
+        target: Config,
+    },
+    /// The planner committed to a path (its action ids, in step order) from
+    /// the current configuration toward the current goal.
+    PathSelected {
+        /// Action ids of the chosen path, cheapest untried candidate first.
+        actions: Vec<ActionId>,
+    },
+    /// Every path to the target is exhausted; the goal reversed to the
+    /// source configuration (the ladder's return-to-source rung).
+    GoalReversed,
+    /// A step attempt was dispatched: resets go out under this attempt id.
+    StepStarted {
+        /// The fresh attempt id.
+        step: StepId,
+        /// Index of the step within the committed path.
+        ix: u32,
+    },
+    /// The adapt-done barrier passed and resumes were issued — the point of
+    /// no return; after this record the step must run to completion.
+    ResumeIssued {
+        /// The attempt passing the barrier.
+        step: StepId,
+    },
+    /// All resume-dones arrived (or the force-complete rung fired): the
+    /// step's configuration transition became durable.
+    StepCommitted {
+        /// The committed attempt.
+        step: StepId,
+    },
+    /// The step was abandoned and rollback commands were issued.
+    RollbackIssued {
+        /// The attempt being rolled back.
+        step: StepId,
+    },
+    /// The rollback finished (acknowledged or assumed). `retry` is true when
+    /// the ladder's retry-once rung re-runs the same step next.
+    RollbackComplete {
+        /// The attempt that was rolled back.
+        step: StepId,
+        /// Whether the same step is retried once more.
+        retry: bool,
+    },
+    /// The adaptation resolved (successfully, aborted back to the source, or
+    /// given up at a safe intermediate configuration).
+    Outcome {
+        /// Target configuration reached.
+        success: bool,
+        /// Every recovery option exhausted; awaiting the user.
+        gave_up: bool,
+    },
+}
+
+fn fmt_config(c: &Config) -> String {
+    c.to_bit_string()
+}
+
+fn fmt_actions(actions: &[ActionId]) -> String {
+    if actions.is_empty() {
+        "-".to_string()
+    } else {
+        actions.iter().map(|a| a.0.to_string()).collect::<Vec<_>>().join(",")
+    }
+}
+
+impl fmt::Display for JournalRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JournalRecord::Request { source, target } => {
+                write!(f, "request source={} target={}", fmt_config(source), fmt_config(target))
+            }
+            JournalRecord::Queued { source, target } => {
+                write!(f, "queued source={} target={}", fmt_config(source), fmt_config(target))
+            }
+            JournalRecord::PathSelected { actions } => {
+                write!(f, "path actions={}", fmt_actions(actions))
+            }
+            JournalRecord::GoalReversed => write!(f, "reverse"),
+            JournalRecord::StepStarted { step, ix } => write!(f, "step id={} ix={ix}", step.0),
+            JournalRecord::ResumeIssued { step } => write!(f, "resume id={}", step.0),
+            JournalRecord::StepCommitted { step } => write!(f, "commit id={}", step.0),
+            JournalRecord::RollbackIssued { step } => write!(f, "rollback id={}", step.0),
+            JournalRecord::RollbackComplete { step, retry } => {
+                write!(f, "rolledback id={} retry={retry}", step.0)
+            }
+            JournalRecord::Outcome { success, gave_up } => {
+                write!(f, "outcome success={success} gave_up={gave_up}")
+            }
+        }
+    }
+}
+
+/// Serializes a journal to its line-oriented text form (one record per
+/// line, in order).
+pub fn encode_journal(records: &[JournalRecord]) -> String {
+    let mut out = String::new();
+    for r in records {
+        out.push_str(&r.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses the text form produced by [`encode_journal`]. Blank lines and `#`
+/// comments are ignored.
+pub fn parse_journal(text: &str) -> Result<Vec<JournalRecord>, String> {
+    let mut records = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        records.push(parse_record(line).map_err(|e| format!("line {}: {e}", lineno + 1))?);
+    }
+    Ok(records)
+}
+
+fn parse_config(bits: &str) -> Result<Config, String> {
+    let mut cfg = Config::empty(bits.len());
+    for (pos, ch) in bits.chars().enumerate() {
+        let ix = bits.len() - 1 - pos;
+        match ch {
+            '1' => cfg.insert(sada_expr::CompId::from_index(ix)),
+            '0' => {}
+            other => return Err(format!("invalid config bit {other:?}")),
+        }
+    }
+    Ok(cfg)
+}
+
+fn parse_record(line: &str) -> Result<JournalRecord, String> {
+    let mut words = line.split_whitespace();
+    let verb = words.next().ok_or("empty journal line")?;
+    let mut fields = std::collections::HashMap::new();
+    for w in words {
+        let (k, v) = w.split_once('=').ok_or_else(|| format!("expected key=value, got '{w}'"))?;
+        fields.insert(k, v);
+    }
+    let raw = |k: &str| -> Result<&str, String> {
+        fields.get(k).copied().ok_or_else(|| format!("missing field '{k}'"))
+    };
+    let num = |k: &str| -> Result<u64, String> {
+        raw(k)?.parse::<u64>().map_err(|e| format!("field '{k}': {e}"))
+    };
+    let boolean = |k: &str| -> Result<bool, String> {
+        raw(k)?.parse::<bool>().map_err(|e| format!("field '{k}': {e}"))
+    };
+    let config = |k: &str| -> Result<Config, String> {
+        parse_config(raw(k)?).map_err(|e| format!("field '{k}': {e}"))
+    };
+    let step = |k: &str| -> Result<StepId, String> { Ok(StepId(num(k)?)) };
+    match verb {
+        "request" => {
+            Ok(JournalRecord::Request { source: config("source")?, target: config("target")? })
+        }
+        "queued" => {
+            Ok(JournalRecord::Queued { source: config("source")?, target: config("target")? })
+        }
+        "path" => {
+            let v = raw("actions")?;
+            let actions = if v == "-" {
+                Vec::new()
+            } else {
+                v.split(',')
+                    .map(|s| {
+                        s.parse::<u32>().map(ActionId).map_err(|e| format!("field 'actions': {e}"))
+                    })
+                    .collect::<Result<Vec<_>, _>>()?
+            };
+            Ok(JournalRecord::PathSelected { actions })
+        }
+        "reverse" => Ok(JournalRecord::GoalReversed),
+        "step" => Ok(JournalRecord::StepStarted { step: step("id")?, ix: num("ix")? as u32 }),
+        "resume" => Ok(JournalRecord::ResumeIssued { step: step("id")? }),
+        "commit" => Ok(JournalRecord::StepCommitted { step: step("id")? }),
+        "rollback" => Ok(JournalRecord::RollbackIssued { step: step("id")? }),
+        "rolledback" => {
+            Ok(JournalRecord::RollbackComplete { step: step("id")?, retry: boolean("retry")? })
+        }
+        "outcome" => Ok(JournalRecord::Outcome {
+            success: boolean("success")?,
+            gave_up: boolean("gave_up")?,
+        }),
+        other => Err(format!("unknown journal verb '{other}'")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use sada_expr::CompId;
+
+    fn cfg(bits: &str) -> Config {
+        parse_config(bits).unwrap()
+    }
+
+    fn sample() -> Vec<JournalRecord> {
+        vec![
+            JournalRecord::Request { source: cfg("0101"), target: cfg("0110") },
+            JournalRecord::Queued { source: cfg("0110"), target: cfg("1001") },
+            JournalRecord::PathSelected { actions: vec![ActionId(2), ActionId(0)] },
+            JournalRecord::StepStarted { step: StepId(1), ix: 0 },
+            JournalRecord::ResumeIssued { step: StepId(1) },
+            JournalRecord::StepCommitted { step: StepId(1) },
+            JournalRecord::StepStarted { step: StepId(2), ix: 1 },
+            JournalRecord::RollbackIssued { step: StepId(2) },
+            JournalRecord::RollbackComplete { step: StepId(2), retry: true },
+            JournalRecord::GoalReversed,
+            JournalRecord::PathSelected { actions: vec![] },
+            JournalRecord::Outcome { success: false, gave_up: false },
+        ]
+    }
+
+    #[test]
+    fn text_round_trip_is_identity() {
+        let records = sample();
+        let text = encode_journal(&records);
+        let parsed = parse_journal(&text).unwrap();
+        assert_eq!(records, parsed, "text:\n{text}");
+    }
+
+    #[test]
+    fn parse_ignores_comments_and_blanks() {
+        let parsed = parse_journal("# preamble\n\nstep id=4 ix=1\n").unwrap();
+        assert_eq!(parsed, vec![JournalRecord::StepStarted { step: StepId(4), ix: 1 }]);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        assert!(parse_journal("explode id=1").is_err());
+        assert!(parse_journal("step ix=1").is_err());
+        assert!(parse_journal("step id=x ix=1").is_err());
+        assert!(parse_journal("request source=012 target=000").is_err());
+        assert!(parse_journal("rolledback id=1 retry=maybe").is_err());
+    }
+
+    #[test]
+    fn config_bits_preserve_order() {
+        // The leftmost bit is the highest component index, as in the paper.
+        let c = cfg("100");
+        assert!(c.contains(CompId::from_index(2)));
+        assert!(!c.contains(CompId::from_index(0)));
+        assert_eq!(c.to_bit_string(), "100");
+    }
+
+    fn arb_config(width: usize) -> impl Strategy<Value = Config> {
+        proptest::collection::vec(any::<bool>(), width).prop_map(|bits| {
+            let mut c = Config::empty(bits.len());
+            for (ix, b) in bits.iter().enumerate() {
+                if *b {
+                    c.insert(CompId::from_index(ix));
+                }
+            }
+            c
+        })
+    }
+
+    fn arb_step() -> impl Strategy<Value = StepId> {
+        (1u64..1_000).prop_map(StepId)
+    }
+
+    fn arb_record() -> impl Strategy<Value = JournalRecord> {
+        prop_oneof![
+            (arb_config(7), arb_config(7))
+                .prop_map(|(source, target)| JournalRecord::Request { source, target }),
+            (arb_config(7), arb_config(7))
+                .prop_map(|(source, target)| JournalRecord::Queued { source, target }),
+            proptest::collection::vec((0u32..64).prop_map(ActionId), 0..5)
+                .prop_map(|actions| JournalRecord::PathSelected { actions }),
+            Just(JournalRecord::GoalReversed),
+            (arb_step(), 0u32..16).prop_map(|(step, ix)| JournalRecord::StepStarted { step, ix }),
+            arb_step().prop_map(|step| JournalRecord::ResumeIssued { step }),
+            arb_step().prop_map(|step| JournalRecord::StepCommitted { step }),
+            arb_step().prop_map(|step| JournalRecord::RollbackIssued { step }),
+            (arb_step(), any::<bool>())
+                .prop_map(|(step, retry)| JournalRecord::RollbackComplete { step, retry }),
+            (any::<bool>(), any::<bool>())
+                .prop_map(|(success, gave_up)| JournalRecord::Outcome { success, gave_up }),
+        ]
+    }
+
+    proptest! {
+        #[test]
+        fn every_journal_round_trips(records in proptest::collection::vec(arb_record(), 0..40)) {
+            let text = encode_journal(&records);
+            let parsed = parse_journal(&text).unwrap();
+            prop_assert_eq!(records, parsed);
+        }
+    }
+}

@@ -37,6 +37,21 @@
 //! untouched: a crash can only *remove* uncommitted work, never produce an
 //! in-action outside its safe state.
 //!
+//! The *manager* survives crashes too. Every decision point (request
+//! accepted, path selected, step dispatched, resume issued, step committed,
+//! rollback issued/complete, outcome) is written ahead of the messages it
+//! covers to an **adaptation journal** ([`JournalRecord`], emitted as
+//! [`ManagerEffect::Journal`]; the host picks the durability medium and the
+//! text codec [`encode_journal`]/[`parse_journal`] makes it replayable).
+//! After a crash, [`ManagerCore::restore`] replays the journal back to the
+//! exact phase/step the dead incarnation had decided, then runs a
+//! **reconciliation round**: [`ProtoMsg::QueryState`] probes every
+//! participant of the in-flight step and each [`ProtoMsg::StateReport`] is
+//! resolved by the paper's rule — steps unconfirmed before the first
+//! `resume` are redone or rolled back, steps past it run to completion —
+//! after which the restored manager (under a bumped epoch) rejoins the
+//! ordinary recovery ladder.
+//!
 //! The paper's equivalence theorem (Section 3.3) is validated end to end:
 //! integration tests record every in-action and configuration the protocol
 //! produces and feed them to `sada-model`'s independent [`SafetyAuditor`];
@@ -46,6 +61,7 @@
 //! [`SafetyAuditor`]: sada_model::SafetyAuditor
 
 mod agent;
+mod journal;
 mod manager;
 #[cfg(test)]
 mod manager_tests;
@@ -55,6 +71,7 @@ mod relay;
 mod sim;
 
 pub use agent::{state_tag as agent_state_tag, AgentCore, AgentEffect, AgentEvent, AgentState};
+pub use journal::{encode_journal, parse_journal, JournalRecord};
 pub use manager::{
     AdaptationPlanner, ManagerCore, ManagerEffect, ManagerEvent, ManagerPhase, Outcome,
     PlannedStep, ProtoTiming,

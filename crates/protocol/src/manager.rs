@@ -13,6 +13,7 @@ use sada_obs::{ManagerPhaseTag, Payload, PlanEvent, ProtoEvent};
 use sada_plan::{ActionId, Path};
 use sada_simnet::SimDuration;
 
+use crate::journal::JournalRecord;
 use crate::messages::{LocalAction, ProtoMsg, StepId};
 
 /// The observability tag for a manager phase.
@@ -57,9 +58,18 @@ pub trait AdaptationPlanner {
 /// Timing and retry policy for the realization phase.
 #[derive(Debug, Clone, Copy)]
 pub struct ProtoTiming {
-    /// How long the manager waits for a phase to finish before
-    /// retransmitting (the paper's time-out mechanism).
+    /// How long the manager waits for a phase to finish before the first
+    /// retransmission (the paper's time-out mechanism). Subsequent
+    /// retransmissions back off exponentially from this base.
     pub phase_timeout: SimDuration,
+    /// Ceiling for the backed-off retransmission interval. Values below
+    /// `phase_timeout` are treated as `phase_timeout` (no backoff).
+    pub backoff_cap: SimDuration,
+    /// Seed for the deterministic retransmission jitter. Retried timers add
+    /// a pseudo-random fraction of the interval (derived from this seed and
+    /// the timer token, so a run stays a pure function of its inputs) to
+    /// de-synchronize retry storms under latency bursts.
+    pub jitter_seed: u64,
     /// Retransmissions of `reset` before declaring a loss-of-message
     /// failure ("several attempts to send the messages").
     pub send_retries: u32,
@@ -75,11 +85,29 @@ impl Default for ProtoTiming {
     fn default() -> Self {
         ProtoTiming {
             phase_timeout: SimDuration::from_millis(200),
+            backoff_cap: SimDuration::from_millis(800),
+            jitter_seed: 0x5ADA,
             send_retries: 3,
             resume_force_limit: 10,
             rollback_force_limit: 10,
         }
     }
+}
+
+/// A splitmix64-style mix: a deterministic pseudo-random value in
+/// `[0, span)` derived from the jitter seed and the (unique, monotonic)
+/// timer token.
+fn jitter_us(seed: u64, salt: u64, span: u64) -> u64 {
+    if span == 0 {
+        return 0;
+    }
+    let mut x = seed ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    x % span
 }
 
 /// The manager's coarse protocol phase (Figure 2's states; `Preparing` is
@@ -164,6 +192,11 @@ pub enum ManagerEffect {
     },
     /// The adaptation finished (successfully or not).
     Complete(Outcome),
+    /// Append `record` to the write-ahead adaptation journal. The core emits
+    /// this **before** the sends it covers, so a host that persists the
+    /// record before acting on later effects gets crash-consistent
+    /// write-ahead semantics; the host chooses the durability medium.
+    Journal(JournalRecord),
     /// Progress note for human logs.
     Info(String),
 }
@@ -191,6 +224,8 @@ pub struct ManagerCore {
     step_retry_used: bool,
     tried_paths: HashSet<(Config, Vec<ActionId>)>,
     timer_token: u64,
+    timer_seq: u64,
+    journal_seq: u64,
     warnings: Vec<String>,
     queued_requests: std::collections::VecDeque<(Config, Config)>,
     /// Untimed observability payloads accumulated since the last drain; the
@@ -234,6 +269,8 @@ impl ManagerCore {
             step_retry_used: false,
             tried_paths: HashSet::new(),
             timer_token: 0,
+            timer_seq: 0,
+            journal_seq: 0,
             warnings: Vec::new(),
             queued_requests: std::collections::VecDeque::new(),
             obs: Vec::new(),
@@ -285,11 +322,17 @@ impl ManagerCore {
         if self.phase != ManagerPhase::Running {
             // One adaptation at a time (the centralized manager is the
             // serialization point); later requests wait their turn.
+            let mut eff = Vec::new();
+            self.journal(
+                &mut eff,
+                JournalRecord::Queued { source: source.clone(), target: target.clone() },
+            );
             self.queued_requests.push_back((source, target));
-            return vec![ManagerEffect::Info(format!(
+            eff.push(ManagerEffect::Info(format!(
                 "adaptation in progress; request queued ({} waiting)",
                 self.queued_requests.len()
-            ))];
+            )));
+            return eff;
         }
         self.source = source.clone();
         self.target = target;
@@ -299,7 +342,13 @@ impl ManagerCore {
         self.tried_paths.clear();
         self.warnings.clear();
         self.step_retry_used = false;
-        self.select_and_start()
+        let mut eff = Vec::new();
+        self.journal(
+            &mut eff,
+            JournalRecord::Request { source: self.source.clone(), target: self.target.clone() },
+        );
+        eff.extend(self.select_and_start());
+        eff
     }
 
     fn goal(&self) -> &Config {
@@ -333,10 +382,12 @@ impl ManagerCore {
                 self.tried_paths.insert((self.current.clone(), path.action_ids()));
                 let steps = self.planner.compile(&path);
                 debug_assert!(!steps.is_empty());
-                let mut eff = vec![ManagerEffect::Info(format!(
+                let mut eff = Vec::new();
+                self.journal(&mut eff, JournalRecord::PathSelected { actions: path.action_ids() });
+                eff.push(ManagerEffect::Info(format!(
                     "executing path {path} toward {}",
                     if self.goal_is_source { "source (abort)" } else { "target" }
-                ))];
+                )));
                 self.steps = steps;
                 self.step_ix = 0;
                 eff.extend(self.start_step());
@@ -348,10 +399,12 @@ impl ManagerCore {
                 self.obs
                     .push(Payload::Plan(PlanEvent::PathsExhausted { returning_to_source: true }));
                 self.goal_is_source = true;
-                let mut eff = vec![ManagerEffect::Info(
+                let mut eff = Vec::new();
+                self.journal(&mut eff, JournalRecord::GoalReversed);
+                eff.push(ManagerEffect::Info(
                     "all paths to target failed; attempting to return to source configuration"
                         .into(),
-                )];
+                ));
                 eff.extend(self.select_and_start());
                 eff
             }
@@ -365,18 +418,19 @@ impl ManagerCore {
                     gave_up: true,
                     steps_committed: u64::from(self.steps_committed),
                 }));
-                vec![
-                    ManagerEffect::Info(
-                        "all recovery options exhausted; awaiting user intervention".into(),
-                    ),
-                    ManagerEffect::Complete(Outcome {
-                        success: false,
-                        gave_up: true,
-                        final_config: self.current.clone(),
-                        steps_committed: self.steps_committed,
-                        warnings: self.warnings.clone(),
-                    }),
-                ]
+                let mut eff = Vec::new();
+                self.journal(&mut eff, JournalRecord::Outcome { success: false, gave_up: true });
+                eff.push(ManagerEffect::Info(
+                    "all recovery options exhausted; awaiting user intervention".into(),
+                ));
+                eff.push(ManagerEffect::Complete(Outcome {
+                    success: false,
+                    gave_up: true,
+                    final_config: self.current.clone(),
+                    steps_committed: self.steps_committed,
+                    warnings: self.warnings.clone(),
+                }));
+                eff
             }
         }
     }
@@ -389,13 +443,15 @@ impl ManagerCore {
             gave_up: false,
             steps_committed: u64::from(self.steps_committed),
         }));
-        let mut eff = vec![ManagerEffect::Complete(Outcome {
+        let mut eff = Vec::new();
+        self.journal(&mut eff, JournalRecord::Outcome { success, gave_up: false });
+        eff.push(ManagerEffect::Complete(Outcome {
             success,
             gave_up: false,
             final_config: self.current.clone(),
             steps_committed: self.steps_committed,
             warnings: self.warnings.clone(),
-        })];
+        }));
         // Serve the next queued request, re-anchored at wherever the system
         // actually ended up (its stated source may be stale).
         if let Some((source, target)) = self.queued_requests.pop_front() {
@@ -407,19 +463,41 @@ impl ManagerCore {
         eff
     }
 
+    /// Appends a record to the write-ahead journal: the observability marker
+    /// first (so traces carry the journal sequence), then the effect the
+    /// host must persist before acting on anything that follows it.
+    fn journal(&mut self, eff: &mut Vec<ManagerEffect>, rec: JournalRecord) {
+        self.obs.push(Payload::Proto(ProtoEvent::JournalAppended { seq: self.journal_seq }));
+        self.journal_seq += 1;
+        eff.push(ManagerEffect::Journal(rec));
+    }
+
     fn fresh_timer(&mut self, eff: &mut Vec<ManagerEffect>) {
         if self.timer_token != 0 {
             eff.push(ManagerEffect::CancelTimer { token: self.timer_token });
         }
         let prev = self.timer_token;
-        self.timer_token = self.next_attempt << 16 | u64::from(self.retries);
-        self.next_attempt += 1;
+        self.timer_seq += 1;
+        self.timer_token = self.timer_seq << 16 | u64::from(self.retries);
         // Stale-timeout rejection relies on this: a disarmed token must never
         // be reissued, or a late timeout could abort the wrong phase.
         debug_assert!(self.timer_token > prev, "timer tokens must be strictly monotonic");
+        // Exponential backoff, capped: each retransmission of the same phase
+        // doubles the wait, so a delay burst no longer walks the whole retry
+        // budget at once and triggers a spurious rollback. The first timer of
+        // a phase (retries == 0) is exactly `phase_timeout`, keeping the
+        // happy path and its tests bit-identical; retried timers add a
+        // deterministic seeded jitter of up to a quarter interval so a fleet
+        // of retransmissions does not stay synchronized.
+        let base = self.timing.phase_timeout.as_micros();
+        let cap = self.timing.backoff_cap.as_micros().max(base);
+        let mut backed = base.saturating_mul(1u64 << self.retries.min(10)).min(cap);
+        if self.retries > 0 {
+            backed += jitter_us(self.timing.jitter_seed, self.timer_token, backed / 4 + 1);
+        }
         eff.push(ManagerEffect::SetTimer {
             token: self.timer_token,
-            after: self.timing.phase_timeout,
+            after: SimDuration::from_micros(backed),
         });
     }
 
@@ -441,6 +519,10 @@ impl ManagerCore {
         }));
         self.set_phase(ManagerPhase::Adapting);
         let mut eff = Vec::new();
+        self.journal(
+            &mut eff,
+            JournalRecord::StepStarted { step: self.step_id, ix: self.step_ix as u32 },
+        );
         for (agent, local) in &step.locals {
             eff.push(ManagerEffect::Send {
                 agent: *agent,
@@ -457,9 +539,17 @@ impl ManagerCore {
         }
         match (self.phase, msg) {
             (_, ProtoMsg::Rejoin { last_completed }) => self.on_rejoin(agent, last_completed),
+            (_, ProtoMsg::StateReport { engaged, adapted, failed, last_completed }) => {
+                self.on_state_report(agent, engaged, adapted, failed, last_completed)
+            }
             (ManagerPhase::Adapting, ProtoMsg::ResetDone { .. }) => Vec::new(),
             (ManagerPhase::Adapting, ProtoMsg::AdaptDone { .. }) => {
-                self.pending_adapt.remove(&agent);
+                // Idempotence: only a first-time ack from a still-pending
+                // participant advances the barrier; replayed duplicates of
+                // the last ack must not re-run the phase transition.
+                if !self.pending_adapt.remove(&agent) {
+                    return Vec::new();
+                }
                 if !self.pending_adapt.is_empty() {
                     return Vec::new();
                 }
@@ -470,6 +560,7 @@ impl ManagerCore {
                 self.resume_sent = true;
                 self.retries = 0;
                 let mut eff = Vec::new();
+                self.journal(&mut eff, JournalRecord::ResumeIssued { step: self.step_id });
                 if !self.solo {
                     let step = &self.steps[self.step_ix];
                     for (a, _) in &step.locals {
@@ -499,7 +590,9 @@ impl ManagerCore {
                 }
             }
             (ManagerPhase::Resuming, ProtoMsg::ResumeDone { .. }) => {
-                self.pending_resume.remove(&agent);
+                if !self.pending_resume.remove(&agent) {
+                    return Vec::new(); // duplicate delivery of the final ack
+                }
                 if !self.pending_resume.is_empty() {
                     return Vec::new();
                 }
@@ -515,8 +608,28 @@ impl ManagerCore {
                 eff.extend(self.begin_rollback());
                 eff
             }
+            (ManagerPhase::RollingBack, ProtoMsg::ResumeDone { .. }) if self.solo => {
+                // The solo participant self-resumed past the point of no
+                // return before our rollback order reached it (its acks were
+                // lost on the way here). The step is durably committed out
+                // there and cannot be undone: abandon the rollback and adopt
+                // the commit. Only solo steps can race this way — multi-agent
+                // participants resume strictly on our Resume, which is never
+                // followed by a rollback.
+                let mut eff = vec![
+                    ManagerEffect::Info(format!(
+                        "agent {agent} had already committed step {}; abandoning its rollback",
+                        self.step_id
+                    )),
+                    ManagerEffect::CancelTimer { token: self.timer_token },
+                ];
+                eff.extend(self.commit_step());
+                eff
+            }
             (ManagerPhase::RollingBack, ProtoMsg::RollbackDone { .. }) => {
-                self.pending_rollback.remove(&agent);
+                if !self.pending_rollback.remove(&agent) {
+                    return Vec::new(); // duplicate delivery of the final ack
+                }
                 if !self.pending_rollback.is_empty() {
                     return Vec::new();
                 }
@@ -648,13 +761,149 @@ impl ManagerCore {
         }
     }
 
+    /// Reconciliation: an agent answered the restored manager's
+    /// [`ProtoMsg::QueryState`] probe with its actual protocol position.
+    ///
+    /// The journal restored the manager's *decision* state exactly, but
+    /// whether an agent acted on a dispatched command may have been known
+    /// only to the crashed incarnation. The report closes that gap, and the
+    /// paper's rule decides the direction: before the first resume an
+    /// unconfirmed step may be redone from scratch (abort semantics), after
+    /// it the step must run to completion. Each resolution is mapped onto
+    /// the ordinary barrier arms (synthesized acks or re-sent commands), so
+    /// reconciliation reuses the exact guards the live protocol uses — and
+    /// if a probe or report is lost, the phase timer is already armed and
+    /// the ordinary retransmission ladder takes over.
+    fn on_state_report(
+        &mut self,
+        agent: usize,
+        engaged: Option<StepId>,
+        adapted: bool,
+        failed: bool,
+        last_completed: Option<StepId>,
+    ) -> Vec<ManagerEffect> {
+        self.obs.push(Payload::Proto(ProtoEvent::StateReported {
+            agent: agent as u32,
+            engaged: engaged.map(|s| s.0),
+            adapted,
+            failed,
+            last_completed: last_completed.map(|s| s.0),
+        }));
+        if matches!(self.phase, ManagerPhase::Running | ManagerPhase::GaveUp) {
+            return vec![ManagerEffect::Info(format!("agent {agent} reported state while idle"))];
+        }
+        let step = &self.steps[self.step_ix];
+        let Some(local) = step.locals.iter().find(|(a, _)| *a == agent).map(|(_, l)| l.clone())
+        else {
+            return vec![ManagerEffect::Info(format!(
+                "agent {agent} reported state (not a participant of {})",
+                self.step_id
+            ))];
+        };
+        let completed = last_completed == Some(self.step_id);
+        let on_step = engaged == Some(self.step_id);
+        match self.phase {
+            ManagerPhase::Adapting => {
+                if completed {
+                    // The agent already ran the whole step (the previous
+                    // incarnation got further than its journal shows).
+                    // Synthesize the acks the crash swallowed; the barrier
+                    // arms dedupe via the pending sets.
+                    let mut eff =
+                        self.on_agent_msg(agent, ProtoMsg::AdaptDone { step: self.step_id });
+                    if self.phase == ManagerPhase::Resuming {
+                        eff.extend(
+                            self.on_agent_msg(agent, ProtoMsg::ResumeDone { step: self.step_id }),
+                        );
+                    }
+                    eff
+                } else if on_step && failed {
+                    self.on_agent_msg(agent, ProtoMsg::FailToReset { step: self.step_id })
+                } else if on_step && adapted {
+                    self.on_agent_msg(agent, ProtoMsg::AdaptDone { step: self.step_id })
+                } else if on_step {
+                    Vec::new() // engaged and working; the ack will come
+                } else {
+                    // Not engaged in this step at all: the Reset never
+                    // arrived (or the agent crashed too). Re-issue it.
+                    self.retries = 0;
+                    let mut eff = vec![ManagerEffect::Send {
+                        agent,
+                        msg: ProtoMsg::Reset { step: self.step_id, action: local, solo: self.solo },
+                    }];
+                    self.fresh_timer(&mut eff);
+                    eff
+                }
+            }
+            ManagerPhase::Resuming => {
+                if completed {
+                    self.on_agent_msg(agent, ProtoMsg::ResumeDone { step: self.step_id })
+                } else if on_step && adapted {
+                    // Past the point of no return and still blocked on the
+                    // resume signal the crash may have swallowed.
+                    if self.solo {
+                        Vec::new() // solo agents resume autonomously
+                    } else {
+                        vec![ManagerEffect::Send {
+                            agent,
+                            msg: ProtoMsg::Resume { step: self.step_id },
+                        }]
+                    }
+                } else if on_step {
+                    Vec::new() // mid-step; run-to-completion continues
+                } else {
+                    // The step must run to completion: drive the agent
+                    // through it again from the start.
+                    self.retries = 0;
+                    let mut eff = vec![ManagerEffect::Send {
+                        agent,
+                        msg: ProtoMsg::Reset { step: self.step_id, action: local, solo: self.solo },
+                    }];
+                    self.fresh_timer(&mut eff);
+                    eff
+                }
+            }
+            ManagerPhase::RollingBack => {
+                if on_step {
+                    // Still holding (possibly partial) step state: tell it to
+                    // undo — the Rollback may have been lost in the crash.
+                    vec![ManagerEffect::Send {
+                        agent,
+                        msg: ProtoMsg::Rollback { step: self.step_id },
+                    }]
+                } else if completed {
+                    // It finished the whole step before the abort decision
+                    // reached it (solo self-resume): past the point of no
+                    // return the commit stands, so fold the evidence into
+                    // the barrier logic, which abandons the rollback.
+                    self.on_agent_msg(agent, ProtoMsg::ResumeDone { step: self.step_id })
+                } else {
+                    // Nothing of this attempt survives on the agent: its
+                    // rollback is trivially done.
+                    self.on_agent_msg(agent, ProtoMsg::RollbackDone { step: self.step_id })
+                }
+            }
+            ManagerPhase::Running | ManagerPhase::GaveUp => unreachable!("handled above"),
+        }
+    }
+
     fn commit_step(&mut self) -> Vec<ManagerEffect> {
         self.obs.push(Payload::Proto(ProtoEvent::StepCommitted { step: self.step_id.0 }));
+        let mut eff = Vec::new();
+        self.journal(&mut eff, JournalRecord::StepCommitted { step: self.step_id });
         let step = &self.steps[self.step_ix];
         self.current = step.to.clone();
         self.steps_committed += 1;
         self.step_retry_used = false;
         self.step_ix += 1;
+        eff.extend(self.advance_after_commit());
+        eff
+    }
+
+    /// What happens after a commit has been applied (shared between the live
+    /// path and journal replay, which lands here after a trailing
+    /// `StepCommitted` record).
+    fn advance_after_commit(&mut self) -> Vec<ManagerEffect> {
         if self.step_ix < self.steps.len() {
             // "more adaptation steps remaining: prepare for the next step".
             self.start_step()
@@ -670,10 +919,11 @@ impl ManagerCore {
     fn begin_rollback(&mut self) -> Vec<ManagerEffect> {
         self.obs.push(Payload::Proto(ProtoEvent::RollbackIssued { step: self.step_id.0 }));
         self.set_phase(ManagerPhase::RollingBack);
-        let step = &self.steps[self.step_ix];
         self.retries = 0;
-        self.pending_rollback = step.locals.iter().map(|(a, _)| *a).collect();
         let mut eff = Vec::new();
+        self.journal(&mut eff, JournalRecord::RollbackIssued { step: self.step_id });
+        let step = &self.steps[self.step_ix];
+        self.pending_rollback = step.locals.iter().map(|(a, _)| *a).collect();
         for (agent, _) in &step.locals {
             eff.push(ManagerEffect::Send {
                 agent: *agent,
@@ -686,17 +936,20 @@ impl ManagerCore {
 
     fn rollback_complete(&mut self) -> Vec<ManagerEffect> {
         // The system is back at the step's source configuration (= current).
-        if !self.step_retry_used {
+        let retry = !self.step_retry_used;
+        let mut eff = Vec::new();
+        self.journal(&mut eff, JournalRecord::RollbackComplete { step: self.step_id, retry });
+        if retry {
             // Ladder rung 1: retry the same step once more.
             self.step_retry_used = true;
-            let mut eff = vec![ManagerEffect::Info(format!("retrying step {} once", self.step_ix))];
+            eff.push(ManagerEffect::Info(format!("retrying step {} once", self.step_ix)));
             eff.extend(self.start_step());
-            eff
         } else {
             // Ladder rungs 2-4: next-cheapest path, return to source, give up.
             self.step_retry_used = false;
-            self.select_and_start()
+            eff.extend(self.select_and_start());
         }
+        eff
     }
 
     fn on_timeout(&mut self, token: u64) -> Vec<ManagerEffect> {
@@ -815,5 +1068,238 @@ impl ManagerCore {
             }
             ManagerPhase::Running | ManagerPhase::GaveUp => Vec::new(),
         }
+    }
+
+    /// Consumes the core, returning its planner (used by hosts to carry the
+    /// planner across a manager restart into [`ManagerCore::restore`]).
+    pub fn into_planner(self) -> Box<dyn AdaptationPlanner> {
+        self.planner
+    }
+
+    /// Rebuilds a manager from its write-ahead journal after a crash.
+    ///
+    /// Replay walks the records, mutating state exactly as the live code
+    /// paths did when each record was written (journal records precede the
+    /// sends they cover, so a persisted prefix never claims more than the
+    /// crashed incarnation actually decided). No messages are re-sent and no
+    /// observability events are re-emitted during replay — the journal is a
+    /// record of decisions, not of traffic.
+    ///
+    /// After replay the manager lands in one of two situations:
+    ///
+    /// * **Between decisions** (the journal's last record fully determines
+    ///   the next move — e.g. it ends at `StepCommitted` or `GoalReversed`):
+    ///   the decision is simply re-taken live, re-journaling and re-sending
+    ///   whatever the crash swallowed. Replay relies on the planner being
+    ///   deterministic, which the DES guarantees.
+    /// * **Inside a wait** (`StepStarted` / `ResumeIssued` /
+    ///   `RollbackIssued` last): which acks the dead incarnation had already
+    ///   collected is unknowable, so the barrier is reset conservatively to
+    ///   the full participant set and a **reconciliation round** begins:
+    ///   [`ProtoMsg::QueryState`] probes every participant, and
+    ///   [`Self::on_state_report`] folds each answer back into the ordinary
+    ///   barrier arms. The phase timer is armed before any report arrives,
+    ///   so lost probes degrade into the existing retransmission ladder
+    ///   rather than a hang.
+    ///
+    /// Returns the restored core plus the effects (probes, re-sends, timer)
+    /// to perform. Errors only on a journal that is not replayable against
+    /// this planner (corrupt input or a non-deterministic planner).
+    pub fn restore(
+        timing: ProtoTiming,
+        planner: Box<dyn AdaptationPlanner>,
+        journal: &[JournalRecord],
+    ) -> Result<(Self, Vec<ManagerEffect>), String> {
+        /// Where replay left off — the continuation to run live.
+        enum Cursor {
+            /// Idle (or gave up); maybe a queued request to serve.
+            Idle,
+            /// A goal is set; a path must be (re-)selected.
+            Decide,
+            /// A path is selected and compiled; its next step must start.
+            StartStep,
+            /// Waiting on the adapt barrier of the current step.
+            WaitAdapt,
+            /// Waiting on the resume barrier.
+            WaitResume,
+            /// Waiting on the rollback barrier.
+            WaitRollback,
+            /// A step just committed; advance (next step / complete / replan).
+            AfterCommit,
+            /// A rollback just finished; retry the step or replan.
+            AfterRollback { retry: bool },
+        }
+
+        let mut core = ManagerCore::new(timing, planner);
+        let mut cursor = Cursor::Idle;
+        for (i, rec) in journal.iter().enumerate() {
+            let fail = |why: &str| format!("journal record {i} not replayable: {why} ({rec})");
+            match rec {
+                JournalRecord::Request { source, target } => {
+                    core.source = source.clone();
+                    core.target = target.clone();
+                    core.current = source.clone();
+                    core.goal_is_source = false;
+                    core.steps_committed = 0;
+                    core.tried_paths.clear();
+                    core.warnings.clear();
+                    core.step_retry_used = false;
+                    core.phase = ManagerPhase::Running;
+                    // A Request that served the queue popped its entry live.
+                    if core.queued_requests.front().is_some_and(|(_, t)| t == target) {
+                        core.queued_requests.pop_front();
+                    }
+                    cursor = Cursor::Decide;
+                }
+                JournalRecord::Queued { source, target } => {
+                    core.queued_requests.push_back((source.clone(), target.clone()));
+                }
+                JournalRecord::PathSelected { actions } => {
+                    const K_MAX: usize = 16;
+                    let (from, goal) = (core.current.clone(), core.goal().clone());
+                    let path = core
+                        .planner
+                        .paths(&from, &goal, K_MAX)
+                        .into_iter()
+                        .find(|p| &p.action_ids() == actions)
+                        .ok_or_else(|| fail("planner no longer offers this path"))?;
+                    core.tried_paths.insert((core.current.clone(), path.action_ids()));
+                    core.steps = core.planner.compile(&path);
+                    core.step_ix = 0;
+                    cursor = Cursor::StartStep;
+                }
+                JournalRecord::GoalReversed => {
+                    core.goal_is_source = true;
+                    cursor = Cursor::Decide;
+                }
+                JournalRecord::StepStarted { step, ix } => {
+                    let ix = *ix as usize;
+                    if ix >= core.steps.len() {
+                        return Err(fail("step index out of range for the selected path"));
+                    }
+                    if core.steps[ix].from != core.current {
+                        return Err(fail("step source disagrees with committed configuration"));
+                    }
+                    core.step_ix = ix;
+                    core.step_id = *step;
+                    core.next_attempt = step.0 + 1;
+                    core.solo = core.steps[ix].locals.len() == 1;
+                    core.resume_sent = false;
+                    core.retries = 0;
+                    core.pending_adapt = core.steps[ix].locals.iter().map(|(a, _)| *a).collect();
+                    core.pending_resume = core.pending_adapt.clone();
+                    core.pending_rollback.clear();
+                    core.phase = ManagerPhase::Adapting;
+                    cursor = Cursor::WaitAdapt;
+                }
+                JournalRecord::ResumeIssued { step } => {
+                    if *step != core.step_id {
+                        return Err(fail("resume for a step that is not current"));
+                    }
+                    core.phase = ManagerPhase::Resuming;
+                    core.resume_sent = true;
+                    core.pending_adapt.clear();
+                    core.retries = 0;
+                    cursor = Cursor::WaitResume;
+                }
+                JournalRecord::StepCommitted { step } => {
+                    if *step != core.step_id {
+                        return Err(fail("commit for a step that is not current"));
+                    }
+                    core.current = core.steps[core.step_ix].to.clone();
+                    core.steps_committed += 1;
+                    core.step_retry_used = false;
+                    core.step_ix += 1;
+                    cursor = Cursor::AfterCommit;
+                }
+                JournalRecord::RollbackIssued { step } => {
+                    if *step != core.step_id {
+                        return Err(fail("rollback for a step that is not current"));
+                    }
+                    core.phase = ManagerPhase::RollingBack;
+                    core.pending_rollback =
+                        core.steps[core.step_ix].locals.iter().map(|(a, _)| *a).collect();
+                    core.retries = 0;
+                    cursor = Cursor::WaitRollback;
+                }
+                JournalRecord::RollbackComplete { step, retry } => {
+                    if *step != core.step_id {
+                        return Err(fail("rollback completion for a step that is not current"));
+                    }
+                    core.step_retry_used = *retry;
+                    core.pending_rollback.clear();
+                    cursor = Cursor::AfterRollback { retry: *retry };
+                }
+                JournalRecord::Outcome { gave_up, .. } => {
+                    core.phase =
+                        if *gave_up { ManagerPhase::GaveUp } else { ManagerPhase::Running };
+                    cursor = Cursor::Idle;
+                }
+            }
+        }
+        core.journal_seq = journal.len() as u64;
+        core.obs.push(Payload::Proto(ProtoEvent::ManagerRestored {
+            records: journal.len() as u64,
+            phase: phase_tag(core.phase),
+            step: (core.step_id.0 != 0).then_some(core.step_id.0),
+        }));
+
+        let mut eff = Vec::new();
+        match cursor {
+            Cursor::Idle => {
+                // Re-taking a give-up decision would double-complete; a
+                // successfully idle manager only owes service to the queue.
+                if core.phase == ManagerPhase::Running {
+                    if let Some((source, target)) = core.queued_requests.pop_front() {
+                        let effective_source =
+                            if source == core.current { source } else { core.current.clone() };
+                        eff.push(ManagerEffect::Info("starting queued adaptation request".into()));
+                        eff.extend(core.on_request(effective_source, target));
+                    }
+                }
+            }
+            Cursor::Decide => eff.extend(core.select_and_start()),
+            Cursor::StartStep => eff.extend(core.start_step()),
+            Cursor::AfterCommit => eff.extend(core.advance_after_commit()),
+            Cursor::AfterRollback { retry } => {
+                if retry {
+                    eff.push(ManagerEffect::Info(format!("retrying step {} once", core.step_ix)));
+                    eff.extend(core.start_step());
+                } else {
+                    eff.extend(core.select_and_start());
+                }
+            }
+            Cursor::WaitAdapt | Cursor::WaitResume | Cursor::WaitRollback => {
+                // Mid-wait: which acks the dead incarnation saw is unknown.
+                // Reset the barrier conservatively and probe everyone.
+                let participants: BTreeSet<usize> =
+                    core.steps[core.step_ix].locals.iter().map(|(a, _)| *a).collect();
+                match cursor {
+                    Cursor::WaitAdapt => {
+                        core.pending_adapt = participants.clone();
+                        core.pending_resume = participants.clone();
+                    }
+                    Cursor::WaitResume => {
+                        core.pending_adapt.clear();
+                        core.pending_resume = participants.clone();
+                    }
+                    Cursor::WaitRollback => core.pending_rollback = participants.clone(),
+                    _ => unreachable!(),
+                }
+                eff.push(ManagerEffect::Info(format!(
+                    "restored mid-{:?}; reconciling {} with {} participant(s)",
+                    core.phase,
+                    core.step_id,
+                    participants.len()
+                )));
+                for agent in &participants {
+                    core.obs
+                        .push(Payload::Proto(ProtoEvent::StateQueried { agent: *agent as u32 }));
+                    eff.push(ManagerEffect::Send { agent: *agent, msg: ProtoMsg::QueryState });
+                }
+                core.fresh_timer(&mut eff);
+            }
+        }
+        Ok((core, eff))
     }
 }

@@ -1,12 +1,14 @@
 //! Unit tests for the manager state machine (Figure 2 + Section 4.4
 //! failure ladder), driven without any network.
 
-use std::collections::HashSet;
+use std::collections::{HashSet, VecDeque};
 
-use sada_expr::{enumerate, InvariantSet, Universe};
+use sada_expr::{enumerate, Config, InvariantSet, Universe};
 use sada_model::SystemModel;
 use sada_plan::{Action, Sag};
 
+use crate::agent::{AgentCore, AgentEffect, AgentEvent};
+use crate::journal::JournalRecord;
 use crate::manager::{
     ManagerCore, ManagerEffect, ManagerEvent, ManagerPhase, Outcome, ProtoTiming,
 };
@@ -215,6 +217,51 @@ fn fail_to_reset_triggers_immediate_rollback() {
 }
 
 #[test]
+fn solo_commit_evidence_during_rollback_adopts_the_commit() {
+    // A solo participant resumes autonomously, so it can commit a step
+    // before the rollback order of a manager deaf to its (lost) acks
+    // reaches it. Past the point of no return the commit cannot be undone:
+    // the agent's completion re-ack must abandon the rollback, adopt the
+    // step as committed, and continue the path from there.
+    let (u, mut mgr) = world();
+    let eff = mgr.on_event(ManagerEvent::Request {
+        source: u.config_of(&["A"]),
+        target: u.config_of(&["C"]),
+    });
+    let step = reset_step(&eff);
+    let mut token = timer_token(&eff);
+    for _ in 0..ProtoTiming::default().send_retries {
+        let eff = mgr.on_event(ManagerEvent::Timeout { token });
+        token = timer_token(&eff);
+    }
+    let eff = mgr.on_event(ManagerEvent::Timeout { token });
+    assert_eq!(mgr.phase(), ManagerPhase::RollingBack);
+    assert!(sends(&eff).iter().all(|(_, m)| matches!(m, ProtoMsg::Rollback { .. })));
+
+    // Instead of RollbackDone, the agent re-acks the completion it reached
+    // on its own (AdaptDone is a stray here; ResumeDone is the evidence).
+    let eff = mgr.on_event(ManagerEvent::AgentMsg { agent: 0, msg: ProtoMsg::AdaptDone { step } });
+    assert!(sends(&eff).is_empty(), "stray AdaptDone mid-rollback is inert: {eff:?}");
+    let eff = mgr.on_event(ManagerEvent::AgentMsg { agent: 0, msg: ProtoMsg::ResumeDone { step } });
+    let records = journal_records(&eff);
+    assert!(
+        records.iter().any(|r| matches!(r, JournalRecord::StepCommitted { step: s } if *s == step)),
+        "the commit is adopted: {records:?}"
+    );
+    assert!(
+        !records.iter().any(|r| matches!(r, JournalRecord::RollbackComplete { .. })),
+        "no rollback completion is fabricated: {records:?}"
+    );
+    // The path continues: next step dispatched from the committed config.
+    assert_eq!(mgr.phase(), ManagerPhase::Adapting);
+    assert_eq!(mgr.current_config(), &u.config_of(&["B"]));
+    assert!(
+        sends(&eff).iter().any(|(_, m)| matches!(m, ProtoMsg::Reset { .. })),
+        "the next step starts immediately: {eff:?}"
+    );
+}
+
+#[test]
 fn recovery_ladder_retry_then_alternate_path_then_source_then_give_up() {
     let (u, mut mgr) = world();
     let a = u.config_of(&["A"]);
@@ -370,7 +417,10 @@ fn second_request_while_busy_is_queued_and_served() {
         target: u.config_of(&["C"]),
     });
     assert!(sends(&eff).is_empty());
-    assert!(matches!(eff[0], ManagerEffect::Info(_)));
+    // The deferral is journaled (so a restarted manager still serves it)
+    // and reported.
+    assert!(matches!(eff[0], ManagerEffect::Journal(JournalRecord::Queued { .. })), "{eff:?}");
+    assert!(eff.iter().any(|e| matches!(e, ManagerEffect::Info(_))));
     // Finish the first adaptation; the queued one starts automatically.
     let _ =
         mgr.on_event(ManagerEvent::AgentMsg { agent: 0, msg: ProtoMsg::AdaptDone { step: s1 } });
@@ -583,4 +633,419 @@ fn timer_tokens_strictly_increase_and_stale_timeouts_are_inert() {
     let eff = mgr.on_event(ManagerEvent::Timeout { token: t1 });
     assert!(eff.is_empty(), "stale timer token must be ignored: {eff:?}");
     assert_eq!(mgr.phase(), ManagerPhase::Adapting);
+}
+
+// --- duplicate-delivery idempotence (barrier guards) ---------------------
+
+#[test]
+fn duplicate_adapt_done_before_the_barrier_is_inert() {
+    let (u, mut mgr) = world_two_agents();
+    let eff = mgr.on_event(ManagerEvent::Request {
+        source: u.config_of(&["X1", "Y1"]),
+        target: u.config_of(&["X2", "Y2"]),
+    });
+    let step = reset_step(&eff);
+    let _ = mgr.on_event(ManagerEvent::AgentMsg { agent: 0, msg: ProtoMsg::AdaptDone { step } });
+    // The network re-delivers agent 0's AdaptDone: it must not count twice
+    // toward the barrier (the step would resume with agent 1 unsafe).
+    let eff = mgr.on_event(ManagerEvent::AgentMsg { agent: 0, msg: ProtoMsg::AdaptDone { step } });
+    assert!(eff.is_empty(), "duplicate must be dropped: {eff:?}");
+    assert_eq!(mgr.phase(), ManagerPhase::Adapting);
+    let eff = mgr.on_event(ManagerEvent::AgentMsg { agent: 1, msg: ProtoMsg::AdaptDone { step } });
+    assert_eq!(sends(&eff).len(), 2, "barrier still waited for agent 1");
+}
+
+#[test]
+fn duplicate_resume_done_after_the_transition_is_inert() {
+    let (u, mut mgr) = world_two_agents();
+    let eff = mgr.on_event(ManagerEvent::Request {
+        source: u.config_of(&["X1", "Y1"]),
+        target: u.config_of(&["X2", "Y2"]),
+    });
+    let step = reset_step(&eff);
+    let _ = mgr.on_event(ManagerEvent::AgentMsg { agent: 0, msg: ProtoMsg::AdaptDone { step } });
+    let _ = mgr.on_event(ManagerEvent::AgentMsg { agent: 1, msg: ProtoMsg::AdaptDone { step } });
+    let _ = mgr.on_event(ManagerEvent::AgentMsg { agent: 0, msg: ProtoMsg::ResumeDone { step } });
+    // Replayed ResumeDone from the already-counted agent: no double-count,
+    // no premature commit.
+    let eff = mgr.on_event(ManagerEvent::AgentMsg { agent: 0, msg: ProtoMsg::ResumeDone { step } });
+    assert!(eff.is_empty(), "duplicate must be dropped: {eff:?}");
+    assert_eq!(mgr.phase(), ManagerPhase::Resuming, "commit must wait for agent 1");
+    let eff = mgr.on_event(ManagerEvent::AgentMsg { agent: 1, msg: ProtoMsg::ResumeDone { step } });
+    assert!(outcome(&eff).expect("commit on the real final ack").success);
+}
+
+#[test]
+fn duplicate_rollback_done_is_inert() {
+    let (u, mut mgr) = world_two_agents();
+    let eff = mgr.on_event(ManagerEvent::Request {
+        source: u.config_of(&["X1", "Y1"]),
+        target: u.config_of(&["X2", "Y2"]),
+    });
+    let step = reset_step(&eff);
+    let _ = mgr.on_event(ManagerEvent::AgentMsg { agent: 1, msg: ProtoMsg::FailToReset { step } });
+    assert_eq!(mgr.phase(), ManagerPhase::RollingBack);
+    let _ = mgr.on_event(ManagerEvent::AgentMsg { agent: 0, msg: ProtoMsg::RollbackDone { step } });
+    let eff =
+        mgr.on_event(ManagerEvent::AgentMsg { agent: 0, msg: ProtoMsg::RollbackDone { step } });
+    assert!(eff.is_empty(), "duplicate must not close the rollback barrier: {eff:?}");
+    assert_eq!(mgr.phase(), ManagerPhase::RollingBack);
+    let eff =
+        mgr.on_event(ManagerEvent::AgentMsg { agent: 1, msg: ProtoMsg::RollbackDone { step } });
+    let retry = reset_step(&eff);
+    assert_ne!(retry, step, "exactly one retry, on the real final ack");
+}
+
+// --- durable manager: journal, restore, reconciliation -------------------
+
+fn journal_records(effects: &[ManagerEffect]) -> Vec<JournalRecord> {
+    effects
+        .iter()
+        .filter_map(|e| match e {
+            ManagerEffect::Journal(rec) => Some(rec.clone()),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Synchronous lockstep harness: delivers manager sends straight to
+/// in-process [`AgentCore`]s, auto-drives their local-process callbacks, and
+/// feeds the replies back — no network, no clock, nothing lost, so timers
+/// never fire. Step attempts whose id is in `fail_steps` fail-to-reset;
+/// keying failures to the attempt id (which the journal makes stable across
+/// a manager restart) lets a restored run make exactly the choices the
+/// uninterrupted run made.
+struct Lockstep {
+    agents: Vec<AgentCore>,
+    fail_steps: HashSet<u64>,
+    journal: Vec<JournalRecord>,
+    outcome: Option<Outcome>,
+}
+
+impl Lockstep {
+    fn new(agent_count: usize, fail_steps: HashSet<u64>) -> Self {
+        Lockstep {
+            agents: (0..agent_count).map(|_| AgentCore::new()).collect(),
+            fail_steps,
+            journal: Vec::new(),
+            outcome: None,
+        }
+    }
+
+    /// Journal records and the outcome are kept; sends are queued.
+    fn absorb(&mut self, effects: Vec<ManagerEffect>, inbox: &mut VecDeque<(usize, ProtoMsg)>) {
+        for eff in effects {
+            match eff {
+                ManagerEffect::Journal(rec) => self.journal.push(rec),
+                ManagerEffect::Send { agent, msg } => inbox.push_back((agent, msg)),
+                ManagerEffect::Complete(o) => self.outcome = Some(o),
+                _ => {}
+            }
+        }
+    }
+
+    /// Delivers one message to an agent, auto-completing every local process
+    /// action it requests, and returns the agent's protocol replies in order.
+    fn agent_replies(&mut self, ix: usize, msg: ProtoMsg) -> Vec<ProtoMsg> {
+        let mut replies = Vec::new();
+        let mut events = VecDeque::from([AgentEvent::Msg(msg)]);
+        while let Some(ev) = events.pop_front() {
+            for eff in self.agents[ix].on_event(ev) {
+                match eff {
+                    AgentEffect::Send(m) => replies.push(m),
+                    AgentEffect::BeginReset(_) => {
+                        let fails = self.agents[ix]
+                            .current_step()
+                            .is_some_and(|s| self.fail_steps.contains(&s.0));
+                        events.push_back(if fails {
+                            AgentEvent::CannotReset
+                        } else {
+                            AgentEvent::SafeReached
+                        });
+                    }
+                    AgentEffect::DoInAction(_) => events.push_back(AgentEvent::InActionDone),
+                    AgentEffect::DoResume => events.push_back(AgentEvent::ResumeFinished),
+                    AgentEffect::DoRollback(_) => events.push_back(AgentEvent::RollbackFinished),
+                    AgentEffect::PreAction(_) | AgentEffect::PostAction(_) => {}
+                }
+            }
+        }
+        replies
+    }
+
+    /// Pumps messages to quiescence. With `crash_at = Some(k)`, stops (and
+    /// returns `true`) as soon as the journal holds at least `k` records —
+    /// the undelivered remainder of `inbox` dies with the crash.
+    fn run(
+        &mut self,
+        mgr: &mut ManagerCore,
+        mut inbox: VecDeque<(usize, ProtoMsg)>,
+        crash_at: Option<usize>,
+    ) -> bool {
+        let mut budget = 10_000u32;
+        while let Some((ix, msg)) = inbox.pop_front() {
+            for reply in self.agent_replies(ix, msg) {
+                let eff = mgr.on_event(ManagerEvent::AgentMsg { agent: ix, msg: reply });
+                self.absorb(eff, &mut inbox);
+                if crash_at.is_some_and(|k| self.journal.len() >= k) {
+                    return true;
+                }
+            }
+            budget -= 1;
+            assert!(budget > 0, "lockstep run did not converge");
+        }
+        false
+    }
+}
+
+/// A fresh manager plus the request endpoints and agent count for one of the
+/// two fixture worlds.
+fn scenario(two_agents: bool) -> (ManagerCore, Config, Config, usize) {
+    if two_agents {
+        let (u, mgr) = world_two_agents();
+        (mgr, u.config_of(&["X1", "Y1"]), u.config_of(&["X2", "Y2"]), 2)
+    } else {
+        let (u, mgr) = world();
+        (mgr, u.config_of(&["A"]), u.config_of(&["C"]), 1)
+    }
+}
+
+/// Runs an adaptation to quiescence without any crash.
+fn uninterrupted(two_agents: bool, fail_steps: &HashSet<u64>) -> (Config, Vec<JournalRecord>) {
+    let (mut mgr, source, target, n) = scenario(two_agents);
+    let mut net = Lockstep::new(n, fail_steps.clone());
+    let mut inbox = VecDeque::new();
+    let eff = mgr.on_event(ManagerEvent::Request { source, target });
+    net.absorb(eff, &mut inbox);
+    assert!(!net.run(&mut mgr, inbox, None));
+    (mgr.current_config().clone(), net.journal)
+}
+
+/// Runs the same adaptation, crashes the manager as soon as the journal
+/// holds `crash_at` records (in-flight messages die; agents keep their
+/// state), restores a new incarnation from the journal, and drives the
+/// reconciliation round plus the rest of the run to quiescence.
+fn crash_then_restore(
+    two_agents: bool,
+    fail_steps: &HashSet<u64>,
+    crash_at: usize,
+) -> (Config, Vec<JournalRecord>) {
+    let (mut mgr, source, target, n) = scenario(two_agents);
+    let mut net = Lockstep::new(n, fail_steps.clone());
+    let mut inbox = VecDeque::new();
+    let eff = mgr.on_event(ManagerEvent::Request { source, target });
+    net.absorb(eff, &mut inbox);
+    let crashed = net.journal.len() >= crash_at || net.run(&mut mgr, inbox, Some(crash_at));
+    assert!(crashed, "journal never reached {crash_at} records");
+    // The dead incarnation's volatile state is gone; only the planner (a
+    // stateless service in the sim) and the journal survive.
+    let (mut mgr, eff) =
+        ManagerCore::restore(ProtoTiming::default(), mgr.into_planner(), &net.journal)
+            .expect("persisted journal prefix must replay");
+    let mut inbox = VecDeque::new();
+    net.absorb(eff, &mut inbox);
+    assert!(!net.run(&mut mgr, inbox, None));
+    (mgr.current_config().clone(), net.journal)
+}
+
+#[test]
+fn restore_of_empty_journal_is_a_fresh_idle_manager() {
+    let (_, mgr) = world();
+    let (mgr, eff) = ManagerCore::restore(ProtoTiming::default(), mgr.into_planner(), &[]).unwrap();
+    assert_eq!(mgr.phase(), ManagerPhase::Running);
+    assert!(sends(&eff).is_empty());
+}
+
+#[test]
+fn restore_mid_adapt_probes_every_participant_and_rearms_the_timer() {
+    let (u, mgr) = world_two_agents();
+    let mut live = ManagerCore::new(ProtoTiming::default(), mgr.into_planner());
+    let eff = live.on_event(ManagerEvent::Request {
+        source: u.config_of(&["X1", "Y1"]),
+        target: u.config_of(&["X2", "Y2"]),
+    });
+    let step = reset_step(&eff);
+    let journal = journal_records(&eff);
+    assert!(matches!(journal.last(), Some(JournalRecord::StepStarted { .. })), "{journal:?}");
+
+    let (mut mgr, eff) =
+        ManagerCore::restore(ProtoTiming::default(), live.into_planner(), &journal).unwrap();
+    assert_eq!(mgr.phase(), ManagerPhase::Adapting);
+    let probes = sends(&eff);
+    assert_eq!(probes.len(), 2, "one QueryState per participant: {probes:?}");
+    assert!(probes.iter().all(|(_, m)| matches!(m, ProtoMsg::QueryState)));
+    let _ = timer_token(&eff); // lost probes degrade into the timeout ladder
+
+    // Agent 0 already adapted before the crash; agent 1 never got its Reset.
+    let eff = mgr.on_event(ManagerEvent::AgentMsg {
+        agent: 0,
+        msg: ProtoMsg::StateReport {
+            engaged: Some(step),
+            adapted: true,
+            failed: false,
+            last_completed: None,
+        },
+    });
+    assert!(sends(&eff).is_empty(), "adapted participant is simply counted: {eff:?}");
+    let eff = mgr.on_event(ManagerEvent::AgentMsg {
+        agent: 1,
+        msg: ProtoMsg::StateReport {
+            engaged: None,
+            adapted: false,
+            failed: false,
+            last_completed: None,
+        },
+    });
+    let s = sends(&eff);
+    assert!(matches!(s[..], [(1, ProtoMsg::Reset { .. })]), "idle participant is re-reset: {s:?}");
+    // The step then converges normally.
+    let _ = mgr.on_event(ManagerEvent::AgentMsg { agent: 1, msg: ProtoMsg::AdaptDone { step } });
+    let _ = mgr.on_event(ManagerEvent::AgentMsg { agent: 0, msg: ProtoMsg::ResumeDone { step } });
+    let eff = mgr.on_event(ManagerEvent::AgentMsg { agent: 1, msg: ProtoMsg::ResumeDone { step } });
+    assert!(outcome(&eff).expect("completes after reconciliation").success);
+}
+
+#[test]
+fn restore_after_rollback_issued_reissues_rollback_not_resume() {
+    // The satellite scenario: crash between "rollback issued" and "rollback
+    // done". The restored manager must drive the rollback to completion —
+    // never resume a step that was condemned before the crash.
+    let (u, mgr) = world_two_agents();
+    let mut live = ManagerCore::new(ProtoTiming::default(), mgr.into_planner());
+    let eff = live.on_event(ManagerEvent::Request {
+        source: u.config_of(&["X1", "Y1"]),
+        target: u.config_of(&["X2", "Y2"]),
+    });
+    let step = reset_step(&eff);
+    let mut journal = journal_records(&eff);
+    let eff =
+        live.on_event(ManagerEvent::AgentMsg { agent: 1, msg: ProtoMsg::FailToReset { step } });
+    journal.extend(journal_records(&eff));
+    assert!(matches!(journal.last(), Some(JournalRecord::RollbackIssued { .. })), "{journal:?}");
+
+    let (mut mgr, eff) =
+        ManagerCore::restore(ProtoTiming::default(), live.into_planner(), &journal).unwrap();
+    assert_eq!(mgr.phase(), ManagerPhase::RollingBack);
+    assert!(sends(&eff).iter().all(|(_, m)| matches!(m, ProtoMsg::QueryState)));
+
+    // Agent 0 is still holding the step: it gets the rollback again. No
+    // Resume may ever be sent from this state.
+    let eff = mgr.on_event(ManagerEvent::AgentMsg {
+        agent: 0,
+        msg: ProtoMsg::StateReport {
+            engaged: Some(step),
+            adapted: true,
+            failed: false,
+            last_completed: None,
+        },
+    });
+    let s = sends(&eff);
+    assert!(matches!(s[..], [(0, ProtoMsg::Rollback { .. })]), "{s:?}");
+    // Agent 1 (the fail-to-reset reporter) rejoined idle: nothing to undo,
+    // its rollback obligation is discharged synthetically.
+    let _ = mgr.on_event(ManagerEvent::AgentMsg {
+        agent: 1,
+        msg: ProtoMsg::StateReport {
+            engaged: None,
+            adapted: false,
+            failed: false,
+            last_completed: None,
+        },
+    });
+    let eff =
+        mgr.on_event(ManagerEvent::AgentMsg { agent: 0, msg: ProtoMsg::RollbackDone { step } });
+    let retry = reset_step(&eff);
+    assert_ne!(retry, step, "ladder continues with the retry rung after the rollback");
+    assert_eq!(mgr.phase(), ManagerPhase::Adapting);
+}
+
+#[test]
+fn restore_between_decisions_retakes_the_decision_live() {
+    // Journal ends at StepCommitted: the crash swallowed the next step's
+    // resets. Restore must re-take the (deterministic) decision and re-send.
+    let (u, mgr) = world();
+    let mut live = ManagerCore::new(ProtoTiming::default(), mgr.into_planner());
+    let eff = live.on_event(ManagerEvent::Request {
+        source: u.config_of(&["A"]),
+        target: u.config_of(&["C"]),
+    });
+    let s1 = reset_step(&eff);
+    let mut journal = journal_records(&eff);
+    let _ =
+        live.on_event(ManagerEvent::AgentMsg { agent: 0, msg: ProtoMsg::AdaptDone { step: s1 } });
+    let eff =
+        live.on_event(ManagerEvent::AgentMsg { agent: 0, msg: ProtoMsg::ResumeDone { step: s1 } });
+    journal.extend(journal_records(&eff));
+    let s2 = reset_step(&eff);
+    // Truncate to the commit: the dead incarnation decided the commit but
+    // its second StepStarted record (and resets) never made it out.
+    let cut = journal
+        .iter()
+        .position(|r| matches!(r, JournalRecord::StepCommitted { .. }))
+        .expect("first step committed")
+        + 1;
+    let (mgr, eff) =
+        ManagerCore::restore(ProtoTiming::default(), live.into_planner(), &journal[..cut]).unwrap();
+    assert_eq!(mgr.phase(), ManagerPhase::Adapting);
+    assert_eq!(reset_step(&eff), s2, "same attempt id as the uninterrupted run");
+    assert!(
+        journal_records(&eff).iter().any(|r| matches!(r, JournalRecord::StepStarted { .. })),
+        "the re-taken decision is re-journaled"
+    );
+}
+
+#[test]
+fn restore_rejects_a_journal_the_planner_cannot_replay() {
+    let (u, mgr) = world();
+    let journal = vec![
+        JournalRecord::Request { source: u.config_of(&["A"]), target: u.config_of(&["C"]) },
+        JournalRecord::PathSelected { actions: vec![sada_plan::ActionId(99)] },
+    ];
+    let err = ManagerCore::restore(ProtoTiming::default(), mgr.into_planner(), &journal)
+        .expect_err("foreign path must not replay");
+    assert!(err.contains("record 1"), "{err}");
+}
+
+#[test]
+fn crash_at_every_journal_prefix_converges_to_the_uninterrupted_config() {
+    // The acceptance property, exhaustively over crash points, for both
+    // fixture worlds on the happy path.
+    for two_agents in [false, true] {
+        let none = HashSet::new();
+        let (final_config, journal) = uninterrupted(two_agents, &none);
+        assert!(matches!(journal.last(), Some(JournalRecord::Outcome { success: true, .. })));
+        for crash_at in 1..=journal.len() {
+            let (config, replayed) = crash_then_restore(two_agents, &none, crash_at);
+            assert_eq!(config, final_config, "crash at prefix {crash_at} diverged");
+            assert_eq!(replayed, journal, "journal after crash at {crash_at} diverged");
+        }
+    }
+}
+
+mod replay_equivalence {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// Satellite property: for any pattern of fail-to-reset faults and
+        /// any crash point, replay(prefix) + reconciliation + live
+        /// completion reaches the same final configuration — and writes the
+        /// same journal — as the uninterrupted run.
+        #[test]
+        fn replay_prefix_then_live_completion_matches_uninterrupted(
+            two_agents in any::<bool>(),
+            fail_mask in 0u8..64,
+        ) {
+            let fail_steps: HashSet<u64> =
+                (0..6).filter(|b| fail_mask & (1 << b) != 0).map(|b| b + 1).collect();
+            let (final_config, journal) = uninterrupted(two_agents, &fail_steps);
+            for crash_at in 1..=journal.len() {
+                let (config, replayed) = crash_then_restore(two_agents, &fail_steps, crash_at);
+                prop_assert_eq!(&config, &final_config, "crash at prefix {} diverged", crash_at);
+                prop_assert_eq!(&replayed, &journal, "journal after crash at {} diverged", crash_at);
+            }
+        }
+    }
 }

@@ -113,14 +113,36 @@ pub enum ProtoMsg {
         /// Last step the agent fully completed before crashing, if any.
         last_completed: Option<StepId>,
     },
+    /// Manager → agent: a restored manager incarnation probing the agent's
+    /// actual protocol position during its reconciliation round. Stepless:
+    /// the agent answers from whatever state it is in.
+    QueryState,
+    /// Agent → manager: answer to [`ProtoMsg::QueryState`]. A snapshot of
+    /// the agent's protocol position, from which the manager resolves
+    /// applied-but-uncommitted steps (rollback before the first resume,
+    /// run-to-completion after it).
+    StateReport {
+        /// The step attempt the agent is currently engaged in, if any.
+        engaged: Option<StepId>,
+        /// True when the engaged step's local in-action has completed (the
+        /// agent is at or past the adapted state).
+        adapted: bool,
+        /// True when the agent failed to reset for the engaged step.
+        failed: bool,
+        /// Last step attempt the agent fully committed, if any.
+        last_completed: Option<StepId>,
+    },
 }
 
 impl ProtoMsg {
     /// The step attempt the message refers to, if it refers to one.
     ///
-    /// [`ProtoMsg::Rejoin`] is the only stepless message: a restarted agent
-    /// does not know the manager's current attempt, so rejoins must pass the
-    /// manager's stale-step filter unconditionally.
+    /// [`ProtoMsg::Rejoin`] and the reconciliation pair
+    /// ([`ProtoMsg::QueryState`] / [`ProtoMsg::StateReport`]) are the only
+    /// stepless messages: a restarted process (agent or manager) does not
+    /// know its peer's current attempt, so these must pass the
+    /// stale-step filters unconditionally. `StateReport::engaged` names a
+    /// step, but as payload the *receiver* judges, not as a filter key.
     pub fn step(&self) -> Option<StepId> {
         match self {
             ProtoMsg::Reset { step, .. }
@@ -131,7 +153,7 @@ impl ProtoMsg {
             | ProtoMsg::Rollback { step }
             | ProtoMsg::RollbackDone { step }
             | ProtoMsg::FailToReset { step } => Some(*step),
-            ProtoMsg::Rejoin { .. } => None,
+            ProtoMsg::Rejoin { .. } | ProtoMsg::QueryState | ProtoMsg::StateReport { .. } => None,
         }
     }
 }
@@ -201,6 +223,20 @@ mod tests {
     fn rejoin_is_stepless() {
         assert_eq!(ProtoMsg::Rejoin { last_completed: None }.step(), None);
         assert_eq!(ProtoMsg::Rejoin { last_completed: Some(StepId(3)) }.step(), None);
+    }
+
+    #[test]
+    fn reconciliation_messages_are_stepless() {
+        // A restored manager probes agents whose step bookkeeping it cannot
+        // assume; both directions must bypass every stale-step filter.
+        assert_eq!(ProtoMsg::QueryState.step(), None);
+        let report = ProtoMsg::StateReport {
+            engaged: Some(StepId(4)),
+            adapted: true,
+            failed: false,
+            last_completed: Some(StepId(3)),
+        };
+        assert_eq!(report.step(), None);
     }
 
     #[test]

@@ -79,6 +79,15 @@ impl SagPlanner {
 }
 
 impl AdaptationPlanner for SagPlanner {
+    /// Candidate paths, cheapest first. This ranking must be a pure function
+    /// of `(from, to, k)`: [`ManagerCore::restore`] re-derives a journaled
+    /// `PathSelected` decision by re-querying the planner, so a
+    /// non-deterministic ranking would make a crashed manager unrecoverable.
+    /// Yen's algorithm over the eager SAG satisfies this — ties are broken
+    /// by deterministic vertex order, never by iteration over unordered
+    /// maps.
+    ///
+    /// [`ManagerCore::restore`]: crate::ManagerCore::restore
     fn paths(&mut self, from: &Config, to: &Config, k: usize) -> Vec<Path> {
         self.sag.k_shortest_paths(from, to, k)
     }
@@ -180,6 +189,21 @@ mod tests {
             assert_eq!(la.removes.len(), 1);
             assert_eq!(la.adds.len(), 1);
         }
+    }
+
+    #[test]
+    fn path_ranking_is_deterministic_across_queries() {
+        // Journal replay after a manager crash re-asks the planner for the
+        // same candidates; repeated queries must return the identical list.
+        let (u, mut p) = setup();
+        let src = u.config_of(&["E1", "D1"]);
+        let dst = u.config_of(&["E2", "D2"]);
+        let first = p.paths(&src, &dst, 8);
+        for _ in 0..3 {
+            assert_eq!(p.paths(&src, &dst, 8), first, "ranking must be stable");
+        }
+        let (_, mut fresh) = setup();
+        assert_eq!(fresh.paths(&src, &dst, 8), first, "and identical across incarnations");
     }
 
     use sada_plan::Path;

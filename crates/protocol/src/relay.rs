@@ -148,6 +148,47 @@ mod tests {
     }
 
     #[test]
+    fn relay_forwards_reconciliation_probes_and_reports() {
+        // A restored manager's QueryState/StateReport round is ordinary
+        // protocol traffic: it must traverse spanning-tree edges unchanged,
+        // or a manager behind a relay could never reconcile after failover.
+        let mut sim: Simulator<Msg> = Simulator::new(0);
+        let down = sim.add_actor(
+            "down",
+            ScriptedAgent::new(sada_simnet::ActorId::from_index(9), AgentTiming::default()),
+        );
+        let up = sim.add_actor(
+            "up",
+            ScriptedAgent::new(sada_simnet::ActorId::from_index(9), AgentTiming::default()),
+        );
+        let relay = sim.add_actor("relay", RelayActor::new(up, down));
+        sim.inject(
+            up,
+            relay,
+            Wire::Proto { epoch: 1, msg: crate::messages::ProtoMsg::QueryState },
+            SimDuration::ZERO,
+        );
+        sim.inject(
+            down,
+            relay,
+            Wire::Proto {
+                epoch: 1,
+                msg: crate::messages::ProtoMsg::StateReport {
+                    engaged: None,
+                    adapted: false,
+                    failed: false,
+                    last_completed: None,
+                },
+            },
+            SimDuration::ZERO,
+        );
+        sim.run();
+        let r = sim.actor::<RelayActor>(relay).unwrap();
+        assert_eq!(r.forwarded_down, 1, "the probe went down the tree");
+        assert_eq!(r.forwarded_up, 1, "the report came back up");
+    }
+
+    #[test]
     fn deep_chains_still_converge_within_timeouts() {
         // manager <-> r1 <-> r2 <-> r3 <-> agent, 4 hops each way at 4ms:
         // well under the 200ms phase timeout.

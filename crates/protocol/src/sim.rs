@@ -11,20 +11,45 @@ use std::marker::PhantomData;
 
 use sada_expr::Config;
 use sada_obs::Bus;
-use sada_plan::ActionId;
+use sada_plan::{ActionId, Path};
 use sada_simnet::{Actor, ActorId, Context, SimDuration, SimTime, TimerId};
 
 use crate::agent::{AgentCore, AgentEffect, AgentEvent};
+use crate::journal::JournalRecord;
 use crate::manager::{
-    AdaptationPlanner, ManagerCore, ManagerEffect, ManagerEvent, Outcome, ProtoTiming,
+    AdaptationPlanner, ManagerCore, ManagerEffect, ManagerEvent, Outcome, PlannedStep, ProtoTiming,
 };
 use crate::messages::{LocalAction, Wire};
+
+/// Placeholder planner installed while the real planner is carried across a
+/// manager restart (never consulted).
+struct NoopPlanner;
+
+impl AdaptationPlanner for NoopPlanner {
+    fn paths(&mut self, _from: &Config, _to: &Config, _k: usize) -> Vec<Path> {
+        Vec::new()
+    }
+
+    fn compile(&mut self, _path: &Path) -> Vec<PlannedStep> {
+        Vec::new()
+    }
+}
 
 /// The adaptation manager as a simulated process.
 ///
 /// Generic over the application payload `M` (the manager itself only speaks
 /// [`ProtoMsg`]). The adaptation request fires at start-up; the outcome is
 /// readable from the actor state after the run.
+///
+/// The actor models the durability split of a crash-safe deployment: the
+/// [`ManagerCore`] and its timers are the volatile process image and are
+/// rebuilt from scratch when fault injection crashes this actor, while the
+/// write-ahead [`journal`](Self::journal) plays the role of the durable log
+/// a production manager would fsync — it survives the crash, and the
+/// restarted incarnation replays it through [`ManagerCore::restore`], then
+/// reconciles agent state with [`ProtoMsg::QueryState`] probes under a
+/// bumped epoch.
+///
 /// Application-message predicate that fires the adaptation request.
 type Trigger<M> = Box<dyn Fn(&M) -> bool>;
 
@@ -36,11 +61,21 @@ pub struct ManagerActor<M> {
     request: Option<(Config, Config)>,
     request_delay: SimDuration,
     trigger: Option<Trigger<M>>,
+    /// Timing policy, kept so a restarted incarnation is rebuilt under the
+    /// same policy the dead one ran.
+    timing: ProtoTiming,
     /// This manager's incarnation number (stamped on outgoing traffic).
     epoch: u64,
     /// Highest incarnation seen per agent; older traffic is pre-crash
     /// residue and is discarded before it reaches the state machine.
     agent_epochs: HashMap<ActorId, u64>,
+    /// The durable write-ahead adaptation journal (everything the core
+    /// emitted as [`ManagerEffect::Journal`], in order). Survives crashes of
+    /// this actor by construction — the simulator only destroys in-flight
+    /// deliveries and timers, which is exactly the volatile set.
+    pub journal: Vec<JournalRecord>,
+    /// Times this manager crashed and was rebuilt from its journal.
+    pub restores: u64,
     /// Final outcome, set when the adaptation completes.
     pub outcome: Option<Outcome>,
     /// Virtual time at which the outcome was produced (the realization
@@ -71,8 +106,11 @@ impl<M> ManagerActor<M> {
             request: Some((source, target)),
             request_delay: SimDuration::ZERO,
             trigger: None,
+            timing,
             epoch: 0,
             agent_epochs: HashMap::new(),
+            journal: Vec::new(),
+            restores: 0,
             outcome: None,
             completed_at: None,
             infos: Vec::new(),
@@ -109,6 +147,11 @@ impl<M> ManagerActor<M> {
         &self.core
     }
 
+    /// This manager's incarnation number (0 until the first crash/restart).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
     fn apply(&mut self, ctx: &mut Context<'_, Wire<M>>, effects: Vec<ManagerEffect>)
     where
         M: Clone + 'static,
@@ -138,6 +181,7 @@ impl<M> ManagerActor<M> {
                     self.outcome = Some(outcome);
                     self.completed_at = Some(ctx.now());
                 }
+                ManagerEffect::Journal(rec) => self.journal.push(rec),
                 ManagerEffect::Info(s) => self.infos.push(s),
             }
         }
@@ -194,6 +238,41 @@ impl<M: Clone + 'static> Actor<Wire<M>> for ManagerActor<M> {
         self.timers.remove(&tag);
         let eff = self.core.on_event(ManagerEvent::Timeout { token: tag });
         self.apply(ctx, eff);
+    }
+
+    fn on_crash(&mut self, _now: SimTime) {
+        // The process image dies: armed timers and the per-agent epoch
+        // watermark are volatile. The journal field deliberately survives —
+        // it stands in for the durable log of a real deployment.
+        self.timers.clear();
+        self.agent_epochs.clear();
+    }
+
+    fn on_restart(&mut self, ctx: &mut Context<'_, Wire<M>>) {
+        self.epoch += 1;
+        self.restores += 1;
+        // Carry the planner out of the dead core (planners are deterministic
+        // and stateless with respect to protocol progress, so reuse is
+        // sound) and replay the journal into a fresh one.
+        let dead =
+            std::mem::replace(&mut self.core, ManagerCore::new(self.timing, Box::new(NoopPlanner)));
+        let (core, eff) = ManagerCore::restore(self.timing, dead.into_planner(), &self.journal)
+            .unwrap_or_else(|e| panic!("manager journal replay failed: {e}"));
+        self.core = core;
+        self.apply(ctx, eff);
+        // If the request had not yet fired (its arming timer died with the
+        // crash), re-arm it for the originally scheduled instant; trigger
+        // mode just keeps waiting for the application predicate.
+        if self.request.is_some() && self.trigger.is_none() {
+            let due = self.request_delay.as_micros();
+            let now = ctx.now().as_micros();
+            if due > now {
+                ctx.set_timer(SimDuration::from_micros(due - now), TAG_REQUEST);
+            } else if let Some((source, target)) = self.request.take() {
+                let eff = self.core.on_event(ManagerEvent::Request { source, target });
+                self.apply(ctx, eff);
+            }
+        }
     }
 }
 

@@ -238,7 +238,11 @@ fn parse_fault(line: &str) -> Result<Fault, String> {
 pub struct ChaosOpts {
     /// Actors eligible for crash/restart pairs. Every generated crash is
     /// paired with a restart well inside `horizon`, so a protocol with
-    /// bounded retry ladders can always resynchronize the victim.
+    /// bounded retry ladders can always resynchronize the victim. Roles are
+    /// not distinguished: coordinators that persist their own recovery
+    /// state belong here as much as workers — the chaos sweep crashes the
+    /// adaptation manager (which restores from its write-ahead journal) as
+    /// readily as its agents.
     pub crashable: Vec<ActorId>,
     /// Actors among which partition windows, targeted drops, and the
     /// endpoints of delay bursts are sampled.

@@ -5,7 +5,7 @@ use sada_core::casestudy::{case_study, CaseStudy};
 use sada_expr::CompId;
 use sada_model::{AuditReport, SafetyAuditor};
 use sada_obs::Bus;
-use sada_proto::{ManagerActor, Outcome, ProtoTiming, Wire};
+use sada_proto::{JournalRecord, ManagerActor, Outcome, ProtoTiming, Wire};
 use sada_simnet::{ActorId, FaultPlan, LinkConfig, SimDuration, SimTime, Simulator};
 
 use crate::actors::{AppMsg, ClientActor, CtlMsg, ServerActor, ServerStats, VideoWire};
@@ -103,6 +103,12 @@ pub struct VideoReport {
     pub client_crashes: (u64, u64),
     /// Rejoin announcements sent per client (hand-held, laptop).
     pub client_rejoins: (u64, u64),
+    /// Manager incarnations rebuilt from the write-ahead journal (safe
+    /// strategy only; 0 when the manager never crashed).
+    pub manager_restores: u64,
+    /// The manager's write-ahead adaptation journal as it stood at the end
+    /// of the run (safe strategy only; empty for the baselines).
+    pub manager_journal: Vec<JournalRecord>,
 }
 
 impl VideoReport {
@@ -252,11 +258,12 @@ pub fn run_video_with(cfg: &ScenarioConfig, strategy: Strategy, cs: &CaseStudy) 
     let audit_report = auditor.audit(&audit.events());
     let hh = sim2.actor::<ClientActor>(h).unwrap();
     let lp = sim2.actor::<ClientActor>(l).unwrap();
-    let outcome = match strategy {
-        Strategy::Safe => sim2
-            .actor::<ManagerActor<AppMsg>>(ActorId::from_index(3))
-            .and_then(|m| m.outcome.clone()),
-        _ => None,
+    let (outcome, manager_restores, manager_journal) = match strategy {
+        Strategy::Safe => match sim2.actor::<ManagerActor<AppMsg>>(ActorId::from_index(3)) {
+            Some(m) => (m.outcome.clone(), m.restores, m.journal.clone()),
+            None => (None, 0, Vec::new()),
+        },
+        _ => (None, 0, Vec::new()),
     };
     VideoReport {
         outcome,
@@ -269,6 +276,8 @@ pub fn run_video_with(cfg: &ScenarioConfig, strategy: Strategy, cs: &CaseStudy) 
         finished_at: sim2.now(),
         client_crashes: (hh.crashes, lp.crashes),
         client_rejoins: (hh.rejoins_sent, lp.rejoins_sent),
+        manager_restores,
+        manager_journal,
     }
 }
 
@@ -353,6 +362,184 @@ mod tests {
             "outage loss must be bounded: {} of {}",
             report.handheld.frames_displayed,
             report.server.frames_sent
+        );
+    }
+
+    #[test]
+    fn manager_crash_during_rollback_reissues_rollback_not_resume() {
+        use sada_obs::{ManagerPhaseTag, Payload, ProtoEvent, RingSink};
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        // The manager's commands to the hand-held are severed just before
+        // the protocol window opens, so the hand-held step's Reset never
+        // arrives: the adapt retries exhaust and the manager orders a
+        // rollback whose command is also lost. The manager then dies with
+        // its journal ending at `rollback issued` and restarts while the
+        // partition still holds. The restored incarnation must come back
+        // *rolling back* — reconciling agent state and re-issuing the
+        // rollback — and must never resume the abandoned attempt. Once the
+        // partition lifts, the never-engaged hand-held acknowledges
+        // trivially, the retry rung re-runs the step, and the adaptation
+        // still lands on the target.
+        let handheld = ActorId::from_index(1);
+        let manager = ActorId::from_index(3);
+        let bus = Bus::new();
+        let ring = Rc::new(RefCell::new(RingSink::new(1 << 16)));
+        bus.attach(&ring);
+        let cfg = ScenarioConfig {
+            faults: FaultPlan::new()
+                .partition_window(
+                    manager,
+                    handheld,
+                    SimTime::from_millis(400),
+                    SimTime::from_millis(6_000),
+                )
+                .crash(manager, SimTime::from_millis(4_000))
+                .restart(manager, SimTime::from_millis(4_150)),
+            bus: bus.clone(),
+            ..ScenarioConfig::default()
+        };
+        let report = run_video_scenario(&cfg, Strategy::Safe);
+
+        assert_eq!(report.manager_restores, 1, "one incarnation rebuilt from the journal");
+        let o = report.outcome.as_ref().expect("outcome recorded");
+        assert!(o.success, "adaptation must still reach the target: {o:?}");
+        assert!(report.audit.is_safe(), "violations: {:?}", report.audit.violations.first());
+        assert_eq!(report.corrupted_packets(), 0, "no corruption despite the failover");
+
+        // The journal tells the failover story: a rollback was issued, the
+        // crash hit before its completion record, and the restored manager
+        // finished that same rollback — retrying the step — without ever
+        // resuming the abandoned attempt.
+        let j = &report.manager_journal;
+        let (ix, step) = j
+            .iter()
+            .enumerate()
+            .find_map(|(i, r)| match r {
+                JournalRecord::RollbackIssued { step } => Some((i, *step)),
+                _ => None,
+            })
+            .unwrap_or_else(|| panic!("a rollback must have been issued: {j:?}"));
+        let done = j[ix..]
+            .iter()
+            .position(
+                |r| matches!(r, JournalRecord::RollbackComplete { step: s, .. } if *s == step),
+            )
+            .unwrap_or_else(|| panic!("the restored manager must finish the rollback: {j:?}"));
+        assert!(
+            !j[ix..ix + done].iter().any(|r| matches!(r, JournalRecord::ResumeIssued { .. })),
+            "no resume may be issued while the rollback is outstanding: {j:?}"
+        );
+        assert!(
+            matches!(j[ix + done], JournalRecord::RollbackComplete { retry: true, .. }),
+            "the retry-once rung re-runs the rolled-back step: {j:?}"
+        );
+        assert!(
+            matches!(j.last(), Some(JournalRecord::Outcome { success: true, .. })),
+            "the journal ends with the successful resolution: {j:?}"
+        );
+
+        // The event stream confirms the mechanism: the replay landed
+        // mid-rollback and the new incarnation probed agent state before
+        // acting.
+        let events = ring.borrow().events();
+        assert!(
+            events.iter().any(|e| matches!(
+                e.payload,
+                Payload::Proto(ProtoEvent::ManagerRestored {
+                    phase: ManagerPhaseTag::RollingBack,
+                    ..
+                })
+            )),
+            "the journal replay must land in the rolling-back phase"
+        );
+        assert!(
+            events
+                .iter()
+                .any(|e| matches!(e.payload, Payload::Proto(ProtoEvent::StateQueried { .. }))),
+            "the restored manager must reconcile by probing agent state"
+        );
+    }
+
+    #[test]
+    fn solo_commit_outruns_rollback_and_the_manager_adopts_it() {
+        use sada_obs::{ManagerPhaseTag, Payload, ProtoEvent, RingSink};
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        // The reverse partition: the hand-held receives every command but
+        // its *replies* are severed. Its solo step runs to completion —
+        // reset, in-action, autonomous resume — while the deaf manager
+        // exhausts the adapt retries and orders a rollback. Resume was the
+        // point of no return: the commit cannot be undone, so the agent
+        // answers the rollback by re-acknowledging completion, and the
+        // manager (after crashing and restoring mid-rollback for good
+        // measure) must adopt the commit instead of re-running the step —
+        // re-applying the action would corrupt the component chain.
+        let handheld = ActorId::from_index(1);
+        let manager = ActorId::from_index(3);
+        let bus = Bus::new();
+        let ring = Rc::new(RefCell::new(RingSink::new(1 << 16)));
+        bus.attach(&ring);
+        let cfg = ScenarioConfig {
+            faults: FaultPlan::new()
+                .partition_window(
+                    handheld,
+                    manager,
+                    SimTime::from_millis(400),
+                    SimTime::from_millis(6_000),
+                )
+                .crash(manager, SimTime::from_millis(4_000))
+                .restart(manager, SimTime::from_millis(4_150)),
+            bus: bus.clone(),
+            ..ScenarioConfig::default()
+        };
+        let report = run_video_scenario(&cfg, Strategy::Safe);
+
+        assert_eq!(report.manager_restores, 1, "one incarnation rebuilt from the journal");
+        let o = report.outcome.as_ref().expect("outcome recorded");
+        assert!(o.success, "adaptation must still reach the target: {o:?}");
+        assert!(report.audit.is_safe(), "violations: {:?}", report.audit.violations.first());
+        assert_eq!(report.corrupted_packets(), 0, "no corruption despite the failover");
+
+        // The journal shows the abandoned rollback: the issued rollback is
+        // answered by commit evidence, the step is adopted as committed
+        // (never rolled back, never re-run), and the run resolves.
+        let j = &report.manager_journal;
+        let (ix, step) = j
+            .iter()
+            .enumerate()
+            .find_map(|(i, r)| match r {
+                JournalRecord::RollbackIssued { step } => Some((i, *step)),
+                _ => None,
+            })
+            .unwrap_or_else(|| panic!("a rollback must have been issued: {j:?}"));
+        assert!(
+            matches!(j.get(ix + 1), Some(JournalRecord::StepCommitted { step: s }) if *s == step),
+            "the rollback must be abandoned in favor of the commit: {j:?}"
+        );
+        assert!(
+            !j.iter().any(
+                |r| matches!(r, JournalRecord::RollbackComplete { step: s, .. } if *s == step)
+            ),
+            "an adopted commit is never recorded as rolled back: {j:?}"
+        );
+        let attempts = j.iter().filter(|r| matches!(r, JournalRecord::StepStarted { .. })).count();
+        assert_eq!(attempts, 5, "each of the 5 MAP steps runs exactly once: {j:?}");
+        assert!(
+            matches!(j.last(), Some(JournalRecord::Outcome { success: true, .. })),
+            "the journal ends with the successful resolution: {j:?}"
+        );
+        assert!(
+            ring.borrow().events().iter().any(|e| matches!(
+                e.payload,
+                Payload::Proto(ProtoEvent::ManagerRestored {
+                    phase: ManagerPhaseTag::RollingBack,
+                    ..
+                })
+            )),
+            "the journal replay must land in the rolling-back phase"
         );
     }
 

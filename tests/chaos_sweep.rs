@@ -9,10 +9,22 @@
 //! 2. end in a configuration satisfying the dependency invariants, and
 //! 3. do so at bounded overhead — no unbounded retry storms.
 //!
+//! Since the write-ahead journal landed, the sweep also crashes the
+//! *manager*: a restarted incarnation must replay its journal, reconcile
+//! the agents, and still satisfy the same contract. Every successful run
+//! additionally proves its journal durable (text round-trip, every prefix
+//! replayable, full replay landing on the final configuration).
+//!
+//! The sweep width defaults to 50 seeds; set `SADA_CHAOS_SEEDS` to widen or
+//! narrow it (CI smoke vs. overnight soak) — the exercised-enough
+//! thresholds scale with the width.
+//!
 //! A failing seed dumps its plan to `target/chaos-failures/` in the
 //! replayable `FaultPlan::parse` text form alongside the unified event
-//! trace of the failing run (`seed-N.trace.jsonl`); render its per-phase
-//! timeline with `cargo run -p sada-bench --bin report -- timeline <seed>`,
+//! trace of the failing run (`seed-N.trace.jsonl`) and, when the run got
+//! far enough to produce a report, the manager's adaptation journal
+//! (`seed-N.journal.txt`); render its per-phase timeline with
+//! `cargo run -p sada-bench --bin report -- timeline <seed>`,
 //! or copy the plan into `tests/regressions/` to pin it as a permanent
 //! regression (the `pinned_fault_plans_stay_safe` test replays every file
 //! there).
@@ -21,6 +33,7 @@ use std::fmt::Write as _;
 
 use sada_core::casestudy::{case_study, CaseStudy};
 use sada_core::{run_adaptation, RunConfig, RunReport};
+use sada_proto::{ManagerCore, ProtoTiming};
 use sada_simnet::{chaos, ActorId, ChaosOpts, FaultPlan, SimDuration, SimTime};
 
 /// Virtual-time ceiling: an unfaulted run finishes in well under a second;
@@ -32,21 +45,22 @@ const MSG_BUDGET: u64 = 5_000;
 
 fn chaos_opts(cs: &CaseStudy) -> ChaosOpts {
     let n = cs.spec.model().process_count();
-    let agents: Vec<ActorId> = (0..n).map(ActorId::from_index).collect();
-    let mut all = agents.clone();
-    // The manager is registered after the agents; it never crashes (the
-    // paper's manager is a trusted coordinator) but its links are fair
-    // game for partitions, drops, and delay bursts.
-    all.push(ActorId::from_index(n));
-    ChaosOpts { crashable: agents, partitionable: all, horizon: SimDuration::from_millis(500) }
+    // The manager is registered after the agents. Since the write-ahead
+    // journal it is crashable like everyone else: a restarted incarnation
+    // replays the journal and reconciles the agents. Links everywhere are
+    // fair game for partitions, drops, and delay bursts.
+    let all: Vec<ActorId> = (0..=n).map(ActorId::from_index).collect();
+    ChaosOpts { crashable: all.clone(), partitionable: all, horizon: SimDuration::from_millis(500) }
 }
 
-/// Runs the case-study adaptation under `plan` and checks the safety and
-/// boundedness contract. Returns the report for extra assertions.
-fn check_plan(cs: &CaseStudy, plan: &FaultPlan, label: &str) -> RunReport {
-    let cfg = RunConfig { faults: plan.clone(), ..RunConfig::default() };
-    // Termination: run_adaptation panics on deadlock by design.
-    let report = run_adaptation(&cs.spec, &cs.source, &cs.target, &cfg);
+/// Sweep width: `SADA_CHAOS_SEEDS` overrides the 50-seed default (CI smoke
+/// vs. overnight soak). Assertion thresholds scale with it.
+fn sweep_seeds() -> u64 {
+    std::env::var("SADA_CHAOS_SEEDS").ok().and_then(|s| s.parse().ok()).unwrap_or(50).max(10)
+}
+
+/// Checks the safety and boundedness contract against a finished run.
+fn assert_contract(cs: &CaseStudy, plan: &FaultPlan, label: &str, report: &RunReport) {
     let mut ctx = String::new();
     let _ = writeln!(ctx, "fault plan ({label}):\n{}", plan.to_text());
     let _ = writeln!(ctx, "outcome: {:?}", report.outcome);
@@ -69,12 +83,58 @@ fn check_plan(cs: &CaseStudy, plan: &FaultPlan, label: &str) -> RunReport {
         "{label}: message storm ({} sent)\n{ctx}",
         report.messages_sent
     );
+}
+
+/// Proves the run's write-ahead journal durable: the text codec round-trips,
+/// *every* prefix is replayable against a fresh planner (what a crash at
+/// that point would have required), and a full replay lands exactly on the
+/// run's final configuration.
+fn assert_journal_durable(cs: &CaseStudy, label: &str, report: &RunReport) {
+    let text = sada_proto::encode_journal(&report.journal);
+    assert_eq!(
+        sada_proto::parse_journal(&text).as_ref(),
+        Ok(&report.journal),
+        "{label}: journal text round-trip"
+    );
+    for cut in 0..=report.journal.len() {
+        let restored = ManagerCore::restore(
+            ProtoTiming::default(),
+            Box::new(cs.spec.runtime_planner()),
+            &report.journal[..cut],
+        );
+        match restored {
+            Ok((mgr, _effects)) if cut == report.journal.len() => assert_eq!(
+                mgr.current_config(),
+                &report.outcome.final_config,
+                "{label}: full journal replay diverged from the run\n{text}"
+            ),
+            Ok(_) => {}
+            Err(e) => panic!("{label}: journal prefix {cut} not replayable: {e}\n{text}"),
+        }
+    }
+}
+
+/// Runs the case-study adaptation under `plan` and checks the safety and
+/// boundedness contract. Returns the report for extra assertions.
+fn check_plan(cs: &CaseStudy, plan: &FaultPlan, label: &str) -> RunReport {
+    let cfg = RunConfig { faults: plan.clone(), ..RunConfig::default() };
+    // Termination: run_adaptation panics on deadlock by design.
+    let report = run_adaptation(&cs.spec, &cs.source, &cs.target, &cfg);
+    assert_contract(cs, plan, label, &report);
     report
 }
 
 /// Dumps a failing plan in replayable text form, plus the unified event
-/// trace of the failing run (`seed-N.trace.jsonl`), and returns the path.
-fn dump_counterexample(cs: &CaseStudy, seed: u64, intensity: f64, plan: &FaultPlan) -> String {
+/// trace of the failing run (`seed-N.trace.jsonl`) and — when the run got
+/// far enough to yield a report — the manager's write-ahead journal
+/// (`seed-N.journal.txt`). Returns the plan path.
+fn dump_counterexample(
+    cs: &CaseStudy,
+    seed: u64,
+    intensity: f64,
+    plan: &FaultPlan,
+    report: Option<&RunReport>,
+) -> String {
     let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("target/chaos-failures");
     let _ = std::fs::create_dir_all(&dir);
     let path = dir.join(format!("seed-{seed}.txt"));
@@ -100,51 +160,83 @@ fn dump_counterexample(cs: &CaseStudy, seed: u64, intensity: f64, plan: &FaultPl
         sink.borrow().dump()
     );
     let _ = std::fs::write(dir.join(format!("seed-{seed}.trace.jsonl")), trace);
+    if let Some(report) = report {
+        let journal = format!(
+            "# manager write-ahead journal for chaos seed {seed}\n\
+             # replays via ManagerCore::restore / sada_proto::parse_journal\n{}",
+            sada_proto::encode_journal(&report.journal)
+        );
+        let _ = std::fs::write(dir.join(format!("seed-{seed}.journal.txt")), journal);
+    }
     path.display().to_string()
 }
 
 #[test]
-fn fifty_random_fault_plans_all_end_safe() {
+fn random_fault_plans_all_end_safe() {
     let cs = case_study();
     let opts = chaos_opts(&cs);
+    let seeds = sweep_seeds();
     let mut crashes = 0u64;
     let mut restarts = 0u64;
     let mut rejoins = 0u64;
-    let mut successes = 0u32;
-    for seed in 0..50u64 {
+    let mut manager_restores = 0u64;
+    let mut successes = 0u64;
+    for seed in 0..seeds {
         // Sweep intensity with the seed so the corpus spans gentle single
         // faults up to multi-fault storms.
         let intensity = 0.2 + 0.15 * (seed % 5) as f64;
         let plan = chaos(seed, intensity, &opts);
-        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            check_plan(&cs, &plan, &format!("seed {seed}"))
+        let label = format!("seed {seed}");
+        // Run and assert in two stages so a contract violation still leaves
+        // the report (and its journal) available for the counterexample dump.
+        let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let cfg = RunConfig { faults: plan.clone(), ..RunConfig::default() };
+            run_adaptation(&cs.spec, &cs.source, &cs.target, &cfg)
         }));
-        match result {
+        let (report, failure) = match run {
             Ok(report) => {
-                crashes += report.crashes;
-                restarts += report.restarts;
-                rejoins += report.rejoins;
-                successes += u32::from(report.outcome.success);
+                let checks = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    assert_contract(&cs, &plan, &label, &report);
+                    assert_journal_durable(&cs, &label, &report);
+                }));
+                (Some(report), checks.err())
             }
-            Err(payload) => {
-                let path = dump_counterexample(&cs, seed, intensity, &plan);
-                let msg = payload
-                    .downcast_ref::<String>()
-                    .cloned()
-                    .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
-                    .unwrap_or_else(|| "non-string panic".into());
-                panic!("seed {seed} failed (plan dumped to {path}):\n{msg}");
-            }
+            Err(payload) => (None, Some(payload)),
+        };
+        if let Some(payload) = failure {
+            let path = dump_counterexample(&cs, seed, intensity, &plan, report.as_ref());
+            let msg = payload
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+                .unwrap_or_else(|| "non-string panic".into());
+            panic!("seed {seed} failed (plan dumped to {path}):\n{msg}");
         }
+        let report = report.expect("no failure means the run finished");
+        crashes += report.crashes;
+        restarts += report.restarts;
+        rejoins += report.rejoins;
+        manager_restores += report.manager_restores;
+        successes += u64::from(report.outcome.success);
     }
-    // The sweep must actually exercise the crash machinery, not vacuously
-    // pass on empty plans.
-    assert!(crashes >= 10, "sweep exercised only {crashes} crashes");
+    // The sweep must actually exercise the crash machinery — both agent and
+    // manager failures — not vacuously pass on empty plans.
+    assert!(crashes >= seeds / 5, "sweep exercised only {crashes} crashes over {seeds} seeds");
     assert_eq!(crashes, restarts, "every generated crash is paired with a restart");
-    assert!(rejoins >= crashes, "every restart announces at least one rejoin");
+    assert!(
+        manager_restores >= seeds / 25,
+        "sweep exercised only {manager_restores} manager failovers over {seeds} seeds"
+    );
+    // Only *agent* restarts owe a rejoin announcement; a restarted manager
+    // reconciles via its journal instead.
+    let agent_crashes = crashes - manager_restores;
+    assert!(
+        rejoins >= agent_crashes,
+        "every agent restart announces at least one rejoin ({rejoins} < {agent_crashes})"
+    );
     // Outages are bounded and partitions heal, so the vast majority of
     // runs still reach the target (the rest abort or give up safely).
-    assert!(successes >= 40, "only {successes}/50 runs succeeded");
+    assert!(successes >= seeds * 4 / 5, "only {successes}/{seeds} runs succeeded");
 }
 
 #[test]
