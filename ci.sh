@@ -37,4 +37,7 @@ echo "==> observability timeline smoke (video case study + chaos seed replay)"
 cargo run -q --release -p sada-bench --bin report -- timeline > /dev/null
 cargo run -q --release -p sada-bench --bin report -- timeline 3 > /dev/null
 
+echo "==> fleet control-plane smoke (100 groups, concurrent sessions + crash/restore leg)"
+cargo run -q --release -p sada-bench --bin report -- fleet > /dev/null
+
 echo "CI OK"

@@ -3,13 +3,18 @@
 //!
 //! Usage: `cargo run -p sada-bench --bin report -- [section]`
 //! where `section` is one of `table1 table2 fig1 fig2 fig4 map failures
-//! crashes baselines scaling fec inference timeline all` (default `all`).
+//! crashes baselines scaling fec inference timeline fleet all`
+//! (default `all`).
 //!
 //! `timeline` additionally accepts a chaos seed:
 //! `cargo run -p sada-bench --bin report -- timeline <seed>` replays the
 //! chaos-sweep fault plan for that seed (the command printed at the top of
 //! every `target/chaos-failures/seed-*.txt` counterexample dump) and renders
 //! its per-phase latency breakdown from the unified event stream.
+//!
+//! `fleet` also accepts a seed: `report -- fleet <seed>` reruns the
+//! control-plane scenario (including its crash/restore leg) under that
+//! simulation seed.
 
 use std::cell::RefCell;
 use std::collections::{BTreeMap, BTreeSet};
@@ -583,6 +588,87 @@ fn timeline(seed: Option<u64>) {
     );
 }
 
+fn fleet(seed: Option<u64>) {
+    use sada_fleet::{disjoint_wave, run_fleet, FleetScenario, SessionSpec};
+    let seed = seed.unwrap_or(42);
+    println!("## Fleet-scale control plane (seed {seed})");
+
+    // 100 groups, ten scope-disjoint sessions: scope-parallel vs serial.
+    let mut scenario = FleetScenario::new(100, disjoint_wave(10, 10));
+    scenario.seed = seed;
+    let parallel = run_fleet(&scenario);
+    scenario.serialize = true;
+    let serial = run_fleet(&scenario);
+    println!("100 groups (200 agents), 10 disjoint sessions x 10 groups each:");
+    println!(
+        "{:<16} {:>9} {:>12} {:>14} {:>14}",
+        "admission", "success", "peak conc.", "makespan", "sessions/s"
+    );
+    for (name, r) in [("scope-parallel", &parallel), ("serial", &serial)] {
+        println!(
+            "{:<16} {:>9} {:>12} {:>14} {:>14.1}",
+            name,
+            format!("{}/10", r.succeeded()),
+            r.max_concurrent,
+            format!("{:.1}ms", r.makespan_us as f64 / 1000.0),
+            r.succeeded() as f64 / (r.makespan_us as f64 / 1e6)
+        );
+    }
+    println!(
+        "speedup: {:.2}x (virtual time)",
+        serial.makespan_us as f64 / parallel.makespan_us as f64
+    );
+    println!("per-session latency (scope-parallel):");
+    println!("{:>8} {:>12} {:>12} {:>12}", "session", "queued", "exec", "total");
+    for r in &parallel.results {
+        let (sub, adm, done) =
+            (r.submitted_at.unwrap_or(0), r.admitted_at.unwrap_or(0), r.completed_at.unwrap_or(0));
+        println!(
+            "{:>8} {:>12} {:>12} {:>12}",
+            r.id,
+            format!("{:.1}ms", (adm - sub) as f64 / 1000.0),
+            format!("{:.1}ms", (done - adm) as f64 / 1000.0),
+            format!("{:.1}ms", (done - sub) as f64 / 1000.0)
+        );
+    }
+
+    // Contention + crash leg: two overlapping sessions, control plane dies
+    // mid-barrier and rebuilds both from its journal.
+    let mut chaos_scenario = FleetScenario::new(
+        3,
+        vec![
+            SessionSpec {
+                id: 1,
+                flips: vec![(0, true), (1, true)],
+                priority: 0,
+                submit_at: SimDuration::ZERO,
+                cancel_at: None,
+            },
+            SessionSpec {
+                id: 2,
+                flips: vec![(1, false), (2, true)],
+                priority: 0,
+                submit_at: SimDuration::from_millis(1),
+                cancel_at: None,
+            },
+        ],
+    );
+    chaos_scenario.seed = seed;
+    chaos_scenario.crash_control = Some((SimTime::from_millis(6), SimTime::from_millis(10)));
+    let r = run_fleet(&chaos_scenario);
+    println!(
+        "crash/restore leg: restores={} success={}/2 final={} (overlap serialized: {})",
+        r.restores,
+        r.succeeded(),
+        r.final_config,
+        r.session(1).and_then(|a| a.completed_at) <= r.session(2).and_then(|b| b.admitted_at)
+    );
+    println!("journal ({} records):", r.journal_text.lines().count());
+    for line in r.journal_text.lines() {
+        println!("  {line}");
+    }
+}
+
 fn main() {
     let section = std::env::args().nth(1).unwrap_or_else(|| "all".into());
     let run = |name: &str| section == "all" || section == name;
@@ -637,6 +723,11 @@ fn main() {
     if run("timeline") {
         let seed = std::env::args().nth(2).and_then(|s| s.parse().ok());
         timeline(seed);
+        println!();
+    }
+    if run("fleet") {
+        let seed = std::env::args().nth(2).and_then(|s| s.parse().ok());
+        fleet(seed);
         println!();
     }
 }

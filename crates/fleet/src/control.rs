@@ -1,0 +1,562 @@
+//! The adaptation control plane: one actor, many concurrent sessions.
+//!
+//! The single-adaptation [`ManagerActor`](sada_proto::ManagerActor)
+//! serializes every request through one [`ManagerCore`]. The control plane
+//! instead embeds **one core per admitted session** and multiplexes them
+//! over a shared wire: outgoing protocol traffic is stamped with the
+//! session's [`SessionId`], agents echo the stamp, and replies are routed
+//! back to the owning core. Admission is governed by the
+//! [`ScopeLockManager`]: a session whose scope (collaborative sets +
+//! hosting processes) is free starts immediately; conflicting sessions
+//! queue in priority/FIFO order and may be cancelled while queued.
+//!
+//! ## Durability split
+//!
+//! Crash faults destroy the volatile process image — embedded cores, lock
+//! table, timers, epoch watermarks, routing hints. What survives is exactly
+//! what a production control plane would keep on durable storage: the
+//! interleaved session-tagged write-ahead [`journal`](ControlActor::journal)
+//! (append order = decision order), the [`results`](ControlActor::results)
+//! of finished sessions, and the fleet configuration folded from them. On
+//! restart the journal is partitioned by session: in-flight sessions replay
+//! through [`ManagerCore::restore`] (their control-plane `Queued` prefix
+//! stripped) and re-seize their scopes, queued-at-crash sessions requeue in
+//! journal order, and scenario entries that never submitted are re-armed.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::rc::Rc;
+
+use sada_expr::Config;
+use sada_obs::{Bus, Event, FleetEvent, Payload};
+use sada_proto::{
+    JournalRecord, ManagerCore, ManagerEffect, ManagerEvent, Outcome, ProtoTiming, SessionId,
+    SessionRecord, Wire,
+};
+use sada_simnet::{Actor, ActorId, Context, SimDuration, SimTime, TimerId};
+
+use crate::lock::ScopeLockManager;
+use crate::planner::ScopedLazyPlanner;
+use crate::world::FleetWorld;
+
+/// One adaptation request the scenario will submit to the control plane.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionSpec {
+    /// Control-plane session id (nonzero; 0 is reserved for solo runs).
+    pub id: u64,
+    /// Groups to move, and the direction (`true` = toward `New`). The
+    /// source and target configurations are computed **at admission** from
+    /// the fleet configuration current at that instant, so queued sessions
+    /// compose with whatever ran before them.
+    pub flips: Vec<(usize, bool)>,
+    /// Admission priority (higher first among queued sessions).
+    pub priority: u8,
+    /// Virtual time at which the request is submitted.
+    pub submit_at: SimDuration,
+    /// If set, withdraw the request at this virtual time unless it has
+    /// been admitted by then.
+    pub cancel_at: Option<SimDuration>,
+}
+
+/// Timer-tag namespace: scenario submissions, queued-session cancellations,
+/// and dynamically allocated per-core protocol timers must share one `u64`.
+const TAG_SUBMIT_BASE: u64 = 1 << 62;
+const TAG_CANCEL_BASE: u64 = 1 << 63;
+
+/// A live session: its embedded manager core and the protocol timers it has
+/// armed (core token → global tag + cancellation handle).
+struct ActiveSession {
+    core: ManagerCore,
+    timers: HashMap<u64, (u64, TimerId)>,
+}
+
+/// The control plane as a simulated process (speaks `Wire<M>` like
+/// [`ManagerActor`](sada_proto::ManagerActor)).
+pub struct ControlActor<M = ()> {
+    world: Rc<FleetWorld>,
+    agents: Vec<ActorId>,
+    actor_to_agent: HashMap<ActorId, usize>,
+    scenario: Vec<SessionSpec>,
+    timing: ProtoTiming,
+    /// When true, every session maps to one shared lock resource — the
+    /// serial baseline the benchmarks compare scope-parallelism against.
+    serialize: bool,
+    bus: Bus,
+    // ---- volatile (destroyed by crash faults) ----
+    epoch: u64,
+    agent_epochs: HashMap<ActorId, u64>,
+    active: BTreeMap<u64, ActiveSession>,
+    locks: ScopeLockManager,
+    /// Global timer tag → (session, core token).
+    tag_owner: HashMap<u64, (u64, u64)>,
+    next_tag: u64,
+    /// Agent index → session currently engaging it (for routing stepless
+    /// rejoin traffic whose echoed session may be stale).
+    agent_session: HashMap<usize, u64>,
+    /// Session ids already submitted (guards double submission after a
+    /// restart re-arms timers; rebuilt from the journal).
+    submitted: HashSet<u64>,
+    // ---- durable (survives crash faults) ----
+    /// The interleaved session-tagged write-ahead journal.
+    pub journal: Vec<SessionRecord>,
+    /// Fleet configuration folded from completed sessions.
+    pub fleet_config: Config,
+    /// Final outcome per finished session (cancelled sessions get
+    /// `success: false, gave_up: false`).
+    pub results: HashMap<u64, Outcome>,
+    /// Virtual submission instant per session.
+    pub submitted_at: HashMap<u64, SimTime>,
+    /// Virtual admission instant per session.
+    pub admitted_at: HashMap<u64, SimTime>,
+    /// Virtual completion (or cancellation) instant per session.
+    pub completed_at: HashMap<u64, SimTime>,
+    /// Times this control plane crashed and was rebuilt from its journal.
+    pub restores: u64,
+    /// Progress log (`Info` effects, prefixed with the session).
+    pub infos: Vec<String>,
+    _marker: std::marker::PhantomData<fn() -> M>,
+}
+
+impl<M: Clone + 'static> ControlActor<M> {
+    /// A control plane over `agents`, driving `scenario` under `timing`.
+    pub fn new(
+        world: Rc<FleetWorld>,
+        agents: Vec<ActorId>,
+        scenario: Vec<SessionSpec>,
+        timing: ProtoTiming,
+        serialize: bool,
+    ) -> Self {
+        assert!(scenario.iter().all(|s| s.id != 0), "session id 0 is reserved for solo runs");
+        let fleet_config = world.initial_config();
+        let actor_to_agent = agents.iter().enumerate().map(|(ix, &a)| (a, ix)).collect();
+        ControlActor {
+            world,
+            agents,
+            actor_to_agent,
+            scenario,
+            timing,
+            serialize,
+            bus: Bus::new(),
+            epoch: 0,
+            agent_epochs: HashMap::new(),
+            active: BTreeMap::new(),
+            locks: ScopeLockManager::new(),
+            tag_owner: HashMap::new(),
+            next_tag: 1,
+            agent_session: HashMap::new(),
+            submitted: HashSet::new(),
+            journal: Vec::new(),
+            fleet_config,
+            results: HashMap::new(),
+            submitted_at: HashMap::new(),
+            admitted_at: HashMap::new(),
+            completed_at: HashMap::new(),
+            restores: 0,
+            infos: Vec::new(),
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Emits session-tagged control-plane and protocol events onto `bus`.
+    pub fn with_bus(mut self, bus: Bus) -> Self {
+        self.bus = bus;
+        self
+    }
+
+    /// Number of sessions currently in flight.
+    pub fn active_count(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Number of sessions queued for admission.
+    pub fn queued_count(&self) -> usize {
+        self.locks.queue_len()
+    }
+
+    /// This control plane's incarnation number.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    fn spec_ix(&self, session: u64) -> Option<usize> {
+        self.scenario.iter().position(|s| s.id == session)
+    }
+
+    fn resources_of(&self, spec: &SessionSpec) -> Vec<u32> {
+        if self.serialize {
+            // One global token: every session conflicts with every other.
+            vec![u32::MAX]
+        } else {
+            self.world.resources_for(&self.world.scope_comps(&spec.flips))
+        }
+    }
+
+    fn emit_fleet(&self, ctx: &Context<'_, Wire<M>>, session: u64, ev: FleetEvent) {
+        self.bus.emit(Event {
+            at: ctx.now(),
+            actor: ctx.self_id().index() as u32,
+            session,
+            payload: Payload::Fleet(ev),
+        });
+    }
+
+    /// Feeds `effects` of session `session`'s core back into the world:
+    /// session-stamped sends, globally tagged timers, journal appends, and
+    /// completion handling (which may admit queued sessions).
+    fn apply(&mut self, ctx: &mut Context<'_, Wire<M>>, session: u64, effects: Vec<ManagerEffect>) {
+        let obs = match self.active.get_mut(&session) {
+            Some(sess) => sess.core.drain_obs(),
+            None => Vec::new(),
+        };
+        if self.bus.has_sinks() {
+            let (at, actor) = (ctx.now(), ctx.self_id().index() as u32);
+            for payload in obs {
+                self.bus.emit(Event { at, actor, session, payload });
+            }
+        }
+        let mut completed = None;
+        for eff in effects {
+            match eff {
+                ManagerEffect::Send { agent, msg } => {
+                    self.agent_session.insert(agent, session);
+                    ctx.send(
+                        self.agents[agent],
+                        Wire::Proto { epoch: self.epoch, session: SessionId(session), msg },
+                    );
+                }
+                ManagerEffect::SetTimer { token, after } => {
+                    let tag = self.next_tag;
+                    self.next_tag += 1;
+                    let id = ctx.set_timer(after, tag);
+                    self.tag_owner.insert(tag, (session, token));
+                    if let Some(sess) = self.active.get_mut(&session) {
+                        sess.timers.insert(token, (tag, id));
+                    }
+                }
+                ManagerEffect::CancelTimer { token } => {
+                    if let Some(sess) = self.active.get_mut(&session) {
+                        if let Some((tag, id)) = sess.timers.remove(&token) {
+                            self.tag_owner.remove(&tag);
+                            ctx.cancel_timer(id);
+                        }
+                    }
+                }
+                ManagerEffect::Complete(outcome) => completed = Some(outcome),
+                ManagerEffect::Journal(rec) => {
+                    self.journal.push(SessionRecord { session: SessionId(session), record: rec });
+                }
+                ManagerEffect::Info(s) => self.infos.push(format!("session#{session}: {s}")),
+            }
+        }
+        if let Some(outcome) = completed {
+            self.finish(ctx, session, outcome);
+        }
+    }
+
+    /// Submits scenario entry `ix`: computes the scope, and either admits
+    /// the session immediately or queues it behind the conflicting holders.
+    fn submit(&mut self, ctx: &mut Context<'_, Wire<M>>, ix: usize) {
+        let spec = self.scenario[ix].clone();
+        if !self.submitted.insert(spec.id) {
+            return; // restart re-armed a timer for an already submitted entry
+        }
+        self.submitted_at.entry(spec.id).or_insert(ctx.now());
+        let resources = self.resources_of(&spec);
+        self.emit_fleet(
+            ctx,
+            spec.id,
+            FleetEvent::SessionSubmitted { session: spec.id, resources: resources.len() as u32 },
+        );
+        if self.locks.try_acquire(spec.id, &resources, spec.priority) {
+            self.admit(ctx, ix);
+        } else {
+            let position = self.locks.position(spec.id).unwrap_or(0) as u32;
+            // Journal the queueing decision so a crashed control plane
+            // requeues this session (in order) even though no core exists
+            // for it yet. Source/target here are provisional — admission
+            // recomputes them against the then-current fleet configuration.
+            let target = self.world.target_for(&self.fleet_config, &spec.flips);
+            self.journal.push(SessionRecord {
+                session: SessionId(spec.id),
+                record: JournalRecord::Queued { source: self.fleet_config.clone(), target },
+            });
+            self.emit_fleet(ctx, spec.id, FleetEvent::SessionQueued { session: spec.id, position });
+            if let Some(at) = spec.cancel_at {
+                let now = ctx.now().as_micros();
+                let delay = at.as_micros().saturating_sub(now);
+                ctx.set_timer(SimDuration::from_micros(delay), TAG_CANCEL_BASE + ix as u64);
+            }
+        }
+    }
+
+    /// Admits a session whose scope locks are held: builds its scoped
+    /// planner and embedded core, and fires the adaptation request.
+    fn admit(&mut self, ctx: &mut Context<'_, Wire<M>>, ix: usize) {
+        let spec = self.scenario[ix].clone();
+        let source = self.fleet_config.clone();
+        let target = self.world.target_for(&source, &spec.flips);
+        let scope = self.world.scope_comps(&spec.flips);
+        let planner = ScopedLazyPlanner::new(Rc::clone(&self.world), &scope);
+        let core = ManagerCore::new(self.timing, Box::new(planner));
+        self.active.insert(spec.id, ActiveSession { core, timers: HashMap::new() });
+        self.admitted_at.insert(spec.id, ctx.now());
+        let queued_for = ctx
+            .now()
+            .as_micros()
+            .saturating_sub(self.submitted_at.get(&spec.id).map_or(0, |t| t.as_micros()));
+        self.emit_fleet(ctx, spec.id, FleetEvent::SessionAdmitted { session: spec.id, queued_for });
+        let eff = self
+            .active
+            .get_mut(&spec.id)
+            .expect("just inserted")
+            .core
+            .on_event(ManagerEvent::Request { source, target });
+        self.apply(ctx, spec.id, eff);
+    }
+
+    /// Completion: fold the session's final configuration into the fleet
+    /// configuration, release its scope, and admit whoever that unblocks.
+    fn finish(&mut self, ctx: &mut Context<'_, Wire<M>>, session: u64, outcome: Outcome) {
+        if let Some(ix) = self.spec_ix(session) {
+            let flips = self.scenario[ix].flips.clone();
+            for comp in self.world.scope_comps(&flips) {
+                if outcome.final_config.contains(comp) {
+                    self.fleet_config.insert(comp);
+                } else {
+                    self.fleet_config.remove(comp);
+                }
+            }
+        }
+        self.completed_at.insert(session, ctx.now());
+        self.emit_fleet(
+            ctx,
+            session,
+            FleetEvent::SessionDone { session, success: outcome.success, gave_up: outcome.gave_up },
+        );
+        self.results.insert(session, outcome);
+        if let Some(sess) = self.active.remove(&session) {
+            for (tag, id) in sess.timers.values() {
+                self.tag_owner.remove(tag);
+                ctx.cancel_timer(*id);
+            }
+        }
+        self.agent_session.retain(|_, s| *s != session);
+        let granted = self.locks.release(session);
+        for sid in granted {
+            if let Some(ix) = self.spec_ix(sid) {
+                self.admit(ctx, ix);
+            }
+        }
+    }
+
+    /// Withdraws a still-queued session (cancellation timer fired).
+    fn cancel_queued(&mut self, ctx: &mut Context<'_, Wire<M>>, ix: usize) {
+        let sid = self.scenario[ix].id;
+        if self.active.contains_key(&sid) || self.results.contains_key(&sid) {
+            return; // admitted or finished in the meantime — too late
+        }
+        let Some(granted) = self.locks.cancel(sid) else {
+            return;
+        };
+        // A withdrawn request resolves unsuccessfully but *not* given up:
+        // nothing is awaiting the user, the requester simply left.
+        self.journal.push(SessionRecord {
+            session: SessionId(sid),
+            record: JournalRecord::Outcome { success: false, gave_up: false },
+        });
+        self.emit_fleet(ctx, sid, FleetEvent::SessionCancelled { session: sid });
+        self.completed_at.insert(sid, ctx.now());
+        self.results.insert(
+            sid,
+            Outcome {
+                success: false,
+                gave_up: false,
+                final_config: self.fleet_config.clone(),
+                steps_committed: 0,
+                warnings: vec!["cancelled while queued".into()],
+            },
+        );
+        for g in granted {
+            if let Some(gix) = self.spec_ix(g) {
+                self.admit(ctx, gix);
+            }
+        }
+    }
+
+    /// Routes an incoming protocol message to the owning session's core.
+    fn route(
+        &mut self,
+        ctx: &mut Context<'_, Wire<M>>,
+        agent: usize,
+        session: SessionId,
+        msg: sada_proto::ProtoMsg,
+    ) {
+        // Trust the echoed stamp when it names a live session; otherwise
+        // fall back to the engagement map (rejoins after a completed
+        // session still carry the old stamp).
+        let sid = if session.0 != 0 && self.active.contains_key(&session.0) {
+            session.0
+        } else {
+            match self.agent_session.get(&agent) {
+                Some(&s) if self.active.contains_key(&s) => s,
+                _ => return, // nobody is engaging this agent — stale traffic
+            }
+        };
+        let eff = self
+            .active
+            .get_mut(&sid)
+            .expect("sid checked active")
+            .core
+            .on_event(ManagerEvent::AgentMsg { agent, msg });
+        self.apply(ctx, sid, eff);
+    }
+}
+
+impl<M: Clone + 'static> Actor<Wire<M>> for ControlActor<M> {
+    fn on_start(&mut self, ctx: &mut Context<'_, Wire<M>>) {
+        for (ix, spec) in self.scenario.iter().enumerate() {
+            ctx.set_timer(spec.submit_at, TAG_SUBMIT_BASE + ix as u64);
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_, Wire<M>>, from: ActorId, msg: Wire<M>) {
+        if let Wire::Proto { epoch, session, msg: p } = msg {
+            let Some(&agent) = self.actor_to_agent.get(&from) else {
+                return;
+            };
+            let seen = self.agent_epochs.entry(from).or_insert(0);
+            if epoch < *seen {
+                return; // pre-crash residue from an old agent incarnation
+            }
+            *seen = epoch;
+            self.route(ctx, agent, session, p);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, Wire<M>>, tag: u64) {
+        if tag >= TAG_CANCEL_BASE {
+            self.cancel_queued(ctx, (tag - TAG_CANCEL_BASE) as usize);
+            return;
+        }
+        if tag >= TAG_SUBMIT_BASE {
+            self.submit(ctx, (tag - TAG_SUBMIT_BASE) as usize);
+            return;
+        }
+        if let Some((session, token)) = self.tag_owner.remove(&tag) {
+            if let Some(sess) = self.active.get_mut(&session) {
+                sess.timers.remove(&token);
+                let eff = sess.core.on_event(ManagerEvent::Timeout { token });
+                self.apply(ctx, session, eff);
+            }
+        }
+    }
+
+    fn on_crash(&mut self, _now: SimTime) {
+        // The volatile process image dies; the journal, results, and fleet
+        // configuration stand in for durable storage and survive.
+        self.active.clear();
+        self.locks = ScopeLockManager::new();
+        self.tag_owner.clear();
+        self.next_tag = 1;
+        self.agent_epochs.clear();
+        self.agent_session.clear();
+        self.submitted.clear();
+    }
+
+    fn on_restart(&mut self, ctx: &mut Context<'_, Wire<M>>) {
+        self.epoch += 1;
+        self.restores += 1;
+        // Partition the interleaved journal by session, preserving the
+        // order in which sessions first appear (the requeue order).
+        let mut order: Vec<u64> = Vec::new();
+        let mut per: HashMap<u64, Vec<JournalRecord>> = HashMap::new();
+        for rec in &self.journal {
+            let sid = rec.session.0;
+            per.entry(sid)
+                .or_insert_with(|| {
+                    order.push(sid);
+                    Vec::new()
+                })
+                .push(rec.record.clone());
+        }
+        let is_done = |recs: &[JournalRecord]| {
+            recs.iter().any(|r| matches!(r, JournalRecord::Outcome { .. }))
+        };
+        let has_request = |recs: &[JournalRecord]| {
+            recs.iter().any(|r| matches!(r, JournalRecord::Request { .. }))
+        };
+        // Pass 1: restore in-flight sessions and re-seize their scopes
+        // (guaranteed compatible — they held them when the plane died).
+        let mut restore_effects: Vec<(u64, Vec<ManagerEffect>)> = Vec::new();
+        for &sid in &order {
+            let recs = &per[&sid];
+            self.submitted.insert(sid);
+            if is_done(recs) || !has_request(recs) {
+                continue;
+            }
+            let Some(ix) = self.spec_ix(sid) else { continue };
+            let spec = self.scenario[ix].clone();
+            // Strip the control-plane queueing prefix: the embedded core
+            // never saw those records (it journals from Request onward).
+            let body: Vec<JournalRecord> = recs
+                .iter()
+                .filter(|r| !matches!(r, JournalRecord::Queued { .. }))
+                .cloned()
+                .collect();
+            let scope = self.world.scope_comps(&spec.flips);
+            let planner = ScopedLazyPlanner::new(Rc::clone(&self.world), &scope);
+            let (core, eff) = ManagerCore::restore(self.timing, Box::new(planner), &body)
+                .unwrap_or_else(|e| panic!("control-plane journal replay failed: {e}"));
+            let seized = self.locks.try_acquire(sid, &self.resources_of(&spec), spec.priority);
+            assert!(seized, "in-flight scopes are disjoint and must re-acquire");
+            self.active.insert(sid, ActiveSession { core, timers: HashMap::new() });
+            restore_effects.push((sid, eff));
+        }
+        // Pass 2: requeue sessions that were waiting when the plane died,
+        // in journal order; some may now be admissible.
+        let mut to_admit: Vec<usize> = Vec::new();
+        for &sid in &order {
+            let recs = &per[&sid];
+            if is_done(recs) || has_request(recs) {
+                continue;
+            }
+            let Some(ix) = self.spec_ix(sid) else { continue };
+            let spec = self.scenario[ix].clone();
+            if self.locks.try_acquire(sid, &self.resources_of(&spec), spec.priority) {
+                to_admit.push(ix);
+            } else if let Some(at) = spec.cancel_at {
+                let delay = at.as_micros().saturating_sub(ctx.now().as_micros());
+                ctx.set_timer(SimDuration::from_micros(delay), TAG_CANCEL_BASE + ix as u64);
+            }
+        }
+        self.emit_fleet(
+            ctx,
+            0,
+            FleetEvent::ControlRestored {
+                active: self.active.len() as u32,
+                queued: self.locks.queue_len() as u32,
+            },
+        );
+        for (sid, eff) in restore_effects {
+            self.apply(ctx, sid, eff);
+        }
+        for ix in to_admit {
+            self.admit(ctx, ix);
+        }
+        // Re-arm scenario entries whose submission timer died unfired.
+        let now = ctx.now().as_micros();
+        let pending: Vec<(usize, u64)> = self
+            .scenario
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| !self.submitted.contains(&s.id))
+            .map(|(ix, s)| (ix, s.submit_at.as_micros()))
+            .collect();
+        for (ix, due) in pending {
+            if due > now {
+                ctx.set_timer(SimDuration::from_micros(due - now), TAG_SUBMIT_BASE + ix as u64);
+            } else {
+                self.submit(ctx, ix);
+            }
+        }
+    }
+}

@@ -1,0 +1,323 @@
+//! Fleet scenario driver: builds a simulated fleet (2 agents per group),
+//! runs the control plane over it, and distills a [`FleetReport`] from the
+//! durable state plus the session-tagged event stream.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use sada_obs::{Bus, Event, RingSink};
+use sada_proto::{encode_session_journal, AgentTiming, ProtoTiming, ScriptedAgent, Wire};
+use sada_simnet::{ActorId, LinkConfig, NetStats, SimDuration, SimTime, Simulator};
+
+use crate::control::{ControlActor, SessionSpec};
+use crate::world::FleetWorld;
+
+/// A fleet-scale experiment: the world size, the session workload, and the
+/// fault schedule for the control plane itself.
+#[derive(Debug, Clone)]
+pub struct FleetScenario {
+    /// Number of component groups (each served by two agent processes).
+    pub groups: usize,
+    /// The adaptation requests to submit.
+    pub sessions: Vec<SessionSpec>,
+    /// Serial baseline: map every session onto one shared lock resource so
+    /// nothing runs concurrently (benchmarks compare against this).
+    pub serialize: bool,
+    /// Simulation seed.
+    pub seed: u64,
+    /// Network latency on every link.
+    pub link_latency: SimDuration,
+    /// Virtual-time budget for the whole run.
+    pub time_budget: SimDuration,
+    /// Crash/restart instants for the control plane, if any.
+    pub crash_control: Option<(SimTime, SimTime)>,
+}
+
+impl FleetScenario {
+    /// A scenario with library defaults: 1 ms links, a 30 s budget, seed
+    /// 42, scope-parallel admission, and no control-plane faults.
+    pub fn new(groups: usize, sessions: Vec<SessionSpec>) -> Self {
+        FleetScenario {
+            groups,
+            sessions,
+            serialize: false,
+            seed: 42,
+            link_latency: SimDuration::from_millis(1),
+            time_budget: SimDuration::from_secs(30),
+            crash_control: None,
+        }
+    }
+}
+
+/// A wave of sessions over pairwise-disjoint group ranges: session `i`
+/// (id `i+1`) flips groups `[i*span, (i+1)*span)` forward, all submitted at
+/// `t=0` with equal priority — the canonical "everything can run at once"
+/// workload.
+pub fn disjoint_wave(sessions: usize, span: usize) -> Vec<SessionSpec> {
+    (0..sessions)
+        .map(|i| SessionSpec {
+            id: i as u64 + 1,
+            flips: (i * span..(i + 1) * span).map(|g| (g, true)).collect(),
+            priority: 0,
+            submit_at: SimDuration::ZERO,
+            cancel_at: None,
+        })
+        .collect()
+}
+
+/// Per-session outcome distilled from the control plane's durable state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionResult {
+    /// Session id.
+    pub id: u64,
+    /// When the request was submitted (virtual μs), if it was.
+    pub submitted_at: Option<u64>,
+    /// When the session was admitted (virtual μs), if it was.
+    pub admitted_at: Option<u64>,
+    /// When the session finished or was cancelled (virtual μs).
+    pub completed_at: Option<u64>,
+    /// Protocol outcome: the adaptation committed.
+    pub success: bool,
+    /// Terminal give-up (Section 4.4 ladder exhausted).
+    pub gave_up: bool,
+    /// Withdrawn while still queued.
+    pub cancelled: bool,
+}
+
+impl SessionResult {
+    /// End-to-end latency (submission → completion) in virtual μs.
+    pub fn latency_us(&self) -> Option<u64> {
+        Some(self.completed_at?.saturating_sub(self.submitted_at?))
+    }
+}
+
+/// Everything a fleet run produced.
+pub struct FleetReport {
+    /// Per-session results, ascending by session id.
+    pub results: Vec<SessionResult>,
+    /// The fleet configuration after all completions, as a bit string.
+    pub final_config: String,
+    /// The session-tagged event stream (control plane + protocol + agents).
+    pub events: Vec<Event>,
+    /// The control plane's write-ahead journal, in text form.
+    pub journal_text: String,
+    /// Times the control plane was rebuilt from its journal.
+    pub restores: u64,
+    /// Peak number of simultaneously *admitted* sessions.
+    pub max_concurrent: usize,
+    /// First submission → last completion, in virtual μs.
+    pub makespan_us: u64,
+    /// Network counters for the run.
+    pub stats: NetStats,
+}
+
+impl FleetReport {
+    /// The result row for session `id`.
+    pub fn session(&self, id: u64) -> Option<&SessionResult> {
+        self.results.iter().find(|r| r.id == id)
+    }
+
+    /// Sessions that committed their adaptation.
+    pub fn succeeded(&self) -> usize {
+        self.results.iter().filter(|r| r.success).count()
+    }
+}
+
+/// Runs `scenario` to completion (or budget exhaustion) and reports.
+pub fn run_fleet(scenario: &FleetScenario) -> FleetReport {
+    let world = Rc::new(FleetWorld::build(scenario.groups));
+    let mut sim: Simulator<Wire<()>> = Simulator::new(scenario.seed);
+    sim.set_default_link(LinkConfig::reliable(scenario.link_latency));
+
+    let bus = Bus::new();
+    let ring = Rc::new(RefCell::new(RingSink::new(1 << 18)));
+    bus.attach(&ring);
+
+    // Agents first so their ids are dense [0, 2·groups); the control plane
+    // takes the next slot, mirroring the solo ManagerActor layout.
+    let control_id = ActorId::from_index(2 * scenario.groups);
+    let mut agents = Vec::with_capacity(2 * scenario.groups);
+    for p in 0..2 * scenario.groups {
+        let agent = ScriptedAgent::new(control_id, AgentTiming::default()).with_bus(bus.clone());
+        agents.push(sim.add_actor(&format!("agent-{p}"), agent));
+    }
+    let control = ControlActor::<()>::new(
+        Rc::clone(&world),
+        agents,
+        scenario.sessions.clone(),
+        ProtoTiming::default(),
+        scenario.serialize,
+    )
+    .with_bus(bus.clone());
+    let got = sim.add_actor("control", control);
+    assert_eq!(got, control_id, "control plane must sit after the agents");
+
+    if let Some((crash, restart)) = scenario.crash_control {
+        sim.crash_at(control_id, crash);
+        sim.restart_at(control_id, restart);
+    }
+
+    sim.run_for(scenario.time_budget);
+
+    let control =
+        sim.actor::<ControlActor<()>>(control_id).expect("control plane present after the run");
+
+    let mut ids: Vec<u64> = scenario.sessions.iter().map(|s| s.id).collect();
+    ids.sort_unstable();
+    let results: Vec<SessionResult> = ids
+        .iter()
+        .map(|&id| {
+            let outcome = control.results.get(&id);
+            SessionResult {
+                id,
+                submitted_at: control.submitted_at.get(&id).map(|t| t.as_micros()),
+                admitted_at: control.admitted_at.get(&id).map(|t| t.as_micros()),
+                completed_at: control.completed_at.get(&id).map(|t| t.as_micros()),
+                success: outcome.is_some_and(|o| o.success),
+                gave_up: outcome.is_some_and(|o| o.gave_up),
+                cancelled: outcome
+                    .is_some_and(|o| o.warnings.iter().any(|w| w.contains("cancelled"))),
+            }
+        })
+        .collect();
+
+    let events = ring.borrow().events();
+    FleetReport {
+        results,
+        final_config: control.fleet_config.to_bit_string(),
+        events,
+        journal_text: encode_session_journal(&control.journal),
+        restores: control.restores,
+        max_concurrent: max_concurrent(
+            control
+                .admitted_at
+                .iter()
+                .map(|(id, at)| {
+                    (at.as_micros(), control.completed_at.get(id).map(|t| t.as_micros()))
+                })
+                .collect(),
+        ),
+        makespan_us: makespan(control),
+        stats: sim.stats(),
+    }
+}
+
+/// Peak overlap of `[admitted, completed)` intervals; an interval without a
+/// completion extends to the end. A completion at instant `t` does not
+/// overlap an admission at `t`.
+fn max_concurrent(intervals: Vec<(u64, Option<u64>)>) -> usize {
+    let mut edges: Vec<(u64, i32)> = Vec::with_capacity(intervals.len() * 2);
+    for (start, end) in intervals {
+        edges.push((start, 1));
+        edges.push((end.unwrap_or(u64::MAX), -1));
+    }
+    // Sort by time, completions (-1) before admissions (+1) on ties.
+    edges.sort_unstable();
+    let (mut cur, mut peak) = (0i32, 0i32);
+    for (_, d) in edges {
+        cur += d;
+        peak = peak.max(cur);
+    }
+    peak.max(0) as usize
+}
+
+fn makespan<M: Clone + 'static>(control: &ControlActor<M>) -> u64 {
+    let first = control.submitted_at.values().map(|t| t.as_micros()).min();
+    let last = control.completed_at.values().map(|t| t.as_micros()).max();
+    match (first, last) {
+        (Some(a), Some(b)) => b.saturating_sub(a),
+        _ => 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn max_concurrent_counts_overlap_not_touch() {
+        // [0,10) and [10,20) touch but never overlap; [5,15) overlaps both.
+        assert_eq!(max_concurrent(vec![(0, Some(10)), (10, Some(20))]), 1);
+        assert_eq!(max_concurrent(vec![(0, Some(10)), (10, Some(20)), (5, Some(15))]), 2);
+        assert_eq!(max_concurrent(vec![(0, None), (1, None), (2, Some(3))]), 3);
+        assert_eq!(max_concurrent(vec![]), 0);
+    }
+
+    #[test]
+    fn two_disjoint_sessions_complete_and_overlap() {
+        let scenario = FleetScenario::new(4, disjoint_wave(2, 2));
+        let report = run_fleet(&scenario);
+        assert_eq!(report.succeeded(), 2, "results: {:?}", report.results);
+        assert_eq!(report.max_concurrent, 2, "disjoint scopes run side by side");
+        assert_eq!(report.restores, 0);
+        // All four groups moved to New (bit strings print MSB first, so
+        // each group reads `10`: New set, Old clear).
+        assert_eq!(report.final_config, "10101010");
+    }
+
+    #[test]
+    fn serialize_mode_never_overlaps() {
+        let mut scenario = FleetScenario::new(4, disjoint_wave(2, 2));
+        scenario.serialize = true;
+        let report = run_fleet(&scenario);
+        assert_eq!(report.succeeded(), 2);
+        assert_eq!(report.max_concurrent, 1, "serial baseline admits one at a time");
+        assert_eq!(report.final_config, "10101010");
+    }
+
+    #[test]
+    fn overlapping_sessions_queue_and_compose() {
+        // Session 1 flips group 0 forward; session 2 (overlapping scope)
+        // flips it back. Admission order must serialize them and the second
+        // must see the first's result as its source.
+        let sessions = vec![
+            SessionSpec {
+                id: 1,
+                flips: vec![(0, true)],
+                priority: 0,
+                submit_at: SimDuration::ZERO,
+                cancel_at: None,
+            },
+            SessionSpec {
+                id: 2,
+                flips: vec![(0, false)],
+                priority: 0,
+                submit_at: SimDuration::from_millis(1),
+                cancel_at: None,
+            },
+        ];
+        let report = run_fleet(&FleetScenario::new(1, sessions));
+        assert_eq!(report.succeeded(), 2, "results: {:?}", report.results);
+        assert_eq!(report.max_concurrent, 1);
+        let s1 = report.session(1).unwrap();
+        let s2 = report.session(2).unwrap();
+        assert!(s1.completed_at.unwrap() <= s2.admitted_at.unwrap(), "2 waits for 1");
+        assert_eq!(report.final_config, "01", "flip forward then back restores Old");
+    }
+
+    #[test]
+    fn queued_session_cancellation_resolves_it() {
+        let sessions = vec![
+            SessionSpec {
+                id: 1,
+                flips: vec![(0, true)],
+                priority: 0,
+                submit_at: SimDuration::ZERO,
+                cancel_at: None,
+            },
+            SessionSpec {
+                id: 2,
+                flips: vec![(0, false)],
+                priority: 0,
+                submit_at: SimDuration::from_millis(1),
+                // The first session needs tens of virtual ms; cancel early.
+                cancel_at: Some(SimDuration::from_millis(3)),
+            },
+        ];
+        let report = run_fleet(&FleetScenario::new(1, sessions));
+        let s2 = report.session(2).unwrap();
+        assert!(s2.cancelled && !s2.success, "results: {:?}", report.results);
+        assert!(report.session(1).unwrap().success);
+        assert_eq!(report.final_config, "10", "only session 1 took effect");
+    }
+}

@@ -1,0 +1,36 @@
+//! # sada-fleet — the adaptation control plane
+//!
+//! The DSN 2004 protocol crates drive **one** adaptation at a time: a
+//! manager, its agents, one plan, one journal. Real fleets adapt many
+//! component groups continuously, so this crate adds the missing layer — a
+//! control plane that admits *concurrent* adaptation sessions safely:
+//!
+//! * [`FleetWorld`] — a parameterized world of independent component
+//!   groups, each its own collaborative set (paper Section 7), hosted
+//!   pairwise across agent processes so every step runs real barriers.
+//! * [`ScopeLockManager`] — atomic all-or-nothing scope locks with
+//!   priority/FIFO queueing: deadlock-free by construction (no
+//!   hold-and-wait), starvation-free via shadow-set grant scans.
+//! * [`ScopedLazyPlanner`] — per-session lazy planning restricted to the
+//!   session's collaborative-set scope; deterministic, so post-crash
+//!   journal replay re-derives identical plans.
+//! * [`ControlActor`] — the control plane itself: one embedded
+//!   [`ManagerCore`](sada_proto::ManagerCore) per admitted session,
+//!   multiplexed over a shared wire by [`SessionId`](sada_proto::SessionId)
+//!   stamps, with a session-tagged write-ahead journal that restores every
+//!   in-flight *and* queued session after a crash.
+//! * [`run_fleet`] — the scenario driver: hundreds of agent groups in
+//!   simnet, fault schedules, and a [`FleetReport`] with per-session
+//!   latencies, peak concurrency, and the captured event stream.
+
+mod control;
+mod driver;
+mod lock;
+mod planner;
+mod world;
+
+pub use control::{ControlActor, SessionSpec};
+pub use driver::{disjoint_wave, run_fleet, FleetReport, FleetScenario, SessionResult};
+pub use lock::ScopeLockManager;
+pub use planner::ScopedLazyPlanner;
+pub use world::FleetWorld;

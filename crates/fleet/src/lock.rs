@@ -1,0 +1,305 @@
+//! The scope-lock manager: admission control for concurrent adaptations.
+//!
+//! Section 7's collaborative sets make component adaptations of different
+//! sets independent; the control plane exploits that by granting each
+//! adaptation session an exclusive lock over its *scope* — the set of
+//! abstract resources (component ids and hosting processes) its plan may
+//! touch. Sessions with disjoint scopes run concurrently; overlapping
+//! sessions queue.
+//!
+//! Two properties hold by construction:
+//!
+//! * **Deadlock freedom** — acquisition is atomic and all-or-nothing: a
+//!   session either receives its *entire* scope or holds nothing and waits.
+//!   No session ever holds part of a scope while waiting for the rest, so
+//!   the hold-and-wait condition for deadlock cannot arise.
+//! * **Starvation freedom** — grants respect the waiter order (priority
+//!   descending, then FIFO): a later request may overtake a waiter only if
+//!   its scope is disjoint from that waiter's. The release-time scan keeps a
+//!   *shadow set* of every skipped waiter's scope and refuses grants that
+//!   intersect it, so a blocked waiter's resources can never be re-captured
+//!   over its head indefinitely.
+
+use std::collections::{BTreeMap, HashSet};
+
+/// A waiting acquisition request.
+#[derive(Debug, Clone)]
+struct Waiter {
+    session: u64,
+    scope: Vec<u32>,
+    priority: u8,
+    seq: u64,
+}
+
+impl Waiter {
+    /// Grant-order key: higher priority first, then FIFO by sequence.
+    fn order_key(&self) -> (std::cmp::Reverse<u8>, u64) {
+        (std::cmp::Reverse(self.priority), self.seq)
+    }
+}
+
+/// Exclusive locks over `u32`-identified resources, granted scope-at-a-time.
+#[derive(Debug, Default)]
+pub struct ScopeLockManager {
+    held: BTreeMap<u64, Vec<u32>>,
+    held_set: HashSet<u32>,
+    waiters: Vec<Waiter>,
+    next_seq: u64,
+}
+
+impl ScopeLockManager {
+    /// An empty manager: nothing held, nobody waiting.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn disjoint_from_held(&self, scope: &[u32]) -> bool {
+        scope.iter().all(|r| !self.held_set.contains(r))
+    }
+
+    /// Waiter indices in grant order (priority descending, then FIFO).
+    fn grant_order(&self) -> Vec<usize> {
+        let mut ixs: Vec<usize> = (0..self.waiters.len()).collect();
+        ixs.sort_by_key(|&i| self.waiters[i].order_key());
+        ixs
+    }
+
+    /// Atomically acquires `scope` for `session`, or enqueues the request.
+    ///
+    /// Returns `true` when the whole scope was granted immediately. The
+    /// request is refused (and queued) when the scope intersects a held
+    /// scope *or* the scope of any waiter that would precede it in grant
+    /// order — overtaking a conflicting earlier waiter would starve it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `session` already holds or awaits a scope: sessions
+    /// acquire exactly once (all-or-nothing is what makes this
+    /// deadlock-free).
+    pub fn try_acquire(&mut self, session: u64, scope: &[u32], priority: u8) -> bool {
+        assert!(
+            !self.held.contains_key(&session) && self.waiters.iter().all(|w| w.session != session),
+            "session {session} must not acquire twice"
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let me = Waiter { session, scope: scope.to_vec(), priority, seq };
+        let blocked_by_waiter = self.grant_order().into_iter().any(|i| {
+            let w = &self.waiters[i];
+            w.order_key() < me.order_key() && !disjoint(&w.scope, scope)
+        });
+        if self.disjoint_from_held(scope) && !blocked_by_waiter {
+            self.held_set.extend(scope.iter().copied());
+            self.held.insert(session, scope.to_vec());
+            true
+        } else {
+            self.waiters.push(me);
+            false
+        }
+    }
+
+    /// Releases everything `session` holds and grants now-compatible
+    /// waiters, returned in grant order.
+    ///
+    /// The scan walks the queue in grant order with a shadow set: a waiter
+    /// is granted iff its scope is disjoint from both the held set and the
+    /// scopes of every conflicting waiter already skipped — later waiters
+    /// cannot leapfrog an earlier one they conflict with.
+    pub fn release(&mut self, session: u64) -> Vec<u64> {
+        if let Some(scope) = self.held.remove(&session) {
+            for r in scope {
+                self.held_set.remove(&r);
+            }
+        }
+        self.grant_waiters()
+    }
+
+    /// Withdraws a *queued* request. Returns `None` if `session` was not
+    /// waiting; otherwise the sessions its departure unblocked, in grant
+    /// order (a cancelled waiter may have been the only obstacle shadowing
+    /// a later one).
+    pub fn cancel(&mut self, session: u64) -> Option<Vec<u64>> {
+        let before = self.waiters.len();
+        self.waiters.retain(|w| w.session != session);
+        if self.waiters.len() == before {
+            return None;
+        }
+        Some(self.grant_waiters())
+    }
+
+    fn grant_waiters(&mut self) -> Vec<u64> {
+        let mut shadow: HashSet<u32> = HashSet::new();
+        let mut granted = Vec::new();
+        for i in self.grant_order() {
+            let w = &self.waiters[i];
+            let free = w.scope.iter().all(|r| !self.held_set.contains(r) && !shadow.contains(r));
+            if free {
+                self.held_set.extend(w.scope.iter().copied());
+                self.held.insert(w.session, w.scope.clone());
+                granted.push(w.session);
+            } else {
+                shadow.extend(w.scope.iter().copied());
+            }
+        }
+        self.waiters.retain(|w| !granted.contains(&w.session));
+        granted
+    }
+
+    /// True while `session` holds its scope.
+    pub fn is_held(&self, session: u64) -> bool {
+        self.held.contains_key(&session)
+    }
+
+    /// Position of `session` in grant order (0 = next), or `None` if it is
+    /// not waiting.
+    pub fn position(&self, session: u64) -> Option<usize> {
+        self.grant_order().into_iter().position(|i| self.waiters[i].session == session)
+    }
+
+    /// Sessions currently holding scopes, ascending.
+    pub fn holders(&self) -> Vec<u64> {
+        self.held.keys().copied().collect()
+    }
+
+    /// Number of queued requests.
+    pub fn queue_len(&self) -> usize {
+        self.waiters.len()
+    }
+}
+
+fn disjoint(a: &[u32], b: &[u32]) -> bool {
+    a.iter().all(|r| !b.contains(r))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn disjoint_scopes_coexist() {
+        let mut lm = ScopeLockManager::new();
+        assert!(lm.try_acquire(1, &[0, 1], 0));
+        assert!(lm.try_acquire(2, &[2, 3], 0));
+        assert_eq!(lm.holders(), vec![1, 2]);
+        assert_eq!(lm.queue_len(), 0);
+    }
+
+    #[test]
+    fn overlap_queues_and_release_grants_in_fifo_order() {
+        let mut lm = ScopeLockManager::new();
+        assert!(lm.try_acquire(1, &[0, 1], 0));
+        assert!(!lm.try_acquire(2, &[1, 2], 0));
+        assert!(!lm.try_acquire(3, &[1], 0));
+        assert_eq!(lm.position(2), Some(0));
+        assert_eq!(lm.position(3), Some(1));
+        // Releasing grants 2; 3 still conflicts with 2's freshly held scope.
+        assert_eq!(lm.release(1), vec![2]);
+        assert!(lm.is_held(2));
+        assert_eq!(lm.release(2), vec![3]);
+    }
+
+    #[test]
+    fn priority_overrides_fifo() {
+        let mut lm = ScopeLockManager::new();
+        assert!(lm.try_acquire(1, &[0], 0));
+        assert!(!lm.try_acquire(2, &[0], 0));
+        assert!(!lm.try_acquire(3, &[0], 5));
+        assert_eq!(lm.position(3), Some(0), "higher priority jumps the queue");
+        assert_eq!(lm.release(1), vec![3]);
+        assert_eq!(lm.release(3), vec![2]);
+    }
+
+    #[test]
+    fn no_overtaking_a_conflicting_earlier_waiter() {
+        let mut lm = ScopeLockManager::new();
+        assert!(lm.try_acquire(1, &[0], 0));
+        // 2 waits on {0,5}. A later request for {5} alone must not slip in
+        // front even though {5} is free — that would starve 2.
+        assert!(!lm.try_acquire(2, &[0, 5], 0));
+        assert!(!lm.try_acquire(3, &[5], 0));
+        assert_eq!(lm.release(1), vec![2]);
+        assert!(lm.is_held(2));
+        assert!(!lm.is_held(3), "3 shadows behind 2");
+        assert_eq!(lm.release(2), vec![3]);
+    }
+
+    #[test]
+    fn disjoint_latecomer_overtakes_freely() {
+        let mut lm = ScopeLockManager::new();
+        assert!(lm.try_acquire(1, &[0], 0));
+        assert!(!lm.try_acquire(2, &[0], 0));
+        // Entirely disjoint from both holder and waiter: granted at once.
+        assert!(lm.try_acquire(3, &[7], 0));
+    }
+
+    #[test]
+    fn cancel_unblocks_shadowed_waiters() {
+        let mut lm = ScopeLockManager::new();
+        assert!(lm.try_acquire(1, &[0], 0));
+        assert!(!lm.try_acquire(2, &[0, 5], 0));
+        assert!(!lm.try_acquire(3, &[5], 0));
+        // 2 leaves: 3 no longer shadows behind it and 5 is free.
+        assert_eq!(lm.cancel(2), Some(vec![3]));
+        assert!(lm.is_held(3));
+        assert_eq!(lm.cancel(99), None, "unknown session is a no-op");
+    }
+
+    #[test]
+    #[should_panic(expected = "must not acquire twice")]
+    fn double_acquire_panics() {
+        let mut lm = ScopeLockManager::new();
+        assert!(lm.try_acquire(1, &[0], 0));
+        let _ = lm.try_acquire(1, &[1], 0);
+    }
+
+    proptest! {
+        /// Random acquire/release traffic: held scopes stay pairwise
+        /// disjoint, every session is eventually granted (no deadlock, no
+        /// starvation), and grants never violate the order contract.
+        #[test]
+        fn held_scopes_always_disjoint_and_everyone_finishes(
+            scopes in proptest::collection::vec(
+                (proptest::collection::vec(0u32..12, 1..4), 0u8..3),
+                1..20,
+            ),
+        ) {
+            let mut lm = ScopeLockManager::new();
+            let mut running: Vec<u64> = Vec::new();
+            let mut done: HashSet<u64> = HashSet::new();
+            for (i, (raw_scope, prio)) in scopes.iter().enumerate() {
+                // Real scopes are sorted and deduplicated (resources_for).
+                let mut scope = raw_scope.clone();
+                scope.sort_unstable();
+                scope.dedup();
+                let sid = i as u64 + 1;
+                if lm.try_acquire(sid, &scope, *prio) {
+                    running.push(sid);
+                }
+                // Invariant: held scopes pairwise disjoint.
+                let mut seen: HashSet<u32> = HashSet::new();
+                for s in lm.holders() {
+                    for r in lm.held.get(&s).unwrap() {
+                        prop_assert!(seen.insert(*r), "resource {r} held twice");
+                    }
+                }
+                // Retire the oldest runner every other step to make room.
+                if i % 2 == 1 {
+                    if let Some(oldest) = running.first().copied() {
+                        running.remove(0);
+                        done.insert(oldest);
+                        running.extend(lm.release(oldest));
+                    }
+                }
+            }
+            // Drain: release everything; all sessions must complete.
+            while let Some(s) = running.first().copied() {
+                running.remove(0);
+                done.insert(s);
+                running.extend(lm.release(s));
+            }
+            prop_assert_eq!(lm.queue_len(), 0, "nobody starves once holders drain");
+            prop_assert_eq!(done.len(), scopes.len());
+        }
+    }
+}

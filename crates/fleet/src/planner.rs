@@ -1,0 +1,150 @@
+//! Scope-restricted lazy planning for control-plane sessions.
+//!
+//! Each admitted session plans over *its scope only*: the action repertoire
+//! is filtered to actions whose touched components all lie inside the
+//! session's collaborative sets, and paths are found with the partial-
+//! exploration planner ([`sada_plan::lazy`]) — no eager SAG over the whole
+//! fleet's `2^n` configuration space is ever built. Because the planner is
+//! a pure function of the world and the scope, a restored control plane can
+//! rebuild it per session and replay journals deterministically
+//! ([`ManagerCore::restore`](sada_proto::ManagerCore::restore) re-derives
+//! `PathSelected` records by re-querying the planner).
+
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+use sada_expr::{CompId, Config};
+use sada_plan::{lazy, Action, Path};
+use sada_proto::{AdaptationPlanner, LocalAction, PlannedStep};
+
+use crate::world::FleetWorld;
+
+/// An [`AdaptationPlanner`] over the implicit SAG of one session's scope.
+pub struct ScopedLazyPlanner {
+    world: Rc<FleetWorld>,
+    /// Actions whose touched sets lie entirely inside the scope.
+    scoped: Vec<Action>,
+}
+
+impl ScopedLazyPlanner {
+    /// A planner restricted to `scope` (a union of collaborative sets, as
+    /// produced by [`FleetWorld::scope_comps`]).
+    pub fn new(world: Rc<FleetWorld>, scope: &[CompId]) -> Self {
+        let mut in_scope = world.universe.empty_config();
+        for &c in scope {
+            in_scope.insert(c);
+        }
+        let scoped =
+            world.actions.iter().filter(|a| a.touched().is_subset(&in_scope)).cloned().collect();
+        ScopedLazyPlanner { world, scoped }
+    }
+
+    /// Number of actions that survived the scope filter.
+    pub fn action_count(&self) -> usize {
+        self.scoped.len()
+    }
+
+    fn locals_for(&self, action: &Action) -> Vec<(usize, LocalAction)> {
+        let mut per_agent: BTreeMap<usize, (Vec<CompId>, Vec<CompId>)> = BTreeMap::new();
+        for comp in action.removes().iter() {
+            let p = self.world.model.host_of(comp).expect("touched component must be placed");
+            per_agent.entry(self.world.agent_of_process[p.0 as usize]).or_default().0.push(comp);
+        }
+        for comp in action.adds().iter() {
+            let p = self.world.model.host_of(comp).expect("touched component must be placed");
+            per_agent.entry(self.world.agent_of_process[p.0 as usize]).or_default().1.push(comp);
+        }
+        per_agent
+            .into_iter()
+            .map(|(agent, (removes, adds))| {
+                (
+                    agent,
+                    LocalAction { action: action.id(), removes, adds, needs_global_drain: false },
+                )
+            })
+            .collect()
+    }
+}
+
+impl AdaptationPlanner for ScopedLazyPlanner {
+    /// At most one candidate: the lazy minimum adaptation path. Uniform-cost
+    /// search is deterministic, so repeated queries (and post-crash replay)
+    /// return the identical ranking. The failure ladder's "second path" rung
+    /// simply falls through to return-to-source under this planner.
+    fn paths(&mut self, from: &Config, to: &Config, _k: usize) -> Vec<Path> {
+        lazy::plan(&self.world.inv, &self.scoped, from, to).into_iter().collect()
+    }
+
+    fn compile(&mut self, path: &Path) -> Vec<PlannedStep> {
+        path.steps
+            .iter()
+            .map(|s| {
+                let action = &self.world.actions[s.action.index()];
+                PlannedStep {
+                    action: s.action,
+                    from: s.from.clone(),
+                    to: s.to.clone(),
+                    cost: s.cost,
+                    locals: self.locals_for(action),
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scope_filter_keeps_only_in_scope_actions() {
+        let w = Rc::new(FleetWorld::build(4));
+        let scope = w.scope_comps(&[(1, true), (3, true)]);
+        let p = ScopedLazyPlanner::new(Rc::clone(&w), &scope);
+        assert_eq!(p.action_count(), 4, "fwd+back for two groups");
+    }
+
+    #[test]
+    fn plans_one_step_per_flipped_group_with_two_participants() {
+        let w = Rc::new(FleetWorld::build(3));
+        let scope = w.scope_comps(&[(0, true), (2, true)]);
+        let mut p = ScopedLazyPlanner::new(Rc::clone(&w), &scope);
+        let src = w.initial_config();
+        let dst = w.target_for(&src, &[(0, true), (2, true)]);
+        let paths = p.paths(&src, &dst, 4);
+        assert_eq!(paths.len(), 1, "lazy planner offers exactly the MAP");
+        let steps = p.compile(&paths[0]);
+        assert_eq!(steps.len(), 2);
+        for step in &steps {
+            assert_eq!(step.locals.len(), 2, "Old and New live on different processes");
+        }
+        // Participants are the flipped groups' hosts, and nobody else's.
+        let agents: Vec<usize> =
+            steps.iter().flat_map(|s| s.locals.iter().map(|(a, _)| *a)).collect();
+        assert!(agents.iter().all(|&a| [0, 1, 4, 5].contains(&a)), "agents {agents:?}");
+    }
+
+    #[test]
+    fn ranking_is_deterministic_across_incarnations() {
+        let w = Rc::new(FleetWorld::build(2));
+        let scope = w.scope_comps(&[(0, true)]);
+        let src = w.initial_config();
+        let dst = w.target_for(&src, &[(0, true)]);
+        let mut a = ScopedLazyPlanner::new(Rc::clone(&w), &scope);
+        let mut b = ScopedLazyPlanner::new(Rc::clone(&w), &scope);
+        assert_eq!(a.paths(&src, &dst, 8), b.paths(&src, &dst, 8));
+        assert_eq!(a.paths(&src, &dst, 8), a.paths(&src, &dst, 8));
+    }
+
+    #[test]
+    fn out_of_scope_endpoints_have_no_path() {
+        // Asking a group-0 planner to move group 1 finds nothing: the
+        // actions that could do it were filtered out.
+        let w = Rc::new(FleetWorld::build(2));
+        let scope = w.scope_comps(&[(0, true)]);
+        let mut p = ScopedLazyPlanner::new(Rc::clone(&w), &scope);
+        let src = w.initial_config();
+        let dst = w.target_for(&src, &[(1, true)]);
+        assert!(p.paths(&src, &dst, 4).is_empty());
+    }
+}

@@ -1,0 +1,162 @@
+//! The fleet world: many independent component groups, each its own
+//! collaborative set, hosted pairwise across agent processes.
+//!
+//! Group `g` consists of components `Old{g}` and `New{g}` under the
+//! dependency invariant `one_of(Old{g}, New{g})`, with a forward replace
+//! action (id `2g`) and a backward one (id `2g+1`). `Old{g}` lives on
+//! process `2g` and `New{g}` on process `2g+1`, so every step has **two**
+//! participants and the realization protocol runs real adapt/resume
+//! barriers rather than the solo fast path.
+
+use sada_expr::{CompId, Config, InvariantSet, Universe};
+use sada_model::SystemModel;
+use sada_plan::{Action, CollabIndex};
+
+/// Static description of a fleet: universe, invariants, actions, placement,
+/// and the collaborative-set index used for scope extraction.
+pub struct FleetWorld {
+    /// Component universe: `Old{g}`, `New{g}` interned in group order.
+    pub universe: Universe,
+    /// One `one_of(Old{g}, New{g})` invariant per group.
+    pub inv: InvariantSet,
+    /// Forward (`2g`) and backward (`2g+1`) replace actions, cost 1.
+    pub actions: Vec<Action>,
+    /// Placement: `Old{g}` on process `2g`, `New{g}` on process `2g+1`.
+    pub model: SystemModel,
+    /// Process id index → agent index (identity here).
+    pub agent_of_process: Vec<usize>,
+    /// Collaborative-set partition (one set per group).
+    pub index: CollabIndex,
+    /// Number of component groups.
+    pub groups: usize,
+}
+
+impl FleetWorld {
+    /// Builds a world of `groups` independent groups.
+    pub fn build(groups: usize) -> Self {
+        assert!(groups > 0, "a fleet needs at least one group");
+        let mut universe = Universe::new();
+        let mut sources = Vec::with_capacity(groups);
+        for g in 0..groups {
+            universe.intern(&format!("Old{g}"));
+            universe.intern(&format!("New{g}"));
+            sources.push(format!("one_of(Old{g}, New{g})"));
+        }
+        let refs: Vec<&str> = sources.iter().map(String::as_str).collect();
+        let inv = InvariantSet::parse(&refs, &mut universe).expect("fleet invariants parse");
+        let mut actions = Vec::with_capacity(2 * groups);
+        let mut model = SystemModel::new();
+        let mut agent_of_process = Vec::with_capacity(2 * groups);
+        for g in 0..groups {
+            let old = universe.config_of(&[&format!("Old{g}")]);
+            let new = universe.config_of(&[&format!("New{g}")]);
+            actions.push(Action::replace(2 * g as u32, &format!("fwd{g}"), &old, &new, 1));
+            actions.push(Action::replace(2 * g as u32 + 1, &format!("back{g}"), &new, &old, 1));
+            let p_old = model.add_process(&format!("p{}", 2 * g));
+            let p_new = model.add_process(&format!("p{}", 2 * g + 1));
+            model.place(old.iter().next().unwrap(), p_old);
+            model.place(new.iter().next().unwrap(), p_new);
+            agent_of_process.push(2 * g);
+            agent_of_process.push(2 * g + 1);
+        }
+        let index = CollabIndex::new(&universe, &inv, &actions);
+        FleetWorld { universe, inv, actions, model, agent_of_process, index, groups }
+    }
+
+    /// The `Old{g}` component.
+    pub fn old(&self, g: usize) -> CompId {
+        self.universe.id(&format!("Old{g}")).expect("group in range")
+    }
+
+    /// The `New{g}` component.
+    pub fn newer(&self, g: usize) -> CompId {
+        self.universe.id(&format!("New{g}")).expect("group in range")
+    }
+
+    /// The boot configuration: every group on its `Old` component.
+    pub fn initial_config(&self) -> Config {
+        let mut cfg = self.universe.empty_config();
+        for g in 0..self.groups {
+            cfg.insert(self.old(g));
+        }
+        cfg
+    }
+
+    /// `current` with each flipped group moved to `New` (`true`) or `Old`
+    /// (`false`); unflipped groups keep their membership.
+    pub fn target_for(&self, current: &Config, flips: &[(usize, bool)]) -> Config {
+        let mut cfg = current.clone();
+        for &(g, to_new) in flips {
+            let (add, del) =
+                if to_new { (self.newer(g), self.old(g)) } else { (self.old(g), self.newer(g)) };
+            cfg.insert(add);
+            cfg.remove(del);
+        }
+        cfg
+    }
+
+    /// The adaptation scope of a flip set: every flipped group's components,
+    /// expanded to full collaborative sets (sorted, deduplicated).
+    pub fn scope_comps(&self, flips: &[(usize, bool)]) -> Vec<CompId> {
+        self.index.expand(flips.iter().map(|&(g, _)| self.old(g)))
+    }
+
+    /// The lock resources of a scope: the component ids themselves plus the
+    /// hosting processes (offset past the component id space so the two
+    /// namespaces cannot collide). Locking hosts as well as components means
+    /// two sessions can never concurrently drive the *same agent process*
+    /// through conflicting barriers.
+    pub fn resources_for(&self, scope: &[CompId]) -> Vec<u32> {
+        let offset = self.universe.len() as u32;
+        let mut out: Vec<u32> = Vec::with_capacity(scope.len() * 2);
+        for &c in scope {
+            out.push(c.index() as u32);
+            if let Some(p) = self.model.host_of(c) {
+                out.push(offset + p.0);
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_are_independent_collaborative_sets() {
+        let w = FleetWorld::build(4);
+        assert_eq!(w.index.sets().len(), 4);
+        assert_eq!(w.universe.len(), 8);
+        assert_eq!(w.model.process_count(), 8);
+        assert_ne!(w.index.set_of(w.old(0)), w.index.set_of(w.old(1)));
+        assert_eq!(w.index.set_of(w.old(2)), w.index.set_of(w.newer(2)));
+    }
+
+    #[test]
+    fn initial_config_is_safe_and_targets_flip() {
+        let w = FleetWorld::build(3);
+        let init = w.initial_config();
+        assert!(w.inv.satisfied_by(&init));
+        let t = w.target_for(&init, &[(1, true)]);
+        assert!(w.inv.satisfied_by(&t));
+        assert!(t.contains(w.newer(1)) && !t.contains(w.old(1)));
+        assert!(t.contains(w.old(0)) && t.contains(w.old(2)));
+        let back = w.target_for(&t, &[(1, false)]);
+        assert_eq!(back, init);
+    }
+
+    #[test]
+    fn scopes_and_resources_are_disjoint_across_groups() {
+        let w = FleetWorld::build(5);
+        let a = w.resources_for(&w.scope_comps(&[(0, true)]));
+        let b = w.resources_for(&w.scope_comps(&[(1, true), (2, true)]));
+        assert_eq!(a.len(), 4, "two comps + two hosts");
+        assert_eq!(b.len(), 8);
+        assert!(a.iter().all(|r| !b.contains(r)));
+        // Same group from either direction yields the same scope.
+        assert_eq!(w.scope_comps(&[(3, true)]), w.scope_comps(&[(3, false)]));
+    }
+}

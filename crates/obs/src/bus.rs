@@ -37,12 +37,28 @@ type SinkHandle = Rc<RefCell<dyn Sink>>;
 #[derive(Clone, Default)]
 pub struct Bus {
     sinks: Rc<RefCell<Vec<SinkHandle>>>,
+    /// Session stamped onto emitted events (0 = unscoped, leave as-is).
+    scope: u64,
 }
 
 impl Bus {
     /// A bus with no sinks attached.
     pub fn new() -> Self {
         Bus::default()
+    }
+
+    /// A clone of this bus that stamps `session` onto every event emitted
+    /// through it (events already carrying a nonzero session keep theirs).
+    /// Producers stay session-agnostic; the control plane hands each
+    /// embedded manager core a scoped clone and the whole event stream
+    /// comes out session-tagged.
+    pub fn scoped(&self, session: u64) -> Bus {
+        Bus { sinks: Rc::clone(&self.sinks), scope: session }
+    }
+
+    /// The session this handle stamps (0 when unscoped).
+    pub fn scope(&self) -> u64 {
+        self.scope
     }
 
     /// Attaches `sink`; it observes every event emitted from now on. The
@@ -68,8 +84,12 @@ impl Bus {
         self.sinks.borrow().len()
     }
 
-    /// Delivers `ev` to every attached sink, in attachment order.
-    pub fn emit(&self, ev: Event) {
+    /// Delivers `ev` to every attached sink, in attachment order. A scoped
+    /// handle fills in its session on events that do not carry one.
+    pub fn emit(&self, mut ev: Event) {
+        if self.scope != 0 && ev.session == 0 {
+            ev.session = self.scope;
+        }
         for sink in self.sinks.borrow().iter() {
             sink.borrow_mut().accept(&ev);
         }
@@ -79,7 +99,7 @@ impl Bus {
     /// attached — the zero-overhead form for hot paths.
     pub fn publish(&self, at: SimTime, actor: u32, payload: impl FnOnce() -> Payload) {
         if self.has_sinks() {
-            self.emit(Event { at, actor, payload: payload() });
+            self.emit(Event { at, actor, session: self.scope, payload: payload() });
         }
     }
 }
@@ -106,7 +126,12 @@ mod tests {
     }
 
     fn net(at: u64) -> Event {
-        Event { at: SimTime::from_micros(at), actor: 0, payload: Payload::Net(NetEvent::Crashed) }
+        Event {
+            at: SimTime::from_micros(at),
+            actor: 0,
+            session: 0,
+            payload: Payload::Net(NetEvent::Crashed),
+        }
     }
 
     #[test]
@@ -153,6 +178,24 @@ mod tests {
         });
         assert!(built);
         assert_eq!(probe.borrow().seen.len(), 1);
+    }
+
+    #[test]
+    fn scoped_handle_stamps_session_without_overriding() {
+        let bus = Bus::new();
+        let probe = Rc::new(RefCell::new(Probe { seen: Vec::new() }));
+        bus.attach(&probe);
+        let scoped = bus.scoped(7);
+        assert_eq!(scoped.scope(), 7);
+        assert_eq!(bus.scope(), 0, "scoping is a property of the clone only");
+        scoped.emit(net(1));
+        scoped.publish(SimTime::from_micros(2), 0, || Payload::Net(NetEvent::Crashed));
+        let mut pre_tagged = net(3);
+        pre_tagged.session = 3;
+        scoped.emit(pre_tagged);
+        bus.emit(net(4));
+        let sessions: Vec<u64> = probe.borrow().seen.iter().map(|e| e.session).collect();
+        assert_eq!(sessions, vec![7, 7, 3, 0]);
     }
 
     #[test]

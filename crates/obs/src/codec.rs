@@ -17,7 +17,8 @@ use sada_model::AuditEvent;
 
 use crate::bus::Sink;
 use crate::event::{
-    AgentStateTag, Event, ManagerPhaseTag, NetEvent, Payload, PlanEvent, ProtoEvent, TemporalEvent,
+    AgentStateTag, Event, FleetEvent, ManagerPhaseTag, NetEvent, Payload, PlanEvent, ProtoEvent,
+    TemporalEvent,
 };
 use crate::key::ObligationKey;
 use crate::time::SimTime;
@@ -89,10 +90,15 @@ struct Obj {
 }
 
 impl Obj {
-    fn new(at: SimTime, actor: u32, kind: &str) -> Self {
+    fn new(at: SimTime, actor: u32, session: u64, kind: &str) -> Self {
         let mut buf = String::with_capacity(96);
-        let _ =
-            write!(buf, "{{\"at\":{},\"actor\":{},\"kind\":\"{}\"", at.as_micros(), actor, kind);
+        let _ = write!(buf, "{{\"at\":{},\"actor\":{}", at.as_micros(), actor);
+        // Session 0 is elided so single-adaptation traces (including the
+        // pinned golden trace) keep their pre-fleet byte-for-byte form.
+        if session != 0 {
+            let _ = write!(buf, ",\"session\":{session}");
+        }
+        let _ = write!(buf, ",\"kind\":\"{kind}\"");
         Obj { buf }
     }
 
@@ -139,7 +145,7 @@ impl Obj {
 
 /// Encodes one event as a single JSON line (no trailing newline).
 pub fn encode_event(ev: &Event) -> String {
-    let o = |kind: &str| Obj::new(ev.at, ev.actor, kind);
+    let o = |kind: &str| Obj::new(ev.at, ev.actor, ev.session, kind);
     match &ev.payload {
         Payload::Net(n) => match n {
             NetEvent::Sent { from, to } => {
@@ -249,6 +255,30 @@ pub fn encode_event(ev: &Event) -> String {
             PlanEvent::PathsExhausted { returning_to_source } => {
                 o("plan.exhausted").boolean("to_source", *returning_to_source).finish()
             }
+        },
+        Payload::Fleet(fl) => match fl {
+            FleetEvent::SessionSubmitted { session, resources } => o("fleet.submitted")
+                .num("id", *session)
+                .num("resources", u64::from(*resources))
+                .finish(),
+            FleetEvent::SessionAdmitted { session, queued_for } => {
+                o("fleet.admitted").num("id", *session).num("queued_for", *queued_for).finish()
+            }
+            FleetEvent::SessionQueued { session, position } => {
+                o("fleet.queued").num("id", *session).num("position", u64::from(*position)).finish()
+            }
+            FleetEvent::SessionCancelled { session } => {
+                o("fleet.cancelled").num("id", *session).finish()
+            }
+            FleetEvent::SessionDone { session, success, gave_up } => o("fleet.done")
+                .num("id", *session)
+                .boolean("success", *success)
+                .boolean("gave_up", *gave_up)
+                .finish(),
+            FleetEvent::ControlRestored { active, queued } => o("fleet.restored")
+                .num("active", u64::from(*active))
+                .num("queued", u64::from(*queued))
+                .finish(),
         },
     }
 }
@@ -602,9 +632,33 @@ pub fn decode_event(line: &str) -> Result<Event, String> {
         "plan.exhausted" => Payload::Plan(PlanEvent::PathsExhausted {
             returning_to_source: f.boolean("to_source")?,
         }),
+        "fleet.submitted" => Payload::Fleet(FleetEvent::SessionSubmitted {
+            session: f.num("id")?,
+            resources: f.num("resources")? as u32,
+        }),
+        "fleet.admitted" => Payload::Fleet(FleetEvent::SessionAdmitted {
+            session: f.num("id")?,
+            queued_for: f.num("queued_for")?,
+        }),
+        "fleet.queued" => Payload::Fleet(FleetEvent::SessionQueued {
+            session: f.num("id")?,
+            position: f.num("position")? as u32,
+        }),
+        "fleet.cancelled" => Payload::Fleet(FleetEvent::SessionCancelled { session: f.num("id")? }),
+        "fleet.done" => Payload::Fleet(FleetEvent::SessionDone {
+            session: f.num("id")?,
+            success: f.boolean("success")?,
+            gave_up: f.boolean("gave_up")?,
+        }),
+        "fleet.restored" => Payload::Fleet(FleetEvent::ControlRestored {
+            active: f.num("active")? as u32,
+            queued: f.num("queued")? as u32,
+        }),
         other => return Err(format!("unknown event kind {other:?}")),
     };
-    Ok(Event { at, actor, payload })
+    // Pre-fleet traces carry no session key; they decode as session 0.
+    let session = f.opt_num("session")?.unwrap_or(0);
+    Ok(Event { at, actor, session, payload })
 }
 
 /// Decodes a whole `.jsonl` trace (blank lines and `#` comments skipped).
@@ -725,8 +779,54 @@ mod tests {
             Payload::Plan(PlanEvent::PathsExhausted { returning_to_source: true }),
         ];
         for (i, payload) in cases.into_iter().enumerate() {
-            round_trip(Event { at: SimTime::from_micros(i as u64 * 17), actor: i as u32, payload });
+            round_trip(Event {
+                at: SimTime::from_micros(i as u64 * 17),
+                actor: i as u32,
+                session: (i as u64) % 3,
+                payload,
+            });
         }
+    }
+
+    #[test]
+    fn fleet_variants_round_trip() {
+        let cases: Vec<Payload> = vec![
+            Payload::Fleet(FleetEvent::SessionSubmitted { session: 4, resources: 6 }),
+            Payload::Fleet(FleetEvent::SessionAdmitted { session: 4, queued_for: 12_500 }),
+            Payload::Fleet(FleetEvent::SessionQueued { session: 9, position: 2 }),
+            Payload::Fleet(FleetEvent::SessionCancelled { session: 9 }),
+            Payload::Fleet(FleetEvent::SessionDone { session: 4, success: true, gave_up: false }),
+            Payload::Fleet(FleetEvent::ControlRestored { active: 3, queued: 2 }),
+        ];
+        for (i, payload) in cases.into_iter().enumerate() {
+            round_trip(Event {
+                at: SimTime::from_micros(i as u64),
+                actor: 0,
+                session: i as u64,
+                payload,
+            });
+        }
+    }
+
+    #[test]
+    fn session_zero_is_elided_and_decodes_back() {
+        let ev = Event {
+            at: SimTime::from_micros(5),
+            actor: 1,
+            session: 0,
+            payload: Payload::Net(NetEvent::Crashed),
+        };
+        let line = encode_event(&ev);
+        assert!(!line.contains("session"), "session 0 must be elided: {line}");
+        assert_eq!(decode_event(&line).unwrap(), ev);
+        // A pre-fleet line (no session key anywhere) decodes as session 0.
+        let old = "{\"at\":5,\"actor\":1,\"kind\":\"net.crashed\"}";
+        assert_eq!(decode_event(old).unwrap(), ev);
+        // And a tagged line carries its session through.
+        let tagged = Event { session: 7, ..ev };
+        let line = encode_event(&tagged);
+        assert!(line.contains("\"session\":7"), "{line}");
+        assert_eq!(decode_event(&line).unwrap(), tagged);
     }
 
     #[test]
@@ -734,13 +834,19 @@ mod tests {
         round_trip(Event {
             at: SimTime::ZERO,
             actor: NO_ACTOR,
+            session: 0,
             payload: Payload::Net(NetEvent::Crashed),
         });
     }
 
     #[test]
     fn decode_lines_skips_comments_and_blanks() {
-        let ev = Event { at: SimTime::ZERO, actor: 0, payload: Payload::Net(NetEvent::Crashed) };
+        let ev = Event {
+            at: SimTime::ZERO,
+            actor: 0,
+            session: 0,
+            payload: Payload::Net(NetEvent::Crashed),
+        };
         let text = format!("# header\n\n{}\n  \n{}\n", encode_event(&ev), encode_event(&ev));
         let events = decode_lines(&text).unwrap();
         assert_eq!(events, vec![ev.clone(), ev]);
@@ -763,6 +869,7 @@ mod tests {
         round_trip(Event {
             at: SimTime::from_micros(1),
             actor: 0,
+            session: 0,
             payload: Payload::Audit(AuditEvent::InAction {
                 label: "näive → übergang".into(),
                 comps: vec![],
@@ -776,6 +883,7 @@ mod tests {
         let ev = Event {
             at: SimTime::from_micros(3),
             actor: 1,
+            session: 0,
             payload: Payload::Net(NetEvent::Restarted),
         };
         sink.accept(&ev);

@@ -19,6 +19,10 @@ use crate::time::SimTime;
 /// process (e.g. harness-level audit adjudication).
 pub const NO_ACTOR: u32 = u32::MAX;
 
+/// Sentinel session value for events outside any adaptation session (and
+/// for every event of a single-adaptation run, which predates sessions).
+pub const NO_SESSION: u64 = 0;
+
 /// One timestamped, attributed occurrence on the unified bus.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Event {
@@ -27,6 +31,12 @@ pub struct Event {
     /// Dense index of the acting process (`ActorId::index()`), or
     /// [`NO_ACTOR`] when no single process is responsible.
     pub actor: u32,
+    /// Adaptation session the event belongs to, or [`NO_SESSION`].
+    /// Producers below the control plane stay session-agnostic and emit 0;
+    /// the fleet layer stamps sessions via [`Bus::scoped`].
+    ///
+    /// [`Bus::scoped`]: crate::Bus::scoped
+    pub session: u64,
     /// What happened, tagged by the layer that observed it.
     pub payload: Payload,
 }
@@ -50,6 +60,9 @@ pub enum Payload {
     /// Planning decisions (path selection and exhaustion) emitted by the
     /// manager when it consults the planner.
     Plan(PlanEvent),
+    /// Control-plane scheduling occurrences (session admission, queueing,
+    /// cancellation, completion) emitted by `sada-fleet`.
+    Fleet(FleetEvent),
 }
 
 /// What the network substrate observed.
@@ -305,6 +318,60 @@ pub enum TemporalEvent {
     SafePoint {
         /// Position in the consumed event stream.
         index: u64,
+    },
+}
+
+/// What the adaptation control plane's scheduler observed. These events
+/// carry the session explicitly (besides the [`Event::session`] stamp) so a
+/// decoded trace line is self-describing even in isolation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FleetEvent {
+    /// An adaptation request entered the control plane and had its
+    /// collaborative-set scope computed.
+    SessionSubmitted {
+        /// The session's identifier.
+        session: u64,
+        /// Number of lock resources (components + hosting agents) in scope.
+        resources: u32,
+    },
+    /// The scope-lock manager granted the session's scope and its embedded
+    /// manager core started planning/executing.
+    SessionAdmitted {
+        /// The session's identifier.
+        session: u64,
+        /// Microseconds spent queued behind conflicting sessions (0 when
+        /// admitted immediately).
+        queued_for: u64,
+    },
+    /// The session's scope conflicted with a held or earlier-queued scope;
+    /// it joined the wait queue.
+    SessionQueued {
+        /// The session's identifier.
+        session: u64,
+        /// 0-based position in the wait queue at enqueue time.
+        position: u32,
+    },
+    /// A queued session was cancelled before ever being admitted.
+    SessionCancelled {
+        /// The session's identifier.
+        session: u64,
+    },
+    /// The session reached an outcome and released its scope.
+    SessionDone {
+        /// The session's identifier.
+        session: u64,
+        /// Target configuration reached.
+        success: bool,
+        /// Stranded at a safe intermediate configuration awaiting the user.
+        gave_up: bool,
+    },
+    /// A restarted control plane rebuilt its sessions from the fleet
+    /// journal.
+    ControlRestored {
+        /// In-flight sessions restored with live manager cores.
+        active: u32,
+        /// Queued sessions re-admitted to the wait queue.
+        queued: u32,
     },
 }
 

@@ -37,8 +37,8 @@ mod time;
 pub use bus::{Bus, Sink};
 pub use codec::{decode_event, decode_lines, encode_event, JsonlSink};
 pub use event::{
-    AgentStateTag, Event, ManagerPhaseTag, NetEvent, Payload, PlanEvent, ProtoEvent, TemporalEvent,
-    NO_ACTOR,
+    AgentStateTag, Event, FleetEvent, ManagerPhaseTag, NetEvent, Payload, PlanEvent, ProtoEvent,
+    TemporalEvent, NO_ACTOR, NO_SESSION,
 };
 pub use key::{ObligationKey, SegmentEdge};
 pub use metrics::Metrics;

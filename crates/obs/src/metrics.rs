@@ -61,6 +61,8 @@ pub struct Metrics {
     pub state_reports: u64,
     /// Audit-layer events observed.
     pub audit_events: u64,
+    /// Control-plane (fleet scheduling) events observed.
+    pub fleet_events: u64,
     /// Virtual time between the first and last event in the stream.
     pub span: SimDuration,
 }
@@ -108,6 +110,7 @@ impl Metrics {
                 Payload::Audit(_) => m.audit_events += 1,
                 Payload::Temporal(_) => {}
                 Payload::Plan(_) => {}
+                Payload::Fleet(_) => m.fleet_events += 1,
             }
         }
         // Close any interval still open at the end of the stream (an agent
@@ -156,6 +159,7 @@ mod tests {
         Event {
             at: SimTime::from_micros(at),
             actor,
+            session: 0,
             payload: Payload::Proto(ProtoEvent::AgentState { from, to, step: Some(1) }),
         }
     }
@@ -187,35 +191,23 @@ mod tests {
     #[test]
     fn counts_follow_the_stream() {
         let at = SimTime::from_micros(5);
+        let ev = |actor: u32, payload: Payload| Event { at, actor, session: 0, payload };
         let events = vec![
-            Event { at, actor: 0, payload: Payload::Net(NetEvent::Sent { from: 0, to: 1 }) },
-            Event { at, actor: 1, payload: Payload::Net(NetEvent::Delivered { from: 0, to: 1 }) },
-            Event { at, actor: 1, payload: Payload::Net(NetEvent::Dropped { from: 0, to: 1 }) },
-            Event {
-                at,
-                actor: 0,
-                payload: Payload::Proto(ProtoEvent::StepStarted {
-                    step: 1,
-                    solo: true,
-                    participants: 1,
-                }),
-            },
-            Event { at, actor: 0, payload: Payload::Proto(ProtoEvent::StepCommitted { step: 1 }) },
-            Event {
-                at,
-                actor: 0,
-                payload: Payload::Proto(ProtoEvent::TimeoutFired {
+            ev(0, Payload::Net(NetEvent::Sent { from: 0, to: 1 })),
+            ev(1, Payload::Net(NetEvent::Delivered { from: 0, to: 1 })),
+            ev(1, Payload::Net(NetEvent::Dropped { from: 0, to: 1 })),
+            ev(0, Payload::Proto(ProtoEvent::StepStarted { step: 1, solo: true, participants: 1 })),
+            ev(0, Payload::Proto(ProtoEvent::StepCommitted { step: 1 })),
+            ev(
+                0,
+                Payload::Proto(ProtoEvent::TimeoutFired {
                     phase: crate::event::ManagerPhaseTag::Adapting,
                     step: Some(1),
                     retries: 1,
                 }),
-            },
-            Event {
-                at,
-                actor: 0,
-                payload: Payload::Proto(ProtoEvent::RetrySent { step: 1, resends: 2 }),
-            },
-            Event { at, actor: 0, payload: Payload::Proto(ProtoEvent::RollbackIssued { step: 1 }) },
+            ),
+            ev(0, Payload::Proto(ProtoEvent::RetrySent { step: 1, resends: 2 })),
+            ev(0, Payload::Proto(ProtoEvent::RollbackIssued { step: 1 })),
         ];
         let m = Metrics::from_events(&events);
         assert_eq!((m.sent, m.delivered, m.dropped), (1, 1, 1));

@@ -88,6 +88,8 @@ pub struct CounterSink {
     pub temporal: u64,
     /// Planning-layer events.
     pub plan: u64,
+    /// Control-plane (fleet scheduling) events.
+    pub fleet: u64,
 }
 
 impl CounterSink {
@@ -113,6 +115,7 @@ impl Sink for CounterSink {
             Payload::Audit(_) => self.audit += 1,
             Payload::Temporal(_) => self.temporal += 1,
             Payload::Plan(_) => self.plan += 1,
+            Payload::Fleet(_) => self.fleet += 1,
         }
     }
 }
@@ -167,7 +170,7 @@ mod tests {
     use sada_expr::CompId;
 
     fn ev(at: u64, payload: Payload) -> Event {
-        Event { at: SimTime::from_micros(at), actor: 0, payload }
+        Event { at: SimTime::from_micros(at), actor: 0, session: 0, payload }
     }
 
     #[test]

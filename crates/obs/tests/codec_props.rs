@@ -5,8 +5,8 @@ use proptest::prelude::*;
 
 use sada_expr::{CompId, Config};
 use sada_obs::{
-    decode_event, encode_event, AgentStateTag, AuditEvent, Event, ManagerPhaseTag, NetEvent,
-    ObligationKey, Payload, PlanEvent, ProtoEvent, RingSink, SegmentEdge, SimTime, Sink,
+    decode_event, encode_event, AgentStateTag, AuditEvent, Event, FleetEvent, ManagerPhaseTag,
+    NetEvent, ObligationKey, Payload, PlanEvent, ProtoEvent, RingSink, SegmentEdge, SimTime, Sink,
     TemporalEvent,
 };
 
@@ -126,21 +126,39 @@ fn arb_payload() -> impl Strategy<Value = Payload> {
             any::<bool>()
                 .prop_map(|returning_to_source| PlanEvent::PathsExhausted { returning_to_source }),
         ];
+    let fleet = prop_oneof![
+        (0u64..100, 0u32..32)
+            .prop_map(|(session, resources)| FleetEvent::SessionSubmitted { session, resources }),
+        (0u64..100, any::<u64>())
+            .prop_map(|(session, queued_for)| FleetEvent::SessionAdmitted { session, queued_for }),
+        (0u64..100, 0u32..16)
+            .prop_map(|(session, position)| FleetEvent::SessionQueued { session, position }),
+        (0u64..100).prop_map(|session| FleetEvent::SessionCancelled { session }),
+        (0u64..100, any::<bool>(), any::<bool>()).prop_map(|(session, success, gave_up)| {
+            FleetEvent::SessionDone { session, success, gave_up }
+        }),
+        (0u32..64, 0u32..64)
+            .prop_map(|(active, queued)| FleetEvent::ControlRestored { active, queued }),
+    ];
     prop_oneof![
         net.prop_map(Payload::Net),
         proto.prop_map(Payload::Proto),
         audit.prop_map(Payload::Audit),
         temporal.prop_map(Payload::Temporal),
         plan.prop_map(Payload::Plan),
+        fleet.prop_map(Payload::Fleet),
     ]
 }
 
 fn arb_event() -> impl Strategy<Value = Event> {
-    (any::<u64>(), any::<u32>(), arb_payload()).prop_map(|(at, actor, payload)| Event {
-        at: SimTime::from_micros(at),
-        actor,
-        payload,
-    })
+    (any::<u64>(), any::<u32>(), 0u64..10, arb_payload()).prop_map(
+        |(at, actor, session, payload)| Event {
+            at: SimTime::from_micros(at),
+            actor,
+            session,
+            payload,
+        },
+    )
 }
 
 proptest! {

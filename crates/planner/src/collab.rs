@@ -102,16 +102,66 @@ pub fn scope_for(
     source: &Config,
     target: &Config,
 ) -> Vec<CompId> {
-    let sets = collaborative_sets(u, inv, actions);
-    let changed: BTreeSet<CompId> =
-        source.difference(target).iter().chain(target.difference(source).iter()).collect();
-    let mut scope = BTreeSet::new();
-    for set in &sets {
-        if set.iter().any(|id| changed.contains(id)) {
-            scope.extend(set.iter().copied());
+    CollabIndex::new(u, inv, actions).scope_for(source, target)
+}
+
+/// The collaborative-set partition, precomputed for repeated scope queries.
+///
+/// A control plane admitting many adaptation sessions needs the scope of
+/// each request; rebuilding the union-find per request is O(universe) every
+/// time. The index pays that once and answers each query in time
+/// proportional to the scope it returns. It also answers the scheduling
+/// question directly: two sessions may run concurrently iff their scopes
+/// share no set ([`CollabIndex::set_of`] gives the set id to compare on).
+#[derive(Debug, Clone)]
+pub struct CollabIndex {
+    /// The partition, sorted by smallest member (as [`collaborative_sets`]).
+    sets: Vec<Vec<CompId>>,
+    /// Dense component index → index into `sets`.
+    set_of: Vec<usize>,
+}
+
+impl CollabIndex {
+    /// Builds the index for the given invariants and action repertoire.
+    pub fn new(u: &Universe, inv: &InvariantSet, actions: &[Action]) -> Self {
+        let sets = collaborative_sets(u, inv, actions);
+        let mut set_of = vec![0; u.len()];
+        for (ix, set) in sets.iter().enumerate() {
+            for id in set {
+                set_of[id.index()] = ix;
+            }
         }
+        CollabIndex { sets, set_of }
     }
-    scope.into_iter().collect()
+
+    /// The partition itself, sorted by smallest member.
+    pub fn sets(&self) -> &[Vec<CompId>] {
+        &self.sets
+    }
+
+    /// Index (into [`CollabIndex::sets`]) of the set containing `comp`.
+    pub fn set_of(&self, comp: CompId) -> usize {
+        self.set_of[comp.index()]
+    }
+
+    /// Members of set `ix`, sorted.
+    pub fn members(&self, ix: usize) -> &[CompId] {
+        &self.sets[ix]
+    }
+
+    /// Expands arbitrary components to the union of their full sets
+    /// (sorted, deduplicated) — the scope of an adaptation known only by
+    /// the components it names.
+    pub fn expand(&self, comps: impl IntoIterator<Item = CompId>) -> Vec<CompId> {
+        let set_ids: BTreeSet<usize> = comps.into_iter().map(|c| self.set_of(c)).collect();
+        set_ids.into_iter().flat_map(|ix| self.sets[ix].iter().copied()).collect()
+    }
+
+    /// The scope of a `source → target` adaptation: the changed components
+    /// expanded to full sets (equivalent to the free function [`scope_for`]).
+    pub fn scope_for(&self, source: &Config, target: &Config) -> Vec<CompId> {
+        self.expand(source.difference(target).iter().chain(target.difference(source).iter()))
+    }
 }
 
 #[cfg(test)]
@@ -186,6 +236,30 @@ mod tests {
         let inv = InvariantSet::parse(&["one_of(A, B)"], &mut u).unwrap();
         let cfg = u.config_of(&["A"]);
         assert!(scope_for(&u, &inv, &[], &cfg, &cfg).is_empty());
+    }
+
+    #[test]
+    fn index_matches_free_functions_and_expands_comps() {
+        let mut u = universe(&["LONER"]);
+        let inv =
+            InvariantSet::parse(&["one_of(A, B)", "one_of(C, D)", "one_of(E, F)"], &mut u).unwrap();
+        let ix = CollabIndex::new(&u, &inv, &[]);
+        assert_eq!(ix.sets(), collaborative_sets(&u, &inv, &[]).as_slice());
+        let src = u.config_of(&["A", "C", "E"]);
+        let dst = u.config_of(&["B", "C", "F"]);
+        assert_eq!(ix.scope_for(&src, &dst), scope_for(&u, &inv, &[], &src, &dst));
+        // Same-set components collapse to one set; distinct sets union.
+        let a = u.id("A").unwrap();
+        let b = u.id("B").unwrap();
+        let c = u.id("C").unwrap();
+        assert_eq!(ix.set_of(a), ix.set_of(b));
+        assert_ne!(ix.set_of(a), ix.set_of(c));
+        assert_eq!(ix.expand([a, b]), vec![a, b]);
+        assert_eq!(ix.expand([a, c]).len(), 4);
+        assert_eq!(ix.members(ix.set_of(a)), &[a, b]);
+        // A singleton expands to itself.
+        let loner = u.id("LONER").unwrap();
+        assert_eq!(ix.expand([loner]), vec![loner]);
     }
 
     #[test]

@@ -44,5 +44,6 @@ mod sag;
 mod yen;
 
 pub use action::{Action, ActionId};
+pub use collab::CollabIndex;
 pub use path::{Path, PathStep};
 pub use sag::{Edge, Sag};

@@ -25,7 +25,7 @@ use std::fmt;
 use sada_expr::Config;
 use sada_plan::ActionId;
 
-use crate::messages::StepId;
+use crate::messages::{SessionId, StepId};
 
 /// One durable manager decision point, in the order it was taken.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -232,6 +232,78 @@ fn parse_record(line: &str) -> Result<JournalRecord, String> {
     }
 }
 
+/// One journal record tagged with the adaptation session it belongs to.
+///
+/// The fleet control plane interleaves every session's decision points into
+/// a single durable journal (append order is the decision order, which
+/// restore needs for requeue ordering); partitioning the records by session
+/// recovers each session's plain `Vec<JournalRecord>` for
+/// [`ManagerCore::restore`](crate::ManagerCore::restore).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionRecord {
+    /// The session the record belongs to ([`SessionId::SOLO`] outside the
+    /// control plane).
+    pub session: SessionId,
+    /// The decision point.
+    pub record: JournalRecord,
+}
+
+impl From<JournalRecord> for SessionRecord {
+    fn from(record: JournalRecord) -> Self {
+        SessionRecord { session: SessionId::SOLO, record }
+    }
+}
+
+impl fmt::Display for SessionRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Session 0 is elided, so a solo journal is byte-identical to the
+        // pre-fleet text form; and because `parse_record` ignores unknown
+        // `key=value` fields, the pre-fleet parser still reads tagged lines
+        // (it just drops the tag). Both directions stay compatible.
+        self.record.fmt(f)?;
+        if self.session != SessionId::SOLO {
+            write!(f, " session={}", self.session.0)?;
+        }
+        Ok(())
+    }
+}
+
+/// Serializes a session-tagged journal to its line-oriented text form.
+pub fn encode_session_journal(records: &[SessionRecord]) -> String {
+    let mut out = String::new();
+    for r in records {
+        out.push_str(&r.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses the text form produced by [`encode_session_journal`]. Lines
+/// without a `session=` field — i.e. every pre-fleet journal — parse as
+/// [`SessionId::SOLO`]. Blank lines and `#` comments are ignored.
+pub fn parse_session_journal(text: &str) -> Result<Vec<SessionRecord>, String> {
+    let mut records = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        records.push(parse_session_record(line).map_err(|e| format!("line {}: {e}", lineno + 1))?);
+    }
+    Ok(records)
+}
+
+fn parse_session_record(line: &str) -> Result<SessionRecord, String> {
+    let record = parse_record(line)?;
+    let mut session = SessionId::SOLO;
+    for w in line.split_whitespace().skip(1) {
+        if let Some(v) = w.strip_prefix("session=") {
+            session = SessionId(v.parse::<u64>().map_err(|e| format!("field 'session': {e}"))?);
+        }
+    }
+    Ok(SessionRecord { session, record })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -327,12 +399,60 @@ mod tests {
         ]
     }
 
+    #[test]
+    fn old_sessionless_lines_parse_as_session_zero() {
+        let records = sample();
+        // A pre-fleet journal (no session fields anywhere) read by the new
+        // parser: every record lands in session 0.
+        let old_text = encode_journal(&records);
+        let tagged = parse_session_journal(&old_text).unwrap();
+        assert!(tagged.iter().all(|r| r.session == SessionId::SOLO));
+        assert_eq!(tagged.iter().map(|r| r.record.clone()).collect::<Vec<_>>(), records);
+        // And a solo session-tagged journal encodes byte-identically to the
+        // pre-fleet form.
+        let solo: Vec<SessionRecord> = records.into_iter().map(SessionRecord::from).collect();
+        assert_eq!(encode_session_journal(&solo), old_text);
+    }
+
+    #[test]
+    fn old_parser_reads_tagged_lines_by_dropping_the_tag() {
+        let tagged: Vec<SessionRecord> = sample()
+            .into_iter()
+            .enumerate()
+            .map(|(i, record)| SessionRecord { session: SessionId(i as u64 % 3), record })
+            .collect();
+        let text = encode_session_journal(&tagged);
+        // Forward compatibility: the session-less parser accepts the tagged
+        // text, ignoring the unknown field.
+        let stripped = parse_journal(&text).unwrap();
+        assert_eq!(stripped, tagged.iter().map(|r| r.record.clone()).collect::<Vec<_>>());
+    }
+
+    fn arb_session_record() -> impl Strategy<Value = SessionRecord> {
+        (0u64..9, arb_record())
+            .prop_map(|(s, record)| SessionRecord { session: SessionId(s), record })
+    }
+
     proptest! {
         #[test]
         fn every_journal_round_trips(records in proptest::collection::vec(arb_record(), 0..40)) {
             let text = encode_journal(&records);
             let parsed = parse_journal(&text).unwrap();
             prop_assert_eq!(records, parsed);
+        }
+
+        #[test]
+        fn every_session_journal_round_trips(
+            records in proptest::collection::vec(arb_session_record(), 0..40),
+        ) {
+            let text = encode_session_journal(&records);
+            let parsed = parse_session_journal(&text).unwrap();
+            prop_assert_eq!(&records, &parsed);
+            // The session-less view of the same text is the record column.
+            let stripped = parse_journal(&text).unwrap();
+            let expected: Vec<JournalRecord> =
+                records.iter().map(|r| r.record.clone()).collect();
+            prop_assert_eq!(stripped, expected);
         }
     }
 }

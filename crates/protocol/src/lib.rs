@@ -71,12 +71,15 @@ mod relay;
 mod sim;
 
 pub use agent::{state_tag as agent_state_tag, AgentCore, AgentEffect, AgentEvent, AgentState};
-pub use journal::{encode_journal, parse_journal, JournalRecord};
+pub use journal::{
+    encode_journal, encode_session_journal, parse_journal, parse_session_journal, JournalRecord,
+    SessionRecord,
+};
 pub use manager::{
     AdaptationPlanner, ManagerCore, ManagerEffect, ManagerEvent, ManagerPhase, Outcome,
     PlannedStep, ProtoTiming,
 };
-pub use messages::{LocalAction, ProtoMsg, StepId, Wire};
+pub use messages::{LocalAction, ProtoMsg, SessionId, StepId, Wire};
 pub use plan_adapter::SagPlanner;
 pub use relay::RelayActor;
 pub use sim::{AgentTiming, ManagerActor, ScriptedAgent};

@@ -5,6 +5,27 @@ use std::fmt;
 use sada_expr::CompId;
 use sada_plan::ActionId;
 
+/// Identifies one adaptation session at the fleet control plane.
+///
+/// The single-adaptation stack predates sessions; everything it does runs
+/// as [`SessionId::SOLO`] (session 0), which the journal text codec and the
+/// JSONL trace codec both elide so pre-fleet artifacts stay byte-identical.
+/// The control plane in `sada-fleet` allocates nonzero ids, one per
+/// admitted adaptation request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SessionId(pub u64);
+
+impl SessionId {
+    /// The implicit session of a single-adaptation run.
+    pub const SOLO: SessionId = SessionId(0);
+}
+
+impl fmt::Display for SessionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "session#{}", self.0)
+    }
+}
+
 /// Identifies one *execution attempt* of one adaptation step.
 ///
 /// Retried steps get fresh ids so stale acknowledgements from an earlier
@@ -170,6 +191,12 @@ pub enum Wire<M> {
     Proto {
         /// Sender's incarnation number.
         epoch: u64,
+        /// Adaptation session the message belongs to. Manager-side senders
+        /// stamp their session; agents echo the session of the step they
+        /// are engaged in, so a control plane hosting many sessions can
+        /// route each reply to the right embedded manager core.
+        /// [`SessionId::SOLO`] everywhere in single-adaptation runs.
+        session: SessionId,
         /// The protocol message.
         msg: ProtoMsg,
     },
@@ -243,10 +270,27 @@ mod tests {
     fn wire_multiplexes() {
         let w: Wire<u32> = Wire::App(7);
         assert_eq!(w, Wire::App(7));
-        let p: Wire<u32> = Wire::Proto { epoch: 0, msg: ProtoMsg::ResetDone { step: StepId(1) } };
+        let p: Wire<u32> = Wire::Proto {
+            epoch: 0,
+            session: SessionId::SOLO,
+            msg: ProtoMsg::ResetDone { step: StepId(1) },
+        };
         assert!(matches!(p, Wire::Proto { .. }));
         // Same message under a later incarnation is a different wire value.
-        let p1: Wire<u32> = Wire::Proto { epoch: 1, msg: ProtoMsg::ResetDone { step: StepId(1) } };
+        let p1: Wire<u32> = Wire::Proto {
+            epoch: 1,
+            session: SessionId::SOLO,
+            msg: ProtoMsg::ResetDone { step: StepId(1) },
+        };
         assert_ne!(p, p1);
+        // And so is the same message under a different session.
+        let p2: Wire<u32> = Wire::Proto {
+            epoch: 0,
+            session: SessionId(3),
+            msg: ProtoMsg::ResetDone { step: StepId(1) },
+        };
+        assert_ne!(p, p2);
+        assert_eq!(SessionId(3).to_string(), "session#3");
+        assert_eq!(SessionId::default(), SessionId::SOLO);
     }
 }

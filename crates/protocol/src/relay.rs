@@ -135,6 +135,7 @@ mod tests {
             relay,
             Wire::Proto {
                 epoch: 0,
+                session: crate::messages::SessionId::SOLO,
                 msg: crate::messages::ProtoMsg::ResetDone { step: crate::messages::StepId(1) },
             },
             SimDuration::ZERO,
@@ -165,7 +166,11 @@ mod tests {
         sim.inject(
             up,
             relay,
-            Wire::Proto { epoch: 1, msg: crate::messages::ProtoMsg::QueryState },
+            Wire::Proto {
+                epoch: 1,
+                session: crate::messages::SessionId::SOLO,
+                msg: crate::messages::ProtoMsg::QueryState,
+            },
             SimDuration::ZERO,
         );
         sim.inject(
@@ -173,6 +178,7 @@ mod tests {
             relay,
             Wire::Proto {
                 epoch: 1,
+                session: crate::messages::SessionId::SOLO,
                 msg: crate::messages::ProtoMsg::StateReport {
                     engaged: None,
                     adapted: false,

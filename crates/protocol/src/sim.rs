@@ -19,7 +19,7 @@ use crate::journal::JournalRecord;
 use crate::manager::{
     AdaptationPlanner, ManagerCore, ManagerEffect, ManagerEvent, Outcome, PlannedStep, ProtoTiming,
 };
-use crate::messages::{LocalAction, Wire};
+use crate::messages::{LocalAction, SessionId, Wire};
 
 /// Placeholder planner installed while the real planner is carried across a
 /// manager restart (never consulted).
@@ -160,13 +160,16 @@ impl<M> ManagerActor<M> {
         if self.bus.has_sinks() {
             let (at, actor) = (ctx.now(), ctx.self_id().index() as u32);
             for payload in obs {
-                self.bus.emit(sada_obs::Event { at, actor, payload });
+                self.bus.emit(sada_obs::Event { at, actor, session: 0, payload });
             }
         }
         for eff in effects {
             match eff {
                 ManagerEffect::Send { agent, msg } => {
-                    ctx.send(self.agents[agent], Wire::Proto { epoch: self.epoch, msg });
+                    ctx.send(
+                        self.agents[agent],
+                        Wire::Proto { epoch: self.epoch, session: SessionId::SOLO, msg },
+                    );
                 }
                 ManagerEffect::SetTimer { token, after } => {
                     let id = ctx.set_timer(after, token);
@@ -205,7 +208,7 @@ impl<M: Clone + 'static> Actor<Wire<M>> for ManagerActor<M> {
 
     fn on_message(&mut self, ctx: &mut Context<'_, Wire<M>>, from: ActorId, msg: Wire<M>) {
         match msg {
-            Wire::Proto { epoch, msg: p } => {
+            Wire::Proto { epoch, msg: p, .. } => {
                 if let Some(&agent) = self.actor_to_agent.get(&from) {
                     let seen = self.agent_epochs.entry(from).or_insert(0);
                     if epoch < *seen {
@@ -348,6 +351,11 @@ pub struct ScriptedAgent {
     rejoin_budget: u32,
     pending_action: Option<LocalAction>,
     pending_rollback: Option<LocalAction>,
+    /// Last session seen on incoming protocol traffic; echoed on every
+    /// outgoing message (and stamped on bus events) so a multi-session
+    /// control plane can route this agent's replies. Stays
+    /// [`SessionId::SOLO`] under a single-session manager.
+    session: SessionId,
     bus: Bus,
 }
 
@@ -367,6 +375,7 @@ impl ScriptedAgent {
             rejoin_budget: 0,
             pending_action: None,
             pending_rollback: None,
+            session: SessionId::SOLO,
             bus: Bus::new(),
         }
     }
@@ -388,12 +397,18 @@ impl ScriptedAgent {
         self.epoch
     }
 
+    /// The session this agent last worked under (for routing assertions).
+    pub fn session(&self) -> SessionId {
+        self.session
+    }
+
     fn send_rejoin<M: Clone + 'static>(&mut self, ctx: &mut Context<'_, Wire<M>>) {
         self.rejoins_sent += 1;
         ctx.send(
             self.manager,
             Wire::Proto {
                 epoch: self.epoch,
+                session: self.session,
                 msg: crate::messages::ProtoMsg::Rejoin {
                     last_completed: self.core.last_completed(),
                 },
@@ -411,14 +426,15 @@ impl ScriptedAgent {
         if self.bus.has_sinks() {
             let (at, actor) = (ctx.now(), ctx.self_id().index() as u32);
             for payload in obs {
-                self.bus.emit(sada_obs::Event { at, actor, payload });
+                self.bus.emit(sada_obs::Event { at, actor, session: self.session.0, payload });
             }
         }
         for eff in effects {
             match eff {
-                AgentEffect::Send(msg) => {
-                    ctx.send(self.manager, Wire::Proto { epoch: self.epoch, msg })
-                }
+                AgentEffect::Send(msg) => ctx.send(
+                    self.manager,
+                    Wire::Proto { epoch: self.epoch, session: self.session, msg },
+                ),
                 AgentEffect::PreAction(_) => {}
                 AgentEffect::BeginReset(la) => {
                     // Reaching the safe state takes time — more when the
@@ -451,11 +467,14 @@ impl ScriptedAgent {
 
 impl<M: Clone + 'static> Actor<Wire<M>> for ScriptedAgent {
     fn on_message(&mut self, ctx: &mut Context<'_, Wire<M>>, _from: ActorId, msg: Wire<M>) {
-        if let Wire::Proto { epoch, msg: p } = msg {
+        if let Wire::Proto { epoch, session, msg: p } = msg {
             if epoch < self.manager_epoch {
                 return; // residue from a previous manager incarnation
             }
             self.manager_epoch = epoch;
+            // Adopt the sender's session so replies (and this agent's bus
+            // events) are tagged with the adaptation they belong to.
+            self.session = session;
             let eff = self.core.on_event(AgentEvent::Msg(p));
             self.apply(ctx, eff);
             if self.core.state() != crate::AgentState::Running {
@@ -490,13 +509,17 @@ impl<M: Clone + 'static> Actor<Wire<M>> for ScriptedAgent {
         // ordinary transition; emit one so per-phase interval integration
         // closes the dead incarnation's phase at the restart instant.
         if prev != crate::AgentState::Running {
-            self.bus.publish(ctx.now(), ctx.self_id().index() as u32, || {
-                sada_obs::Payload::Proto(sada_obs::ProtoEvent::AgentState {
-                    from: crate::agent::state_tag(prev),
-                    to: sada_obs::AgentStateTag::Running,
-                    step: None,
-                })
-            });
+            self.bus.scoped(self.session.0).publish(
+                ctx.now(),
+                ctx.self_id().index() as u32,
+                || {
+                    sada_obs::Payload::Proto(sada_obs::ProtoEvent::AgentState {
+                        from: crate::agent::state_tag(prev),
+                        to: sada_obs::AgentStateTag::Running,
+                        step: None,
+                    })
+                },
+            );
         }
         self.rejoin_budget = REJOIN_RETRIES;
         self.send_rejoin(ctx);

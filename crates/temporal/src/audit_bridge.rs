@@ -117,13 +117,19 @@ pub fn derive_temporal_events(stream: &[Event], comps: &[CompId]) -> Vec<Event> 
                 SegmentEdge::Start => TemporalEvent::ObligationOpened { key, cid },
                 SegmentEdge::End => TemporalEvent::ObligationDischarged { key, cid },
             };
-            out.push(Event { at: ev.at, actor: ev.actor, payload: Payload::Temporal(t) });
+            out.push(Event {
+                at: ev.at,
+                actor: ev.actor,
+                session: ev.session,
+                payload: Payload::Temporal(t),
+            });
         }
         let safe = monitor.step(&obls, &|_| false);
         if safe && !was_safe {
             out.push(Event {
                 at: ev.at,
                 actor: NO_ACTOR,
+                session: ev.session,
                 payload: Payload::Temporal(TemporalEvent::SafePoint { index: ix as u64 }),
             });
         }
@@ -170,11 +176,13 @@ mod tests {
             out.push(Event {
                 at: SimTime::from_millis(ix as u64),
                 actor: 0,
+                session: 0,
                 payload: Payload::Audit(a),
             });
             out.push(Event {
                 at: SimTime::from_millis(ix as u64),
                 actor: 1,
+                session: 0,
                 payload: Payload::Net(NetEvent::Sent { from: 1, to: 0 }),
             });
         }

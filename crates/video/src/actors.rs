@@ -7,8 +7,8 @@ use sada_expr::{CompId, Universe};
 use sada_meta::{FilterChain, Packet};
 use sada_obs::{AgentStateTag, Payload, ProtoEvent};
 use sada_proto::{
-    agent_state_tag, AgentCore, AgentEffect, AgentEvent, AgentState, LocalAction, ProtoMsg, StepId,
-    Wire,
+    agent_state_tag, AgentCore, AgentEffect, AgentEvent, AgentState, LocalAction, ProtoMsg,
+    SessionId, StepId, Wire,
 };
 use sada_simnet::{Actor, ActorId, Context, GroupId, SimDuration, SimTime, TimerId};
 
@@ -93,7 +93,7 @@ fn flush_agent_obs(agent: &mut AgentCore, audit: &AuditShared, ctx: &mut Context
     }
     let (at, actor) = (ctx.now(), ctx.self_id().index() as u32);
     for payload in obs {
-        bus.emit(sada_obs::Event { at, actor, payload });
+        bus.emit(sada_obs::Event { at, actor, session: 0, payload });
     }
 }
 
@@ -224,7 +224,7 @@ impl ServerActor {
                         let mgr = self.manager.expect("manager wired before protocol traffic");
                         // The server is not part of the crash-fault
                         // experiments; its incarnation never advances.
-                        ctx.send(mgr, Wire::Proto { epoch: 0, msg });
+                        ctx.send(mgr, Wire::Proto { epoch: 0, session: SessionId::SOLO, msg });
                     }
                     AgentEffect::PreAction(_) | AgentEffect::PostAction(_) => {}
                     AgentEffect::BeginReset(la) => {
@@ -461,6 +461,7 @@ impl ClientActor {
             mgr,
             Wire::Proto {
                 epoch: self.epoch,
+                session: SessionId::SOLO,
                 msg: ProtoMsg::Rejoin { last_completed: self.agent.last_completed() },
             },
         );
@@ -484,7 +485,10 @@ impl ClientActor {
                 match eff {
                     AgentEffect::Send(msg) => {
                         let mgr = self.manager.expect("manager wired before protocol traffic");
-                        ctx.send(mgr, Wire::Proto { epoch: self.epoch, msg });
+                        ctx.send(
+                            mgr,
+                            Wire::Proto { epoch: self.epoch, session: SessionId::SOLO, msg },
+                        );
                     }
                     AgentEffect::PreAction(_) | AgentEffect::PostAction(_) => {}
                     AgentEffect::BeginReset(la) => {
