@@ -40,4 +40,11 @@ cargo run -q --release -p sada-bench --bin report -- timeline 3 > /dev/null
 echo "==> fleet control-plane smoke (100 groups, concurrent sessions + crash/restore leg)"
 cargo run -q --release -p sada-bench --bin report -- fleet > /dev/null
 
+echo "==> planner hot-path smoke (sweep + pinned safety-check budget, no timing loops)"
+# Runs the 16/24/32-component sweep and its embedded assertions: compiled
+# kernels >= 5x fewer predicate evaluations at 24 components, and the
+# 16-component safety-check count within the budget pinned in
+# crates/bench/benches/bench_planning.rs. Fails the gate on regression.
+SADA_BENCH_SMOKE=1 cargo bench -q -p sada-bench --bench bench_planning > /dev/null
+
 echo "CI OK"

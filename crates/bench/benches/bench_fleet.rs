@@ -8,8 +8,10 @@
 //! of simulating a mid-size fleet (the scheduler + simulator overhead
 //! itself). Besides the criterion comparison, this bench writes
 //! `BENCH_fleet.json` at the repository root so the perf trajectory is
-//! recorded across PRs; the write asserts the headline claim — parallel
-//! throughput strictly above serial at every fleet size.
+//! recorded across PRs; the write asserts the headline claims — parallel
+//! throughput strictly above serial at every fleet size, and the fleet
+//! plan cache serving a majority of a disjoint wave's queries (hit rate
+//! above 50%) without changing the final configuration.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use sada_fleet::{disjoint_wave, run_fleet, FleetReport, FleetScenario};
@@ -70,6 +72,20 @@ fn write_bench_json() {
             tp > ts,
             "scope-parallel throughput must beat serial at {groups} groups ({tp:.1} vs {ts:.1})"
         );
+        // A disjoint wave poses one planning problem n times: the shared
+        // cache must answer all but the first from memory, without
+        // perturbing the outcome.
+        let hit_rate = par.cache.hits as f64 / (par.cache.hits + par.cache.misses).max(1) as f64;
+        assert!(
+            hit_rate > 0.5,
+            "plan-cache hit rate must exceed 50% on a disjoint wave at {groups} groups \
+             ({:?})",
+            par.cache,
+        );
+        assert_eq!(
+            par.final_config, ser.final_config,
+            "cached planning must not change the fleet outcome at {groups} groups"
+        );
         if !rows.is_empty() {
             rows.push_str(",\n");
         }
@@ -79,7 +95,8 @@ fn write_bench_json() {
              \"p99_latency_us\": {}, \"max_concurrent\": {}, \"makespan_us\": {}}}, \
              \"serial\": {{\"sessions_per_sec\": {ts:.1}, \"p50_latency_us\": {}, \
              \"p99_latency_us\": {}, \"max_concurrent\": {}, \"makespan_us\": {}}}, \
-             \"speedup\": {:.2}}}",
+             \"speedup\": {:.2}, \
+             \"plan_cache\": {{\"hits\": {}, \"misses\": {}, \"hit_rate\": {hit_rate:.2}}}}}",
             latency_pct(&par, 50.0),
             latency_pct(&par, 99.0),
             par.max_concurrent,
@@ -89,6 +106,8 @@ fn write_bench_json() {
             ser.max_concurrent,
             ser.makespan_us,
             ser.makespan_us as f64 / par.makespan_us as f64,
+            par.cache.hits,
+            par.cache.misses,
         ));
     }
     let json = format!(

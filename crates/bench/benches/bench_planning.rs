@@ -1,14 +1,43 @@
 //! Detection-and-setup phase costs: SAG construction (Figure 4), Dijkstra
 //! MAP (Section 5.1), Yen's ranked alternatives (failure ladder), and the
-//! lazy partial-exploration heuristic (Section 7 future work).
+//! lazy partial-exploration heuristic (Section 7 future work) — plus the
+//! planner hot-path sweep comparing the compiled search (word-wise
+//! invariant kernels, incremental checks, action index) against the
+//! tree-walking baseline on the identical search skeleton.
+//!
+//! Besides the criterion comparison, this bench writes
+//! `BENCH_planning.json` at the repository root with the 16/24/32-component
+//! sweep: per-leg invariant-evaluation, safety-check, probe, and expansion
+//! counts plus wall time. The write *asserts* the headline claims — the
+//! compiled path does at least 5x less predicate work at 24 components,
+//! and the 16-component workload stays within its pinned safety-check
+//! budget (a regression gate run by `ci.sh`). Set `SADA_BENCH_SMOKE=1` to
+//! skip the criterion timing loops but still run the sweep, the
+//! assertions, and the JSON write.
+
+use std::time::Instant;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use sada_bench::carousel_system;
+use sada_bench::{carousel_system, grouped_flip_workload};
 use sada_core::casestudy::case_study;
 use sada_expr::enumerate;
-use sada_plan::{lazy, Sag};
+use sada_plan::{lazy, LazyStats, Sag, Search};
+
+/// CI smoke mode: correctness sweep + JSON only, no timing loops.
+fn smoke() -> bool {
+    std::env::var_os("SADA_BENCH_SMOKE").is_some()
+}
+
+/// Safety-check budget for the 16-component grouped flip workload. The
+/// measured count is deterministic (uniform-cost search, fixed tie-break;
+/// currently 746); the pin has ~10% headroom so only a real regression in
+/// exploration or candidate vetting trips it.
+const SAFETY_CHECK_BUDGET_16: u64 = 820;
 
 fn bench_case_study_planning(c: &mut Criterion) {
+    if smoke() {
+        return;
+    }
     let cs = case_study();
     let safe = cs.spec.safe_configs();
     let actions = cs.spec.actions().to_vec();
@@ -48,6 +77,9 @@ fn bench_case_study_planning(c: &mut Criterion) {
 }
 
 fn bench_planning_scaling(c: &mut Criterion) {
+    if smoke() {
+        return;
+    }
     let mut g = c.benchmark_group("planning_scaling");
     g.sample_size(10);
     for n in [8usize, 16, 32, 64] {
@@ -72,5 +104,110 @@ fn bench_planning_scaling(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_case_study_planning, bench_planning_scaling);
+/// One measured leg of the hot-path sweep.
+struct Leg {
+    stats: LazyStats,
+    wall_ns: u128,
+    cost: u64,
+}
+
+fn run_leg(search: &Search, src: &sada_expr::Config, dst: &sada_expr::Config) -> Leg {
+    let (path, stats) = search.plan(src, dst);
+    let cost = path.expect("grouped flip workload always has a path").cost;
+    let iters = if smoke() { 3 } else { 20 };
+    let mut wall_ns = u128::MAX;
+    for _ in 0..iters {
+        let t = Instant::now();
+        let (p, _) = search.plan(src, dst);
+        let dt = t.elapsed().as_nanos();
+        assert!(p.is_some());
+        wall_ns = wall_ns.min(dt);
+    }
+    Leg { stats, wall_ns, cost }
+}
+
+fn bench_hot_path(c: &mut Criterion) {
+    if !smoke() {
+        let (u, inv, actions, src, dst) = grouped_flip_workload(24);
+        let kernel = Search::new(&inv, &actions, u.len());
+        let baseline = Search::tree_walk_baseline(&inv, &actions, u.len());
+        let mut g = c.benchmark_group("planner_hot_path");
+        g.sample_size(10);
+        g.bench_function("tree_walk_24", |b| b.iter(|| baseline.plan(&src, &dst).0.unwrap()));
+        g.bench_function("kernel_24", |b| b.iter(|| kernel.plan(&src, &dst).0.unwrap()));
+        g.finish();
+    }
+    write_planning_json();
+}
+
+fn write_planning_json() {
+    let mut rows = String::new();
+    for n in [16usize, 24, 32] {
+        let (u, inv, actions, src, dst) = grouped_flip_workload(n);
+        let kernel = Search::new(&inv, &actions, u.len());
+        let baseline = Search::tree_walk_baseline(&inv, &actions, u.len());
+        // Builds are reusable: per-query work is what the sweep measures.
+        let after = run_leg(&kernel, &src, &dst);
+        let before = run_leg(&baseline, &src, &dst);
+        assert_eq!(after.cost, before.cost, "both legs find the same optimum at {n}");
+        assert_eq!(
+            (after.stats.expanded, after.stats.generated, after.stats.safety_checks),
+            (before.stats.expanded, before.stats.generated, before.stats.safety_checks),
+            "identical search skeleton at {n}"
+        );
+        let reduction = before.stats.pred_evals as f64 / after.stats.pred_evals.max(1) as f64;
+        if n == 24 {
+            assert!(
+                before.stats.pred_evals >= 5 * after.stats.pred_evals,
+                "compiled kernels must cut predicate work >= 5x at 24 components \
+                 ({} vs {})",
+                before.stats.pred_evals,
+                after.stats.pred_evals,
+            );
+        }
+        if n == 16 {
+            assert!(
+                after.stats.safety_checks <= SAFETY_CHECK_BUDGET_16,
+                "16-component safety checks regressed: {} > budget {}",
+                after.stats.safety_checks,
+                SAFETY_CHECK_BUDGET_16,
+            );
+        }
+        if !rows.is_empty() {
+            rows.push_str(",\n");
+        }
+        rows.push_str(&format!(
+            "    {{\"components\": {n}, \"groups\": {}, \"plan_steps\": {}, \
+             \"before\": {{\"pred_evals\": {}, \"safety_checks\": {}, \"probed\": {}, \
+             \"expanded\": {}, \"wall_ns\": {}}}, \
+             \"after\": {{\"pred_evals\": {}, \"safety_checks\": {}, \"probed\": {}, \
+             \"expanded\": {}, \"wall_ns\": {}}}, \
+             \"pred_eval_reduction\": {reduction:.1}}}",
+            n / 2,
+            after.cost,
+            before.stats.pred_evals,
+            before.stats.safety_checks,
+            before.stats.probed,
+            before.stats.expanded,
+            before.wall_ns,
+            after.stats.pred_evals,
+            after.stats.safety_checks,
+            after.stats.probed,
+            after.stats.expanded,
+            after.wall_ns,
+        ));
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"planner_hot_path\",\n  \"workload\": \"grouped flip: n/2 one_of \
+         groups, flip half forward; before = tree-walk + linear scan, after = compiled \
+         kernels + incremental checks + action index on the identical search skeleton\",\n  \
+         \"safety_check_budget_16\": {SAFETY_CHECK_BUDGET_16},\n  \"rows\": [\n{rows}\n  ]\n}}\n"
+    );
+    // crates/bench -> repository root.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_planning.json");
+    std::fs::write(path, &json).expect("write BENCH_planning.json");
+    println!("wrote {path}:\n{json}");
+}
+
+criterion_group!(benches, bench_case_study_planning, bench_planning_scaling, bench_hot_path);
 criterion_main!(benches);

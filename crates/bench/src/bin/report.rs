@@ -3,7 +3,7 @@
 //!
 //! Usage: `cargo run -p sada-bench --bin report -- [section]`
 //! where `section` is one of `table1 table2 fig1 fig2 fig4 map failures
-//! crashes baselines scaling fec inference timeline fleet all`
+//! crashes baselines scaling planning fec inference timeline fleet all`
 //! (default `all`).
 //!
 //! `timeline` additionally accepts a chaos seed:
@@ -24,7 +24,7 @@ use sada_core::casestudy::{case_study, PAPER_MAP, PAPER_MAP_COST, TABLE1_ROWS};
 use sada_core::{run_adaptation, RunConfig};
 use sada_expr::{enumerate, CompId};
 use sada_obs::{AuditEvent, Bus, CounterSink, Event, Metrics, Payload, RingSink, TemporalEvent};
-use sada_plan::lazy;
+use sada_plan::{lazy, Search};
 use sada_proto::{
     AgentCore, AgentEvent, AgentState, LocalAction, ManagerCore, ManagerEvent, ManagerPhase,
     ProtoMsg, ProtoTiming, StepId,
@@ -392,6 +392,53 @@ fn scaling() {
     println!("(full enumeration is exponential in k; lazy exploration is flat — the paper's partial-SAG heuristic)");
 }
 
+fn planning() {
+    use sada_fleet::{disjoint_wave, run_fleet, FleetScenario};
+    println!("## Planner hot path — compiled kernels vs tree-walk, and the fleet plan cache");
+    println!(
+        "{:>5} {:>6} {:>16} {:>16} {:>10} {:>14} {:>10}",
+        "comps", "steps", "tree-walk evals", "kernel evals", "reduction", "safety checks", "probed"
+    );
+    for n in [16usize, 24, 32] {
+        let (u, inv, actions, src, dst) = sada_bench::grouped_flip_workload(n);
+        let kernel = Search::new(&inv, &actions, u.len());
+        let baseline = Search::tree_walk_baseline(&inv, &actions, u.len());
+        let (kp, ks) = kernel.plan(&src, &dst);
+        let (bp, bs) = baseline.plan(&src, &dst);
+        let (kp, bp) = (kp.expect("path exists"), bp.expect("path exists"));
+        assert_eq!(kp.cost, bp.cost, "both legs find the same optimum");
+        assert_eq!(ks.safety_checks, bs.safety_checks, "identical search skeleton");
+        println!(
+            "{:>5} {:>6} {:>16} {:>16} {:>10} {:>14} {:>10}",
+            n,
+            kp.cost,
+            bs.pred_evals,
+            ks.pred_evals,
+            format!("{:.1}x", bs.pred_evals as f64 / ks.pred_evals.max(1) as f64),
+            ks.safety_checks,
+            ks.probed
+        );
+    }
+    println!("(same expansions and safety checks either way — only the per-check cost drops)");
+    println!();
+    println!("fleet plan cache on disjoint waves (isomorphic sessions share one entry):");
+    println!("{:>7} {:>9} {:>6} {:>8} {:>9}", "groups", "sessions", "hits", "misses", "hit rate");
+    for groups in [10usize, 50, 100] {
+        let r = run_fleet(&FleetScenario::new(groups, disjoint_wave(groups / 2, 2)));
+        assert_eq!(r.succeeded(), groups / 2);
+        let c = r.cache;
+        println!(
+            "{:>7} {:>9} {:>6} {:>8} {:>9}",
+            groups,
+            groups / 2,
+            c.hits,
+            c.misses,
+            format!("{:.0}%", 100.0 * c.hits as f64 / (c.hits + c.misses).max(1) as f64)
+        );
+    }
+    println!("(a restored control plane starts cold: the cache never outlives its incarnation)");
+}
+
 fn fec() {
     println!("## Closed-loop FEC adaptation (decision-making + insertion)");
     let report = run_fec_scenario(&FecScenarioConfig::default());
@@ -618,6 +665,14 @@ fn fleet(seed: Option<u64>) {
         "speedup: {:.2}x (virtual time)",
         serial.makespan_us as f64 / parallel.makespan_us as f64
     );
+    println!(
+        "plan cache (scope-parallel run): {} hits / {} misses / {} evictions ({:.0}% hit rate)",
+        parallel.cache.hits,
+        parallel.cache.misses,
+        parallel.cache.evictions,
+        100.0 * parallel.cache.hits as f64
+            / (parallel.cache.hits + parallel.cache.misses).max(1) as f64
+    );
     println!("per-session latency (scope-parallel):");
     println!("{:>8} {:>12} {:>12} {:>12}", "session", "queued", "exec", "total");
     for r in &parallel.results {
@@ -710,6 +765,10 @@ fn main() {
     }
     if run("scaling") {
         scaling();
+        println!();
+    }
+    if run("planning") {
+        planning();
         println!();
     }
     if run("fec") {

@@ -34,6 +34,44 @@ pub fn paired_system(k: usize) -> (Universe, InvariantSet, Vec<Action>) {
     (u, inv, actions)
 }
 
+/// A grouped flip workload for the planner hot-path sweep: `n_comps`
+/// components forming `n_comps / 2` independent `one_of(Old, New)` groups
+/// with forward *and* backward replace actions (cost 1), a source with
+/// every group on `Old`, and a target with the first half of the groups
+/// flipped to `New`. Every candidate the search generates is safe, so the
+/// invariant-evaluation counts isolate the checking strategy itself.
+pub fn grouped_flip_workload(
+    n_comps: usize,
+) -> (Universe, InvariantSet, Vec<Action>, sada_expr::Config, sada_expr::Config) {
+    assert!(n_comps >= 4 && n_comps.is_multiple_of(2), "need whole groups");
+    let groups = n_comps / 2;
+    let mut u = Universe::with_capacity(n_comps);
+    for g in 0..groups {
+        u.intern(&format!("Old{g}"));
+        u.intern(&format!("New{g}"));
+    }
+    let srcs: Vec<String> = (0..groups).map(|g| format!("one_of(Old{g}, New{g})")).collect();
+    let refs: Vec<&str> = srcs.iter().map(String::as_str).collect();
+    let inv = InvariantSet::parse(&refs, &mut u).expect("generated invariants parse");
+    let mut actions = Vec::with_capacity(2 * groups);
+    for g in 0..groups {
+        let old = u.config_of(&[&format!("Old{g}")]);
+        let new = u.config_of(&[&format!("New{g}")]);
+        actions.push(Action::replace(2 * g as u32, &format!("fwd{g}"), &old, &new, 1));
+        actions.push(Action::replace(2 * g as u32 + 1, &format!("back{g}"), &new, &old, 1));
+    }
+    let mut source = u.empty_config();
+    for g in 0..groups {
+        source.insert(u.id(&format!("Old{g}")).unwrap());
+    }
+    let mut target = source.clone();
+    for g in 0..groups / 2 {
+        target.remove(u.id(&format!("Old{g}")).unwrap());
+        target.insert(u.id(&format!("New{g}")).unwrap());
+    }
+    (u, inv, actions, source, target)
+}
+
 /// A "carousel" system: `n` mutually-exclusive components with a
 /// replacement action between every ordered pair (cost = distance). Safe
 /// configurations: the `n` singletons; the SAG is a dense digraph.
@@ -126,6 +164,17 @@ mod tests {
             assert_eq!(actions.len(), k);
             assert_eq!(enumerate::safe_configs(&u, &inv).len(), 1 << k);
         }
+    }
+
+    #[test]
+    fn grouped_flip_workload_plans_half_the_groups() {
+        let (u, inv, actions, src, dst) = grouped_flip_workload(16);
+        assert_eq!(u.len(), 16);
+        assert_eq!(actions.len(), 16);
+        assert!(inv.satisfied_by(&src) && inv.satisfied_by(&dst));
+        let p = sada_plan::lazy::plan(&inv, &actions, &src, &dst).unwrap();
+        assert_eq!(p.len(), 4, "half of 8 groups flip, one step each");
+        assert_eq!(p.cost, 4);
     }
 
     #[test]

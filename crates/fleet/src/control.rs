@@ -23,6 +23,7 @@
 //! stripped) and re-seize their scopes, queued-at-crash sessions requeue in
 //! journal order, and scenario entries that never submitted are re-armed.
 
+use std::cell::RefCell;
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::rc::Rc;
 
@@ -34,6 +35,7 @@ use sada_proto::{
 };
 use sada_simnet::{Actor, ActorId, Context, SimDuration, SimTime, TimerId};
 
+use crate::cache::{CacheNoteKind, PlanCache, PlanCacheStats};
 use crate::lock::ScopeLockManager;
 use crate::planner::ScopedLazyPlanner;
 use crate::world::FleetWorld;
@@ -61,6 +63,9 @@ pub struct SessionSpec {
 /// and dynamically allocated per-core protocol timers must share one `u64`.
 const TAG_SUBMIT_BASE: u64 = 1 << 62;
 const TAG_CANCEL_BASE: u64 = 1 << 63;
+
+/// Entries the shared plan cache may hold before LRU eviction kicks in.
+const PLAN_CACHE_CAPACITY: usize = 128;
 
 /// A live session: its embedded manager core and the protocol timers it has
 /// armed (core token → global tag + cancellation handle).
@@ -95,6 +100,10 @@ pub struct ControlActor<M = ()> {
     /// Session ids already submitted (guards double submission after a
     /// restart re-arms timers; rebuilt from the journal).
     submitted: HashSet<u64>,
+    /// Fleet-wide plan cache shared by every session planner of this
+    /// incarnation. Volatile on purpose: a restored control plane starts
+    /// cold, so no cached path ever stands in for the durable journal.
+    plan_cache: Rc<RefCell<PlanCache>>,
     // ---- durable (survives crash faults) ----
     /// The interleaved session-tagged write-ahead journal.
     pub journal: Vec<SessionRecord>,
@@ -144,6 +153,7 @@ impl<M: Clone + 'static> ControlActor<M> {
             next_tag: 1,
             agent_session: HashMap::new(),
             submitted: HashSet::new(),
+            plan_cache: Rc::new(RefCell::new(PlanCache::new(PLAN_CACHE_CAPACITY))),
             journal: Vec::new(),
             fleet_config,
             results: HashMap::new(),
@@ -177,6 +187,19 @@ impl<M: Clone + 'static> ControlActor<M> {
         self.epoch
     }
 
+    /// Plan-cache counters for the current incarnation (crash faults reset
+    /// them along with the cache itself).
+    pub fn cache_stats(&self) -> PlanCacheStats {
+        self.plan_cache.borrow().stats()
+    }
+
+    /// Drops every cached plan. Call whenever the world's action repertoire
+    /// or invariant set is changed out from under the control plane —
+    /// cached answers from the old world must not leak into the new one.
+    pub fn invalidate_plan_cache(&mut self) {
+        self.plan_cache.borrow_mut().invalidate();
+    }
+
     fn spec_ix(&self, session: u64) -> Option<usize> {
         self.scenario.iter().position(|s| s.id == session)
     }
@@ -203,6 +226,16 @@ impl<M: Clone + 'static> ControlActor<M> {
     /// session-stamped sends, globally tagged timers, journal appends, and
     /// completion handling (which may admit queued sessions).
     fn apply(&mut self, ctx: &mut Context<'_, Wire<M>>, session: u64, effects: Vec<ManagerEffect>) {
+        // Planner queries (inside core event handling) may have touched the
+        // shared plan cache; surface those interactions as fleet events.
+        for note in self.plan_cache.borrow_mut().take_notes() {
+            let ev = match note.kind {
+                CacheNoteKind::Hit => FleetEvent::PlanCacheHit { session: note.session },
+                CacheNoteKind::Miss => FleetEvent::PlanCacheMiss { session: note.session },
+                CacheNoteKind::Evicted => FleetEvent::PlanCacheEvicted { session: note.session },
+            };
+            self.emit_fleet(ctx, note.session, ev);
+        }
         let obs = match self.active.get_mut(&session) {
             Some(sess) => sess.core.drain_obs(),
             None => Vec::new(),
@@ -295,7 +328,8 @@ impl<M: Clone + 'static> ControlActor<M> {
         let source = self.fleet_config.clone();
         let target = self.world.target_for(&source, &spec.flips);
         let scope = self.world.scope_comps(&spec.flips);
-        let planner = ScopedLazyPlanner::new(Rc::clone(&self.world), &scope);
+        let planner = ScopedLazyPlanner::new(Rc::clone(&self.world), &scope)
+            .with_cache(Rc::clone(&self.plan_cache), spec.id);
         let core = ManagerCore::new(self.timing, Box::new(planner));
         self.active.insert(spec.id, ActiveSession { core, timers: HashMap::new() });
         self.admitted_at.insert(spec.id, ctx.now());
@@ -460,6 +494,9 @@ impl<M: Clone + 'static> Actor<Wire<M>> for ControlActor<M> {
         self.agent_epochs.clear();
         self.agent_session.clear();
         self.submitted.clear();
+        // The plan cache dies with the process: the restored incarnation
+        // starts cold, so journal replay never leans on pre-crash plans.
+        self.plan_cache = Rc::new(RefCell::new(PlanCache::new(PLAN_CACHE_CAPACITY)));
     }
 
     fn on_restart(&mut self, ctx: &mut Context<'_, Wire<M>>) {
@@ -503,7 +540,11 @@ impl<M: Clone + 'static> Actor<Wire<M>> for ControlActor<M> {
                 .cloned()
                 .collect();
             let scope = self.world.scope_comps(&spec.flips);
-            let planner = ScopedLazyPlanner::new(Rc::clone(&self.world), &scope);
+            // The restored planner reattaches to the (fresh, cold) cache:
+            // replay re-plans from scratch, then later sessions of this
+            // incarnation may share the recomputed entries.
+            let planner = ScopedLazyPlanner::new(Rc::clone(&self.world), &scope)
+                .with_cache(Rc::clone(&self.plan_cache), sid);
             let (core, eff) = ManagerCore::restore(self.timing, Box::new(planner), &body)
                 .unwrap_or_else(|e| panic!("control-plane journal replay failed: {e}"));
             let seized = self.locks.try_acquire(sid, &self.resources_of(&spec), spec.priority);

@@ -9,6 +9,7 @@ use sada_obs::{Bus, Event, RingSink};
 use sada_proto::{encode_session_journal, AgentTiming, ProtoTiming, ScriptedAgent, Wire};
 use sada_simnet::{ActorId, LinkConfig, NetStats, SimDuration, SimTime, Simulator};
 
+use crate::cache::PlanCacheStats;
 use crate::control::{ControlActor, SessionSpec};
 use crate::world::FleetWorld;
 
@@ -109,6 +110,9 @@ pub struct FleetReport {
     pub makespan_us: u64,
     /// Network counters for the run.
     pub stats: NetStats,
+    /// Plan-cache counters for the final control-plane incarnation (crash
+    /// faults reset the volatile cache along with its counters).
+    pub cache: PlanCacheStats,
 }
 
 impl FleetReport {
@@ -199,6 +203,7 @@ pub fn run_fleet(scenario: &FleetScenario) -> FleetReport {
         ),
         makespan_us: makespan(control),
         stats: sim.stats(),
+        cache: control.cache_stats(),
     }
 }
 
@@ -253,6 +258,23 @@ mod tests {
         // All four groups moved to New (bit strings print MSB first, so
         // each group reads `10`: New set, Old clear).
         assert_eq!(report.final_config, "10101010");
+        // The two sessions pose isomorphic planning problems: the first
+        // fills the shared cache, the second is answered from it.
+        assert_eq!((report.cache.hits, report.cache.misses), (1, 1), "{:?}", report.cache);
+        let cache_events = report
+            .events
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e.payload,
+                    sada_obs::Payload::Fleet(
+                        sada_obs::FleetEvent::PlanCacheHit { .. }
+                            | sada_obs::FleetEvent::PlanCacheMiss { .. }
+                    )
+                )
+            })
+            .count();
+        assert_eq!(cache_events, 2, "hit and miss both reach the event stream");
     }
 
     #[test]

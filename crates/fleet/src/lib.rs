@@ -14,6 +14,11 @@
 //! * [`ScopedLazyPlanner`] — per-session lazy planning restricted to the
 //!   session's collaborative-set scope; deterministic, so post-crash
 //!   journal replay re-derives identical plans.
+//! * [`PlanCache`] — a fleet-wide LRU of scope-*normalized* planning
+//!   instances: sessions over disjoint-but-isomorphic scopes share plans
+//!   (relabeled onto local component ids), with hit/miss/evict counters on
+//!   the event bus. Volatile by design — a restored control plane starts
+//!   cold, keeping cached answers subordinate to the durable journal.
 //! * [`ControlActor`] — the control plane itself: one embedded
 //!   [`ManagerCore`](sada_proto::ManagerCore) per admitted session,
 //!   multiplexed over a shared wire by [`SessionId`](sada_proto::SessionId)
@@ -23,12 +28,14 @@
 //!   simnet, fault schedules, and a [`FleetReport`] with per-session
 //!   latencies, peak concurrency, and the captured event stream.
 
+mod cache;
 mod control;
 mod driver;
 mod lock;
 mod planner;
 mod world;
 
+pub use cache::{CacheNote, CacheNoteKind, CachedPlan, PlanCache, PlanCacheStats, ScopeNormalizer};
 pub use control::{ControlActor, SessionSpec};
 pub use driver::{disjoint_wave, run_fleet, FleetReport, FleetScenario, SessionResult};
 pub use lock::ScopeLockManager;

@@ -4,26 +4,40 @@
 //! is filtered to actions whose touched components all lie inside the
 //! session's collaborative sets, and paths are found with the partial-
 //! exploration planner ([`sada_plan::lazy`]) — no eager SAG over the whole
-//! fleet's `2^n` configuration space is ever built. Because the planner is
-//! a pure function of the world and the scope, a restored control plane can
-//! rebuild it per session and replay journals deterministically
+//! fleet's `2^n` configuration space is ever built. The compiled
+//! [`Search`] (kernel invariant checks, interned arena, action index) is
+//! built **once** at admission and reused across the session's queries.
+//!
+//! Because the planner is a pure function of the world and the scope, a
+//! restored control plane can rebuild it per session and replay journals
+//! deterministically
 //! ([`ManagerCore::restore`](sada_proto::ManagerCore::restore) re-derives
-//! `PathSelected` records by re-querying the planner).
+//! `PathSelected` records by re-querying the planner). The optional
+//! fleet-wide [`PlanCache`] preserves that determinism: cached answers are
+//! exactly the paths a fresh search would return (see [`crate::cache`]), so
+//! replay cannot distinguish a hit from a recomputation.
 
+use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::rc::Rc;
 
 use sada_expr::{CompId, Config};
-use sada_plan::{lazy, Action, Path};
+use sada_plan::{Action, Path, PathStep, Search};
 use sada_proto::{AdaptationPlanner, LocalAction, PlannedStep};
 
+use crate::cache::{CachedPlan, PlanCache, ScopeNormalizer};
 use crate::world::FleetWorld;
 
 /// An [`AdaptationPlanner`] over the implicit SAG of one session's scope.
 pub struct ScopedLazyPlanner {
     world: Rc<FleetWorld>,
-    /// Actions whose touched sets lie entirely inside the scope.
-    scoped: Vec<Action>,
+    /// Compiled search over the scoped action repertoire.
+    search: Search,
+    /// Relabels this scope onto cache-key coordinates; `None` when an
+    /// invariant straddles the scope boundary (cache disabled).
+    normalizer: Option<ScopeNormalizer>,
+    /// The shared fleet cache and this session's id, when attached.
+    cache: Option<(Rc<RefCell<PlanCache>>, u64)>,
 }
 
 impl ScopedLazyPlanner {
@@ -34,14 +48,101 @@ impl ScopedLazyPlanner {
         for &c in scope {
             in_scope.insert(c);
         }
-        let scoped =
+        let scoped: Vec<Action> =
             world.actions.iter().filter(|a| a.touched().is_subset(&in_scope)).cloned().collect();
-        ScopedLazyPlanner { world, scoped }
+        let width = world.universe.len();
+        let normalizer = ScopeNormalizer::new(&world.inv, width, scope, &scoped);
+        let search = Search::new(&world.inv, &scoped, width);
+        ScopedLazyPlanner { world, search, normalizer, cache: None }
+    }
+
+    /// Attaches the fleet-wide plan cache on behalf of session `session`.
+    pub fn with_cache(mut self, cache: Rc<RefCell<PlanCache>>, session: u64) -> Self {
+        self.cache = Some((cache, session));
+        self
     }
 
     /// Number of actions that survived the scope filter.
     pub fn action_count(&self) -> usize {
-        self.scoped.len()
+        self.search.actions().len()
+    }
+
+    /// Whether queries can be served through the fleet cache (a cache is
+    /// attached and the scope's invariants normalize cleanly).
+    pub fn cache_enabled(&self) -> bool {
+        self.cache.is_some() && self.normalizer.is_some()
+    }
+
+    /// Replays a memoized plan from this session's own source. Returns
+    /// `None` if any step fails to apply or the walk misses the target —
+    /// the caller then treats the entry as a miss and plans from scratch.
+    fn denormalize(&self, cached: &CachedPlan, from: &Config, to: &Config) -> Option<Path> {
+        let mut cur = from.clone();
+        let mut steps = Vec::with_capacity(cached.action_ixs.len());
+        for &ix in &cached.action_ixs {
+            let action = self.search.actions().get(ix as usize)?;
+            if !action.applicable(&cur) {
+                return None;
+            }
+            let next = action.apply(&cur);
+            steps.push(PathStep {
+                from: cur,
+                to: next.clone(),
+                action: action.id(),
+                cost: action.cost(),
+            });
+            cur = next;
+        }
+        (cur == *to).then_some(Path { steps, cost: cached.cost })
+    }
+
+    /// Encodes a freshly computed path as scoped-action indices.
+    fn normalize(&self, path: &Path) -> Option<CachedPlan> {
+        let ixs: Option<Vec<u32>> = path
+            .steps
+            .iter()
+            .map(|s| {
+                self.search.actions().iter().position(|a| a.id() == s.action).map(|i| i as u32)
+            })
+            .collect();
+        Some(CachedPlan { action_ixs: ixs?, cost: path.cost })
+    }
+
+    /// Answers one query through the cache. The outer `None` means the
+    /// cache could not speak for this query (none attached, the scope does
+    /// not normalize, or an endpoint is unsafe outside the scope); the
+    /// inner option is the definitive answer.
+    fn plan_via_cache(&self, from: &Config, to: &Config) -> Option<Option<Path>> {
+        let (cache, session) = self.cache.as_ref()?;
+        let nz = self.normalizer.as_ref()?;
+        // The key captures in-scope state only, so out-of-scope safety must
+        // be established before the cache may speak for this query.
+        if !self.search.is_safe(from) || !self.search.is_safe(to) {
+            return None;
+        }
+        let key = nz.key(from, to);
+        if let Some(entry) = cache.borrow_mut().lookup(&key, *session) {
+            match entry {
+                None => return Some(None),
+                Some(plan) => {
+                    if let Some(path) = self.denormalize(&plan, from, to) {
+                        return Some(Some(path));
+                    }
+                    // Unreachable by the isomorphism argument, but never
+                    // trust a plan that fails to replay: recompute below.
+                }
+            }
+        }
+        let (path, _) = self.search.plan(from, to);
+        match &path {
+            None => cache.borrow_mut().insert(key, None, *session),
+            Some(p) => {
+                if let Some(plan) = self.normalize(p) {
+                    cache.borrow_mut().insert(key, Some(plan), *session);
+                }
+            }
+        }
+        Some(path)
     }
 
     fn locals_for(&self, action: &Action) -> Vec<(usize, LocalAction)> {
@@ -69,10 +170,14 @@ impl ScopedLazyPlanner {
 impl AdaptationPlanner for ScopedLazyPlanner {
     /// At most one candidate: the lazy minimum adaptation path. Uniform-cost
     /// search is deterministic, so repeated queries (and post-crash replay)
-    /// return the identical ranking. The failure ladder's "second path" rung
-    /// simply falls through to return-to-source under this planner.
+    /// return the identical ranking — through the cache or not. The failure
+    /// ladder's "second path" rung simply falls through to
+    /// return-to-source under this planner.
     fn paths(&mut self, from: &Config, to: &Config, _k: usize) -> Vec<Path> {
-        lazy::plan(&self.world.inv, &self.scoped, from, to).into_iter().collect()
+        match self.plan_via_cache(from, to) {
+            Some(answer) => answer.into_iter().collect(),
+            None => self.search.plan(from, to).0.into_iter().collect(),
+        }
     }
 
     fn compile(&mut self, path: &Path) -> Vec<PlannedStep> {
@@ -146,5 +251,47 @@ mod tests {
         let src = w.initial_config();
         let dst = w.target_for(&src, &[(1, true)]);
         assert!(p.paths(&src, &dst, 4).is_empty());
+    }
+
+    #[test]
+    fn isomorphic_sessions_share_cache_entries() {
+        let w = Rc::new(FleetWorld::build(4));
+        let cache = Rc::new(RefCell::new(PlanCache::new(16)));
+        let src = w.initial_config();
+
+        let scope1 = w.scope_comps(&[(0, true), (1, true)]);
+        let mut p1 =
+            ScopedLazyPlanner::new(Rc::clone(&w), &scope1).with_cache(Rc::clone(&cache), 1);
+        assert!(p1.cache_enabled());
+        let dst1 = w.target_for(&src, &[(0, true), (1, true)]);
+        let paths1 = p1.paths(&src, &dst1, 4);
+        assert_eq!(paths1.len(), 1);
+
+        // Session 2 moves *different* groups the same way: a cache hit.
+        let scope2 = w.scope_comps(&[(2, true), (3, true)]);
+        let mut cached =
+            ScopedLazyPlanner::new(Rc::clone(&w), &scope2).with_cache(Rc::clone(&cache), 2);
+        let mut fresh = ScopedLazyPlanner::new(Rc::clone(&w), &scope2);
+        let dst2 = w.target_for(&src, &[(2, true), (3, true)]);
+        let got = cached.paths(&src, &dst2, 4);
+        assert_eq!(got, fresh.paths(&src, &dst2, 4), "cached answer == fresh answer");
+        assert!(got[0].is_well_formed());
+
+        let stats = cache.borrow().stats();
+        assert_eq!((stats.hits, stats.misses, stats.insertions), (1, 1, 1));
+    }
+
+    #[test]
+    fn negative_answers_are_cached_too() {
+        let w = Rc::new(FleetWorld::build(2));
+        let cache = Rc::new(RefCell::new(PlanCache::new(16)));
+        let scope = w.scope_comps(&[(0, true)]);
+        let mut p = ScopedLazyPlanner::new(Rc::clone(&w), &scope).with_cache(Rc::clone(&cache), 1);
+        let src = w.initial_config();
+        let dst = w.target_for(&src, &[(1, true)]); // out of scope: no path
+        assert!(p.paths(&src, &dst, 4).is_empty());
+        assert!(p.paths(&src, &dst, 4).is_empty(), "second ask hits the negative entry");
+        let stats = cache.borrow().stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
     }
 }

@@ -35,7 +35,7 @@ impl FleetWorld {
     /// Builds a world of `groups` independent groups.
     pub fn build(groups: usize) -> Self {
         assert!(groups > 0, "a fleet needs at least one group");
-        let mut universe = Universe::new();
+        let mut universe = Universe::with_capacity(2 * groups);
         let mut sources = Vec::with_capacity(groups);
         for g in 0..groups {
             universe.intern(&format!("Old{g}"));

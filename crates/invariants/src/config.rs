@@ -39,15 +39,28 @@ impl Universe {
         Universe::default()
     }
 
+    /// An empty universe with room for `capacity` components, so bulk
+    /// builders (the fleet world generator interns `2·groups` names up
+    /// front) never rehash mid-construction.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Universe { names: Vec::with_capacity(capacity), index: HashMap::with_capacity(capacity) }
+    }
+
     /// Interns `name`, returning the existing id if already present.
+    ///
+    /// A single `entry`-based probe: the hash is computed once whether the
+    /// name is fresh or repeated.
     pub fn intern(&mut self, name: &str) -> CompId {
-        if let Some(&id) = self.index.get(name) {
-            return id;
+        use std::collections::hash_map::Entry;
+        match self.index.entry(name.to_string()) {
+            Entry::Occupied(e) => *e.get(),
+            Entry::Vacant(e) => {
+                let id = CompId(self.names.len() as u32);
+                self.names.push(e.key().clone());
+                e.insert(id);
+                id
+            }
         }
-        let id = CompId(self.names.len() as u32);
-        self.names.push(name.to_string());
-        self.index.insert(name.to_string(), id);
-        id
     }
 
     /// Looks a name up without interning.
@@ -181,6 +194,13 @@ impl Config {
         (0..self.nbits).map(CompId::from_index).filter(move |&id| self.contains(id))
     }
 
+    /// The backing bit words, least-significant component first. Compiled
+    /// invariant kernels evaluate word-wise against this slice instead of
+    /// probing bits one [`Config::contains`] call at a time.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
     fn check_width(&self, other: &Config) {
         assert_eq!(self.nbits, other.nbits, "configuration width mismatch");
     }
@@ -272,6 +292,26 @@ mod tests {
         assert_eq!(u.name(a), "A");
         assert_eq!(u.id("A"), Some(a));
         assert_eq!(u.id("B"), None);
+    }
+
+    #[test]
+    fn with_capacity_interns_like_new() {
+        let mut a = Universe::new();
+        let mut b = Universe::with_capacity(8);
+        for n in ["A", "B", "A", "C"] {
+            assert_eq!(a.intern(n), b.intern(n));
+        }
+        assert_eq!(a.len(), b.len());
+    }
+
+    #[test]
+    fn words_expose_the_backing_bits() {
+        let mut u = Universe::new();
+        let ids: Vec<CompId> = (0..70).map(|i| u.intern(&format!("C{i}"))).collect();
+        let mut c = u.empty_config();
+        c.insert(ids[3]);
+        c.insert(ids[65]);
+        assert_eq!(c.words(), &[1u64 << 3, 1u64 << 1]);
     }
 
     #[test]

@@ -13,6 +13,9 @@
 //!   set" structural constraint ([`Expr::exactly_one`]).
 //! * An [`InvariantSet`] is the conjunction *I* of all dependency predicates;
 //!   a configuration satisfying *I* is a **safe configuration**.
+//! * A [`CompiledInvariants`] lowers the set to flat word-wise kernels with
+//!   per-predicate support masks, giving planners an incremental
+//!   `still_satisfied_after(cfg, touched)` safety check.
 //! * [`enumerate`] computes the safe-configuration set, either exhaustively
 //!   or with three-valued pruning (the ablation benchmarked in
 //!   `bench_enumeration`).
@@ -35,6 +38,7 @@
 
 mod config;
 mod expr;
+mod kernel;
 mod parser;
 mod simplify;
 
@@ -42,4 +46,5 @@ pub mod enumerate;
 
 pub use config::{CompId, Config, Universe};
 pub use expr::{Expr, InvariantSet, PartialAssignment, Tri};
+pub use kernel::{CompiledExpr, CompiledInvariants};
 pub use parser::{parse_expr, ParseError};

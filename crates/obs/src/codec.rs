@@ -279,6 +279,15 @@ pub fn encode_event(ev: &Event) -> String {
                 .num("active", u64::from(*active))
                 .num("queued", u64::from(*queued))
                 .finish(),
+            FleetEvent::PlanCacheHit { session } => {
+                o("fleet.cache_hit").num("id", *session).finish()
+            }
+            FleetEvent::PlanCacheMiss { session } => {
+                o("fleet.cache_miss").num("id", *session).finish()
+            }
+            FleetEvent::PlanCacheEvicted { session } => {
+                o("fleet.cache_evicted").num("id", *session).finish()
+            }
         },
     }
 }
@@ -654,6 +663,11 @@ pub fn decode_event(line: &str) -> Result<Event, String> {
             active: f.num("active")? as u32,
             queued: f.num("queued")? as u32,
         }),
+        "fleet.cache_hit" => Payload::Fleet(FleetEvent::PlanCacheHit { session: f.num("id")? }),
+        "fleet.cache_miss" => Payload::Fleet(FleetEvent::PlanCacheMiss { session: f.num("id")? }),
+        "fleet.cache_evicted" => {
+            Payload::Fleet(FleetEvent::PlanCacheEvicted { session: f.num("id")? })
+        }
         other => return Err(format!("unknown event kind {other:?}")),
     };
     // Pre-fleet traces carry no session key; they decode as session 0.
@@ -797,6 +811,9 @@ mod tests {
             Payload::Fleet(FleetEvent::SessionCancelled { session: 9 }),
             Payload::Fleet(FleetEvent::SessionDone { session: 4, success: true, gave_up: false }),
             Payload::Fleet(FleetEvent::ControlRestored { active: 3, queued: 2 }),
+            Payload::Fleet(FleetEvent::PlanCacheHit { session: 7 }),
+            Payload::Fleet(FleetEvent::PlanCacheMiss { session: 1 }),
+            Payload::Fleet(FleetEvent::PlanCacheEvicted { session: 3 }),
         ];
         for (i, payload) in cases.into_iter().enumerate() {
             round_trip(Event {

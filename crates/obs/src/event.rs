@@ -373,6 +373,25 @@ pub enum FleetEvent {
         /// Queued sessions re-admitted to the wait queue.
         queued: u32,
     },
+    /// A session's plan query was answered from the fleet-wide plan cache
+    /// (a structurally identical scope/source/target was planned before).
+    PlanCacheHit {
+        /// The session whose query hit.
+        session: u64,
+    },
+    /// A session's plan query missed the cache and was planned fresh (the
+    /// result was then cached for later sessions).
+    PlanCacheMiss {
+        /// The session whose query missed.
+        session: u64,
+    },
+    /// The plan cache evicted its least-recently-used entry (or was
+    /// invalidated) to make room for a newer plan.
+    PlanCacheEvicted {
+        /// The session whose insertion (or invalidation) forced the
+        /// eviction.
+        session: u64,
+    },
 }
 
 /// What the planning layer observed.

@@ -139,6 +139,9 @@ fn arb_payload() -> impl Strategy<Value = Payload> {
         }),
         (0u32..64, 0u32..64)
             .prop_map(|(active, queued)| FleetEvent::ControlRestored { active, queued }),
+        (0u64..100).prop_map(|session| FleetEvent::PlanCacheHit { session }),
+        (0u64..100).prop_map(|session| FleetEvent::PlanCacheMiss { session }),
+        (0u64..100).prop_map(|session| FleetEvent::PlanCacheEvicted { session }),
     ];
     prop_oneof![
         net.prop_map(Payload::Net),

@@ -29,12 +29,21 @@ impl UnionFind {
         UnionFind { parent: (0..n).collect(), rank: vec![0; n] }
     }
 
+    /// Iterative two-pass path compression: find the root, then re-walk the
+    /// path pointing every node at it. No recursion, so pathological parent
+    /// chains on large component universes cannot blow the stack.
     fn find(&mut self, x: usize) -> usize {
-        if self.parent[x] != x {
-            let root = self.find(self.parent[x]);
-            self.parent[x] = root;
+        let mut root = x;
+        while self.parent[root] != root {
+            root = self.parent[root];
         }
-        self.parent[x]
+        let mut cur = x;
+        while self.parent[cur] != root {
+            let next = self.parent[cur];
+            self.parent[cur] = root;
+            cur = next;
+        }
+        root
     }
 
     fn union(&mut self, a: usize, b: usize) {
@@ -260,6 +269,20 @@ mod tests {
         // A singleton expands to itself.
         let loner = u.id("LONER").unwrap();
         assert_eq!(ix.expand([loner]), vec![loner]);
+    }
+
+    #[test]
+    fn find_compresses_long_chains_without_recursion() {
+        // A hand-built worst-case chain: parent[i] = i+1. A recursive find
+        // would need 200k stack frames here; the iterative two-pass walk
+        // must both reach the root and flatten the whole chain onto it.
+        let n = 200_000;
+        let mut uf = UnionFind::new(n);
+        for i in 0..n - 1 {
+            uf.parent[i] = i + 1;
+        }
+        assert_eq!(uf.find(0), n - 1);
+        assert!(uf.parent.iter().all(|&p| p == n - 1), "path fully compressed");
     }
 
     #[test]

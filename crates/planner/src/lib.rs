@@ -38,6 +38,7 @@
 
 mod action;
 pub mod collab;
+mod index;
 pub mod lazy;
 mod path;
 mod sag;
@@ -45,5 +46,7 @@ mod yen;
 
 pub use action::{Action, ActionId};
 pub use collab::CollabIndex;
+pub use index::ActionIndex;
+pub use lazy::{LazyStats, Search};
 pub use path::{Path, PathStep};
 pub use sag::{Edge, Sag};

@@ -76,6 +76,32 @@ fn control_plane_crash_restores_in_flight_and_queued_sessions() {
 }
 
 #[test]
+fn plan_cache_does_not_survive_a_control_plane_crash() {
+    // One session, admitted at t=0 (cache miss, entry stored) and crashed
+    // mid-barrier. Journal replay re-plans from scratch: if the pre-crash
+    // cache survived, the replay query would *hit* its own entry — the
+    // restored plane must instead start cold, so the run sees only misses.
+    let mut scenario = FleetScenario::new(2, vec![spec(1, vec![(0, true), (1, true)], 0)]);
+    scenario.crash_control = Some((SimTime::from_millis(6), SimTime::from_millis(10)));
+    let report = run_fleet(&scenario);
+
+    assert_eq!(report.restores, 1);
+    assert!(report.session(1).unwrap().success, "results: {:?}", report.results);
+    assert_eq!(report.cache.hits, 0, "a restored control plane starts cold: {:?}", report.cache);
+    assert!(report.cache.misses >= 1, "replay re-planned from scratch: {:?}", report.cache);
+    let (mut hit_events, mut miss_events) = (0, 0);
+    for e in &report.events {
+        match e.payload {
+            Payload::Fleet(FleetEvent::PlanCacheHit { .. }) => hit_events += 1,
+            Payload::Fleet(FleetEvent::PlanCacheMiss { .. }) => miss_events += 1,
+            _ => {}
+        }
+    }
+    assert_eq!(hit_events, 0);
+    assert!(miss_events >= 2, "one miss per incarnation, got {miss_events}");
+}
+
+#[test]
 fn crash_before_any_admission_replays_the_whole_scenario() {
     // The plane dies before the first submission timer fires; the restart
     // path must re-arm the scenario from scratch.

@@ -2,10 +2,16 @@
 //! concurrently (interleaved barriers and all) reaches exactly the fleet
 //! configuration the serial baseline reaches — while overlapping sessions
 //! are provably serialized by the scope locks and compose in admission
-//! order.
+//! order. The fleet plan cache must be invisible to all of this: a plan
+//! served from a (scope-normalized) cache entry is bit-for-bit the plan a
+//! fresh search would return.
+
+use std::cell::RefCell;
+use std::rc::Rc;
 
 use proptest::prelude::*;
-use sada_fleet::{run_fleet, FleetScenario, FleetWorld, SessionSpec};
+use sada_fleet::{run_fleet, FleetScenario, FleetWorld, PlanCache, ScopedLazyPlanner, SessionSpec};
+use sada_proto::AdaptationPlanner;
 use sada_simnet::SimDuration;
 
 /// A random disjoint workload: each group is assigned to at most one
@@ -129,5 +135,43 @@ proptest! {
             expect = world.target_for(&expect, &spec.flips);
         }
         prop_assert_eq!(report.final_config, expect.to_bit_string());
+    }
+
+    /// Cached plans equal fresh plans. A wave of same-shape sessions over
+    /// disjoint group ranges shares one cache: after the first session
+    /// seeds it, every later session is answered from the cache, and each
+    /// answer must be identical to what an uncached planner computes for
+    /// the same endpoints.
+    #[test]
+    fn cached_plans_are_identical_to_fresh_plans(
+        waves in 2usize..5,
+        span in 1usize..3,
+        dirs in proptest::collection::vec(any::<bool>(), 1..3),
+    ) {
+        let world = Rc::new(FleetWorld::build(waves * span));
+        let cache = Rc::new(RefCell::new(PlanCache::new(64)));
+        let src = world.initial_config();
+        for i in 0..waves {
+            // Session i flips its own groups with the shared direction
+            // pattern, so all sessions pose isomorphic problems.
+            let flips: Vec<(usize, bool)> = (0..span)
+                .map(|j| (i * span + j, dirs[j % dirs.len()]))
+                .collect();
+            let scope = world.scope_comps(&flips);
+            let dst = world.target_for(&src, &flips);
+            let mut cached = ScopedLazyPlanner::new(Rc::clone(&world), &scope)
+                .with_cache(Rc::clone(&cache), i as u64 + 1);
+            let mut fresh = ScopedLazyPlanner::new(Rc::clone(&world), &scope);
+            prop_assert_eq!(
+                cached.paths(&src, &dst, 4),
+                fresh.paths(&src, &dst, 4),
+                "session {} diverged from the fresh planner", i,
+            );
+        }
+        let stats = cache.borrow().stats();
+        prop_assert_eq!(stats.misses, 1, "only the first session misses: {:?}", stats);
+        prop_assert_eq!(stats.hits as usize, waves - 1, "{:?}", stats);
+        // Hit rate over a disjoint wave is (n-1)/n: at least 50%.
+        prop_assert!(stats.hits * 2 >= (stats.hits + stats.misses));
     }
 }
