@@ -47,4 +47,13 @@ echo "==> planner hot-path smoke (sweep + pinned safety-check budget, no timing 
 # crates/bench/benches/bench_planning.rs. Fails the gate on regression.
 SADA_BENCH_SMOKE=1 cargo bench -q -p sada-bench --bench bench_planning > /dev/null
 
+echo "==> overload-protection smoke (admission control vs always-admit baseline)"
+# Renders the overload comparison table, then runs the pinned robustness
+# asserts from crates/bench/benches/bench_overload.rs: protected goodput
+# >= 80% of calibrated capacity at 4x Poisson arrivals with bounded p99
+# admission wait, baseline collapse, breaker trips, bulkhead shedding, and
+# fingerprint-identical replays. Regenerates BENCH_overload.json.
+cargo run -q --release -p sada-bench --bin report -- overload > /dev/null
+SADA_BENCH_SMOKE=1 cargo bench -q -p sada-bench --bench bench_overload > /dev/null
+
 echo "CI OK"

@@ -8,7 +8,8 @@
 use sada_expr::Config;
 use sada_obs::Bus;
 use sada_proto::{
-    AgentTiming, JournalRecord, ManagerActor, Outcome, ProtoTiming, ScriptedAgent, Wire,
+    AgentTiming, BreakerConfig, JournalRecord, ManagerActor, Outcome, ProtoTiming, ScriptedAgent,
+    Wire,
 };
 use sada_simnet::{ActorId, FaultPlan, LinkConfig, SimTime, Simulator};
 
@@ -35,6 +36,11 @@ pub struct RunConfig {
     /// agent. Defaults to a bus with no sinks (near-zero cost); attach
     /// sinks to a clone before the run to capture the unified event stream.
     pub bus: Bus,
+    /// Per-agent circuit breakers between the manager core and the wire.
+    /// `None` (the default) preserves the historical always-retransmit
+    /// behaviour; `Some` stops retry ladders from hammering an agent that
+    /// keeps timing out and re-engages it through a seeded half-open probe.
+    pub breaker: Option<BreakerConfig>,
 }
 
 impl Default for RunConfig {
@@ -47,6 +53,7 @@ impl Default for RunConfig {
             fail_to_reset: Vec::new(),
             faults: FaultPlan::new(),
             bus: Bus::new(),
+            breaker: None,
         }
     }
 }
@@ -77,6 +84,11 @@ pub struct RunReport {
     /// of the run — the forensic record of every decision point, and the
     /// input [`sada_proto::ManagerCore::restore`] replays after a crash.
     pub journal: Vec<JournalRecord>,
+    /// Times any per-agent circuit breaker tripped open (0 when breakers
+    /// are disabled or never saw enough consecutive failures).
+    pub breaker_trips: u64,
+    /// Retransmissions refused by open breakers instead of hitting the wire.
+    pub suppressed_sends: u64,
 }
 
 /// Plans and executes `source → target` for `spec` on a fresh simulation.
@@ -102,17 +114,18 @@ pub fn run_adaptation(
         agent.fail_to_reset = cfg.fail_to_reset.contains(&p);
         agents.push(sim.add_actor(&format!("agent-{p}"), agent));
     }
-    let manager = sim.add_actor(
-        "manager",
-        ManagerActor::<()>::new(
-            cfg.timing,
-            Box::new(spec.runtime_planner()),
-            agents.clone(),
-            source.clone(),
-            target.clone(),
-        )
-        .with_bus(cfg.bus.clone()),
-    );
+    let mut mgr_actor = ManagerActor::<()>::new(
+        cfg.timing,
+        Box::new(spec.runtime_planner()),
+        agents.clone(),
+        source.clone(),
+        target.clone(),
+    )
+    .with_bus(cfg.bus.clone());
+    if let Some(breaker) = cfg.breaker {
+        mgr_actor = mgr_actor.with_breakers(breaker);
+    }
+    let manager = sim.add_actor("manager", mgr_actor);
     debug_assert_eq!(manager, manager_id);
     for &a in &agents {
         sim.set_link(manager, a, cfg.link);
@@ -136,6 +149,8 @@ pub fn run_adaptation(
         rejoins,
         manager_restores: m.restores,
         journal: m.journal.clone(),
+        breaker_trips: m.breaker_trips,
+        suppressed_sends: m.suppressed_sends,
     }
 }
 
@@ -280,6 +295,39 @@ mod tests {
             events.iter().any(|e| matches!(e.payload, Payload::Plan(_))),
             "planner decisions ride the same stream"
         );
+    }
+
+    #[test]
+    fn breaker_stops_retransmissions_to_a_dead_agent() {
+        let cs = case_study();
+        // Keep the hand-held dead long enough for a full retry ladder (the
+        // exponential backoff stretches the three retransmissions over
+        // seconds). A threshold of 3 equals the ladder's retransmission
+        // budget, so one exhausted ladder is exactly the evidence that
+        // trips the breaker.
+        let victim = ActorId::from_index(1);
+        let faults = FaultPlan::new()
+            .crash(victim, SimTime::from_millis(5))
+            .restart(victim, SimTime::from_millis(5_000));
+        let cfg = RunConfig {
+            breaker: Some(BreakerConfig { failure_threshold: 3, ..BreakerConfig::default() }),
+            faults: faults.clone(),
+            ..RunConfig::default()
+        };
+        let report = run_adaptation(&cs.spec, &cs.source, &cs.target, &cfg);
+        assert!(report.breaker_trips >= 1, "exhausted ladder must trip the breaker");
+        assert!(report.suppressed_sends >= 1, "open breaker must absorb a retransmission");
+        // Gating the wire never compromises the protocol: once the agent
+        // rejoins, the half-open probe re-engages it and the adaptation
+        // still lands on the target with a journaled outcome.
+        assert!(report.outcome.success, "{:?}", report.infos);
+        assert_eq!(report.outcome.final_config, cs.target);
+        assert!(matches!(report.journal.last(), Some(JournalRecord::Outcome { .. })));
+        // Without the breaker the same outage is all retransmissions.
+        let base = RunConfig { faults, ..RunConfig::default() };
+        let base = run_adaptation(&cs.spec, &cs.source, &cs.target, &base);
+        assert_eq!((base.breaker_trips, base.suppressed_sends), (0, 0));
+        assert!(cs.spec.is_safe(&base.outcome.final_config));
     }
 
     #[test]

@@ -33,6 +33,10 @@ use sada_proto::{
     JournalRecord, ManagerCore, ManagerEffect, ManagerEvent, Outcome, ProtoTiming, SessionId,
     SessionRecord, Wire,
 };
+use sada_resilience::{
+    shed_victim, BreakerConfig, BreakerTransition, BulkheadConfig, CircuitBreaker, RetryMode,
+    RttEstimator,
+};
 use sada_simnet::{Actor, ActorId, Context, SimDuration, SimTime, TimerId};
 
 use crate::cache::{CacheNoteKind, PlanCache, PlanCacheStats};
@@ -57,6 +61,19 @@ pub struct SessionSpec {
     /// If set, withdraw the request at this virtual time unless it has
     /// been admitted by then.
     pub cancel_at: Option<SimDuration>,
+}
+
+/// Overload-protection policy for a control plane: per-agent circuit
+/// breakers between the embedded cores and the wire, and bulkhead admission
+/// bounds. The default (no breakers, unlimited bulkhead) reproduces the
+/// historical always-admit behavior bit-for-bit; RTT-adaptive retransmission
+/// deadlines are selected separately via `ProtoTiming::retry`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FleetResilience {
+    /// Per-agent circuit breaker policy (`None` disables the gate).
+    pub breaker: Option<BreakerConfig>,
+    /// In-flight and waiting-room bounds with deterministic shedding.
+    pub bulkhead: BulkheadConfig,
 }
 
 /// Timer-tag namespace: scenario submissions, queued-session cancellations,
@@ -85,12 +102,37 @@ pub struct ControlActor<M = ()> {
     /// When true, every session maps to one shared lock resource — the
     /// serial baseline the benchmarks compare scope-parallelism against.
     serialize: bool,
+    /// Overload-protection policy (breakers + bulkhead bounds).
+    resilience: FleetResilience,
     bus: Bus,
     // ---- volatile (destroyed by crash faults) ----
     epoch: u64,
     agent_epochs: HashMap<ActorId, u64>,
     active: BTreeMap<u64, ActiveSession>,
     locks: ScopeLockManager,
+    /// Per-agent circuit breakers (empty when the policy is off). Volatile:
+    /// a restored control plane re-learns which agents are sick.
+    breakers: Vec<CircuitBreaker>,
+    /// Per-agent RTT estimators feeding adaptive retry deadlines. Volatile
+    /// for the same reason.
+    rtt: Vec<RttEstimator>,
+    /// Last RTO reported per agent as a `TimeoutAdapted` event, so the bus
+    /// only carries adaptations that moved the deadline by ≥ a quarter.
+    last_rto: Vec<u64>,
+    /// First unanswered send per agent, for Karn-rule RTT sampling.
+    pending_since: HashMap<usize, SimTime>,
+    /// True while applying effects produced by a protocol timeout — sends
+    /// in that window are retransmissions, i.e. breaker failure evidence.
+    in_timeout: bool,
+    /// Sessions parked at the admission gate (in-flight cap reached before
+    /// their scope was ever tried). Never holds lock-queue entries.
+    gate: Vec<u64>,
+    /// Waiting population (lock queue ∪ gate): session → (priority,
+    /// enqueue sequence), the shed-victim ordering key.
+    waiting: HashMap<u64, (u8, u64)>,
+    /// Monotonic enqueue sequence (ties in shed-victim selection break
+    /// toward the oldest waiter).
+    queue_seq: u64,
     /// Global timer tag → (session, core token).
     tag_owner: HashMap<u64, (u64, u64)>,
     next_tag: u64,
@@ -122,6 +164,15 @@ pub struct ControlActor<M = ()> {
     pub restores: u64,
     /// Progress log (`Info` effects, prefixed with the session).
     pub infos: Vec<String>,
+    /// Sessions shed by the bulkhead (diagnostics; survives restarts).
+    pub shed_count: u64,
+    /// Sessions rejected at admission behind an open breaker (diagnostics;
+    /// survives restarts).
+    pub rejected_count: u64,
+    /// Times any breaker tripped open (diagnostics; survives restarts).
+    pub breaker_trips: u64,
+    /// Sends refused by open breakers (diagnostics; survives restarts).
+    pub suppressed_sends: u64,
     _marker: std::marker::PhantomData<fn() -> M>,
 }
 
@@ -137,6 +188,8 @@ impl<M: Clone + 'static> ControlActor<M> {
         assert!(scenario.iter().all(|s| s.id != 0), "session id 0 is reserved for solo runs");
         let fleet_config = world.initial_config();
         let actor_to_agent = agents.iter().enumerate().map(|(ix, &a)| (a, ix)).collect();
+        let rtt = vec![RttEstimator::new(); agents.len()];
+        let last_rto = vec![0; agents.len()];
         ControlActor {
             world,
             agents,
@@ -144,11 +197,20 @@ impl<M: Clone + 'static> ControlActor<M> {
             scenario,
             timing,
             serialize,
+            resilience: FleetResilience::default(),
             bus: Bus::new(),
             epoch: 0,
             agent_epochs: HashMap::new(),
             active: BTreeMap::new(),
             locks: ScopeLockManager::new(),
+            breakers: Vec::new(),
+            rtt,
+            last_rto,
+            pending_since: HashMap::new(),
+            in_timeout: false,
+            gate: Vec::new(),
+            waiting: HashMap::new(),
+            queue_seq: 0,
             tag_owner: HashMap::new(),
             next_tag: 1,
             agent_session: HashMap::new(),
@@ -162,6 +224,10 @@ impl<M: Clone + 'static> ControlActor<M> {
             completed_at: HashMap::new(),
             restores: 0,
             infos: Vec::new(),
+            shed_count: 0,
+            rejected_count: 0,
+            breaker_trips: 0,
+            suppressed_sends: 0,
             _marker: std::marker::PhantomData,
         }
     }
@@ -170,6 +236,26 @@ impl<M: Clone + 'static> ControlActor<M> {
     pub fn with_bus(mut self, bus: Bus) -> Self {
         self.bus = bus;
         self
+    }
+
+    /// Installs the overload-protection policy (breakers + bulkhead).
+    pub fn with_resilience(mut self, r: FleetResilience) -> Self {
+        self.resilience = r;
+        if let Some(cfg) = r.breaker {
+            self.breakers = (0..self.agents.len()).map(|_| CircuitBreaker::new(cfg)).collect();
+        }
+        self
+    }
+
+    /// Total open time per agent breaker up to `now`, for agents that ever
+    /// tripped (dense agent index, microseconds).
+    pub fn breaker_open_us(&self, now: SimTime) -> Vec<(u32, u64)> {
+        self.breakers
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| b.trips() > 0)
+            .map(|(ix, b)| (ix as u32, b.open_time_us(now)))
+            .collect()
     }
 
     /// Number of sessions currently in flight.
@@ -222,6 +308,197 @@ impl<M: Clone + 'static> ControlActor<M> {
         });
     }
 
+    fn emit_breaker(
+        &mut self,
+        ctx: &Context<'_, Wire<M>>,
+        session: u64,
+        agent: usize,
+        tr: BreakerTransition,
+    ) {
+        let agent = agent as u32;
+        let ev = match tr {
+            BreakerTransition::Opened { cooldown } => {
+                self.breaker_trips += 1;
+                FleetEvent::BreakerOpened { agent, cooldown_us: cooldown.as_micros() }
+            }
+            BreakerTransition::Probing => FleetEvent::BreakerProbed { agent },
+            BreakerTransition::Closed => FleetEvent::BreakerClosed { agent },
+        };
+        self.emit_fleet(ctx, session, ev);
+    }
+
+    /// Records an arrival from `agent`: an RTT sample when a send was
+    /// outstanding (Karn's rule — the timestamp of the first transmission),
+    /// and success evidence for its breaker. Runs for every current-epoch
+    /// message, including acks the owning core will discard as stale: a slow
+    /// agent whose answer arrives after its session already moved on still
+    /// teaches the estimator its true latency, so the *next* session on that
+    /// agent gets a deadline it can meet.
+    fn observe_arrival(&mut self, ctx: &Context<'_, Wire<M>>, agent: usize) {
+        if let Some(t0) = self.pending_since.remove(&agent) {
+            let sample = ctx.now().saturating_since(t0);
+            self.rtt[agent].observe(sample);
+            if self.timing.retry.mode == RetryMode::Adaptive {
+                if let (Some(srtt), Some(rto)) = (self.rtt[agent].srtt(), self.rtt[agent].rto()) {
+                    // Report only adaptations that moved the deadline by at
+                    // least a quarter relative to the last report.
+                    let (rto_us, last) = (rto.as_micros(), self.last_rto[agent]);
+                    if last == 0 || rto_us.abs_diff(last).saturating_mul(4) >= last {
+                        self.last_rto[agent] = rto_us;
+                        self.emit_fleet(
+                            ctx,
+                            self.agent_session.get(&agent).copied().unwrap_or(0),
+                            FleetEvent::TimeoutAdapted {
+                                agent: agent as u32,
+                                srtt_us: srtt.as_micros(),
+                                rto_us,
+                            },
+                        );
+                    }
+                }
+            }
+        }
+        if agent < self.breakers.len() {
+            if let Some(tr) = self.breakers[agent].on_success(ctx.now()) {
+                let sid = self.agent_session.get(&agent).copied().unwrap_or(0);
+                self.emit_breaker(ctx, sid, agent, tr);
+            }
+        }
+    }
+
+    /// Feeds session `session`'s core the RTO of its slowest participant
+    /// before its next event. No-op under the fixed ladder.
+    fn refresh_hint(&mut self, session: u64) {
+        if self.timing.retry.mode != RetryMode::Adaptive {
+            return;
+        }
+        let Some(ix) = self.spec_ix(session) else { return };
+        let hint = self
+            .world
+            .scope_comps(&self.scenario[ix].flips)
+            .iter()
+            .filter_map(|c| self.rtt.get(c.index()).and_then(RttEstimator::rto))
+            .max();
+        if let Some(sess) = self.active.get_mut(&session) {
+            sess.core.set_timeout_hint(hint);
+        }
+    }
+
+    /// The scope agent (dense index) whose open breaker gates `spec`, if any.
+    fn scope_gated(&self, now: SimTime, spec: &SessionSpec) -> Option<usize> {
+        self.world
+            .scope_comps(&spec.flips)
+            .iter()
+            .map(|c| c.index())
+            .find(|&a| self.breakers.get(a).is_some_and(|b| b.blocks(now)))
+    }
+
+    /// Terminates a session at its admission instant because `agent`'s
+    /// breaker is open: journaled outcome, typed event, locks released —
+    /// the session fails fast instead of hanging on suppressed sends.
+    fn reject_gated(&mut self, ctx: &mut Context<'_, Wire<M>>, spec: &SessionSpec, agent: usize) {
+        self.journal.push(SessionRecord {
+            session: SessionId(spec.id),
+            record: JournalRecord::Outcome { success: false, gave_up: false },
+        });
+        self.emit_fleet(
+            ctx,
+            spec.id,
+            FleetEvent::SessionRejected { session: spec.id, agent: agent as u32 },
+        );
+        self.completed_at.insert(spec.id, ctx.now());
+        self.results.insert(
+            spec.id,
+            Outcome {
+                success: false,
+                gave_up: false,
+                final_config: self.fleet_config.clone(),
+                steps_committed: 0,
+                warnings: vec![format!("rejected: agent {agent} behind an open circuit breaker")],
+            },
+        );
+        self.rejected_count += 1;
+        let granted = self.locks.release(spec.id);
+        for g in granted {
+            if let Some(gix) = self.spec_ix(g) {
+                self.admit(ctx, gix);
+            }
+        }
+    }
+
+    /// Registers `session` in the waiting population (lock queue or gate).
+    fn note_waiting(&mut self, session: u64, priority: u8) {
+        self.queue_seq += 1;
+        self.waiting.insert(session, (priority, self.queue_seq));
+    }
+
+    /// Sheds the least valuable waiter: lowest priority, oldest first. The
+    /// victim's session resolves with a journaled `SessionShed` outcome —
+    /// unsuccessful but not given up, exactly like a cancellation — so the
+    /// durable record never shows a session that silently vanished.
+    fn shed_overflow(&mut self, ctx: &mut Context<'_, Wire<M>>) {
+        let entries: Vec<(u64, u8, u64)> =
+            self.waiting.iter().map(|(&sid, &(p, seq))| (sid, p, seq)).collect();
+        let Some(victim) = shed_victim(&entries) else { return };
+        self.waiting.remove(&victim);
+        self.gate.retain(|&g| g != victim);
+        let granted = self.locks.cancel(victim).unwrap_or_default();
+        self.journal.push(SessionRecord {
+            session: SessionId(victim),
+            record: JournalRecord::Outcome { success: false, gave_up: false },
+        });
+        let waited_us = ctx
+            .now()
+            .as_micros()
+            .saturating_sub(self.submitted_at.get(&victim).map_or(0, |t| t.as_micros()));
+        self.emit_fleet(ctx, victim, FleetEvent::SessionShed { session: victim, waited_us });
+        self.completed_at.insert(victim, ctx.now());
+        self.results.insert(
+            victim,
+            Outcome {
+                success: false,
+                gave_up: false,
+                final_config: self.fleet_config.clone(),
+                steps_committed: 0,
+                warnings: vec!["shed by bulkhead admission control".into()],
+            },
+        );
+        self.shed_count += 1;
+        // Cancelling a lock-queue entry may unblock compatible waiters
+        // behind it; they hold their scopes now, so admit them (the
+        // in-flight bound is enforced at every *admission decision*, not
+        // retroactively against lock grants).
+        for g in granted {
+            if let Some(gix) = self.spec_ix(g) {
+                self.admit(ctx, gix);
+            }
+        }
+    }
+
+    /// Admits gated sessions while in-flight capacity is available (highest
+    /// priority first, oldest among ties). A gated session whose scope turns
+    /// out to be busy moves into the lock queue and stays in `waiting`.
+    fn drain_gate(&mut self, ctx: &mut Context<'_, Wire<M>>) {
+        while self.active.len() < self.resilience.bulkhead.max_in_flight {
+            let Some(&sid) = self.gate.iter().max_by_key(|&&sid| {
+                let (p, seq) = self.waiting.get(&sid).copied().unwrap_or((0, u64::MAX));
+                (p, std::cmp::Reverse(seq), std::cmp::Reverse(sid))
+            }) else {
+                break;
+            };
+            self.gate.retain(|&g| g != sid);
+            let Some(ix) = self.spec_ix(sid) else {
+                self.waiting.remove(&sid);
+                continue;
+            };
+            let spec = self.scenario[ix].clone();
+            if self.locks.try_acquire(sid, &self.resources_of(&spec), spec.priority) {
+                self.admit(ctx, ix);
+            }
+            // else: now lock-queued; `waiting` entry (and its age) carries over.
+        }
+    }
+
     /// Feeds `effects` of session `session`'s core back into the world:
     /// session-stamped sends, globally tagged timers, journal appends, and
     /// completion handling (which may admit queued sessions).
@@ -250,6 +527,27 @@ impl<M: Clone + 'static> ControlActor<M> {
         for eff in effects {
             match eff {
                 ManagerEffect::Send { agent, msg } => {
+                    // A send emitted while handling a timeout is a
+                    // retransmission: failure evidence for the breaker.
+                    if self.in_timeout && agent < self.breakers.len() {
+                        if let Some(tr) = self.breakers[agent].on_failure(ctx.now()) {
+                            self.emit_breaker(ctx, session, agent, tr);
+                        }
+                    }
+                    if agent < self.breakers.len() {
+                        let (ok, tr) = self.breakers[agent].allow_send(ctx.now());
+                        if let Some(tr) = tr {
+                            self.emit_breaker(ctx, session, agent, tr);
+                        }
+                        if !ok {
+                            // The breaker absorbs the retry; the session's
+                            // own timeout ladder keeps running and journals
+                            // an outcome (rollback or give-up) either way.
+                            self.suppressed_sends += 1;
+                            continue;
+                        }
+                    }
+                    self.pending_since.entry(agent).or_insert_with(|| ctx.now());
                     self.agent_session.insert(agent, session);
                     ctx.send(
                         self.agents[agent],
@@ -299,9 +597,18 @@ impl<M: Clone + 'static> ControlActor<M> {
             spec.id,
             FleetEvent::SessionSubmitted { session: spec.id, resources: resources.len() as u32 },
         );
+        // Bulkhead: a full control plane parks the newcomer at the admission
+        // gate without even trying its scope; the scope-lock path below only
+        // runs while in-flight capacity exists.
+        if self.active.len() >= self.resilience.bulkhead.max_in_flight {
+            self.park(ctx, ix, &spec);
+            return;
+        }
         if self.locks.try_acquire(spec.id, &resources, spec.priority) {
             self.admit(ctx, ix);
         } else {
+            // The lock manager auto-enqueued the session on conflict.
+            self.note_waiting(spec.id, spec.priority);
             let position = self.locks.position(spec.id).unwrap_or(0) as u32;
             // Journal the queueing decision so a crashed control plane
             // requeues this session (in order) even though no core exists
@@ -318,6 +625,32 @@ impl<M: Clone + 'static> ControlActor<M> {
                 let delay = at.as_micros().saturating_sub(now);
                 ctx.set_timer(SimDuration::from_micros(delay), TAG_CANCEL_BASE + ix as u64);
             }
+            if self.waiting.len() > self.resilience.bulkhead.max_queued {
+                self.shed_overflow(ctx);
+            }
+        }
+    }
+
+    /// Parks a session at the admission gate (in-flight cap reached),
+    /// shedding the least valuable waiter when the waiting room overflows.
+    /// Gate parks journal the same `Queued` record as lock-queue entries so
+    /// a crashed plane requeues them in order.
+    fn park(&mut self, ctx: &mut Context<'_, Wire<M>>, ix: usize, spec: &SessionSpec) {
+        self.note_waiting(spec.id, spec.priority);
+        self.gate.push(spec.id);
+        let target = self.world.target_for(&self.fleet_config, &spec.flips);
+        self.journal.push(SessionRecord {
+            session: SessionId(spec.id),
+            record: JournalRecord::Queued { source: self.fleet_config.clone(), target },
+        });
+        let position = (self.waiting.len() - 1) as u32;
+        self.emit_fleet(ctx, spec.id, FleetEvent::SessionQueued { session: spec.id, position });
+        if let Some(at) = spec.cancel_at {
+            let delay = at.as_micros().saturating_sub(ctx.now().as_micros());
+            ctx.set_timer(SimDuration::from_micros(delay), TAG_CANCEL_BASE + ix as u64);
+        }
+        if self.waiting.len() > self.resilience.bulkhead.max_queued {
+            self.shed_overflow(ctx);
         }
     }
 
@@ -325,6 +658,15 @@ impl<M: Clone + 'static> ControlActor<M> {
     /// planner and embedded core, and fires the adaptation request.
     fn admit(&mut self, ctx: &mut Context<'_, Wire<M>>, ix: usize) {
         let spec = self.scenario[ix].clone();
+        self.waiting.remove(&spec.id);
+        self.gate.retain(|&g| g != spec.id);
+        // Fail fast behind an open breaker: an admitted session whose scope
+        // includes a gated agent would only hang on suppressed sends while
+        // holding its locks, convoying every scope it shares a lock with.
+        if let Some(agent) = self.scope_gated(ctx.now(), &spec) {
+            self.reject_gated(ctx, &spec, agent);
+            return;
+        }
         let source = self.fleet_config.clone();
         let target = self.world.target_for(&source, &spec.flips);
         let scope = self.world.scope_comps(&spec.flips);
@@ -338,6 +680,7 @@ impl<M: Clone + 'static> ControlActor<M> {
             .as_micros()
             .saturating_sub(self.submitted_at.get(&spec.id).map_or(0, |t| t.as_micros()));
         self.emit_fleet(ctx, spec.id, FleetEvent::SessionAdmitted { session: spec.id, queued_for });
+        self.refresh_hint(spec.id);
         let eff = self
             .active
             .get_mut(&spec.id)
@@ -380,6 +723,8 @@ impl<M: Clone + 'static> ControlActor<M> {
                 self.admit(ctx, ix);
             }
         }
+        // Freed in-flight capacity: pull gated sessions in.
+        self.drain_gate(ctx);
     }
 
     /// Withdraws a still-queued session (cancellation timer fired).
@@ -388,9 +733,17 @@ impl<M: Clone + 'static> ControlActor<M> {
         if self.active.contains_key(&sid) || self.results.contains_key(&sid) {
             return; // admitted or finished in the meantime — too late
         }
-        let Some(granted) = self.locks.cancel(sid) else {
-            return;
+        let granted = if self.gate.contains(&sid) {
+            // Gate-parked sessions never entered the lock structures.
+            self.gate.retain(|&g| g != sid);
+            Vec::new()
+        } else {
+            match self.locks.cancel(sid) {
+                Some(g) => g,
+                None => return,
+            }
         };
+        self.waiting.remove(&sid);
         // A withdrawn request resolves unsuccessfully but *not* given up:
         // nothing is awaiting the user, the requester simply left.
         self.journal.push(SessionRecord {
@@ -435,6 +788,7 @@ impl<M: Clone + 'static> ControlActor<M> {
                 _ => return, // nobody is engaging this agent — stale traffic
             }
         };
+        self.refresh_hint(sid);
         let eff = self
             .active
             .get_mut(&sid)
@@ -462,6 +816,7 @@ impl<M: Clone + 'static> Actor<Wire<M>> for ControlActor<M> {
                 return; // pre-crash residue from an old agent incarnation
             }
             *seen = epoch;
+            self.observe_arrival(ctx, agent);
             self.route(ctx, agent, session, p);
         }
     }
@@ -476,10 +831,14 @@ impl<M: Clone + 'static> Actor<Wire<M>> for ControlActor<M> {
             return;
         }
         if let Some((session, token)) = self.tag_owner.remove(&tag) {
-            if let Some(sess) = self.active.get_mut(&session) {
+            if self.active.contains_key(&session) {
+                self.refresh_hint(session);
+                let sess = self.active.get_mut(&session).expect("checked");
                 sess.timers.remove(&token);
                 let eff = sess.core.on_event(ManagerEvent::Timeout { token });
+                self.in_timeout = true;
                 self.apply(ctx, session, eff);
+                self.in_timeout = false;
             }
         }
     }
@@ -494,6 +853,19 @@ impl<M: Clone + 'static> Actor<Wire<M>> for ControlActor<M> {
         self.agent_epochs.clear();
         self.agent_session.clear();
         self.submitted.clear();
+        // Breakers, estimators, and the waiting bookkeeping are process
+        // state too: the restored plane re-learns the network and rebuilds
+        // its queues from the journal.
+        self.pending_since.clear();
+        self.gate.clear();
+        self.waiting.clear();
+        for e in &mut self.rtt {
+            *e = RttEstimator::new();
+        }
+        self.last_rto.iter_mut().for_each(|r| *r = 0);
+        if let Some(cfg) = self.resilience.breaker {
+            self.breakers = (0..self.agents.len()).map(|_| CircuitBreaker::new(cfg)).collect();
+        }
         // The plan cache dies with the process: the restored incarnation
         // starts cold, so journal replay never leans on pre-crash plans.
         self.plan_cache = Rc::new(RefCell::new(PlanCache::new(PLAN_CACHE_CAPACITY)));
@@ -562,11 +934,23 @@ impl<M: Clone + 'static> Actor<Wire<M>> for ControlActor<M> {
             }
             let Some(ix) = self.spec_ix(sid) else { continue };
             let spec = self.scenario[ix].clone();
-            if self.locks.try_acquire(sid, &self.resources_of(&spec), spec.priority) {
+            // Bulkhead capacity is honoured across the restart boundary: once
+            // the restored in-flight set fills it, the remainder re-parks at
+            // the admission gate rather than seizing scopes it can't run.
+            let admissible = self.active.len() + to_admit.len()
+                < self.resilience.bulkhead.max_in_flight
+                && self.locks.try_acquire(sid, &self.resources_of(&spec), spec.priority);
+            if admissible {
                 to_admit.push(ix);
-            } else if let Some(at) = spec.cancel_at {
-                let delay = at.as_micros().saturating_sub(ctx.now().as_micros());
-                ctx.set_timer(SimDuration::from_micros(delay), TAG_CANCEL_BASE + ix as u64);
+            } else {
+                if self.active.len() + to_admit.len() >= self.resilience.bulkhead.max_in_flight {
+                    self.gate.push(sid);
+                }
+                self.note_waiting(sid, spec.priority);
+                if let Some(at) = spec.cancel_at {
+                    let delay = at.as_micros().saturating_sub(ctx.now().as_micros());
+                    ctx.set_timer(SimDuration::from_micros(delay), TAG_CANCEL_BASE + ix as u64);
+                }
             }
         }
         self.emit_fleet(

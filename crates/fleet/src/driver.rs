@@ -7,10 +7,10 @@ use std::rc::Rc;
 
 use sada_obs::{Bus, Event, RingSink};
 use sada_proto::{encode_session_journal, AgentTiming, ProtoTiming, ScriptedAgent, Wire};
-use sada_simnet::{ActorId, LinkConfig, NetStats, SimDuration, SimTime, Simulator};
+use sada_simnet::{ActorId, FaultPlan, LinkConfig, NetStats, SimDuration, SimTime, Simulator};
 
 use crate::cache::PlanCacheStats;
-use crate::control::{ControlActor, SessionSpec};
+use crate::control::{ControlActor, FleetResilience, SessionSpec};
 use crate::world::FleetWorld;
 
 /// A fleet-scale experiment: the world size, the session workload, and the
@@ -32,6 +32,17 @@ pub struct FleetScenario {
     pub time_budget: SimDuration,
     /// Crash/restart instants for the control plane, if any.
     pub crash_control: Option<(SimTime, SimTime)>,
+    /// Protocol timing for every session core (retry policy included).
+    pub timing: ProtoTiming,
+    /// Overload-protection configuration for the control plane.
+    pub resilience: FleetResilience,
+    /// Degraded agents: `(agent index, slowdown factor)` — every phase of
+    /// that agent's work (reset, drain, act, resume, rollback) is stretched
+    /// by the factor, modelling a saturated or GC-thrashing process.
+    pub slow_agents: Vec<(usize, u32)>,
+    /// Arbitrary simnet fault schedule (crash loops, delay bursts, drops)
+    /// applied on top of `crash_control`.
+    pub faults: FaultPlan,
 }
 
 impl FleetScenario {
@@ -46,6 +57,10 @@ impl FleetScenario {
             link_latency: SimDuration::from_millis(1),
             time_budget: SimDuration::from_secs(30),
             crash_control: None,
+            timing: ProtoTiming::default(),
+            resilience: FleetResilience::default(),
+            slow_agents: Vec::new(),
+            faults: FaultPlan::new(),
         }
     }
 }
@@ -83,6 +98,8 @@ pub struct SessionResult {
     pub gave_up: bool,
     /// Withdrawn while still queued.
     pub cancelled: bool,
+    /// Dropped by bulkhead admission control under overload.
+    pub shed: bool,
 }
 
 impl SessionResult {
@@ -113,6 +130,16 @@ pub struct FleetReport {
     /// Plan-cache counters for the final control-plane incarnation (crash
     /// faults reset the volatile cache along with its counters).
     pub cache: PlanCacheStats,
+    /// Sessions shed by bulkhead admission control.
+    pub shed: u64,
+    /// Sessions rejected at admission behind an open circuit breaker.
+    pub rejected: u64,
+    /// Circuit-breaker trips (Closed/HalfOpen → Open transitions).
+    pub breaker_trips: u64,
+    /// Protocol sends suppressed by open breakers.
+    pub suppressed_sends: u64,
+    /// Cumulative open time per tripped agent, `(agent, μs)`.
+    pub breaker_open_us: Vec<(u32, u64)>,
 }
 
 impl FleetReport {
@@ -142,16 +169,21 @@ pub fn run_fleet(scenario: &FleetScenario) -> FleetReport {
     let control_id = ActorId::from_index(2 * scenario.groups);
     let mut agents = Vec::with_capacity(2 * scenario.groups);
     for p in 0..2 * scenario.groups {
-        let agent = ScriptedAgent::new(control_id, AgentTiming::default()).with_bus(bus.clone());
+        let timing = match scenario.slow_agents.iter().find(|&&(ix, _)| ix == p) {
+            Some(&(_, factor)) => scale_timing(AgentTiming::default(), factor),
+            None => AgentTiming::default(),
+        };
+        let agent = ScriptedAgent::new(control_id, timing).with_bus(bus.clone());
         agents.push(sim.add_actor(&format!("agent-{p}"), agent));
     }
     let control = ControlActor::<()>::new(
         Rc::clone(&world),
         agents,
         scenario.sessions.clone(),
-        ProtoTiming::default(),
+        scenario.timing,
         scenario.serialize,
     )
+    .with_resilience(scenario.resilience)
     .with_bus(bus.clone());
     let got = sim.add_actor("control", control);
     assert_eq!(got, control_id, "control plane must sit after the agents");
@@ -160,8 +192,10 @@ pub fn run_fleet(scenario: &FleetScenario) -> FleetReport {
         sim.crash_at(control_id, crash);
         sim.restart_at(control_id, restart);
     }
+    sim.schedule_faults(&scenario.faults);
 
     sim.run_for(scenario.time_budget);
+    let now = sim.now();
 
     let control =
         sim.actor::<ControlActor<()>>(control_id).expect("control plane present after the run");
@@ -181,6 +215,7 @@ pub fn run_fleet(scenario: &FleetScenario) -> FleetReport {
                 gave_up: outcome.is_some_and(|o| o.gave_up),
                 cancelled: outcome
                     .is_some_and(|o| o.warnings.iter().any(|w| w.contains("cancelled"))),
+                shed: outcome.is_some_and(|o| o.warnings.iter().any(|w| w.contains("shed"))),
             }
         })
         .collect();
@@ -204,6 +239,23 @@ pub fn run_fleet(scenario: &FleetScenario) -> FleetReport {
         makespan_us: makespan(control),
         stats: sim.stats(),
         cache: control.cache_stats(),
+        shed: control.shed_count,
+        rejected: control.rejected_count,
+        breaker_trips: control.breaker_trips,
+        suppressed_sends: control.suppressed_sends,
+        breaker_open_us: control.breaker_open_us(now),
+    }
+}
+
+/// Stretches every phase of an agent's work by `factor`.
+fn scale_timing(t: AgentTiming, factor: u32) -> AgentTiming {
+    let scale = |d: SimDuration| SimDuration::from_micros(d.as_micros() * u64::from(factor));
+    AgentTiming {
+        safe_delay: scale(t.safe_delay),
+        drain_extra: scale(t.drain_extra),
+        act_delay: scale(t.act_delay),
+        resume_delay: scale(t.resume_delay),
+        rollback_delay: scale(t.rollback_delay),
     }
 }
 

@@ -27,17 +27,27 @@
 //! * [`run_fleet`] — the scenario driver: hundreds of agent groups in
 //!   simnet, fault schedules, and a [`FleetReport`] with per-session
 //!   latencies, peak concurrency, and the captured event stream.
+//! * [`FleetResilience`] — overload protection for the control plane:
+//!   per-agent circuit breakers, bulkhead admission bounds with
+//!   deterministic shedding, and fail-fast rejection of sessions scoped
+//!   behind an open breaker.
+//! * [`run_overload`] — the sustained-overload experiment: Poisson
+//!   arrivals at multiples of the calibrated capacity
+//!   ([`measure_capacity`]) against a degraded fleet, comparing the
+//!   always-admit baseline with the protected configuration.
 
 mod cache;
 mod control;
 mod driver;
 mod lock;
+mod overload;
 mod planner;
 mod world;
 
 pub use cache::{CacheNote, CacheNoteKind, CachedPlan, PlanCache, PlanCacheStats, ScopeNormalizer};
-pub use control::{ControlActor, SessionSpec};
+pub use control::{ControlActor, FleetResilience, SessionSpec};
 pub use driver::{disjoint_wave, run_fleet, FleetReport, FleetScenario, SessionResult};
 pub use lock::ScopeLockManager;
+pub use overload::{measure_capacity, run_overload, OverloadConfig, OverloadReport};
 pub use planner::ScopedLazyPlanner;
 pub use world::FleetWorld;

@@ -288,6 +288,27 @@ pub fn encode_event(ev: &Event) -> String {
             FleetEvent::PlanCacheEvicted { session } => {
                 o("fleet.cache_evicted").num("id", *session).finish()
             }
+            FleetEvent::SessionShed { session, waited_us } => {
+                o("fleet.shed").num("id", *session).num("waited_us", *waited_us).finish()
+            }
+            FleetEvent::SessionRejected { session, agent } => {
+                o("fleet.rejected").num("id", *session).num("agent", u64::from(*agent)).finish()
+            }
+            FleetEvent::BreakerOpened { agent, cooldown_us } => o("fleet.breaker_open")
+                .num("agent", u64::from(*agent))
+                .num("cooldown_us", *cooldown_us)
+                .finish(),
+            FleetEvent::BreakerProbed { agent } => {
+                o("fleet.breaker_probe").num("agent", u64::from(*agent)).finish()
+            }
+            FleetEvent::BreakerClosed { agent } => {
+                o("fleet.breaker_close").num("agent", u64::from(*agent)).finish()
+            }
+            FleetEvent::TimeoutAdapted { agent, srtt_us, rto_us } => o("fleet.rto")
+                .num("agent", u64::from(*agent))
+                .num("srtt_us", *srtt_us)
+                .num("rto_us", *rto_us)
+                .finish(),
         },
     }
 }
@@ -668,6 +689,29 @@ pub fn decode_event(line: &str) -> Result<Event, String> {
         "fleet.cache_evicted" => {
             Payload::Fleet(FleetEvent::PlanCacheEvicted { session: f.num("id")? })
         }
+        "fleet.shed" => Payload::Fleet(FleetEvent::SessionShed {
+            session: f.num("id")?,
+            waited_us: f.num("waited_us")?,
+        }),
+        "fleet.rejected" => Payload::Fleet(FleetEvent::SessionRejected {
+            session: f.num("id")?,
+            agent: f.num("agent")? as u32,
+        }),
+        "fleet.breaker_open" => Payload::Fleet(FleetEvent::BreakerOpened {
+            agent: f.num("agent")? as u32,
+            cooldown_us: f.num("cooldown_us")?,
+        }),
+        "fleet.breaker_probe" => {
+            Payload::Fleet(FleetEvent::BreakerProbed { agent: f.num("agent")? as u32 })
+        }
+        "fleet.breaker_close" => {
+            Payload::Fleet(FleetEvent::BreakerClosed { agent: f.num("agent")? as u32 })
+        }
+        "fleet.rto" => Payload::Fleet(FleetEvent::TimeoutAdapted {
+            agent: f.num("agent")? as u32,
+            srtt_us: f.num("srtt_us")?,
+            rto_us: f.num("rto_us")?,
+        }),
         other => return Err(format!("unknown event kind {other:?}")),
     };
     // Pre-fleet traces carry no session key; they decode as session 0.
@@ -814,6 +858,12 @@ mod tests {
             Payload::Fleet(FleetEvent::PlanCacheHit { session: 7 }),
             Payload::Fleet(FleetEvent::PlanCacheMiss { session: 1 }),
             Payload::Fleet(FleetEvent::PlanCacheEvicted { session: 3 }),
+            Payload::Fleet(FleetEvent::SessionShed { session: 11, waited_us: 4_200 }),
+            Payload::Fleet(FleetEvent::SessionRejected { session: 12, agent: 7 }),
+            Payload::Fleet(FleetEvent::BreakerOpened { agent: 5, cooldown_us: 400_000 }),
+            Payload::Fleet(FleetEvent::BreakerProbed { agent: 5 }),
+            Payload::Fleet(FleetEvent::BreakerClosed { agent: 5 }),
+            Payload::Fleet(FleetEvent::TimeoutAdapted { agent: 2, srtt_us: 9_800, rto_us: 31_000 }),
         ];
         for (i, payload) in cases.into_iter().enumerate() {
             round_trip(Event {

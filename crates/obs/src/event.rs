@@ -392,6 +392,56 @@ pub enum FleetEvent {
         /// eviction.
         session: u64,
     },
+    /// The bulkhead's waiting room was full: the control plane shed a
+    /// session (the lowest-priority, oldest waiter) instead of queueing
+    /// without bound.
+    SessionShed {
+        /// The shed session's identifier.
+        session: u64,
+        /// Microseconds the victim had spent waiting (0 when the newcomer
+        /// itself was shed on arrival).
+        waited_us: u64,
+    },
+    /// A session was admitted into a scope whose agent sits behind an open
+    /// circuit breaker; rather than hanging on suppressed sends while
+    /// holding its locks, the session terminated with a journaled outcome.
+    SessionRejected {
+        /// The rejected session's identifier.
+        session: u64,
+        /// Dense index of the gated agent that forced the rejection.
+        agent: u32,
+    },
+    /// An agent's circuit breaker tripped open: it stops absorbing
+    /// retransmissions until a half-open probe succeeds.
+    BreakerOpened {
+        /// Dense agent index within the hosting control plane.
+        agent: u32,
+        /// The open hold before the next probe, in microseconds (doubles,
+        /// capped, on every failed probe).
+        cooldown_us: u64,
+    },
+    /// An open breaker's cooldown elapsed; the gated send went out as the
+    /// single half-open probe.
+    BreakerProbed {
+        /// Dense agent index within the hosting control plane.
+        agent: u32,
+    },
+    /// The agent answered while its breaker was open or half-open; traffic
+    /// flows again.
+    BreakerClosed {
+        /// Dense agent index within the hosting control plane.
+        agent: u32,
+    },
+    /// An agent's RTT estimator moved its retransmission timeout far enough
+    /// (≥ a quarter relative to the last report) to be worth recording.
+    TimeoutAdapted {
+        /// Dense agent index within the hosting control plane.
+        agent: u32,
+        /// Smoothed round-trip time, in microseconds.
+        srtt_us: u64,
+        /// Resulting retransmission timeout, in microseconds.
+        rto_us: u64,
+    },
 }
 
 /// What the planning layer observed.

@@ -13,6 +13,8 @@ use sada_obs::{ManagerPhaseTag, Payload, PlanEvent, ProtoEvent};
 use sada_plan::{ActionId, Path};
 use sada_simnet::SimDuration;
 
+use sada_resilience::RetryPolicy;
+
 use crate::journal::JournalRecord;
 use crate::messages::{LocalAction, ProtoMsg, StepId};
 
@@ -58,18 +60,11 @@ pub trait AdaptationPlanner {
 /// Timing and retry policy for the realization phase.
 #[derive(Debug, Clone, Copy)]
 pub struct ProtoTiming {
-    /// How long the manager waits for a phase to finish before the first
-    /// retransmission (the paper's time-out mechanism). Subsequent
-    /// retransmissions back off exponentially from this base.
-    pub phase_timeout: SimDuration,
-    /// Ceiling for the backed-off retransmission interval. Values below
-    /// `phase_timeout` are treated as `phase_timeout` (no backoff).
-    pub backoff_cap: SimDuration,
-    /// Seed for the deterministic retransmission jitter. Retried timers add
-    /// a pseudo-random fraction of the interval (derived from this seed and
-    /// the timer token, so a run stays a pure function of its inputs) to
-    /// de-synchronize retry storms under latency bursts.
-    pub jitter_seed: u64,
+    /// Retransmission deadline schedule (the paper's time-out mechanism):
+    /// base interval, exponential backoff cap, deterministic jitter seed,
+    /// and whether the base is the fixed ladder or an RTT-adaptive hint
+    /// supplied by the host via [`ManagerCore::set_timeout_hint`].
+    pub retry: RetryPolicy,
     /// Retransmissions of `reset` before declaring a loss-of-message
     /// failure ("several attempts to send the messages").
     pub send_retries: u32,
@@ -84,30 +79,12 @@ pub struct ProtoTiming {
 impl Default for ProtoTiming {
     fn default() -> Self {
         ProtoTiming {
-            phase_timeout: SimDuration::from_millis(200),
-            backoff_cap: SimDuration::from_millis(800),
-            jitter_seed: 0x5ADA,
+            retry: RetryPolicy::default(),
             send_retries: 3,
             resume_force_limit: 10,
             rollback_force_limit: 10,
         }
     }
-}
-
-/// A splitmix64-style mix: a deterministic pseudo-random value in
-/// `[0, span)` derived from the jitter seed and the (unique, monotonic)
-/// timer token.
-fn jitter_us(seed: u64, salt: u64, span: u64) -> u64 {
-    if span == 0 {
-        return 0;
-    }
-    let mut x = seed ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
-    x ^= x >> 30;
-    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    x ^= x >> 27;
-    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
-    x ^= x >> 31;
-    x % span
 }
 
 /// The manager's coarse protocol phase (Figure 2's states; `Preparing` is
@@ -226,6 +203,11 @@ pub struct ManagerCore {
     timer_token: u64,
     timer_seq: u64,
     journal_seq: u64,
+    /// RTT-derived deadline hint for the slowest participant of the current
+    /// step, maintained by the host (volatile: not journaled, reset on
+    /// restore — the estimator re-learns after a crash). Only consulted
+    /// when the retry policy is in adaptive mode.
+    timeout_hint: Option<SimDuration>,
     warnings: Vec<String>,
     queued_requests: std::collections::VecDeque<(Config, Config)>,
     /// Untimed observability payloads accumulated since the last drain; the
@@ -271,6 +253,7 @@ impl ManagerCore {
             timer_token: 0,
             timer_seq: 0,
             journal_seq: 0,
+            timeout_hint: None,
             warnings: Vec::new(),
             queued_requests: std::collections::VecDeque::new(),
             obs: Vec::new(),
@@ -282,6 +265,15 @@ impl ManagerCore {
     /// stamps these and forwards them to the bus.
     pub fn drain_obs(&mut self) -> Vec<Payload> {
         std::mem::take(&mut self.obs)
+    }
+
+    /// Sets the RTT-derived retransmission hint the host computed from its
+    /// per-agent estimators (the RTO of the slowest participant). The core
+    /// stays pure: it never measures latency itself, it only folds the hint
+    /// into the next timer it arms. Ignored unless `timing.retry.mode` is
+    /// `RetryMode::Adaptive`.
+    pub fn set_timeout_hint(&mut self, hint: Option<SimDuration>) {
+        self.timeout_hint = hint;
     }
 
     /// Records a phase change (and the transition event for it).
@@ -485,20 +477,14 @@ impl ManagerCore {
         // Exponential backoff, capped: each retransmission of the same phase
         // doubles the wait, so a delay burst no longer walks the whole retry
         // budget at once and triggers a spurious rollback. The first timer of
-        // a phase (retries == 0) is exactly `phase_timeout`, keeping the
+        // a phase (retries == 0) is exactly the policy base, keeping the
         // happy path and its tests bit-identical; retried timers add a
         // deterministic seeded jitter of up to a quarter interval so a fleet
-        // of retransmissions does not stay synchronized.
-        let base = self.timing.phase_timeout.as_micros();
-        let cap = self.timing.backoff_cap.as_micros().max(base);
-        let mut backed = base.saturating_mul(1u64 << self.retries.min(10)).min(cap);
-        if self.retries > 0 {
-            backed += jitter_us(self.timing.jitter_seed, self.timer_token, backed / 4 + 1);
-        }
-        eff.push(ManagerEffect::SetTimer {
-            token: self.timer_token,
-            after: SimDuration::from_micros(backed),
-        });
+        // of retransmissions does not stay synchronized. In adaptive mode
+        // the base comes from the host's RTT hint for the slowest
+        // participant instead of the fixed ladder.
+        let after = self.timing.retry.deadline(self.retries, self.timer_token, self.timeout_hint);
+        eff.push(ManagerEffect::SetTimer { token: self.timer_token, after });
     }
 
     fn start_step(&mut self) -> Vec<ManagerEffect> {

@@ -223,4 +223,53 @@ mod tests {
         // Message amplification: each logical message crosses 4 links.
         assert!(sim.stats().delivered > 12);
     }
+
+    #[test]
+    fn shrunken_retry_base_over_a_deep_chain_retransmits_but_applies_once() {
+        // Same 4-hop chain, but the retry base is squeezed to 10 ms — well
+        // under the ~32 ms round trip plus the agent's local delays. Every
+        // phase times out at least once and retransmits through the tree;
+        // idempotent re-acks must still converge on exactly one application
+        // of the action, with no duplicate effects.
+        use sada_resilience::RetryPolicy;
+        let (u, planner) = planner();
+        let mut sim: Simulator<Msg> = Simulator::new(5);
+        sim.set_default_link(LinkConfig::reliable(SimDuration::from_millis(4)));
+        let id = sada_simnet::ActorId::from_index;
+        let agent = sim.add_actor("agent", ScriptedAgent::new(id(1), AgentTiming::default())); // 0
+        let r3 = sim.add_actor("r3", RelayActor::new(id(2), agent)); // 1
+        let r2 = sim.add_actor("r2", RelayActor::new(id(3), r3)); // 2
+        let r1 = sim.add_actor("r1", RelayActor::new(id(4), r2)); // 3
+        let timing = ProtoTiming {
+            retry: RetryPolicy {
+                base: SimDuration::from_millis(10),
+                cap: SimDuration::from_millis(40),
+                ..RetryPolicy::default()
+            },
+            ..ProtoTiming::default()
+        };
+        let manager = sim.add_actor(
+            "manager",
+            ManagerActor::<()>::new(
+                timing,
+                Box::new(planner),
+                vec![r1],
+                u.config_of(&["A"]),
+                u.config_of(&["B"]),
+            ),
+        ); // 4
+        sim.run();
+        let m = sim.actor::<ManagerActor<()>>(manager).unwrap();
+        let o = m.outcome.clone().expect("resolved");
+        assert!(o.success, "premature timeouts only cost traffic, not correctness");
+        assert!(
+            m.infos.iter().any(|i| i.contains("retransmitting")),
+            "the squeezed base must actually fire spurious retransmissions: {:?}",
+            m.infos
+        );
+        let agent_state = sim.actor::<ScriptedAgent>(agent).unwrap();
+        assert_eq!(agent_state.applied.len(), 1, "re-received resets are absorbed, not re-applied");
+        let r = sim.actor::<RelayActor>(r1).unwrap();
+        assert!(r.forwarded_down >= 2, "duplicates traversed the tree");
+    }
 }

@@ -10,8 +10,11 @@ use std::collections::HashMap;
 use std::marker::PhantomData;
 
 use sada_expr::Config;
-use sada_obs::Bus;
+use sada_obs::{Bus, FleetEvent, Payload};
 use sada_plan::{ActionId, Path};
+use sada_resilience::{
+    BreakerConfig, BreakerTransition, CircuitBreaker, ReannouncePolicy, RetryMode, RttEstimator,
+};
 use sada_simnet::{Actor, ActorId, Context, SimDuration, SimTime, TimerId};
 
 use crate::agent::{AgentCore, AgentEffect, AgentEvent};
@@ -83,6 +86,23 @@ pub struct ManagerActor<M> {
     pub completed_at: Option<sada_simnet::SimTime>,
     /// Progress log (the manager's `Info` effects).
     pub infos: Vec<String>,
+    /// Breaker policy, kept (like `timing`) so a restarted incarnation is
+    /// rebuilt under the same policy. `None` disables the gate entirely.
+    breaker_cfg: Option<BreakerConfig>,
+    /// Per-agent circuit breakers (volatile process state).
+    breakers: Vec<CircuitBreaker>,
+    /// Per-agent RTT estimators feeding the adaptive retry deadline
+    /// (volatile: a restarted manager re-learns the network).
+    rtt: Vec<RttEstimator>,
+    /// First unanswered send per agent, for Karn-rule RTT sampling.
+    pending_since: HashMap<usize, SimTime>,
+    /// True while applying effects produced by a protocol timeout — sends
+    /// in that window are retransmissions, i.e. breaker failure evidence.
+    in_timeout: bool,
+    /// Times any breaker tripped open (diagnostics; survives restarts).
+    pub breaker_trips: u64,
+    /// Sends refused by open breakers (diagnostics; survives restarts).
+    pub suppressed_sends: u64,
     bus: Bus,
     _marker: PhantomData<fn() -> M>,
 }
@@ -98,6 +118,7 @@ impl<M> ManagerActor<M> {
         target: Config,
     ) -> Self {
         let actor_to_agent = agents.iter().enumerate().map(|(ix, &a)| (a, ix)).collect();
+        let rtt = vec![RttEstimator::new(); agents.len()];
         ManagerActor {
             core: ManagerCore::new(timing, planner),
             agents,
@@ -114,9 +135,25 @@ impl<M> ManagerActor<M> {
             outcome: None,
             completed_at: None,
             infos: Vec::new(),
+            breaker_cfg: None,
+            breakers: Vec::new(),
+            rtt,
+            pending_since: HashMap::new(),
+            in_timeout: false,
+            breaker_trips: 0,
+            suppressed_sends: 0,
             bus: Bus::new(),
             _marker: PhantomData,
         }
+    }
+
+    /// Installs per-agent circuit breakers between the core and the wire:
+    /// an agent that keeps timing out stops absorbing retransmissions and
+    /// is re-engaged through a single seeded half-open probe.
+    pub fn with_breakers(mut self, cfg: BreakerConfig) -> Self {
+        self.breaker_cfg = Some(cfg);
+        self.breakers = (0..self.agents.len()).map(|_| CircuitBreaker::new(cfg)).collect();
+        self
     }
 
     /// Emits the manager's protocol/plan events onto `bus` (timestamped
@@ -152,6 +189,84 @@ impl<M> ManagerActor<M> {
         self.epoch
     }
 
+    fn emit_fleet(&mut self, ctx: &mut Context<'_, Wire<M>>, ev: FleetEvent)
+    where
+        M: Clone + 'static,
+    {
+        if self.bus.has_sinks() {
+            self.bus.emit(sada_obs::Event {
+                at: ctx.now(),
+                actor: ctx.self_id().index() as u32,
+                session: 0,
+                payload: Payload::Fleet(ev),
+            });
+        }
+    }
+
+    fn emit_transition(
+        &mut self,
+        ctx: &mut Context<'_, Wire<M>>,
+        agent: usize,
+        tr: BreakerTransition,
+    ) where
+        M: Clone + 'static,
+    {
+        let agent = agent as u32;
+        let ev = match tr {
+            BreakerTransition::Opened { cooldown } => {
+                self.breaker_trips += 1;
+                FleetEvent::BreakerOpened { agent, cooldown_us: cooldown.as_micros() }
+            }
+            BreakerTransition::Probing => FleetEvent::BreakerProbed { agent },
+            BreakerTransition::Closed => FleetEvent::BreakerClosed { agent },
+        };
+        self.emit_fleet(ctx, ev);
+    }
+
+    /// Records an arrival from `agent`: an RTT sample when a send was
+    /// outstanding (Karn's rule — the timestamp of the *first* transmission,
+    /// never a retransmission's), and success evidence for the breaker. Runs
+    /// for every current-epoch message, including acks the core will discard
+    /// as stale: a slow agent whose answer arrives after the manager already
+    /// gave up on the phase still teaches the estimator its true latency.
+    fn observe_arrival(&mut self, ctx: &mut Context<'_, Wire<M>>, agent: usize)
+    where
+        M: Clone + 'static,
+    {
+        if let Some(t0) = self.pending_since.remove(&agent) {
+            let sample = ctx.now().saturating_since(t0);
+            self.rtt[agent].observe(sample);
+            if self.timing.retry.mode == RetryMode::Adaptive {
+                let (srtt, rto) = (self.rtt[agent].srtt(), self.rtt[agent].rto());
+                if let (Some(srtt), Some(rto)) = (srtt, rto) {
+                    self.emit_fleet(
+                        ctx,
+                        FleetEvent::TimeoutAdapted {
+                            agent: agent as u32,
+                            srtt_us: srtt.as_micros(),
+                            rto_us: rto.as_micros(),
+                        },
+                    );
+                }
+            }
+        }
+        if agent < self.breakers.len() {
+            if let Some(tr) = self.breakers[agent].on_success(ctx.now()) {
+                self.emit_transition(ctx, agent, tr);
+            }
+        }
+    }
+
+    /// Feeds the core the RTO of the slowest agent before its next event, so
+    /// adaptive retry deadlines track observed latency. No-op in fixed mode.
+    fn refresh_hint(&mut self) {
+        if self.timing.retry.mode != RetryMode::Adaptive {
+            return;
+        }
+        let hint = self.rtt.iter().filter_map(RttEstimator::rto).max();
+        self.core.set_timeout_hint(hint);
+    }
+
     fn apply(&mut self, ctx: &mut Context<'_, Wire<M>>, effects: Vec<ManagerEffect>)
     where
         M: Clone + 'static,
@@ -166,6 +281,27 @@ impl<M> ManagerActor<M> {
         for eff in effects {
             match eff {
                 ManagerEffect::Send { agent, msg } => {
+                    // A send emitted while handling a timeout is a
+                    // retransmission: failure evidence for the breaker.
+                    if self.in_timeout && agent < self.breakers.len() {
+                        if let Some(tr) = self.breakers[agent].on_failure(ctx.now()) {
+                            self.emit_transition(ctx, agent, tr);
+                        }
+                    }
+                    if agent < self.breakers.len() {
+                        let (ok, tr) = self.breakers[agent].allow_send(ctx.now());
+                        if let Some(tr) = tr {
+                            self.emit_transition(ctx, agent, tr);
+                        }
+                        if !ok {
+                            // The breaker absorbs the retry; the protocol's
+                            // own timeout ladder keeps running and will
+                            // journal an outcome either way.
+                            self.suppressed_sends += 1;
+                            continue;
+                        }
+                    }
+                    self.pending_since.entry(agent).or_insert_with(|| ctx.now());
                     ctx.send(
                         self.agents[agent],
                         Wire::Proto { epoch: self.epoch, session: SessionId::SOLO, msg },
@@ -215,6 +351,8 @@ impl<M: Clone + 'static> Actor<Wire<M>> for ManagerActor<M> {
                         return; // pre-crash residue from an old incarnation
                     }
                     *seen = epoch;
+                    self.observe_arrival(ctx, agent);
+                    self.refresh_hint();
                     let eff = self.core.on_event(ManagerEvent::AgentMsg { agent, msg: p });
                     self.apply(ctx, eff);
                 }
@@ -239,16 +377,27 @@ impl<M: Clone + 'static> Actor<Wire<M>> for ManagerActor<M> {
             return;
         }
         self.timers.remove(&tag);
+        self.refresh_hint();
         let eff = self.core.on_event(ManagerEvent::Timeout { token: tag });
+        self.in_timeout = true;
         self.apply(ctx, eff);
+        self.in_timeout = false;
     }
 
     fn on_crash(&mut self, _now: SimTime) {
-        // The process image dies: armed timers and the per-agent epoch
-        // watermark are volatile. The journal field deliberately survives —
-        // it stands in for the durable log of a real deployment.
+        // The process image dies: armed timers, the per-agent epoch
+        // watermark, breakers, and RTT estimators are volatile. The journal
+        // field deliberately survives — it stands in for the durable log of
+        // a real deployment.
         self.timers.clear();
         self.agent_epochs.clear();
+        self.pending_since.clear();
+        for e in &mut self.rtt {
+            *e = RttEstimator::new();
+        }
+        if let Some(cfg) = self.breaker_cfg {
+            self.breakers = (0..self.agents.len()).map(|_| CircuitBreaker::new(cfg)).collect();
+        }
     }
 
     fn on_restart(&mut self, ctx: &mut Context<'_, Wire<M>>) {
@@ -313,13 +462,6 @@ const TAG_RESUME: u64 = 3;
 const TAG_ROLLBACK: u64 = 4;
 const TAG_REJOIN: u64 = 5;
 
-/// How often a restarted agent retransmits `Rejoin` until the manager
-/// engages it, and how many times it tries. The budget must outlast a
-/// partition window plus the manager's phase timeout, or a lost rejoin
-/// degenerates into the (safe but slower) pure-timeout recovery.
-const REJOIN_PERIOD: SimDuration = SimDuration::from_millis(100);
-const REJOIN_RETRIES: u32 = 12;
-
 /// A process whose local adaptation behaviour is scripted: it reaches its
 /// safe state, performs in-actions, resumes and rolls back after fixed
 /// delays, and can be told to exhibit the paper's fail-to-reset failure.
@@ -348,6 +490,11 @@ pub struct ScriptedAgent {
     pub rejoins_sent: u64,
     epoch: u64,
     manager_epoch: u64,
+    /// How often a restarted agent retransmits `Rejoin` until the manager
+    /// engages it, and how many times it tries. The budget must outlast a
+    /// partition window plus the manager's phase timeout, or a lost rejoin
+    /// degenerates into the (safe but slower) pure-timeout recovery.
+    reannounce: ReannouncePolicy,
     rejoin_budget: u32,
     pending_action: Option<LocalAction>,
     pending_rollback: Option<LocalAction>,
@@ -372,6 +519,7 @@ impl ScriptedAgent {
             rejoins_sent: 0,
             epoch: 0,
             manager_epoch: 0,
+            reannounce: ReannouncePolicy::default(),
             rejoin_budget: 0,
             pending_action: None,
             pending_rollback: None,
@@ -384,6 +532,12 @@ impl ScriptedAgent {
     /// with the virtual clock, attributed to this actor).
     pub fn with_bus(mut self, bus: Bus) -> Self {
         self.bus = bus;
+        self
+    }
+
+    /// Overrides the rejoin re-announcement schedule (period and budget).
+    pub fn with_reannounce(mut self, policy: ReannouncePolicy) -> Self {
+        self.reannounce = policy;
         self
     }
 
@@ -414,7 +568,7 @@ impl ScriptedAgent {
                 },
             },
         );
-        ctx.set_timer(REJOIN_PERIOD, TAG_REJOIN);
+        ctx.set_timer(self.reannounce.period, TAG_REJOIN);
     }
 
     fn apply<M: Clone + 'static>(
@@ -521,7 +675,7 @@ impl<M: Clone + 'static> Actor<Wire<M>> for ScriptedAgent {
                 },
             );
         }
-        self.rejoin_budget = REJOIN_RETRIES;
+        self.rejoin_budget = self.reannounce.budget;
         self.send_rejoin(ctx);
     }
 

@@ -256,6 +256,93 @@ fn chaos_plans_are_reproducible() {
     assert_eq!(r1.messages_sent, r2.messages_sent);
 }
 
+/// Slow-agent profile: one sustained latency burst inflates every round
+/// trip far past the fixed ladder's 200 ms base, so the historical policy
+/// retransmits spuriously for the whole episode. The RTT-adaptive policy
+/// must hold the same safety contract while learning the inflated latency
+/// and cutting the retransmission traffic.
+#[test]
+fn sustained_delay_bursts_hold_the_contract_under_adaptive_timeouts() {
+    let cs = case_study();
+    let plan = FaultPlan::new().delay_burst(
+        (SimTime::from_millis(10), SimTime::from_millis(2_510)),
+        SimDuration::from_millis(250),
+    );
+    // The profile must survive the text codec like every pinnable plan.
+    let parsed = FaultPlan::parse(&plan.to_text()).expect("round-trip");
+    assert_eq!(parsed.to_text(), plan.to_text());
+
+    let fixed = {
+        let cfg = RunConfig { faults: plan.clone(), ..RunConfig::default() };
+        run_adaptation(&cs.spec, &cs.source, &cs.target, &cfg)
+    };
+    assert_contract(&cs, &plan, "delay bursts / fixed ladder", &fixed);
+
+    let adaptive = {
+        let timing =
+            ProtoTiming { retry: sada_proto::RetryPolicy::adaptive(), ..ProtoTiming::default() };
+        let cfg = RunConfig { timing, faults: plan.clone(), ..RunConfig::default() };
+        run_adaptation(&cs.spec, &cs.source, &cs.target, &cfg)
+    };
+    assert_contract(&cs, &plan, "delay bursts / adaptive", &adaptive);
+    assert!(adaptive.outcome.success, "{:?}", adaptive.infos);
+    assert!(
+        adaptive.messages_sent <= fixed.messages_sent,
+        "adaptive timeouts must not retransmit more than the fixed ladder \
+         under sustained latency ({} vs {})",
+        adaptive.messages_sent,
+        fixed.messages_sent
+    );
+}
+
+/// Flap profile: an agent caught in a crash/restart loop, each outage long
+/// enough to exhaust a full retry ladder. With a breaker at threshold 3
+/// (one ladder's worth of evidence) the outages trip it, every restart
+/// rejoins, and the run still terminates safely and reproducibly.
+#[test]
+fn crash_restart_flap_loop_stays_safe_and_trips_the_breaker() {
+    let cs = case_study();
+    let victim = ActorId::from_index(1);
+    let mut plan = FaultPlan::new();
+    for cycle in 0..3u64 {
+        let down = SimTime::from_millis(5 + cycle * 1_800);
+        let up = SimTime::from_millis(1_705 + cycle * 1_800);
+        plan = plan.crash(victim, down).restart(victim, up);
+    }
+    let parsed = FaultPlan::parse(&plan.to_text()).expect("round-trip");
+    assert_eq!(parsed.to_text(), plan.to_text());
+
+    let run = |seedless_check: bool| {
+        let cfg = RunConfig {
+            breaker: Some(sada_proto::BreakerConfig {
+                failure_threshold: 3,
+                ..sada_proto::BreakerConfig::default()
+            }),
+            faults: plan.clone(),
+            ..RunConfig::default()
+        };
+        let report = run_adaptation(&cs.spec, &cs.source, &cs.target, &cfg);
+        if seedless_check {
+            assert_contract(&cs, &plan, "flap loop / breaker", &report);
+        }
+        report
+    };
+    let report = run(true);
+    assert_eq!((report.crashes, report.restarts), (3, 3));
+    assert!(report.rejoins >= 3, "every restart re-announces ({} rejoins)", report.rejoins);
+    assert!(report.breaker_trips >= 1, "a full-ladder outage must trip the breaker");
+    assert_journal_durable(&cs, "flap loop / breaker", &report);
+    // Identical inputs reproduce the identical run.
+    let again = run(false);
+    assert_eq!(report.finished_at, again.finished_at);
+    assert_eq!(report.messages_sent, again.messages_sent);
+    assert_eq!(report.outcome.final_config, again.outcome.final_config);
+    assert_eq!(
+        (report.breaker_trips, report.suppressed_sends),
+        (again.breaker_trips, again.suppressed_sends)
+    );
+}
+
 #[test]
 fn pinned_fault_plans_stay_safe() {
     // Every plan in tests/regressions/ is a previously interesting (or

@@ -115,6 +115,67 @@ fn crash_before_any_admission_replays_the_whole_scenario() {
 }
 
 #[test]
+fn session_behind_an_open_breaker_terminates_with_a_journaled_outcome() {
+    use sada_fleet::FleetResilience;
+    use sada_proto::{BreakerConfig, JournalRecord};
+    use sada_simnet::{ActorId, FaultPlan};
+
+    // Group 0 is hosted by agents 0 and 1. Kill agent 0 for good: session 1
+    // exhausts its retry ladder against the dead agent (threshold 3 = one
+    // full ladder), trips the breaker, aborts, and force-completes its
+    // rollback once that ladder exhausts too — releasing the scope while
+    // the pinned 30 s cooldown still holds the breaker open. Session 2,
+    // queued on the same scope, is then admitted into the open window and
+    // must terminate immediately with a journaled outcome — the fail-fast
+    // path — rather than hang on suppressed sends holding the scope lock.
+    let mut scenario =
+        FleetScenario::new(2, vec![spec(1, vec![(0, true)], 0), spec(2, vec![(0, true)], 1)]);
+    scenario.resilience = FleetResilience {
+        breaker: Some(BreakerConfig {
+            failure_threshold: 3,
+            cooldown: SimDuration::from_secs(30),
+            cooldown_cap: SimDuration::from_secs(30),
+            ..BreakerConfig::default()
+        }),
+        ..FleetResilience::default()
+    };
+    scenario.faults = FaultPlan::new().crash(ActorId::from_index(0), SimTime::from_millis(2));
+    let report = run_fleet(&scenario);
+
+    assert!(report.breaker_trips >= 1, "exhausted ladder must trip agent 0's breaker");
+    assert_eq!(report.rejected, 1, "session 2 is rejected at admission: {:?}", report.results);
+    let s1 = report.session(1).unwrap();
+    assert!(!s1.success, "session 1 aborts against the dead agent");
+    let s2 = report.session(2).unwrap();
+    assert!(!s2.success && !s2.gave_up && !s2.cancelled && !s2.shed, "rejected, not given up");
+    assert!(s2.admitted_at.is_none(), "rejection happens at the admission edge");
+    assert!(s2.completed_at.is_some(), "rejection is a terminal completion");
+    assert!(
+        report.events.iter().any(|e| matches!(
+            e.payload,
+            Payload::Fleet(FleetEvent::SessionRejected { session: 2, agent: 0 })
+        )),
+        "typed rejection event on the bus"
+    );
+    // The journal records the rejection as a regular outcome, so a crashed
+    // control plane never resurrects a session its breakers turned away.
+    let parsed = parse_session_journal(&report.journal_text).expect("journal parses");
+    assert!(
+        parsed.iter().any(|r| r.session.0 == 2
+            && matches!(r.record, JournalRecord::Outcome { success: false, gave_up: false })),
+        "journaled outcome for the rejected session:\n{}",
+        report.journal_text
+    );
+    // Breaker accounting made it into the report.
+    assert!(report.suppressed_sends >= 1, "open breaker absorbed at least one retransmission");
+    assert!(
+        report.breaker_open_us.iter().any(|&(agent, us)| agent == 0 && us > 0),
+        "open-time attribution for agent 0: {:?}",
+        report.breaker_open_us
+    );
+}
+
+#[test]
 fn chaos_sweep_multi_session_crash_windows() {
     for seed in 0..20u64 {
         let groups = 4 + (seed % 5) as usize; // 4..=8
