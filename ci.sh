@@ -56,4 +56,14 @@ echo "==> overload-protection smoke (admission control vs always-admit baseline)
 cargo run -q --release -p sada-bench --bin report -- overload > /dev/null
 SADA_BENCH_SMOKE=1 cargo bench -q -p sada-bench --bench bench_overload > /dev/null
 
+echo "==> sharded control-plane smoke (2-shard determinism + scaling sweep)"
+# Renders the per-shard table (includes a 1-thread vs 4-thread fingerprint
+# comparison over a straddler-bearing workload), then runs the pinned
+# asserts from crates/bench/benches/bench_shard.rs: identical final
+# configurations and event-stream fingerprints at 1/2/4/8 worker threads,
+# zero fabric traffic for the local storm, and — on hosts with >= 4 cores —
+# the >= 3x sessions/sec speedup at 4 threads. Regenerates BENCH_shard.json.
+cargo run -q --release -p sada-bench --bin report -- shard > /dev/null
+SADA_BENCH_SMOKE=1 cargo bench -q -p sada-bench --bench bench_shard > /dev/null
+
 echo "CI OK"

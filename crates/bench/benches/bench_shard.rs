@@ -1,0 +1,155 @@
+//! Sharded control plane scaling: the same fleet workload executed by
+//! `run_fleet_sharded` at 1/2/4/8 worker threads.
+//!
+//! The workload is a straddler-free adaptation storm (every session's scope
+//! stays inside one region), so the deterministic fabric has no edges and
+//! every region free-runs — the configuration where sharding must approach
+//! linear scaling. Besides the criterion timing, this bench writes
+//! `BENCH_shard.json` at the repository root and asserts the headline
+//! claims:
+//!
+//! * every thread count produces the identical final configuration *and*
+//!   the identical event-stream fingerprint (thread count is pure execution
+//!   policy);
+//! * on a host with ≥ 4 cores, 4 threads deliver ≥ 3× the single-threaded
+//!   sessions/sec (the near-linear scaling claim; on smaller hosts the
+//!   measured rows are still recorded, with the core count, and the
+//!   speedup assertion is skipped — wall-clock scaling cannot be
+//!   demonstrated without cores);
+//! * a rerun at the same seed reproduces the same fingerprint.
+//!
+//! Set `SADA_BENCH_SMOKE=1` to skip the timing loops and run only the
+//! assertion sweep + JSON write (the CI regression gate).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sada_fleet::{run_fleet_sharded, FleetScenario, SessionSpec, ShardReport, ShardScenario};
+use sada_obs::SimDuration;
+
+const GROUPS: usize = 64;
+const REGIONS: usize = 8;
+const WAVES: usize = 6;
+const SEED: u64 = 42;
+
+/// CI smoke mode: assertion sweep + JSON only, no timing loops.
+fn smoke() -> bool {
+    std::env::var_os("SADA_BENCH_SMOKE").is_some()
+}
+
+/// A local adaptation storm: `WAVES` sessions per group, alternating
+/// direction, each scope confined to its own group (and therefore its own
+/// region) — zero cross-shard traffic, the scaling configuration.
+fn storm() -> ShardScenario {
+    let mut sessions = Vec::with_capacity(GROUPS * WAVES);
+    for wave in 0..WAVES {
+        for g in 0..GROUPS {
+            sessions.push(SessionSpec {
+                id: (wave * GROUPS + g) as u64 + 1,
+                flips: vec![(g, wave % 2 == 0)],
+                priority: (g % 4) as u8,
+                submit_at: SimDuration::from_micros(20_000 * wave as u64 + 37 * g as u64),
+                cancel_at: None,
+            });
+        }
+    }
+    let mut fleet = FleetScenario::new(GROUPS, sessions);
+    fleet.seed = SEED;
+    ShardScenario::new(fleet, REGIONS)
+}
+
+fn sessions_per_sec(report: &ShardReport) -> f64 {
+    report.succeeded() as f64 / report.wall.as_secs_f64().max(1e-9)
+}
+
+fn bench_shard(c: &mut Criterion) {
+    if smoke() {
+        return;
+    }
+    let scn = storm();
+    let mut g = c.benchmark_group("shard");
+    g.sample_size(10);
+    for threads in [1usize, 8] {
+        g.bench_function(format!("storm_{threads}t"), |b| {
+            b.iter(|| run_fleet_sharded(&scn, threads).succeeded())
+        });
+    }
+    g.finish();
+}
+
+fn write_bench_json() {
+    let scn = storm();
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut rows = Vec::new();
+    let mut runs: Vec<(usize, ShardReport)> = Vec::new();
+    for threads in [1usize, 2, 4, 8] {
+        runs.push((threads, run_fleet_sharded(&scn, threads)));
+    }
+    let base = &runs[0].1;
+    let offered = GROUPS * WAVES;
+    assert_eq!(base.succeeded(), offered, "the storm must commit every session");
+    assert_eq!(base.fabric.messages, 0, "a local storm never crosses the fabric");
+    for (threads, run) in &runs {
+        assert_eq!(
+            run.final_config, base.final_config,
+            "{threads} threads changed the final configuration"
+        );
+        assert_eq!(run.fingerprint, base.fingerprint, "{threads} threads changed the event stream");
+        let rate = sessions_per_sec(run);
+        let speedup = if run.wall.is_zero() {
+            1.0
+        } else {
+            base.wall.as_secs_f64() / run.wall.as_secs_f64().max(1e-9)
+        };
+        rows.push(format!(
+            "    {{\"threads\": {threads}, \"sessions\": {}, \"succeeded\": {}, \
+             \"wall_us\": {}, \"sessions_per_sec\": {rate:.1}, \"speedup_vs_1\": {speedup:.2}, \
+             \"fingerprint\": \"{:#018x}\"}}",
+            offered,
+            run.succeeded(),
+            run.wall.as_micros(),
+            run.fingerprint,
+        ));
+    }
+    // The wall-clock scaling claim needs real cores; determinism above is
+    // asserted unconditionally.
+    let speedup_4t = base.wall.as_secs_f64()
+        / runs.iter().find(|(t, _)| *t == 4).expect("4-thread run").1.wall.as_secs_f64().max(1e-9);
+    if cores >= 4 {
+        assert!(
+            speedup_4t >= 3.0,
+            "4 threads must deliver >= 3x single-threaded throughput on a \
+             {cores}-core host (got {speedup_4t:.2}x)"
+        );
+    } else {
+        eprintln!(
+            "note: {cores} core(s) available; recording measured rows but skipping \
+             the >= 3x speedup assertion (got {speedup_4t:.2}x)"
+        );
+    }
+    // Determinism across independent processes of the same seed: rerun the
+    // single-thread leg and compare fingerprints.
+    let again = run_fleet_sharded(&scn, 1);
+    assert_eq!(base.fingerprint, again.fingerprint, "same seed, same stream");
+
+    let json = format!(
+        "{{\n  \"bench\": \"shard\",\n  \"workload\": \"{} local sessions ({WAVES} waves over \
+         {GROUPS} groups, {REGIONS} regions), straddler-free so every region free-runs; \
+         sessions/sec = committed sessions per wall-clock second\",\n  \
+         \"host_cores\": {cores},\n  \"scaling_asserted\": {},\n  \
+         \"speedup_4t_vs_1t\": {speedup_4t:.2},\n  \"rows\": [\n{}\n  ]\n}}\n",
+        GROUPS * WAVES,
+        cores >= 4,
+        rows.join(",\n"),
+    );
+    // crates/bench -> repository root.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_shard.json");
+    std::fs::write(path, &json).expect("write BENCH_shard.json");
+    println!("wrote {path}:\n{json}");
+}
+
+fn bench_entry(c: &mut Criterion) {
+    bench_shard(c);
+    write_bench_json();
+}
+
+criterion_group!(benches, bench_entry);
+criterion_main!(benches);

@@ -782,6 +782,102 @@ fn overload(seed: Option<u64>) {
     );
 }
 
+fn shard(seed: Option<u64>) {
+    use sada_fleet::{run_fleet_sharded, FleetScenario, SessionSpec, ShardScenario};
+    let seed = seed.unwrap_or(42);
+    const GROUPS: usize = 16;
+    const REGIONS: usize = 4;
+    println!("## Sharded control plane — per-region threads + deterministic fabric (seed {seed})");
+
+    // Locals on every group plus one straddler per region boundary: the
+    // fabric carries exactly the lock-escalation handshakes.
+    let mut sessions: Vec<SessionSpec> = (0..GROUPS)
+        .map(|g| SessionSpec {
+            id: g as u64 + 1,
+            flips: vec![(g, true)],
+            priority: (g % 4) as u8,
+            submit_at: SimDuration::from_micros(500 * g as u64),
+            cancel_at: None,
+        })
+        .collect();
+    for r in 0..REGIONS - 1 {
+        let boundary = (r + 1) * GROUPS / REGIONS;
+        sessions.push(SessionSpec {
+            id: 100 + r as u64,
+            flips: vec![(boundary - 1, false), (boundary, false)],
+            priority: 0,
+            submit_at: SimDuration::from_millis(40 + r as u64),
+            cancel_at: None,
+        });
+    }
+    let mut fleet = FleetScenario::new(GROUPS, sessions);
+    fleet.seed = seed;
+    let scn = ShardScenario::new(fleet, REGIONS);
+    let single = run_fleet_sharded(&scn, 1);
+    let multi = run_fleet_sharded(&scn, REGIONS);
+
+    println!(
+        "{GROUPS} groups over {REGIONS} regions, {} sessions ({} straddling a region boundary):",
+        multi.results.len(),
+        REGIONS - 1
+    );
+    println!(
+        "{:<9} {:>7} {:>9} {:>6} {:>8} {:>10} {:>9} {:>11} {:>12}",
+        "shard",
+        "kind",
+        "sessions",
+        "done",
+        "events",
+        "delivered",
+        "restores",
+        "cache h/m",
+        "sessions/s"
+    );
+    let wall_s = multi.wall.as_secs_f64().max(1e-9);
+    for s in &multi.per_shard {
+        println!(
+            "{:<9} {:>7} {:>9} {:>6} {:>8} {:>10} {:>9} {:>11} {:>12.1}",
+            s.shard,
+            if s.is_global { "global" } else { "region" },
+            s.sessions,
+            s.completed,
+            s.events,
+            s.delivered,
+            s.restores,
+            format!("{}/{}", s.cache_hits, s.cache_misses),
+            s.completed as f64 / wall_s,
+        );
+    }
+    println!(
+        "cross-shard fabric: {} messages over {} active edges ({} promise updates observed)",
+        multi.fabric.messages,
+        multi.fabric.per_edge.len(),
+        multi.fabric.promise_updates
+    );
+    for &(src, dst, n) in &multi.fabric.per_edge {
+        println!("  shard {src} -> shard {dst}: {n} message(s)");
+    }
+    println!(
+        "outcome: {}/{} committed, final={}, makespan={:.1}ms, wall={:.1}ms on {} thread(s)",
+        multi.succeeded(),
+        multi.results.len(),
+        multi.final_config,
+        multi.makespan_us as f64 / 1000.0,
+        multi.wall.as_secs_f64() * 1000.0,
+        REGIONS,
+    );
+    println!(
+        "determinism: 1-thread vs {REGIONS}-thread fingerprints {} ({:#018x})",
+        if single.fingerprint == multi.fingerprint { "MATCH" } else { "DIVERGE" },
+        multi.fingerprint,
+    );
+    println!(
+        "(every region owns its own simulator, control actor, lock domain, and plan cache on a \
+         real OS thread; only lock escalation for straddling scopes crosses the fabric, and the \
+         conservative virtual-clock protocol makes thread count invisible to results.)"
+    );
+}
+
 fn main() {
     let section = std::env::args().nth(1).unwrap_or_else(|| "all".into());
     let run = |name: &str| section == "all" || section == name;
@@ -850,6 +946,11 @@ fn main() {
     if run("overload") {
         let seed = std::env::args().nth(2).and_then(|s| s.parse().ok());
         overload(seed);
+        println!();
+    }
+    if run("shard") {
+        let seed = std::env::args().nth(2).and_then(|s| s.parse().ok());
+        shard(seed);
         println!();
     }
 }

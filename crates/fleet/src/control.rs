@@ -72,8 +72,34 @@ pub struct SessionSpec {
 pub struct FleetResilience {
     /// Per-agent circuit breaker policy (`None` disables the gate).
     pub breaker: Option<BreakerConfig>,
+    /// Per-scope circuit breaker policy (`None` disables the gate). Keyed
+    /// by the session's scope-resource fingerprint, so a flapping scope
+    /// trips alone: disjoint scopes that merely share an agent's shard keep
+    /// admitting normally.
+    pub scope_breaker: Option<BreakerConfig>,
     /// In-flight and waiting-room bounds with deterministic shedding.
     pub bulkhead: BulkheadConfig,
+}
+
+/// Typed admission outcome of one submitted session — the backpressure
+/// signal a submitter acts on. Recorded durably per session (backed by the
+/// journaled `Queued`/`Outcome` records the decision produces) and surfaced
+/// through `SessionResult::admission`, replacing silent shedding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// The session entered the protocol (immediately or after queueing).
+    Admitted,
+    /// The bulkhead shed the session under overload. `retry_after_us` is
+    /// the hint handed back to the submitter: observed mean service time
+    /// scaled by the backlog-to-capacity ratio at the shed instant.
+    Shed {
+        /// Suggested resubmission delay, microseconds.
+        retry_after_us: u64,
+    },
+    /// The session was refused fail-fast at its admission instant because
+    /// its scope sat behind an open circuit breaker (per-agent or
+    /// per-scope).
+    Rejected,
 }
 
 /// Timer-tag namespace: scenario submissions, queued-session cancellations,
@@ -113,6 +139,10 @@ pub struct ControlActor<M = ()> {
     /// Per-agent circuit breakers (empty when the policy is off). Volatile:
     /// a restored control plane re-learns which agents are sick.
     breakers: Vec<CircuitBreaker>,
+    /// Per-scope circuit breakers, created lazily on first failure
+    /// evidence and keyed by [`ControlActor::scope_key`]. Volatile, like
+    /// the per-agent set.
+    scope_breakers: HashMap<u64, CircuitBreaker>,
     /// Per-agent RTT estimators feeding adaptive retry deadlines. Volatile
     /// for the same reason.
     rtt: Vec<RttEstimator>,
@@ -171,8 +201,15 @@ pub struct ControlActor<M = ()> {
     pub rejected_count: u64,
     /// Times any breaker tripped open (diagnostics; survives restarts).
     pub breaker_trips: u64,
+    /// Times any *scope* breaker tripped open (diagnostics; survives
+    /// restarts).
+    pub scope_breaker_trips: u64,
     /// Sends refused by open breakers (diagnostics; survives restarts).
     pub suppressed_sends: u64,
+    /// Typed admission outcome per session that reached a decision. Treated
+    /// as durable alongside `results`: every entry is backed by journaled
+    /// records (`Request` for admissions, `Outcome` for sheds/rejections).
+    pub admissions: HashMap<u64, Admission>,
     _marker: std::marker::PhantomData<fn() -> M>,
 }
 
@@ -204,6 +241,7 @@ impl<M: Clone + 'static> ControlActor<M> {
             active: BTreeMap::new(),
             locks: ScopeLockManager::new(),
             breakers: Vec::new(),
+            scope_breakers: HashMap::new(),
             rtt,
             last_rto,
             pending_since: HashMap::new(),
@@ -227,7 +265,9 @@ impl<M: Clone + 'static> ControlActor<M> {
             shed_count: 0,
             rejected_count: 0,
             breaker_trips: 0,
+            scope_breaker_trips: 0,
             suppressed_sends: 0,
+            admissions: HashMap::new(),
             _marker: std::marker::PhantomData,
         }
     }
@@ -304,6 +344,7 @@ impl<M: Clone + 'static> ControlActor<M> {
             at: ctx.now(),
             actor: ctx.self_id().index() as u32,
             session,
+            shard: 0,
             payload: Payload::Fleet(ev),
         });
     }
@@ -384,6 +425,59 @@ impl<M: Clone + 'static> ControlActor<M> {
         }
     }
 
+    /// FNV-1a fingerprint of `spec`'s sorted scope resources — the identity
+    /// of a scope for per-scope breaker purposes. Two sessions moving the
+    /// same groups share a key; disjoint scopes practically never collide.
+    fn scope_key(&self, spec: &SessionSpec) -> u64 {
+        let mut rs = self.resources_of(spec);
+        rs.sort_unstable();
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for r in rs {
+            for b in r.to_le_bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        }
+        h
+    }
+
+    /// Backpressure hint attached to a shed: observed mean service time
+    /// (admission → completion over finished sessions; the protocol's base
+    /// retry deadline before anything finished) scaled by how many
+    /// capacity-widths of backlog stand in front of a resubmission.
+    fn retry_after_hint(&self) -> u64 {
+        let (mut sum, mut n) = (0u64, 0u64);
+        for (sid, done) in &self.completed_at {
+            if let Some(adm) = self.admitted_at.get(sid) {
+                sum += done.as_micros().saturating_sub(adm.as_micros());
+                n += 1;
+            }
+        }
+        let unit =
+            sum.checked_div(n).map_or_else(|| self.timing.retry.base.as_micros(), |u| u.max(1));
+        let capacity = self.resilience.bulkhead.max_in_flight.max(1) as u64;
+        let backlog = (self.active.len() + self.waiting.len()) as u64;
+        unit.saturating_mul(backlog / capacity + 1)
+    }
+
+    fn emit_scope_breaker(
+        &mut self,
+        ctx: &Context<'_, Wire<M>>,
+        session: u64,
+        scope: u64,
+        tr: BreakerTransition,
+    ) {
+        let ev = match tr {
+            BreakerTransition::Opened { cooldown } => {
+                self.scope_breaker_trips += 1;
+                FleetEvent::ScopeBreakerOpened { scope, cooldown_us: cooldown.as_micros() }
+            }
+            BreakerTransition::Probing => FleetEvent::ScopeBreakerProbed { scope },
+            BreakerTransition::Closed => FleetEvent::ScopeBreakerClosed { scope },
+        };
+        self.emit_fleet(ctx, session, ev);
+    }
+
     /// The scope agent (dense index) whose open breaker gates `spec`, if any.
     fn scope_gated(&self, now: SimTime, spec: &SessionSpec) -> Option<usize> {
         self.world
@@ -418,6 +512,38 @@ impl<M: Clone + 'static> ControlActor<M> {
             },
         );
         self.rejected_count += 1;
+        self.admissions.insert(spec.id, Admission::Rejected);
+        let granted = self.locks.release(spec.id);
+        for g in granted {
+            if let Some(gix) = self.spec_ix(g) {
+                self.admit(ctx, gix);
+            }
+        }
+    }
+
+    /// Terminates a session at its admission instant because its *scope*
+    /// breaker is open — the whole collaborative set has been flapping, so
+    /// new work on it fails fast while disjoint scopes (even ones sharing
+    /// an agent) keep admitting.
+    fn reject_scope_gated(&mut self, ctx: &mut Context<'_, Wire<M>>, spec: &SessionSpec, key: u64) {
+        self.journal.push(SessionRecord {
+            session: SessionId(spec.id),
+            record: JournalRecord::Outcome { success: false, gave_up: false },
+        });
+        self.emit_fleet(ctx, spec.id, FleetEvent::ScopeRejected { session: spec.id, scope: key });
+        self.completed_at.insert(spec.id, ctx.now());
+        self.results.insert(
+            spec.id,
+            Outcome {
+                success: false,
+                gave_up: false,
+                final_config: self.fleet_config.clone(),
+                steps_committed: 0,
+                warnings: vec![format!("rejected: scope {key:#018x} behind an open breaker")],
+            },
+        );
+        self.rejected_count += 1;
+        self.admissions.insert(spec.id, Admission::Rejected);
         let granted = self.locks.release(spec.id);
         for g in granted {
             if let Some(gix) = self.spec_ix(g) {
@@ -451,7 +577,12 @@ impl<M: Clone + 'static> ControlActor<M> {
             .now()
             .as_micros()
             .saturating_sub(self.submitted_at.get(&victim).map_or(0, |t| t.as_micros()));
-        self.emit_fleet(ctx, victim, FleetEvent::SessionShed { session: victim, waited_us });
+        let retry_after_us = self.retry_after_hint();
+        self.emit_fleet(
+            ctx,
+            victim,
+            FleetEvent::SessionShed { session: victim, waited_us, retry_after_us },
+        );
         self.completed_at.insert(victim, ctx.now());
         self.results.insert(
             victim,
@@ -460,10 +591,13 @@ impl<M: Clone + 'static> ControlActor<M> {
                 gave_up: false,
                 final_config: self.fleet_config.clone(),
                 steps_committed: 0,
-                warnings: vec!["shed by bulkhead admission control".into()],
+                warnings: vec![format!(
+                    "shed by bulkhead admission control; retry after {retry_after_us}us"
+                )],
             },
         );
         self.shed_count += 1;
+        self.admissions.insert(victim, Admission::Shed { retry_after_us });
         // Cancelling a lock-queue entry may unblock compatible waiters
         // behind it; they hold their scopes now, so admit them (the
         // in-flight bound is enforced at every *admission decision*, not
@@ -520,7 +654,7 @@ impl<M: Clone + 'static> ControlActor<M> {
         if self.bus.has_sinks() {
             let (at, actor) = (ctx.now(), ctx.self_id().index() as u32);
             for payload in obs {
-                self.bus.emit(Event { at, actor, session, payload });
+                self.bus.emit(Event { at, actor, session, shard: 0, payload });
             }
         }
         let mut completed = None;
@@ -667,6 +801,24 @@ impl<M: Clone + 'static> ControlActor<M> {
             self.reject_gated(ctx, &spec, agent);
             return;
         }
+        // Per-scope breaker: admission doubles as the half-open probe — one
+        // session is let through after the cooldown and its outcome decides
+        // whether the scope's breaker closes or re-opens with a doubled
+        // cooldown.
+        if self.resilience.scope_breaker.is_some() {
+            let key = self.scope_key(&spec);
+            let now = ctx.now();
+            if let Some((ok, tr)) = self.scope_breakers.get_mut(&key).map(|b| b.allow_send(now)) {
+                if let Some(tr) = tr {
+                    self.emit_scope_breaker(ctx, spec.id, key, tr);
+                }
+                if !ok {
+                    self.reject_scope_gated(ctx, &spec, key);
+                    return;
+                }
+            }
+        }
+        self.admissions.insert(spec.id, Admission::Admitted);
         let source = self.fleet_config.clone();
         let target = self.world.target_for(&source, &spec.flips);
         let scope = self.world.scope_comps(&spec.flips);
@@ -700,6 +852,26 @@ impl<M: Clone + 'static> ControlActor<M> {
                     self.fleet_config.insert(comp);
                 } else {
                     self.fleet_config.remove(comp);
+                }
+            }
+            // Scope-breaker evidence: an unsuccessful protocol outcome
+            // (give-up or rollback) marks the whole scope as flapping; a
+            // success heals it. Breakers materialize only on first failure,
+            // so healthy scopes never populate the map.
+            if let Some(cfg) = self.resilience.scope_breaker {
+                let spec = self.scenario[ix].clone();
+                let key = self.scope_key(&spec);
+                let now = ctx.now();
+                let tr = if outcome.success {
+                    self.scope_breakers.get_mut(&key).and_then(|b| b.on_success(now))
+                } else {
+                    self.scope_breakers
+                        .entry(key)
+                        .or_insert_with(|| CircuitBreaker::new(cfg))
+                        .on_failure(now)
+                };
+                if let Some(tr) = tr {
+                    self.emit_scope_breaker(ctx, session, key, tr);
                 }
             }
         }
@@ -797,6 +969,51 @@ impl<M: Clone + 'static> ControlActor<M> {
             .on_event(ManagerEvent::AgentMsg { agent, msg });
         self.apply(ctx, sid, eff);
     }
+
+    // ---- hooks for the sharded runtime (crate-internal) ----
+    //
+    // The shard wrappers drive admission decisions that originate outside
+    // this actor's own timers: lock-escalation grants arriving over the
+    // cross-shard fabric, and straddling sessions whose submission the
+    // global tier schedules itself.
+
+    /// Direct access to the scope-lock table, so a region can hold slices
+    /// of globally escalated scopes under foreign (non-scenario) ids.
+    pub(crate) fn locks_mut(&mut self) -> &mut ScopeLockManager {
+        &mut self.locks
+    }
+
+    /// Submits scenario entry for session `sid` now (no-op for unknown or
+    /// already-submitted ids).
+    pub(crate) fn submit_session(&mut self, ctx: &mut Context<'_, Wire<M>>, sid: u64) {
+        if let Some(ix) = self.spec_ix(sid) {
+            self.submit(ctx, ix);
+        }
+    }
+
+    /// Admits session `sid` whose scope locks were granted out-of-band
+    /// (lock-release cascade driven by a foreign hold being released).
+    pub(crate) fn admit_granted(&mut self, ctx: &mut Context<'_, Wire<M>>, sid: u64) {
+        if let Some(ix) = self.spec_ix(sid) {
+            self.admit(ctx, ix);
+        }
+    }
+
+    /// Folds one externally adapted component value into the durable fleet
+    /// configuration (a globally run session finished and its final scope
+    /// values flow back to the owning region).
+    pub(crate) fn fold_comp(&mut self, comp: sada_expr::CompId, present: bool) {
+        if present {
+            self.fleet_config.insert(comp);
+        } else {
+            self.fleet_config.remove(comp);
+        }
+    }
+
+    /// Whether session `sid` has reached a terminal result.
+    pub(crate) fn is_done(&self, sid: u64) -> bool {
+        self.results.contains_key(&sid)
+    }
 }
 
 impl<M: Clone + 'static> Actor<Wire<M>> for ControlActor<M> {
@@ -866,6 +1083,7 @@ impl<M: Clone + 'static> Actor<Wire<M>> for ControlActor<M> {
         if let Some(cfg) = self.resilience.breaker {
             self.breakers = (0..self.agents.len()).map(|_| CircuitBreaker::new(cfg)).collect();
         }
+        self.scope_breakers.clear();
         // The plan cache dies with the process: the restored incarnation
         // starts cold, so journal replay never leans on pre-crash plans.
         self.plan_cache = Rc::new(RefCell::new(PlanCache::new(PLAN_CACHE_CAPACITY)));

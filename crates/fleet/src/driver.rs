@@ -10,7 +10,7 @@ use sada_proto::{encode_session_journal, AgentTiming, ProtoTiming, ScriptedAgent
 use sada_simnet::{ActorId, FaultPlan, LinkConfig, NetStats, SimDuration, SimTime, Simulator};
 
 use crate::cache::PlanCacheStats;
-use crate::control::{ControlActor, FleetResilience, SessionSpec};
+use crate::control::{Admission, ControlActor, FleetResilience, SessionSpec};
 use crate::world::FleetWorld;
 
 /// A fleet-scale experiment: the world size, the session workload, and the
@@ -100,6 +100,10 @@ pub struct SessionResult {
     pub cancelled: bool,
     /// Dropped by bulkhead admission control under overload.
     pub shed: bool,
+    /// Typed admission decision the submitter got back, with the bulkhead's
+    /// retry-after hint on sheds. `None` when no decision was reached
+    /// (never submitted, still waiting at budget end, or withdrawn first).
+    pub admission: Option<Admission>,
 }
 
 impl SessionResult {
@@ -136,6 +140,8 @@ pub struct FleetReport {
     pub rejected: u64,
     /// Circuit-breaker trips (Closed/HalfOpen → Open transitions).
     pub breaker_trips: u64,
+    /// Per-scope breaker trips (a flapping collaborative set, not an agent).
+    pub scope_breaker_trips: u64,
     /// Protocol sends suppressed by open breakers.
     pub suppressed_sends: u64,
     /// Cumulative open time per tripped agent, `(agent, μs)`.
@@ -216,6 +222,7 @@ pub fn run_fleet(scenario: &FleetScenario) -> FleetReport {
                 cancelled: outcome
                     .is_some_and(|o| o.warnings.iter().any(|w| w.contains("cancelled"))),
                 shed: outcome.is_some_and(|o| o.warnings.iter().any(|w| w.contains("shed"))),
+                admission: control.admissions.get(&id).copied(),
             }
         })
         .collect();
@@ -242,13 +249,14 @@ pub fn run_fleet(scenario: &FleetScenario) -> FleetReport {
         shed: control.shed_count,
         rejected: control.rejected_count,
         breaker_trips: control.breaker_trips,
+        scope_breaker_trips: control.scope_breaker_trips,
         suppressed_sends: control.suppressed_sends,
         breaker_open_us: control.breaker_open_us(now),
     }
 }
 
 /// Stretches every phase of an agent's work by `factor`.
-fn scale_timing(t: AgentTiming, factor: u32) -> AgentTiming {
+pub(crate) fn scale_timing(t: AgentTiming, factor: u32) -> AgentTiming {
     let scale = |d: SimDuration| SimDuration::from_micros(d.as_micros() * u64::from(factor));
     AgentTiming {
         safe_delay: scale(t.safe_delay),
@@ -262,7 +270,7 @@ fn scale_timing(t: AgentTiming, factor: u32) -> AgentTiming {
 /// Peak overlap of `[admitted, completed)` intervals; an interval without a
 /// completion extends to the end. A completion at instant `t` does not
 /// overlap an admission at `t`.
-fn max_concurrent(intervals: Vec<(u64, Option<u64>)>) -> usize {
+pub(crate) fn max_concurrent(intervals: Vec<(u64, Option<u64>)>) -> usize {
     let mut edges: Vec<(u64, i32)> = Vec::with_capacity(intervals.len() * 2);
     for (start, end) in intervals {
         edges.push((start, 1));

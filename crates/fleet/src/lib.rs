@@ -35,6 +35,11 @@
 //!   arrivals at multiples of the calibrated capacity
 //!   ([`measure_capacity`]) against a degraded fleet, comparing the
 //!   always-admit baseline with the protected configuration.
+//! * [`run_fleet_sharded`] — the control plane sharded across OS threads:
+//!   per-region simulators with their own control actors, a thin global
+//!   tier for scope-straddling sessions, and a deterministic cross-shard
+//!   fabric (conservative virtual clocks), so thread count never changes
+//!   results.
 
 mod cache;
 mod control;
@@ -42,12 +47,17 @@ mod driver;
 mod lock;
 mod overload;
 mod planner;
+mod shard;
 mod world;
 
 pub use cache::{CacheNote, CacheNoteKind, CachedPlan, PlanCache, PlanCacheStats, ScopeNormalizer};
-pub use control::{ControlActor, FleetResilience, SessionSpec};
+pub use control::{Admission, ControlActor, FleetResilience, SessionSpec};
 pub use driver::{disjoint_wave, run_fleet, FleetReport, FleetScenario, SessionResult};
 pub use lock::ScopeLockManager;
 pub use overload::{measure_capacity, run_overload, OverloadConfig, OverloadReport};
 pub use planner::ScopedLazyPlanner;
+pub use shard::{
+    fingerprint_events, fingerprint_events_unsharded, run_fleet_sharded, FabricStats, ShardReport,
+    ShardScenario, ShardStats, DEFAULT_REGIONS,
+};
 pub use world::FleetWorld;

@@ -27,7 +27,7 @@ use sada_proto::{ProtoTiming, RetryPolicy};
 use sada_resilience::{jitter_us, BreakerConfig, BulkheadConfig};
 use sada_simnet::{FaultPlan, SimDuration, SimTime};
 
-use crate::control::{FleetResilience, SessionSpec};
+use crate::control::{Admission, FleetResilience, SessionSpec};
 use crate::driver::{disjoint_wave, run_fleet, FleetReport, FleetScenario};
 
 /// Tuning for one sustained-overload run.
@@ -86,6 +86,7 @@ impl OverloadConfig {
         OverloadConfig {
             resilience: FleetResilience {
                 breaker: Some(BreakerConfig { failure_threshold: 3, ..BreakerConfig::default() }),
+                scope_breaker: None,
                 bulkhead: BulkheadConfig { max_in_flight: groups, max_queued: 2 * groups },
             },
             adaptive: true,
@@ -127,6 +128,22 @@ pub struct OverloadReport {
     /// FNV-1a hash of the full encoded event stream: equal seeds must
     /// produce equal fingerprints.
     pub fingerprint: u64,
+    /// The typed admission verdict per session, ascending by id — the
+    /// journaled [`Admission`] outcome rather than the warning strings.
+    pub admissions: Vec<(u64, Admission)>,
+}
+
+impl OverloadReport {
+    /// The `retry_after_us` hints handed to shed sessions, in session order.
+    pub fn shed_retry_hints(&self) -> Vec<u64> {
+        self.admissions
+            .iter()
+            .filter_map(|&(_, a)| match a {
+                Admission::Shed { retry_after_us } => Some(retry_after_us),
+                _ => None,
+            })
+            .collect()
+    }
 }
 
 /// Commits-per-second of a healthy fleet: every group adapts once, all in
@@ -279,6 +296,7 @@ fn distill(
         p99_admission_us: pct(0.99),
         makespan_us: report.makespan_us,
         fingerprint: fp,
+        admissions: report.results.iter().filter_map(|r| r.admission.map(|a| (r.id, a))).collect(),
     }
 }
 
@@ -318,6 +336,33 @@ mod tests {
                 assert_ne!(a, b);
             }
         }
+    }
+
+    #[test]
+    fn typed_admissions_are_journaled_and_consistent() {
+        let capacity = measure_capacity(4, 11);
+        let r = run_overload(&OverloadConfig::protected(4, 6, 11), capacity);
+        let shed =
+            r.admissions.iter().filter(|(_, a)| matches!(a, Admission::Shed { .. })).count() as u64;
+        let rejected =
+            r.admissions.iter().filter(|&&(_, a)| a == Admission::Rejected).count() as u64;
+        assert_eq!(shed, r.shed, "typed verdicts agree with the shed counter");
+        assert_eq!(rejected, r.rejected, "typed verdicts agree with the rejection counter");
+        assert!(shed > 0, "6× load must overwhelm the bulkhead");
+        let hints = r.shed_retry_hints();
+        assert_eq!(hints.len() as u64, shed);
+        assert!(
+            hints.iter().all(|&h| h > 0),
+            "every shed session gets a positive retry-after hint"
+        );
+        // The typed verdict and the legacy warning string must agree.
+        let ids: std::collections::HashSet<u64> = r
+            .admissions
+            .iter()
+            .filter(|(_, a)| matches!(a, Admission::Shed { .. }))
+            .map(|&(id, _)| id)
+            .collect();
+        assert!(!ids.is_empty());
     }
 
     #[test]

@@ -1,0 +1,1397 @@
+//! Sharded control plane: the fleet runtime split across OS threads with a
+//! deterministic cross-shard fabric.
+//!
+//! [`run_fleet`](crate::run_fleet) drives the whole fleet through one
+//! simulator on one thread. This module refactors that single loop into
+//! **shards**: the group space is cut into `regions` contiguous blocks, and
+//! each region runs its own simulator — its own agents, its own
+//! [`ControlActor`] (scope-lock domain, plan cache, journal) — pumped by a
+//! real OS thread. Sessions whose scope stays inside one region never
+//! synchronize with anything; sessions that straddle regions escalate to a
+//! thin **global tier** that acquires per-region scope slices over the
+//! fabric before running the full protocol.
+//!
+//! ## Determinism
+//!
+//! The whole point of the refactor is that parallelism must not perturb
+//! behavior: the same scenario at 1, 2, 4, or 8 worker threads produces
+//! bit-for-bit identical final configurations, journals, and event streams.
+//! Three mechanisms carry that guarantee:
+//!
+//! * **Fixed logical partition.** `regions` is part of the scenario, not of
+//!   the execution; worker threads multiplex endpoints (`endpoint id %
+//!   threads`), so thread count never changes which simulator owns what.
+//! * **Deterministic fabric merge.** Cross-shard messages are timestamped
+//!   at the sender, mapped to a quantized virtual arrival instant, and
+//!   injected into the receiver sorted by `(arrival, source shard, per-edge
+//!   sequence)` — wall-clock interleaving cannot reorder them.
+//! * **Conservative virtual clocks.** Each endpoint advances only as far as
+//!   every inbound fabric edge *promises* silence (a null-message protocol
+//!   with one fabric latency of lookahead). Edges that no straddling
+//!   session touches promise silence statically, so straddler-free
+//!   workloads free-run with zero synchronization — the source of the
+//!   near-linear thread scaling in `bench_shard`.
+//!
+//! Each region replicates the exact actor layout of [`run_fleet`] (all
+//! agents, control plane at index `2·groups`) plus an idle fabric relay, so
+//! a `regions = 1` run is event-identical (modulo shard tags) to the
+//! unsharded driver.
+
+use std::cell::RefCell;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::rc::Rc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+use sada_expr::CompId;
+use sada_obs::{encode_event, Bus, Event, RingSink};
+use sada_proto::{encode_session_journal, AgentTiming, ScriptedAgent, Wire};
+use sada_simnet::{Actor, ActorId, Context, LinkConfig, NetStats, SimDuration, SimTime, Simulator};
+
+use crate::cache::PlanCacheStats;
+use crate::control::{ControlActor, SessionSpec};
+use crate::driver::{max_concurrent, scale_timing, FleetScenario, SessionResult};
+use crate::world::FleetWorld;
+
+/// Default region count: matches the 8-thread top rung of the scaling
+/// benchmark, and divides the benchmark fleets evenly.
+pub const DEFAULT_REGIONS: usize = 8;
+
+/// Endpoint-seed stride (the 64-bit golden ratio), so endpoint 0 keeps the
+/// scenario seed (the `regions = 1` ≡ `run_fleet` equivalence) while the
+/// rest get decorrelated streams.
+const SEED_STRIDE: u64 = 0x9E37_79B9_7F4A_7C15;
+
+const FNV_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+
+/// A sharded fleet experiment: the underlying scenario plus the logical
+/// partition and an optional region-targeted crash fault.
+#[derive(Debug, Clone)]
+pub struct ShardScenario {
+    /// The fleet workload (groups, sessions, timing, resilience).
+    pub fleet: FleetScenario,
+    /// Number of regions the group space is cut into (contiguous blocks).
+    /// Part of the *scenario*: results are invariant in worker threads, not
+    /// in region count.
+    pub regions: usize,
+    /// Crash/restart instants for one region's control plane.
+    pub crash_region: Option<(usize, SimTime, SimTime)>,
+}
+
+impl ShardScenario {
+    /// Wraps `fleet` in a `regions`-way partition with no crash fault.
+    pub fn new(fleet: FleetScenario, regions: usize) -> Self {
+        ShardScenario { fleet, regions, crash_region: None }
+    }
+
+    /// The region owning `group`: contiguous blocks, first blocks one
+    /// group larger when the division is uneven.
+    pub fn region_of(&self, group: usize) -> usize {
+        group * self.regions / self.fleet.groups.max(1)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Cross-shard fabric
+// ---------------------------------------------------------------------------
+
+/// What crosses the fabric: only lock escalation. Regions and the global
+/// tier never exchange protocol traffic — a globally run session drives the
+/// global endpoint's own agent replicas, and only the scope-slice handshake
+/// (request / grant-with-values / release-with-values) is distributed.
+#[derive(Debug, Clone)]
+#[allow(clippy::enum_variant_names)] // the shared `Lock` prefix is the point: this IS the lock protocol
+enum FabricPayload {
+    /// Global tier → region: hold this scope slice under `session`.
+    LockRequest { session: u64, resources: Vec<u32>, comps: Vec<u32>, priority: u8 },
+    /// Region → global tier: the slice is held; `values` carries the
+    /// region's current component states so the global planner starts from
+    /// the authoritative source configuration.
+    LockGranted { session: u64, values: Vec<(u32, bool)> },
+    /// Global tier → region: the session finished (or withdrew); `values`
+    /// carries the final component states to fold into the region's
+    /// durable fleet configuration.
+    LockRelease { session: u64, values: Vec<(u32, bool)> },
+}
+
+/// The app-level message an endpoint's wrapper hands its fabric relay.
+#[derive(Debug, Clone)]
+struct ShardMsg {
+    to: u32,
+    payload: FabricPayload,
+}
+
+/// A fabric message staged at the receiver, keyed for the deterministic
+/// merge: `(arrival, src, seq)` is a total order no wall-clock interleaving
+/// can disturb.
+struct FabricEnvelope {
+    arrival_us: u64,
+    src: u32,
+    seq: u64,
+    payload: FabricPayload,
+}
+
+#[derive(Default)]
+struct EdgeState {
+    mail: Vec<FabricEnvelope>,
+    /// Arrival-instant promise: no future message on this edge will arrive
+    /// *before* this virtual time. `u64::MAX` once the sender is done.
+    promise_us: u64,
+    next_seq: u64,
+    sent: u64,
+}
+
+struct FabricState {
+    edges: HashMap<(u32, u32), EdgeState>,
+    promise_updates: u64,
+}
+
+/// The shared cross-shard message fabric: bounded per-edge mailboxes plus
+/// the conservative-clock promises, guarded by one mutex (traffic is rare —
+/// only lock escalation crosses shards).
+struct Fabric {
+    state: Mutex<FabricState>,
+    cv: Condvar,
+    /// Fabric latency *and* arrival quantum, μs (the link latency).
+    quantum_us: u64,
+}
+
+impl Fabric {
+    fn new(involved: &[u32], global: u32, quantum_us: u64) -> Self {
+        let mut edges = HashMap::new();
+        for &r in involved {
+            for key in [(global, r), (r, global)] {
+                edges.insert(key, EdgeState { promise_us: quantum_us, ..EdgeState::default() });
+            }
+        }
+        Fabric {
+            state: Mutex::new(FabricState { edges, promise_updates: 0 }),
+            cv: Condvar::new(),
+            quantum_us,
+        }
+    }
+
+    /// Fabric delivery instant for a message sent at `send_us`: the next
+    /// quantum boundary at least one fabric latency later. Monotone in the
+    /// send instant, so each edge is FIFO by construction.
+    fn arrival_of(&self, send_us: u64) -> u64 {
+        let q = self.quantum_us;
+        (send_us + 2 * q - 1) / q * q
+    }
+}
+
+/// Cross-shard traffic counters for a finished run. Message counts are
+/// deterministic; `promise_updates` counts observed clock advances and
+/// varies with wall-clock scheduling (diagnostic only).
+#[derive(Debug, Clone, Default)]
+pub struct FabricStats {
+    /// Total messages that crossed the fabric.
+    pub messages: u64,
+    /// Per directed edge `(src shard tag, dst shard tag, messages)`.
+    pub per_edge: Vec<(u32, u32, u64)>,
+    /// Null-message promise advances observed (wall-clock dependent).
+    pub promise_updates: u64,
+}
+
+/// The in-sim half of the fabric: an idle actor sitting after the control
+/// plane. Outbound cross-shard messages are addressed to it over the normal
+/// (latency-bearing) link and surface in a buffer the executor drains;
+/// inbound messages are injected *from* it, so crash/partition semantics
+/// apply exactly like actor traffic.
+type Outbox = Rc<RefCell<Vec<(u32, u64, FabricPayload)>>>;
+
+struct FabricRelay {
+    outbox: Outbox,
+}
+
+impl Actor<Wire<ShardMsg>> for FabricRelay {
+    fn on_message(
+        &mut self,
+        ctx: &mut Context<'_, Wire<ShardMsg>>,
+        _from: ActorId,
+        msg: Wire<ShardMsg>,
+    ) {
+        if let Wire::App(m) = msg {
+            self.outbox.borrow_mut().push((m.to, ctx.now().as_micros(), m.payload));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Region wrapper
+// ---------------------------------------------------------------------------
+
+/// A scope slice held (or queued) in this region on behalf of a globally
+/// escalated session.
+struct ForeignHold {
+    resources: Vec<u32>,
+    comps: Vec<u32>,
+    priority: u8,
+    /// `LockGranted` already sent back to the global tier.
+    acked: bool,
+}
+
+/// Region control plane: the plain [`ControlActor`] plus the fabric-facing
+/// lock-escalation shim. Every delegated callback is followed by a sweep
+/// that turns newly granted foreign holds into `LockGranted` replies (the
+/// inner grant cascade skips ids without a scenario entry).
+struct RegionControl {
+    inner: ControlActor<ShardMsg>,
+    relay: ActorId,
+    global_ep: u32,
+    foreign: BTreeMap<u64, ForeignHold>,
+}
+
+impl RegionControl {
+    fn grant(&mut self, ctx: &mut Context<'_, Wire<ShardMsg>>, sid: u64) {
+        let Some(hold) = self.foreign.get_mut(&sid) else { return };
+        hold.acked = true;
+        let values: Vec<(u32, bool)> = hold
+            .comps
+            .iter()
+            .map(|&c| (c, self.inner.fleet_config.contains(CompId::from_index(c as usize))))
+            .collect();
+        ctx.send(
+            self.relay,
+            Wire::App(ShardMsg {
+                to: self.global_ep,
+                payload: FabricPayload::LockGranted { session: sid, values },
+            }),
+        );
+    }
+
+    fn sweep(&mut self, ctx: &mut Context<'_, Wire<ShardMsg>>) {
+        let pending: Vec<u64> =
+            self.foreign.iter().filter(|(_, h)| !h.acked).map(|(&s, _)| s).collect();
+        for sid in pending {
+            if self.inner.locks_mut().is_held(sid) {
+                self.grant(ctx, sid);
+            }
+        }
+    }
+
+    fn on_fabric(&mut self, ctx: &mut Context<'_, Wire<ShardMsg>>, payload: FabricPayload) {
+        match payload {
+            FabricPayload::LockRequest { session, resources, comps, priority } => {
+                let held = self.inner.locks_mut().try_acquire(session, &resources, priority);
+                self.foreign
+                    .insert(session, ForeignHold { resources, comps, priority, acked: false });
+                if held {
+                    self.grant(ctx, session);
+                }
+            }
+            FabricPayload::LockRelease { session, values } => {
+                for (c, v) in values {
+                    self.inner.fold_comp(CompId::from_index(c as usize), v);
+                }
+                let granted = if self.inner.locks_mut().is_held(session) {
+                    self.inner.locks_mut().release(session)
+                } else {
+                    // The slice was still queued (a withdrawal raced the
+                    // grant): drop the queue entry instead.
+                    self.inner.locks_mut().cancel(session).unwrap_or_default()
+                };
+                self.foreign.remove(&session);
+                for g in granted {
+                    if self.foreign.contains_key(&g) {
+                        self.grant(ctx, g);
+                    } else {
+                        self.inner.admit_granted(ctx, g);
+                    }
+                }
+            }
+            FabricPayload::LockGranted { .. } => {} // regions never receive grants
+        }
+    }
+}
+
+impl Actor<Wire<ShardMsg>> for RegionControl {
+    fn on_start(&mut self, ctx: &mut Context<'_, Wire<ShardMsg>>) {
+        self.inner.on_start(ctx);
+    }
+
+    fn on_message(
+        &mut self,
+        ctx: &mut Context<'_, Wire<ShardMsg>>,
+        from: ActorId,
+        msg: Wire<ShardMsg>,
+    ) {
+        match msg {
+            Wire::App(m) => self.on_fabric(ctx, m.payload),
+            other => self.inner.on_message(ctx, from, other),
+        }
+        self.sweep(ctx);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, Wire<ShardMsg>>, tag: u64) {
+        self.inner.on_timer(ctx, tag);
+        self.sweep(ctx);
+    }
+
+    fn on_crash(&mut self, now: SimTime) {
+        // Foreign-hold bookkeeping is wrapper state and survives the crash
+        // (the global tier journals the escalation on its side); the inner
+        // volatile image — including the lock table — dies.
+        self.inner.on_crash(now);
+    }
+
+    fn on_restart(&mut self, ctx: &mut Context<'_, Wire<ShardMsg>>) {
+        // Re-seize granted escalations *before* journal replay, so restored
+        // or requeued local sessions cannot steal the slices. Granted holds
+        // are disjoint from local in-flight scopes (they were concurrently
+        // held when the plane died), so both re-acquisitions must succeed.
+        let held: Vec<(u64, Vec<u32>, u8)> = self
+            .foreign
+            .iter()
+            .filter(|(_, h)| h.acked)
+            .map(|(&s, h)| (s, h.resources.clone(), h.priority))
+            .collect();
+        for (sid, res, prio) in held {
+            let got = self.inner.locks_mut().try_acquire(sid, &res, prio);
+            assert!(got, "escalated holds are disjoint from local in-flight scopes");
+        }
+        self.inner.on_restart(ctx);
+        // Still-queued escalation requests rejoin the queue (or are granted
+        // outright if the crash resolved their conflict).
+        let queued: Vec<(u64, Vec<u32>, u8)> = self
+            .foreign
+            .iter()
+            .filter(|(_, h)| !h.acked)
+            .map(|(&s, h)| (s, h.resources.clone(), h.priority))
+            .collect();
+        for (sid, res, prio) in queued {
+            self.inner.locks_mut().try_acquire(sid, &res, prio);
+        }
+        self.sweep(ctx);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Global tier
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Pending,
+    Granting,
+    Running,
+    Done,
+    Cancelled,
+}
+
+/// One region's share of a straddling session's scope.
+#[derive(Debug, Clone)]
+struct Slice {
+    region: u32,
+    resources: Vec<u32>,
+    comps: Vec<u32>,
+}
+
+struct Straddler {
+    sid: u64,
+    priority: u8,
+    submit_at: SimDuration,
+    cancel_at: Option<SimDuration>,
+    /// Ascending region order — slices are acquired strictly sequentially,
+    /// so escalation is deadlock-free by the usual ordered-2PL argument.
+    slices: Vec<Slice>,
+    next: usize,
+    phase: Phase,
+}
+
+/// Wrapper timer namespaces. The inner control plane owns `1 << 62` and
+/// `1 << 63` plus small dynamic tags; the global tier claims two bands in
+/// between for the pre-submission lifecycle of straddling sessions.
+const TAG_GLOBAL_SUBMIT: u64 = 1 << 61;
+const TAG_GLOBAL_CANCEL: u64 = 3 << 60;
+const TAG_INNER_BASE: u64 = 1 << 62;
+
+/// The thin global tier: a full [`ControlActor`] over its own replica of
+/// the fleet's agents, driving only the straddling sessions. Each straddler
+/// submits through a lock-escalation handshake — per-region scope slices
+/// acquired in ascending region order, grants carrying the regions'
+/// authoritative component values, releases carrying the final ones back.
+struct GlobalControl {
+    inner: ControlActor<ShardMsg>,
+    relay: ActorId,
+    straddlers: Vec<Straddler>,
+    /// Wrapper-level lifecycle instants (μs) for phases the inner control
+    /// plane never sees: real submission time (the inner spec carries a
+    /// beyond-budget sentinel) and pre-submission withdrawals.
+    submitted_at: HashMap<u64, u64>,
+    cancelled_at: HashMap<u64, u64>,
+}
+
+impl GlobalControl {
+    fn send(&self, ctx: &mut Context<'_, Wire<ShardMsg>>, to: u32, payload: FabricPayload) {
+        ctx.send(self.relay, Wire::App(ShardMsg { to, payload }));
+    }
+
+    fn request_slice(&mut self, ctx: &mut Context<'_, Wire<ShardMsg>>, ix: usize) {
+        let s = &self.straddlers[ix];
+        let sl = s.slices[s.next].clone();
+        let payload = FabricPayload::LockRequest {
+            session: s.sid,
+            resources: sl.resources,
+            comps: sl.comps,
+            priority: s.priority,
+        };
+        self.send(ctx, sl.region, payload);
+    }
+
+    /// Sends `LockRelease` (final component values included) for the first
+    /// `upto` slices of straddler `ix`.
+    fn release_slices(&mut self, ctx: &mut Context<'_, Wire<ShardMsg>>, ix: usize, upto: usize) {
+        let s = &self.straddlers[ix];
+        let sid = s.sid;
+        let msgs: Vec<(u32, FabricPayload)> = s.slices[..upto]
+            .iter()
+            .map(|sl| {
+                let values: Vec<(u32, bool)> = sl
+                    .comps
+                    .iter()
+                    .map(|&c| (c, self.inner.fleet_config.contains(CompId::from_index(c as usize))))
+                    .collect();
+                (sl.region, FabricPayload::LockRelease { session: sid, values })
+            })
+            .collect();
+        for (region, payload) in msgs {
+            self.send(ctx, region, payload);
+        }
+    }
+
+    fn begin(&mut self, ctx: &mut Context<'_, Wire<ShardMsg>>, ix: usize) {
+        if self.straddlers[ix].phase != Phase::Pending {
+            return;
+        }
+        self.straddlers[ix].phase = Phase::Granting;
+        self.submitted_at.insert(self.straddlers[ix].sid, ctx.now().as_micros());
+        self.request_slice(ctx, ix);
+    }
+
+    fn on_granted(
+        &mut self,
+        ctx: &mut Context<'_, Wire<ShardMsg>>,
+        session: u64,
+        values: Vec<(u32, bool)>,
+    ) {
+        let Some(ix) = self.straddlers.iter().position(|s| s.sid == session) else { return };
+        if self.straddlers[ix].phase != Phase::Granting {
+            return; // a grant that raced a withdrawal; the release is out
+        }
+        for (c, v) in values {
+            self.inner.fold_comp(CompId::from_index(c as usize), v);
+        }
+        self.straddlers[ix].next += 1;
+        if self.straddlers[ix].next < self.straddlers[ix].slices.len() {
+            self.request_slice(ctx, ix);
+        } else {
+            // Every slice held and the source configuration assembled from
+            // the grants: run the full protocol against the local replicas.
+            self.straddlers[ix].phase = Phase::Running;
+            let sid = self.straddlers[ix].sid;
+            self.inner.submit_session(ctx, sid);
+            self.sweep(ctx);
+        }
+    }
+
+    fn withdraw(&mut self, ctx: &mut Context<'_, Wire<ShardMsg>>, ix: usize) {
+        match self.straddlers[ix].phase {
+            Phase::Pending => {
+                self.straddlers[ix].phase = Phase::Cancelled;
+                self.cancelled_at.insert(self.straddlers[ix].sid, ctx.now().as_micros());
+            }
+            Phase::Granting => {
+                // Release every slice acquired or requested so far; a
+                // still-queued request is cancelled by the region, a grant
+                // in flight is answered by the (edge-FIFO) release behind it.
+                let upto = (self.straddlers[ix].next + 1).min(self.straddlers[ix].slices.len());
+                self.release_slices(ctx, ix, upto);
+                self.straddlers[ix].phase = Phase::Cancelled;
+                self.cancelled_at.insert(self.straddlers[ix].sid, ctx.now().as_micros());
+            }
+            _ => {} // admitted or finished in the meantime — too late
+        }
+    }
+
+    /// Detects straddlers whose inner session reached a terminal result and
+    /// flows their final scope values back to the owning regions.
+    fn sweep(&mut self, ctx: &mut Context<'_, Wire<ShardMsg>>) {
+        for ix in 0..self.straddlers.len() {
+            if self.straddlers[ix].phase == Phase::Running
+                && self.inner.is_done(self.straddlers[ix].sid)
+            {
+                self.straddlers[ix].phase = Phase::Done;
+                let n = self.straddlers[ix].slices.len();
+                self.release_slices(ctx, ix, n);
+            }
+        }
+    }
+}
+
+impl Actor<Wire<ShardMsg>> for GlobalControl {
+    fn on_start(&mut self, ctx: &mut Context<'_, Wire<ShardMsg>>) {
+        self.inner.on_start(ctx);
+        for ix in 0..self.straddlers.len() {
+            ctx.set_timer(self.straddlers[ix].submit_at, TAG_GLOBAL_SUBMIT + ix as u64);
+            if let Some(at) = self.straddlers[ix].cancel_at {
+                ctx.set_timer(at, TAG_GLOBAL_CANCEL + ix as u64);
+            }
+        }
+    }
+
+    fn on_message(
+        &mut self,
+        ctx: &mut Context<'_, Wire<ShardMsg>>,
+        from: ActorId,
+        msg: Wire<ShardMsg>,
+    ) {
+        match msg {
+            Wire::App(m) => {
+                if let FabricPayload::LockGranted { session, values } = m.payload {
+                    self.on_granted(ctx, session, values);
+                }
+            }
+            other => {
+                self.inner.on_message(ctx, from, other);
+                self.sweep(ctx);
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, Wire<ShardMsg>>, tag: u64) {
+        if tag >= TAG_INNER_BASE {
+            self.inner.on_timer(ctx, tag);
+            self.sweep(ctx);
+        } else if tag >= TAG_GLOBAL_CANCEL {
+            self.withdraw(ctx, (tag - TAG_GLOBAL_CANCEL) as usize);
+        } else if tag >= TAG_GLOBAL_SUBMIT {
+            self.begin(ctx, (tag - TAG_GLOBAL_SUBMIT) as usize);
+        } else {
+            self.inner.on_timer(ctx, tag);
+            self.sweep(ctx);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Endpoints and the conservative executor
+// ---------------------------------------------------------------------------
+
+/// Everything a worker thread needs to *build* one endpoint — plain data,
+/// since simulators are constructed inside the owning thread.
+#[derive(Clone)]
+struct EndpointPlan {
+    id: u32,
+    specs: Vec<SessionSpec>,
+    straddlers: Vec<StraddlerPlan>,
+    inbound: Vec<u32>,
+    outbound: Vec<u32>,
+    owned_groups: Vec<usize>,
+    crash: Option<(SimTime, SimTime)>,
+    is_global: bool,
+}
+
+#[derive(Clone)]
+struct StraddlerPlan {
+    sid: u64,
+    priority: u8,
+    submit_at: SimDuration,
+    cancel_at: Option<SimDuration>,
+    slices: Vec<Slice>,
+}
+
+/// One endpoint (a region or the global tier) under conservative execution.
+struct Endpoint {
+    id: u32,
+    shard_tag: u32,
+    sim: Simulator<Wire<ShardMsg>>,
+    control_id: ActorId,
+    relay_id: ActorId,
+    outbox: Outbox,
+    ring: Rc<RefCell<RingSink>>,
+    inbound: Vec<u32>,
+    outbound: Vec<u32>,
+    staged: BTreeMap<u64, Vec<FabricEnvelope>>,
+    ran_to_us: u64,
+    budget_us: u64,
+    done: bool,
+    sessions: Vec<u64>,
+    owned_groups: Vec<usize>,
+    is_global: bool,
+}
+
+fn build_endpoint(
+    scn: &FleetScenario,
+    regions: usize,
+    budget_us: u64,
+    plan: &EndpointPlan,
+) -> Endpoint {
+    let world = Rc::new(FleetWorld::build(scn.groups));
+    let seed = scn.seed.wrapping_add(u64::from(plan.id).wrapping_mul(SEED_STRIDE));
+    let mut sim: Simulator<Wire<ShardMsg>> = Simulator::new(seed);
+    sim.set_default_link(LinkConfig::reliable(scn.link_latency));
+
+    let bus = Bus::new();
+    let ring = Rc::new(RefCell::new(RingSink::new(1 << 18)));
+    bus.attach(&ring);
+    let shard_tag = plan.id + 1;
+    let sharded = bus.sharded(shard_tag);
+
+    // Replicate `run_fleet`'s exact actor layout — all agents, control at
+    // index 2·groups — so a one-region run is event-identical to the
+    // unsharded driver; the fabric relay takes the next slot.
+    let control_id = ActorId::from_index(2 * scn.groups);
+    let relay_id = ActorId::from_index(2 * scn.groups + 1);
+    let mut agents = Vec::with_capacity(2 * scn.groups);
+    for p in 0..2 * scn.groups {
+        let timing = match scn.slow_agents.iter().find(|&&(ix, _)| ix == p) {
+            Some(&(_, factor)) => scale_timing(AgentTiming::default(), factor),
+            None => AgentTiming::default(),
+        };
+        let agent = ScriptedAgent::new(control_id, timing).with_bus(sharded.clone());
+        agents.push(sim.add_actor(&format!("agent-{p}"), agent));
+    }
+    let inner = ControlActor::<ShardMsg>::new(
+        Rc::clone(&world),
+        agents,
+        plan.specs.clone(),
+        scn.timing,
+        scn.serialize,
+    )
+    .with_resilience(scn.resilience)
+    .with_bus(sharded.clone());
+    let got = if plan.is_global {
+        let straddlers = plan
+            .straddlers
+            .iter()
+            .map(|s| Straddler {
+                sid: s.sid,
+                priority: s.priority,
+                submit_at: s.submit_at,
+                cancel_at: s.cancel_at,
+                slices: s.slices.clone(),
+                next: 0,
+                phase: Phase::Pending,
+            })
+            .collect();
+        sim.add_actor(
+            "global-control",
+            GlobalControl {
+                inner,
+                relay: relay_id,
+                straddlers,
+                submitted_at: HashMap::new(),
+                cancelled_at: HashMap::new(),
+            },
+        )
+    } else {
+        sim.add_actor(
+            "control",
+            RegionControl {
+                inner,
+                relay: relay_id,
+                global_ep: regions as u32,
+                foreign: BTreeMap::new(),
+            },
+        )
+    };
+    assert_eq!(got, control_id, "control plane must sit after the agents");
+    let outbox: Outbox = Rc::new(RefCell::new(Vec::new()));
+    let got = sim.add_actor("fabric-relay", FabricRelay { outbox: Rc::clone(&outbox) });
+    assert_eq!(got, relay_id, "fabric relay must sit after the control plane");
+
+    if let Some((crash, restart)) = plan.crash {
+        sim.crash_at(control_id, crash);
+        sim.restart_at(control_id, restart);
+    }
+
+    Endpoint {
+        id: plan.id,
+        shard_tag,
+        sim,
+        control_id,
+        relay_id,
+        outbox,
+        ring,
+        inbound: plan.inbound.clone(),
+        outbound: plan.outbound.clone(),
+        staged: BTreeMap::new(),
+        ran_to_us: 0,
+        budget_us,
+        done: false,
+        sessions: plan.specs.iter().map(|s| s.id).collect(),
+        owned_groups: plan.owned_groups.clone(),
+        is_global: plan.is_global,
+    }
+}
+
+impl Endpoint {
+    fn run_to(&mut self, us: u64) -> bool {
+        if us <= self.ran_to_us && !(us == 0 && self.ran_to_us == 0 && !self.done) {
+            return false;
+        }
+        self.sim.run_until(SimTime::from_micros(us));
+        let progressed = us > self.ran_to_us;
+        self.ran_to_us = us.max(self.ran_to_us);
+        progressed
+    }
+
+    /// One conservative scheduling step: drain inbound fabric mail, inject
+    /// every arrival-complete batch at its quantized instant (sorted by
+    /// `(src, seq)`), and advance local virtual time to the horizon every
+    /// inbound promise allows. Returns whether anything moved.
+    fn step(&mut self, fabric: &Fabric) -> bool {
+        let mut progressed = false;
+        let safe = {
+            let mut st = fabric.state.lock().unwrap();
+            for &src in &self.inbound {
+                let e = st.edges.get_mut(&(src, self.id)).expect("active inbound edge");
+                for env in e.mail.drain(..) {
+                    self.staged.entry(env.arrival_us).or_default().push(env);
+                }
+            }
+            self.inbound
+                .iter()
+                .map(|&src| st.edges[&(src, self.id)].promise_us)
+                .min()
+                .unwrap_or(u64::MAX)
+        };
+        loop {
+            let next_batch = self.staged.keys().next().copied();
+            if let Some(t) = next_batch {
+                // A batch is complete once every inbound edge promises no
+                // further arrival at or before it.
+                if t <= self.budget_us && safe > t {
+                    if t > 0 {
+                        self.run_to(t - 1);
+                    }
+                    let mut batch = self.staged.remove(&t).expect("just peeked");
+                    batch.sort_by_key(|e| (e.src, e.seq));
+                    let now = self.sim.now().as_micros();
+                    for env in batch {
+                        self.sim.inject(
+                            self.relay_id,
+                            self.control_id,
+                            Wire::App(ShardMsg { to: self.id, payload: env.payload }),
+                            SimDuration::from_micros(t - now),
+                        );
+                    }
+                    progressed = true;
+                    continue;
+                }
+            }
+            let mut horizon = self.budget_us;
+            if let Some(t) = next_batch {
+                horizon = horizon.min(t.saturating_sub(1));
+            }
+            horizon = horizon.min(safe.saturating_sub(1));
+            progressed |= self.run_to(horizon);
+            break;
+        }
+        progressed |= self.flush(fabric, safe);
+        if !self.done
+            && self.ran_to_us >= self.budget_us
+            && self.staged.keys().next().is_none_or(|&t| t > self.budget_us)
+            && safe > self.budget_us
+        {
+            self.done = true;
+            progressed = true;
+        }
+        progressed
+    }
+
+    /// Publishes outbox messages and refreshed arrival promises. The
+    /// promise is the null message of the conservative protocol: arrival
+    /// instant of the earliest message this endpoint could still send,
+    /// derived from its next local event, its staged inbound arrivals, and
+    /// what its own inbound edges promise.
+    fn flush(&mut self, fabric: &Fabric, safe: u64) -> bool {
+        if self.outbound.is_empty() {
+            debug_assert!(self.outbox.borrow().is_empty(), "fabric send without an active edge");
+            return false;
+        }
+        let out: Vec<(u32, u64, FabricPayload)> = self.outbox.borrow_mut().drain(..).collect();
+        let next_ev = self.sim.next_event_at().map_or(u64::MAX, |t| t.as_micros());
+        let next_staged = self.staged.keys().next().copied().unwrap_or(u64::MAX);
+        let lb = next_ev.min(next_staged).min(safe);
+        let mut progressed = false;
+        let mut st = fabric.state.lock().unwrap();
+        for (dst, send_us, payload) in out {
+            let e = st.edges.get_mut(&(self.id, dst)).expect("fabric send on an inactive edge");
+            let env = FabricEnvelope {
+                arrival_us: fabric.arrival_of(send_us),
+                src: self.id,
+                seq: e.next_seq,
+                payload,
+            };
+            e.next_seq += 1;
+            e.sent += 1;
+            e.mail.push(env);
+            progressed = true;
+        }
+        let promise = if lb > self.budget_us { u64::MAX } else { fabric.arrival_of(lb) };
+        for &dst in &self.outbound {
+            let e = st.edges.get_mut(&(self.id, dst)).expect("active outbound edge");
+            if promise > e.promise_us {
+                e.promise_us = promise;
+                st.promise_updates += 1;
+                progressed = true;
+            }
+        }
+        drop(st);
+        if progressed {
+            fabric.cv.notify_all();
+        }
+        progressed
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Distillation
+// ---------------------------------------------------------------------------
+
+/// Per-shard slice of a [`ShardReport`].
+#[derive(Debug, Clone)]
+pub struct ShardStats {
+    /// Shard tag (region index + 1; the global tier is `regions + 1`).
+    pub shard: u32,
+    /// True for the global (straddler) tier.
+    pub is_global: bool,
+    /// Sessions owned by this shard.
+    pub sessions: usize,
+    /// Sessions that reached a terminal result here.
+    pub completed: usize,
+    /// Events this shard contributed to the merged stream.
+    pub events: usize,
+    /// Messages its simulator delivered.
+    pub delivered: u64,
+    /// Times its control plane was rebuilt from the journal.
+    pub restores: u64,
+    /// Plan-cache hits in its final control-plane incarnation.
+    pub cache_hits: u64,
+    /// Plan-cache misses in its final control-plane incarnation.
+    pub cache_misses: u64,
+}
+
+/// Plain-data result a worker thread ships back for one endpoint.
+struct EndpointOutcome {
+    id: u32,
+    shard_tag: u32,
+    is_global: bool,
+    events: Vec<Event>,
+    journal_text: String,
+    results: Vec<SessionResult>,
+    config: Vec<(u32, bool)>,
+    intervals: Vec<(u64, Option<u64>)>,
+    restores: u64,
+    stats: NetStats,
+    cache: PlanCacheStats,
+    shed: u64,
+    rejected: u64,
+    breaker_trips: u64,
+    suppressed_sends: u64,
+}
+
+fn distill_endpoint(ep: Endpoint) -> EndpointOutcome {
+    let events = ep.ring.borrow().events();
+    let (ctl, wrapper_submitted, wrapper_cancelled) = if ep.is_global {
+        let g = ep.sim.actor::<GlobalControl>(ep.control_id).expect("global control present");
+        (&g.inner, Some(&g.submitted_at), Some(&g.cancelled_at))
+    } else {
+        let r = ep.sim.actor::<RegionControl>(ep.control_id).expect("region control present");
+        (&r.inner, None, None)
+    };
+    let mut ids = ep.sessions.clone();
+    ids.sort_unstable();
+    let results: Vec<SessionResult> = ids
+        .iter()
+        .map(|&id| {
+            let outcome = ctl.results.get(&id);
+            let mut r = SessionResult {
+                id,
+                submitted_at: ctl.submitted_at.get(&id).map(|t| t.as_micros()),
+                admitted_at: ctl.admitted_at.get(&id).map(|t| t.as_micros()),
+                completed_at: ctl.completed_at.get(&id).map(|t| t.as_micros()),
+                success: outcome.is_some_and(|o| o.success),
+                gave_up: outcome.is_some_and(|o| o.gave_up),
+                cancelled: outcome
+                    .is_some_and(|o| o.warnings.iter().any(|w| w.contains("cancelled"))),
+                shed: outcome.is_some_and(|o| o.warnings.iter().any(|w| w.contains("shed"))),
+                admission: ctl.admissions.get(&id).copied(),
+            };
+            // Straddlers: submission happens at the wrapper (the inner spec
+            // carries a sentinel), and a pre-submission withdrawal never
+            // reaches the inner plane at all.
+            if let Some(subs) = wrapper_submitted {
+                if let Some(&t) = subs.get(&id) {
+                    r.submitted_at = Some(r.submitted_at.map_or(t, |x| x.min(t)));
+                }
+            }
+            if let Some(cans) = wrapper_cancelled {
+                if let (Some(&t), None) = (cans.get(&id), r.completed_at) {
+                    r.cancelled = true;
+                    r.completed_at = Some(t);
+                }
+            }
+            r
+        })
+        .collect();
+    let config: Vec<(u32, bool)> = ep
+        .owned_groups
+        .iter()
+        .flat_map(|&g| [2 * g as u32, 2 * g as u32 + 1])
+        .map(|c| (c, ctl.fleet_config.contains(CompId::from_index(c as usize))))
+        .collect();
+    let intervals: Vec<(u64, Option<u64>)> = ctl
+        .admitted_at
+        .iter()
+        .map(|(id, at)| (at.as_micros(), ctl.completed_at.get(id).map(|t| t.as_micros())))
+        .collect();
+    EndpointOutcome {
+        id: ep.id,
+        shard_tag: ep.shard_tag,
+        is_global: ep.is_global,
+        events,
+        journal_text: encode_session_journal(&ctl.journal),
+        results,
+        config,
+        intervals,
+        restores: ctl.restores,
+        stats: ep.sim.stats(),
+        cache: ctl.cache_stats(),
+        shed: ctl.shed_count,
+        rejected: ctl.rejected_count,
+        breaker_trips: ctl.breaker_trips,
+        suppressed_sends: ctl.suppressed_sends,
+    }
+}
+
+fn run_worker(
+    scn: &FleetScenario,
+    regions: usize,
+    budget_us: u64,
+    plans: Vec<EndpointPlan>,
+    fabric: &Fabric,
+) -> Vec<EndpointOutcome> {
+    let mut eps: Vec<Endpoint> =
+        plans.iter().map(|p| build_endpoint(scn, regions, budget_us, p)).collect();
+    loop {
+        let mut progressed = false;
+        let mut all_done = true;
+        for ep in &mut eps {
+            if ep.done {
+                continue;
+            }
+            while ep.step(fabric) {
+                progressed = true;
+            }
+            all_done &= ep.done;
+        }
+        if all_done {
+            break;
+        }
+        if !progressed {
+            // Blocked on a peer's virtual clock: park until a promise or
+            // message lands (timeout only as a lost-wakeup safety net).
+            let st = fabric.state.lock().unwrap();
+            let _ = fabric
+                .cv
+                .wait_timeout(st, std::time::Duration::from_millis(1))
+                .expect("fabric lock poisoned");
+        }
+    }
+    eps.into_iter().map(distill_endpoint).collect()
+}
+
+// ---------------------------------------------------------------------------
+// Report and driver
+// ---------------------------------------------------------------------------
+
+/// Everything a sharded fleet run produced.
+pub struct ShardReport {
+    /// Per-session results across all shards, ascending by session id.
+    pub results: Vec<SessionResult>,
+    /// The fleet configuration merged from the regions' authoritative
+    /// per-group values, as a bit string.
+    pub final_config: String,
+    /// The deterministically merged event stream: ordered by `(virtual
+    /// time, shard, intra-shard order)`, every event stamped with its shard.
+    pub events: Vec<Event>,
+    /// FNV-1a fingerprint of the merged stream (shard tags included) —
+    /// bit-for-bit identical across worker-thread counts.
+    pub fingerprint: u64,
+    /// Per-shard write-ahead journals `(shard tag, text)`.
+    pub journals: Vec<(u32, String)>,
+    /// Per-shard statistics, region order then the global tier.
+    pub per_shard: Vec<ShardStats>,
+    /// Cross-shard traffic counters.
+    pub fabric: FabricStats,
+    /// Control-plane restores summed over shards.
+    pub restores: u64,
+    /// Peak simultaneously admitted sessions across the whole fleet.
+    pub max_concurrent: usize,
+    /// First submission → last completion, virtual μs, across shards.
+    pub makespan_us: u64,
+    /// Sessions shed by bulkhead admission control (all shards).
+    pub shed: u64,
+    /// Sessions rejected behind open breakers (all shards).
+    pub rejected: u64,
+    /// Circuit-breaker trips (all shards).
+    pub breaker_trips: u64,
+    /// Protocol sends suppressed by open breakers (all shards).
+    pub suppressed_sends: u64,
+    /// Wall-clock duration of the parallel run.
+    pub wall: std::time::Duration,
+}
+
+impl ShardReport {
+    /// The result row for session `id`.
+    pub fn session(&self, id: u64) -> Option<&SessionResult> {
+        self.results.iter().find(|r| r.id == id)
+    }
+
+    /// Sessions that committed their adaptation.
+    pub fn succeeded(&self) -> usize {
+        self.results.iter().filter(|r| r.success).count()
+    }
+}
+
+/// FNV-1a fingerprint over the encoded event stream, shard tags included —
+/// the bit-for-bit identity compared across worker-thread counts.
+pub fn fingerprint_events(events: &[Event]) -> u64 {
+    let mut h = FNV_BASIS;
+    for ev in events {
+        for b in encode_event(ev).bytes().chain(std::iter::once(b'\n')) {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+    }
+    h
+}
+
+/// Like [`fingerprint_events`] with shard tags normalized to zero — the
+/// identity compared between a one-region sharded run and the unsharded
+/// [`run_fleet`](crate::run_fleet) driver.
+pub fn fingerprint_events_unsharded(events: &[Event]) -> u64 {
+    let stripped: Vec<Event> = events
+        .iter()
+        .map(|e| {
+            let mut e = e.clone();
+            e.shard = 0;
+            e
+        })
+        .collect();
+    fingerprint_events(&stripped)
+}
+
+/// Runs `scenario` sharded across `threads` worker threads and reports.
+///
+/// Thread count is pure execution policy: any value produces bit-for-bit
+/// identical results, journals, and event streams for a fixed scenario.
+pub fn run_fleet_sharded(scenario: &ShardScenario, threads: usize) -> ShardReport {
+    let fleet = &scenario.fleet;
+    let regions = scenario.regions;
+    assert!(threads >= 1, "at least one worker thread");
+    assert!(regions >= 1 && regions <= fleet.groups.max(1), "1 ≤ regions ≤ groups");
+    assert!(fleet.crash_control.is_none(), "sharded runs target faults via crash_region");
+    assert!(fleet.faults.is_empty(), "sharded runs target faults via crash_region");
+    assert!(!fleet.serialize, "the serial baseline is inherently unsharded");
+    if let Some((r, _, _)) = scenario.crash_region {
+        assert!(r < regions, "crash_region out of range");
+    }
+    let budget_us = fleet.time_budget.as_micros();
+    let quantum_us = fleet.link_latency.as_micros().max(1);
+
+    // Partition the workload by the fixed region map.
+    let world = FleetWorld::build(fleet.groups);
+    let mut per_region: Vec<Vec<SessionSpec>> = vec![Vec::new(); regions];
+    let mut straddlers: Vec<(SessionSpec, Vec<usize>)> = Vec::new();
+    for spec in &fleet.sessions {
+        let mut rs: Vec<usize> = spec.flips.iter().map(|&(g, _)| scenario.region_of(g)).collect();
+        rs.sort_unstable();
+        rs.dedup();
+        if rs.len() <= 1 {
+            per_region[rs.first().copied().unwrap_or(0)].push(spec.clone());
+        } else {
+            straddlers.push((spec.clone(), rs));
+        }
+    }
+    let involved: Vec<u32> = straddlers
+        .iter()
+        .flat_map(|(_, rs)| rs.iter().map(|&r| r as u32))
+        .collect::<BTreeSet<u32>>()
+        .into_iter()
+        .collect();
+    let global_ep = regions as u32;
+
+    let mut plans: Vec<EndpointPlan> = (0..regions)
+        .map(|r| {
+            let active = involved.contains(&(r as u32));
+            EndpointPlan {
+                id: r as u32,
+                specs: per_region[r].clone(),
+                straddlers: Vec::new(),
+                inbound: if active { vec![global_ep] } else { Vec::new() },
+                outbound: if active { vec![global_ep] } else { Vec::new() },
+                owned_groups: (0..fleet.groups).filter(|&g| scenario.region_of(g) == r).collect(),
+                crash: scenario.crash_region.and_then(|(cr, a, b)| (cr == r).then_some((a, b))),
+                is_global: false,
+            }
+        })
+        .collect();
+    if !straddlers.is_empty() {
+        // The inner scenario carries beyond-budget submission sentinels:
+        // the wrapper owns the pre-submission lifecycle and submits only
+        // once every region slice is held.
+        let specs: Vec<SessionSpec> = straddlers
+            .iter()
+            .map(|(s, _)| SessionSpec {
+                submit_at: SimDuration::from_micros(2 * budget_us + s.submit_at.as_micros()),
+                ..s.clone()
+            })
+            .collect();
+        let plan_straddlers: Vec<StraddlerPlan> = straddlers
+            .iter()
+            .map(|(s, rs)| StraddlerPlan {
+                sid: s.id,
+                priority: s.priority,
+                submit_at: s.submit_at,
+                cancel_at: s.cancel_at,
+                slices: rs
+                    .iter()
+                    .map(|&r| {
+                        let flips_r: Vec<(usize, bool)> = s
+                            .flips
+                            .iter()
+                            .copied()
+                            .filter(|&(g, _)| scenario.region_of(g) == r)
+                            .collect();
+                        let comps = world.scope_comps(&flips_r);
+                        Slice {
+                            region: r as u32,
+                            resources: world.resources_for(&comps),
+                            comps: comps.iter().map(|c| c.index() as u32).collect(),
+                        }
+                    })
+                    .collect(),
+            })
+            .collect();
+        plans.push(EndpointPlan {
+            id: global_ep,
+            specs,
+            straddlers: plan_straddlers,
+            inbound: involved.clone(),
+            outbound: involved.clone(),
+            owned_groups: Vec::new(),
+            crash: None,
+            is_global: true,
+        });
+    }
+
+    let fabric = Arc::new(Fabric::new(&involved, global_ep, quantum_us));
+    let started = Instant::now();
+    let mut outcomes: Vec<EndpointOutcome> = Vec::new();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for w in 0..threads {
+            let mine: Vec<EndpointPlan> =
+                plans.iter().filter(|p| p.id as usize % threads == w).cloned().collect();
+            if mine.is_empty() {
+                continue;
+            }
+            let fabric = Arc::clone(&fabric);
+            handles.push(scope.spawn(move || run_worker(fleet, regions, budget_us, mine, &fabric)));
+        }
+        for h in handles {
+            outcomes.extend(h.join().expect("shard worker panicked"));
+        }
+    });
+    let wall = started.elapsed();
+    outcomes.sort_by_key(|o| o.id);
+
+    // Deterministic event merge: (virtual time, shard, intra-shard order).
+    let mut keys: Vec<(u64, u32, usize)> = Vec::new();
+    for (ox, o) in outcomes.iter().enumerate() {
+        for (ix, e) in o.events.iter().enumerate() {
+            keys.push((e.at.as_micros(), ox as u32, ix));
+        }
+    }
+    keys.sort_unstable();
+    let events: Vec<Event> =
+        keys.iter().map(|&(_, ox, ix)| outcomes[ox as usize].events[ix].clone()).collect();
+    let fingerprint = fingerprint_events(&events);
+
+    // Regions are authoritative for their groups' component values (global
+    // completions flowed back via `LockRelease`).
+    let mut cfg = world.initial_config();
+    for o in &outcomes {
+        for &(c, present) in &o.config {
+            if present {
+                cfg.insert(CompId::from_index(c as usize));
+            } else {
+                cfg.remove(CompId::from_index(c as usize));
+            }
+        }
+    }
+
+    let mut results: Vec<SessionResult> = outcomes.iter().flat_map(|o| o.results.clone()).collect();
+    results.sort_by_key(|r| r.id);
+    let first_submit = results.iter().filter_map(|r| r.submitted_at).min();
+    let last_complete = results.iter().filter_map(|r| r.completed_at).max();
+    let makespan_us = match (first_submit, last_complete) {
+        (Some(a), Some(b)) => b.saturating_sub(a),
+        _ => 0,
+    };
+    let intervals: Vec<(u64, Option<u64>)> =
+        outcomes.iter().flat_map(|o| o.intervals.iter().copied()).collect();
+
+    let per_shard: Vec<ShardStats> = outcomes
+        .iter()
+        .map(|o| ShardStats {
+            shard: o.shard_tag,
+            is_global: o.is_global,
+            sessions: o.results.len(),
+            completed: o.results.iter().filter(|r| r.completed_at.is_some()).count(),
+            events: o.events.len(),
+            delivered: o.stats.delivered,
+            restores: o.restores,
+            cache_hits: o.cache.hits,
+            cache_misses: o.cache.misses,
+        })
+        .collect();
+
+    let fabric_stats = {
+        let st = fabric.state.lock().unwrap();
+        let mut per_edge: Vec<(u32, u32, u64)> =
+            st.edges.iter().map(|(&(s, d), e)| (s + 1, d + 1, e.sent)).collect();
+        per_edge.sort_unstable();
+        FabricStats {
+            messages: per_edge.iter().map(|&(_, _, n)| n).sum(),
+            per_edge,
+            promise_updates: st.promise_updates,
+        }
+    };
+
+    ShardReport {
+        final_config: cfg.to_bit_string(),
+        fingerprint,
+        journals: outcomes.iter().map(|o| (o.shard_tag, o.journal_text.clone())).collect(),
+        restores: outcomes.iter().map(|o| o.restores).sum(),
+        max_concurrent: max_concurrent(intervals),
+        makespan_us,
+        shed: outcomes.iter().map(|o| o.shed).sum(),
+        rejected: outcomes.iter().map(|o| o.rejected).sum(),
+        breaker_trips: outcomes.iter().map(|o| o.breaker_trips).sum(),
+        suppressed_sends: outcomes.iter().map(|o| o.suppressed_sends).sum(),
+        per_shard,
+        fabric: fabric_stats,
+        results,
+        events,
+        wall,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::{disjoint_wave, run_fleet};
+
+    #[test]
+    fn disjoint_wave_shards_and_matches_unsharded_config() {
+        let fleet = FleetScenario::new(8, disjoint_wave(8, 1));
+        let unsharded = run_fleet(&fleet);
+        let scn = ShardScenario::new(fleet, 4);
+        let report = run_fleet_sharded(&scn, 2);
+        assert_eq!(report.succeeded(), 8, "results: {:?}", report.results);
+        assert_eq!(report.final_config, unsharded.final_config);
+        assert_eq!(report.fabric.messages, 0, "disjoint waves never cross the fabric");
+        assert_eq!(report.per_shard.len(), 4, "no straddlers ⇒ no global tier");
+    }
+
+    #[test]
+    fn thread_count_is_invisible() {
+        let mut fleet = FleetScenario::new(8, disjoint_wave(8, 1));
+        // A straddler across regions 0|1 exercises the fabric too.
+        fleet.sessions.push(SessionSpec {
+            id: 100,
+            flips: vec![(1, true), (2, true)],
+            priority: 1,
+            submit_at: SimDuration::from_millis(2),
+            cancel_at: None,
+        });
+        let scn = ShardScenario::new(fleet, 4);
+        let a = run_fleet_sharded(&scn, 1);
+        let b = run_fleet_sharded(&scn, 4);
+        assert_eq!(a.fingerprint, b.fingerprint, "event streams must be bit-for-bit identical");
+        assert_eq!(a.final_config, b.final_config);
+        assert_eq!(a.journals, b.journals);
+        assert_eq!(a.results, b.results);
+    }
+
+    #[test]
+    fn one_region_is_event_identical_to_run_fleet() {
+        let fleet = FleetScenario::new(4, disjoint_wave(4, 1));
+        let unsharded = run_fleet(&fleet);
+        let report = run_fleet_sharded(&ShardScenario::new(fleet, 1), 1);
+        assert_eq!(
+            fingerprint_events_unsharded(&report.events),
+            fingerprint_events_unsharded(&unsharded.events),
+            "one region replicates the unsharded run modulo shard tags"
+        );
+        assert_eq!(report.final_config, unsharded.final_config);
+    }
+
+    #[test]
+    fn straddling_session_escalates_and_commits() {
+        // Groups 0..4 over 2 regions; session 9 straddles groups 1 and 2
+        // (regions 0 and 1) while local sessions churn the same regions.
+        let mut sessions = disjoint_wave(4, 1);
+        sessions.push(SessionSpec {
+            id: 9,
+            flips: vec![(1, true), (2, true)],
+            priority: 0,
+            submit_at: SimDuration::from_millis(5),
+            cancel_at: None,
+        });
+        let fleet = FleetScenario::new(4, sessions);
+        let report = run_fleet_sharded(&ShardScenario::new(fleet, 2), 2);
+        assert_eq!(report.succeeded(), 5, "results: {:?}", report.results);
+        assert_eq!(report.final_config, "10101010");
+        assert!(report.fabric.messages >= 4, "request/grant per slice + releases crossed");
+        let global = report.per_shard.iter().find(|s| s.is_global).expect("global tier present");
+        assert_eq!(global.sessions, 1);
+        assert_eq!(global.completed, 1);
+    }
+
+    #[test]
+    fn straddler_cancelled_before_grants_releases_slices() {
+        // One long-running local session holds region 0's scope; the
+        // straddler queues behind it and withdraws before the grant lands.
+        let sessions = vec![
+            SessionSpec {
+                id: 1,
+                flips: vec![(0, true)],
+                priority: 0,
+                submit_at: SimDuration::ZERO,
+                cancel_at: None,
+            },
+            SessionSpec {
+                id: 2,
+                flips: vec![(0, false), (3, true)],
+                priority: 0,
+                submit_at: SimDuration::from_millis(1),
+                cancel_at: Some(SimDuration::from_millis(4)),
+            },
+        ];
+        let fleet = FleetScenario::new(4, sessions);
+        let report = run_fleet_sharded(&ShardScenario::new(fleet, 2), 2);
+        let s2 = report.session(2).expect("straddler reported");
+        assert!(s2.cancelled && !s2.success, "results: {:?}", report.results);
+        assert!(report.session(1).unwrap().success);
+        // The withdrawn straddler's slices were released: group 0 moved by
+        // session 1 only, group 3 stayed Old.
+        assert_eq!(report.final_config, "01010110");
+    }
+}

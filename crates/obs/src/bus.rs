@@ -39,6 +39,8 @@ pub struct Bus {
     sinks: Rc<RefCell<Vec<SinkHandle>>>,
     /// Session stamped onto emitted events (0 = unscoped, leave as-is).
     scope: u64,
+    /// Shard stamped onto emitted events (0 = unsharded, leave as-is).
+    shard: u32,
 }
 
 impl Bus {
@@ -53,12 +55,26 @@ impl Bus {
     /// embedded manager core a scoped clone and the whole event stream
     /// comes out session-tagged.
     pub fn scoped(&self, session: u64) -> Bus {
-        Bus { sinks: Rc::clone(&self.sinks), scope: session }
+        Bus { sinks: Rc::clone(&self.sinks), scope: session, shard: self.shard }
+    }
+
+    /// A clone of this bus that stamps `shard` onto every event emitted
+    /// through it (events already carrying a nonzero shard keep theirs).
+    /// A sharded runtime hands each region's simulator a stamped clone and
+    /// the merged multi-shard stream comes out shard-tagged; producers stay
+    /// shard-agnostic, exactly like [`Bus::scoped`] for sessions.
+    pub fn sharded(&self, shard: u32) -> Bus {
+        Bus { sinks: Rc::clone(&self.sinks), scope: self.scope, shard }
     }
 
     /// The session this handle stamps (0 when unscoped).
     pub fn scope(&self) -> u64 {
         self.scope
+    }
+
+    /// The shard this handle stamps (0 when unsharded).
+    pub fn shard(&self) -> u32 {
+        self.shard
     }
 
     /// Attaches `sink`; it observes every event emitted from now on. The
@@ -85,10 +101,14 @@ impl Bus {
     }
 
     /// Delivers `ev` to every attached sink, in attachment order. A scoped
-    /// handle fills in its session on events that do not carry one.
+    /// handle fills in its session, a sharded handle its shard, on events
+    /// that do not carry one.
     pub fn emit(&self, mut ev: Event) {
         if self.scope != 0 && ev.session == 0 {
             ev.session = self.scope;
+        }
+        if self.shard != 0 && ev.shard == 0 {
+            ev.shard = self.shard;
         }
         for sink in self.sinks.borrow().iter() {
             sink.borrow_mut().accept(&ev);
@@ -99,7 +119,13 @@ impl Bus {
     /// attached — the zero-overhead form for hot paths.
     pub fn publish(&self, at: SimTime, actor: u32, payload: impl FnOnce() -> Payload) {
         if self.has_sinks() {
-            self.emit(Event { at, actor, session: self.scope, payload: payload() });
+            self.emit(Event {
+                at,
+                actor,
+                session: self.scope,
+                shard: self.shard,
+                payload: payload(),
+            });
         }
     }
 }
@@ -130,6 +156,7 @@ mod tests {
             at: SimTime::from_micros(at),
             actor: 0,
             session: 0,
+            shard: 0,
             payload: Payload::Net(NetEvent::Crashed),
         }
     }
@@ -196,6 +223,27 @@ mod tests {
         bus.emit(net(4));
         let sessions: Vec<u64> = probe.borrow().seen.iter().map(|e| e.session).collect();
         assert_eq!(sessions, vec![7, 7, 3, 0]);
+    }
+
+    #[test]
+    fn sharded_handle_stamps_shard_without_overriding() {
+        let bus = Bus::new();
+        let probe = Rc::new(RefCell::new(Probe { seen: Vec::new() }));
+        bus.attach(&probe);
+        let sharded = bus.sharded(3);
+        assert_eq!(sharded.shard(), 3);
+        assert_eq!(bus.shard(), 0, "sharding is a property of the clone only");
+        sharded.emit(net(1));
+        sharded.publish(SimTime::from_micros(2), 0, || Payload::Net(NetEvent::Crashed));
+        let mut pre_tagged = net(3);
+        pre_tagged.shard = 9;
+        sharded.emit(pre_tagged);
+        // A scoped clone of a sharded handle keeps the shard, and vice versa.
+        sharded.scoped(5).emit(net(4));
+        bus.emit(net(5));
+        let stamps: Vec<(u32, u64)> =
+            probe.borrow().seen.iter().map(|e| (e.shard, e.session)).collect();
+        assert_eq!(stamps, vec![(3, 0), (3, 0), (9, 0), (3, 5), (0, 0)]);
     }
 
     #[test]

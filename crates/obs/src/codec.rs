@@ -90,13 +90,18 @@ struct Obj {
 }
 
 impl Obj {
-    fn new(at: SimTime, actor: u32, session: u64, kind: &str) -> Self {
+    fn new(at: SimTime, actor: u32, session: u64, shard: u32, kind: &str) -> Self {
         let mut buf = String::with_capacity(96);
         let _ = write!(buf, "{{\"at\":{},\"actor\":{}", at.as_micros(), actor);
         // Session 0 is elided so single-adaptation traces (including the
         // pinned golden trace) keep their pre-fleet byte-for-byte form.
         if session != 0 {
             let _ = write!(buf, ",\"session\":{session}");
+        }
+        // Shard 0 is elided the same way: unsharded traces keep their
+        // pre-shard byte-for-byte form.
+        if shard != 0 {
+            let _ = write!(buf, ",\"shard\":{shard}");
         }
         let _ = write!(buf, ",\"kind\":\"{kind}\"");
         Obj { buf }
@@ -145,7 +150,7 @@ impl Obj {
 
 /// Encodes one event as a single JSON line (no trailing newline).
 pub fn encode_event(ev: &Event) -> String {
-    let o = |kind: &str| Obj::new(ev.at, ev.actor, ev.session, kind);
+    let o = |kind: &str| Obj::new(ev.at, ev.actor, ev.session, ev.shard, kind);
     match &ev.payload {
         Payload::Net(n) => match n {
             NetEvent::Sent { from, to } => {
@@ -288,9 +293,11 @@ pub fn encode_event(ev: &Event) -> String {
             FleetEvent::PlanCacheEvicted { session } => {
                 o("fleet.cache_evicted").num("id", *session).finish()
             }
-            FleetEvent::SessionShed { session, waited_us } => {
-                o("fleet.shed").num("id", *session).num("waited_us", *waited_us).finish()
-            }
+            FleetEvent::SessionShed { session, waited_us, retry_after_us } => o("fleet.shed")
+                .num("id", *session)
+                .num("waited_us", *waited_us)
+                .num("retry_after_us", *retry_after_us)
+                .finish(),
             FleetEvent::SessionRejected { session, agent } => {
                 o("fleet.rejected").num("id", *session).num("agent", u64::from(*agent)).finish()
             }
@@ -303,6 +310,19 @@ pub fn encode_event(ev: &Event) -> String {
             }
             FleetEvent::BreakerClosed { agent } => {
                 o("fleet.breaker_close").num("agent", u64::from(*agent)).finish()
+            }
+            FleetEvent::ScopeBreakerOpened { scope, cooldown_us } => o("fleet.scope_breaker_open")
+                .num("scope", *scope)
+                .num("cooldown_us", *cooldown_us)
+                .finish(),
+            FleetEvent::ScopeBreakerProbed { scope } => {
+                o("fleet.scope_breaker_probe").num("scope", *scope).finish()
+            }
+            FleetEvent::ScopeBreakerClosed { scope } => {
+                o("fleet.scope_breaker_close").num("scope", *scope).finish()
+            }
+            FleetEvent::ScopeRejected { session, scope } => {
+                o("fleet.scope_rejected").num("id", *session).num("scope", *scope).finish()
             }
             FleetEvent::TimeoutAdapted { agent, srtt_us, rto_us } => o("fleet.rto")
                 .num("agent", u64::from(*agent))
@@ -692,6 +712,8 @@ pub fn decode_event(line: &str) -> Result<Event, String> {
         "fleet.shed" => Payload::Fleet(FleetEvent::SessionShed {
             session: f.num("id")?,
             waited_us: f.num("waited_us")?,
+            // Pre-backpressure traces carry no hint; they decode as 0.
+            retry_after_us: f.opt_num("retry_after_us")?.unwrap_or(0),
         }),
         "fleet.rejected" => Payload::Fleet(FleetEvent::SessionRejected {
             session: f.num("id")?,
@@ -707,6 +729,20 @@ pub fn decode_event(line: &str) -> Result<Event, String> {
         "fleet.breaker_close" => {
             Payload::Fleet(FleetEvent::BreakerClosed { agent: f.num("agent")? as u32 })
         }
+        "fleet.scope_breaker_open" => Payload::Fleet(FleetEvent::ScopeBreakerOpened {
+            scope: f.num("scope")?,
+            cooldown_us: f.num("cooldown_us")?,
+        }),
+        "fleet.scope_breaker_probe" => {
+            Payload::Fleet(FleetEvent::ScopeBreakerProbed { scope: f.num("scope")? })
+        }
+        "fleet.scope_breaker_close" => {
+            Payload::Fleet(FleetEvent::ScopeBreakerClosed { scope: f.num("scope")? })
+        }
+        "fleet.scope_rejected" => Payload::Fleet(FleetEvent::ScopeRejected {
+            session: f.num("id")?,
+            scope: f.num("scope")?,
+        }),
         "fleet.rto" => Payload::Fleet(FleetEvent::TimeoutAdapted {
             agent: f.num("agent")? as u32,
             srtt_us: f.num("srtt_us")?,
@@ -716,7 +752,9 @@ pub fn decode_event(line: &str) -> Result<Event, String> {
     };
     // Pre-fleet traces carry no session key; they decode as session 0.
     let session = f.opt_num("session")?.unwrap_or(0);
-    Ok(Event { at, actor, session, payload })
+    // Pre-shard traces carry no shard key; they decode as shard 0.
+    let shard = f.opt_num("shard")?.unwrap_or(0) as u32;
+    Ok(Event { at, actor, session, shard, payload })
 }
 
 /// Decodes a whole `.jsonl` trace (blank lines and `#` comments skipped).
@@ -841,6 +879,7 @@ mod tests {
                 at: SimTime::from_micros(i as u64 * 17),
                 actor: i as u32,
                 session: (i as u64) % 3,
+                shard: (i as u32) % 2,
                 payload,
             });
         }
@@ -858,11 +897,22 @@ mod tests {
             Payload::Fleet(FleetEvent::PlanCacheHit { session: 7 }),
             Payload::Fleet(FleetEvent::PlanCacheMiss { session: 1 }),
             Payload::Fleet(FleetEvent::PlanCacheEvicted { session: 3 }),
-            Payload::Fleet(FleetEvent::SessionShed { session: 11, waited_us: 4_200 }),
+            Payload::Fleet(FleetEvent::SessionShed {
+                session: 11,
+                waited_us: 4_200,
+                retry_after_us: 25_000,
+            }),
             Payload::Fleet(FleetEvent::SessionRejected { session: 12, agent: 7 }),
             Payload::Fleet(FleetEvent::BreakerOpened { agent: 5, cooldown_us: 400_000 }),
             Payload::Fleet(FleetEvent::BreakerProbed { agent: 5 }),
             Payload::Fleet(FleetEvent::BreakerClosed { agent: 5 }),
+            Payload::Fleet(FleetEvent::ScopeBreakerOpened {
+                scope: 0xdead_beef_cafe,
+                cooldown_us: 800_000,
+            }),
+            Payload::Fleet(FleetEvent::ScopeBreakerProbed { scope: 0xdead_beef_cafe }),
+            Payload::Fleet(FleetEvent::ScopeBreakerClosed { scope: 0xdead_beef_cafe }),
+            Payload::Fleet(FleetEvent::ScopeRejected { session: 13, scope: 0xdead_beef_cafe }),
             Payload::Fleet(FleetEvent::TimeoutAdapted { agent: 2, srtt_us: 9_800, rto_us: 31_000 }),
         ];
         for (i, payload) in cases.into_iter().enumerate() {
@@ -870,6 +920,7 @@ mod tests {
                 at: SimTime::from_micros(i as u64),
                 actor: 0,
                 session: i as u64,
+                shard: i as u32 % 3,
                 payload,
             });
         }
@@ -881,6 +932,7 @@ mod tests {
             at: SimTime::from_micros(5),
             actor: 1,
             session: 0,
+            shard: 0,
             payload: Payload::Net(NetEvent::Crashed),
         };
         let line = encode_event(&ev);
@@ -897,11 +949,48 @@ mod tests {
     }
 
     #[test]
+    fn shard_zero_is_elided_and_decodes_back() {
+        let ev = Event {
+            at: SimTime::from_micros(5),
+            actor: 1,
+            session: 0,
+            shard: 0,
+            payload: Payload::Net(NetEvent::Crashed),
+        };
+        let line = encode_event(&ev);
+        assert!(!line.contains("shard"), "shard 0 must be elided: {line}");
+        // A pre-shard line (no shard key anywhere) decodes as shard 0.
+        let old = "{\"at\":5,\"actor\":1,\"kind\":\"net.crashed\"}";
+        assert_eq!(decode_event(old).unwrap(), ev);
+        // And a tagged line carries its shard through, alongside a session.
+        let tagged = Event { session: 7, shard: 3, ..ev };
+        let line = encode_event(&tagged);
+        assert!(line.contains("\"shard\":3"), "{line}");
+        assert_eq!(decode_event(&line).unwrap(), tagged);
+    }
+
+    #[test]
+    fn pre_backpressure_shed_lines_decode_with_zero_hint() {
+        // PR 6 traces encoded fleet.shed without a retry_after_us field.
+        let old = "{\"at\":9,\"actor\":2,\"kind\":\"fleet.shed\",\"id\":11,\"waited_us\":4200}";
+        let ev = decode_event(old).unwrap();
+        assert_eq!(
+            ev.payload,
+            Payload::Fleet(FleetEvent::SessionShed {
+                session: 11,
+                waited_us: 4_200,
+                retry_after_us: 0
+            })
+        );
+    }
+
+    #[test]
     fn no_actor_sentinel_round_trips() {
         round_trip(Event {
             at: SimTime::ZERO,
             actor: NO_ACTOR,
             session: 0,
+            shard: 0,
             payload: Payload::Net(NetEvent::Crashed),
         });
     }
@@ -912,6 +1001,7 @@ mod tests {
             at: SimTime::ZERO,
             actor: 0,
             session: 0,
+            shard: 0,
             payload: Payload::Net(NetEvent::Crashed),
         };
         let text = format!("# header\n\n{}\n  \n{}\n", encode_event(&ev), encode_event(&ev));
@@ -937,6 +1027,7 @@ mod tests {
             at: SimTime::from_micros(1),
             actor: 0,
             session: 0,
+            shard: 0,
             payload: Payload::Audit(AuditEvent::InAction {
                 label: "näive → übergang".into(),
                 comps: vec![],
@@ -951,6 +1042,7 @@ mod tests {
             at: SimTime::from_micros(3),
             actor: 1,
             session: 0,
+            shard: 0,
             payload: Payload::Net(NetEvent::Restarted),
         };
         sink.accept(&ev);

@@ -23,6 +23,10 @@ pub const NO_ACTOR: u32 = u32::MAX;
 /// for every event of a single-adaptation run, which predates sessions).
 pub const NO_SESSION: u64 = 0;
 
+/// Sentinel shard value for events outside any sharded run (and for every
+/// event of a single-plane run, which predates shards).
+pub const NO_SHARD: u32 = 0;
+
 /// One timestamped, attributed occurrence on the unified bus.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Event {
@@ -37,6 +41,13 @@ pub struct Event {
     ///
     /// [`Bus::scoped`]: crate::Bus::scoped
     pub session: u64,
+    /// Shard (control-plane region) that produced the event, or
+    /// [`NO_SHARD`]. Producers stay shard-agnostic and emit 0; a sharded
+    /// runtime hands each region a stamped bus via [`Bus::sharded`], so
+    /// merged multi-shard streams remain attributable line by line.
+    ///
+    /// [`Bus::sharded`]: crate::Bus::sharded
+    pub shard: u32,
     /// What happened, tagged by the layer that observed it.
     pub payload: Payload,
 }
@@ -401,6 +412,10 @@ pub enum FleetEvent {
         /// Microseconds the victim had spent waiting (0 when the newcomer
         /// itself was shed on arrival).
         waited_us: u64,
+        /// Backpressure hint returned to the submitter: microseconds after
+        /// which a resubmission has a fair chance of being admitted (derived
+        /// from the bulkhead's occupancy and observed session latency).
+        retry_after_us: u64,
     },
     /// A session was admitted into a scope whose agent sits behind an open
     /// circuit breaker; rather than hanging on suppressed sends while
@@ -431,6 +446,37 @@ pub enum FleetEvent {
     BreakerClosed {
         /// Dense agent index within the hosting control plane.
         agent: u32,
+    },
+    /// A scope's circuit breaker tripped open: sessions over that exact
+    /// scope fail fast at admission until a half-open probe session
+    /// succeeds. Disjoint scopes — even ones sharing an agent — keep
+    /// flowing.
+    ScopeBreakerOpened {
+        /// FNV-1a key of the scope's sorted lock-resource set.
+        scope: u64,
+        /// The open hold before the next probe session, in microseconds.
+        cooldown_us: u64,
+    },
+    /// An open scope breaker's cooldown elapsed; the admitted session runs
+    /// as the single half-open probe for that scope.
+    ScopeBreakerProbed {
+        /// FNV-1a key of the scope's sorted lock-resource set.
+        scope: u64,
+    },
+    /// A session over the scope succeeded while its breaker was open or
+    /// half-open; admissions into the scope flow again.
+    ScopeBreakerClosed {
+        /// FNV-1a key of the scope's sorted lock-resource set.
+        scope: u64,
+    },
+    /// A session was admitted into a scope whose own circuit breaker is
+    /// open; it terminated immediately with a journaled outcome instead of
+    /// convoying the flapping scope.
+    ScopeRejected {
+        /// The rejected session's identifier.
+        session: u64,
+        /// FNV-1a key of the gating scope.
+        scope: u64,
     },
     /// An agent's RTT estimator moved its retransmission timeout far enough
     /// (≥ a quarter relative to the last report) to be worth recording.

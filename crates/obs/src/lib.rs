@@ -38,7 +38,7 @@ pub use bus::{Bus, Sink};
 pub use codec::{decode_event, decode_lines, encode_event, JsonlSink};
 pub use event::{
     AgentStateTag, Event, FleetEvent, ManagerPhaseTag, NetEvent, Payload, PlanEvent, ProtoEvent,
-    TemporalEvent, NO_ACTOR, NO_SESSION,
+    TemporalEvent, NO_ACTOR, NO_SESSION, NO_SHARD,
 };
 pub use key::{ObligationKey, SegmentEdge};
 pub use metrics::Metrics;

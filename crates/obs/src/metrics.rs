@@ -160,6 +160,7 @@ mod tests {
             at: SimTime::from_micros(at),
             actor,
             session: 0,
+            shard: 0,
             payload: Payload::Proto(ProtoEvent::AgentState { from, to, step: Some(1) }),
         }
     }
@@ -191,7 +192,7 @@ mod tests {
     #[test]
     fn counts_follow_the_stream() {
         let at = SimTime::from_micros(5);
-        let ev = |actor: u32, payload: Payload| Event { at, actor, session: 0, payload };
+        let ev = |actor: u32, payload: Payload| Event { at, actor, session: 0, shard: 0, payload };
         let events = vec![
             ev(0, Payload::Net(NetEvent::Sent { from: 0, to: 1 })),
             ev(1, Payload::Net(NetEvent::Delivered { from: 0, to: 1 })),

@@ -170,7 +170,7 @@ mod tests {
     use sada_expr::CompId;
 
     fn ev(at: u64, payload: Payload) -> Event {
-        Event { at: SimTime::from_micros(at), actor: 0, session: 0, payload }
+        Event { at: SimTime::from_micros(at), actor: 0, session: 0, shard: 0, payload }
     }
 
     #[test]

@@ -154,11 +154,12 @@ fn arb_payload() -> impl Strategy<Value = Payload> {
 }
 
 fn arb_event() -> impl Strategy<Value = Event> {
-    (any::<u64>(), any::<u32>(), 0u64..10, arb_payload()).prop_map(
-        |(at, actor, session, payload)| Event {
+    (any::<u64>(), any::<u32>(), 0u64..10, 0u32..5, arb_payload()).prop_map(
+        |(at, actor, session, shard, payload)| Event {
             at: SimTime::from_micros(at),
             actor,
             session,
+            shard,
             payload,
         },
     )

@@ -198,6 +198,7 @@ impl<M> ManagerActor<M> {
                 at: ctx.now(),
                 actor: ctx.self_id().index() as u32,
                 session: 0,
+                shard: 0,
                 payload: Payload::Fleet(ev),
             });
         }
@@ -275,7 +276,7 @@ impl<M> ManagerActor<M> {
         if self.bus.has_sinks() {
             let (at, actor) = (ctx.now(), ctx.self_id().index() as u32);
             for payload in obs {
-                self.bus.emit(sada_obs::Event { at, actor, session: 0, payload });
+                self.bus.emit(sada_obs::Event { at, actor, session: 0, shard: 0, payload });
             }
         }
         for eff in effects {
@@ -580,7 +581,13 @@ impl ScriptedAgent {
         if self.bus.has_sinks() {
             let (at, actor) = (ctx.now(), ctx.self_id().index() as u32);
             for payload in obs {
-                self.bus.emit(sada_obs::Event { at, actor, session: self.session.0, payload });
+                self.bus.emit(sada_obs::Event {
+                    at,
+                    actor,
+                    session: self.session.0,
+                    shard: 0,
+                    payload,
+                });
             }
         }
         for eff in effects {

@@ -681,6 +681,18 @@ impl<M: Clone + 'static> Simulator<M> {
         let deadline = self.now + d;
         self.run_until(deadline);
     }
+
+    /// Timestamp of the earliest queued event, if any — the conservative
+    /// lower bound a parallel-DES executor advertises to its peers before
+    /// advancing its local clock.
+    pub fn next_event_at(&self) -> Option<SimTime> {
+        self.queue.peek().map(|ev| ev.at)
+    }
+
+    /// Number of queued (undelivered) events.
+    pub fn pending_events(&self) -> usize {
+        self.queue.len()
+    }
 }
 
 impl<M: 'static> std::fmt::Debug for Simulator<M> {

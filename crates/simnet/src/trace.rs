@@ -97,18 +97,21 @@ mod tests {
             at: SimTime::from_micros(1),
             actor: 0,
             session: 0,
+            shard: 0,
             payload: Payload::Net(NetEvent::Sent { from: 0, to: 1 }),
         });
         t.accept(&Event {
             at: SimTime::from_micros(2),
             actor: 1,
             session: 0,
+            shard: 0,
             payload: Payload::Net(NetEvent::Crashed),
         });
         t.accept(&Event {
             at: SimTime::from_micros(3),
             actor: 0,
             session: 0,
+            shard: 0,
             payload: Payload::Proto(sada_obs::ProtoEvent::StepCommitted { step: 1 }),
         });
         assert_eq!(t.events().len(), 2);

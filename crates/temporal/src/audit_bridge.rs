@@ -121,6 +121,7 @@ pub fn derive_temporal_events(stream: &[Event], comps: &[CompId]) -> Vec<Event> 
                 at: ev.at,
                 actor: ev.actor,
                 session: ev.session,
+                shard: ev.shard,
                 payload: Payload::Temporal(t),
             });
         }
@@ -130,6 +131,7 @@ pub fn derive_temporal_events(stream: &[Event], comps: &[CompId]) -> Vec<Event> 
                 at: ev.at,
                 actor: NO_ACTOR,
                 session: ev.session,
+                shard: ev.shard,
                 payload: Payload::Temporal(TemporalEvent::SafePoint { index: ix as u64 }),
             });
         }
@@ -177,12 +179,14 @@ mod tests {
                 at: SimTime::from_millis(ix as u64),
                 actor: 0,
                 session: 0,
+                shard: 0,
                 payload: Payload::Audit(a),
             });
             out.push(Event {
                 at: SimTime::from_millis(ix as u64),
                 actor: 1,
                 session: 0,
+                shard: 0,
                 payload: Payload::Net(NetEvent::Sent { from: 1, to: 0 }),
             });
         }

@@ -93,7 +93,7 @@ fn flush_agent_obs(agent: &mut AgentCore, audit: &AuditShared, ctx: &mut Context
     }
     let (at, actor) = (ctx.now(), ctx.self_id().index() as u32);
     for payload in obs {
-        bus.emit(sada_obs::Event { at, actor, session: 0, payload });
+        bus.emit(sada_obs::Event { at, actor, session: 0, shard: 0, payload });
     }
 }
 
