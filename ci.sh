@@ -58,12 +58,24 @@ SADA_BENCH_SMOKE=1 cargo bench -q -p sada-bench --bench bench_overload > /dev/nu
 
 echo "==> sharded control-plane smoke (2-shard determinism + scaling sweep)"
 # Renders the per-shard table (includes a 1-thread vs 4-thread fingerprint
-# comparison over a straddler-bearing workload), then runs the pinned
-# asserts from crates/bench/benches/bench_shard.rs: identical final
-# configurations and event-stream fingerprints at 1/2/4/8 worker threads,
-# zero fabric traffic for the local storm, and — on hosts with >= 4 cores —
-# the >= 3x sessions/sec speedup at 4 threads. Regenerates BENCH_shard.json.
+# comparison over a straddler-bearing workload and a fabric-chaos leg with
+# fault/retransmission counters), then runs the pinned asserts from
+# crates/bench/benches/bench_shard.rs: identical final configurations and
+# event-stream fingerprints at 1/2/4/8 worker threads, zero fabric traffic
+# for the local storm, lossy straddler outcomes identical to lossless, and
+# — on hosts with >= 4 cores — the >= 3x sessions/sec speedup at 4
+# threads. Regenerates BENCH_shard.json (incl. the fabric_chaos leg).
 cargo run -q --release -p sada-bench --bin report -- shard > /dev/null
 SADA_BENCH_SMOKE=1 cargo bench -q -p sada-bench --bench bench_shard > /dev/null
+
+echo "==> fabric-chaos sweep (lossy fabric + global-tier crash + region crash)"
+# 20 seeded fault universes over a straddler-bearing fleet with the global
+# tier AND one region crashing mid-handshake: bit-for-bit identity at
+# 1/2/4/8 worker threads (fingerprints, journals, the global WAL, results),
+# lossy outcomes identical to the lossless twin, duplicate-delivery
+# idempotence, ladder-exhaustion abandonment with a journaled verdict, and
+# the fabric-codec round-trip property. Set SADA_FULL_CHAOS=1 for the
+# 60-seed soak, or SADA_CHAOS_SEEDS=N to pin the sweep width.
+cargo test -q -p sada-fleet --test fabric_chaos
 
 echo "CI OK"

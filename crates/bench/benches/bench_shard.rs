@@ -22,7 +22,9 @@
 //! assertion sweep + JSON write (the CI regression gate).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use sada_fleet::{run_fleet_sharded, FleetScenario, SessionSpec, ShardReport, ShardScenario};
+use sada_fleet::{
+    run_fleet_sharded, FabricFaultPlan, FleetScenario, SessionSpec, ShardReport, ShardScenario,
+};
 use sada_obs::SimDuration;
 
 const GROUPS: usize = 64;
@@ -56,6 +58,39 @@ fn storm() -> ShardScenario {
     ShardScenario::new(fleet, REGIONS)
 }
 
+/// The storm plus one straddler per region boundary: the workload whose
+/// lock handshakes actually cross the fabric, used for the
+/// retransmission-overhead leg (faults on vs off).
+fn straddler_storm() -> ShardScenario {
+    let mut scn = storm();
+    let mut sessions = scn.fleet.sessions.clone();
+    for r in 0..REGIONS - 1 {
+        let boundary = (r + 1) * GROUPS / REGIONS;
+        sessions.push(SessionSpec {
+            id: 10_000 + r as u64,
+            flips: vec![(boundary - 1, true), (boundary, true)],
+            priority: 0,
+            submit_at: SimDuration::from_micros(130_000 + 500 * r as u64),
+            cancel_at: None,
+        });
+    }
+    scn.fleet = FleetScenario::new(GROUPS, sessions);
+    scn.fleet.seed = SEED;
+    scn.fleet.time_budget = SimDuration::from_millis(40_000);
+    scn
+}
+
+fn chaos_plan() -> FabricFaultPlan {
+    FabricFaultPlan {
+        seed: SEED,
+        drop_per_mille: 200,
+        dup_per_mille: 200,
+        delay_per_mille: 200,
+        null_drop_per_mille: 100,
+        ..FabricFaultPlan::default()
+    }
+}
+
 fn sessions_per_sec(report: &ShardReport) -> f64 {
     report.succeeded() as f64 / report.wall.as_secs_f64().max(1e-9)
 }
@@ -72,6 +107,15 @@ fn bench_shard(c: &mut Criterion) {
             b.iter(|| run_fleet_sharded(&scn, threads).succeeded())
         });
     }
+    // The retransmission-overhead pair: straddler handshakes with the
+    // fabric lossless vs chaos-faulted.
+    let strad = straddler_storm();
+    g.bench_function("straddlers_8t", |b| b.iter(|| run_fleet_sharded(&strad, 8).succeeded()));
+    let mut faulted = strad.clone();
+    faulted.fabric_faults = chaos_plan();
+    g.bench_function("straddlers_chaos_8t", |b| {
+        b.iter(|| run_fleet_sharded(&faulted, 8).succeeded())
+    });
     g.finish();
 }
 
@@ -130,12 +174,45 @@ fn write_bench_json() {
     let again = run_fleet_sharded(&scn, 1);
     assert_eq!(base.fingerprint, again.fingerprint, "same seed, same stream");
 
+    // Retransmission-overhead leg: the straddler storm with the fabric
+    // lossless vs faulted. The ladder must absorb every fault — identical
+    // verdicts and final configuration — and this records what that costs
+    // in virtual makespan and retransmitted handshakes.
+    let strad = straddler_storm();
+    let clean = run_fleet_sharded(&strad, REGIONS);
+    let offered_strad = GROUPS * WAVES + (REGIONS - 1);
+    assert_eq!(clean.succeeded(), offered_strad, "straddler storm commits every session");
+    assert!(clean.fabric.messages > 0, "straddlers must cross the fabric");
+    let mut faulted_scn = strad.clone();
+    faulted_scn.fabric_faults = chaos_plan();
+    let faulted = run_fleet_sharded(&faulted_scn, REGIONS);
+    assert_eq!(faulted.succeeded(), clean.succeeded(), "faults never change verdicts");
+    assert_eq!(faulted.final_config, clean.final_config, "faults never change the destination");
+    assert!(faulted.retransmits > 0, "the chaos plan must exercise the ladder");
+    let makespan_overhead = faulted.makespan_us as f64 / (clean.makespan_us as f64).max(1.0) - 1.0;
+    let fabric_leg = format!(
+        "  \"fabric_chaos\": {{\"sessions\": {offered_strad}, \"straddlers\": {}, \
+         \"clean_makespan_us\": {}, \"faulted_makespan_us\": {}, \
+         \"makespan_overhead\": {makespan_overhead:.3}, \"fabric_messages\": {}, \
+         \"dropped\": {}, \"duplicated\": {}, \"delayed\": {}, \"retransmits\": {}, \
+         \"abandoned\": {}, \"outcomes_match_lossless\": true}},\n",
+        REGIONS - 1,
+        clean.makespan_us,
+        faulted.makespan_us,
+        faulted.fabric.messages,
+        faulted.fabric.dropped,
+        faulted.fabric.duplicated,
+        faulted.fabric.delayed,
+        faulted.retransmits,
+        faulted.abandoned,
+    );
+
     let json = format!(
         "{{\n  \"bench\": \"shard\",\n  \"workload\": \"{} local sessions ({WAVES} waves over \
          {GROUPS} groups, {REGIONS} regions), straddler-free so every region free-runs; \
          sessions/sec = committed sessions per wall-clock second\",\n  \
          \"host_cores\": {cores},\n  \"scaling_asserted\": {},\n  \
-         \"speedup_4t_vs_1t\": {speedup_4t:.2},\n  \"rows\": [\n{}\n  ]\n}}\n",
+         \"speedup_4t_vs_1t\": {speedup_4t:.2},\n{fabric_leg}  \"rows\": [\n{}\n  ]\n}}\n",
         GROUPS * WAVES,
         cores >= 4,
         rows.join(",\n"),

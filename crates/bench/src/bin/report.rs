@@ -783,7 +783,9 @@ fn overload(seed: Option<u64>) {
 }
 
 fn shard(seed: Option<u64>) {
-    use sada_fleet::{run_fleet_sharded, FleetScenario, SessionSpec, ShardScenario};
+    use sada_fleet::{
+        run_fleet_sharded, FabricFaultPlan, FleetScenario, SessionSpec, ShardScenario,
+    };
     let seed = seed.unwrap_or(42);
     const GROUPS: usize = 16;
     const REGIONS: usize = 4;
@@ -875,6 +877,60 @@ fn shard(seed: Option<u64>) {
         "(every region owns its own simulator, control actor, lock domain, and plan cache on a \
          real OS thread; only lock escalation for straddling scopes crosses the fabric, and the \
          conservative virtual-clock protocol makes thread count invisible to results.)"
+    );
+
+    // Chaos leg: the same fleet under a lossy fabric plus a global-tier
+    // crash mid-handshake. The retransmission ladder, idempotent
+    // grant/release application, and journal replay must land the clean
+    // run's outcomes — the fault counters below show the machinery working.
+    let mut chaos = scn.clone();
+    chaos.fabric_faults = FabricFaultPlan {
+        seed,
+        drop_per_mille: 200,
+        dup_per_mille: 200,
+        delay_per_mille: 200,
+        null_drop_per_mille: 100,
+        ..FabricFaultPlan::default()
+    };
+    chaos.crash_global = Some((SimTime::from_millis(41), SimTime::from_millis(400)));
+    let faulted = run_fleet_sharded(&chaos, REGIONS);
+    println!();
+    println!(
+        "fabric chaos (drop/dup/delay 200‰ each, null-drop 100‰, global tier down 41–400 ms):"
+    );
+    println!(
+        "  faults injected: {} dropped, {} duplicated, {} delayed, {} null advances suppressed",
+        faulted.fabric.dropped,
+        faulted.fabric.duplicated,
+        faulted.fabric.delayed,
+        faulted.fabric.nulls_dropped,
+    );
+    println!(
+        "  recovery: {} retransmissions, {} lease reclaims, {} straddlers abandoned, \
+         {} releases orphaned, {} control-plane restore(s)",
+        faulted.retransmits,
+        faulted.lease_reclaims,
+        faulted.abandoned,
+        faulted.orphaned_releases,
+        faulted.restores,
+    );
+    let chaos_single = run_fleet_sharded(&chaos, 1);
+    println!(
+        "  convergence: outcomes {} the lossless run ({}/{} committed, final={}); \
+         1-thread vs {REGIONS}-thread fingerprints {}",
+        if faulted.final_config == multi.final_config && faulted.succeeded() == multi.succeeded() {
+            "MATCH"
+        } else {
+            "DIVERGE from"
+        },
+        faulted.succeeded(),
+        faulted.results.len(),
+        faulted.final_config,
+        if faulted.fingerprint == chaos_single.fingerprint { "MATCH" } else { "DIVERGE" },
+    );
+    println!(
+        "  global journal: {} record(s) — the durable WAL a restored tier replays",
+        faulted.global_journal.lines().count(),
     );
 }
 

@@ -1014,6 +1014,41 @@ impl<M: Clone + 'static> ControlActor<M> {
     pub(crate) fn is_done(&self, sid: u64) -> bool {
         self.results.contains_key(&sid)
     }
+
+    /// Concludes a never-admitted session with a journaled rejection — the
+    /// global tier's terminal verdict when its fabric retransmission ladder
+    /// exhausts against an unreachable region. Idempotent: a session that
+    /// already holds a result is left untouched.
+    pub(crate) fn conclude_rejected(
+        &mut self,
+        ctx: &mut Context<'_, Wire<M>>,
+        sid: u64,
+        warning: String,
+    ) {
+        if self.results.contains_key(&sid) {
+            return;
+        }
+        self.journal.push(SessionRecord {
+            session: SessionId(sid),
+            record: JournalRecord::Outcome { success: false, gave_up: false },
+        });
+        self.emit_fleet(
+            ctx,
+            sid,
+            FleetEvent::SessionDone { session: sid, success: false, gave_up: false },
+        );
+        self.completed_at.insert(sid, ctx.now());
+        self.results.insert(
+            sid,
+            Outcome {
+                success: false,
+                gave_up: false,
+                final_config: self.fleet_config.clone(),
+                steps_committed: 0,
+                warnings: vec![warning],
+            },
+        );
+    }
 }
 
 impl<M: Clone + 'static> Actor<Wire<M>> for ControlActor<M> {

@@ -57,7 +57,8 @@ pub use lock::ScopeLockManager;
 pub use overload::{measure_capacity, run_overload, OverloadConfig, OverloadReport};
 pub use planner::ScopedLazyPlanner;
 pub use shard::{
-    fingerprint_events, fingerprint_events_unsharded, run_fleet_sharded, FabricStats, ShardReport,
-    ShardScenario, ShardStats, DEFAULT_REGIONS,
+    encode_fabric_msg, fingerprint_events, fingerprint_events_unsharded, parse_fabric_msg,
+    run_fleet_sharded, FabricFaultPlan, FabricPayload, FabricStats, ShardReport, ShardScenario,
+    ShardStats, DEFAULT_REGIONS,
 };
 pub use world::FleetWorld;

@@ -329,6 +329,39 @@ pub fn encode_event(ev: &Event) -> String {
                 .num("srtt_us", *srtt_us)
                 .num("rto_us", *rto_us)
                 .finish(),
+            FleetEvent::FabricDropped { src, dst, seq } => o("fleet.fabric_drop")
+                .num("src", u64::from(*src))
+                .num("dst", u64::from(*dst))
+                .num("seq", *seq)
+                .finish(),
+            FleetEvent::FabricDuplicated { src, dst, seq } => o("fleet.fabric_dup")
+                .num("src", u64::from(*src))
+                .num("dst", u64::from(*dst))
+                .num("seq", *seq)
+                .finish(),
+            FleetEvent::FabricDelayed { src, dst, seq, quanta } => o("fleet.fabric_delay")
+                .num("src", u64::from(*src))
+                .num("dst", u64::from(*dst))
+                .num("seq", *seq)
+                .num("quanta", u64::from(*quanta))
+                .finish(),
+            FleetEvent::FabricRetransmit { session, region, attempt } => o("fleet.fabric_retx")
+                .num("id", *session)
+                .num("region", u64::from(*region))
+                .num("attempt", u64::from(*attempt))
+                .finish(),
+            FleetEvent::LeaseReclaimed { session, region, epoch } => o("fleet.lease_reclaim")
+                .num("id", *session)
+                .num("region", u64::from(*region))
+                .num("epoch", *epoch)
+                .finish(),
+            FleetEvent::StraddlerAbandoned { session, region, attempts } => {
+                o("fleet.straddler_abandoned")
+                    .num("id", *session)
+                    .num("region", u64::from(*region))
+                    .num("attempts", u64::from(*attempts))
+                    .finish()
+            }
         },
     }
 }
@@ -747,6 +780,37 @@ pub fn decode_event(line: &str) -> Result<Event, String> {
             agent: f.num("agent")? as u32,
             srtt_us: f.num("srtt_us")?,
             rto_us: f.num("rto_us")?,
+        }),
+        "fleet.fabric_drop" => Payload::Fleet(FleetEvent::FabricDropped {
+            src: f.num("src")? as u32,
+            dst: f.num("dst")? as u32,
+            seq: f.num("seq")?,
+        }),
+        "fleet.fabric_dup" => Payload::Fleet(FleetEvent::FabricDuplicated {
+            src: f.num("src")? as u32,
+            dst: f.num("dst")? as u32,
+            seq: f.num("seq")?,
+        }),
+        "fleet.fabric_delay" => Payload::Fleet(FleetEvent::FabricDelayed {
+            src: f.num("src")? as u32,
+            dst: f.num("dst")? as u32,
+            seq: f.num("seq")?,
+            quanta: f.num("quanta")? as u32,
+        }),
+        "fleet.fabric_retx" => Payload::Fleet(FleetEvent::FabricRetransmit {
+            session: f.num("id")?,
+            region: f.num("region")? as u32,
+            attempt: f.num("attempt")? as u32,
+        }),
+        "fleet.lease_reclaim" => Payload::Fleet(FleetEvent::LeaseReclaimed {
+            session: f.num("id")?,
+            region: f.num("region")? as u32,
+            epoch: f.num("epoch")?,
+        }),
+        "fleet.straddler_abandoned" => Payload::Fleet(FleetEvent::StraddlerAbandoned {
+            session: f.num("id")?,
+            region: f.num("region")? as u32,
+            attempts: f.num("attempts")? as u32,
         }),
         other => return Err(format!("unknown event kind {other:?}")),
     };

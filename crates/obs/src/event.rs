@@ -488,6 +488,69 @@ pub enum FleetEvent {
         /// Resulting retransmission timeout, in microseconds.
         rto_us: u64,
     },
+    /// Chaos injection destroyed a cross-shard fabric message at the sender.
+    FabricDropped {
+        /// Sending endpoint (shard tag minus one).
+        src: u32,
+        /// Destination endpoint.
+        dst: u32,
+        /// Per-edge sequence number of the destroyed envelope.
+        seq: u64,
+    },
+    /// Chaos injection duplicated a cross-shard fabric message; the copy
+    /// arrives one quantum later under its own sequence number.
+    FabricDuplicated {
+        /// Sending endpoint.
+        src: u32,
+        /// Destination endpoint.
+        dst: u32,
+        /// Sequence number of the original envelope.
+        seq: u64,
+    },
+    /// Chaos injection delayed a cross-shard fabric message by a burst of
+    /// arrival quanta (delays reorder it past later traffic on the edge).
+    FabricDelayed {
+        /// Sending endpoint.
+        src: u32,
+        /// Destination endpoint.
+        dst: u32,
+        /// Sequence number of the delayed envelope.
+        seq: u64,
+        /// Arrival quanta added.
+        quanta: u32,
+    },
+    /// The global tier's retransmission ladder re-sent an unacknowledged
+    /// lock-handshake message over the fabric.
+    FabricRetransmit {
+        /// The straddling session whose handshake is being retried.
+        session: u64,
+        /// The unresponsive region.
+        region: u32,
+        /// 1-based retransmission attempt.
+        attempt: u32,
+    },
+    /// A region observed a lock request from a newer global-tier incarnation
+    /// for a slice it still holds on behalf of a dead incarnation, and
+    /// transferred the lease instead of orphaning it.
+    LeaseReclaimed {
+        /// The straddling session whose lease moved.
+        session: u64,
+        /// The reclaiming region.
+        region: u32,
+        /// The new (reclaiming) global-tier epoch.
+        epoch: u64,
+    },
+    /// The global tier exhausted its retransmission ladder against an
+    /// unreachable region and resolved the straddling session with a clean
+    /// `Rejected` outcome instead of letting it vanish.
+    StraddlerAbandoned {
+        /// The abandoned session.
+        session: u64,
+        /// The unreachable region.
+        region: u32,
+        /// Transmission attempts made before giving up.
+        attempts: u32,
+    },
 }
 
 /// What the planning layer observed.

@@ -142,6 +142,25 @@ fn arb_payload() -> impl Strategy<Value = Payload> {
         (0u64..100).prop_map(|session| FleetEvent::PlanCacheHit { session }),
         (0u64..100).prop_map(|session| FleetEvent::PlanCacheMiss { session }),
         (0u64..100).prop_map(|session| FleetEvent::PlanCacheEvicted { session }),
+        (0u32..16, 0u32..16, any::<u64>()).prop_map(|(src, dst, seq)| FleetEvent::FabricDropped {
+            src,
+            dst,
+            seq
+        }),
+        (0u32..16, 0u32..16, any::<u64>())
+            .prop_map(|(src, dst, seq)| FleetEvent::FabricDuplicated { src, dst, seq }),
+        (0u32..16, 0u32..16, any::<u64>(), 0u32..64).prop_map(|(src, dst, seq, quanta)| {
+            FleetEvent::FabricDelayed { src, dst, seq, quanta }
+        }),
+        (0u64..100, 0u32..16, 1u32..16).prop_map(|(session, region, attempt)| {
+            FleetEvent::FabricRetransmit { session, region, attempt }
+        }),
+        (0u64..100, 0u32..16, any::<u64>()).prop_map(|(session, region, epoch)| {
+            FleetEvent::LeaseReclaimed { session, region, epoch }
+        }),
+        (0u64..100, 0u32..16, 1u32..16).prop_map(|(session, region, attempts)| {
+            FleetEvent::StraddlerAbandoned { session, region, attempts }
+        }),
     ];
     prop_oneof![
         net.prop_map(Payload::Net),

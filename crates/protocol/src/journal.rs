@@ -304,6 +304,163 @@ fn parse_session_record(line: &str) -> Result<SessionRecord, String> {
     Ok(SessionRecord { session, record })
 }
 
+/// One durable decision point of the *global* (straddler) control tier.
+///
+/// The global tier runs scope-straddling sessions by acquiring per-region
+/// lock slices over the cross-shard fabric. Each irreversible step of that
+/// handshake — escalating a session onto the fabric, durably applying a
+/// region's grant, submitting the fully-held session to the embedded
+/// control plane, confirming a region's release, withdrawing, or abandoning
+/// an unreachable region — is journaled *before* the fabric messages it
+/// covers, mirroring the [`JournalRecord`] write-ahead discipline. After a
+/// crash the global tier replays this journal to re-drive partial ascending
+/// lock chains under a bumped incarnation (regions reclaim stale leases by
+/// epoch comparison) and requeues waiting straddlers in journal order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GlobalRecord {
+    /// A straddling session began its ascending-order slice acquisition.
+    Escalated {
+        /// The straddling session.
+        session: u64,
+        /// The regions its scope crosses, ascending.
+        regions: Vec<u32>,
+    },
+    /// A region's `LockGranted` was applied durably (its authoritative
+    /// component values folded into the global configuration).
+    SliceGranted {
+        /// The straddling session.
+        session: u64,
+        /// The granting region.
+        region: u32,
+    },
+    /// Every slice was held and the session entered the embedded control
+    /// plane (whose own session journal takes over from here).
+    Submitted {
+        /// The straddling session.
+        session: u64,
+    },
+    /// A region acknowledged the session's `LockRelease`: the slice is free
+    /// and the final component values are folded on the region's side.
+    Released {
+        /// The straddling session.
+        session: u64,
+        /// The acknowledging region.
+        region: u32,
+    },
+    /// The session withdrew before every slice was granted; releases for
+    /// the acquired prefix are (re-)issued until acknowledged.
+    Withdrawn {
+        /// The straddling session.
+        session: u64,
+    },
+    /// The fabric retransmission ladder exhausted against an unreachable
+    /// region: the session resolves with a clean `Rejected` outcome and its
+    /// acquired prefix is released.
+    Abandoned {
+        /// The straddling session.
+        session: u64,
+        /// The unreachable region.
+        region: u32,
+    },
+}
+
+fn fmt_regions(regions: &[u32]) -> String {
+    if regions.is_empty() {
+        "-".to_string()
+    } else {
+        regions.iter().map(|r| r.to_string()).collect::<Vec<_>>().join(",")
+    }
+}
+
+impl fmt::Display for GlobalRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GlobalRecord::Escalated { session, regions } => {
+                write!(f, "escalated session={session} regions={}", fmt_regions(regions))
+            }
+            GlobalRecord::SliceGranted { session, region } => {
+                write!(f, "slice session={session} region={region}")
+            }
+            GlobalRecord::Submitted { session } => write!(f, "submitted session={session}"),
+            GlobalRecord::Released { session, region } => {
+                write!(f, "released session={session} region={region}")
+            }
+            GlobalRecord::Withdrawn { session } => write!(f, "withdrawn session={session}"),
+            GlobalRecord::Abandoned { session, region } => {
+                write!(f, "abandoned session={session} region={region}")
+            }
+        }
+    }
+}
+
+/// Serializes a global-tier journal to its line-oriented text form.
+pub fn encode_global_journal(records: &[GlobalRecord]) -> String {
+    let mut out = String::new();
+    for r in records {
+        out.push_str(&r.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses the text form produced by [`encode_global_journal`]. Blank lines
+/// and `#` comments are ignored.
+pub fn parse_global_journal(text: &str) -> Result<Vec<GlobalRecord>, String> {
+    let mut records = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        records.push(parse_global_record(line).map_err(|e| format!("line {}: {e}", lineno + 1))?);
+    }
+    Ok(records)
+}
+
+fn parse_global_record(line: &str) -> Result<GlobalRecord, String> {
+    let mut words = line.split_whitespace();
+    let verb = words.next().ok_or("empty journal line")?;
+    let mut fields = std::collections::HashMap::new();
+    for w in words {
+        let (k, v) = w.split_once('=').ok_or_else(|| format!("expected key=value, got '{w}'"))?;
+        fields.insert(k, v);
+    }
+    let raw = |k: &str| -> Result<&str, String> {
+        fields.get(k).copied().ok_or_else(|| format!("missing field '{k}'"))
+    };
+    let num = |k: &str| -> Result<u64, String> {
+        raw(k)?.parse::<u64>().map_err(|e| format!("field '{k}': {e}"))
+    };
+    let region = |k: &str| -> Result<u32, String> {
+        raw(k)?.parse::<u32>().map_err(|e| format!("field '{k}': {e}"))
+    };
+    match verb {
+        "escalated" => {
+            let v = raw("regions")?;
+            let regions = if v == "-" {
+                Vec::new()
+            } else {
+                v.split(',')
+                    .map(|s| s.parse::<u32>().map_err(|e| format!("field 'regions': {e}")))
+                    .collect::<Result<Vec<_>, _>>()?
+            };
+            Ok(GlobalRecord::Escalated { session: num("session")?, regions })
+        }
+        "slice" => {
+            Ok(GlobalRecord::SliceGranted { session: num("session")?, region: region("region")? })
+        }
+        "submitted" => Ok(GlobalRecord::Submitted { session: num("session")? }),
+        "released" => {
+            Ok(GlobalRecord::Released { session: num("session")?, region: region("region")? })
+        }
+        "withdrawn" => Ok(GlobalRecord::Withdrawn { session: num("session")? }),
+        "abandoned" => {
+            Ok(GlobalRecord::Abandoned { session: num("session")?, region: region("region")? })
+        }
+        other => Err(format!("unknown global journal verb '{other}'")),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -433,11 +590,59 @@ mod tests {
             .prop_map(|(s, record)| SessionRecord { session: SessionId(s), record })
     }
 
+    fn arb_global_record() -> impl Strategy<Value = GlobalRecord> {
+        let session = 1u64..1_000;
+        prop_oneof![
+            (session.clone(), proptest::collection::vec(0u32..16, 0..5))
+                .prop_map(|(session, regions)| GlobalRecord::Escalated { session, regions }),
+            (session.clone(), 0u32..16)
+                .prop_map(|(session, region)| GlobalRecord::SliceGranted { session, region }),
+            session.clone().prop_map(|session| GlobalRecord::Submitted { session }),
+            (session.clone(), 0u32..16)
+                .prop_map(|(session, region)| GlobalRecord::Released { session, region }),
+            session.clone().prop_map(|session| GlobalRecord::Withdrawn { session }),
+            (session, 0u32..16)
+                .prop_map(|(session, region)| GlobalRecord::Abandoned { session, region }),
+        ]
+    }
+
+    #[test]
+    fn global_journal_text_round_trips() {
+        let records = vec![
+            GlobalRecord::Escalated { session: 7, regions: vec![0, 3] },
+            GlobalRecord::SliceGranted { session: 7, region: 0 },
+            GlobalRecord::SliceGranted { session: 7, region: 3 },
+            GlobalRecord::Submitted { session: 7 },
+            GlobalRecord::Released { session: 7, region: 0 },
+            GlobalRecord::Withdrawn { session: 9 },
+            GlobalRecord::Abandoned { session: 11, region: 2 },
+        ];
+        let text = encode_global_journal(&records);
+        assert_eq!(parse_global_journal(&text).unwrap(), records, "text:\n{text}");
+    }
+
+    #[test]
+    fn global_journal_rejects_malformed_lines() {
+        assert!(parse_global_journal("teleported session=1").is_err());
+        assert!(parse_global_journal("slice session=1").is_err());
+        assert!(parse_global_journal("slice session=x region=0").is_err());
+        assert!(parse_global_journal("escalated session=1 regions=0,oops").is_err());
+    }
+
     proptest! {
         #[test]
         fn every_journal_round_trips(records in proptest::collection::vec(arb_record(), 0..40)) {
             let text = encode_journal(&records);
             let parsed = parse_journal(&text).unwrap();
+            prop_assert_eq!(records, parsed);
+        }
+
+        #[test]
+        fn every_global_journal_round_trips(
+            records in proptest::collection::vec(arb_global_record(), 0..40),
+        ) {
+            let text = encode_global_journal(&records);
+            let parsed = parse_global_journal(&text).unwrap();
             prop_assert_eq!(records, parsed);
         }
 

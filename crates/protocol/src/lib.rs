@@ -72,8 +72,8 @@ mod sim;
 
 pub use agent::{state_tag as agent_state_tag, AgentCore, AgentEffect, AgentEvent, AgentState};
 pub use journal::{
-    encode_journal, encode_session_journal, parse_journal, parse_session_journal, JournalRecord,
-    SessionRecord,
+    encode_global_journal, encode_journal, encode_session_journal, parse_global_journal,
+    parse_journal, parse_session_journal, GlobalRecord, JournalRecord, SessionRecord,
 };
 pub use manager::{
     AdaptationPlanner, ManagerCore, ManagerEffect, ManagerEvent, ManagerPhase, Outcome,
