@@ -68,6 +68,19 @@ echo "==> sharded control-plane smoke (2-shard determinism + scaling sweep)"
 cargo run -q --release -p sada-bench --bin report -- shard > /dev/null
 SADA_BENCH_SMOKE=1 cargo bench -q -p sada-bench --bench bench_shard > /dev/null
 
+echo "==> scenario-generator smoke (seeded serverless + IaaS universes end-to-end)"
+# Generates one universe per domain and seed (serverless, IaaS, IaaS with
+# the energy objective), runs each through the sharded control plane at 1
+# and 4 worker threads with a fingerprint-identity assert, and prints the
+# energy-objective showcase (watt route != ms route). Then the bench's
+# smoke mode re-runs the full assertion sweep — every session concludes,
+# thread-invariance at 1/2/4 threads per (domain, seed), goal
+# reachability for every generated cluster — and regenerates
+# BENCH_scenario.json (3 seeds per domain, sessions/sec + plan-cache hit
+# rate + standalone planning pred-evals).
+cargo run -q --release -p sada-bench --bin report -- scenario > /dev/null
+SADA_BENCH_SMOKE=1 cargo bench -q -p sada-bench --bench bench_scenario > /dev/null
+
 echo "==> fabric-chaos sweep (lossy fabric + global-tier crash + region crash)"
 # 20 seeded fault universes over a straddler-bearing fleet with the global
 # tier AND one region crashing mid-handshake: bit-for-bit identity at

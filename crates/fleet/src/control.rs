@@ -418,7 +418,8 @@ impl<M: Clone + 'static> ControlActor<M> {
             .world
             .scope_comps(&self.scenario[ix].flips)
             .iter()
-            .filter_map(|c| self.rtt.get(c.index()).and_then(RttEstimator::rto))
+            .filter_map(|&c| self.world.agent_for(c))
+            .filter_map(|a| self.rtt.get(a).and_then(RttEstimator::rto))
             .max();
         if let Some(sess) = self.active.get_mut(&session) {
             sess.core.set_timeout_hint(hint);
@@ -483,7 +484,7 @@ impl<M: Clone + 'static> ControlActor<M> {
         self.world
             .scope_comps(&spec.flips)
             .iter()
-            .map(|c| c.index())
+            .filter_map(|&c| self.world.agent_for(c))
             .find(|&a| self.breakers.get(a).is_some_and(|b| b.blocks(now)))
     }
 
@@ -981,6 +982,12 @@ impl<M: Clone + 'static> ControlActor<M> {
     /// of globally escalated scopes under foreign (non-scenario) ids.
     pub(crate) fn locks_mut(&mut self) -> &mut ScopeLockManager {
         &mut self.locks
+    }
+
+    /// Sessions currently holding lock-table entries — the quiescence
+    /// residue the shard report surfaces (must be zero after a clean run).
+    pub(crate) fn lock_holder_count(&self) -> usize {
+        self.locks.holders().len()
     }
 
     /// Submits scenario entry for session `sid` now (no-op for unknown or

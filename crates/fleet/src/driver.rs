@@ -5,19 +5,20 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use sada_obs::{Bus, Event, RingSink};
+use sada_obs::{Bus, Event, Payload, RingSink};
 use sada_proto::{encode_session_journal, AgentTiming, ProtoTiming, ScriptedAgent, Wire};
 use sada_simnet::{ActorId, FaultPlan, LinkConfig, NetStats, SimDuration, SimTime, Simulator};
 
 use crate::cache::PlanCacheStats;
 use crate::control::{Admission, ControlActor, FleetResilience, SessionSpec};
-use crate::world::FleetWorld;
+use crate::world::{Domain, FleetWorld, WorldSpec};
 
 /// A fleet-scale experiment: the world size, the session workload, and the
 /// fault schedule for the control plane itself.
 #[derive(Debug, Clone)]
 pub struct FleetScenario {
-    /// Number of component groups (each served by two agent processes).
+    /// Number of flip units — component groups in the video world, clusters
+    /// in generated worlds (`world_spec.clusters.len()` when a spec is set).
     pub groups: usize,
     /// The adaptation requests to submit.
     pub sessions: Vec<SessionSpec>,
@@ -43,6 +44,9 @@ pub struct FleetScenario {
     /// Arbitrary simnet fault schedule (crash loops, delay bursts, drops)
     /// applied on top of `crash_control`.
     pub faults: FaultPlan,
+    /// Declarative world to run instead of the hard-coded video clone.
+    /// `None` keeps the classic `FleetWorld::build(groups)` video world.
+    pub world_spec: Option<WorldSpec>,
 }
 
 impl FleetScenario {
@@ -61,6 +65,28 @@ impl FleetScenario {
             resilience: FleetResilience::default(),
             slow_agents: Vec::new(),
             faults: FaultPlan::new(),
+            world_spec: None,
+        }
+    }
+
+    /// A scenario over a generated [`WorldSpec`] (library defaults
+    /// otherwise); `groups` is derived from the spec's cluster count.
+    pub fn with_world(spec: WorldSpec, sessions: Vec<SessionSpec>) -> Self {
+        let groups = spec.clusters.len();
+        let mut scn = FleetScenario::new(groups, sessions);
+        scn.world_spec = Some(spec);
+        scn
+    }
+
+    /// Compiles the scenario's world: the declared spec when present, the
+    /// classic video clone otherwise.
+    pub fn build_world(&self) -> FleetWorld {
+        match &self.world_spec {
+            Some(spec) => {
+                assert_eq!(spec.clusters.len(), self.groups, "groups must match the spec");
+                FleetWorld::from_spec(spec.clone())
+            }
+            None => FleetWorld::build(self.groups),
         }
     }
 }
@@ -162,7 +188,7 @@ impl FleetReport {
 
 /// Runs `scenario` to completion (or budget exhaustion) and reports.
 pub fn run_fleet(scenario: &FleetScenario) -> FleetReport {
-    let world = Rc::new(FleetWorld::build(scenario.groups));
+    let world = Rc::new(scenario.build_world());
     let mut sim: Simulator<Wire<()>> = Simulator::new(scenario.seed);
     sim.set_default_link(LinkConfig::reliable(scenario.link_latency));
 
@@ -170,11 +196,13 @@ pub fn run_fleet(scenario: &FleetScenario) -> FleetReport {
     let ring = Rc::new(RefCell::new(RingSink::new(1 << 18)));
     bus.attach(&ring);
 
-    // Agents first so their ids are dense [0, 2·groups); the control plane
+    // Agents first so their ids are dense [0, processes); the control plane
     // takes the next slot, mirroring the solo ManagerActor layout.
-    let control_id = ActorId::from_index(2 * scenario.groups);
-    let mut agents = Vec::with_capacity(2 * scenario.groups);
-    for p in 0..2 * scenario.groups {
+    let procs = world.model.process_count();
+    let control_id = ActorId::from_index(procs);
+    emit_domain_tag(&bus, &world, control_id);
+    let mut agents = Vec::with_capacity(procs);
+    for p in 0..procs {
         let timing = match scenario.slow_agents.iter().find(|&&(ix, _)| ix == p) {
             Some(&(_, factor)) => scale_timing(AgentTiming::default(), factor),
             None => AgentTiming::default(),
@@ -253,6 +281,26 @@ pub fn run_fleet(scenario: &FleetScenario) -> FleetReport {
         suppressed_sends: control.suppressed_sends,
         breaker_open_us: control.breaker_open_us(now),
     }
+}
+
+/// Tags the event stream with the world's domain and objective. Video
+/// worlds stay silent so every pre-existing stream (and its fingerprint)
+/// is byte-identical; generated domains announce themselves once per
+/// control plane, before any session activity.
+pub(crate) fn emit_domain_tag(bus: &Bus, world: &FleetWorld, control_id: ActorId) {
+    if world.domain() == Domain::Video {
+        return;
+    }
+    bus.emit(Event {
+        at: SimTime::ZERO,
+        actor: control_id.index() as u32,
+        session: 0,
+        shard: 0,
+        payload: Payload::Fleet(sada_obs::FleetEvent::DomainTagged {
+            domain: world.domain().tag(),
+            objective: world.objective().tag(),
+        }),
+    });
 }
 
 /// Stretches every phase of an agent's work by `factor`.

@@ -6,8 +6,11 @@
 //! control plane that admits *concurrent* adaptation sessions safely:
 //!
 //! * [`FleetWorld`] — a parameterized world of independent component
-//!   groups, each its own collaborative set (paper Section 7), hosted
-//!   pairwise across agent processes so every step runs real barriers.
+//!   clusters, each its own collaborative set (paper Section 7), hosted
+//!   across agent processes so steps run real barriers. Compiled from a
+//!   declarative [`WorldSpec`] — the paper's video clone, the serverless
+//!   codec fleet, and the IaaS-migration domain (with an energy-cost
+//!   [`Objective`]) are all instances of the same shape.
 //! * [`ScopeLockManager`] — atomic all-or-nothing scope locks with
 //!   priority/FIFO queueing: deadlock-free by construction (no
 //!   hold-and-wait), starvation-free via shadow-set grant scans.
@@ -61,4 +64,4 @@ pub use shard::{
     run_fleet_sharded, FabricFaultPlan, FabricPayload, FabricStats, ShardReport, ShardScenario,
     ShardStats, DEFAULT_REGIONS,
 };
-pub use world::FleetWorld;
+pub use world::{ActionSpec, ClusterSpec, CompSpec, Domain, FleetWorld, Objective, WorldSpec};

@@ -56,7 +56,6 @@ use sada_simnet::{
 use crate::cache::PlanCacheStats;
 use crate::control::{ControlActor, SessionSpec};
 use crate::driver::{max_concurrent, scale_timing, FleetScenario, SessionResult};
-use crate::world::FleetWorld;
 
 /// Default region count: matches the 8-thread top rung of the scaling
 /// benchmark, and divides the benchmark fleets evenly.
@@ -563,7 +562,30 @@ struct RegionControl {
     released: HashMap<u64, u64>,
     /// Leases evicted from a dead global incarnation (epoch bump).
     lease_reclaims: u64,
+    /// Lease-GC deadlines (virtual μs) for holds that survived a region
+    /// crash: if the global tier stays silent past the deadline, the hold
+    /// is garbage-collected from the lock table. Any inbound fabric message
+    /// for the session re-arms its deadline.
+    lease_deadline: HashMap<u64, u64>,
+    /// Timer-slot → session map for the lease band; slots are never reused
+    /// (stale timers no-op against the deadline check).
+    lease_slots: Vec<u64>,
+    /// Foreign holds garbage-collected after a silent lease horizon.
+    lease_expirations: u64,
 }
+
+/// Region-wrapper timer band for lease GC. The inner control plane owns
+/// `1 << 62`/`1 << 63` plus small dynamic tags, so `[1 << 61, 1 << 62)` is
+/// free on region endpoints (the global tier's bands live on a different
+/// actor).
+const TAG_LEASE_BASE: u64 = 1 << 61;
+
+/// How long a re-seized foreign hold may sit with **zero** fabric traffic
+/// before the region declares the global tier's interest dead and reclaims
+/// the lock-table entry. Comfortably past the global retransmission
+/// ladder's ≈ 9 s span (`MAX_FABRIC_ATTEMPTS`), so a live-but-lossy global
+/// tier always makes contact first.
+const LEASE_HORIZON_US: u64 = 12_000_000;
 
 impl RegionControl {
     fn emit(&self, ctx: &Context<'_, Wire<ShardMsg>>, session: u64, ev: FleetEvent) {
@@ -619,7 +641,54 @@ impl RegionControl {
         }
     }
 
+    /// (Re-)arms the lease-GC deadline for `session`: one horizon of global
+    /// silence from now. Slots are append-only; a superseded timer fires
+    /// against a newer deadline and no-ops.
+    fn arm_lease(&mut self, ctx: &mut Context<'_, Wire<ShardMsg>>, session: u64) {
+        self.lease_deadline.insert(session, ctx.now().as_micros() + LEASE_HORIZON_US);
+        let slot = self.lease_slots.len() as u64;
+        self.lease_slots.push(session);
+        ctx.set_timer(SimDuration::from_micros(LEASE_HORIZON_US), TAG_LEASE_BASE + slot);
+    }
+
+    /// Garbage-collects a foreign hold whose lease ran out: tombstone the
+    /// epoch, drop the lock-table entry (held or still queued), and run the
+    /// same grant cascade a `LockRelease` would have. Values are **not**
+    /// folded — they only ever flow through an acked release; past the
+    /// horizon the region's own durable state is authoritative.
+    fn expire_lease(&mut self, ctx: &mut Context<'_, Wire<ShardMsg>>, session: u64) {
+        let Some(hold) = self.foreign.remove(&session) else { return };
+        self.lease_deadline.remove(&session);
+        let t = self.released.entry(session).or_insert(0);
+        *t = (*t).max(hold.epoch);
+        let granted = if self.inner.locks_mut().is_held(session) {
+            self.inner.locks_mut().release(session)
+        } else {
+            self.inner.locks_mut().cancel(session).unwrap_or_default()
+        };
+        self.lease_expirations += 1;
+        self.emit(ctx, session, FleetEvent::LeaseExpired { session, region: self.region_id });
+        for g in granted {
+            if self.foreign.contains_key(&g) {
+                self.grant(ctx, g);
+            } else {
+                self.inner.admit_granted(ctx, g);
+            }
+        }
+    }
+
     fn on_fabric(&mut self, ctx: &mut Context<'_, Wire<ShardMsg>>, payload: FabricPayload) {
+        // Any word from the global tier about a lease-watched session
+        // renews its deadline: GC targets *silence*, not slowness.
+        let sid = match &payload {
+            FabricPayload::LockRequest { session, .. }
+            | FabricPayload::LockGranted { session, .. }
+            | FabricPayload::LockRelease { session, .. }
+            | FabricPayload::ReleaseAck { session, .. } => *session,
+        };
+        if self.lease_deadline.contains_key(&sid) {
+            self.arm_lease(ctx, sid);
+        }
         match payload {
             FabricPayload::LockRequest { session, resources, comps, priority, epoch } => {
                 // Tombstone first: a delayed/duplicated request whose
@@ -701,6 +770,7 @@ impl RegionControl {
                     self.inner.locks_mut().cancel(session).unwrap_or_default()
                 };
                 self.foreign.remove(&session);
+                self.lease_deadline.remove(&session);
                 for g in granted {
                     if self.foreign.contains_key(&g) {
                         self.grant(ctx, g);
@@ -734,6 +804,23 @@ impl Actor<Wire<ShardMsg>> for RegionControl {
     }
 
     fn on_timer(&mut self, ctx: &mut Context<'_, Wire<ShardMsg>>, tag: u64) {
+        if (TAG_LEASE_BASE..TAG_LEASE_BASE << 1).contains(&tag) {
+            // Lease band: expire only if this timer still carries the
+            // session's *current* deadline (re-arms leave stale timers
+            // behind, which no-op here).
+            let slot = (tag - TAG_LEASE_BASE) as usize;
+            if let Some(&session) = self.lease_slots.get(slot) {
+                let due = self
+                    .lease_deadline
+                    .get(&session)
+                    .is_some_and(|&dl| ctx.now().as_micros() >= dl);
+                if due {
+                    self.expire_lease(ctx, session);
+                }
+            }
+            self.sweep(ctx);
+            return;
+        }
         self.inner.on_timer(ctx, tag);
         self.sweep(ctx);
     }
@@ -741,7 +828,9 @@ impl Actor<Wire<ShardMsg>> for RegionControl {
     fn on_crash(&mut self, now: SimTime) {
         // Foreign-hold bookkeeping is wrapper state and survives the crash
         // (the global tier journals the escalation on its side); the inner
-        // volatile image — including the lock table — dies.
+        // volatile image — including the lock table — dies. Lease timers
+        // die with the crash; restart re-arms them.
+        self.lease_deadline.clear();
         self.inner.on_crash(now);
     }
 
@@ -771,6 +860,14 @@ impl Actor<Wire<ShardMsg>> for RegionControl {
             .collect();
         for (sid, res, prio) in queued {
             self.inner.locks_mut().try_acquire(sid, &res, prio);
+        }
+        // Every surviving hold gets a lease: if its global ladder already
+        // gave up while we were dead (an orphaned release / abandoned
+        // request), no fabric traffic will ever arrive to clear it — the
+        // deadline reclaims the lock-table entry instead of leaking it.
+        let sessions: Vec<u64> = self.foreign.keys().copied().collect();
+        for sid in sessions {
+            self.arm_lease(ctx, sid);
         }
         self.sweep(ctx);
     }
@@ -1387,7 +1484,9 @@ struct Endpoint {
     budget_us: u64,
     done: bool,
     sessions: Vec<u64>,
-    owned_groups: Vec<usize>,
+    /// Components whose final values this endpoint is authoritative for:
+    /// the full membership of every owned cluster.
+    owned_comps: Vec<u32>,
     is_global: bool,
 }
 
@@ -1397,7 +1496,7 @@ fn build_endpoint(
     budget_us: u64,
     plan: &EndpointPlan,
 ) -> Endpoint {
-    let world = Rc::new(FleetWorld::build(scn.groups));
+    let world = Rc::new(scn.build_world());
     let seed = scn.seed.wrapping_add(u64::from(plan.id).wrapping_mul(SEED_STRIDE));
     let mut sim: Simulator<Wire<ShardMsg>> = Simulator::new(seed);
     sim.set_default_link(LinkConfig::reliable(scn.link_latency));
@@ -1409,12 +1508,14 @@ fn build_endpoint(
     let sharded = bus.sharded(shard_tag);
 
     // Replicate `run_fleet`'s exact actor layout — all agents, control at
-    // index 2·groups — so a one-region run is event-identical to the
-    // unsharded driver; the fabric relay takes the next slot.
-    let control_id = ActorId::from_index(2 * scn.groups);
-    let relay_id = ActorId::from_index(2 * scn.groups + 1);
-    let mut agents = Vec::with_capacity(2 * scn.groups);
-    for p in 0..2 * scn.groups {
+    // the next index — so a one-region run is event-identical to the
+    // unsharded driver; the fabric relay takes the slot after that.
+    let procs = world.model.process_count();
+    let control_id = ActorId::from_index(procs);
+    let relay_id = ActorId::from_index(procs + 1);
+    crate::driver::emit_domain_tag(&sharded, &world, control_id);
+    let mut agents = Vec::with_capacity(procs);
+    for p in 0..procs {
         let timing = match scn.slow_agents.iter().find(|&&(ix, _)| ix == p) {
             Some(&(_, factor)) => scale_timing(AgentTiming::default(), factor),
             None => AgentTiming::default(),
@@ -1479,6 +1580,9 @@ fn build_endpoint(
                 foreign: BTreeMap::new(),
                 released: HashMap::new(),
                 lease_reclaims: 0,
+                lease_deadline: HashMap::new(),
+                lease_slots: Vec::new(),
+                lease_expirations: 0,
             },
         )
     };
@@ -1508,7 +1612,11 @@ fn build_endpoint(
         budget_us,
         done: false,
         sessions: plan.specs.iter().map(|s| s.id).collect(),
-        owned_groups: plan.owned_groups.clone(),
+        owned_comps: plan
+            .owned_groups
+            .iter()
+            .flat_map(|&g| world.cluster_comps(g).iter().map(|&c| c as u32))
+            .collect(),
         is_global: plan.is_global,
     }
 }
@@ -1793,6 +1901,9 @@ struct EndpointOutcome {
     abandoned: u64,
     orphaned_releases: u64,
     lease_reclaims: u64,
+    lease_expirations: u64,
+    /// Lock-table + foreign-hold residue at quiescence (leak detector).
+    residual_holds: u64,
 }
 
 fn distill_endpoint(ep: Endpoint) -> EndpointOutcome {
@@ -1805,11 +1916,17 @@ fn distill_endpoint(ep: Endpoint) -> EndpointOutcome {
                 Some(&g.submitted_at),
                 Some(&g.cancelled_at),
                 encode_global_journal(&g.global_journal),
-                (g.retransmits, g.abandoned, g.orphaned_releases, 0),
+                (g.retransmits, g.abandoned, g.orphaned_releases, 0, 0, 0),
             )
         } else {
             let r = ep.sim.actor::<RegionControl>(ep.control_id).expect("region control present");
-            (&r.inner, None, None, String::new(), (0, 0, 0, r.lease_reclaims))
+            (
+                &r.inner,
+                None,
+                None,
+                String::new(),
+                (0, 0, 0, r.lease_reclaims, r.lease_expirations, r.foreign.len() as u64),
+            )
         };
     let mut ids = ep.sessions.clone();
     ids.sort_unstable();
@@ -1847,10 +1964,9 @@ fn distill_endpoint(ep: Endpoint) -> EndpointOutcome {
         })
         .collect();
     let config: Vec<(u32, bool)> = ep
-        .owned_groups
+        .owned_comps
         .iter()
-        .flat_map(|&g| [2 * g as u32, 2 * g as u32 + 1])
-        .map(|c| (c, ctl.fleet_config.contains(CompId::from_index(c as usize))))
+        .map(|&c| (c, ctl.fleet_config.contains(CompId::from_index(c as usize))))
         .collect();
     let intervals: Vec<(u64, Option<u64>)> = ctl
         .admitted_at
@@ -1878,6 +1994,8 @@ fn distill_endpoint(ep: Endpoint) -> EndpointOutcome {
         abandoned: fabric_counters.1,
         orphaned_releases: fabric_counters.2,
         lease_reclaims: fabric_counters.3,
+        lease_expirations: fabric_counters.4,
+        residual_holds: fabric_counters.5 + ctl.lock_holder_count() as u64,
     }
 }
 
@@ -1966,6 +2084,13 @@ pub struct ShardReport {
     pub orphaned_releases: u64,
     /// Region leases evicted from a dead global incarnation (all regions).
     pub lease_reclaims: u64,
+    /// Foreign holds garbage-collected after a silent lease horizon (all
+    /// regions) — each one a lock-table entry that PR 8 would have leaked.
+    pub lease_expirations: u64,
+    /// Lock-table + foreign-hold residue at quiescence, summed over all
+    /// control planes. Zero after any run whose sessions all terminated:
+    /// every grant was released, cancelled, or lease-expired.
+    pub residual_holds: u64,
     /// Wall-clock duration of the parallel run.
     pub wall: std::time::Duration,
 }
@@ -2029,7 +2154,7 @@ pub fn run_fleet_sharded(scenario: &ShardScenario, threads: usize) -> ShardRepor
     let quantum_us = fleet.link_latency.as_micros().max(1);
 
     // Partition the workload by the fixed region map.
-    let world = FleetWorld::build(fleet.groups);
+    let world = fleet.build_world();
     let mut per_region: Vec<Vec<SessionSpec>> = vec![Vec::new(); regions];
     let mut straddlers: Vec<(SessionSpec, Vec<usize>)> = Vec::new();
     for spec in &fleet.sessions {
@@ -2228,6 +2353,8 @@ pub fn run_fleet_sharded(scenario: &ShardScenario, threads: usize) -> ShardRepor
         abandoned: outcomes.iter().map(|o| o.abandoned).sum(),
         orphaned_releases: outcomes.iter().map(|o| o.orphaned_releases).sum(),
         lease_reclaims: outcomes.iter().map(|o| o.lease_reclaims).sum(),
+        lease_expirations: outcomes.iter().map(|o| o.lease_expirations).sum(),
+        residual_holds: outcomes.iter().map(|o| o.residual_holds).sum(),
         per_shard,
         fabric: fabric_stats,
         results,

@@ -1,104 +1,389 @@
-//! The fleet world: many independent component groups, each its own
-//! collaborative set, hosted pairwise across agent processes.
+//! The fleet world: component clusters, each its own collaborative set,
+//! hosted across agent processes.
 //!
-//! Group `g` consists of components `Old{g}` and `New{g}` under the
-//! dependency invariant `one_of(Old{g}, New{g})`, with a forward replace
-//! action (id `2g`) and a backward one (id `2g+1`). `Old{g}` lives on
-//! process `2g` and `New{g}` on process `2g+1`, so every step has **two**
-//! participants and the realization protocol runs real adapt/resume
-//! barriers rather than the solo fast path.
+//! Historically this module hard-coded one shape — the paper's video
+//! multicast cloned `N` times (`Old{g}`/`New{g}` under
+//! `one_of(Old{g}, New{g})`). That shape is now just one [`WorldSpec`]:
+//! a declarative description of components, invariants, actions with
+//! *two* cost columns (milliseconds and watts), cluster structure, and
+//! placement, from which [`FleetWorld::from_spec`] compiles the runtime
+//! world. The seeded scenario generator (`sada-scenario`) emits specs for
+//! the serverless codec-fleet and IaaS-migration domains through the same
+//! entry point, so every domain runs on the identical safety machinery.
+//!
+//! A **cluster** is the unit the fleet drivers flip: a set of components
+//! with two named modes (`on_false`, the boot mode, and `on_true`, the
+//! alternate). Session flips `(g, to_true)` move cluster `g` between its
+//! modes. Generators must keep each cluster's invariants and actions
+//! confined to the cluster's components so clusters remain independent
+//! collaborative sets — the property region partitioning and the plan
+//! cache's scope normalizer rely on.
 
 use sada_expr::{CompId, Config, InvariantSet, Universe};
 use sada_model::SystemModel;
 use sada_plan::{Action, CollabIndex};
 
+/// Which adaptation domain a world models. Tagged into the observability
+/// stream (non-video domains) so event consumers can tell workloads apart.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Domain {
+    /// The paper's video-multicast case study, cloned per group.
+    Video,
+    /// Serverless fleet: per-function codecs hot-swapped under load.
+    Serverless,
+    /// IaaS migration: live VM/host reconfiguration with network-bound
+    /// costs and an optional energy objective.
+    Iaas,
+}
+
+impl Domain {
+    /// Stable numeric tag used by the observability codec.
+    pub fn tag(self) -> u32 {
+        match self {
+            Domain::Video => 0,
+            Domain::Serverless => 1,
+            Domain::Iaas => 2,
+        }
+    }
+
+    /// Inverse of [`Domain::tag`].
+    pub fn from_tag(tag: u32) -> Option<Self> {
+        match tag {
+            0 => Some(Domain::Video),
+            1 => Some(Domain::Serverless),
+            2 => Some(Domain::Iaas),
+            _ => None,
+        }
+    }
+
+    /// Human-readable label.
+    pub fn name(self) -> &'static str {
+        match self {
+            Domain::Video => "video",
+            Domain::Serverless => "serverless",
+            Domain::Iaas => "iaas",
+        }
+    }
+}
+
+/// Which of an action's two cost columns MAP minimizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Objective {
+    /// Minimize milliseconds of adaptation disruption (the paper's model).
+    LatencyMs,
+    /// Minimize watts drawn by the reconfiguration (energy-aware IaaS).
+    EnergyWatts,
+}
+
+impl Objective {
+    /// Stable numeric tag used by the observability codec.
+    pub fn tag(self) -> u32 {
+        match self {
+            Objective::LatencyMs => 0,
+            Objective::EnergyWatts => 1,
+        }
+    }
+
+    /// Inverse of [`Objective::tag`].
+    pub fn from_tag(tag: u32) -> Option<Self> {
+        match tag {
+            0 => Some(Objective::LatencyMs),
+            1 => Some(Objective::EnergyWatts),
+            _ => None,
+        }
+    }
+
+    /// Human-readable label.
+    pub fn name(self) -> &'static str {
+        match self {
+            Objective::LatencyMs => "latency_ms",
+            Objective::EnergyWatts => "energy_watts",
+        }
+    }
+}
+
+/// One component: a unique name and the process hosting it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompSpec {
+    /// Unique component name (interned into the universe in declaration
+    /// order, so indices into `WorldSpec::comps` are `CompId` indices).
+    pub name: String,
+    /// Hosting process index. Processes are created densely `0..=max`.
+    pub process: usize,
+}
+
+/// One adaptive action over component indices, with both cost columns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ActionSpec {
+    /// Human-readable label, e.g. `"vm3: hostA -> transit"`.
+    pub name: String,
+    /// Component indices removed by the action.
+    pub removes: Vec<usize>,
+    /// Component indices added by the action.
+    pub adds: Vec<usize>,
+    /// Latency cost column (paper's "Cost (ms)").
+    pub cost_ms: u64,
+    /// Energy cost column (watts drawn during the step).
+    pub cost_watts: u64,
+}
+
+/// A flip unit: the components of one cluster and its two modes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClusterSpec {
+    /// All component indices of the cluster (one collaborative set).
+    pub comps: Vec<usize>,
+    /// Components present in the boot mode (flip direction `false`).
+    pub on_false: Vec<usize>,
+    /// Components present in the alternate mode (flip direction `true`).
+    pub on_true: Vec<usize>,
+}
+
+/// Declarative description of a fleet world, compiled by
+/// [`FleetWorld::from_spec`]. The video clone, the serverless codec fleet
+/// and the IaaS-migration domain are all instances of this one shape.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorldSpec {
+    /// Which domain the spec models (observability tag).
+    pub domain: Domain,
+    /// Which cost column MAP minimizes.
+    pub objective: Objective,
+    /// Components in interning order.
+    pub comps: Vec<CompSpec>,
+    /// Invariant sources over component names (parsed as one set).
+    pub invariants: Vec<String>,
+    /// Action repertoire; an action's **position is its id** (the planner
+    /// compiles `ActionId` indices back into this table).
+    pub actions: Vec<ActionSpec>,
+    /// Flip units. Every component belongs to exactly one cluster.
+    pub clusters: Vec<ClusterSpec>,
+}
+
+impl WorldSpec {
+    /// The classic video world: `groups` independent `Old/New` pairs, one
+    /// `one_of` invariant and a forward/backward replace pair per group,
+    /// each component on its own process.
+    pub fn video(groups: usize) -> Self {
+        assert!(groups > 0, "a fleet needs at least one group");
+        let mut comps = Vec::with_capacity(2 * groups);
+        let mut invariants = Vec::with_capacity(groups);
+        let mut actions = Vec::with_capacity(2 * groups);
+        let mut clusters = Vec::with_capacity(groups);
+        for g in 0..groups {
+            comps.push(CompSpec { name: format!("Old{g}"), process: 2 * g });
+            comps.push(CompSpec { name: format!("New{g}"), process: 2 * g + 1 });
+            invariants.push(format!("one_of(Old{g}, New{g})"));
+            actions.push(ActionSpec {
+                name: format!("fwd{g}"),
+                removes: vec![2 * g],
+                adds: vec![2 * g + 1],
+                cost_ms: 1,
+                cost_watts: 1,
+            });
+            actions.push(ActionSpec {
+                name: format!("back{g}"),
+                removes: vec![2 * g + 1],
+                adds: vec![2 * g],
+                cost_ms: 1,
+                cost_watts: 1,
+            });
+            clusters.push(ClusterSpec {
+                comps: vec![2 * g, 2 * g + 1],
+                on_false: vec![2 * g],
+                on_true: vec![2 * g + 1],
+            });
+        }
+        WorldSpec {
+            domain: Domain::Video,
+            objective: Objective::LatencyMs,
+            comps,
+            invariants,
+            actions,
+            clusters,
+        }
+    }
+
+    /// Number of hosting processes (dense `0..=max` over `comps`).
+    pub fn process_count(&self) -> usize {
+        self.comps.iter().map(|c| c.process + 1).max().unwrap_or(0)
+    }
+}
+
 /// Static description of a fleet: universe, invariants, actions, placement,
-/// and the collaborative-set index used for scope extraction.
+/// the collaborative-set index used for scope extraction, and the spec the
+/// world was compiled from.
 pub struct FleetWorld {
-    /// Component universe: `Old{g}`, `New{g}` interned in group order.
+    /// Component universe, interned in `spec.comps` order.
     pub universe: Universe,
-    /// One `one_of(Old{g}, New{g})` invariant per group.
+    /// Compiled invariant set.
     pub inv: InvariantSet,
-    /// Forward (`2g`) and backward (`2g+1`) replace actions, cost 1.
+    /// Action table; **an action's id equals its index** (the planner
+    /// relies on this when mapping plan steps back to actions).
     pub actions: Vec<Action>,
-    /// Placement: `Old{g}` on process `2g`, `New{g}` on process `2g+1`.
+    /// Placement of components onto agent processes.
     pub model: SystemModel,
     /// Process id index → agent index (identity here).
     pub agent_of_process: Vec<usize>,
-    /// Collaborative-set partition (one set per group).
+    /// Collaborative-set partition (one set per cluster).
     pub index: CollabIndex,
-    /// Number of component groups.
+    /// Number of flip units (`spec.clusters.len()`).
     pub groups: usize,
+    /// The declarative spec this world was compiled from.
+    pub spec: WorldSpec,
 }
 
 impl FleetWorld {
-    /// Builds a world of `groups` independent groups.
+    /// Builds the classic video world of `groups` independent groups.
     pub fn build(groups: usize) -> Self {
-        assert!(groups > 0, "a fleet needs at least one group");
-        let mut universe = Universe::with_capacity(2 * groups);
-        let mut sources = Vec::with_capacity(groups);
-        for g in 0..groups {
-            universe.intern(&format!("Old{g}"));
-            universe.intern(&format!("New{g}"));
-            sources.push(format!("one_of(Old{g}, New{g})"));
-        }
-        let refs: Vec<&str> = sources.iter().map(String::as_str).collect();
-        let inv = InvariantSet::parse(&refs, &mut universe).expect("fleet invariants parse");
-        let mut actions = Vec::with_capacity(2 * groups);
-        let mut model = SystemModel::new();
-        let mut agent_of_process = Vec::with_capacity(2 * groups);
-        for g in 0..groups {
-            let old = universe.config_of(&[&format!("Old{g}")]);
-            let new = universe.config_of(&[&format!("New{g}")]);
-            actions.push(Action::replace(2 * g as u32, &format!("fwd{g}"), &old, &new, 1));
-            actions.push(Action::replace(2 * g as u32 + 1, &format!("back{g}"), &new, &old, 1));
-            let p_old = model.add_process(&format!("p{}", 2 * g));
-            let p_new = model.add_process(&format!("p{}", 2 * g + 1));
-            model.place(old.iter().next().unwrap(), p_old);
-            model.place(new.iter().next().unwrap(), p_new);
-            agent_of_process.push(2 * g);
-            agent_of_process.push(2 * g + 1);
-        }
-        let index = CollabIndex::new(&universe, &inv, &actions);
-        FleetWorld { universe, inv, actions, model, agent_of_process, index, groups }
+        Self::from_spec(WorldSpec::video(groups))
     }
 
-    /// The `Old{g}` component.
+    /// Compiles a [`WorldSpec`] into a runtime world, choosing the action
+    /// cost column named by the spec's objective.
+    ///
+    /// # Panics
+    ///
+    /// Panics on malformed specs: duplicate component names, invariants
+    /// mentioning undeclared components, out-of-range action or cluster
+    /// indices, a component in zero or multiple clusters, or an initial
+    /// configuration that violates the invariants.
+    pub fn from_spec(spec: WorldSpec) -> Self {
+        assert!(!spec.comps.is_empty(), "a world needs at least one component");
+        assert!(!spec.clusters.is_empty(), "a world needs at least one cluster");
+        let mut universe = Universe::with_capacity(spec.comps.len());
+        for c in &spec.comps {
+            universe.intern(&c.name);
+        }
+        assert_eq!(universe.len(), spec.comps.len(), "component names must be unique");
+        let refs: Vec<&str> = spec.invariants.iter().map(String::as_str).collect();
+        let inv = InvariantSet::parse(&refs, &mut universe).expect("world invariants parse");
+        assert_eq!(
+            universe.len(),
+            spec.comps.len(),
+            "invariants may only mention declared components"
+        );
+        let mut actions = Vec::with_capacity(spec.actions.len());
+        for (ix, a) in spec.actions.iter().enumerate() {
+            let mut removes = universe.empty_config();
+            for &c in &a.removes {
+                assert!(c < spec.comps.len(), "action {}: removes out of range", a.name);
+                removes.insert(CompId::from_index(c));
+            }
+            let mut adds = universe.empty_config();
+            for &c in &a.adds {
+                assert!(c < spec.comps.len(), "action {}: adds out of range", a.name);
+                adds.insert(CompId::from_index(c));
+            }
+            let cost = match spec.objective {
+                Objective::LatencyMs => a.cost_ms,
+                Objective::EnergyWatts => a.cost_watts,
+            }
+            .max(1);
+            actions.push(Action::replace(ix as u32, &a.name, &removes, &adds, cost));
+        }
+        let process_count = spec.process_count();
+        let mut model = SystemModel::new();
+        let procs: Vec<_> =
+            (0..process_count).map(|p| model.add_process(&format!("p{p}"))).collect();
+        for (ix, c) in spec.comps.iter().enumerate() {
+            model.place(CompId::from_index(ix), procs[c.process]);
+        }
+        let agent_of_process: Vec<usize> = (0..process_count).collect();
+        // Every component must belong to exactly one cluster: region
+        // ownership and distillation cover the universe exactly once.
+        let mut owner = vec![usize::MAX; spec.comps.len()];
+        for (g, cl) in spec.clusters.iter().enumerate() {
+            assert!(!cl.comps.is_empty(), "cluster {g} is empty");
+            for &c in &cl.comps {
+                assert!(c < spec.comps.len(), "cluster {g}: comp out of range");
+                assert_eq!(owner[c], usize::MAX, "comp {c} in multiple clusters");
+                owner[c] = g;
+            }
+            for &c in cl.on_false.iter().chain(cl.on_true.iter()) {
+                assert!(cl.comps.contains(&c), "cluster {g}: mode comp outside cluster");
+            }
+        }
+        assert!(owner.iter().all(|&g| g != usize::MAX), "every comp needs a cluster");
+        let index = CollabIndex::new(&universe, &inv, &actions);
+        let groups = spec.clusters.len();
+        let world =
+            FleetWorld { universe, inv, actions, model, agent_of_process, index, groups, spec };
+        assert!(
+            world.inv.satisfied_by(&world.initial_config()),
+            "initial configuration violates the invariants"
+        );
+        world
+    }
+
+    /// The spec's domain.
+    pub fn domain(&self) -> Domain {
+        self.spec.domain
+    }
+
+    /// The spec's cost objective.
+    pub fn objective(&self) -> Objective {
+        self.spec.objective
+    }
+
+    /// Component indices of cluster `g` (the flip unit's full membership).
+    pub fn cluster_comps(&self, g: usize) -> &[usize] {
+        &self.spec.clusters[g].comps
+    }
+
+    /// The agent index driving `c`'s hosting process, if placed.
+    pub fn agent_for(&self, c: CompId) -> Option<usize> {
+        self.model.host_of(c).map(|p| self.agent_of_process[p.0 as usize])
+    }
+
+    /// The `Old{g}` component (video worlds only).
     pub fn old(&self, g: usize) -> CompId {
         self.universe.id(&format!("Old{g}")).expect("group in range")
     }
 
-    /// The `New{g}` component.
+    /// The `New{g}` component (video worlds only).
     pub fn newer(&self, g: usize) -> CompId {
         self.universe.id(&format!("New{g}")).expect("group in range")
     }
 
-    /// The boot configuration: every group on its `Old` component.
+    /// The boot configuration: every cluster in its `on_false` mode.
     pub fn initial_config(&self) -> Config {
         let mut cfg = self.universe.empty_config();
-        for g in 0..self.groups {
-            cfg.insert(self.old(g));
+        for cl in &self.spec.clusters {
+            for &c in &cl.on_false {
+                cfg.insert(CompId::from_index(c));
+            }
         }
         cfg
     }
 
-    /// `current` with each flipped group moved to `New` (`true`) or `Old`
-    /// (`false`); unflipped groups keep their membership.
+    /// `current` with each flipped cluster moved to its `on_true` (`true`)
+    /// or `on_false` (`false`) mode; unflipped clusters keep their
+    /// membership.
     pub fn target_for(&self, current: &Config, flips: &[(usize, bool)]) -> Config {
         let mut cfg = current.clone();
-        for &(g, to_new) in flips {
-            let (add, del) =
-                if to_new { (self.newer(g), self.old(g)) } else { (self.old(g), self.newer(g)) };
-            cfg.insert(add);
-            cfg.remove(del);
+        for &(g, to_true) in flips {
+            let cl = &self.spec.clusters[g];
+            let mode = if to_true { &cl.on_true } else { &cl.on_false };
+            for &c in &cl.comps {
+                if mode.contains(&c) {
+                    cfg.insert(CompId::from_index(c));
+                } else {
+                    cfg.remove(CompId::from_index(c));
+                }
+            }
         }
         cfg
     }
 
-    /// The adaptation scope of a flip set: every flipped group's components,
-    /// expanded to full collaborative sets (sorted, deduplicated).
+    /// The adaptation scope of a flip set: every flipped cluster's
+    /// components, expanded to full collaborative sets (sorted,
+    /// deduplicated).
     pub fn scope_comps(&self, flips: &[(usize, bool)]) -> Vec<CompId> {
-        self.index.expand(flips.iter().map(|&(g, _)| self.old(g)))
+        self.index.expand(
+            flips
+                .iter()
+                .flat_map(|&(g, _)| self.spec.clusters[g].comps.iter().copied())
+                .map(CompId::from_index),
+        )
     }
 
     /// The lock resources of a scope: the component ids themselves plus the
@@ -133,6 +418,8 @@ mod tests {
         assert_eq!(w.model.process_count(), 8);
         assert_ne!(w.index.set_of(w.old(0)), w.index.set_of(w.old(1)));
         assert_eq!(w.index.set_of(w.old(2)), w.index.set_of(w.newer(2)));
+        assert_eq!(w.domain(), Domain::Video);
+        assert_eq!(w.objective(), Objective::LatencyMs);
     }
 
     #[test]
@@ -158,5 +445,71 @@ mod tests {
         assert!(a.iter().all(|r| !b.contains(r)));
         // Same group from either direction yields the same scope.
         assert_eq!(w.scope_comps(&[(3, true)]), w.scope_comps(&[(3, false)]));
+    }
+
+    /// A three-mode migration cluster sharing hosts: the spec compiler must
+    /// handle multi-comp clusters, shared processes, and the energy column.
+    fn migration_spec(objective: Objective) -> WorldSpec {
+        WorldSpec {
+            domain: Domain::Iaas,
+            objective,
+            comps: vec![
+                CompSpec { name: "vm0_src".into(), process: 0 },
+                CompSpec { name: "vm0_transit".into(), process: 0 },
+                CompSpec { name: "vm0_dst".into(), process: 1 },
+            ],
+            invariants: vec!["one_of(vm0_src, vm0_transit, vm0_dst)".into()],
+            actions: vec![
+                ActionSpec {
+                    name: "precopy".into(),
+                    removes: vec![0],
+                    adds: vec![1],
+                    cost_ms: 40,
+                    cost_watts: 9,
+                },
+                ActionSpec {
+                    name: "switch".into(),
+                    removes: vec![1],
+                    adds: vec![2],
+                    cost_ms: 15,
+                    cost_watts: 3,
+                },
+                ActionSpec {
+                    name: "rollback".into(),
+                    removes: vec![2],
+                    adds: vec![0],
+                    cost_ms: 55,
+                    cost_watts: 12,
+                },
+            ],
+            clusters: vec![ClusterSpec {
+                comps: vec![0, 1, 2],
+                on_false: vec![0],
+                on_true: vec![2],
+            }],
+        }
+    }
+
+    #[test]
+    fn from_spec_compiles_multi_mode_clusters_and_objectives() {
+        let w = FleetWorld::from_spec(migration_spec(Objective::LatencyMs));
+        assert_eq!(w.groups, 1);
+        assert_eq!(w.model.process_count(), 2);
+        assert_eq!(w.actions[0].cost(), 40);
+        // Two comps share process 0; the third lives on process 1.
+        assert_eq!(w.agent_for(CompId::from_index(0)), Some(0));
+        assert_eq!(w.agent_for(CompId::from_index(1)), Some(0));
+        assert_eq!(w.agent_for(CompId::from_index(2)), Some(1));
+        let init = w.initial_config();
+        assert!(w.inv.satisfied_by(&init));
+        let t = w.target_for(&init, &[(0, true)]);
+        assert!(t.contains(CompId::from_index(2)) && !t.contains(CompId::from_index(0)));
+        // The whole cluster is one scope; resources cover both hosts.
+        assert_eq!(w.scope_comps(&[(0, true)]).len(), 3);
+        assert_eq!(w.resources_for(&w.scope_comps(&[(0, true)])).len(), 5);
+
+        let e = FleetWorld::from_spec(migration_spec(Objective::EnergyWatts));
+        assert_eq!(e.actions[0].cost(), 9, "energy objective selects the watt column");
+        assert_eq!(e.objective(), Objective::EnergyWatts);
     }
 }

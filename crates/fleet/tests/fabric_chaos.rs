@@ -111,6 +111,15 @@ fn assert_all_concluded(report: &ShardReport, ctxt: &str) {
             report.results
         );
     }
+    // Quiescence: once every session has a verdict, no control plane may
+    // still hold lock-table entries or foreign holds — orphaned releases
+    // are garbage-collected by lease expiry, everything else by the
+    // ordinary release path.
+    assert_eq!(
+        report.residual_holds, 0,
+        "{ctxt}: lock table not empty at quiescence ({} residual holds)",
+        report.residual_holds
+    );
 }
 
 /// Sweep: for each seed the lossy, doubly-crashed run is bit-for-bit
@@ -208,6 +217,40 @@ fn straddler_onto_a_dead_region_is_abandoned_not_lost() {
     assert_eq!(a.fingerprint, b.fingerprint);
     assert_eq!(a.results, b.results);
     assert_eq!(a.global_journal, b.global_journal);
+}
+
+/// The orphaned-release leak (PR 8 headroom) and its garbage collection:
+/// region 1 grants straddler 100's slice, then dies mid-session and stays
+/// down past the release ladder. The global tier's release orphans; the
+/// restarted region re-seizes the hold, hears nothing for a full lease
+/// horizon, and garbage-collects it — lock table empty at quiescence, one
+/// `LeaseExpired` event in the stream, bit-for-bit across thread counts.
+#[test]
+fn orphaned_release_is_reclaimed_by_lease_expiry() {
+    let mut scn = ShardScenario::new(chaos_fleet(4), REGIONS);
+    // Crash after the slice is granted (handshake completes within ~10 ms)
+    // but before the straddler finishes; restart only after the global
+    // tier's release ladder has exhausted (~9.4 s past completion).
+    scn.crash_region = Some((1, SimTime::from_millis(20), SimTime::from_millis(22_000)));
+    let a = run_fleet_sharded(&scn, 2);
+    assert_eq!(a.orphaned_releases, 1, "the release ladder must exhaust: {:?}", a.results);
+    assert_eq!(a.lease_expirations, 1, "the re-seized hold must be garbage-collected");
+    assert_eq!(a.residual_holds, 0, "lock table empty at quiescence");
+    assert_all_concluded(&a, "orphaned release");
+    let expired = a
+        .events
+        .iter()
+        .filter(|e| {
+            matches!(
+                e.payload,
+                sada_obs::Payload::Fleet(sada_obs::FleetEvent::LeaseExpired { session: 100, .. })
+            )
+        })
+        .count();
+    assert_eq!(expired, 1, "exactly one LeaseExpired event for straddler 100");
+    let b = run_fleet_sharded(&scn, 4);
+    assert_eq!(a.fingerprint, b.fingerprint, "lease GC must stay thread-invariant");
+    assert_eq!(a.results, b.results);
 }
 
 fn arb_values() -> impl Strategy<Value = Vec<(u32, bool)>> {

@@ -362,6 +362,14 @@ pub fn encode_event(ev: &Event) -> String {
                     .num("attempts", u64::from(*attempts))
                     .finish()
             }
+            FleetEvent::DomainTagged { domain, objective } => o("fleet.domain")
+                .num("domain", u64::from(*domain))
+                .num("objective", u64::from(*objective))
+                .finish(),
+            FleetEvent::LeaseExpired { session, region } => o("fleet.lease_expired")
+                .num("id", *session)
+                .num("region", u64::from(*region))
+                .finish(),
         },
     }
 }
@@ -812,6 +820,14 @@ pub fn decode_event(line: &str) -> Result<Event, String> {
             region: f.num("region")? as u32,
             attempts: f.num("attempts")? as u32,
         }),
+        "fleet.domain" => Payload::Fleet(FleetEvent::DomainTagged {
+            domain: f.num("domain")? as u32,
+            objective: f.num("objective")? as u32,
+        }),
+        "fleet.lease_expired" => Payload::Fleet(FleetEvent::LeaseExpired {
+            session: f.num("id")?,
+            region: f.num("region")? as u32,
+        }),
         other => return Err(format!("unknown event kind {other:?}")),
     };
     // Pre-fleet traces carry no session key; they decode as session 0.
@@ -978,6 +994,8 @@ mod tests {
             Payload::Fleet(FleetEvent::ScopeBreakerClosed { scope: 0xdead_beef_cafe }),
             Payload::Fleet(FleetEvent::ScopeRejected { session: 13, scope: 0xdead_beef_cafe }),
             Payload::Fleet(FleetEvent::TimeoutAdapted { agent: 2, srtt_us: 9_800, rto_us: 31_000 }),
+            Payload::Fleet(FleetEvent::DomainTagged { domain: 2, objective: 1 }),
+            Payload::Fleet(FleetEvent::LeaseExpired { session: 100, region: 3 }),
         ];
         for (i, payload) in cases.into_iter().enumerate() {
             round_trip(Event {

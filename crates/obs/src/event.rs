@@ -551,6 +551,24 @@ pub enum FleetEvent {
         /// Transmission attempts made before giving up.
         attempts: u32,
     },
+    /// Announces the adaptation domain a control plane is running, once at
+    /// boot. Video worlds stay silent (their streams predate the tag and
+    /// must keep their fingerprints); generated domains tag every stream.
+    DomainTagged {
+        /// Stable domain tag (`Domain::tag`): 1 serverless, 2 IaaS.
+        domain: u32,
+        /// Stable objective tag (`Objective::tag`): 0 ms, 1 watts.
+        objective: u32,
+    },
+    /// A re-seized foreign hold's lease ran out with no word from the
+    /// global tier; the region garbage-collected the hold, released its
+    /// lock-table entry, and cascaded the grant to whoever was queued.
+    LeaseExpired {
+        /// The straddling session whose hold was collected.
+        session: u64,
+        /// The region that expired the lease.
+        region: u32,
+    },
 }
 
 /// What the planning layer observed.

@@ -1,0 +1,223 @@
+//! A line-oriented text codec for generated scenarios.
+//!
+//! The codec serves two masters. First, **determinism evidence**: the
+//! satellite proptests pin "same seed → byte-identical text", and a
+//! canonical text form is the cheapest byte-exact witness of a whole
+//! universe (names, invariants, both cost columns, session schedule).
+//! Second, **replay**: EXPERIMENTS.md quotes `scenario` files so a run can
+//! be reproduced from the artifact alone, without rerunning the generator.
+//!
+//! The grammar is one record per line, first token the record type:
+//!
+//! ```text
+//! sada-scenario v1
+//! seed <u64>
+//! domain <video|serverless|iaas> <latency_ms|energy_watts>
+//! comp <name> <process>
+//! inv <invariant source ...>
+//! action <name> <cost_ms> <cost_watts> <removes-csv|-> <adds-csv|->
+//! cluster <comps-csv> <on_false-csv|-> <on_true-csv|->
+//! session <id> <priority> <submit_us> <cancel_us|-> <flips g:t|g:f csv>
+//! ```
+//!
+//! Component names are identifier-shaped (the invariant parser enforces
+//! `[A-Za-z_][A-Za-z0-9_]*`), so whitespace splitting is unambiguous;
+//! `inv` is the only record whose payload may contain spaces and it is
+//! therefore the line's tail.
+
+use sada_fleet::{ActionSpec, ClusterSpec, CompSpec, Domain, Objective, SessionSpec, WorldSpec};
+use sada_simnet::SimDuration;
+
+use crate::gen::GeneratedScenario;
+
+const HEADER: &str = "sada-scenario v1";
+
+fn csv(ixs: &[usize]) -> String {
+    if ixs.is_empty() {
+        return "-".to_string();
+    }
+    ixs.iter().map(|i| i.to_string()).collect::<Vec<_>>().join(",")
+}
+
+/// Renders a scenario in the canonical text form. Encoding is a pure
+/// function of the scenario value, so equal scenarios produce identical
+/// bytes — the determinism tests rely on exactly this.
+pub fn encode_scenario(s: &GeneratedScenario) -> String {
+    let mut out = String::new();
+    out.push_str(HEADER);
+    out.push('\n');
+    out.push_str(&format!("seed {}\n", s.seed));
+    out.push_str(&format!("domain {} {}\n", s.spec.domain.name(), s.spec.objective.name()));
+    for c in &s.spec.comps {
+        out.push_str(&format!("comp {} {}\n", c.name, c.process));
+    }
+    for inv in &s.spec.invariants {
+        out.push_str(&format!("inv {inv}\n"));
+    }
+    for a in &s.spec.actions {
+        out.push_str(&format!(
+            "action {} {} {} {} {}\n",
+            a.name,
+            a.cost_ms,
+            a.cost_watts,
+            csv(&a.removes),
+            csv(&a.adds)
+        ));
+    }
+    for cl in &s.spec.clusters {
+        out.push_str(&format!(
+            "cluster {} {} {}\n",
+            csv(&cl.comps),
+            csv(&cl.on_false),
+            csv(&cl.on_true)
+        ));
+    }
+    for sess in &s.sessions {
+        let cancel = match sess.cancel_at {
+            Some(d) => d.as_micros().to_string(),
+            None => "-".to_string(),
+        };
+        let flips = sess
+            .flips
+            .iter()
+            .map(|&(g, d)| format!("{g}:{}", if d { 't' } else { 'f' }))
+            .collect::<Vec<_>>()
+            .join(",");
+        out.push_str(&format!(
+            "session {} {} {} {} {}\n",
+            sess.id,
+            sess.priority,
+            sess.submit_at.as_micros(),
+            cancel,
+            flips
+        ));
+    }
+    out
+}
+
+fn parse_csv(field: &str, what: &str) -> Result<Vec<usize>, String> {
+    if field == "-" {
+        return Ok(Vec::new());
+    }
+    field
+        .split(',')
+        .map(|t| t.parse::<usize>().map_err(|_| format!("bad {what} index {t:?}")))
+        .collect()
+}
+
+fn parse_u64(field: &str, what: &str) -> Result<u64, String> {
+    field.parse::<u64>().map_err(|_| format!("bad {what} {field:?}"))
+}
+
+/// Parses the canonical text form back into a scenario. Round-trips with
+/// [`encode_scenario`] byte-for-byte: `encode(parse(encode(s))) ==
+/// encode(s)` and `parse(encode(s)) == s`.
+pub fn parse_scenario(text: &str) -> Result<GeneratedScenario, String> {
+    let mut lines = text.lines();
+    if lines.next() != Some(HEADER) {
+        return Err(format!("missing header {HEADER:?}"));
+    }
+    let mut seed = None;
+    let mut domain = None;
+    let mut comps = Vec::new();
+    let mut invariants = Vec::new();
+    let mut actions = Vec::new();
+    let mut clusters = Vec::new();
+    let mut sessions = Vec::new();
+    for (n, line) in lines.enumerate() {
+        let at = n + 2;
+        if line.is_empty() {
+            continue;
+        }
+        let (kind, rest) = line.split_once(' ').ok_or(format!("line {at}: bare record"))?;
+        match kind {
+            "seed" => seed = Some(parse_u64(rest, "seed")?),
+            "domain" => {
+                let mut f = rest.split_whitespace();
+                let d = match f.next() {
+                    Some("video") => Domain::Video,
+                    Some("serverless") => Domain::Serverless,
+                    Some("iaas") => Domain::Iaas,
+                    other => return Err(format!("line {at}: unknown domain {other:?}")),
+                };
+                let o = match f.next() {
+                    Some("latency_ms") => Objective::LatencyMs,
+                    Some("energy_watts") => Objective::EnergyWatts,
+                    other => return Err(format!("line {at}: unknown objective {other:?}")),
+                };
+                domain = Some((d, o));
+            }
+            "comp" => {
+                let (name, proc) =
+                    rest.split_once(' ').ok_or(format!("line {at}: comp needs a process"))?;
+                comps.push(CompSpec {
+                    name: name.to_string(),
+                    process: parse_u64(proc, "process")? as usize,
+                });
+            }
+            "inv" => invariants.push(rest.to_string()),
+            "action" => {
+                let f: Vec<&str> = rest.split_whitespace().collect();
+                let [name, ms, watts, removes, adds] = f[..] else {
+                    return Err(format!("line {at}: action needs 5 fields"));
+                };
+                actions.push(ActionSpec {
+                    name: name.to_string(),
+                    removes: parse_csv(removes, "removes")?,
+                    adds: parse_csv(adds, "adds")?,
+                    cost_ms: parse_u64(ms, "cost_ms")?,
+                    cost_watts: parse_u64(watts, "cost_watts")?,
+                });
+            }
+            "cluster" => {
+                let f: Vec<&str> = rest.split_whitespace().collect();
+                let [all, on_false, on_true] = f[..] else {
+                    return Err(format!("line {at}: cluster needs 3 fields"));
+                };
+                clusters.push(ClusterSpec {
+                    comps: parse_csv(all, "cluster comps")?,
+                    on_false: parse_csv(on_false, "on_false")?,
+                    on_true: parse_csv(on_true, "on_true")?,
+                });
+            }
+            "session" => {
+                let f: Vec<&str> = rest.split_whitespace().collect();
+                let [id, prio, at_us, cancel, flips] = f[..] else {
+                    return Err(format!("line {at}: session needs 5 fields"));
+                };
+                let cancel_at = match cancel {
+                    "-" => None,
+                    other => Some(SimDuration::from_micros(parse_u64(other, "cancel_us")?)),
+                };
+                let flips = flips
+                    .split(',')
+                    .map(|t| {
+                        let (g, d) = t.split_once(':').ok_or(format!("bad flip {t:?}"))?;
+                        let dir = match d {
+                            "t" => true,
+                            "f" => false,
+                            _ => return Err(format!("bad flip direction {d:?}")),
+                        };
+                        Ok((parse_u64(g, "flip cluster")? as usize, dir))
+                    })
+                    .collect::<Result<Vec<_>, String>>()
+                    .map_err(|e| format!("line {at}: {e}"))?;
+                sessions.push(SessionSpec {
+                    id: parse_u64(id, "session id")?,
+                    flips,
+                    priority: parse_u64(prio, "priority")? as u8,
+                    submit_at: SimDuration::from_micros(parse_u64(at_us, "submit_us")?),
+                    cancel_at,
+                });
+            }
+            other => return Err(format!("line {at}: unknown record {other:?}")),
+        }
+    }
+    let seed = seed.ok_or("missing seed record")?;
+    let (domain, objective) = domain.ok_or("missing domain record")?;
+    Ok(GeneratedScenario {
+        seed,
+        spec: WorldSpec { domain, objective, comps, invariants, actions, clusters },
+        sessions,
+    })
+}

@@ -1,0 +1,99 @@
+//! The validity pass: every scenario handed to the fleet must already be
+//! known-good.
+//!
+//! [`validate`] re-establishes, from first principles, the properties the
+//! generator promises by construction — it never trusts the construction:
+//!
+//! 1. the initial configuration satisfies the compiled invariant set;
+//! 2. every cluster is a *confined* collaborative set (its scope expands
+//!    to exactly its own components — no invariant or action leaks out);
+//! 3. every cluster's scope is accepted by the plan cache's
+//!    [`ScopeNormalizer`] (in-scope invariants normalize cleanly);
+//! 4. every emitted goal is reachable: each cluster's `on_true` mode can
+//!    be planned to from the boot mode *and back*, through the same
+//!    scope-restricted lazy planner the control plane uses, and every
+//!    step of those plans is invariant-safe;
+//! 5. the session workload is well-formed (unique nonzero ids, in-range
+//!    non-duplicate flips).
+//!
+//! Structurally malformed specs (duplicate names, out-of-range indices,
+//! components outside any cluster) panic inside
+//! [`FleetWorld::from_spec`] — those are generator bugs, not scenario
+//! properties, and a `Result` cannot make them meaningful.
+
+use std::collections::BTreeSet;
+use std::rc::Rc;
+
+use sada_fleet::{FleetWorld, ScopeNormalizer, ScopedLazyPlanner};
+use sada_plan::Action;
+use sada_proto::AdaptationPlanner;
+
+use crate::gen::GeneratedScenario;
+
+/// Checks the five validity properties; `Err` carries the first failure.
+pub fn validate(scenario: &GeneratedScenario) -> Result<(), String> {
+    let world = Rc::new(FleetWorld::from_spec(scenario.spec.clone()));
+    let init = world.initial_config();
+    if !world.inv.satisfied_by(&init) {
+        return Err("initial configuration violates the invariants".into());
+    }
+    for g in 0..world.groups {
+        let scope = world.scope_comps(&[(g, true)]);
+        let own: BTreeSet<usize> = world.cluster_comps(g).iter().copied().collect();
+        let got: BTreeSet<usize> = scope.iter().map(|c| c.index()).collect();
+        if got != own {
+            return Err(format!(
+                "cluster {g} is not confined: scope {got:?} != cluster components {own:?}"
+            ));
+        }
+        // The same scoped action filter the control plane applies.
+        let mut in_scope = world.universe.empty_config();
+        for &c in &scope {
+            in_scope.insert(c);
+        }
+        let scoped: Vec<Action> =
+            world.actions.iter().filter(|a| a.touched().is_subset(&in_scope)).cloned().collect();
+        if ScopeNormalizer::new(&world.inv, world.universe.len(), &scope, &scoped).is_none() {
+            return Err(format!("cluster {g}: scope does not normalize (cache-ineligible)"));
+        }
+        // Reachability, both directions, with per-step safety.
+        let mut planner = ScopedLazyPlanner::new(Rc::clone(&world), &scope);
+        let there = world.target_for(&init, &[(g, true)]);
+        for (label, src, dst) in [("forward", &init, &there), ("backward", &there, &init)] {
+            let paths = planner.paths(src, dst, 1);
+            let Some(path) = paths.first() else {
+                return Err(format!("cluster {g}: {label} goal unreachable"));
+            };
+            if !path.is_well_formed() {
+                return Err(format!("cluster {g}: {label} plan is malformed"));
+            }
+            for step in &path.steps {
+                if !world.inv.satisfied_by(&step.to) {
+                    return Err(format!("cluster {g}: {label} plan passes through unsafe state"));
+                }
+            }
+        }
+    }
+    let mut ids = BTreeSet::new();
+    for s in &scenario.sessions {
+        if s.id == 0 {
+            return Err("session id 0 is reserved for solo runs".into());
+        }
+        if !ids.insert(s.id) {
+            return Err(format!("duplicate session id {}", s.id));
+        }
+        if s.flips.is_empty() {
+            return Err(format!("session {} flips nothing", s.id));
+        }
+        let mut groups = BTreeSet::new();
+        for &(g, _) in &s.flips {
+            if g >= world.groups {
+                return Err(format!("session {}: cluster {g} out of range", s.id));
+            }
+            if !groups.insert(g) {
+                return Err(format!("session {}: cluster {g} flipped twice", s.id));
+            }
+        }
+    }
+    Ok(())
+}

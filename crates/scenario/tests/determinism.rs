@@ -1,0 +1,70 @@
+//! Generator determinism (satellite of the scenario-generator PR).
+//!
+//! The generator's contract is that `(seed, config)` *names* a universe:
+//! regenerating must be byte-identical, different seeds must name
+//! different universes, and — because the fleet's sharded runner promises
+//! thread-count invariance — running the same generated scenario at 1, 2,
+//! and 4 worker threads must produce bit-for-bit identical event-stream
+//! fingerprints, results, and final configurations.
+
+use proptest::prelude::*;
+use sada_fleet::{run_fleet_sharded, ShardScenario};
+use sada_scenario::{encode_scenario, generate, parse_scenario, ScenarioConfig, TrafficProfile};
+
+/// A compact config so the fingerprint legs stay fast inside proptest.
+fn small(cfg: ScenarioConfig) -> ScenarioConfig {
+    ScenarioConfig {
+        clusters: 4,
+        sessions: 8,
+        traffic: TrafficProfile::Poisson { mean_gap_us: 20_000 },
+        ..cfg
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Same seed → byte-identical canonical text, which round-trips; a
+    /// neighboring seed → a different universe.
+    #[test]
+    fn same_seed_same_bytes_new_seed_new_universe(seed in 0u64..u64::MAX) {
+        for cfg in [ScenarioConfig::serverless(seed), ScenarioConfig::iaas(seed)] {
+            let a = encode_scenario(&generate(&cfg));
+            let b = encode_scenario(&generate(&cfg));
+            prop_assert_eq!(&a, &b, "regeneration must be byte-identical");
+            let parsed = parse_scenario(&a).expect("canonical text parses");
+            prop_assert_eq!(&encode_scenario(&parsed), &a, "round-trip is byte-stable");
+
+            let other = ScenarioConfig { seed: seed + 1, ..cfg };
+            let c = encode_scenario(&generate(&other));
+            prop_assert_ne!(&a, &c, "neighboring seeds must name distinct universes");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// The full pipeline is thread-invariant: a generated scenario run
+    /// sharded at 1/2/4 worker threads yields identical fingerprints,
+    /// session results, and final configurations — for both new domains.
+    #[test]
+    fn generated_runs_are_thread_invariant(seed in 1u64..1_000_000) {
+        for cfg in [small(ScenarioConfig::serverless(seed)), small(ScenarioConfig::iaas(seed))] {
+            let scenario = generate(&cfg);
+            let sharded = ShardScenario::new(scenario.fleet(), 2);
+            let base = run_fleet_sharded(&sharded, 1);
+            prop_assert!(
+                base.results.iter().all(|r| r.completed_at.is_some()),
+                "{}: every session must conclude",
+                cfg.domain.name()
+            );
+            for threads in [2, 4] {
+                let run = run_fleet_sharded(&sharded, threads);
+                prop_assert_eq!(run.fingerprint, base.fingerprint, "threads={}", threads);
+                prop_assert_eq!(&run.results, &base.results);
+                prop_assert_eq!(&run.final_config, &base.final_config);
+            }
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! Pinned proof that the energy objective reaches plan selection
+//! (satellite of the scenario-generator PR).
+//!
+//! The showcase world offers two safe routes from the busy host to the
+//! idle host: a direct migration (fast, hot: 10 ms / 120 W) and a staged
+//! route through a relay (slow, cool: 50 ms / 9 W total). MAP under the
+//! latency objective must take the direct step; MAP under the energy
+//! objective must take the staged pair. If the objective column ever
+//! stopped flowing into action costs, one of these pins would break.
+
+use std::rc::Rc;
+
+use sada_fleet::{run_fleet, FleetScenario, FleetWorld, Objective, ScopedLazyPlanner, SessionSpec};
+use sada_plan::Path;
+use sada_proto::AdaptationPlanner;
+use sada_scenario::energy_showcase;
+use sada_simnet::SimDuration;
+
+/// Plans the boot-to-alternate flip under the given objective and checks
+/// every step is invariant-safe before handing the path back.
+fn planned_flip(objective: Objective) -> Path {
+    let w = Rc::new(FleetWorld::from_spec(energy_showcase(objective)));
+    let scope = w.scope_comps(&[(0, true)]);
+    let mut planner = ScopedLazyPlanner::new(Rc::clone(&w), &scope);
+    let src = w.initial_config();
+    let dst = w.target_for(&src, &[(0, true)]);
+    let paths = planner.paths(&src, &dst, 4);
+    assert_eq!(paths.len(), 1, "the lazy planner offers exactly the MAP");
+    let path = paths.into_iter().next().unwrap();
+    assert!(path.is_well_formed());
+    for step in &path.steps {
+        assert!(w.inv.satisfied_by(&step.to), "{objective:?}: unsafe intermediate state");
+    }
+    path
+}
+
+#[test]
+fn energy_objective_changes_plan_selection() {
+    let fast = planned_flip(Objective::LatencyMs);
+    let cool = planned_flip(Objective::EnergyWatts);
+
+    // Latency: one direct step, 10 ms.
+    assert_eq!(fast.steps.len(), 1);
+    assert_eq!(fast.cost, 10);
+    assert_eq!(fast.steps[0].action.index(), 0, "direct_migrate");
+
+    // Energy: two staged steps, 9 W total — a different route entirely.
+    assert_eq!(cool.steps.len(), 2);
+    assert_eq!(cool.cost, 9);
+    let route: Vec<usize> = cool.steps.iter().map(|s| s.action.index()).collect();
+    assert_eq!(route, vec![1, 2], "stage_out then stage_in");
+
+    assert_ne!(
+        fast.steps.last().unwrap().action,
+        cool.steps.last().unwrap().action,
+        "watt-cheapest and ms-cheapest paths must differ"
+    );
+}
+
+/// The staged plan also survives the full control plane: an end-to-end
+/// fleet run over the energy-objective world commits the flip.
+#[test]
+fn energy_world_runs_end_to_end() {
+    let sessions = vec![SessionSpec {
+        id: 1,
+        flips: vec![(0, true)],
+        priority: 0,
+        submit_at: SimDuration::from_millis(1),
+        cancel_at: None,
+    }];
+    let scn = FleetScenario::with_world(energy_showcase(Objective::EnergyWatts), sessions);
+    let report = run_fleet(&scn);
+    assert_eq!(report.results.len(), 1);
+    assert!(report.results[0].success, "energy-planned adaptation must commit");
+    // The fleet landed on the idle host: component 2 set, 0/1 clear
+    // (bit strings print the highest component index first).
+    assert_eq!(report.final_config, "100");
+}

@@ -1,0 +1,70 @@
+//! Generated-scenario validity (satellite of the scenario-generator PR).
+//!
+//! Property: over random seeds, shapes, domains, and objectives, every
+//! generated scenario (a) compiles into a fleet world whose initial
+//! configuration satisfies the compiled invariant set, (b) keeps every
+//! cluster a confined collaborative set whose scope the plan cache's
+//! `ScopeNormalizer` accepts, and (c) passes the full [`validate`] pass
+//! (which additionally proves goal reachability in both directions
+//! through the production scoped planner).
+
+use proptest::prelude::*;
+use sada_fleet::{FleetWorld, ScopeNormalizer};
+use sada_plan::Action;
+use sada_scenario::{generate, validate, ScenarioConfig, TrafficProfile};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn every_generated_scenario_is_valid(
+        seed in 0u64..u64::MAX,
+        clusters in 1usize..10,
+        sessions in 0usize..30,
+        iaas in any::<bool>(),
+        energy in any::<bool>(),
+        burst in any::<bool>(),
+    ) {
+        let base = if iaas {
+            if energy { ScenarioConfig::iaas_energy(seed) } else { ScenarioConfig::iaas(seed) }
+        } else {
+            ScenarioConfig::serverless(seed)
+        };
+        let traffic = if burst {
+            TrafficProfile::Burst { waves: 3, wave_gap_us: 100_000 }
+        } else {
+            TrafficProfile::Poisson { mean_gap_us: 10_000 }
+        };
+        let cfg = ScenarioConfig { clusters, sessions, traffic, ..base };
+        let scenario = generate(&cfg);
+        prop_assert!(validate(&scenario).is_ok());
+
+        // Re-establish the headline properties directly, without trusting
+        // the validity pass: compiled invariants accept the boot config...
+        let world = FleetWorld::from_spec(scenario.spec.clone());
+        prop_assert!(world.inv.satisfied_by(&world.initial_config()));
+        prop_assert_eq!(world.groups, clusters);
+
+        // ...and every cluster scope normalizes: all in-scope predicates
+        // are accepted, so isomorphic clusters can share cache entries.
+        for g in 0..world.groups {
+            let scope = world.scope_comps(&[(g, true)]);
+            let mut in_scope = world.universe.empty_config();
+            for &c in &scope {
+                in_scope.insert(c);
+            }
+            let scoped: Vec<Action> = world
+                .actions
+                .iter()
+                .filter(|a| a.touched().is_subset(&in_scope))
+                .cloned()
+                .collect();
+            prop_assert!(!scoped.is_empty(), "cluster {} has no in-scope actions", g);
+            prop_assert!(
+                ScopeNormalizer::new(&world.inv, world.universe.len(), &scope, &scoped).is_some(),
+                "cluster {} scope must normalize",
+                g
+            );
+        }
+    }
+}
