@@ -6,9 +6,12 @@
 //! tree-walking baseline on the identical search skeleton.
 //!
 //! Besides the criterion comparison, this bench writes
-//! `BENCH_planning.json` at the repository root with the 16/24/32-component
+//! `BENCH_planning.json` at the repository root with the 16–48-component
 //! sweep: per-leg invariant-evaluation, safety-check, probe, and expansion
-//! counts plus wall time. The write *asserts* the headline claims — the
+//! counts plus wall time (the 48-component row pins the uniform-cost
+//! frontier growth that motivates ROADMAP item 5's A* heuristic; 64
+//! components would need ~2e9 expansions and is out of blind-search
+//! reach — that gap is the item's whole case). The write *asserts* the headline claims — the
 //! compiled path does at least 5x less predicate work at 24 components,
 //! and the 16-component workload stays within its pinned safety-check
 //! budget (a regression gate run by `ci.sh`). Set `SADA_BENCH_SMOKE=1` to
@@ -111,12 +114,17 @@ struct Leg {
     cost: u64,
 }
 
-fn run_leg(search: &Search, src: &sada_expr::Config, dst: &sada_expr::Config) -> Leg {
+fn run_leg(
+    search: &Search,
+    src: &sada_expr::Config,
+    dst: &sada_expr::Config,
+    extra_iters: usize,
+) -> Leg {
+    let t = Instant::now();
     let (path, stats) = search.plan(src, dst);
+    let mut wall_ns = t.elapsed().as_nanos();
     let cost = path.expect("grouped flip workload always has a path").cost;
-    let iters = if smoke() { 3 } else { 20 };
-    let mut wall_ns = u128::MAX;
-    for _ in 0..iters {
+    for _ in 0..extra_iters {
         let t = Instant::now();
         let (p, _) = search.plan(src, dst);
         let dt = t.elapsed().as_nanos();
@@ -142,13 +150,29 @@ fn bench_hot_path(c: &mut Criterion) {
 
 fn write_planning_json() {
     let mut rows = String::new();
-    for n in [16usize, 24, 32] {
+    // 48 is the frontier-bottleneck row: uniform-cost expansions grow
+    // ~17x per 8 components (93 / 1.6k / 26k / ~7.6M), so 48 is the
+    // largest width the blind search completes — a 64-component row
+    // extrapolates to ~2e9 expansions. Those counts are the baseline
+    // numbers ROADMAP item 5's A* heuristic has to beat; the timed legs
+    // drop to one iteration there (the counts, not the wall, are the
+    // point).
+    for n in [16usize, 24, 32, 48] {
         let (u, inv, actions, src, dst) = grouped_flip_workload(n);
         let kernel = Search::new(&inv, &actions, u.len());
         let baseline = Search::tree_walk_baseline(&inv, &actions, u.len());
+        // The 48-component row times the single (minutes-long) initial
+        // query only; the counts are deterministic either way.
+        let iters = if n >= 48 {
+            0
+        } else if smoke() {
+            3
+        } else {
+            20
+        };
         // Builds are reusable: per-query work is what the sweep measures.
-        let after = run_leg(&kernel, &src, &dst);
-        let before = run_leg(&baseline, &src, &dst);
+        let after = run_leg(&kernel, &src, &dst, iters);
+        let before = run_leg(&baseline, &src, &dst, iters);
         assert_eq!(after.cost, before.cost, "both legs find the same optimum at {n}");
         assert_eq!(
             (after.stats.expanded, after.stats.generated, after.stats.safety_checks),
@@ -200,7 +224,10 @@ fn write_planning_json() {
     let json = format!(
         "{{\n  \"bench\": \"planner_hot_path\",\n  \"workload\": \"grouped flip: n/2 one_of \
          groups, flip half forward; before = tree-walk + linear scan, after = compiled \
-         kernels + incremental checks + action index on the identical search skeleton\",\n  \
+         kernels + incremental checks + action index on the identical search skeleton; \
+         the 48-component row pins uniform-cost expanded-node counts — the frontier \
+         bottleneck an admissible A* heuristic (ROADMAP item 5) must cut (expansions \
+         grow ~17x per 8 components; a 64-component row extrapolates to ~2e9 nodes)\",\n  \
          \"safety_check_budget_16\": {SAFETY_CHECK_BUDGET_16},\n  \"rows\": [\n{rows}\n  ]\n}}\n"
     );
     // crates/bench -> repository root.

@@ -1,0 +1,267 @@
+//! Scale sweep for the hot path: the same strided adaptation workload at
+//! 1k/10k/100k groups, flat and sharded.
+//!
+//! Each row runs `sessions = min(2 x groups, 2048)` single-group sessions
+//! strided across the whole group range, so under `run_fleet_sharded` every
+//! region owns an equal slice of the offered load. Per row this bench
+//! records:
+//!
+//! * flat `run_fleet` throughput — committed sessions/sec and delivered
+//!   events/sec against wall clock;
+//! * peak live heap for the row (a counting global allocator, high-water
+//!   mark reset at row start) divided by the agent count — the
+//!   bytes-per-agent figure the smoke gate pins;
+//! * the sharded wall clock at 1 worker thread, plus the event-stream
+//!   fingerprint at 1/2/4/8 threads, asserted byte-identical (thread count
+//!   is pure execution policy, never schedule-visible).
+//!
+//! Set `SADA_BENCH_SMOKE=1` to run only the 10k-group row and assert the
+//! bytes-per-agent ceiling — the CI memory-regression gate. The full sweep
+//! (including the 100k row) writes `BENCH_scale.json` at the repository
+//! root.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sada_fleet::{run_fleet, run_fleet_sharded, FleetScenario, SessionSpec, ShardScenario};
+use sada_obs::SimDuration;
+
+const REGIONS: usize = 8;
+const SEED: u64 = 42;
+const SESSION_CAP: usize = 2048;
+const SPACING_US: u64 = 37;
+/// Smoke-gate ceiling on flat peak-heap bytes per agent at the 10k row.
+/// Measured ~1.6 KiB/agent; 8 KiB leaves headroom for allocator noise
+/// while still failing loudly on an accidental per-agent heap object or a
+/// dense-`Config` round trip sneaking back into the hot path.
+const SMOKE_BYTES_PER_AGENT_CEILING: u64 = 8 * 1024;
+
+// ---------------------------------------------------------------------------
+// Counting allocator: peak live heap per row
+// ---------------------------------------------------------------------------
+
+static LIVE: AtomicU64 = AtomicU64::new(0);
+static PEAK: AtomicU64 = AtomicU64::new(0);
+
+struct Counting;
+
+unsafe impl GlobalAlloc for Counting {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let live = LIVE.fetch_add(layout.size() as u64, Ordering::Relaxed) + layout.size() as u64;
+        PEAK.fetch_max(live, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        LIVE.fetch_sub(layout.size() as u64, Ordering::Relaxed);
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: Counting = Counting;
+
+/// Drops the high-water mark back to the current live size, so the next
+/// row's peak measures that row alone.
+fn reset_peak() {
+    PEAK.store(LIVE.load(Ordering::Relaxed), Ordering::Relaxed);
+}
+
+fn peak_heap() -> u64 {
+    PEAK.load(Ordering::Relaxed)
+}
+
+// ---------------------------------------------------------------------------
+// Workload
+// ---------------------------------------------------------------------------
+
+/// CI smoke mode: the 10k row + ceiling assert only.
+fn smoke() -> bool {
+    std::env::var_os("SADA_BENCH_SMOKE").is_some()
+}
+
+/// A strided adaptation storm: sessions spread evenly over the whole group
+/// range (distinct groups, so no lock conflicts and every session commits),
+/// each scope inside one region — the free-running scaling configuration.
+fn strided_fleet(groups: usize) -> FleetScenario {
+    let sessions = SESSION_CAP.min(2 * groups);
+    let specs: Vec<SessionSpec> = (0..sessions)
+        .map(|i| SessionSpec {
+            id: i as u64 + 1,
+            // Stride across the full range: region r owns a contiguous
+            // slice of groups, so this lands sessions/REGIONS sessions in
+            // every region instead of packing them all into region 0.
+            flips: vec![(i * groups / sessions, i % 2 == 0)],
+            priority: (i % 4) as u8,
+            submit_at: SimDuration::from_micros(SPACING_US * i as u64),
+            cancel_at: None,
+        })
+        .collect();
+    let mut fleet = FleetScenario::new(groups, specs);
+    fleet.seed = SEED;
+    fleet.time_budget = SimDuration::from_secs(10);
+    // The journal text alone is O(sessions x components) — hundreds of MB
+    // at 100k groups. The durable journal (and with it crash recovery,
+    // events, fingerprints) is unaffected.
+    fleet.render_journal = false;
+    fleet
+}
+
+struct Row {
+    groups: usize,
+    agents: usize,
+    sessions: usize,
+    flat_wall_us: u128,
+    sessions_per_sec: f64,
+    events_per_sec: f64,
+    peak_heap_bytes: u64,
+    bytes_per_agent: u64,
+    shard_wall_us_1t: u128,
+    shard_sessions_per_sec_1t: f64,
+    fingerprint: u64,
+}
+
+/// One sweep row: flat throughput + peak heap, then the sharded
+/// thread-identity sweep.
+fn run_row(groups: usize, threads: &[usize]) -> Row {
+    let fleet = strided_fleet(groups);
+    let sessions = fleet.sessions.len();
+    let agents = 2 * groups;
+
+    reset_peak();
+    let t = std::time::Instant::now();
+    let flat = run_fleet(&fleet);
+    let flat_wall = t.elapsed();
+    let peak = peak_heap();
+    let ok = flat.results.iter().filter(|s| s.success).count();
+    assert_eq!(ok, sessions, "{groups} groups: the strided storm must commit every session");
+
+    let scn = ShardScenario::new(fleet, REGIONS);
+    let mut runs = Vec::new();
+    for &n in threads {
+        let t = std::time::Instant::now();
+        let r = run_fleet_sharded(&scn, n);
+        runs.push((n, t.elapsed(), r));
+    }
+    let (_, base_wall, base) = &runs[0];
+    assert_eq!(
+        base.succeeded(),
+        sessions,
+        "{groups} groups: sharded run must commit every session"
+    );
+    let active = base.per_shard.iter().filter(|s| !s.is_global && s.sessions > 0).count();
+    assert_eq!(active, REGIONS, "{groups} groups: the stride must load every region");
+    for (n, _, r) in &runs {
+        assert_eq!(
+            r.fingerprint, base.fingerprint,
+            "{groups} groups: {n} threads changed the event stream"
+        );
+        assert_eq!(
+            r.final_config, base.final_config,
+            "{groups} groups: {n} threads changed the final configuration"
+        );
+    }
+
+    Row {
+        groups,
+        agents,
+        sessions,
+        flat_wall_us: flat_wall.as_micros(),
+        sessions_per_sec: ok as f64 / flat_wall.as_secs_f64().max(1e-9),
+        events_per_sec: flat.events.len() as f64 / flat_wall.as_secs_f64().max(1e-9),
+        peak_heap_bytes: peak,
+        bytes_per_agent: peak / agents as u64,
+        shard_wall_us_1t: base_wall.as_micros(),
+        shard_sessions_per_sec_1t: base.succeeded() as f64 / base_wall.as_secs_f64().max(1e-9),
+        fingerprint: base.fingerprint,
+    }
+}
+
+fn write_bench_json(rows: &[Row]) {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let body: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"groups\": {}, \"agents\": {}, \"sessions\": {}, \
+                 \"flat_wall_us\": {}, \"sessions_per_sec\": {:.1}, \
+                 \"events_per_sec\": {:.1}, \"peak_heap_bytes\": {}, \
+                 \"bytes_per_agent\": {}, \"shard_wall_us_1t\": {}, \
+                 \"shard_sessions_per_sec_1t\": {:.1}, \"fingerprint\": \"{:#018x}\"}}",
+                r.groups,
+                r.agents,
+                r.sessions,
+                r.flat_wall_us,
+                r.sessions_per_sec,
+                r.events_per_sec,
+                r.peak_heap_bytes,
+                r.bytes_per_agent,
+                r.shard_wall_us_1t,
+                r.shard_sessions_per_sec_1t,
+                r.fingerprint,
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"scale\",\n  \"workload\": \"min(2 x groups, {SESSION_CAP}) \
+         single-group sessions strided across the group range ({REGIONS} regions under \
+         sharding; 2 agents per group); flat run_fleet for throughput and peak heap, \
+         run_fleet_sharded at 1/2/4/8 threads with fingerprints asserted identical\",\n  \
+         \"host_cores\": {cores},\n  \"thread_sweep\": [1, 2, 4, 8],\n  \
+         \"smoke_bytes_per_agent_ceiling\": {SMOKE_BYTES_PER_AGENT_CEILING},\n  \
+         \"rows\": [\n{}\n  ]\n}}\n",
+        body.join(",\n"),
+    );
+    // crates/bench -> repository root.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_scale.json");
+    std::fs::write(path, &json).expect("write BENCH_scale.json");
+    println!("wrote {path}:\n{json}");
+}
+
+fn bench_scale(c: &mut Criterion) {
+    if smoke() {
+        return;
+    }
+    // Criterion timing on the smallest row only; the 10k/100k rows are
+    // single-shot measurements in the JSON sweep below.
+    let fleet = strided_fleet(1_000);
+    let scn = ShardScenario::new(fleet.clone(), REGIONS);
+    let mut g = c.benchmark_group("scale");
+    g.sample_size(10);
+    g.bench_function("flat_1k", |b| {
+        b.iter(|| run_fleet(&fleet).results.iter().filter(|s| s.success).count())
+    });
+    g.bench_function("shard_1k_1t", |b| b.iter(|| run_fleet_sharded(&scn, 1).succeeded()));
+    g.finish();
+}
+
+fn sweep() {
+    let threads = [1usize, 2, 4, 8];
+    if smoke() {
+        let row = run_row(10_000, &threads);
+        assert!(
+            row.bytes_per_agent <= SMOKE_BYTES_PER_AGENT_CEILING,
+            "flat peak heap regressed: {} bytes/agent at 10k groups (ceiling {})",
+            row.bytes_per_agent,
+            SMOKE_BYTES_PER_AGENT_CEILING,
+        );
+        println!(
+            "smoke ok: 10k groups, {} sessions, {} bytes/agent (ceiling {}), \
+             fingerprint {:#018x} identical at 1/2/4/8 threads",
+            row.sessions, row.bytes_per_agent, SMOKE_BYTES_PER_AGENT_CEILING, row.fingerprint,
+        );
+        return;
+    }
+    let rows: Vec<Row> =
+        [1_000usize, 10_000, 100_000].iter().map(|&g| run_row(g, &threads)).collect();
+    write_bench_json(&rows);
+}
+
+fn bench_entry(c: &mut Criterion) {
+    bench_scale(c);
+    sweep();
+}
+
+criterion_group!(benches, bench_entry);
+criterion_main!(benches);

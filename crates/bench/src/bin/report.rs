@@ -4,7 +4,11 @@
 //! Usage: `cargo run -p sada-bench --bin report -- [section]`
 //! where `section` is one of `table1 table2 fig1 fig2 fig4 map failures
 //! crashes baselines scaling planning fec inference timeline fleet
-//! overload shard scenario all` (default `all`).
+//! overload shard scenario scale all` (default `all`).
+//!
+//! `scale` also accepts a seed: `report -- scale <seed>` reruns the strided
+//! 1k/10k-group storms (flat and sharded, thread-invariance asserted) under
+//! that simulation seed.
 //!
 //! `timeline` additionally accepts a chaos seed:
 //! `cargo run -p sada-bench --bin report -- timeline <seed>` replays the
@@ -939,6 +943,77 @@ fn shard(seed: Option<u64>) {
     );
 }
 
+fn scale(seed: Option<u64>) {
+    use sada_fleet::{run_fleet, run_fleet_sharded, FleetScenario, SessionSpec, ShardScenario};
+    let seed = seed.unwrap_or(42);
+    const REGIONS: usize = 8;
+    println!("## Scale hot path — strided storms at 1k/10k groups (seed {seed})");
+    println!(
+        "(struct-of-arrays agent arena, batched bus delivery, hierarchical timer wheel; \
+         the full 100k sweep lives in BENCH_scale.json via `cargo bench --bench bench_scale`)"
+    );
+    println!(
+        "{:>7} {:>7} {:>9} {:>11} {:>13} {:>13} {:>13} {:>13}",
+        "groups",
+        "agents",
+        "sessions",
+        "flat wall",
+        "sessions/s",
+        "events/s",
+        "shard 1t",
+        "shard 8t"
+    );
+    for groups in [1_000usize, 10_000] {
+        let sessions = (2 * groups).min(2048);
+        let specs: Vec<SessionSpec> = (0..sessions)
+            .map(|i| SessionSpec {
+                id: i as u64 + 1,
+                flips: vec![(i * groups / sessions, i % 2 == 0)],
+                priority: (i % 4) as u8,
+                submit_at: SimDuration::from_micros(37 * i as u64),
+                cancel_at: None,
+            })
+            .collect();
+        let mut fleet = FleetScenario::new(groups, specs);
+        fleet.seed = seed;
+        fleet.time_budget = SimDuration::from_secs(10);
+        fleet.render_journal = false;
+        let t = std::time::Instant::now();
+        let flat = run_fleet(&fleet);
+        let flat_wall = t.elapsed();
+        let ok = flat.results.iter().filter(|s| s.success).count();
+        assert_eq!(ok, sessions, "strided storm commits every session");
+        let scn = ShardScenario::new(fleet, REGIONS);
+        let t = std::time::Instant::now();
+        let single = run_fleet_sharded(&scn, 1);
+        let single_wall = t.elapsed();
+        let t = std::time::Instant::now();
+        let multi = run_fleet_sharded(&scn, 8);
+        let multi_wall = t.elapsed();
+        assert_eq!(single.fingerprint, multi.fingerprint, "thread-invariance at {groups} groups");
+        assert_eq!(single.final_config, multi.final_config, "same destination at {groups} groups");
+        assert_eq!(single.succeeded(), sessions, "sharded storm commits every session");
+        let loaded = single.per_shard.iter().filter(|s| !s.is_global && s.sessions > 0).count();
+        assert_eq!(loaded, REGIONS, "the stride must load every region");
+        let wall_s = flat_wall.as_secs_f64().max(1e-9);
+        println!(
+            "{:>7} {:>7} {:>9} {:>11} {:>13.1} {:>13.1} {:>13} {:>13}",
+            groups,
+            2 * groups,
+            sessions,
+            format!("{:.1}ms", wall_s * 1000.0),
+            ok as f64 / wall_s,
+            flat.events.len() as f64 / wall_s,
+            format!("{:.1}ms", single_wall.as_secs_f64() * 1000.0),
+            format!("{:.1}ms", multi_wall.as_secs_f64() * 1000.0),
+        );
+    }
+    println!(
+        "(fingerprints asserted identical at 1 and 8 worker threads on every row; journal text \
+         rendering is off — the durable journal, events, and fingerprints are unaffected)"
+    );
+}
+
 fn scenario(seed: Option<u64>) {
     use sada_fleet::{run_fleet_sharded, Objective, ShardScenario};
     use sada_scenario::{encode_scenario, energy_showcase, generate, ScenarioConfig as GenConfig};
@@ -1109,6 +1184,11 @@ fn main() {
     if run("scenario") {
         let seed = std::env::args().nth(2).and_then(|s| s.parse().ok());
         scenario(seed);
+        println!();
+    }
+    if run("scale") {
+        let seed = std::env::args().nth(2).and_then(|s| s.parse().ok());
+        scale(seed);
         println!();
     }
 }

@@ -75,14 +75,15 @@ pub fn recost_actions(spec: &AdaptationSpec, measurements: &[CalibratedCost]) ->
                 .find(|m| m.action == ix)
                 .map(|m| m.latency.as_micros().max(1))
                 .unwrap_or_else(|| a.cost());
-            Action::new(ix as u32, a.name(), a.removes(), a.adds(), cost)
+            Action::from_ids(ix as u32, a.name(), a.removes().to_vec(), a.adds().to_vec(), cost)
         })
         .collect()
 }
 
 fn single_action_spec(spec: &AdaptationSpec, action_ix: usize) -> AdaptationSpec {
     let a = &spec.actions()[action_ix];
-    let renumbered = Action::new(0, a.name(), a.removes(), a.adds(), a.cost());
+    let renumbered =
+        Action::from_ids(0, a.name(), a.removes().to_vec(), a.adds().to_vec(), a.cost());
     let drain = if spec.drain_actions().contains(&a.id()) {
         [sada_plan::ActionId(0)].into()
     } else {

@@ -276,9 +276,9 @@ mod tests {
         assert_eq!(m.host_of(u.id("D5").unwrap()), Some(cs.deployment.laptop));
         // A13 touches all three processes; A2 only the handheld.
         let a13 = &cs.spec.actions()[12];
-        assert_eq!(m.processes_hosting(&a13.touched()).len(), 3);
+        assert_eq!(m.processes_hosting(&a13.touched_config(u.len())).len(), 3);
         let a2 = &cs.spec.actions()[1];
-        assert_eq!(m.processes_hosting(&a2.touched()), vec![cs.deployment.handheld]);
+        assert_eq!(m.processes_hosting(&a2.touched_config(u.len())), vec![cs.deployment.handheld]);
     }
 
     #[test]

@@ -1,0 +1,268 @@
+//! Struct-of-arrays agent arena: every scripted agent in a fleet run packed
+//! into parallel flat vectors behind one boxed [`ArenaActor`].
+//!
+//! [`AgentArena`] is a member-indexed transliteration of
+//! [`ScriptedAgent`](sada_proto::ScriptedAgent): the same
+//! [`AgentCore`] state machine, the same timer tags, the same send and
+//! bus-emission order, so a fleet driven through the arena produces
+//! bit-for-bit the journals and event streams the per-box agents produced.
+//! What changes is memory layout and registration cost — a 100k-group fleet
+//! holds its per-agent state in a handful of contiguous allocations instead
+//! of 100k separately boxed actors, and the simulator dispatches into one
+//! vtable for all of them.
+//!
+//! The arena deliberately omits the two `ScriptedAgent` knobs fleet drivers
+//! never set (`fail_to_reset`, custom reannounce policies); protocol-level
+//! failure tests keep using the solo agent.
+
+use sada_obs::{AgentStateTag, Bus, Event, Payload, ProtoEvent, SimTime};
+use sada_plan::ActionId;
+use sada_proto::{
+    agent_state_tag, AgentCore, AgentEffect, AgentEvent, AgentState, AgentTiming, LocalAction,
+    ProtoMsg, ReannouncePolicy, SessionId, Wire, TAG_ACT, TAG_REJOIN, TAG_RESUME, TAG_ROLLBACK,
+    TAG_SAFE,
+};
+use sada_simnet::{ActorId, ArenaActor, Context};
+
+/// All scripted agents of one fleet run, stored as parallel vectors and
+/// addressed by dense member index (`member == process index` in the fleet
+/// drivers). Behaviourally identical to a `ScriptedAgent` per process.
+pub struct AgentArena {
+    manager: ActorId,
+    bus: Bus,
+    reannounce: ReannouncePolicy,
+    timings: Vec<AgentTiming>,
+    cores: Vec<AgentCore>,
+    epochs: Vec<u64>,
+    manager_epochs: Vec<u64>,
+    sessions: Vec<SessionId>,
+    rejoin_budgets: Vec<u32>,
+    pending_actions: Vec<Option<LocalAction>>,
+    pending_rollbacks: Vec<Option<LocalAction>>,
+    applied: Vec<Vec<(ActionId, bool)>>,
+    crashes: Vec<u64>,
+    rejoins_sent: Vec<u64>,
+}
+
+impl AgentArena {
+    /// An empty arena whose members report to `manager` and emit protocol
+    /// transitions onto `bus`.
+    pub fn new(manager: ActorId, bus: Bus) -> Self {
+        AgentArena::with_capacity(manager, bus, 0)
+    }
+
+    /// Like [`AgentArena::new`] with every parallel vector pre-sized for
+    /// `members` agents.
+    pub fn with_capacity(manager: ActorId, bus: Bus, members: usize) -> Self {
+        AgentArena {
+            manager,
+            bus,
+            reannounce: ReannouncePolicy::default(),
+            timings: Vec::with_capacity(members),
+            cores: Vec::with_capacity(members),
+            epochs: Vec::with_capacity(members),
+            manager_epochs: Vec::with_capacity(members),
+            sessions: Vec::with_capacity(members),
+            rejoin_budgets: Vec::with_capacity(members),
+            pending_actions: Vec::with_capacity(members),
+            pending_rollbacks: Vec::with_capacity(members),
+            applied: Vec::with_capacity(members),
+            crashes: Vec::with_capacity(members),
+            rejoins_sent: Vec::with_capacity(members),
+        }
+    }
+
+    /// Appends one agent with its operation timings; returns its member
+    /// index (dense, starting at 0).
+    pub fn push_member(&mut self, timing: AgentTiming) -> u32 {
+        let member = self.timings.len() as u32;
+        self.timings.push(timing);
+        self.cores.push(AgentCore::new());
+        self.epochs.push(0);
+        self.manager_epochs.push(0);
+        self.sessions.push(SessionId::SOLO);
+        self.rejoin_budgets.push(0);
+        self.pending_actions.push(None);
+        self.pending_rollbacks.push(None);
+        self.applied.push(Vec::new());
+        self.crashes.push(0);
+        self.rejoins_sent.push(0);
+        member
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.timings.len()
+    }
+
+    /// True when no member has been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.timings.is_empty()
+    }
+
+    /// Forward/rollback structural changes `member` actually applied.
+    pub fn applied(&self, member: u32) -> &[(ActionId, bool)] {
+        &self.applied[member as usize]
+    }
+
+    /// Crashes `member` suffered.
+    pub fn crashes(&self, member: u32) -> u64 {
+        self.crashes[member as usize]
+    }
+
+    /// `Rejoin` announcements `member` put on the wire.
+    pub fn rejoins_sent(&self, member: u32) -> u64 {
+        self.rejoins_sent[member as usize]
+    }
+
+    /// `member`'s state machine (for assertions).
+    pub fn core(&self, member: u32) -> &AgentCore {
+        &self.cores[member as usize]
+    }
+
+    fn send_rejoin<M: Clone + 'static>(&mut self, m: usize, ctx: &mut Context<'_, Wire<M>>) {
+        self.rejoins_sent[m] += 1;
+        ctx.send(
+            self.manager,
+            Wire::Proto {
+                epoch: self.epochs[m],
+                session: self.sessions[m],
+                msg: ProtoMsg::Rejoin { last_completed: self.cores[m].last_completed() },
+            },
+        );
+        ctx.set_timer(self.reannounce.period, TAG_REJOIN);
+    }
+
+    fn apply<M: Clone + 'static>(
+        &mut self,
+        m: usize,
+        ctx: &mut Context<'_, Wire<M>>,
+        effects: Vec<AgentEffect>,
+    ) {
+        let obs = self.cores[m].drain_obs();
+        if self.bus.has_sinks() {
+            let (at, actor) = (ctx.now(), ctx.self_id().index() as u32);
+            for payload in obs {
+                self.bus.emit(Event { at, actor, session: self.sessions[m].0, shard: 0, payload });
+            }
+        }
+        for eff in effects {
+            match eff {
+                AgentEffect::Send(msg) => ctx.send(
+                    self.manager,
+                    Wire::Proto { epoch: self.epochs[m], session: self.sessions[m], msg },
+                ),
+                AgentEffect::PreAction(_) => {}
+                AgentEffect::BeginReset(la) => {
+                    let delay = if la.needs_global_drain {
+                        self.timings[m].safe_delay + self.timings[m].drain_extra
+                    } else {
+                        self.timings[m].safe_delay
+                    };
+                    ctx.set_timer(delay, TAG_SAFE);
+                }
+                AgentEffect::DoInAction(la) => {
+                    self.pending_actions[m] = Some(la);
+                    ctx.set_timer(self.timings[m].act_delay, TAG_ACT);
+                }
+                AgentEffect::DoResume => {
+                    ctx.set_timer(self.timings[m].resume_delay, TAG_RESUME);
+                }
+                AgentEffect::PostAction(_) => {}
+                AgentEffect::DoRollback(la) => {
+                    self.pending_rollbacks[m] = la;
+                    ctx.set_timer(self.timings[m].rollback_delay, TAG_ROLLBACK);
+                }
+            }
+        }
+    }
+}
+
+impl<M: Clone + 'static> ArenaActor<Wire<M>> for AgentArena {
+    fn on_message(
+        &mut self,
+        member: u32,
+        ctx: &mut Context<'_, Wire<M>>,
+        _from: ActorId,
+        msg: Wire<M>,
+    ) {
+        let m = member as usize;
+        if let Wire::Proto { epoch, session, msg: p } = msg {
+            if epoch < self.manager_epochs[m] {
+                return; // residue from a previous manager incarnation
+            }
+            self.manager_epochs[m] = epoch;
+            self.sessions[m] = session;
+            let eff = self.cores[m].on_event(AgentEvent::Msg(p));
+            self.apply(m, ctx, eff);
+            if self.cores[m].state() != AgentState::Running {
+                // Re-engaged: the rejoin announcement has served its purpose.
+                self.rejoin_budgets[m] = 0;
+            }
+        }
+    }
+
+    fn on_timer(&mut self, member: u32, ctx: &mut Context<'_, Wire<M>>, tag: u64) {
+        let m = member as usize;
+        if tag == TAG_REJOIN {
+            if self.rejoin_budgets[m] > 0 && self.cores[m].state() == AgentState::Running {
+                self.rejoin_budgets[m] -= 1;
+                self.send_rejoin(m, ctx);
+            }
+            return;
+        }
+        let ev = match tag {
+            TAG_SAFE => AgentEvent::SafeReached,
+            TAG_ACT => {
+                if let Some(la) = self.pending_actions[m].take() {
+                    self.applied[m].push((la.action, true));
+                }
+                AgentEvent::InActionDone
+            }
+            TAG_RESUME => AgentEvent::ResumeFinished,
+            TAG_ROLLBACK => {
+                if let Some(la) = self.pending_rollbacks[m].take() {
+                    self.applied[m].push((la.action, false));
+                }
+                AgentEvent::RollbackFinished
+            }
+            _ => return,
+        };
+        let eff = self.cores[m].on_event(ev);
+        self.apply(m, ctx, eff);
+    }
+
+    fn on_crash(&mut self, member: u32, _now: SimTime) {
+        let m = member as usize;
+        self.crashes[m] += 1;
+        // Volatile-uncommitted model: an applied-but-uncommitted structural
+        // change evaporates with the process image.
+        if let Some(la) = self.cores[m].uncommitted_action() {
+            self.applied[m].push((la.action, false));
+        }
+        self.pending_actions[m] = None;
+        self.pending_rollbacks[m] = None;
+    }
+
+    fn on_restart(&mut self, member: u32, ctx: &mut Context<'_, Wire<M>>) {
+        let m = member as usize;
+        self.epochs[m] += 1;
+        let prev = self.cores[m].state();
+        self.cores[m] = AgentCore::restore(self.cores[m].last_completed());
+        if prev != AgentState::Running {
+            self.bus.scoped(self.sessions[m].0).publish(
+                ctx.now(),
+                ctx.self_id().index() as u32,
+                || {
+                    Payload::Proto(ProtoEvent::AgentState {
+                        from: agent_state_tag(prev),
+                        to: AgentStateTag::Running,
+                        step: None,
+                    })
+                },
+            );
+        }
+        self.rejoin_budgets[m] = self.reannounce.budget;
+        self.send_rejoin(m, ctx);
+    }
+}

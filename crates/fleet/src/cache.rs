@@ -219,40 +219,55 @@ pub struct ScopeNormalizer {
 impl ScopeNormalizer {
     /// A normalizer for `scope` under `inv`, over the `scoped` action list
     /// (every scoped action's touched set must lie inside `scope`).
+    ///
+    /// Compiles the invariant set itself; sessions on the hot path should
+    /// use [`ScopeNormalizer::from_compiled`] with the world's shared
+    /// kernels instead.
     pub fn new(
         inv: &InvariantSet,
         width: usize,
         scope: &[CompId],
         scoped: &[Action],
     ) -> Option<Self> {
+        let compiled = inv.compile(width);
+        Self::from_compiled(inv, &compiled, scope, scoped)
+    }
+
+    /// A normalizer for `scope` built from the world's already-compiled
+    /// kernels: no per-session invariant compilation, no width-sized
+    /// allocations — cost scales with the scope, not the world.
+    ///
+    /// Partitions invariants by support exactly as [`ScopeNormalizer::new`]:
+    /// disjoint predicates are skipped (constant across the session, checked
+    /// globally at the endpoints), in-scope predicates are relabeled into
+    /// the key in world order, straddlers abort normalization (`None`).
+    pub fn from_compiled<'a>(
+        inv: &InvariantSet,
+        compiled: &sada_expr::CompiledInvariants,
+        scope: &[CompId],
+        scoped: impl IntoIterator<Item = &'a Action>,
+    ) -> Option<Self> {
         let mut locals: Vec<CompId> = scope.to_vec();
         locals.sort_unstable();
         locals.dedup();
-        let mut local_of = vec![u32::MAX; width];
-        let mut scope_cfg = Config::empty(width);
-        for (l, &c) in locals.iter().enumerate() {
-            local_of[c.index()] = l as u32;
-            scope_cfg.insert(c);
-        }
-        // Partition invariants by support: disjoint predicates are constant
-        // across the session (checked globally at the endpoints), in-scope
-        // predicates are relabeled into the key, straddlers abort.
-        let compiled = inv.compile(width);
-        let mut invs = Vec::new();
-        for (expr, pred) in inv.exprs().iter().zip(compiled.preds()) {
-            let support = pred.support();
-            if support.is_disjoint(&scope_cfg) {
-                continue;
-            }
-            if !support.is_subset(&scope_cfg) {
+        // The inverted support index yields exactly the predicates whose
+        // support intersects the scope, ascending (= world order).
+        let mut cand: Vec<u32> =
+            locals.iter().flat_map(|&c| compiled.preds_of_comp(c).iter().copied()).collect();
+        cand.sort_unstable();
+        cand.dedup();
+        let mut invs = Vec::with_capacity(cand.len());
+        for pix in cand {
+            let support = compiled.preds()[pix as usize].support();
+            if !support.iter().all(|c| locals.binary_search(c).is_ok()) {
                 return None;
             }
-            invs.push(relabel(expr, &local_of).to_string());
+            invs.push(relabel(&inv.exprs()[pix as usize], &locals).to_string());
         }
         let nz = ScopeNormalizer { locals, invs, actions: Vec::new() };
         let actions = scoped
-            .iter()
-            .map(|a| (nz.project(a.removes()), nz.project(a.adds()), a.cost()))
+            .into_iter()
+            .map(|a| (nz.project_ids(a.removes()), nz.project_ids(a.adds()), a.cost()))
             .collect();
         Some(ScopeNormalizer { actions, ..nz })
     }
@@ -274,6 +289,22 @@ impl ScopeNormalizer {
         out
     }
 
+    /// [`ScopeNormalizer::project`] for a sparse in-scope id list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an id lies outside the scope (scoped actions touch only
+    /// scope components by construction).
+    pub fn project_ids(&self, ids: &[CompId]) -> Config {
+        let mut out = Config::empty(self.locals.len().max(1));
+        for &c in ids {
+            let l =
+                self.locals.binary_search(&c).expect("scoped action touches only scope components");
+            out.insert(CompId::from_index(l));
+        }
+        out
+    }
+
     /// The normalized cache key for one planning query.
     pub fn key(&self, source: &Config, target: &Config) -> PlanKey {
         PlanKey {
@@ -285,28 +316,26 @@ impl ScopeNormalizer {
     }
 }
 
-/// `expr` with every variable replaced by its local id. Only called on
-/// expressions whose support lies inside the scope.
-fn relabel(expr: &Expr, local_of: &[u32]) -> Expr {
-    let all = |es: &[Expr]| es.iter().map(|e| relabel(e, local_of)).collect();
+/// `expr` with every variable replaced by its local id (its position in the
+/// sorted `locals` list). Only called on expressions whose support lies
+/// inside the scope.
+fn relabel(expr: &Expr, locals: &[CompId]) -> Expr {
+    let all = |es: &[Expr]| es.iter().map(|e| relabel(e, locals)).collect();
     match expr {
         Expr::Const(b) => Expr::Const(*b),
         Expr::Var(c) => {
-            let l = local_of[c.index()];
-            assert_ne!(l, u32::MAX, "relabel called on an out-of-scope variable");
-            Expr::Var(CompId::from_index(l as usize))
+            let l = locals.binary_search(c).expect("relabel called on an out-of-scope variable");
+            Expr::Var(CompId::from_index(l))
         }
-        Expr::Not(e) => Expr::Not(Box::new(relabel(e, local_of))),
+        Expr::Not(e) => Expr::Not(Box::new(relabel(e, locals))),
         Expr::And(es) => Expr::And(all(es)),
         Expr::Or(es) => Expr::Or(all(es)),
         Expr::Xor(es) => Expr::Xor(all(es)),
         Expr::ExactlyOne(es) => Expr::ExactlyOne(all(es)),
         Expr::Implies(a, b) => {
-            Expr::Implies(Box::new(relabel(a, local_of)), Box::new(relabel(b, local_of)))
+            Expr::Implies(Box::new(relabel(a, locals)), Box::new(relabel(b, locals)))
         }
-        Expr::Iff(a, b) => {
-            Expr::Iff(Box::new(relabel(a, local_of)), Box::new(relabel(b, local_of)))
-        }
+        Expr::Iff(a, b) => Expr::Iff(Box::new(relabel(a, locals)), Box::new(relabel(b, locals))),
     }
 }
 
@@ -338,7 +367,7 @@ mod tests {
         for &c in scope {
             cfg.insert(c);
         }
-        actions.iter().filter(|a| a.touched().is_subset(&cfg)).cloned().collect()
+        actions.iter().filter(|a| a.touches_only(&cfg)).cloned().collect()
     }
 
     #[test]

@@ -124,6 +124,10 @@ pub struct ControlActor<M = ()> {
     agents: Vec<ActorId>,
     actor_to_agent: HashMap<ActorId, usize>,
     scenario: Vec<SessionSpec>,
+    /// Session id → scenario index (first occurrence wins, matching a
+    /// linear scan). The scenario never changes after construction, so
+    /// this stays valid across restarts.
+    spec_by_id: HashMap<u64, usize>,
     timing: ProtoTiming,
     /// When true, every session maps to one shared lock resource — the
     /// serial baseline the benchmarks compare scope-parallelism against.
@@ -224,14 +228,23 @@ impl<M: Clone + 'static> ControlActor<M> {
     ) -> Self {
         assert!(scenario.iter().all(|s| s.id != 0), "session id 0 is reserved for solo runs");
         let fleet_config = world.initial_config();
+        let mut spec_by_id = HashMap::with_capacity(scenario.len());
+        for (ix, s) in scenario.iter().enumerate() {
+            spec_by_id.entry(s.id).or_insert(ix);
+        }
         let actor_to_agent = agents.iter().enumerate().map(|(ix, &a)| (a, ix)).collect();
         let rtt = vec![RttEstimator::new(); agents.len()];
         let last_rto = vec![0; agents.len()];
+        let locks = ScopeLockManager::with_capacity(
+            world.universe.len() + world.model.process_count(),
+            scenario.len(),
+        );
         ControlActor {
             world,
             agents,
             actor_to_agent,
             scenario,
+            spec_by_id,
             timing,
             serialize,
             resilience: FleetResilience::default(),
@@ -239,7 +252,7 @@ impl<M: Clone + 'static> ControlActor<M> {
             epoch: 0,
             agent_epochs: HashMap::new(),
             active: BTreeMap::new(),
-            locks: ScopeLockManager::new(),
+            locks,
             breakers: Vec::new(),
             scope_breakers: HashMap::new(),
             rtt,
@@ -327,7 +340,7 @@ impl<M: Clone + 'static> ControlActor<M> {
     }
 
     fn spec_ix(&self, session: u64) -> Option<usize> {
-        self.scenario.iter().position(|s| s.id == session)
+        self.spec_by_id.get(&session).copied()
     }
 
     fn resources_of(&self, spec: &SessionSpec) -> Vec<u32> {
@@ -1106,7 +1119,10 @@ impl<M: Clone + 'static> Actor<Wire<M>> for ControlActor<M> {
         // The volatile process image dies; the journal, results, and fleet
         // configuration stand in for durable storage and survive.
         self.active.clear();
-        self.locks = ScopeLockManager::new();
+        self.locks = ScopeLockManager::with_capacity(
+            self.world.universe.len() + self.world.model.process_count(),
+            self.scenario.len(),
+        );
         self.tag_owner.clear();
         self.next_tag = 1;
         self.agent_epochs.clear();

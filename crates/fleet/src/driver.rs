@@ -5,8 +5,9 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
+use crate::arena::AgentArena;
 use sada_obs::{Bus, Event, Payload, RingSink};
-use sada_proto::{encode_session_journal, AgentTiming, ProtoTiming, ScriptedAgent, Wire};
+use sada_proto::{encode_session_journal, AgentTiming, ProtoTiming, Wire};
 use sada_simnet::{ActorId, FaultPlan, LinkConfig, NetStats, SimDuration, SimTime, Simulator};
 
 use crate::cache::PlanCacheStats;
@@ -47,6 +48,12 @@ pub struct FleetScenario {
     /// Declarative world to run instead of the hard-coded video clone.
     /// `None` keeps the classic `FleetWorld::build(groups)` video world.
     pub world_spec: Option<WorldSpec>,
+    /// Render the write-ahead journal(s) to text in the report. On by
+    /// default; the scale benchmarks turn it off because the text form is
+    /// O(sessions × components) — hundreds of megabytes at 100k groups —
+    /// while the durable journal itself (and therefore crash recovery,
+    /// events, and fingerprints) is unaffected either way.
+    pub render_journal: bool,
 }
 
 impl FleetScenario {
@@ -66,6 +73,7 @@ impl FleetScenario {
             slow_agents: Vec::new(),
             faults: FaultPlan::new(),
             world_spec: None,
+            render_journal: true,
         }
     }
 
@@ -202,13 +210,17 @@ pub fn run_fleet(scenario: &FleetScenario) -> FleetReport {
     let control_id = ActorId::from_index(procs);
     emit_domain_tag(&bus, &world, control_id);
     let mut agents = Vec::with_capacity(procs);
+    let mut arena = AgentArena::with_capacity(control_id, bus.clone(), procs);
     for p in 0..procs {
         let timing = match scenario.slow_agents.iter().find(|&&(ix, _)| ix == p) {
             Some(&(_, factor)) => scale_timing(AgentTiming::default(), factor),
             None => AgentTiming::default(),
         };
-        let agent = ScriptedAgent::new(control_id, timing).with_bus(bus.clone());
-        agents.push(sim.add_actor(&format!("agent-{p}"), agent));
+        arena.push_member(timing);
+    }
+    let arena_id = sim.add_arena(arena);
+    for p in 0..procs {
+        agents.push(sim.add_arena_member(&format!("agent-{p}"), arena_id, p as u32));
     }
     let control = ControlActor::<()>::new(
         Rc::clone(&world),
@@ -260,7 +272,11 @@ pub fn run_fleet(scenario: &FleetScenario) -> FleetReport {
         results,
         final_config: control.fleet_config.to_bit_string(),
         events,
-        journal_text: encode_session_journal(&control.journal),
+        journal_text: if scenario.render_journal {
+            encode_session_journal(&control.journal)
+        } else {
+            String::new()
+        },
         restores: control.restores,
         max_concurrent: max_concurrent(
             control

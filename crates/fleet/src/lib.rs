@@ -44,6 +44,7 @@
 //!   fabric (conservative virtual clocks), so thread count never changes
 //!   results.
 
+mod arena;
 mod cache;
 mod control;
 mod driver;
@@ -53,6 +54,7 @@ mod planner;
 mod shard;
 mod world;
 
+pub use arena::AgentArena;
 pub use cache::{CacheNote, CacheNoteKind, CachedPlan, PlanCache, PlanCacheStats, ScopeNormalizer};
 pub use control::{Admission, ControlActor, FleetResilience, SessionSpec};
 pub use driver::{disjoint_wave, run_fleet, FleetReport, FleetScenario, SessionResult};

@@ -53,6 +53,19 @@ impl ScopeLockManager {
         Self::default()
     }
 
+    /// An empty manager with its resource table pre-sized for a world of
+    /// `resources` lockable units and its queue for `sessions` concurrent
+    /// requests — one allocation up front instead of rehash/regrow churn
+    /// on the admission hot path of a large fleet.
+    pub fn with_capacity(resources: usize, sessions: usize) -> Self {
+        ScopeLockManager {
+            held: BTreeMap::new(),
+            held_set: HashSet::with_capacity(resources),
+            waiters: Vec::with_capacity(sessions),
+            next_seq: 0,
+        }
+    }
+
     fn disjoint_from_held(&self, scope: &[u32]) -> bool {
         scope.iter().all(|r| !self.held_set.contains(r))
     }
@@ -128,8 +141,9 @@ impl ScopeLockManager {
     }
 
     fn grant_waiters(&mut self) -> Vec<u64> {
-        let mut shadow: HashSet<u32> = HashSet::new();
-        let mut granted = Vec::new();
+        let shadow_cap: usize = self.waiters.iter().map(|w| w.scope.len()).sum();
+        let mut shadow: HashSet<u32> = HashSet::with_capacity(shadow_cap);
+        let mut granted = Vec::with_capacity(self.waiters.len());
         for i in self.grant_order() {
             let w = &self.waiters[i];
             let free = w.scope.iter().all(|r| !self.held_set.contains(r) && !shadow.contains(r));

@@ -22,7 +22,7 @@
 //! Everything is a pure function of the seed: identical seeds reproduce
 //! identical event streams (asserted via [`OverloadReport::fingerprint`]).
 
-use sada_obs::encode_event;
+use sada_obs::encode_event_into;
 use sada_proto::{ProtoTiming, RetryPolicy};
 use sada_resilience::{jitter_us, BreakerConfig, BulkheadConfig};
 use sada_simnet::{FaultPlan, SimDuration, SimTime};
@@ -276,8 +276,11 @@ fn distill(
         waits[((waits.len() - 1) as f64 * p) as usize]
     };
     let mut fp = 0xcbf2_9ce4_8422_2325u64;
+    let mut line = String::with_capacity(128);
     for ev in &report.events {
-        for b in encode_event(ev).bytes() {
+        line.clear();
+        encode_event_into(&mut line, ev);
+        for &b in line.as_bytes() {
             fp ^= u64::from(b);
             fp = fp.wrapping_mul(0x0000_0100_0000_01B3);
         }

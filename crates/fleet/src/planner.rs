@@ -5,8 +5,11 @@
 //! session's collaborative sets, and paths are found with the partial-
 //! exploration planner ([`sada_plan::lazy`]) — no eager SAG over the whole
 //! fleet's `2^n` configuration space is ever built. The compiled
-//! [`Search`] (kernel invariant checks, interned arena, action index) is
-//! built **once** at admission and reused across the session's queries.
+//! [`Search`](sada_plan::Search) (kernel invariant checks, interned arena,
+//! action index) is built **once per world** and shared by every session;
+//! admission only gathers the scope's action indices through the search's
+//! inverted touch index and builds a scope-sized normalizer, so admitting a
+//! session costs O(scope), not O(world).
 //!
 //! Because the planner is a pure function of the world and the scope, a
 //! restored control plane can rebuild it per session and replay journals
@@ -22,7 +25,7 @@ use std::collections::BTreeMap;
 use std::rc::Rc;
 
 use sada_expr::{CompId, Config};
-use sada_plan::{Action, Path, PathStep, Search};
+use sada_plan::{Action, Path, PathStep};
 use sada_proto::{AdaptationPlanner, LocalAction, PlannedStep};
 
 use crate::cache::{CachedPlan, PlanCache, ScopeNormalizer};
@@ -31,8 +34,10 @@ use crate::world::FleetWorld;
 /// An [`AdaptationPlanner`] over the implicit SAG of one session's scope.
 pub struct ScopedLazyPlanner {
     world: Rc<FleetWorld>,
-    /// Compiled search over the scoped action repertoire.
-    search: Search,
+    /// Ascending world-action indices whose touched set lies inside the
+    /// scope — the session's repertoire, as positions into the world's
+    /// shared compiled search.
+    scoped_ixs: Vec<u32>,
     /// Relabels this scope onto cache-key coordinates; `None` when an
     /// invariant straddles the scope boundary (cache disabled).
     normalizer: Option<ScopeNormalizer>,
@@ -44,16 +49,17 @@ impl ScopedLazyPlanner {
     /// A planner restricted to `scope` (a union of collaborative sets, as
     /// produced by [`FleetWorld::scope_comps`]).
     pub fn new(world: Rc<FleetWorld>, scope: &[CompId]) -> Self {
-        let mut in_scope = world.universe.empty_config();
-        for &c in scope {
-            in_scope.insert(c);
-        }
-        let scoped: Vec<Action> =
-            world.actions.iter().filter(|a| a.touched().is_subset(&in_scope)).cloned().collect();
-        let width = world.universe.len();
-        let normalizer = ScopeNormalizer::new(&world.inv, width, scope, &scoped);
-        let search = Search::new(&world.inv, &scoped, width);
-        ScopedLazyPlanner { world, search, normalizer, cache: None }
+        let mut sorted: Vec<CompId> = scope.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let scoped_ixs = world.search.scoped_action_ixs(&sorted);
+        let normalizer = ScopeNormalizer::from_compiled(
+            &world.inv,
+            world.search.compiled(),
+            &sorted,
+            scoped_ixs.iter().map(|&ix| &world.actions[ix as usize]),
+        );
+        ScopedLazyPlanner { world, scoped_ixs, normalizer, cache: None }
     }
 
     /// Attaches the fleet-wide plan cache on behalf of session `session`.
@@ -64,7 +70,12 @@ impl ScopedLazyPlanner {
 
     /// Number of actions that survived the scope filter.
     pub fn action_count(&self) -> usize {
-        self.search.actions().len()
+        self.scoped_ixs.len()
+    }
+
+    /// The scoped action at position `ix` of the session's repertoire.
+    fn scoped_action(&self, ix: usize) -> Option<&Action> {
+        self.scoped_ixs.get(ix).map(|&w| &self.world.actions[w as usize])
     }
 
     /// Whether queries can be served through the fleet cache (a cache is
@@ -80,7 +91,7 @@ impl ScopedLazyPlanner {
         let mut cur = from.clone();
         let mut steps = Vec::with_capacity(cached.action_ixs.len());
         for &ix in &cached.action_ixs {
-            let action = self.search.actions().get(ix as usize)?;
+            let action = self.scoped_action(ix as usize)?;
             if !action.applicable(&cur) {
                 return None;
             }
@@ -102,7 +113,10 @@ impl ScopedLazyPlanner {
             .steps
             .iter()
             .map(|s| {
-                self.search.actions().iter().position(|a| a.id() == s.action).map(|i| i as u32)
+                self.scoped_ixs
+                    .iter()
+                    .position(|&w| self.world.actions[w as usize].id() == s.action)
+                    .map(|i| i as u32)
             })
             .collect();
         Some(CachedPlan { action_ixs: ixs?, cost: path.cost })
@@ -117,7 +131,7 @@ impl ScopedLazyPlanner {
         let nz = self.normalizer.as_ref()?;
         // The key captures in-scope state only, so out-of-scope safety must
         // be established before the cache may speak for this query.
-        if !self.search.is_safe(from) || !self.search.is_safe(to) {
+        if !self.world.search.is_safe(from) || !self.world.search.is_safe(to) {
             return None;
         }
         let key = nz.key(from, to);
@@ -133,7 +147,7 @@ impl ScopedLazyPlanner {
                 }
             }
         }
-        let (path, _) = self.search.plan(from, to);
+        let (path, _) = self.world.search.plan_scoped(from, to, &self.scoped_ixs);
         match &path {
             None => cache.borrow_mut().insert(key, None, *session),
             Some(p) => {
@@ -147,11 +161,11 @@ impl ScopedLazyPlanner {
 
     fn locals_for(&self, action: &Action) -> Vec<(usize, LocalAction)> {
         let mut per_agent: BTreeMap<usize, (Vec<CompId>, Vec<CompId>)> = BTreeMap::new();
-        for comp in action.removes().iter() {
+        for &comp in action.removes() {
             let p = self.world.model.host_of(comp).expect("touched component must be placed");
             per_agent.entry(self.world.agent_of_process[p.0 as usize]).or_default().0.push(comp);
         }
-        for comp in action.adds().iter() {
+        for &comp in action.adds() {
             let p = self.world.model.host_of(comp).expect("touched component must be placed");
             per_agent.entry(self.world.agent_of_process[p.0 as usize]).or_default().1.push(comp);
         }
@@ -176,7 +190,9 @@ impl AdaptationPlanner for ScopedLazyPlanner {
     fn paths(&mut self, from: &Config, to: &Config, _k: usize) -> Vec<Path> {
         match self.plan_via_cache(from, to) {
             Some(answer) => answer.into_iter().collect(),
-            None => self.search.plan(from, to).0.into_iter().collect(),
+            None => {
+                self.world.search.plan_scoped(from, to, &self.scoped_ixs).0.into_iter().collect()
+            }
         }
     }
 

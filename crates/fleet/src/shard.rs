@@ -44,10 +44,8 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
 use sada_expr::CompId;
-use sada_obs::{encode_event, Bus, Event, FleetEvent, Payload, RingSink};
-use sada_proto::{
-    encode_global_journal, encode_session_journal, AgentTiming, GlobalRecord, ScriptedAgent, Wire,
-};
+use sada_obs::{encode_event_into, Bus, Event, FleetEvent, Payload, RingSink};
+use sada_proto::{encode_global_journal, encode_session_journal, AgentTiming, GlobalRecord, Wire};
 use sada_resilience::{jitter_us, RetryPolicy, RttEstimator};
 use sada_simnet::{
     Actor, ActorId, Context, LinkConfig, NetStats, SimDuration, SimTime, Simulator, TimerId,
@@ -1488,6 +1486,9 @@ struct Endpoint {
     /// the full membership of every owned cluster.
     owned_comps: Vec<u32>,
     is_global: bool,
+    /// Whether to render this endpoint's journal to text at distillation
+    /// (mirrors [`FleetScenario::render_journal`]).
+    render_journal: bool,
 }
 
 fn build_endpoint(
@@ -1515,13 +1516,17 @@ fn build_endpoint(
     let relay_id = ActorId::from_index(procs + 1);
     crate::driver::emit_domain_tag(&sharded, &world, control_id);
     let mut agents = Vec::with_capacity(procs);
+    let mut arena = crate::arena::AgentArena::with_capacity(control_id, sharded.clone(), procs);
     for p in 0..procs {
         let timing = match scn.slow_agents.iter().find(|&&(ix, _)| ix == p) {
             Some(&(_, factor)) => scale_timing(AgentTiming::default(), factor),
             None => AgentTiming::default(),
         };
-        let agent = ScriptedAgent::new(control_id, timing).with_bus(sharded.clone());
-        agents.push(sim.add_actor(&format!("agent-{p}"), agent));
+        arena.push_member(timing);
+    }
+    let arena_id = sim.add_arena(arena);
+    for p in 0..procs {
+        agents.push(sim.add_arena_member(&format!("agent-{p}"), arena_id, p as u32));
     }
     let inner = ControlActor::<ShardMsg>::new(
         Rc::clone(&world),
@@ -1618,6 +1623,7 @@ fn build_endpoint(
             .flat_map(|&g| world.cluster_comps(g).iter().map(|&c| c as u32))
             .collect(),
         is_global: plan.is_global,
+        render_journal: scn.render_journal,
     }
 }
 
@@ -1674,14 +1680,16 @@ impl Endpoint {
                     let mut batch = self.staged.remove(&t).expect("just peeked");
                     batch.sort_by_key(|e| (e.src, e.seq));
                     let now = self.sim.now().as_micros();
-                    for env in batch {
-                        self.sim.inject(
-                            self.relay_id,
-                            self.control_id,
-                            Wire::App(ShardMsg { to: self.id, payload: env.payload }),
-                            SimDuration::from_micros(t - now),
-                        );
-                    }
+                    let msgs: Vec<Wire<ShardMsg>> = batch
+                        .into_iter()
+                        .map(|env| Wire::App(ShardMsg { to: self.id, payload: env.payload }))
+                        .collect();
+                    self.sim.inject_batch(
+                        self.relay_id,
+                        self.control_id,
+                        msgs,
+                        SimDuration::from_micros(t - now),
+                    );
                     progressed = true;
                     continue;
                 }
@@ -1978,7 +1986,11 @@ fn distill_endpoint(ep: Endpoint) -> EndpointOutcome {
         shard_tag: ep.shard_tag,
         is_global: ep.is_global,
         events,
-        journal_text: encode_session_journal(&ctl.journal),
+        journal_text: if ep.render_journal {
+            encode_session_journal(&ctl.journal)
+        } else {
+            String::new()
+        },
         global_journal_text,
         results,
         config,
@@ -2111,8 +2123,12 @@ impl ShardReport {
 /// the bit-for-bit identity compared across worker-thread counts.
 pub fn fingerprint_events(events: &[Event]) -> u64 {
     let mut h = FNV_BASIS;
+    let mut line = String::with_capacity(128);
     for ev in events {
-        for b in encode_event(ev).bytes().chain(std::iter::once(b'\n')) {
+        line.clear();
+        encode_event_into(&mut line, ev);
+        line.push('\n');
+        for &b in line.as_bytes() {
             h ^= u64::from(b);
             h = h.wrapping_mul(FNV_PRIME);
         }
@@ -2124,15 +2140,20 @@ pub fn fingerprint_events(events: &[Event]) -> u64 {
 /// identity compared between a one-region sharded run and the unsharded
 /// [`run_fleet`](crate::run_fleet) driver.
 pub fn fingerprint_events_unsharded(events: &[Event]) -> u64 {
-    let stripped: Vec<Event> = events
-        .iter()
-        .map(|e| {
-            let mut e = e.clone();
-            e.shard = 0;
-            e
-        })
-        .collect();
-    fingerprint_events(&stripped)
+    let mut h = FNV_BASIS;
+    let mut line = String::with_capacity(128);
+    for ev in events {
+        let mut ev = ev.clone();
+        ev.shard = 0;
+        line.clear();
+        encode_event_into(&mut line, &ev);
+        line.push('\n');
+        for &b in line.as_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+    }
+    h
 }
 
 /// Runs `scenario` sharded across `threads` worker threads and reports.
@@ -2267,15 +2288,16 @@ pub fn run_fleet_sharded(scenario: &ShardScenario, threads: usize) -> ShardRepor
     outcomes.sort_by_key(|o| o.id);
 
     // Deterministic event merge: (virtual time, shard, intra-shard order).
-    let mut keys: Vec<(u64, u32, usize)> = Vec::new();
+    let total_events: usize = outcomes.iter().map(|o| o.events.len()).sum();
+    let mut keys: Vec<(u64, u32, usize)> = Vec::with_capacity(total_events);
     for (ox, o) in outcomes.iter().enumerate() {
         for (ix, e) in o.events.iter().enumerate() {
             keys.push((e.at.as_micros(), ox as u32, ix));
         }
     }
     keys.sort_unstable();
-    let events: Vec<Event> =
-        keys.iter().map(|&(_, ox, ix)| outcomes[ox as usize].events[ix].clone()).collect();
+    let mut events: Vec<Event> = Vec::with_capacity(total_events);
+    events.extend(keys.iter().map(|&(_, ox, ix)| outcomes[ox as usize].events[ix].clone()));
     let fingerprint = fingerprint_events(&events);
 
     // Regions are authoritative for their groups' component values (global

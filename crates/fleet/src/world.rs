@@ -21,7 +21,7 @@
 
 use sada_expr::{CompId, Config, InvariantSet, Universe};
 use sada_model::SystemModel;
-use sada_plan::{Action, CollabIndex};
+use sada_plan::{Action, CollabIndex, Search};
 
 /// Which adaptation domain a world models. Tagged into the observability
 /// stream (non-video domains) so event consumers can tell workloads apart.
@@ -225,6 +225,11 @@ pub struct FleetWorld {
     pub agent_of_process: Vec<usize>,
     /// Collaborative-set partition (one set per cluster).
     pub index: CollabIndex,
+    /// The compiled planning context over the whole world — invariant
+    /// kernels, action index, inverted touch index — built **once** here
+    /// and shared by every session (scoped planners restrict it to their
+    /// action subset instead of compiling their own).
+    pub search: Search,
     /// Number of flip units (`spec.clusters.len()`).
     pub groups: usize,
     /// The declarative spec this world was compiled from.
@@ -263,25 +268,27 @@ impl FleetWorld {
         );
         let mut actions = Vec::with_capacity(spec.actions.len());
         for (ix, a) in spec.actions.iter().enumerate() {
-            let mut removes = universe.empty_config();
+            let mut removes = Vec::with_capacity(a.removes.len());
             for &c in &a.removes {
                 assert!(c < spec.comps.len(), "action {}: removes out of range", a.name);
-                removes.insert(CompId::from_index(c));
+                removes.push(CompId::from_index(c));
             }
-            let mut adds = universe.empty_config();
+            let mut adds = Vec::with_capacity(a.adds.len());
             for &c in &a.adds {
                 assert!(c < spec.comps.len(), "action {}: adds out of range", a.name);
-                adds.insert(CompId::from_index(c));
+                adds.push(CompId::from_index(c));
             }
             let cost = match spec.objective {
                 Objective::LatencyMs => a.cost_ms,
                 Objective::EnergyWatts => a.cost_watts,
             }
             .max(1);
-            actions.push(Action::replace(ix as u32, &a.name, &removes, &adds, cost));
+            // Sparse construction: the dense `Config` round trip here cost
+            // O(actions × width) — gigabytes of churn at 100k groups.
+            actions.push(Action::from_ids(ix as u32, &a.name, removes, adds, cost));
         }
         let process_count = spec.process_count();
-        let mut model = SystemModel::new();
+        let mut model = SystemModel::with_capacity(process_count, spec.comps.len());
         let procs: Vec<_> =
             (0..process_count).map(|p| model.add_process(&format!("p{p}"))).collect();
         for (ix, c) in spec.comps.iter().enumerate() {
@@ -304,9 +311,19 @@ impl FleetWorld {
         }
         assert!(owner.iter().all(|&g| g != usize::MAX), "every comp needs a cluster");
         let index = CollabIndex::new(&universe, &inv, &actions);
+        let search = Search::new(&inv, &actions, universe.len());
         let groups = spec.clusters.len();
-        let world =
-            FleetWorld { universe, inv, actions, model, agent_of_process, index, groups, spec };
+        let world = FleetWorld {
+            universe,
+            inv,
+            actions,
+            model,
+            agent_of_process,
+            index,
+            search,
+            groups,
+            spec,
+        };
         assert!(
             world.inv.satisfied_by(&world.initial_config()),
             "initial configuration violates the invariants"

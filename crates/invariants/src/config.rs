@@ -189,9 +189,17 @@ impl Config {
         self.words.iter().all(|&w| w == 0)
     }
 
-    /// Iterates present components in increasing id order.
+    /// Iterates present components in increasing id order. Walks the
+    /// backing words with `trailing_zeros` — cost scales with the set bits
+    /// (plus one probe per word), not with the width.
     pub fn iter(&self) -> impl Iterator<Item = CompId> + '_ {
-        (0..self.nbits).map(CompId::from_index).filter(move |&id| self.contains(id))
+        self.words.iter().enumerate().flat_map(|(wix, &w)| {
+            std::iter::successors((w != 0).then_some(w), |rest| {
+                let rest = rest & (rest - 1);
+                (rest != 0).then_some(rest)
+            })
+            .map(move |rest| CompId::from_index(wix * 64 + rest.trailing_zeros() as usize))
+        })
     }
 
     /// The backing bit words, least-significant component first. Compiled
@@ -199,6 +207,26 @@ impl Config {
     /// probing bits one [`Config::contains`] call at a time.
     pub fn words(&self) -> &[u64] {
         &self.words
+    }
+
+    /// The components on which `self` and `other` disagree, ascending.
+    /// Word-wise XOR walk: cost scales with the differing bits (plus one
+    /// probe per word), not with the width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ.
+    pub fn diff_ids(&self, other: &Config) -> Vec<CompId> {
+        self.check_width(other);
+        let mut out = Vec::new();
+        for (wix, (&a, &b)) in self.words.iter().zip(&other.words).enumerate() {
+            let mut rest = a ^ b;
+            while rest != 0 {
+                out.push(CompId::from_index(wix * 64 + rest.trailing_zeros() as usize));
+                rest &= rest - 1;
+            }
+        }
+        out
     }
 
     fn check_width(&self, other: &Config) {

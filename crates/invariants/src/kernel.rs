@@ -61,15 +61,18 @@ enum Op {
 /// depth evaluate on a fixed stack with no allocation.
 const INLINE_STACK: usize = 32;
 
-/// One predicate, lowered to a flat postfix program plus its support mask.
+/// One predicate, lowered to a flat postfix program plus its support list.
 #[derive(Debug, Clone)]
 pub struct CompiledExpr {
     ops: Vec<Op>,
     /// Side table of `(word index, bit mask)` operands for the fused ops,
     /// grouped so each word appears at most once per operand range.
     masks: Vec<(u32, u64)>,
-    /// Components the predicate mentions, as a width-sized bitset.
-    support: Config,
+    /// Components the predicate mentions, sorted ascending. A sparse list
+    /// rather than a width-wide bitset: a predicate mentions a handful of
+    /// components however wide the world is, so compiling 100k predicates
+    /// stays linear in the invariant text, not quadratic in the width.
+    support: Vec<CompId>,
     /// Deepest evaluation stack the program can reach.
     max_stack: usize,
 }
@@ -81,21 +84,24 @@ impl CompiledExpr {
     ///
     /// Panics if the expression mentions a component index `>= width`.
     pub fn compile(expr: &Expr, width: usize) -> Self {
-        let mut c = CompiledExpr {
-            ops: Vec::new(),
-            masks: Vec::new(),
-            support: Config::empty(width),
-            max_stack: 0,
-        };
+        let mut c =
+            CompiledExpr { ops: Vec::new(), masks: Vec::new(), support: Vec::new(), max_stack: 0 };
         let mut depth = 0usize;
         c.lower(expr, width, &mut depth);
         debug_assert_eq!(depth, 1, "a program must leave exactly one result");
+        c.support.sort_unstable();
+        c.support.dedup();
         c
     }
 
-    /// The components this predicate mentions.
-    pub fn support(&self) -> &Config {
+    /// The components this predicate mentions, ascending.
+    pub fn support(&self) -> &[CompId] {
         &self.support
+    }
+
+    /// True when the predicate mentions no component of `touched`.
+    fn disjoint_from(&self, touched: &Config) -> bool {
+        self.support.iter().all(|&c| !touched.contains(c))
     }
 
     fn push_op(&mut self, op: Op, pops: usize, depth: &mut usize) {
@@ -124,7 +130,7 @@ impl CompiledExpr {
 
     fn record_var(&mut self, id: CompId, width: usize) {
         assert!(id.index() < width, "component {} out of range (width {width})", id.index());
-        self.support.insert(id);
+        self.support.push(id);
     }
 
     /// If every element of `es` is a plain variable, returns their ids.
@@ -292,16 +298,25 @@ impl CompiledExpr {
 #[derive(Debug, Clone)]
 pub struct CompiledInvariants {
     preds: Vec<CompiledExpr>,
+    /// Inverted support index: `by_comp[c]` lists (ascending) the predicate
+    /// indices whose support mentions component `c`. Lets scope-sized
+    /// queries find their predicates without scanning the whole set.
+    by_comp: Vec<Vec<u32>>,
     width: usize,
 }
 
 impl CompiledInvariants {
     /// Compiles every predicate of `set` for width `width`.
     pub fn compile(set: &InvariantSet, width: usize) -> Self {
-        CompiledInvariants {
-            preds: set.exprs().iter().map(|e| CompiledExpr::compile(e, width)).collect(),
-            width,
+        let preds: Vec<CompiledExpr> =
+            set.exprs().iter().map(|e| CompiledExpr::compile(e, width)).collect();
+        let mut by_comp = vec![Vec::new(); width];
+        for (ix, p) in preds.iter().enumerate() {
+            for &c in &p.support {
+                by_comp[c.index()].push(ix as u32);
+            }
         }
+        CompiledInvariants { preds, by_comp, width }
     }
 
     /// Number of predicates.
@@ -352,7 +367,7 @@ impl CompiledInvariants {
     /// `cfg` satisfies every predicate iff the ones whose support intersects
     /// `touched` still hold — untouched predicates see unchanged inputs.
     pub fn still_satisfied_after(&self, cfg: &Config, touched: &Config) -> bool {
-        self.preds.iter().all(|p| p.support.is_disjoint(touched) || p.eval(cfg))
+        self.preds.iter().all(|p| p.disjoint_from(touched) || p.eval(cfg))
     }
 
     /// Counting variant of [`CompiledInvariants::still_satisfied_after`].
@@ -363,7 +378,7 @@ impl CompiledInvariants {
         evals: &mut u64,
     ) -> bool {
         for p in &self.preds {
-            if p.support.is_disjoint(touched) {
+            if p.disjoint_from(touched) {
                 continue;
             }
             *evals += 1;
@@ -381,9 +396,25 @@ impl CompiledInvariants {
         self.preds
             .iter()
             .enumerate()
-            .filter(|(_, p)| !p.support.is_disjoint(touched))
+            .filter(|(_, p)| !p.disjoint_from(touched))
             .map(|(ix, _)| ix as u32)
             .collect()
+    }
+
+    /// [`CompiledInvariants::affected_by`] for a sparse touched list: the
+    /// same indices in the same ascending order, found through the inverted
+    /// support index in O(touched × preds-per-comp) instead of O(preds).
+    pub fn affected_by_ids(&self, touched: &[CompId]) -> Vec<u32> {
+        let mut out: Vec<u32> =
+            touched.iter().flat_map(|&c| self.by_comp[c.index()].iter().copied()).collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Predicate indices mentioning component `c`, ascending.
+    pub fn preds_of_comp(&self, c: CompId) -> &[u32] {
+        &self.by_comp[c.index()]
     }
 }
 
@@ -465,6 +496,12 @@ mod tests {
         let support = compiled.preds()[0].support();
         let members: Vec<usize> = support.iter().map(|id| id.index()).collect();
         assert_eq!(members, vec![1, 3, 4]);
+        assert_eq!(compiled.preds_of_comp(CompId::from_index(3)), &[0]);
+        assert_eq!(compiled.preds_of_comp(CompId::from_index(0)), &[] as &[u32]);
+        assert_eq!(
+            compiled.affected_by_ids(&[CompId::from_index(1), CompId::from_index(0)]),
+            vec![0]
+        );
     }
 
     #[test]

@@ -53,7 +53,7 @@ proptest! {
         flip in 0usize..NVARS,
     ) {
         let compiled = CompiledExpr::compile(&e, NVARS);
-        prop_assume!(!compiled.support().contains(CompId::from_index(flip)));
+        prop_assume!(!compiled.support().contains(&CompId::from_index(flip)));
         let cfg = config_from_bits(bits);
         let flipped = config_from_bits(bits ^ (1 << flip));
         prop_assert_eq!(compiled.eval(&cfg), compiled.eval(&flipped), "{}", e);
@@ -85,7 +85,11 @@ proptest! {
         prop_assert!(evals <= compiled.len() as u64);
         // The affected set is exactly the predicates sharing support.
         for ix in compiled.affected_by(&touched) {
-            prop_assert!(!compiled.preds()[ix as usize].support().is_disjoint(&touched));
+            let support = compiled.preds()[ix as usize].support();
+            prop_assert!(support.iter().any(|&c| touched.contains(c)));
         }
+        // The inverted index finds the same affected set from a sparse list.
+        let touched_ids: Vec<CompId> = touched.iter().collect();
+        prop_assert_eq!(compiled.affected_by_ids(&touched_ids), compiled.affected_by(&touched));
     }
 }

@@ -52,6 +52,17 @@ impl SystemModel {
         SystemModel::default()
     }
 
+    /// An empty system with its process and placement tables pre-sized —
+    /// compiling a 100k-process world does one allocation per table instead
+    /// of regrowing through every `add_process`/`place`.
+    pub fn with_capacity(processes: usize, components: usize) -> Self {
+        SystemModel {
+            process_names: Vec::with_capacity(processes),
+            host: HashMap::with_capacity(components),
+            channels: Vec::new(),
+        }
+    }
+
     /// Registers a process and returns its id.
     pub fn add_process(&mut self, name: &str) -> ProcessId {
         let id = ProcessId(self.process_names.len() as u32);

@@ -24,6 +24,15 @@ use crate::time::SimTime;
 pub trait Sink {
     /// Observes one event.
     fn accept(&mut self, ev: &Event);
+
+    /// Observes a batch of events, in order. Semantically identical to
+    /// calling [`Sink::accept`] on each; sinks with a cheaper bulk path
+    /// (ring buffers, buffered writers) override this.
+    fn accept_batch(&mut self, evs: &[Event]) {
+        for ev in evs {
+            self.accept(ev);
+        }
+    }
 }
 
 /// A shared handle to one attached sink.
@@ -113,6 +122,32 @@ impl Bus {
         for sink in self.sinks.borrow().iter() {
             sink.borrow_mut().accept(&ev);
         }
+    }
+
+    /// Delivers every event in `evs` to every attached sink and clears the
+    /// vec (the caller keeps its capacity for reuse). Stamping is identical
+    /// to per-event [`Bus::emit`]; delivery is sink-major — each sink sees
+    /// the whole batch in order, so any *single* sink observes exactly the
+    /// per-message emission order (only the cross-sink interleaving
+    /// changes, which no sink can observe).
+    pub fn emit_batch(&self, evs: &mut Vec<Event>) {
+        if evs.is_empty() {
+            return;
+        }
+        if self.scope != 0 || self.shard != 0 {
+            for ev in evs.iter_mut() {
+                if self.scope != 0 && ev.session == 0 {
+                    ev.session = self.scope;
+                }
+                if self.shard != 0 && ev.shard == 0 {
+                    ev.shard = self.shard;
+                }
+            }
+        }
+        for sink in self.sinks.borrow().iter() {
+            sink.borrow_mut().accept_batch(evs);
+        }
+        evs.clear();
     }
 
     /// Emits a stamped event, building the payload only if a sink is
@@ -250,5 +285,47 @@ mod tests {
     fn debug_does_not_recurse_into_sinks() {
         let bus = Bus::new();
         assert_eq!(format!("{bus:?}"), "Bus { sinks: 0 }");
+    }
+
+    #[test]
+    fn emit_batch_stamps_and_delivers_like_per_event_emit() {
+        let make = || {
+            let mut evs = vec![net(1), net(2), net(3)];
+            evs[1].session = 3;
+            evs[2].shard = 9;
+            evs
+        };
+        let batched = {
+            let bus = Bus::new();
+            let probe = Rc::new(RefCell::new(Probe { seen: Vec::new() }));
+            bus.attach(&probe);
+            let mut evs = make();
+            bus.scoped(7).sharded(2).emit_batch(&mut evs);
+            assert!(evs.is_empty(), "batch vec is drained for reuse");
+            let seen = probe.borrow().seen.clone();
+            seen
+        };
+        let looped = {
+            let bus = Bus::new();
+            let probe = Rc::new(RefCell::new(Probe { seen: Vec::new() }));
+            bus.attach(&probe);
+            let handle = bus.scoped(7).sharded(2);
+            for ev in make() {
+                handle.emit(ev);
+            }
+            let seen = probe.borrow().seen.clone();
+            seen
+        };
+        assert_eq!(batched, looped);
+        let stamps: Vec<(u64, u32)> = batched.iter().map(|e| (e.session, e.shard)).collect();
+        assert_eq!(stamps, vec![(7, 2), (3, 2), (7, 9)]);
+    }
+
+    #[test]
+    fn default_accept_batch_forwards_each_event() {
+        let mut probe = Probe { seen: Vec::new() };
+        probe.accept_batch(&[net(1), net(2)]);
+        assert_eq!(probe.seen.len(), 2);
+        assert_eq!(probe.seen[1].at, SimTime::from_micros(2));
     }
 }

@@ -24,46 +24,112 @@ use crate::key::ObligationKey;
 use crate::time::SimTime;
 
 /// Records every event as one JSONL line.
-#[derive(Debug, Clone, Default)]
+///
+/// Lines accumulate in one contiguous newline-terminated buffer, so
+/// recording an event is an append into an amortized allocation rather
+/// than a fresh `String` per event. [`JsonlSink::streaming`] instead
+/// writes each line through a `BufWriter` and retains nothing in memory —
+/// the form a 100k-agent run uses to spill its trace to disk.
+#[derive(Default)]
 pub struct JsonlSink {
-    lines: Vec<String>,
+    /// The whole in-memory trace (streaming mode reuses it as scratch for
+    /// exactly one line at a time).
+    buf: String,
+    count: usize,
+    out: Option<std::io::BufWriter<Box<dyn std::io::Write>>>,
+    io_error: Option<std::io::Error>,
 }
 
 impl JsonlSink {
-    /// An empty trace.
+    /// An empty in-memory trace.
     pub fn new() -> Self {
         JsonlSink::default()
     }
 
-    /// The recorded lines, in emission order.
-    pub fn lines(&self) -> &[String] {
-        &self.lines
+    /// A sink that writes each line through a `BufWriter` over `w` instead
+    /// of retaining the trace in memory ([`JsonlSink::dump`] returns `""`).
+    /// Call [`JsonlSink::flush`] at end of run to drain the buffer and
+    /// surface the first I/O error, if any.
+    pub fn streaming(w: impl std::io::Write + 'static) -> Self {
+        JsonlSink {
+            buf: String::new(),
+            count: 0,
+            out: Some(std::io::BufWriter::new(Box::new(w))),
+            io_error: None,
+        }
+    }
+
+    /// The recorded lines, in emission order (empty in streaming mode).
+    pub fn lines(&self) -> impl Iterator<Item = &str> {
+        self.buf.lines()
     }
 
     /// Number of recorded lines.
     pub fn len(&self) -> usize {
-        self.lines.len()
+        self.count
     }
 
     /// True when nothing has been recorded.
     pub fn is_empty(&self) -> bool {
-        self.lines.is_empty()
+        self.count == 0
     }
 
     /// The whole trace as one newline-terminated string (a `.jsonl` file).
     pub fn dump(&self) -> String {
-        let mut out = String::new();
-        for line in &self.lines {
-            out.push_str(line);
-            out.push('\n');
+        match self.out {
+            None => self.buf.clone(),
+            Some(_) => String::new(),
         }
-        out
+    }
+
+    /// Flushes the underlying writer (no-op for an in-memory sink) and
+    /// reports the first I/O error encountered since the last call.
+    pub fn flush(&mut self) -> std::io::Result<()> {
+        if let Some(err) = self.io_error.take() {
+            return Err(err);
+        }
+        match self.out.as_mut() {
+            Some(w) => std::io::Write::flush(w),
+            None => Ok(()),
+        }
+    }
+
+    fn record(&mut self, ev: &Event) {
+        encode_event_into(&mut self.buf, ev);
+        self.buf.push('\n');
+        self.count += 1;
+        if let Some(w) = self.out.as_mut() {
+            if let Err(err) = std::io::Write::write_all(w, self.buf.as_bytes()) {
+                self.io_error.get_or_insert(err);
+            }
+            self.buf.clear();
+        }
+    }
+}
+
+impl std::fmt::Debug for JsonlSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JsonlSink")
+            .field("lines", &self.count)
+            .field("streaming", &self.out.is_some())
+            .finish()
     }
 }
 
 impl Sink for JsonlSink {
     fn accept(&mut self, ev: &Event) {
-        self.lines.push(encode_event(ev));
+        self.record(ev);
+    }
+
+    fn accept_batch(&mut self, evs: &[Event]) {
+        if self.out.is_none() {
+            // ~96 bytes/line is the codec's own sizing hint; one reserve
+            // up front keeps the batch append from re-growing mid-loop.
+            self.buf.reserve(evs.len() * 96);
+        }
+        for ev in evs {
+            self.record(ev);
+        }
     }
 }
 
@@ -85,13 +151,19 @@ fn esc(out: &mut String, s: &str) {
     out.push('"');
 }
 
-struct Obj {
-    buf: String,
+struct Obj<'a> {
+    buf: &'a mut String,
 }
 
-impl Obj {
-    fn new(at: SimTime, actor: u32, session: u64, shard: u32, kind: &str) -> Self {
-        let mut buf = String::with_capacity(96);
+impl<'a> Obj<'a> {
+    fn new(
+        buf: &'a mut String,
+        at: SimTime,
+        actor: u32,
+        session: u64,
+        shard: u32,
+        kind: &str,
+    ) -> Self {
         let _ = write!(buf, "{{\"at\":{},\"actor\":{}", at.as_micros(), actor);
         // Session 0 is elided so single-adaptation traces (including the
         // pinned golden trace) keep their pre-fleet byte-for-byte form.
@@ -107,7 +179,7 @@ impl Obj {
         Obj { buf }
     }
 
-    fn num(mut self, key: &str, v: u64) -> Self {
+    fn num(self, key: &str, v: u64) -> Self {
         let _ = write!(self.buf, ",\"{key}\":{v}");
         self
     }
@@ -119,18 +191,18 @@ impl Obj {
         }
     }
 
-    fn boolean(mut self, key: &str, v: bool) -> Self {
+    fn boolean(self, key: &str, v: bool) -> Self {
         let _ = write!(self.buf, ",\"{key}\":{v}");
         self
     }
 
-    fn string(mut self, key: &str, v: &str) -> Self {
+    fn string(self, key: &str, v: &str) -> Self {
         let _ = write!(self.buf, ",\"{key}\":");
-        esc(&mut self.buf, v);
+        esc(self.buf, v);
         self
     }
 
-    fn nums(mut self, key: &str, vs: impl Iterator<Item = u64>) -> Self {
+    fn nums(self, key: &str, vs: impl Iterator<Item = u64>) -> Self {
         let _ = write!(self.buf, ",\"{key}\":[");
         for (i, v) in vs.enumerate() {
             if i > 0 {
@@ -142,78 +214,105 @@ impl Obj {
         self
     }
 
-    fn finish(mut self) -> String {
+    fn finish(self) {
         self.buf.push('}');
-        self.buf
     }
 }
 
 /// Encodes one event as a single JSON line (no trailing newline).
+///
+/// Convenience wrapper over [`encode_event_into`] that allocates a fresh
+/// `String`; hot paths (fingerprinting, sinks) reuse a buffer instead.
 pub fn encode_event(ev: &Event) -> String {
-    let o = |kind: &str| Obj::new(ev.at, ev.actor, ev.session, ev.shard, kind);
+    let mut out = String::with_capacity(96);
+    encode_event_into(&mut out, ev);
+    out
+}
+
+/// Appends one event, encoded as a single JSON line (no trailing newline),
+/// to `out`. The caller owns the buffer, so a loop over many events can
+/// clear and reuse one allocation instead of building a `String` per event.
+pub fn encode_event_into(out: &mut String, ev: &Event) {
+    fn o<'b>(out: &'b mut String, ev: &Event, kind: &str) -> Obj<'b> {
+        Obj::new(out, ev.at, ev.actor, ev.session, ev.shard, kind)
+    }
     match &ev.payload {
         Payload::Net(n) => match n {
-            NetEvent::Sent { from, to } => {
-                o("net.sent").num("from", u64::from(*from)).num("to", u64::from(*to)).finish()
-            }
-            NetEvent::Delivered { from, to } => {
-                o("net.delivered").num("from", u64::from(*from)).num("to", u64::from(*to)).finish()
-            }
-            NetEvent::Dropped { from, to } => {
-                o("net.dropped").num("from", u64::from(*from)).num("to", u64::from(*to)).finish()
-            }
-            NetEvent::TimerFired { tag } => o("net.timer").num("tag", *tag).finish(),
-            NetEvent::Crashed => o("net.crashed").finish(),
-            NetEvent::Restarted => o("net.restarted").finish(),
+            NetEvent::Sent { from, to } => o(out, ev, "net.sent")
+                .num("from", u64::from(*from))
+                .num("to", u64::from(*to))
+                .finish(),
+            NetEvent::Delivered { from, to } => o(out, ev, "net.delivered")
+                .num("from", u64::from(*from))
+                .num("to", u64::from(*to))
+                .finish(),
+            NetEvent::Dropped { from, to } => o(out, ev, "net.dropped")
+                .num("from", u64::from(*from))
+                .num("to", u64::from(*to))
+                .finish(),
+            NetEvent::TimerFired { tag } => o(out, ev, "net.timer").num("tag", *tag).finish(),
+            NetEvent::Crashed => o(out, ev, "net.crashed").finish(),
+            NetEvent::Restarted => o(out, ev, "net.restarted").finish(),
         },
         Payload::Proto(p) => match p {
-            ProtoEvent::AgentState { from, to, step } => o("proto.agent")
+            ProtoEvent::AgentState { from, to, step } => o(out, ev, "proto.agent")
                 .string("from", from.as_str())
                 .string("to", to.as_str())
                 .opt_num("step", *step)
                 .finish(),
-            ProtoEvent::ManagerPhase { from, to, step } => o("proto.manager")
+            ProtoEvent::ManagerPhase { from, to, step } => o(out, ev, "proto.manager")
                 .string("from", from.as_str())
                 .string("to", to.as_str())
                 .opt_num("step", *step)
                 .finish(),
-            ProtoEvent::StepStarted { step, solo, participants } => o("proto.step_started")
-                .num("step", *step)
-                .boolean("solo", *solo)
-                .num("participants", u64::from(*participants))
-                .finish(),
-            ProtoEvent::StepCommitted { step } => {
-                o("proto.step_committed").num("step", *step).finish()
+            ProtoEvent::StepStarted { step, solo, participants } => {
+                o(out, ev, "proto.step_started")
+                    .num("step", *step)
+                    .boolean("solo", *solo)
+                    .num("participants", u64::from(*participants))
+                    .finish()
             }
-            ProtoEvent::TimeoutFired { phase, step, retries } => o("proto.timeout")
+            ProtoEvent::StepCommitted { step } => {
+                o(out, ev, "proto.step_committed").num("step", *step).finish()
+            }
+            ProtoEvent::TimeoutFired { phase, step, retries } => o(out, ev, "proto.timeout")
                 .string("phase", phase.as_str())
                 .opt_num("step", *step)
                 .num("retries", u64::from(*retries))
                 .finish(),
-            ProtoEvent::RetrySent { step, resends } => {
-                o("proto.retry").num("step", *step).num("resends", u64::from(*resends)).finish()
+            ProtoEvent::RetrySent { step, resends } => o(out, ev, "proto.retry")
+                .num("step", *step)
+                .num("resends", u64::from(*resends))
+                .finish(),
+            ProtoEvent::RollbackIssued { step } => {
+                o(out, ev, "proto.rollback").num("step", *step).finish()
             }
-            ProtoEvent::RollbackIssued { step } => o("proto.rollback").num("step", *step).finish(),
-            ProtoEvent::RejoinReceived { agent, last_completed } => o("proto.rejoin")
+            ProtoEvent::RejoinReceived { agent, last_completed } => o(out, ev, "proto.rejoin")
                 .num("agent", u64::from(*agent))
                 .opt_num("last", *last_completed)
                 .finish(),
-            ProtoEvent::OutcomeReached { success, gave_up, steps_committed } => o("proto.outcome")
-                .boolean("success", *success)
-                .boolean("gave_up", *gave_up)
-                .num("steps", *steps_committed)
-                .finish(),
-            ProtoEvent::JournalAppended { seq } => o("proto.journal").num("seq", *seq).finish(),
-            ProtoEvent::ManagerRestored { records, phase, step } => o("proto.manager_restored")
-                .num("records", *records)
-                .string("phase", phase.as_str())
-                .opt_num("step", *step)
-                .finish(),
+            ProtoEvent::OutcomeReached { success, gave_up, steps_committed } => {
+                o(out, ev, "proto.outcome")
+                    .boolean("success", *success)
+                    .boolean("gave_up", *gave_up)
+                    .num("steps", *steps_committed)
+                    .finish()
+            }
+            ProtoEvent::JournalAppended { seq } => {
+                o(out, ev, "proto.journal").num("seq", *seq).finish()
+            }
+            ProtoEvent::ManagerRestored { records, phase, step } => {
+                o(out, ev, "proto.manager_restored")
+                    .num("records", *records)
+                    .string("phase", phase.as_str())
+                    .opt_num("step", *step)
+                    .finish()
+            }
             ProtoEvent::StateQueried { agent } => {
-                o("proto.state_queried").num("agent", u64::from(*agent)).finish()
+                o(out, ev, "proto.state_queried").num("agent", u64::from(*agent)).finish()
             }
             ProtoEvent::StateReported { agent, engaged, adapted, failed, last_completed } => {
-                o("proto.state_reported")
+                o(out, ev, "proto.state_reported")
                     .num("agent", u64::from(*agent))
                     .opt_num("engaged", *engaged)
                     .boolean("adapted", *adapted)
@@ -223,150 +322,166 @@ pub fn encode_event(ev: &Event) -> String {
             }
         },
         Payload::Audit(a) => match a {
-            AuditEvent::SegmentStart { cid, comp } => {
-                o("audit.seg_start").num("cid", *cid).num("comp", comp.index() as u64).finish()
-            }
-            AuditEvent::SegmentEnd { cid, comp } => {
-                o("audit.seg_end").num("cid", *cid).num("comp", comp.index() as u64).finish()
-            }
-            AuditEvent::SegmentLost { cid, comp } => {
-                o("audit.seg_lost").num("cid", *cid).num("comp", comp.index() as u64).finish()
-            }
-            AuditEvent::InAction { label, comps } => o("audit.in_action")
+            AuditEvent::SegmentStart { cid, comp } => o(out, ev, "audit.seg_start")
+                .num("cid", *cid)
+                .num("comp", comp.index() as u64)
+                .finish(),
+            AuditEvent::SegmentEnd { cid, comp } => o(out, ev, "audit.seg_end")
+                .num("cid", *cid)
+                .num("comp", comp.index() as u64)
+                .finish(),
+            AuditEvent::SegmentLost { cid, comp } => o(out, ev, "audit.seg_lost")
+                .num("cid", *cid)
+                .num("comp", comp.index() as u64)
+                .finish(),
+            AuditEvent::InAction { label, comps } => o(out, ev, "audit.in_action")
                 .string("label", label)
                 .nums("comps", comps.iter().map(|c| c.index() as u64))
                 .finish(),
             AuditEvent::ConfigSnapshot { config } => {
-                o("audit.config").string("config", &config.to_bit_string()).finish()
+                o(out, ev, "audit.config").string("config", &config.to_bit_string()).finish()
             }
         },
         Payload::Temporal(t) => match t {
-            TemporalEvent::ObligationOpened { key, cid } => {
-                o("temporal.opened").string("key", &key.to_string()).num("cid", *cid).finish()
-            }
-            TemporalEvent::ObligationDischarged { key, cid } => {
-                o("temporal.discharged").string("key", &key.to_string()).num("cid", *cid).finish()
-            }
+            TemporalEvent::ObligationOpened { key, cid } => o(out, ev, "temporal.opened")
+                .string("key", &key.to_string())
+                .num("cid", *cid)
+                .finish(),
+            TemporalEvent::ObligationDischarged { key, cid } => o(out, ev, "temporal.discharged")
+                .string("key", &key.to_string())
+                .num("cid", *cid)
+                .finish(),
             TemporalEvent::SafePoint { index } => {
-                o("temporal.safe_point").num("index", *index).finish()
+                o(out, ev, "temporal.safe_point").num("index", *index).finish()
             }
         },
         Payload::Plan(p) => match p {
-            PlanEvent::PathSelected { rank, steps, cost } => o("plan.path")
+            PlanEvent::PathSelected { rank, steps, cost } => o(out, ev, "plan.path")
                 .num("rank", u64::from(*rank))
                 .num("steps", u64::from(*steps))
                 .num("cost", *cost)
                 .finish(),
             PlanEvent::PathsExhausted { returning_to_source } => {
-                o("plan.exhausted").boolean("to_source", *returning_to_source).finish()
+                o(out, ev, "plan.exhausted").boolean("to_source", *returning_to_source).finish()
             }
         },
         Payload::Fleet(fl) => match fl {
-            FleetEvent::SessionSubmitted { session, resources } => o("fleet.submitted")
+            FleetEvent::SessionSubmitted { session, resources } => o(out, ev, "fleet.submitted")
                 .num("id", *session)
                 .num("resources", u64::from(*resources))
                 .finish(),
-            FleetEvent::SessionAdmitted { session, queued_for } => {
-                o("fleet.admitted").num("id", *session).num("queued_for", *queued_for).finish()
-            }
-            FleetEvent::SessionQueued { session, position } => {
-                o("fleet.queued").num("id", *session).num("position", u64::from(*position)).finish()
-            }
+            FleetEvent::SessionAdmitted { session, queued_for } => o(out, ev, "fleet.admitted")
+                .num("id", *session)
+                .num("queued_for", *queued_for)
+                .finish(),
+            FleetEvent::SessionQueued { session, position } => o(out, ev, "fleet.queued")
+                .num("id", *session)
+                .num("position", u64::from(*position))
+                .finish(),
             FleetEvent::SessionCancelled { session } => {
-                o("fleet.cancelled").num("id", *session).finish()
+                o(out, ev, "fleet.cancelled").num("id", *session).finish()
             }
-            FleetEvent::SessionDone { session, success, gave_up } => o("fleet.done")
+            FleetEvent::SessionDone { session, success, gave_up } => o(out, ev, "fleet.done")
                 .num("id", *session)
                 .boolean("success", *success)
                 .boolean("gave_up", *gave_up)
                 .finish(),
-            FleetEvent::ControlRestored { active, queued } => o("fleet.restored")
+            FleetEvent::ControlRestored { active, queued } => o(out, ev, "fleet.restored")
                 .num("active", u64::from(*active))
                 .num("queued", u64::from(*queued))
                 .finish(),
             FleetEvent::PlanCacheHit { session } => {
-                o("fleet.cache_hit").num("id", *session).finish()
+                o(out, ev, "fleet.cache_hit").num("id", *session).finish()
             }
             FleetEvent::PlanCacheMiss { session } => {
-                o("fleet.cache_miss").num("id", *session).finish()
+                o(out, ev, "fleet.cache_miss").num("id", *session).finish()
             }
             FleetEvent::PlanCacheEvicted { session } => {
-                o("fleet.cache_evicted").num("id", *session).finish()
+                o(out, ev, "fleet.cache_evicted").num("id", *session).finish()
             }
-            FleetEvent::SessionShed { session, waited_us, retry_after_us } => o("fleet.shed")
+            FleetEvent::SessionShed { session, waited_us, retry_after_us } => {
+                o(out, ev, "fleet.shed")
+                    .num("id", *session)
+                    .num("waited_us", *waited_us)
+                    .num("retry_after_us", *retry_after_us)
+                    .finish()
+            }
+            FleetEvent::SessionRejected { session, agent } => o(out, ev, "fleet.rejected")
                 .num("id", *session)
-                .num("waited_us", *waited_us)
-                .num("retry_after_us", *retry_after_us)
+                .num("agent", u64::from(*agent))
                 .finish(),
-            FleetEvent::SessionRejected { session, agent } => {
-                o("fleet.rejected").num("id", *session).num("agent", u64::from(*agent)).finish()
-            }
-            FleetEvent::BreakerOpened { agent, cooldown_us } => o("fleet.breaker_open")
+            FleetEvent::BreakerOpened { agent, cooldown_us } => o(out, ev, "fleet.breaker_open")
                 .num("agent", u64::from(*agent))
                 .num("cooldown_us", *cooldown_us)
                 .finish(),
             FleetEvent::BreakerProbed { agent } => {
-                o("fleet.breaker_probe").num("agent", u64::from(*agent)).finish()
+                o(out, ev, "fleet.breaker_probe").num("agent", u64::from(*agent)).finish()
             }
             FleetEvent::BreakerClosed { agent } => {
-                o("fleet.breaker_close").num("agent", u64::from(*agent)).finish()
+                o(out, ev, "fleet.breaker_close").num("agent", u64::from(*agent)).finish()
             }
-            FleetEvent::ScopeBreakerOpened { scope, cooldown_us } => o("fleet.scope_breaker_open")
-                .num("scope", *scope)
-                .num("cooldown_us", *cooldown_us)
-                .finish(),
+            FleetEvent::ScopeBreakerOpened { scope, cooldown_us } => {
+                o(out, ev, "fleet.scope_breaker_open")
+                    .num("scope", *scope)
+                    .num("cooldown_us", *cooldown_us)
+                    .finish()
+            }
             FleetEvent::ScopeBreakerProbed { scope } => {
-                o("fleet.scope_breaker_probe").num("scope", *scope).finish()
+                o(out, ev, "fleet.scope_breaker_probe").num("scope", *scope).finish()
             }
             FleetEvent::ScopeBreakerClosed { scope } => {
-                o("fleet.scope_breaker_close").num("scope", *scope).finish()
+                o(out, ev, "fleet.scope_breaker_close").num("scope", *scope).finish()
             }
             FleetEvent::ScopeRejected { session, scope } => {
-                o("fleet.scope_rejected").num("id", *session).num("scope", *scope).finish()
+                o(out, ev, "fleet.scope_rejected").num("id", *session).num("scope", *scope).finish()
             }
-            FleetEvent::TimeoutAdapted { agent, srtt_us, rto_us } => o("fleet.rto")
+            FleetEvent::TimeoutAdapted { agent, srtt_us, rto_us } => o(out, ev, "fleet.rto")
                 .num("agent", u64::from(*agent))
                 .num("srtt_us", *srtt_us)
                 .num("rto_us", *rto_us)
                 .finish(),
-            FleetEvent::FabricDropped { src, dst, seq } => o("fleet.fabric_drop")
+            FleetEvent::FabricDropped { src, dst, seq } => o(out, ev, "fleet.fabric_drop")
                 .num("src", u64::from(*src))
                 .num("dst", u64::from(*dst))
                 .num("seq", *seq)
                 .finish(),
-            FleetEvent::FabricDuplicated { src, dst, seq } => o("fleet.fabric_dup")
+            FleetEvent::FabricDuplicated { src, dst, seq } => o(out, ev, "fleet.fabric_dup")
                 .num("src", u64::from(*src))
                 .num("dst", u64::from(*dst))
                 .num("seq", *seq)
                 .finish(),
-            FleetEvent::FabricDelayed { src, dst, seq, quanta } => o("fleet.fabric_delay")
+            FleetEvent::FabricDelayed { src, dst, seq, quanta } => o(out, ev, "fleet.fabric_delay")
                 .num("src", u64::from(*src))
                 .num("dst", u64::from(*dst))
                 .num("seq", *seq)
                 .num("quanta", u64::from(*quanta))
                 .finish(),
-            FleetEvent::FabricRetransmit { session, region, attempt } => o("fleet.fabric_retx")
-                .num("id", *session)
-                .num("region", u64::from(*region))
-                .num("attempt", u64::from(*attempt))
-                .finish(),
-            FleetEvent::LeaseReclaimed { session, region, epoch } => o("fleet.lease_reclaim")
-                .num("id", *session)
-                .num("region", u64::from(*region))
-                .num("epoch", *epoch)
-                .finish(),
+            FleetEvent::FabricRetransmit { session, region, attempt } => {
+                o(out, ev, "fleet.fabric_retx")
+                    .num("id", *session)
+                    .num("region", u64::from(*region))
+                    .num("attempt", u64::from(*attempt))
+                    .finish()
+            }
+            FleetEvent::LeaseReclaimed { session, region, epoch } => {
+                o(out, ev, "fleet.lease_reclaim")
+                    .num("id", *session)
+                    .num("region", u64::from(*region))
+                    .num("epoch", *epoch)
+                    .finish()
+            }
             FleetEvent::StraddlerAbandoned { session, region, attempts } => {
-                o("fleet.straddler_abandoned")
+                o(out, ev, "fleet.straddler_abandoned")
                     .num("id", *session)
                     .num("region", u64::from(*region))
                     .num("attempts", u64::from(*attempts))
                     .finish()
             }
-            FleetEvent::DomainTagged { domain, objective } => o("fleet.domain")
+            FleetEvent::DomainTagged { domain, objective } => o(out, ev, "fleet.domain")
                 .num("domain", u64::from(*domain))
                 .num("objective", u64::from(*objective))
                 .finish(),
-            FleetEvent::LeaseExpired { session, region } => o("fleet.lease_expired")
+            FleetEvent::LeaseExpired { session, region } => o(out, ev, "fleet.lease_expired")
                 .num("id", *session)
                 .num("region", u64::from(*region))
                 .finish(),
@@ -1131,6 +1246,70 @@ mod tests {
         assert_eq!(sink.len(), 1);
         let dump = sink.dump();
         assert!(dump.ends_with('\n'));
-        assert_eq!(decode_lines(&dump).unwrap(), vec![ev]);
+        assert_eq!(decode_lines(&dump).unwrap(), vec![ev.clone()]);
+        assert_eq!(sink.lines().collect::<Vec<_>>(), vec![encode_event(&ev)]);
+        assert!(sink.flush().is_ok());
+    }
+
+    #[test]
+    fn jsonl_sink_batch_matches_per_event_accept() {
+        let evs: Vec<Event> = (0..5)
+            .map(|i| Event {
+                at: SimTime::from_micros(i),
+                actor: i as u32,
+                session: i % 2,
+                shard: 0,
+                payload: Payload::Net(NetEvent::TimerFired { tag: i }),
+            })
+            .collect();
+        let mut looped = JsonlSink::new();
+        for ev in &evs {
+            looped.accept(ev);
+        }
+        let mut batched = JsonlSink::new();
+        batched.accept_batch(&evs);
+        assert_eq!(batched.dump(), looped.dump());
+        assert_eq!(batched.len(), looped.len());
+    }
+
+    #[test]
+    fn streaming_jsonl_sink_writes_through_and_retains_nothing() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        /// Shared byte buffer standing in for a trace file.
+        #[derive(Clone, Default)]
+        struct Shared(Rc<RefCell<Vec<u8>>>);
+        impl std::io::Write for Shared {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0.borrow_mut().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let file = Shared::default();
+        let mut streamed = JsonlSink::streaming(file.clone());
+        let mut recorded = JsonlSink::new();
+        let evs: Vec<Event> = (0..3)
+            .map(|i| Event {
+                at: SimTime::from_micros(i),
+                actor: 0,
+                session: 0,
+                shard: i as u32,
+                payload: Payload::Net(NetEvent::Crashed),
+            })
+            .collect();
+        streamed.accept(&evs[0]);
+        streamed.accept_batch(&evs[1..]);
+        for ev in &evs {
+            recorded.accept(ev);
+        }
+        assert_eq!(streamed.len(), 3);
+        assert_eq!(streamed.dump(), "", "streaming retains nothing in memory");
+        streamed.flush().unwrap();
+        assert_eq!(String::from_utf8(file.0.borrow().clone()).unwrap(), recorded.dump());
     }
 }

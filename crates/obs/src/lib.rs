@@ -35,7 +35,7 @@ mod sinks;
 mod time;
 
 pub use bus::{Bus, Sink};
-pub use codec::{decode_event, decode_lines, encode_event, JsonlSink};
+pub use codec::{decode_event, decode_lines, encode_event, encode_event_into, JsonlSink};
 pub use event::{
     AgentStateTag, Event, FleetEvent, ManagerPhaseTag, NetEvent, Payload, PlanEvent, ProtoEvent,
     TemporalEvent, NO_ACTOR, NO_SESSION, NO_SHARD,

@@ -60,6 +60,20 @@ impl Sink for RingSink {
         }
         self.buf.push_back(ev.clone());
     }
+
+    fn accept_batch(&mut self, evs: &[Event]) {
+        self.seen += evs.len() as u64;
+        if self.capacity == 0 {
+            return;
+        }
+        // Only the last `capacity` events of the batch can survive; skip
+        // straight to them instead of cloning events that would be evicted
+        // before the batch even finishes.
+        let keep = &evs[evs.len().saturating_sub(self.capacity)..];
+        let evict = (self.buf.len() + keep.len()).saturating_sub(self.capacity);
+        self.buf.drain(..evict);
+        self.buf.extend(keep.iter().cloned());
+    }
 }
 
 /// Counts events per layer and per network kind without retaining them —
@@ -191,6 +205,33 @@ mod tests {
         ring.accept(&ev(1, Payload::Net(NetEvent::Crashed)));
         assert!(ring.is_empty());
         assert_eq!(ring.total_seen(), 1);
+    }
+
+    #[test]
+    fn ring_accept_batch_matches_per_event_accept() {
+        let batch: Vec<Event> =
+            (0..7).map(|i| ev(i, Payload::Net(NetEvent::TimerFired { tag: i }))).collect();
+        for cap in [0, 1, 2, 3, 7, 10] {
+            let mut looped = RingSink::new(cap);
+            for e in &batch {
+                looped.accept(e);
+            }
+            let mut batched = RingSink::new(cap);
+            batched.accept_batch(&batch);
+            assert_eq!(batched.events(), looped.events(), "capacity {cap}");
+            assert_eq!(batched.total_seen(), looped.total_seen(), "capacity {cap}");
+        }
+        // A second batch on a pre-populated ring exercises the drain path.
+        let mut looped = RingSink::new(4);
+        let mut batched = RingSink::new(4);
+        for sink in [&mut looped, &mut batched] {
+            sink.accept_batch(&batch[..3]);
+        }
+        for e in &batch {
+            looped.accept(e);
+        }
+        batched.accept_batch(&batch);
+        assert_eq!(batched.events(), looped.events());
     }
 
     #[test]

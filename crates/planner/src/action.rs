@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use sada_expr::Config;
+use sada_expr::{CompId, Config};
 
 /// Identifies an adaptive action within an adaptation specification.
 ///
@@ -32,12 +32,18 @@ impl fmt::Display for ActionId {
 /// The paper's cost model folds blocking time, adaptation duration, packet
 /// delay and resource use into one scalar per action (Table 2's "Cost (ms)"
 /// column); we keep that scalar as an opaque `u64` weight.
+///
+/// The removed/added sets are stored as sorted id lists, not width-wide
+/// bitsets: an action touches a handful of components regardless of how
+/// many the world declares, so a 200k-action repertoire over a 200k-wide
+/// universe stays megabytes instead of gigabytes, and `applicable`/`apply`
+/// cost O(touched) instead of O(width).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Action {
     id: ActionId,
     name: String,
-    removes: Config,
-    adds: Config,
+    removes: Vec<CompId>,
+    adds: Vec<CompId>,
     cost: u64,
 }
 
@@ -53,20 +59,41 @@ impl Action {
         Action {
             id: ActionId(id),
             name: name.to_string(),
-            removes: removes.clone(),
-            adds: adds.clone(),
+            removes: removes.iter().collect(),
+            adds: adds.iter().collect(),
             cost,
         }
     }
 
+    /// Builds an action directly from component id lists (sorted for the
+    /// caller), skipping the width-wide `Config` round trip.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two sets overlap after sorting/deduplication.
+    pub fn from_ids(
+        id: u32,
+        name: &str,
+        mut removes: Vec<CompId>,
+        mut adds: Vec<CompId>,
+        cost: u64,
+    ) -> Self {
+        removes.sort_unstable();
+        removes.dedup();
+        adds.sort_unstable();
+        adds.dedup();
+        assert!(sorted_disjoint(&removes, &adds), "action {name}: removes and adds overlap");
+        Action { id: ActionId(id), name: name.to_string(), removes, adds, cost }
+    }
+
     /// An insertion (`+C`): adds components, removes nothing.
     pub fn insert(id: u32, name: &str, adds: &Config, cost: u64) -> Self {
-        Action::new(id, name, &Config::empty(adds.width()), adds, cost)
+        Action::from_ids(id, name, Vec::new(), adds.iter().collect(), cost)
     }
 
     /// A removal (`-C`): removes components, adds nothing.
     pub fn remove(id: u32, name: &str, removes: &Config, cost: u64) -> Self {
-        Action::new(id, name, removes, &Config::empty(removes.width()), cost)
+        Action::from_ids(id, name, removes.iter().collect(), Vec::new(), cost)
     }
 
     /// A replacement (`Old -> New`).
@@ -84,13 +111,13 @@ impl Action {
         &self.name
     }
 
-    /// Components this action removes.
-    pub fn removes(&self) -> &Config {
+    /// Components this action removes, ascending.
+    pub fn removes(&self) -> &[CompId] {
         &self.removes
     }
 
-    /// Components this action adds.
-    pub fn adds(&self) -> &Config {
+    /// Components this action adds, ascending.
+    pub fn adds(&self) -> &[CompId] {
         &self.adds
     }
 
@@ -99,16 +126,52 @@ impl Action {
         self.cost
     }
 
-    /// Every component the action touches (removed or added) — the set whose
-    /// hosting processes must participate in the adaptation step.
-    pub fn touched(&self) -> Config {
-        self.removes.union(&self.adds)
+    /// Every component the action touches (removed or added), ascending —
+    /// the set whose hosting processes must participate in the adaptation
+    /// step.
+    pub fn touched_ids(&self) -> Vec<CompId> {
+        let mut out = Vec::with_capacity(self.removes.len() + self.adds.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.removes.len() && j < self.adds.len() {
+            if self.removes[i] < self.adds[j] {
+                out.push(self.removes[i]);
+                i += 1;
+            } else {
+                out.push(self.adds[j]);
+                j += 1;
+            }
+        }
+        out.extend_from_slice(&self.removes[i..]);
+        out.extend_from_slice(&self.adds[j..]);
+        out
+    }
+
+    /// Number of distinct components the action touches.
+    pub fn touched_len(&self) -> usize {
+        // Disjointness is a construction invariant, so the union size is
+        // just the sum.
+        self.removes.len() + self.adds.len()
+    }
+
+    /// The touched set as a width-wide `Config` (for participant-process
+    /// queries and tests that want set algebra).
+    pub fn touched_config(&self, width: usize) -> Config {
+        let mut cfg = Config::empty(width);
+        for &c in self.removes.iter().chain(self.adds.iter()) {
+            cfg.insert(c);
+        }
+        cfg
+    }
+
+    /// True when every component the action touches lies inside `scope`.
+    pub fn touches_only(&self, scope: &Config) -> bool {
+        self.removes.iter().chain(self.adds.iter()).all(|&c| scope.contains(c))
     }
 
     /// An action applies to `cfg` when everything it removes is present and
     /// everything it adds is absent.
     pub fn applicable(&self, cfg: &Config) -> bool {
-        self.removes.is_subset(cfg) && self.adds.is_disjoint(cfg)
+        self.removes.iter().all(|&c| cfg.contains(c)) && self.adds.iter().all(|&c| !cfg.contains(c))
     }
 
     /// `adapt(config1) = config2` (Section 3.1).
@@ -119,7 +182,14 @@ impl Action {
     /// check [`Action::applicable`] (the SAG builder and planners do).
     pub fn apply(&self, cfg: &Config) -> Config {
         assert!(self.applicable(cfg), "action {} not applicable to {cfg}", self.name);
-        cfg.difference(&self.removes).union(&self.adds)
+        let mut next = cfg.clone();
+        for &c in &self.removes {
+            next.remove(c);
+        }
+        for &c in &self.adds {
+            next.insert(c);
+        }
+        next
     }
 
     /// The inverse action, used by the realization phase's rollback: undoes
@@ -133,6 +203,18 @@ impl Action {
             cost: self.cost,
         }
     }
+}
+
+fn sorted_disjoint(a: &[CompId], b: &[CompId]) -> bool {
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => return false,
+        }
+    }
+    true
 }
 
 impl fmt::Display for Action {
@@ -193,7 +275,21 @@ mod tests {
             &u.config_of(&["D2", "E2"]),
             100,
         );
-        assert_eq!(a.touched(), u.config_of(&["D1", "E1", "D2", "E2"]));
+        assert_eq!(a.touched_config(u.len()), u.config_of(&["D1", "E1", "D2", "E2"]));
+        assert_eq!(a.touched_len(), 4);
+        let ids = a.touched_ids();
+        assert!(ids.windows(2).all(|w| w[0] < w[1]), "touched ids ascend");
+        assert_eq!(ids.len(), 4);
+    }
+
+    #[test]
+    fn from_ids_sorts_and_matches_config_construction() {
+        let u = u();
+        let via_cfg = Action::replace(3, "swap", &u.config_of(&["E1"]), &u.config_of(&["E2"]), 7);
+        let e1 = u.id("E1").unwrap();
+        let e2 = u.id("E2").unwrap();
+        let via_ids = Action::from_ids(3, "swap", vec![e1], vec![e2], 7);
+        assert_eq!(via_cfg, via_ids);
     }
 
     #[test]

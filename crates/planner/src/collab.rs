@@ -85,8 +85,7 @@ pub fn collaborative_sets(
         }
     }
     for action in actions {
-        let touched: Vec<CompId> = action.touched().iter().collect();
-        for w in touched.windows(2) {
+        for w in action.touched_ids().windows(2) {
             uf.union(w[0].index(), w[1].index());
         }
     }

@@ -42,9 +42,9 @@ impl ActionIndex {
         let mut by_absent = vec![Vec::new(); width];
         let mut always = Vec::new();
         for (ix, action) in actions.iter().enumerate() {
-            if let Some(pivot) = action.removes().iter().next() {
+            if let Some(pivot) = action.removes().first() {
                 by_present[pivot.index()].push(ix as u32);
-            } else if let Some(pivot) = action.adds().iter().next() {
+            } else if let Some(pivot) = action.adds().first() {
                 by_absent[pivot.index()].push(ix as u32);
             } else {
                 always.push(ix as u32);

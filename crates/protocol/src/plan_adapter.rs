@@ -53,11 +53,11 @@ impl SagPlanner {
     fn locals_for(&self, action: &Action) -> Vec<(usize, LocalAction)> {
         let needs_drain = self.drain_actions.contains(&action.id());
         let mut per_agent: BTreeMap<usize, (Vec<CompId>, Vec<CompId>)> = BTreeMap::new();
-        for comp in action.removes().iter() {
+        for &comp in action.removes() {
             let p = self.model.host_of(comp).expect("touched component must be placed");
             per_agent.entry(self.agent_of_process[p.index()]).or_default().0.push(comp);
         }
-        for comp in action.adds().iter() {
+        for &comp in action.adds() {
             let p = self.model.host_of(comp).expect("touched component must be placed");
             per_agent.entry(self.agent_of_process[p.index()]).or_default().1.push(comp);
         }

@@ -103,12 +103,12 @@ fn replay_applied(
         let (rm, add) = if fwd { (act.removes(), act.adds()) } else { (act.adds(), act.removes()) };
         // Apply only this agent's share; since both agents report the same
         // action id for pair actions, apply component-wise idempotently.
-        for c in rm.iter() {
+        for &c in rm {
             if cfg.contains(c) {
                 cfg.remove(c);
             }
         }
-        for c in add.iter() {
+        for &c in add {
             if !cfg.contains(c) {
                 cfg.insert(c);
             }

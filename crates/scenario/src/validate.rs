@@ -25,7 +25,6 @@ use std::collections::BTreeSet;
 use std::rc::Rc;
 
 use sada_fleet::{FleetWorld, ScopeNormalizer, ScopedLazyPlanner};
-use sada_plan::Action;
 use sada_proto::AdaptationPlanner;
 
 use crate::gen::GeneratedScenario;
@@ -47,13 +46,11 @@ pub fn validate(scenario: &GeneratedScenario) -> Result<(), String> {
             ));
         }
         // The same scoped action filter the control plane applies.
-        let mut in_scope = world.universe.empty_config();
-        for &c in &scope {
-            in_scope.insert(c);
-        }
-        let scoped: Vec<Action> =
-            world.actions.iter().filter(|a| a.touched().is_subset(&in_scope)).cloned().collect();
-        if ScopeNormalizer::new(&world.inv, world.universe.len(), &scope, &scoped).is_none() {
+        let scoped_ixs = world.search.scoped_action_ixs(&scope);
+        let scoped = scoped_ixs.iter().map(|&ix| &world.actions[ix as usize]);
+        if ScopeNormalizer::from_compiled(&world.inv, world.search.compiled(), &scope, scoped)
+            .is_none()
+        {
             return Err(format!("cluster {g}: scope does not normalize (cache-ineligible)"));
         }
         // Reachability, both directions, with per-step safety.

@@ -56,7 +56,7 @@ proptest! {
             let scoped: Vec<Action> = world
                 .actions
                 .iter()
-                .filter(|a| a.touched().is_subset(&in_scope))
+                .filter(|a| a.touches_only(&in_scope))
                 .cloned()
                 .collect();
             prop_assert!(!scoped.is_empty(), "cluster {} has no in-scope actions", g);

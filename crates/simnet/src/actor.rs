@@ -107,6 +107,42 @@ pub trait Actor<M>: AsAny {
     }
 }
 
+/// A struct-of-arrays actor family: one boxed object backing many
+/// registered actors ("members"), each addressed by a dense member index.
+///
+/// Members are registered with `Simulator::add_arena_member` and are
+/// indistinguishable from solo actors on the wire: each gets its own
+/// [`ActorId`], name, crash/incarnation state, link configuration, and
+/// event stamps. Only the *state storage* is shared, which lets a
+/// 100k-agent fleet keep its per-agent state in parallel flat vectors
+/// instead of 100k separately boxed actors.
+pub trait ArenaActor<M>: AsAny {
+    /// Called once per member, at `SimTime::ZERO`, before any message flows.
+    fn on_start(&mut self, member: u32, ctx: &mut Context<'_, M>) {
+        let _ = (member, ctx);
+    }
+
+    /// Called when a message addressed to `member` is delivered.
+    fn on_message(&mut self, member: u32, ctx: &mut Context<'_, M>, from: ActorId, msg: M);
+
+    /// Called when a timer armed by `member` fires.
+    fn on_timer(&mut self, member: u32, ctx: &mut Context<'_, M>, tag: u64) {
+        let _ = (member, ctx, tag);
+    }
+
+    /// Called when fault injection crashes `member` (no [`Context`]: a dead
+    /// process takes no actions).
+    fn on_crash(&mut self, member: u32, now: SimTime) {
+        let _ = (member, now);
+    }
+
+    /// Called when fault injection restarts `member` after a crash.
+    /// Defaults to re-running [`ArenaActor::on_start`] for that member.
+    fn on_restart(&mut self, member: u32, ctx: &mut Context<'_, M>) {
+        self.on_start(member, ctx);
+    }
+}
+
 /// Deferred side effects produced by an actor callback.
 #[derive(Debug)]
 pub(crate) enum Op<M> {

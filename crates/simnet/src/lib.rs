@@ -67,11 +67,13 @@ mod fault;
 mod link;
 mod sim;
 mod trace;
+mod wheel;
 
-pub use actor::{Actor, ActorId, AsAny, Context, TimerId};
+pub use actor::{Actor, ActorId, ArenaActor, AsAny, Context, TimerId};
 pub use fault::{chaos, ChaosOpts, Fault, FaultPlan, MsgPattern};
 pub use link::LinkConfig;
-pub use sim::{GroupId, NetStats, Simulator};
+pub use sim::{ArenaId, GroupId, NetStats, Simulator};
+pub use wheel::TimerWheel;
 // The clock lives in the observability spine so every layer shares it; the
 // historical `sada_simnet::SimTime` path keeps working via this re-export.
 pub use sada_obs::{SimDuration, SimTime};

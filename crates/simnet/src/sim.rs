@@ -1,23 +1,27 @@
 //! The event loop: queue, links, groups, and actor dispatch.
 
 use std::cell::RefCell;
-use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::collections::{HashMap, HashSet};
 use std::rc::Rc;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use sada_obs::{Bus, NetEvent, Payload, SimDuration, SimTime};
+use sada_obs::{Bus, Event as ObsEvent, NetEvent, Payload, SimDuration, SimTime};
 
-use crate::actor::{Actor, ActorId, Context, Op, TimerId};
+use crate::actor::{Actor, ActorId, ArenaActor, Context, Op, TimerId};
 use crate::fault::{Fault, FaultPlan, MsgPattern};
 use crate::link::LinkConfig;
 use crate::trace::{TraceEvent, TraceSink};
+use crate::wheel::TimerWheel;
 
 /// Identifies a multicast group created with [`Simulator::create_group`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct GroupId(u32);
+
+/// Identifies an actor arena created with [`Simulator::add_arena`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ArenaId(u32);
 
 /// Aggregate network counters for a run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -64,28 +68,17 @@ enum EventKind<M> {
     Fault(FaultAction),
 }
 
-struct Event<M> {
-    at: SimTime,
-    seq: u64,
-    kind: EventKind<M>,
+/// How a registered [`ActorId`] is backed: its own boxed object, or one
+/// member slot of a shared [`ArenaActor`].
+enum ActorSlot<M> {
+    Solo(Option<Box<dyn Actor<M>>>),
+    Member { arena: u32, member: u32 },
 }
 
-impl<M> PartialEq for Event<M> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl<M> Eq for Event<M> {}
-impl<M> PartialOrd for Event<M> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<M> Ord for Event<M> {
-    // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops first.
-    fn cmp(&self, other: &Self) -> Ordering {
-        (other.at, other.seq).cmp(&(self.at, self.seq))
-    }
+/// An actor checked out of its slot for the duration of one callback.
+enum Taken<M> {
+    Solo(Box<dyn Actor<M>>),
+    Arena(Box<dyn ArenaActor<M>>, u32, u32),
 }
 
 /// A deterministic discrete-event simulator over message type `M`.
@@ -100,10 +93,16 @@ type Sizer<M> = Box<dyn Fn(&M) -> usize>;
 pub struct Simulator<M> {
     now: SimTime,
     seq: u64,
-    queue: BinaryHeap<Event<M>>,
-    actors: Vec<Option<Box<dyn Actor<M>>>>,
+    queue: TimerWheel<EventKind<M>>,
+    actors: Vec<ActorSlot<M>>,
+    arenas: Vec<Option<Box<dyn ArenaActor<M>>>>,
     names: Vec<String>,
     started: Vec<bool>,
+    /// Registration-ordered ids not yet started, so `ensure_started` is
+    /// O(new actors) instead of a full scan per step.
+    unstarted: Vec<u32>,
+    /// Net events buffered within one dispatch, delivered as a batch.
+    net_buf: Vec<ObsEvent>,
     links: HashMap<(ActorId, ActorId), LinkConfig>,
     default_link: LinkConfig,
     link_busy_until: HashMap<(ActorId, ActorId), SimTime>,
@@ -129,10 +128,13 @@ impl<M: Clone + 'static> Simulator<M> {
         Simulator {
             now: SimTime::ZERO,
             seq: 0,
-            queue: BinaryHeap::new(),
+            queue: TimerWheel::new(),
             actors: Vec::new(),
+            arenas: Vec::new(),
             names: Vec::new(),
             started: Vec::new(),
+            unstarted: Vec::new(),
+            net_buf: Vec::new(),
             links: HashMap::new(),
             default_link: LinkConfig::default(),
             link_busy_until: HashMap::new(),
@@ -158,13 +160,45 @@ impl<M: Clone + 'static> Simulator<M> {
     /// `on_start` runs when the simulation first runs (or immediately, at the
     /// current virtual time, if the run already began).
     pub fn add_actor<A: Actor<M> + 'static>(&mut self, name: &str, actor: A) -> ActorId {
+        self.register(name, ActorSlot::Solo(Some(Box::new(actor))))
+    }
+
+    fn register(&mut self, name: &str, slot: ActorSlot<M>) -> ActorId {
         let id = ActorId(self.actors.len() as u32);
-        self.actors.push(Some(Box::new(actor)));
+        self.actors.push(slot);
         self.names.push(name.to_string());
         self.started.push(false);
         self.incarnation.push(0);
         self.crashed.push(false);
+        self.unstarted.push(id.0);
         id
+    }
+
+    /// Registers a struct-of-arrays actor family; members are added with
+    /// [`Simulator::add_arena_member`]. The arena itself has no id on the
+    /// wire — only its members do.
+    pub fn add_arena<A: ArenaActor<M> + 'static>(&mut self, arena: A) -> ArenaId {
+        let id = ArenaId(self.arenas.len() as u32);
+        self.arenas.push(Some(Box::new(arena)));
+        id
+    }
+
+    /// Registers one member of `arena` under `name` and returns its
+    /// [`ActorId`] — assigned from the same dense sequence as solo actors,
+    /// so interleaving the two styles preserves id layout.
+    pub fn add_arena_member(&mut self, name: &str, arena: ArenaId, member: u32) -> ActorId {
+        assert!((arena.0 as usize) < self.arenas.len(), "unknown arena {arena:?}");
+        self.register(name, ActorSlot::Member { arena: arena.0, member })
+    }
+
+    /// Immutable, downcast access to an arena's shared state.
+    pub fn arena<T: ArenaActor<M> + 'static>(&self, id: ArenaId) -> Option<&T> {
+        self.arenas.get(id.0 as usize)?.as_ref()?.as_any().downcast_ref::<T>()
+    }
+
+    /// Mutable, downcast access to an arena's shared state.
+    pub fn arena_mut<T: ArenaActor<M> + 'static>(&mut self, id: ArenaId) -> Option<&mut T> {
+        self.arenas.get_mut(id.0 as usize)?.as_mut()?.as_any_mut().downcast_mut::<T>()
     }
 
     /// Returns the registration name of `id`.
@@ -186,12 +220,41 @@ impl<M: Clone + 'static> Simulator<M> {
     /// Returns `None` if the id is unknown, the actor is mid-callback, or the
     /// concrete type is not `T`.
     pub fn actor<T: Actor<M> + 'static>(&self, id: ActorId) -> Option<&T> {
-        self.actors.get(id.index())?.as_ref()?.as_any().downcast_ref::<T>()
+        match self.actors.get(id.index())? {
+            ActorSlot::Solo(slot) => slot.as_ref()?.as_any().downcast_ref::<T>(),
+            ActorSlot::Member { .. } => None,
+        }
     }
 
     /// Mutable, downcast access to an actor's state.
     pub fn actor_mut<T: Actor<M> + 'static>(&mut self, id: ActorId) -> Option<&mut T> {
-        self.actors.get_mut(id.index())?.as_mut()?.as_any_mut().downcast_mut::<T>()
+        match self.actors.get_mut(id.index())? {
+            ActorSlot::Solo(slot) => slot.as_mut()?.as_any_mut().downcast_mut::<T>(),
+            ActorSlot::Member { .. } => None,
+        }
+    }
+
+    /// Checks an actor out of its slot for one callback; arena members
+    /// check out their whole arena (put back before the next dispatch).
+    fn take_actor(&mut self, ix: usize) -> Option<Taken<M>> {
+        match self.actors.get_mut(ix)? {
+            ActorSlot::Solo(slot) => slot.take().map(Taken::Solo),
+            ActorSlot::Member { arena, member } => {
+                let (a, m) = (*arena, *member);
+                self.arenas[a as usize].take().map(|boxed| Taken::Arena(boxed, a, m))
+            }
+        }
+    }
+
+    fn put_back(&mut self, ix: usize, taken: Taken<M>) {
+        match taken {
+            Taken::Solo(boxed) => {
+                if let ActorSlot::Solo(slot) = &mut self.actors[ix] {
+                    *slot = Some(boxed);
+                }
+            }
+            Taken::Arena(boxed, arena, _) => self.arenas[arena as usize] = Some(boxed),
+        }
     }
 
     /// Sets the link used for pairs without an explicit configuration.
@@ -246,6 +309,7 @@ impl<M: Clone + 'static> Simulator<M> {
     /// run. If tracing is enabled its sink follows the simulator onto the
     /// new bus.
     pub fn set_bus(&mut self, bus: Bus) {
+        self.flush_net();
         if self.trace_enabled {
             self.bus.detach(&self.trace_sink);
         }
@@ -311,11 +375,35 @@ impl<M: Clone + 'static> Simulator<M> {
         {
             self.stats.dropped += 1;
             self.emit_net(to, NetEvent::Dropped { from: from.0, to: to.0 });
+            self.flush_net();
             return;
         }
         let at = self.now + delay;
         let inc = self.incarnation[to.index()];
         self.push_event(at, EventKind::Deliver { from, to, inc, msg });
+    }
+
+    /// Batched [`Simulator::inject`]: schedules every message in `msgs`
+    /// (from `from` to `to`, all after the same `delay`) with consecutive
+    /// sequence numbers — bitwise identical to a loop of single injects,
+    /// with the crash/partition check hoisted out of the loop.
+    pub fn inject_batch(&mut self, from: ActorId, to: ActorId, msgs: Vec<M>, delay: SimDuration) {
+        if to.index() >= self.actors.len()
+            || self.crashed[to.index()]
+            || self.link(from, to).partitioned
+        {
+            for _ in &msgs {
+                self.stats.dropped += 1;
+                self.emit_net(to, NetEvent::Dropped { from: from.0, to: to.0 });
+            }
+            self.flush_net();
+            return;
+        }
+        let at = self.now + delay;
+        let inc = self.incarnation[to.index()];
+        for msg in msgs {
+            self.push_event(at, EventKind::Deliver { from, to, inc, msg });
+        }
     }
 
     /// Installs every fault in `plan`: crash/restart and partition windows
@@ -372,43 +460,76 @@ impl<M: Clone + 'static> Simulator<M> {
         self.incarnation.get(id.index()).copied().unwrap_or(0)
     }
 
-    /// Emits a network event onto the bus, stamped with the current virtual
-    /// time and `actor` as the acting party. Free when no sink is attached.
-    fn emit_net(&self, actor: ActorId, ev: NetEvent) {
-        self.bus.publish(self.now, actor.0, || Payload::Net(ev));
+    /// Buffers a network event for the bus, stamped with the current
+    /// virtual time and `actor` as the acting party. Buffered events are
+    /// flushed as one batch before the next actor callback (and at the end
+    /// of every dispatch), so each sink observes exactly the per-message
+    /// publish order. Free when no sink is attached.
+    fn emit_net(&mut self, actor: ActorId, ev: NetEvent) {
+        if !self.bus.has_sinks() {
+            return;
+        }
+        // Session/shard stay 0 here; `emit_batch` stamps the bus's scope
+        // and shard exactly as a direct `publish` would.
+        self.net_buf.push(ObsEvent {
+            at: self.now,
+            actor: actor.0,
+            session: 0,
+            shard: 0,
+            payload: Payload::Net(ev),
+        });
+    }
+
+    /// Delivers buffered net events to every sink as one batch.
+    fn flush_net(&mut self) {
+        if !self.net_buf.is_empty() {
+            self.bus.emit_batch(&mut self.net_buf);
+        }
     }
 
     fn push_event(&mut self, at: SimTime, kind: EventKind<M>) {
         let seq = self.seq;
         self.seq += 1;
-        self.queue.push(Event { at, seq, kind });
+        self.queue.push(at.as_micros(), seq, kind);
     }
 
     fn ensure_started(&mut self) {
-        for ix in 0..self.actors.len() {
-            if self.started[ix] {
-                continue;
-            }
-            self.started[ix] = true;
-            let id = ActorId(ix as u32);
-            let mut actor = match self.actors[ix].take() {
-                Some(a) => a,
-                None => continue,
-            };
-            let mut ops = Vec::new();
-            {
-                let mut ctx = Context {
-                    self_id: id,
-                    now: self.now,
-                    ops: &mut ops,
-                    rng: &mut self.rng,
-                    next_timer: &mut self.next_timer,
+        while !self.unstarted.is_empty() {
+            let pending = std::mem::take(&mut self.unstarted);
+            for &raw in &pending {
+                let ix = raw as usize;
+                if self.started[ix] {
+                    continue;
+                }
+                self.started[ix] = true;
+                let id = ActorId(raw);
+                let mut taken = match self.take_actor(ix) {
+                    Some(t) => t,
+                    None => continue,
                 };
-                actor.on_start(&mut ctx);
+                self.flush_net();
+                let mut ops = Vec::new();
+                {
+                    let mut ctx = Context {
+                        self_id: id,
+                        now: self.now,
+                        ops: &mut ops,
+                        rng: &mut self.rng,
+                        next_timer: &mut self.next_timer,
+                    };
+                    match &mut taken {
+                        Taken::Solo(a) => a.on_start(&mut ctx),
+                        Taken::Arena(a, _, m) => {
+                            let m = *m;
+                            a.on_start(m, &mut ctx);
+                        }
+                    }
+                }
+                self.put_back(ix, taken);
+                self.apply_ops(id, ops);
             }
-            self.actors[ix] = Some(actor);
-            self.apply_ops(id, ops);
         }
+        self.flush_net();
     }
 
     fn apply_ops(&mut self, from: ActorId, ops: Vec<Op<M>>) {
@@ -525,18 +646,25 @@ impl<M: Clone + 'static> Simulator<M> {
     /// Dispatches the next event, if any. Returns `false` when the queue is
     /// empty or the simulation halted.
     pub fn step(&mut self) -> bool {
+        let progressed = self.step_inner();
+        self.flush_net();
+        progressed
+    }
+
+    fn step_inner(&mut self) -> bool {
         self.ensure_started();
         if self.halted {
             return false;
         }
-        let ev = match self.queue.pop() {
+        let (at_us, _seq, kind) = match self.queue.pop() {
             Some(ev) => ev,
             None => return false,
         };
-        debug_assert!(ev.at >= self.now, "time went backwards");
-        self.now = ev.at;
+        let at = SimTime::from_micros(at_us);
+        debug_assert!(at >= self.now, "time went backwards");
+        self.now = at;
         self.stats.events_processed += 1;
-        match ev.kind {
+        match kind {
             EventKind::Deliver { from, to, inc, msg } => {
                 let ix = to.index();
                 // A crash bumped the incarnation after this message was
@@ -546,12 +674,13 @@ impl<M: Clone + 'static> Simulator<M> {
                     self.emit_net(to, NetEvent::Dropped { from: from.0, to: to.0 });
                     return true;
                 }
-                let mut actor = match self.actors.get_mut(ix).and_then(Option::take) {
-                    Some(a) => a,
+                let mut taken = match self.take_actor(ix) {
+                    Some(t) => t,
                     None => return true, // destination raced away; count as delivered-to-nobody
                 };
                 self.stats.delivered += 1;
                 self.emit_net(to, NetEvent::Delivered { from: from.0, to: to.0 });
+                self.flush_net();
                 let mut ops = Vec::new();
                 {
                     let mut ctx = Context {
@@ -561,9 +690,15 @@ impl<M: Clone + 'static> Simulator<M> {
                         rng: &mut self.rng,
                         next_timer: &mut self.next_timer,
                     };
-                    actor.on_message(&mut ctx, from, msg);
+                    match &mut taken {
+                        Taken::Solo(a) => a.on_message(&mut ctx, from, msg),
+                        Taken::Arena(a, _, m) => {
+                            let m = *m;
+                            a.on_message(m, &mut ctx, from, msg);
+                        }
+                    }
                 }
-                self.actors[ix] = Some(actor);
+                self.put_back(ix, taken);
                 self.apply_ops(to, ops);
                 // New actors may have been created? (not supported mid-run)
                 self.ensure_started();
@@ -577,12 +712,13 @@ impl<M: Clone + 'static> Simulator<M> {
                 if self.crashed[ix] || self.incarnation[ix] != inc {
                     return true;
                 }
-                let mut actor = match self.actors.get_mut(ix).and_then(Option::take) {
-                    Some(a) => a,
+                let mut taken = match self.take_actor(ix) {
+                    Some(t) => t,
                     None => return true,
                 };
                 self.stats.timers_fired += 1;
                 self.emit_net(owner, NetEvent::TimerFired { tag });
+                self.flush_net();
                 let mut ops = Vec::new();
                 {
                     let mut ctx = Context {
@@ -592,9 +728,15 @@ impl<M: Clone + 'static> Simulator<M> {
                         rng: &mut self.rng,
                         next_timer: &mut self.next_timer,
                     };
-                    actor.on_timer(&mut ctx, tag);
+                    match &mut taken {
+                        Taken::Solo(a) => a.on_timer(&mut ctx, tag),
+                        Taken::Arena(a, _, m) => {
+                            let m = *m;
+                            a.on_timer(m, &mut ctx, tag);
+                        }
+                    }
                 }
-                self.actors[ix] = Some(actor);
+                self.put_back(ix, taken);
                 self.apply_ops(owner, ops);
             }
             EventKind::Fault(action) => self.apply_fault(action),
@@ -615,8 +757,17 @@ impl<M: Clone + 'static> Simulator<M> {
                 self.incarnation[ix] += 1;
                 self.stats.crashes += 1;
                 self.emit_net(id, NetEvent::Crashed);
-                if let Some(actor) = self.actors[ix].as_mut() {
-                    actor.on_crash(self.now);
+                self.flush_net();
+                let now = self.now;
+                match &mut self.actors[ix] {
+                    ActorSlot::Solo(Some(actor)) => actor.on_crash(now),
+                    ActorSlot::Solo(None) => {}
+                    ActorSlot::Member { arena, member } => {
+                        let (a, m) = (*arena, *member);
+                        if let Some(ar) = self.arenas[a as usize].as_mut() {
+                            ar.on_crash(m, now);
+                        }
+                    }
                 }
             }
             FaultAction::Restart(id) => {
@@ -627,10 +778,11 @@ impl<M: Clone + 'static> Simulator<M> {
                 self.crashed[ix] = false;
                 self.stats.restarts += 1;
                 self.emit_net(id, NetEvent::Restarted);
-                let mut actor = match self.actors[ix].take() {
-                    Some(a) => a,
+                let mut taken = match self.take_actor(ix) {
+                    Some(t) => t,
                     None => return,
                 };
+                self.flush_net();
                 let mut ops = Vec::new();
                 {
                     let mut ctx = Context {
@@ -640,9 +792,15 @@ impl<M: Clone + 'static> Simulator<M> {
                         rng: &mut self.rng,
                         next_timer: &mut self.next_timer,
                     };
-                    actor.on_restart(&mut ctx);
+                    match &mut taken {
+                        Taken::Solo(a) => a.on_restart(&mut ctx),
+                        Taken::Arena(a, _, m) => {
+                            let m = *m;
+                            a.on_restart(m, &mut ctx);
+                        }
+                    }
                 }
-                self.actors[ix] = Some(actor);
+                self.put_back(ix, taken);
                 self.apply_ops(id, ops);
             }
             FaultAction::PartitionOn(from, to) => {
@@ -666,9 +824,10 @@ impl<M: Clone + 'static> Simulator<M> {
     /// `deadline`).
     pub fn run_until(&mut self, deadline: SimTime) {
         self.ensure_started();
+        let deadline_us = deadline.as_micros();
         loop {
-            match self.queue.peek() {
-                Some(ev) if ev.at <= deadline && !self.halted => {
+            match self.queue.peek_time() {
+                Some(at_us) if at_us <= deadline_us && !self.halted => {
                     self.step();
                 }
                 _ => break,
@@ -686,7 +845,7 @@ impl<M: Clone + 'static> Simulator<M> {
     /// lower bound a parallel-DES executor advertises to its peers before
     /// advancing its local clock.
     pub fn next_event_at(&self) -> Option<SimTime> {
-        self.queue.peek().map(|ev| ev.at)
+        self.queue.peek_time().map(SimTime::from_micros)
     }
 
     /// Number of queued (undelivered) events.
@@ -1245,6 +1404,121 @@ mod tests {
         };
         assert_eq!(run(11), run(11));
         assert_ne!(run(11), run(12));
+    }
+
+    /// Struct-of-arrays twin of `Collector`/`LifeTracker`: per-member state
+    /// in parallel vecs behind one boxed arena.
+    struct CollectorArena {
+        got: Vec<Vec<(SimTime, u32)>>,
+        starts: Vec<u32>,
+        crashes: Vec<u32>,
+        restarts: Vec<u32>,
+    }
+
+    impl CollectorArena {
+        fn new(members: usize) -> Self {
+            CollectorArena {
+                got: vec![Vec::new(); members],
+                starts: vec![0; members],
+                crashes: vec![0; members],
+                restarts: vec![0; members],
+            }
+        }
+    }
+
+    impl ArenaActor<u32> for CollectorArena {
+        fn on_start(&mut self, member: u32, _ctx: &mut Context<'_, u32>) {
+            self.starts[member as usize] += 1;
+        }
+        fn on_message(&mut self, member: u32, ctx: &mut Context<'_, u32>, from: ActorId, msg: u32) {
+            self.got[member as usize].push((ctx.now(), msg));
+            if msg > 0 {
+                ctx.send(from, msg - 1);
+            }
+        }
+        fn on_crash(&mut self, member: u32, _now: SimTime) {
+            self.crashes[member as usize] += 1;
+        }
+        fn on_restart(&mut self, member: u32, _ctx: &mut Context<'_, u32>) {
+            self.restarts[member as usize] += 1;
+        }
+    }
+
+    #[test]
+    fn arena_members_behave_like_solo_actors() {
+        let mut sim = Simulator::new(0);
+        let arena = sim.add_arena(CollectorArena::new(2));
+        let m0 = sim.add_arena_member("m0", arena, 0);
+        let m1 = sim.add_arena_member("m1", arena, 1);
+        let s = sim.add_actor("s", Starter { to: m0, n: 0 });
+        assert_eq!((m0.index(), m1.index(), s.index()), (0, 1, 2));
+        sim.inject(s, m0, 1, SimDuration::ZERO);
+        sim.inject(s, m1, 0, SimDuration::ZERO);
+        sim.run();
+        let a = sim.arena::<CollectorArena>(arena).unwrap();
+        assert_eq!(a.starts, vec![1, 1]);
+        assert_eq!(a.got[0], vec![(SimTime::ZERO, 1)]);
+        assert_eq!(a.got[1], vec![(SimTime::ZERO, 0)]);
+        // Members are not downcastable as solo actors.
+        assert!(sim.actor::<Collector>(m0).is_none());
+        // Two injects plus m0's echo of `1 - 1` back to the starter.
+        assert_eq!(sim.stats().delivered, 3);
+    }
+
+    #[test]
+    fn arena_member_crash_is_isolated_to_that_member() {
+        let mut sim = Simulator::new(0);
+        let arena = sim.add_arena(CollectorArena::new(2));
+        let m0 = sim.add_arena_member("m0", arena, 0);
+        let m1 = sim.add_arena_member("m1", arena, 1);
+        let s = sim.add_actor("s", Starter { to: m0, n: 0 });
+        sim.crash_at(m0, SimTime::from_millis(1));
+        sim.restart_at(m0, SimTime::from_millis(3));
+        sim.run_until(SimTime::from_millis(2));
+        assert!(sim.is_crashed(m0));
+        assert!(!sim.is_crashed(m1));
+        // In-flight traffic to the crashed member dies; its sibling is fine.
+        sim.inject(s, m0, 9, SimDuration::ZERO);
+        sim.inject(s, m1, 0, SimDuration::ZERO);
+        sim.run();
+        let a = sim.arena::<CollectorArena>(arena).unwrap();
+        assert_eq!(a.crashes, vec![1, 0]);
+        assert_eq!(a.restarts, vec![1, 0]);
+        assert!(a.got[0].is_empty());
+        assert_eq!(a.got[1].len(), 1);
+        assert_eq!(sim.incarnation(m0), 1);
+    }
+
+    #[test]
+    fn inject_batch_matches_inject_loop() {
+        let run = |batched: bool| {
+            let mut sim = Simulator::new(7);
+            sim.set_trace_enabled(true);
+            let c = sim.add_actor("c", Collector::default());
+            let s = sim.add_actor("s", Starter { to: c, n: 0 });
+            if batched {
+                sim.inject_batch(s, c, vec![1, 2, 3], SimDuration::from_millis(2));
+            } else {
+                for m in [1, 2, 3] {
+                    sim.inject(s, c, m, SimDuration::from_millis(2));
+                }
+            }
+            // A second wave toward a partitioned target drops identically.
+            sim.set_partitioned(s, c, true);
+            if batched {
+                sim.inject_batch(s, c, vec![4, 5], SimDuration::ZERO);
+            } else {
+                for m in [4, 5] {
+                    sim.inject(s, c, m, SimDuration::ZERO);
+                }
+            }
+            sim.run();
+            (sim.actor::<Collector>(c).unwrap().got.clone(), sim.stats(), sim.trace())
+        };
+        assert_eq!(run(true), run(false));
+        let (got, stats, _) = run(true);
+        assert_eq!(got.len(), 3);
+        assert_eq!(stats.dropped, 2);
     }
 
     #[test]
